@@ -1,0 +1,77 @@
+//===- examples/prodcons_demo.cpp - Producer/consumer over Treiber ---------===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+// The Prod/Cons client of Table 1: the model-checked exact-delivery
+// theorem on the small instance, then a large executable run over the
+// lock-free Treiber stack with a delivery audit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtTreiberStack.h"
+#include "structures/ProdCons.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace fcsl;
+
+int main() {
+  std::printf("producer/consumer over the Treiber stack\n");
+  std::printf("========================================\n\n");
+
+  std::printf("--- exhaustive check of exact delivery (2 items) ---\n");
+  SessionReport Report = makeProdConsSession().run();
+  if (!Report.AllPassed) {
+    for (const std::string &F : Report.Failures)
+      std::printf("FAILED: %s\n", F.c_str());
+    return 1;
+  }
+  std::printf("every interleaving delivers exactly the produced multiset "
+              "(%llu checks, %.1f ms)\n\n",
+              static_cast<unsigned long long>(Report.totalChecks()),
+              Report.TotalMs);
+
+  std::printf("--- executable run: 2 producers, 2 consumers, 50000 items "
+              "---\n");
+  RtTreiberStack Stack;
+  const int64_t PerProducer = 25000;
+  std::atomic<int64_t> Received{0};
+  std::map<int64_t, int> Audit;
+  std::mutex AuditMutex;
+
+  auto Producer = [&](int64_t Base) {
+    for (int64_t I = 0; I < PerProducer; ++I)
+      Stack.push(Base + I);
+  };
+  auto Consumer = [&] {
+    std::map<int64_t, int> Local;
+    while (Received.load() < 2 * PerProducer) {
+      if (auto V = Stack.pop()) {
+        ++Local[*V];
+        Received.fetch_add(1);
+      }
+    }
+    std::lock_guard<std::mutex> Guard(AuditMutex);
+    for (const auto &Entry : Local)
+      Audit[Entry.first] += Entry.second;
+  };
+
+  std::thread P1(Producer, 0), P2(Producer, PerProducer);
+  std::thread C1(Consumer), C2(Consumer);
+  P1.join();
+  P2.join();
+  C1.join();
+  C2.join();
+
+  bool ExactlyOnce = Audit.size() == static_cast<size_t>(2 * PerProducer);
+  for (const auto &Entry : Audit)
+    ExactlyOnce &= Entry.second == 1;
+  std::printf("received %lld items, each exactly once: %s\n",
+              static_cast<long long>(Received.load()),
+              ExactlyOnce ? "yes" : "NO");
+  return ExactlyOnce ? 0 : 1;
+}

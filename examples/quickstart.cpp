@@ -1,0 +1,58 @@
+//===- examples/quickstart.cpp - fcsl-cpp in five minutes ------------------===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+// Quickstart: verify the paper's "CG increment" client — a shared counter
+// protected by the CAS lock — including the parallel-increment theorem
+// that two concurrent increments add exactly two. Every proof obligation
+// of the Coq development has a checkable counterpart here; this example
+// runs the whole session and prints the ledger.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/CgIncrement.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace fcsl;
+
+int main() {
+  std::printf("fcsl-cpp quickstart: verifying CG increment\n");
+  std::printf("===========================================\n\n");
+
+  VerificationSession Session = makeCgIncrementSession();
+  std::printf("registered %zu proof obligations\n\n",
+              Session.numObligations());
+
+  SessionReport Report = Session.run();
+
+  TextTable Table;
+  Table.setHeader({"category", "obligations", "elementary checks",
+                   "time (ms)"});
+  for (unsigned I = 1; I <= 3; ++I)
+    Table.setRightAligned(I);
+  for (ObCategory C : {ObCategory::Libs, ObCategory::Conc, ObCategory::Acts,
+                       ObCategory::Stab, ObCategory::Main}) {
+    const CategoryStats &S = Report.PerCategory[size_t(C)];
+    Table.addRow({obCategoryName(C), std::to_string(S.Obligations),
+                  std::to_string(S.Checks),
+                  formatString("%.1f", S.ElapsedMs)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  if (!Report.AllPassed) {
+    std::printf("FAILED:\n");
+    for (const std::string &F : Report.Failures)
+      std::printf("  %s\n", F.c_str());
+    return 1;
+  }
+  std::printf("all obligations discharged in %.1f ms\n", Report.TotalMs);
+  std::printf("\nVerified facts include:\n"
+              "  {self = c} incr() {self = c + 1}   (under interference,\n"
+              "      with the CAS lock AND the ticketed lock)\n"
+              "  par(incr, incr) adds exactly 2     (the subjective-state\n"
+              "      argument of Ley-Wild & Nanevski)\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+//===- action/ActionChecks.cpp - Action proof obligations ------------------===//
+//
+// Part of fcsl-cpp. See ActionChecks.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "action/ActionChecks.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace fcsl;
+
+MetaReport
+fcsl::checkActionCorrespondence(const AtomicAction &A,
+                                const std::vector<View> &Sample,
+                                const std::vector<ActionArgs> &ArgSets) {
+  MetaReport Report;
+  const Concurroid &C = *A.concurroid();
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const ActionArgs &Args : ArgSets) {
+      std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
+      if (!Outcomes)
+        continue;
+      for (const ActOutcome &O : *Outcomes) {
+        ++Report.ChecksRun;
+        if (!C.someTransitionCovers(Pre, O.Post)) {
+          Report.Passed = false;
+          Report.CounterExample = formatString(
+              "action %s takes a step not covered by any transition of %s",
+              A.name().c_str(), C.name().c_str());
+          return Report;
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+namespace {
+
+/// Collects the heap-typed leaves of a PCM element: heap components of
+/// self/other are *real* state (e.g. Priv's private heaps), while nat,
+/// mutex, pointer-set and history components are auxiliary and erased.
+void collectHeapLeaves(const PCMVal &V, std::vector<Heap> &Out) {
+  switch (V.kind()) {
+  case PCMKind::HeapPCM:
+    Out.push_back(V.getHeap());
+    break;
+  case PCMKind::Pair:
+    collectHeapLeaves(V.first(), Out);
+    collectHeapLeaves(V.second(), Out);
+    break;
+  case PCMKind::Lift:
+    if (!V.isLiftUndef())
+      collectHeapLeaves(V.liftInner(), Out);
+    break;
+  default:
+    break;
+  }
+}
+
+/// The physically observable part of a view: the per-label joint heaps
+/// plus the heap-typed components of the self contributions.
+std::vector<std::pair<Label, Heap>> physicalPart(const View &S) {
+  std::vector<std::pair<Label, Heap>> Out;
+  for (Label L : S.labels()) {
+    Out.emplace_back(L, S.joint(L));
+    std::vector<Heap> Leaves;
+    collectHeapLeaves(S.self(L), Leaves);
+    for (Heap &H : Leaves)
+      Out.emplace_back(L, std::move(H));
+  }
+  return Out;
+}
+
+/// A canonical rendering of the physically observable outcomes of a step.
+std::string physicalOutcomes(const std::vector<ActOutcome> &Outcomes) {
+  std::vector<std::string> Rendered;
+  for (const ActOutcome &O : Outcomes) {
+    std::string Entry = O.Result.toString() + " / ";
+    for (const auto &Part : physicalPart(O.Post))
+      Entry += std::to_string(Part.first) + ":" + Part.second.toString();
+    Rendered.push_back(std::move(Entry));
+  }
+  std::sort(Rendered.begin(), Rendered.end());
+  std::string Out;
+  for (const std::string &R : Rendered)
+    Out += R + ";";
+  return Out;
+}
+
+} // namespace
+
+MetaReport fcsl::checkActionErasure(const AtomicAction &A,
+                                    const std::vector<View> &Sample,
+                                    const std::vector<ActionArgs> &ArgSets) {
+  MetaReport Report;
+  const Concurroid &C = *A.concurroid();
+  for (const ActionArgs &Args : ArgSets) {
+    // Key: canonical rendering of the physical pre-state. Value: canonical
+    // rendering of the physical outcomes first observed for that pre-state.
+    std::map<std::string, std::string> SeenByPhysical;
+    for (const View &Pre : Sample) {
+      if (!C.coherent(Pre))
+        continue;
+      std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
+      if (!Outcomes)
+        continue;
+      std::string Key;
+      for (const auto &Part : physicalPart(Pre))
+        Key += std::to_string(Part.first) + ":" + Part.second.toString();
+      std::string Physical = physicalOutcomes(*Outcomes);
+      auto [It, Inserted] = SeenByPhysical.emplace(Key, Physical);
+      ++Report.ChecksRun;
+      if (!Inserted && It->second != Physical) {
+        Report.Passed = false;
+        Report.CounterExample = formatString(
+            "action %s does not erase: identical physical pre-states with "
+            "different auxiliary state yield different physical outcomes",
+            A.name().c_str());
+        return Report;
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkActionTotality(
+    const AtomicAction &A, const std::vector<View> &Sample,
+    const std::vector<ActionArgs> &ArgSets,
+    const std::function<bool(const View &, const ActionArgs &)>
+        &Precondition) {
+  MetaReport Report;
+  const Concurroid &C = *A.concurroid();
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const ActionArgs &Args : ArgSets) {
+      if (!Precondition(Pre, Args))
+        continue;
+      ++Report.ChecksRun;
+      if (!A.step(Pre, Args)) {
+        Report.Passed = false;
+        Report.CounterExample = formatString(
+            "action %s is unsafe on a coherent state satisfying its "
+            "precondition:\n%s",
+            A.name().c_str(), Pre.toString().c_str());
+        return Report;
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkActionCoherence(const AtomicAction &A,
+                                      const std::vector<View> &Sample,
+                                      const std::vector<ActionArgs> &ArgSets) {
+  MetaReport Report;
+  const Concurroid &C = *A.concurroid();
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const ActionArgs &Args : ArgSets) {
+      std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
+      if (!Outcomes)
+        continue;
+      for (const ActOutcome &O : *Outcomes) {
+        ++Report.ChecksRun;
+        if (!C.coherent(O.Post)) {
+          Report.Passed = false;
+          Report.CounterExample = formatString(
+              "action %s leaves a coherent state for an incoherent one",
+              A.name().c_str());
+          return Report;
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkActionWellFormed(const AtomicAction &A,
+                                       const std::vector<View> &Sample,
+                                       const std::vector<ActionArgs>
+                                           &ArgSets) {
+  MetaReport Report;
+  Report.absorb(checkActionCorrespondence(A, Sample, ArgSets));
+  Report.absorb(checkActionErasure(A, Sample, ArgSets));
+  Report.absorb(checkActionCoherence(A, Sample, ArgSets));
+  return Report;
+}

@@ -1,0 +1,69 @@
+//===- action/ActionChecks.h - Action proof obligations ---------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-action proof obligations of Section 3.4, rendered as decision
+/// procedures over samples of coherent views:
+///
+///  - *erasure*: the action's effect on the real (joint) heap and its
+///    result are functions of the real heap alone — changing only auxiliary
+///    self/other components cannot change the physical outcome (so, e.g.,
+///    `trymark` erases to CAS);
+///  - *correspondence*: every step the action can take is an instance of
+///    some transition of its concurroid;
+///  - *totality*: the action is safe on every coherent view satisfying its
+///    declared precondition;
+///  - *coherence*: outcomes land in coherent views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_ACTION_ACTIONCHECKS_H
+#define FCSL_ACTION_ACTIONCHECKS_H
+
+#include "action/AtomicAction.h"
+#include "concurroid/Metatheory.h"
+
+namespace fcsl {
+
+/// An argument vector for exercising an action.
+using ActionArgs = std::vector<Val>;
+
+/// Every (Pre, Post) step of \p A on the sampled views/arguments is covered
+/// by some transition of A's concurroid.
+MetaReport checkActionCorrespondence(const AtomicAction &A,
+                                     const std::vector<View> &Sample,
+                                     const std::vector<ActionArgs> &ArgSets);
+
+/// Erasure: group sampled views by their per-label joint heaps; within a
+/// group (same physical state, different auxiliary state) the action must
+/// produce the same multiset of (result, per-label joint heaps) outcomes.
+MetaReport checkActionErasure(const AtomicAction &A,
+                              const std::vector<View> &Sample,
+                              const std::vector<ActionArgs> &ArgSets);
+
+/// Totality: \p A is safe on every coherent sampled view satisfying
+/// \p Precondition (with the paired arguments).
+MetaReport checkActionTotality(
+    const AtomicAction &A, const std::vector<View> &Sample,
+    const std::vector<ActionArgs> &ArgSets,
+    const std::function<bool(const View &, const ActionArgs &)>
+        &Precondition);
+
+/// Outcome views are coherent.
+MetaReport checkActionCoherence(const AtomicAction &A,
+                                const std::vector<View> &Sample,
+                                const std::vector<ActionArgs> &ArgSets);
+
+/// Runs correspondence + erasure + coherence (totality needs the
+/// action-specific precondition, so it stays separate).
+MetaReport checkActionWellFormed(const AtomicAction &A,
+                                 const std::vector<View> &Sample,
+                                 const std::vector<ActionArgs> &ArgSets);
+
+} // namespace fcsl
+
+#endif // FCSL_ACTION_ACTIONCHECKS_H

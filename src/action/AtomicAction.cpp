@@ -1,0 +1,115 @@
+//===- action/AtomicAction.cpp - Atomic actions ----------------------------===//
+//
+// Part of fcsl-cpp. See AtomicAction.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "action/AtomicAction.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+AtomicAction::AtomicAction(std::string Name, ConcurroidRef C, unsigned Arity,
+                           StepFn Step)
+    : Name(std::move(Name)), C(std::move(C)), Arity(Arity),
+      Step(std::move(Step)) {
+  assert(this->C && "action needs a concurroid");
+  assert(this->Step && "action needs a stepping relation");
+}
+
+std::optional<std::vector<ActOutcome>>
+AtomicAction::step(const View &Pre, const std::vector<Val> &Args) const {
+  assert(Args.size() == Arity && "action arity mismatch");
+  std::optional<std::vector<ActOutcome>> Out = Step(Pre, Args);
+  assert((!Out || !Out->empty()) &&
+         "atomic actions are total: a safe step has at least one outcome");
+  return Out;
+}
+
+ActionRef fcsl::makeAction(std::string Name, ConcurroidRef C, unsigned Arity,
+                           AtomicAction::StepFn Step) {
+  return std::make_shared<AtomicAction>(std::move(Name), std::move(C), Arity,
+                                        std::move(Step));
+}
+
+ActionRef fcsl::makePrivAlloc(ConcurroidRef C, Label Pv) {
+  return makeAction(
+      "priv_alloc", std::move(C), 1,
+      [Pv](const View &Pre,
+           const std::vector<Val> &Args) -> std::optional<std::vector<ActOutcome>> {
+        Heap Mine = Pre.self(Pv).getHeap();
+        // Choose a pointer fresh for the *whole* view so allocation cannot
+        // collide with any installed label's heap.
+        uint32_t Candidate = 1;
+        auto Clashes = [&](Ptr P) {
+          for (Label L : Pre.labels()) {
+            if (Pre.joint(L).contains(P))
+              return true;
+            if (Pre.self(L).kind() == PCMKind::HeapPCM &&
+                Pre.self(L).getHeap().contains(P))
+              return true;
+            if (Pre.other(L).kind() == PCMKind::HeapPCM &&
+                Pre.other(L).getHeap().contains(P))
+              return true;
+          }
+          return false;
+        };
+        while (Clashes(Ptr(Candidate)))
+          ++Candidate;
+        Ptr Fresh(Candidate);
+        Mine.insert(Fresh, Args[0]);
+        View Post = Pre;
+        Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
+        return std::vector<ActOutcome>{{Val::ofPtr(Fresh), std::move(Post)}};
+      });
+}
+
+ActionRef fcsl::makePrivRead(ConcurroidRef C, Label Pv) {
+  return makeAction(
+      "priv_read", std::move(C), 1,
+      [Pv](const View &Pre,
+           const std::vector<Val> &Args) -> std::optional<std::vector<ActOutcome>> {
+        if (!Args[0].isPtr())
+          return std::nullopt;
+        const Heap &Mine = Pre.self(Pv).getHeap();
+        const Val *Cell = Mine.tryLookup(Args[0].getPtr());
+        if (!Cell)
+          return std::nullopt; // Reading outside the private heap: unsafe.
+        return std::vector<ActOutcome>{{*Cell, Pre}};
+      });
+}
+
+ActionRef fcsl::makePrivWrite(ConcurroidRef C, Label Pv) {
+  return makeAction(
+      "priv_write", std::move(C), 2,
+      [Pv](const View &Pre,
+           const std::vector<Val> &Args) -> std::optional<std::vector<ActOutcome>> {
+        if (!Args[0].isPtr())
+          return std::nullopt;
+        Heap Mine = Pre.self(Pv).getHeap();
+        if (!Mine.contains(Args[0].getPtr()))
+          return std::nullopt;
+        Mine.update(Args[0].getPtr(), Args[1]);
+        View Post = Pre;
+        Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
+        return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+      });
+}
+
+ActionRef fcsl::makePrivFree(ConcurroidRef C, Label Pv) {
+  return makeAction(
+      "priv_free", std::move(C), 1,
+      [Pv](const View &Pre,
+           const std::vector<Val> &Args) -> std::optional<std::vector<ActOutcome>> {
+        if (!Args[0].isPtr())
+          return std::nullopt;
+        Heap Mine = Pre.self(Pv).getHeap();
+        if (!Mine.contains(Args[0].getPtr()))
+          return std::nullopt;
+        Mine.remove(Args[0].getPtr());
+        View Post = Pre;
+        Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
+        return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+      });
+}

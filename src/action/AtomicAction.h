@@ -1,0 +1,85 @@
+//===- action/AtomicAction.h - Atomic actions -------------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic actions (Sections 2.2.2 and 3.4): program operations that perform
+/// one read-modify-write step on the real heap and simultaneously update
+/// auxiliary state. An action is a relation between an input view, argument
+/// values, a result value and an output view — e.g. the paper's
+/// `trymark_step`. Actions must erase to a physical operation (the
+/// auxiliary part does not influence the heap effect) and every step must
+/// correspond to a transition of the action's concurroid; both obligations
+/// are checked in ActionChecks.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_ACTION_ATOMICACTION_H
+#define FCSL_ACTION_ATOMICACTION_H
+
+#include "concurroid/Concurroid.h"
+
+#include <optional>
+
+namespace fcsl {
+
+/// One possible outcome of an atomic action: the returned value and the
+/// post-view. Actions may be nondeterministic (several outcomes).
+struct ActOutcome {
+  Val Result;
+  View Post;
+};
+
+class AtomicAction;
+using ActionRef = std::shared_ptr<const AtomicAction>;
+
+/// An atomic action over the views of a fixed concurroid.
+class AtomicAction {
+public:
+  /// The stepping relation. Returning std::nullopt means the action is
+  /// *unsafe* in this view with these arguments (a precondition violation:
+  /// the verifier reports it as a crash). A defined result must be
+  /// non-empty: FCSL actions are total on their safe states.
+  using StepFn = std::function<std::optional<std::vector<ActOutcome>>(
+      const View &, const std::vector<Val> &)>;
+
+  AtomicAction(std::string Name, ConcurroidRef C, unsigned Arity,
+               StepFn Step);
+
+  const std::string &name() const { return Name; }
+  unsigned arity() const { return Arity; }
+  const ConcurroidRef &concurroid() const { return C; }
+
+  /// Runs the stepping relation; asserts the arity matches.
+  std::optional<std::vector<ActOutcome>>
+  step(const View &Pre, const std::vector<Val> &Args) const;
+
+private:
+  std::string Name;
+  ConcurroidRef C;
+  unsigned Arity;
+  StepFn Step;
+};
+
+/// Convenience factory.
+ActionRef makeAction(std::string Name, ConcurroidRef C, unsigned Arity,
+                     AtomicAction::StepFn Step);
+
+/// Generic actions over a Priv label (their physical effect is a single
+/// cell operation inside the calling thread's private heap; they correspond
+/// to the priv_local transition):
+///  - privAlloc(pv):       v -> allocates a fresh cell holding Args[0].
+///  - privRead(pv):        p -> contents of cell p.
+///  - privWrite(pv):       (p, v) -> unit, stores v into p.
+///  - privFree(pv):        p -> unit, deallocates p.
+ActionRef makePrivAlloc(ConcurroidRef C, Label Pv);
+ActionRef makePrivRead(ConcurroidRef C, Label Pv);
+ActionRef makePrivWrite(ConcurroidRef C, Label Pv);
+ActionRef makePrivFree(ConcurroidRef C, Label Pv);
+
+} // namespace fcsl
+
+#endif // FCSL_ACTION_ATOMICACTION_H

@@ -1,0 +1,80 @@
+//===- concurroid/Concurroid.cpp - Concurrency protocols as STSs -----------===//
+//
+// Part of fcsl-cpp. See Concurroid.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Concurroid.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+Concurroid::Concurroid(std::string Name, std::vector<OwnedLabel> Labels,
+                       CohFn Coh)
+    : Name(std::move(Name)), Labels(std::move(Labels)), Coh(std::move(Coh)) {
+  assert(this->Coh && "concurroid needs a coherence predicate");
+  Transitions.push_back(Transition::idle());
+}
+
+std::vector<Label> Concurroid::labelIds() const {
+  std::vector<Label> Out;
+  Out.reserve(Labels.size());
+  for (const OwnedLabel &L : Labels)
+    Out.push_back(L.L);
+  return Out;
+}
+
+const OwnedLabel &Concurroid::ownedLabel(Label L) const {
+  for (const OwnedLabel &Owned : Labels)
+    if (Owned.L == L)
+      return Owned;
+  assert(false && "label not owned by this concurroid");
+  return Labels.front();
+}
+
+void Concurroid::addTransition(Transition T) {
+  Transitions.push_back(std::move(T));
+}
+
+View Concurroid::invert(const View &S) const {
+  View Out = S;
+  for (const OwnedLabel &Owned : Labels) {
+    if (!Out.hasLabel(Owned.L))
+      continue;
+    LabelSlice &Slice = Out.sliceMut(Owned.L);
+    std::swap(Slice.Self, Slice.Other);
+  }
+  return Out;
+}
+
+std::vector<View> Concurroid::envSuccessors(const View &S) const {
+  std::vector<View> Out;
+  View Inverted = invert(S);
+  for (const Transition &T : Transitions) {
+    if (!T.isEnvEnabled() || T.name() == "idle")
+      continue;
+    for (const View &Post : T.successors(Inverted)) {
+      View Back = invert(Post);
+      if (coherent(Back))
+        Out.push_back(std::move(Back));
+    }
+  }
+  return Out;
+}
+
+bool Concurroid::someTransitionCovers(const View &Pre,
+                                      const View &Post) const {
+  for (const Transition &T : Transitions)
+    if (T.covers(Pre, Post))
+      return true;
+  return false;
+}
+
+std::shared_ptr<Concurroid> fcsl::makeConcurroid(std::string Name,
+                                                 std::vector<OwnedLabel>
+                                                     Labels,
+                                                 Concurroid::CohFn Coh) {
+  return std::make_shared<Concurroid>(std::move(Name), std::move(Labels),
+                                      std::move(Coh));
+}

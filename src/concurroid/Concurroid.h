@@ -1,0 +1,96 @@
+//===- concurroid/Concurroid.h - Concurrency protocols as STSs --*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurroids: the paper's state-transition systems describing custom
+/// resource protocols (Section 2.2.1). A concurroid packages
+///
+///  - the labels it owns, with the PCM carrier of their self/other
+///    components,
+///  - a *coherence predicate* delimiting its state space (Section 3.3's
+///    `coh`), and
+///  - its transitions (plus the implicit idle transition).
+///
+/// The same object serves three purposes: the protocol that the verifier
+/// uses to generate environment interference; the target that atomic
+/// actions must correspond to; and a node of the library-dependency graph
+/// from which Table 2 and Figure 5 are regenerated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_CONCURROID_CONCURROID_H
+#define FCSL_CONCURROID_CONCURROID_H
+
+#include "concurroid/Transition.h"
+
+#include <memory>
+
+namespace fcsl {
+
+class Concurroid;
+using ConcurroidRef = std::shared_ptr<const Concurroid>;
+
+/// One labelled slice owned by a concurroid.
+struct OwnedLabel {
+  Label L;
+  std::string Name;    ///< e.g. "sp", "pv", "lk".
+  PCMTypeRef SelfType; ///< carrier of the self/other components.
+};
+
+/// An FCSL concurroid.
+class Concurroid {
+public:
+  using CohFn = std::function<bool(const View &)>;
+
+  Concurroid(std::string Name, std::vector<OwnedLabel> Labels, CohFn Coh);
+
+  const std::string &name() const { return Name; }
+  const std::vector<OwnedLabel> &ownedLabels() const { return Labels; }
+
+  /// Returns the owned label ids.
+  std::vector<Label> labelIds() const;
+
+  /// Looks up an owned label's metadata; asserts it is owned.
+  const OwnedLabel &ownedLabel(Label L) const;
+
+  /// The coherence predicate over full views.
+  bool coherent(const View &S) const { return Coh(S); }
+
+  /// Registers a transition (builder-style, before freezing behind a
+  /// ConcurroidRef).
+  void addTransition(Transition T);
+
+  const std::vector<Transition> &transitions() const { return Transitions; }
+
+  /// All environment-interference successors of \p S: for every
+  /// env-enabled transition, the post-views of the *inverted* view (the
+  /// environment plays self). Results are re-inverted back to the observing
+  /// thread's perspective and filtered for coherence.
+  std::vector<View> envSuccessors(const View &S) const;
+
+  /// True if (Pre, Post) is covered by some transition (including idle).
+  bool someTransitionCovers(const View &Pre, const View &Post) const;
+
+  /// Swaps the self/other components at every owned label: reading the
+  /// state from the environment's side.
+  View invert(const View &S) const;
+
+private:
+  std::string Name;
+  std::vector<OwnedLabel> Labels;
+  CohFn Coh;
+  std::vector<Transition> Transitions;
+};
+
+/// Convenience builder returning a mutable concurroid to populate.
+std::shared_ptr<Concurroid> makeConcurroid(std::string Name,
+                                           std::vector<OwnedLabel> Labels,
+                                           Concurroid::CohFn Coh);
+
+} // namespace fcsl
+
+#endif // FCSL_CONCURROID_CONCURROID_H

@@ -1,0 +1,44 @@
+//===- concurroid/Entangle.cpp - Concurroid composition --------------------===//
+//
+// Part of fcsl-cpp. See Entangle.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Entangle.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+ConcurroidRef fcsl::entangle(ConcurroidRef A, ConcurroidRef B,
+                             std::vector<Transition> Connectors,
+                             Concurroid::CohFn Glue) {
+  assert(A && B && "entangle needs two concurroids");
+
+  std::vector<OwnedLabel> Labels = A->ownedLabels();
+  for (const OwnedLabel &L : B->ownedLabels()) {
+    for (const OwnedLabel &Existing : Labels) {
+      assert(Existing.L != L.L && "entangled concurroids share a label");
+      (void)Existing;
+    }
+    Labels.push_back(L);
+  }
+
+  auto Coh = [A, B, Glue](const View &S) {
+    if (!A->coherent(S) || !B->coherent(S))
+      return false;
+    return !Glue || Glue(S);
+  };
+
+  auto C = makeConcurroid(A->name() + " >< " + B->name(), std::move(Labels),
+                          std::move(Coh));
+  for (const Transition &T : A->transitions())
+    if (T.name() != "idle")
+      C->addTransition(T);
+  for (const Transition &T : B->transitions())
+    if (T.name() != "idle")
+      C->addTransition(T);
+  for (Transition &T : Connectors)
+    C->addTransition(std::move(T));
+  return C;
+}

@@ -1,0 +1,35 @@
+//===- concurroid/Entangle.h - Concurroid composition -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entanglement of concurroids (Section 4.1): composing two protocols into
+/// one whose state space is the product of theirs, optionally interconnected
+/// by channel-like *connector* transitions that exchange heap ownership
+/// (e.g. the allocator handing a pointer to a thread's private heap). The
+/// paper writes `entangle (Priv pv) ALock`; we write
+/// `entangle(Priv, ALock, Connectors)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_CONCURROID_ENTANGLE_H
+#define FCSL_CONCURROID_ENTANGLE_H
+
+#include "concurroid/Concurroid.h"
+
+namespace fcsl {
+
+/// Entangles \p A and \p B. Owned labels must be disjoint. The transitions
+/// of the composition are those of A, those of B, and the supplied
+/// \p Connectors (acquire/release pairs spanning both protocols). An
+/// optional extra \p Glue predicate strengthens the product coherence.
+ConcurroidRef entangle(ConcurroidRef A, ConcurroidRef B,
+                       std::vector<Transition> Connectors = {},
+                       Concurroid::CohFn Glue = nullptr);
+
+} // namespace fcsl
+
+#endif // FCSL_CONCURROID_ENTANGLE_H

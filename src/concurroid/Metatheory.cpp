@@ -1,0 +1,152 @@
+//===- concurroid/Metatheory.cpp - Concurroid well-formedness --------------===//
+//
+// Part of fcsl-cpp. See Metatheory.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Metatheory.h"
+
+#include "support/Format.h"
+
+using namespace fcsl;
+
+void MetaReport::absorb(const MetaReport &Other) {
+  ChecksRun += Other.ChecksRun;
+  if (Passed && !Other.Passed) {
+    Passed = false;
+    CounterExample = Other.CounterExample;
+  }
+}
+
+MetaReport
+fcsl::checkTransitionsPreserveCoherence(const Concurroid &C,
+                                        const std::vector<View> &Sample) {
+  MetaReport Report;
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const Transition &T : C.transitions()) {
+      for (const View &Post : T.successors(Pre)) {
+        ++Report.ChecksRun;
+        if (!C.coherent(Post)) {
+          Report.Passed = false;
+          Report.CounterExample = formatString(
+              "transition %s breaks coherence from state:\n%s",
+              T.name().c_str(), Pre.toString().c_str());
+          return Report;
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkOtherFixity(const Concurroid &C,
+                                  const std::vector<View> &Sample) {
+  MetaReport Report;
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const Transition &T : C.transitions()) {
+      for (const View &Post : T.successors(Pre)) {
+        for (Label L : Pre.labels()) {
+          ++Report.ChecksRun;
+          if (!(Pre.other(L) == Post.other(L))) {
+            Report.Passed = false;
+            Report.CounterExample = formatString(
+                "transition %s changes the other component at label %u",
+                T.name().c_str(), L);
+            return Report;
+          }
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport
+fcsl::checkFootprintPreservation(const Concurroid &C,
+                                 const std::vector<View> &Sample) {
+  MetaReport Report;
+  for (const View &Pre : Sample) {
+    if (!C.coherent(Pre))
+      continue;
+    for (const Transition &T : C.transitions()) {
+      if (T.kind() != TransitionKind::Internal)
+        continue;
+      for (const View &Post : T.successors(Pre)) {
+        for (Label L : Pre.labels()) {
+          ++Report.ChecksRun;
+          if (Pre.joint(L).domain() != Post.joint(L).domain()) {
+            Report.Passed = false;
+            Report.CounterExample = formatString(
+                "internal transition %s changes the joint footprint at "
+                "label %u",
+                T.name().c_str(), L);
+            return Report;
+          }
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkForkJoinClosure(const Concurroid &C,
+                                      const std::vector<View> &Sample,
+                                      size_t SplitLimit) {
+  MetaReport Report;
+  for (const View &S : Sample) {
+    if (!C.coherent(S))
+      continue;
+    for (const OwnedLabel &Owned : C.ownedLabels()) {
+      if (!S.hasLabel(Owned.L))
+        continue;
+      // Move each sub-element of self into other ...
+      for (const PCMVal &Delta :
+           enumerateSubElements(S.self(Owned.L), SplitLimit)) {
+        View Realigned = S;
+        if (!Realigned.realignSelfToOther(Owned.L, Delta))
+          continue;
+        ++Report.ChecksRun;
+        if (!C.coherent(Realigned)) {
+          Report.Passed = false;
+          Report.CounterExample = formatString(
+              "coherence not closed under moving %s from self to other at "
+              "label %u",
+              Delta.toString().c_str(), Owned.L);
+          return Report;
+        }
+      }
+      // ... and each sub-element of other into self (the join direction).
+      for (const PCMVal &Delta :
+           enumerateSubElements(S.other(Owned.L), SplitLimit)) {
+        View Inverted = C.invert(S);
+        if (!Inverted.realignSelfToOther(Owned.L, Delta))
+          continue;
+        View Realigned = C.invert(Inverted);
+        ++Report.ChecksRun;
+        if (!C.coherent(Realigned)) {
+          Report.Passed = false;
+          Report.CounterExample = formatString(
+              "coherence not closed under moving %s from other to self at "
+              "label %u",
+              Delta.toString().c_str(), Owned.L);
+          return Report;
+        }
+      }
+    }
+  }
+  return Report;
+}
+
+MetaReport fcsl::checkConcurroidWellFormed(const Concurroid &C,
+                                           const std::vector<View> &Sample) {
+  MetaReport Report;
+  Report.absorb(checkTransitionsPreserveCoherence(C, Sample));
+  Report.absorb(checkOtherFixity(C, Sample));
+  Report.absorb(checkFootprintPreservation(C, Sample));
+  Report.absorb(checkForkJoinClosure(C, Sample));
+  return Report;
+}

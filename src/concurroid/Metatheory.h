@@ -1,0 +1,69 @@
+//===- concurroid/Metatheory.h - Concurroid well-formedness -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FCSL metatheory requires every concurroid's coherence predicate and
+/// transitions to satisfy several properties (Sections 3.3-3.4):
+///
+///  - the state space is closed under fork-join realignment of self/other,
+///  - transitions preserve coherence,
+///  - transitions preserve the other component,
+///  - internal transitions preserve the heap footprint of the joint state.
+///
+/// In Coq these are proof obligations discharged once per concurroid; here
+/// they are decision procedures over a finite sample of coherent views,
+/// executed by the verification session. A failed report carries a
+/// counterexample description.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_CONCURROID_METATHEORY_H
+#define FCSL_CONCURROID_METATHEORY_H
+
+#include "concurroid/Concurroid.h"
+
+namespace fcsl {
+
+/// Outcome of one metatheory obligation.
+struct MetaReport {
+  bool Passed = true;
+  uint64_t ChecksRun = 0;
+  std::string CounterExample; ///< empty when Passed.
+
+  /// Conjoins another report into this one.
+  void absorb(const MetaReport &Other);
+};
+
+/// Every transition applied to every coherent sample view yields only
+/// coherent views.
+MetaReport checkTransitionsPreserveCoherence(const Concurroid &C,
+                                             const std::vector<View> &Sample);
+
+/// No transition changes the observing thread's other component.
+MetaReport checkOtherFixity(const Concurroid &C,
+                            const std::vector<View> &Sample);
+
+/// Internal transitions neither allocate nor deallocate joint heap cells
+/// (ownership exchange is the business of acquire/release connectors).
+MetaReport checkFootprintPreservation(const Concurroid &C,
+                                      const std::vector<View> &Sample);
+
+/// The state space is closed under realigning self/other: for every sample
+/// view and every way of moving a sub-element of self into other (and the
+/// converse), the result stays coherent. \p SplitLimit caps the number of
+/// sub-elements tried per label.
+MetaReport checkForkJoinClosure(const Concurroid &C,
+                                const std::vector<View> &Sample,
+                                size_t SplitLimit = 64);
+
+/// Runs all of the above.
+MetaReport checkConcurroidWellFormed(const Concurroid &C,
+                                     const std::vector<View> &Sample);
+
+} // namespace fcsl
+
+#endif // FCSL_CONCURROID_METATHEORY_H

@@ -1,0 +1,60 @@
+//===- concurroid/Priv.cpp - Thread-local state concurroid -----------------===//
+//
+// Part of fcsl-cpp. See Priv.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Priv.h"
+
+using namespace fcsl;
+
+ConcurroidRef fcsl::makePriv(Label Pv) {
+  auto Coh = [Pv](const View &S) {
+    if (!S.hasLabel(Pv))
+      return false;
+    // The joint component of Priv is always empty; private heaps of
+    // different threads must be disjoint.
+    if (!S.joint(Pv).isEmpty())
+      return false;
+    if (S.self(Pv).kind() != PCMKind::HeapPCM ||
+        S.other(Pv).kind() != PCMKind::HeapPCM)
+      return false;
+    return S.selfOtherJoin(Pv).has_value();
+  };
+
+  auto C = makeConcurroid(
+      "Priv", {OwnedLabel{Pv, "pv", PCMType::heap()}}, Coh);
+
+  // priv_local: the observing thread rearranges its own private heap
+  // arbitrarily (write/alloc/dealloc). The parameter space is unbounded, so
+  // the transition is coverage-only; it also generates no environment
+  // successors because another thread's private writes are invisible in the
+  // observing thread's self and joint components. Note the *other*
+  // component legitimately changes across env steps of Priv; specs in this
+  // development never constrain pv_other, so eliding those env steps does
+  // not weaken any checked property (mirrors the paper, where Priv's
+  // interference is handled once in the metatheory).
+  C->addTransition(Transition(
+      "priv_local", TransitionKind::Internal,
+      /*Enumerate=*/nullptr,
+      [Pv](const View &Pre, const View &Post) {
+        if (!Pre.hasLabel(Pv) || !Post.hasLabel(Pv))
+          return false;
+        if (!(Pre.other(Pv) == Post.other(Pv)))
+          return false;
+        if (!Post.joint(Pv).isEmpty())
+          return false;
+        // All non-Priv labels must be untouched.
+        for (Label L : Pre.labels())
+          if (L != Pv && (!Post.hasLabel(L) ||
+                          !(Pre.slice(L) == Post.slice(L))))
+            return false;
+        return Post.self(Pv).kind() == PCMKind::HeapPCM;
+      },
+      /*EnvEnabled=*/false));
+  return C;
+}
+
+const Heap &fcsl::pvSelfHeap(const View &S, Label Pv) {
+  return S.self(Pv).getHeap();
+}

@@ -1,0 +1,33 @@
+//===- concurroid/Priv.h - Thread-local state concurroid --------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic `Priv pv` concurroid of Section 3.5: thread-local heaps. Its
+/// self/other components live in the PCM of heaps; the joint component is
+/// empty. A thread may freely mutate, allocate into and deallocate from its
+/// own private heap (covered by the `priv_local` transition), while nobody
+/// can touch another thread's private heap — so `Priv` generates no
+/// environment interference on the observing thread's assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_CONCURROID_PRIV_H
+#define FCSL_CONCURROID_PRIV_H
+
+#include "concurroid/Concurroid.h"
+
+namespace fcsl {
+
+/// Builds the Priv concurroid instance at label \p Pv.
+ConcurroidRef makePriv(Label Pv);
+
+/// The paper's `pv_self` getter: the observing thread's private heap.
+const Heap &pvSelfHeap(const View &S, Label Pv);
+
+} // namespace fcsl
+
+#endif // FCSL_CONCURROID_PRIV_H

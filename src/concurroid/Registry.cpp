@@ -1,0 +1,74 @@
+//===- concurroid/Registry.cpp - Library/concurroid registry ---------------===//
+//
+// Part of fcsl-cpp. See Registry.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Registry.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace fcsl;
+
+void Registry::registerLibrary(LibraryInfo Info) {
+  for (LibraryInfo &Existing : Libraries) {
+    if (Existing.Name == Info.Name) {
+      Existing = std::move(Info);
+      return;
+    }
+  }
+  Libraries.push_back(std::move(Info));
+}
+
+std::vector<std::string> Registry::concurroidColumns() const {
+  std::vector<std::string> Columns;
+  for (const LibraryInfo &Lib : Libraries)
+    for (const ConcurroidUse &Use : Lib.Uses)
+      if (std::find(Columns.begin(), Columns.end(), Use.Concurroid) ==
+          Columns.end())
+        Columns.push_back(Use.Concurroid);
+  return Columns;
+}
+
+std::string Registry::renderTable2() const {
+  std::vector<std::string> Columns = concurroidColumns();
+  TextTable Table;
+  std::vector<std::string> Header = {"Program"};
+  Header.insert(Header.end(), Columns.begin(), Columns.end());
+  Table.setHeader(std::move(Header));
+  for (const LibraryInfo &Lib : Libraries) {
+    // Interface-only nodes (e.g. "Abstract lock") appear in Figure 5 but
+    // not in Table 2.
+    if (Lib.Uses.empty())
+      continue;
+    std::vector<std::string> Row = {Lib.Name};
+    for (const std::string &Column : Columns) {
+      std::string Cell;
+      for (const ConcurroidUse &Use : Lib.Uses)
+        if (Use.Concurroid == Column)
+          Cell = Use.ViaLockInterface ? "3L" : "3";
+      Row.push_back(Cell);
+    }
+    Table.addRow(std::move(Row));
+  }
+  return Table.render();
+}
+
+DotGraph Registry::dependencyGraph() const {
+  // Edges point from a dependency to its user, matching the paper's
+  // Figure 5 (e.g. "CAS-lock -> Abstract lock -> CG increment").
+  DotGraph G("library_dependencies");
+  for (const LibraryInfo &Lib : Libraries) {
+    G.addNode(Lib.Name);
+    for (const std::string &Dep : Lib.DependsOn)
+      G.addEdge(Dep, Lib.Name);
+  }
+  return G;
+}
+
+Registry &fcsl::globalRegistry() {
+  static Registry R;
+  return R;
+}

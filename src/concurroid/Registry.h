@@ -1,0 +1,71 @@
+//===- concurroid/Registry.h - Library/concurroid registry ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of verified libraries: which primitive concurroids each one
+/// employs (regenerating the paper's Table 2, including the `3L` marks for
+/// concurroids reached through the abstract lock interface) and which other
+/// libraries it builds on (regenerating Figure 5's dependency diagram).
+/// Populated by the case-study constructors in src/structures, never by
+/// static initializers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_CONCURROID_REGISTRY_H
+#define FCSL_CONCURROID_REGISTRY_H
+
+#include "support/Dot.h"
+
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// How a library employs a primitive concurroid.
+struct ConcurroidUse {
+  std::string Concurroid; ///< e.g. "Priv", "CLock", "Treiber".
+  bool ViaLockInterface;  ///< the paper's "3L": reached through the
+                          ///< abstract lock interface, so either lock
+                          ///< concurroid is interchangeable here.
+};
+
+/// One verified library.
+struct LibraryInfo {
+  std::string Name;
+  std::vector<ConcurroidUse> Uses;
+  std::vector<std::string> DependsOn; ///< other libraries (Figure 5 edges).
+};
+
+/// The registry. Rows keep registration order so reports match the paper's
+/// table ordering.
+class Registry {
+public:
+  /// Registers or replaces (by name) a library entry.
+  void registerLibrary(LibraryInfo Info);
+
+  const std::vector<LibraryInfo> &libraries() const { return Libraries; }
+
+  /// Column headings of Table 2, in first-use order.
+  std::vector<std::string> concurroidColumns() const;
+
+  /// Renders Table 2 ("3" / "3L" marks per cell).
+  std::string renderTable2() const;
+
+  /// Builds Figure 5's dependency digraph (edges point from a library to
+  /// the libraries it depends on, drawn bottom-up like the paper).
+  DotGraph dependencyGraph() const;
+
+private:
+  std::vector<LibraryInfo> Libraries;
+};
+
+/// The process-wide registry (function-local static; no global ctors).
+Registry &globalRegistry();
+
+} // namespace fcsl
+
+#endif // FCSL_CONCURROID_REGISTRY_H

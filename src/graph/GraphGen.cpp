@@ -1,0 +1,76 @@
+//===- graph/GraphGen.cpp - Graph construction and generators --------------===//
+//
+// Part of fcsl-cpp. See GraphGen.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphGen.h"
+
+#include "graph/GraphPredicates.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+Heap fcsl::buildGraph(const std::vector<GraphNode> &Nodes) {
+  Heap H;
+  for (const GraphNode &Node : Nodes)
+    H.insert(Node.Id, Val::node(false, Node.Left, Node.Right));
+  assert(isGraphHeap(H) && "successors must stay within the graph");
+  return H;
+}
+
+Heap fcsl::figure2Graph() {
+  Ptr A(1), B(2), C(3), D(4), E(5);
+  return buildGraph({GraphNode{A, B, C}, GraphNode{B, D, E},
+                     GraphNode{C, E, C}, GraphNode{D, Ptr::null(),
+                                                   Ptr::null()},
+                     GraphNode{E, Ptr::null(), Ptr::null()}});
+}
+
+std::string fcsl::figure2NodeName(Ptr P) {
+  assert(P.id() >= 1 && P.id() <= 5 && "not a Figure 2 node");
+  return std::string(1, static_cast<char>('a' + P.id() - 1));
+}
+
+Heap fcsl::randomGraph(unsigned NumNodes, Rng &R, bool ConnectedFromRoot) {
+  assert(NumNodes >= 1 && "graphs have at least one node");
+  auto PickTarget = [&]() -> Ptr {
+    // Roughly one in three successors is null.
+    if (R.chance(1, 3))
+      return Ptr::null();
+    return Ptr(static_cast<uint32_t>(R.nextBelow(NumNodes) + 1));
+  };
+
+  std::vector<GraphNode> Nodes;
+  Nodes.reserve(NumNodes);
+  for (unsigned I = 1; I <= NumNodes; ++I)
+    Nodes.push_back(GraphNode{Ptr(I), PickTarget(), PickTarget()});
+  Heap G = buildGraph(Nodes);
+
+  if (!ConnectedFromRoot)
+    return G;
+
+  // Graft unreachable nodes onto reachable ones until connected.
+  Ptr Root(1);
+  while (!isConnectedFrom(G, Root)) {
+    PtrSet Seen = reachableFrom(G, Root);
+    Ptr Stray;
+    for (const auto &Cell : G)
+      if (!Seen.count(Cell.first)) {
+        Stray = Cell.first;
+        break;
+      }
+    assert(!Stray.isNull());
+    // Attach via a random reachable host with a free (or sacrificial) slot.
+    std::vector<Ptr> Hosts(Seen.begin(), Seen.end());
+    Ptr Host = Hosts[R.nextBelow(Hosts.size())];
+    NodeCell Cell = G.lookup(Host).getNode();
+    if (Cell.Left.isNull() || R.chance(1, 2))
+      Cell.Left = Stray;
+    else
+      Cell.Right = Stray;
+    G.update(Host, Val::node(Cell.Marked, Cell.Left, Cell.Right));
+  }
+  return G;
+}

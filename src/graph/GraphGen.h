@@ -1,0 +1,49 @@
+//===- graph/GraphGen.h - Graph construction and generators -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for heap-represented graphs: explicit adjacency construction,
+/// the exact five-node graph of the paper's Figure 2, and deterministic
+/// random graph generation (optionally constrained to be connected from a
+/// root) for property tests and benchmark sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_GRAPH_GRAPHGEN_H
+#define FCSL_GRAPH_GRAPHGEN_H
+
+#include "graph/HeapGraph.h"
+#include "support/Rng.h"
+
+namespace fcsl {
+
+/// One node description for buildGraph.
+struct GraphNode {
+  Ptr Id;
+  Ptr Left;  ///< null for no successor.
+  Ptr Right; ///< null for no successor.
+};
+
+/// Builds an unmarked graph heap; asserts the result satisfies `graph`.
+Heap buildGraph(const std::vector<GraphNode> &Nodes);
+
+/// The five-node graph of Figure 2 (a=&1 ... e=&5): a -> (b, c),
+/// b -> (d, e), c -> (e, c), d and e are leaves. Node c's right successor
+/// is the self-loop the figure's stage (5) removes.
+Heap figure2Graph();
+
+/// Names the Figure 2 nodes for display ("a".."e").
+std::string figure2NodeName(Ptr P);
+
+/// Generates a pseudo-random graph over \p NumNodes nodes. When
+/// \p ConnectedFromRoot, every node is made reachable from node &1 by
+/// grafting stray nodes onto the reachable part.
+Heap randomGraph(unsigned NumNodes, Rng &R, bool ConnectedFromRoot);
+
+} // namespace fcsl
+
+#endif // FCSL_GRAPH_GRAPHGEN_H

@@ -1,0 +1,150 @@
+//===- graph/GraphPredicates.cpp - tree/front/maximal/subgraph -------------===//
+//
+// Part of fcsl-cpp. See GraphPredicates.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphPredicates.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace fcsl;
+
+namespace {
+
+/// Counts simple paths from \p From to \p To along edges staying in \p T,
+/// stopping early once more than one is found. The initial node is a path
+/// of length zero when From == To.
+unsigned countPathsWithin(const Heap &G, Ptr From, Ptr To, const PtrSet &T,
+                          PtrSet &OnPath) {
+  if (From == To)
+    return 1;
+  unsigned Count = 0;
+  for (Ptr Next : succsOf(G, From)) {
+    if (!T.count(Next) || OnPath.count(Next))
+      continue;
+    OnPath.insert(Next);
+    Count += countPathsWithin(G, Next, To, T, OnPath);
+    OnPath.erase(Next);
+    if (Count > 1)
+      return Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+bool fcsl::isTreeIn(const Heap &G, Ptr X, const PtrSet &T) {
+  if (!T.count(X))
+    return false;
+  for (Ptr Node : T)
+    if (!G.contains(Node))
+      return false;
+  for (Ptr Y : T) {
+    PtrSet OnPath{X};
+    if (countPathsWithin(G, X, Y, T, OnPath) != 1)
+      return false;
+  }
+  return true;
+}
+
+bool fcsl::isFront(const Heap &G, const PtrSet &T, const PtrSet &TPrime) {
+  for (Ptr Node : T)
+    if (!TPrime.count(Node))
+      return false;
+  for (Ptr Node : T)
+    for (Ptr Succ : succsOf(G, Node))
+      if (!TPrime.count(Succ))
+        return false;
+  return true;
+}
+
+bool fcsl::isMaximal(const Heap &G, const PtrSet &T) {
+  return isFront(G, T, T);
+}
+
+PtrSet fcsl::reachableFrom(const Heap &G, Ptr X) {
+  PtrSet Seen;
+  if (!G.contains(X))
+    return Seen;
+  std::deque<Ptr> Queue{X};
+  Seen.insert(X);
+  while (!Queue.empty()) {
+    Ptr Node = Queue.front();
+    Queue.pop_front();
+    for (Ptr Succ : succsOf(G, Node))
+      if (Seen.insert(Succ).second)
+        Queue.push_back(Succ);
+  }
+  return Seen;
+}
+
+bool fcsl::isConnectedFrom(const Heap &G, Ptr X) {
+  PtrSet Seen = reachableFrom(G, X);
+  for (const auto &Cell : G)
+    if (!Seen.count(Cell.first))
+      return false;
+  return true;
+}
+
+bool fcsl::isSubgraphEvolution(const Heap &G1, const Heap &G2) {
+  if (G1.domain() != G2.domain())
+    return false;
+  for (const auto &Cell : G1) {
+    const NodeCell &Before = Cell.second.getNode();
+    const NodeCell &After = G2.lookup(Cell.first).getNode();
+    // Marks only increase.
+    if (Before.Marked && !After.Marked)
+      return false;
+    // Unmarked (in G2) nodes are untouched.
+    if (!After.Marked && !(Before == After))
+      return false;
+    // Edges can only be nullified, never redirected.
+    if (After.Left != Before.Left && !After.Left.isNull())
+      return false;
+    if (After.Right != Before.Right && !After.Right.isNull())
+      return false;
+  }
+  return true;
+}
+
+bool fcsl::lemmaMaxTree2(const Heap &G, Ptr X, Ptr Y1, Ptr Y2,
+                         const PtrSet &TY1, const PtrSet &TY2) {
+  // Premises.
+  std::vector<Ptr> Succs = succsOf(G, X);
+  std::vector<Ptr> Expected;
+  if (!Y1.isNull())
+    Expected.push_back(Y1);
+  if (!Y2.isNull() && Y2 != Y1)
+    Expected.push_back(Y2);
+  std::sort(Succs.begin(), Succs.end());
+  std::sort(Expected.begin(), Expected.end());
+  if (Succs != Expected)
+    return true; // Premise fails: lemma vacuously true.
+  if (!Y1.isNull() && (!isTreeIn(G, Y1, TY1) || !isMaximal(G, TY1)))
+    return true;
+  if (!Y2.isNull() && (!isTreeIn(G, Y2, TY2) || !isMaximal(G, TY2)))
+    return true;
+  // Disjointness (the paper's `valid (ty1 \+ ty2)`).
+  for (Ptr Node : TY1)
+    if (TY2.count(Node))
+      return true;
+  if (TY1.count(X) || TY2.count(X))
+    return true;
+  // Conclusion: #x \+ ty1 \+ ty2 is a tree rooted at x.
+  PtrSet Union = TY1;
+  Union.insert(TY2.begin(), TY2.end());
+  Union.insert(X);
+  return isTreeIn(G, X, Union);
+}
+
+bool fcsl::lemmaMaximalTreeSpans(const Heap &G, Ptr X, const PtrSet &T) {
+  // Premises: T is a maximal tree rooted at X; G is connected from X.
+  if (!isTreeIn(G, X, T) || !isMaximal(G, T) || !isConnectedFrom(G, X))
+    return true; // Vacuous.
+  for (const auto &Cell : G)
+    if (!T.count(Cell.first))
+      return false;
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- graph/GraphPredicates.h - tree/front/maximal/subgraph ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph-theoretic predicates of the paper's Section 3.2, used in
+/// span_tp and span_root_tp: `tree`, `front`, `maximal`, `connected`, and
+/// the `subgraph` evolution relation; plus checkable analogues of the two
+/// key lemmas `max_tree2` (disjoint maximal subtrees compose into a tree)
+/// and the front-inclusion argument behind the spanning property. In Coq
+/// these are proved once; here they are decision procedures over the small
+/// graphs the model checker explores, and the lemma statements are
+/// validated by property sweeps over random graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_GRAPH_GRAPHPREDICATES_H
+#define FCSL_GRAPH_GRAPHPREDICATES_H
+
+#include "graph/HeapGraph.h"
+
+namespace fcsl {
+
+/// `tree x t`: t contains x and for every y in t there is exactly one path
+/// from x to y along `edge` links that stays inside t.
+bool isTreeIn(const Heap &G, Ptr X, const PtrSet &T);
+
+/// `front t t'`: t is included in t', and every node reachable in one step
+/// from t is in t'.
+bool isFront(const Heap &G, const PtrSet &T, const PtrSet &TPrime);
+
+/// `maximal t`: t includes its own front (cannot be extended).
+bool isMaximal(const Heap &G, const PtrSet &T);
+
+/// `connected x`: every node of the graph is reachable from x.
+bool isConnectedFrom(const Heap &G, Ptr X);
+
+/// The heap part of the paper's `subgraph s1 s2` relation: same node set,
+/// unmarked nodes' contents unchanged, edges only nullified, marks only
+/// added.
+bool isSubgraphEvolution(const Heap &G1, const Heap &G2);
+
+/// All nodes reachable from \p X (including X if in the graph).
+PtrSet reachableFrom(const Heap &G, Ptr X);
+
+/// Checkable instance of Lemma max_tree2: if X's successor set is exactly
+/// {Y1, Y2}, TY1/TY2 are disjoint maximal trees rooted at Y1/Y2, and X is
+/// in neither, then {X} u TY1 u TY2 is a tree rooted at X. Returns true
+/// when the conclusion holds (callers establish the premises).
+bool lemmaMaxTree2(const Heap &G, Ptr X, Ptr Y1, Ptr Y2, const PtrSet &TY1,
+                   const PtrSet &TY2);
+
+/// The spanning-tree argument of Section 2.1: if T is a maximal tree in G
+/// rooted at X and G is connected from X, then T covers all of G's nodes.
+bool lemmaMaximalTreeSpans(const Heap &G, Ptr X, const PtrSet &T);
+
+} // namespace fcsl
+
+#endif // FCSL_GRAPH_GRAPHPREDICATES_H

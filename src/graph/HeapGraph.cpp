@@ -1,0 +1,91 @@
+//===- graph/HeapGraph.cpp - Heap-represented binary graphs ----------------===//
+//
+// Part of fcsl-cpp. See HeapGraph.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/HeapGraph.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+bool fcsl::isGraphHeap(const Heap &H) {
+  for (const auto &Cell : H) {
+    if (!Cell.second.isNode())
+      return false;
+    const NodeCell &Node = Cell.second.getNode();
+    if (!Node.Left.isNull() && !H.contains(Node.Left))
+      return false;
+    if (!Node.Right.isNull() && !H.contains(Node.Right))
+      return false;
+  }
+  return true;
+}
+
+bool fcsl::nodeMarked(const Heap &G, Ptr X) {
+  const Val *Cell = G.tryLookup(X);
+  return Cell && Cell->getNode().Marked;
+}
+
+Ptr fcsl::succOf(const Heap &G, Ptr X, Side S) {
+  const Val *Cell = G.tryLookup(X);
+  if (!Cell)
+    return Ptr::null();
+  const NodeCell &Node = Cell->getNode();
+  return S == Side::Left ? Node.Left : Node.Right;
+}
+
+NodeCell fcsl::nodeCont(const Heap &G, Ptr X) {
+  const Val *Cell = G.tryLookup(X);
+  return Cell ? Cell->getNode() : NodeCell{};
+}
+
+bool fcsl::hasEdge(const Heap &G, Ptr X, Ptr Y) {
+  if (!G.contains(X) || Y.isNull())
+    return false;
+  const NodeCell &Node = G.lookup(X).getNode();
+  return Node.Left == Y || Node.Right == Y;
+}
+
+std::vector<Ptr> fcsl::succsOf(const Heap &G, Ptr X) {
+  std::vector<Ptr> Out;
+  const Val *Cell = G.tryLookup(X);
+  if (!Cell)
+    return Out;
+  const NodeCell &Node = Cell->getNode();
+  if (!Node.Left.isNull())
+    Out.push_back(Node.Left);
+  if (!Node.Right.isNull() && Node.Right != Node.Left)
+    Out.push_back(Node.Right);
+  return Out;
+}
+
+Heap fcsl::markNode(const Heap &G, Ptr X) {
+  assert(G.contains(X) && "marking a node outside the graph");
+  NodeCell Node = G.lookup(X).getNode();
+  Node.Marked = true;
+  Heap Out = G;
+  Out.update(X, Val::node(Node.Marked, Node.Left, Node.Right));
+  return Out;
+}
+
+Heap fcsl::nullEdge(const Heap &G, Ptr X, Side S) {
+  assert(G.contains(X) && "nullifying an edge outside the graph");
+  NodeCell Node = G.lookup(X).getNode();
+  if (S == Side::Left)
+    Node.Left = Ptr::null();
+  else
+    Node.Right = Ptr::null();
+  Heap Out = G;
+  Out.update(X, Val::node(Node.Marked, Node.Left, Node.Right));
+  return Out;
+}
+
+PtrSet fcsl::markedNodes(const Heap &G) {
+  PtrSet Out;
+  for (const auto &Cell : G)
+    if (Cell.second.getNode().Marked)
+      Out.insert(Cell.first);
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- graph/HeapGraph.h - Heap-represented binary graphs -------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary directed graphs laid out in a heap (Section 3.2): every cell maps
+/// a pointer to a NodeCell triple (marked bit, left successor, right
+/// successor), successors being null or in-heap pointers. This header
+/// provides the paper's `graph` well-formedness predicate, the partial
+/// accessor functions `mark`, `edgl`, `edgr`, `cont` (defaulting to
+/// false/null outside the heap), the `edge` incidence relation, and the
+/// physical transformers `mark_node` and `null_edge` used by the SpanTree
+/// concurroid's transitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_GRAPH_HEAPGRAPH_H
+#define FCSL_GRAPH_HEAPGRAPH_H
+
+#include "heap/Heap.h"
+
+#include <set>
+
+namespace fcsl {
+
+/// A set of graph nodes (the paper's ptr_set).
+using PtrSet = std::set<Ptr>;
+
+/// Which successor of a node an operation addresses.
+enum class Side : uint8_t { Left, Right };
+
+/// The paper's `graph h`: every cell stores a NodeCell whose successors are
+/// null or within the heap's domain.
+bool isGraphHeap(const Heap &H);
+
+/// `mark g x`: the marked bit (false if x is outside the heap).
+bool nodeMarked(const Heap &G, Ptr X);
+
+/// `edgl g x` / `edgr g x`: successor pointers (null outside the heap).
+Ptr succOf(const Heap &G, Ptr X, Side S);
+
+/// `cont g x`: the whole triple (all-default outside the heap).
+NodeCell nodeCont(const Heap &G, Ptr X);
+
+/// The incidence relation `edge x y`: x is in the heap, y is non-null and
+/// is one of x's successors.
+bool hasEdge(const Heap &G, Ptr X, Ptr Y);
+
+/// All (non-null) successors of X present in the graph.
+std::vector<Ptr> succsOf(const Heap &G, Ptr X);
+
+/// `mark_node g x`: sets the marked bit; asserts x is in the heap.
+Heap markNode(const Heap &G, Ptr X);
+
+/// `null_edge g c x`: nullifies x's successor on side \p S; asserts x is
+/// in the heap.
+Heap nullEdge(const Heap &G, Ptr X, Side S);
+
+/// The set of marked nodes of the graph.
+PtrSet markedNodes(const Heap &G);
+
+} // namespace fcsl
+
+#endif // FCSL_GRAPH_HEAPGRAPH_H

@@ -1,0 +1,129 @@
+//===- heap/Heap.cpp - Heaps as finite maps with disjoint union -----------===//
+//
+// Part of fcsl-cpp. See Heap.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fcsl;
+
+Heap Heap::singleton(Ptr P, Val V) {
+  Heap H;
+  H.insert(P, std::move(V));
+  return H;
+}
+
+const Val *Heap::tryLookup(Ptr P) const {
+  auto It = Cells.find(P);
+  return It == Cells.end() ? nullptr : &It->second;
+}
+
+const Val &Heap::lookup(Ptr P) const {
+  const Val *V = tryLookup(P);
+  assert(V && "lookup of a pointer outside the heap domain");
+  return *V;
+}
+
+void Heap::update(Ptr P, Val V) {
+  auto It = Cells.find(P);
+  assert(It != Cells.end() && "update of a pointer outside the heap domain");
+  It->second = std::move(V);
+}
+
+void Heap::insert(Ptr P, Val V) {
+  assert(!P.isNull() && "cannot allocate the null pointer");
+  bool Inserted = Cells.emplace(P, std::move(V)).second;
+  assert(Inserted && "insert of an already-allocated pointer");
+  (void)Inserted;
+}
+
+void Heap::remove(Ptr P) {
+  size_t Erased = Cells.erase(P);
+  assert(Erased == 1 && "free of a pointer outside the heap domain");
+  (void)Erased;
+}
+
+std::vector<Ptr> Heap::domain() const {
+  std::vector<Ptr> Dom;
+  Dom.reserve(Cells.size());
+  for (const auto &Cell : Cells)
+    Dom.push_back(Cell.first);
+  return Dom;
+}
+
+Ptr Heap::freshPtr() const {
+  uint32_t Candidate = 1;
+  for (const auto &Cell : Cells) {
+    if (Cell.first.id() != Candidate)
+      break;
+    ++Candidate;
+  }
+  return Ptr(Candidate);
+}
+
+std::optional<Heap> Heap::join(const Heap &A, const Heap &B) {
+  if (!disjoint(A, B))
+    return std::nullopt;
+  Heap Out = A;
+  for (const auto &Cell : B.Cells)
+    Out.Cells.emplace(Cell.first, Cell.second);
+  return Out;
+}
+
+Heap Heap::without(const std::vector<Ptr> &Doomed) const {
+  Heap Out = *this;
+  for (Ptr P : Doomed)
+    Out.Cells.erase(P);
+  return Out;
+}
+
+bool Heap::disjoint(const Heap &A, const Heap &B) {
+  const Heap &Small = A.size() <= B.size() ? A : B;
+  const Heap &Large = A.size() <= B.size() ? B : A;
+  for (const auto &Cell : Small.Cells)
+    if (Large.contains(Cell.first))
+      return false;
+  return true;
+}
+
+int Heap::compare(const Heap &Other) const {
+  auto AIt = Cells.begin(), AEnd = Cells.end();
+  auto BIt = Other.Cells.begin(), BEnd = Other.Cells.end();
+  for (; AIt != AEnd && BIt != BEnd; ++AIt, ++BIt) {
+    if (AIt->first != BIt->first)
+      return AIt->first < BIt->first ? -1 : 1;
+    int ValCmp = AIt->second.compare(BIt->second);
+    if (ValCmp != 0)
+      return ValCmp;
+  }
+  if (AIt != AEnd)
+    return 1;
+  if (BIt != BEnd)
+    return -1;
+  return 0;
+}
+
+void Heap::hashInto(std::size_t &Seed) const {
+  hashValue(Seed, Cells.size());
+  for (const auto &Cell : Cells) {
+    hashValue(Seed, Cell.first.id());
+    Cell.second.hashInto(Seed);
+  }
+}
+
+std::string Heap::toString() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &Cell : Cells) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += Cell.first.toString() + " :-> " + Cell.second.toString();
+  }
+  Out += "}";
+  return Out;
+}

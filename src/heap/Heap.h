@@ -1,0 +1,111 @@
+//===- heap/Heap.h - Heaps as finite maps with disjoint union ---*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heaps are finite maps from pointers to values, forming a PCM under
+/// disjoint union with the empty heap as unit (the paper's `heap` PCM,
+/// written `\+`). A Heap object is always a valid map; joining overlapping
+/// heaps is the *undefined* element and is reported as std::nullopt, which
+/// mirrors the partiality of the monoid operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_HEAP_HEAP_H
+#define FCSL_HEAP_HEAP_H
+
+#include "heap/Val.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace fcsl {
+
+/// A valid heap: a finite map from non-null pointers to values.
+class Heap {
+public:
+  /// Constructs the empty heap (the PCM unit).
+  Heap() = default;
+
+  /// Returns a heap with a single cell P :-> V.
+  static Heap singleton(Ptr P, Val V);
+
+  bool isEmpty() const { return Cells.empty(); }
+  size_t size() const { return Cells.size(); }
+
+  /// Returns true if \p P is in the domain.
+  bool contains(Ptr P) const { return Cells.count(P) != 0; }
+
+  /// Returns the cell contents, or nullptr if \p P is not in the domain.
+  const Val *tryLookup(Ptr P) const;
+
+  /// Returns the cell contents; asserts that \p P is in the domain.
+  const Val &lookup(Ptr P) const;
+
+  /// Writes \p V into cell \p P; asserts the cell exists (no implicit alloc).
+  void update(Ptr P, Val V);
+
+  /// Adds a fresh cell P :-> V; asserts \p P is non-null and not present.
+  void insert(Ptr P, Val V);
+
+  /// Removes cell \p P (the paper's `free x h`); asserts it exists.
+  void remove(Ptr P);
+
+  /// Returns the sorted domain of the heap.
+  std::vector<Ptr> domain() const;
+
+  /// Returns the smallest pointer id not in the domain (for allocation).
+  Ptr freshPtr() const;
+
+  /// Disjoint union; std::nullopt when the domains overlap (undefinedness of
+  /// the PCM join).
+  static std::optional<Heap> join(const Heap &A, const Heap &B);
+
+  /// Returns the sub-heap of this heap whose domain is disjoint from \p B's
+  /// removal set, i.e. this heap minus the cells listed in \p Doomed.
+  Heap without(const std::vector<Ptr> &Doomed) const;
+
+  /// Returns true when the two heaps have disjoint domains.
+  static bool disjoint(const Heap &A, const Heap &B);
+
+  int compare(const Heap &Other) const;
+  friend bool operator==(const Heap &A, const Heap &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator!=(const Heap &A, const Heap &B) {
+    return A.compare(B) != 0;
+  }
+  friend bool operator<(const Heap &A, const Heap &B) {
+    return A.compare(B) < 0;
+  }
+
+  void hashInto(std::size_t &Seed) const;
+
+  /// Renders as "{&1 :-> v, &2 :-> w}".
+  std::string toString() const;
+
+  /// Iteration over (pointer, value) cells in pointer order.
+  auto begin() const { return Cells.begin(); }
+  auto end() const { return Cells.end(); }
+
+private:
+  std::map<Ptr, Val> Cells;
+};
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::Heap> {
+  size_t operator()(const fcsl::Heap &H) const {
+    size_t Seed = 0;
+    H.hashInto(Seed);
+    return Seed;
+  }
+};
+} // namespace std
+
+#endif // FCSL_HEAP_HEAP_H

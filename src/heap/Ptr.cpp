@@ -1,0 +1,17 @@
+//===- heap/Ptr.cpp - Abstract heap pointers ------------------------------===//
+//
+// Part of fcsl-cpp. See Ptr.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Ptr.h"
+
+#include "support/Format.h"
+
+using namespace fcsl;
+
+std::string Ptr::toString() const {
+  if (isNull())
+    return "null";
+  return formatString("&%u", Id);
+}

@@ -1,0 +1,59 @@
+//===- heap/Ptr.h - Abstract heap pointers ----------------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract pointers into the modeled heap. FCSL heaps are finite maps from
+/// pointers to values; we model pointers as small integer ids with 0 reserved
+/// for null, exactly mirroring the paper's `ptr` type (Section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_HEAP_PTR_H
+#define FCSL_HEAP_PTR_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fcsl {
+
+/// A pointer in the modeled heap; id 0 is null.
+class Ptr {
+public:
+  /// Constructs the null pointer.
+  constexpr Ptr() : Id(0) {}
+
+  /// Constructs the pointer with the given nonzero id (0 yields null).
+  constexpr explicit Ptr(uint32_t Id) : Id(Id) {}
+
+  /// Returns the null pointer.
+  static constexpr Ptr null() { return Ptr(); }
+
+  bool isNull() const { return Id == 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Ptr A, Ptr B) { return A.Id == B.Id; }
+  friend bool operator!=(Ptr A, Ptr B) { return A.Id != B.Id; }
+  friend bool operator<(Ptr A, Ptr B) { return A.Id < B.Id; }
+
+  /// Renders as "null" or "&N".
+  std::string toString() const;
+
+private:
+  uint32_t Id;
+};
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::Ptr> {
+  size_t operator()(fcsl::Ptr P) const { return hash<uint32_t>{}(P.id()); }
+};
+} // namespace std
+
+#endif // FCSL_HEAP_PTR_H

@@ -1,0 +1,128 @@
+//===- heap/Val.cpp - Runtime values of the modeled language --------------===//
+//
+// Part of fcsl-cpp. See Val.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Val.h"
+
+#include "support/Format.h"
+
+using namespace fcsl;
+
+Val Val::ofInt(int64_t I) {
+  Val V;
+  V.K = Kind::Int;
+  V.IntVal = I;
+  return V;
+}
+
+Val Val::ofBool(bool B) {
+  Val V;
+  V.K = Kind::Bool;
+  V.BoolVal = B;
+  return V;
+}
+
+Val Val::ofPtr(Ptr P) {
+  Val V;
+  V.K = Kind::Pointer;
+  V.PtrVal = P;
+  return V;
+}
+
+Val Val::node(bool Marked, Ptr Left, Ptr Right) {
+  Val V;
+  V.K = Kind::Node;
+  V.Node = NodeCell{Marked, Left, Right};
+  return V;
+}
+
+Val Val::pair(Val First, Val Second) {
+  Val V;
+  V.K = Kind::Pair;
+  V.PairVal = std::make_shared<const std::pair<Val, Val>>(std::move(First),
+                                                          std::move(Second));
+  return V;
+}
+
+int Val::compare(const Val &Other) const {
+  if (K != Other.K)
+    return K < Other.K ? -1 : 1;
+  switch (K) {
+  case Kind::Unit:
+    return 0;
+  case Kind::Int:
+    if (IntVal != Other.IntVal)
+      return IntVal < Other.IntVal ? -1 : 1;
+    return 0;
+  case Kind::Bool:
+    if (BoolVal != Other.BoolVal)
+      return BoolVal < Other.BoolVal ? -1 : 1;
+    return 0;
+  case Kind::Pointer:
+    if (PtrVal != Other.PtrVal)
+      return PtrVal < Other.PtrVal ? -1 : 1;
+    return 0;
+  case Kind::Node:
+    if (!(Node == Other.Node))
+      return Node < Other.Node ? -1 : 1;
+    return 0;
+  case Kind::Pair: {
+    int First = PairVal->first.compare(Other.PairVal->first);
+    if (First != 0)
+      return First;
+    return PairVal->second.compare(Other.PairVal->second);
+  }
+  }
+  assert(false && "unknown value kind");
+  return 0;
+}
+
+void Val::hashInto(std::size_t &Seed) const {
+  hashValue(Seed, static_cast<uint8_t>(K));
+  switch (K) {
+  case Kind::Unit:
+    break;
+  case Kind::Int:
+    hashValue(Seed, IntVal);
+    break;
+  case Kind::Bool:
+    hashValue(Seed, BoolVal);
+    break;
+  case Kind::Pointer:
+    hashValue(Seed, PtrVal.id());
+    break;
+  case Kind::Node:
+    hashValue(Seed, Node.Marked);
+    hashValue(Seed, Node.Left.id());
+    hashValue(Seed, Node.Right.id());
+    break;
+  case Kind::Pair:
+    PairVal->first.hashInto(Seed);
+    PairVal->second.hashInto(Seed);
+    break;
+  }
+}
+
+std::string Val::toString() const {
+  switch (K) {
+  case Kind::Unit:
+    return "()";
+  case Kind::Int:
+    return formatString("%lld", static_cast<long long>(IntVal));
+  case Kind::Bool:
+    return BoolVal ? "true" : "false";
+  case Kind::Pointer:
+    return PtrVal.toString();
+  case Kind::Node:
+    return formatString("{%c, %s, %s}", Node.Marked ? 'M' : 'u',
+                        Node.Left.toString().c_str(),
+                        Node.Right.toString().c_str());
+  case Kind::Pair:
+    return "(" + PairVal->first.toString() + ", " +
+           PairVal->second.toString() + ")";
+  }
+  assert(false && "unknown value kind");
+  return "<?>";
+}

@@ -1,0 +1,136 @@
+//===- heap/Val.h - Runtime values of the modeled language ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value universe of the embedded programming fragment and of heap cells:
+/// unit, integers, booleans, pointers, graph-node triples (marked bit plus
+/// left/right successors, Section 3.2 of the paper), and pairs (results of
+/// parallel composition). Values are immutable and totally ordered so they
+/// can key the model checker's visited-state sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_HEAP_VAL_H
+#define FCSL_HEAP_VAL_H
+
+#include "heap/Ptr.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fcsl {
+
+/// A graph node cell: the "marked" bit plus left/right successor pointers.
+/// This is the triple (b, xl, xr) of the paper's `graph` predicate.
+struct NodeCell {
+  bool Marked = false;
+  Ptr Left;
+  Ptr Right;
+
+  friend bool operator==(const NodeCell &A, const NodeCell &B) {
+    return A.Marked == B.Marked && A.Left == B.Left && A.Right == B.Right;
+  }
+  friend bool operator<(const NodeCell &A, const NodeCell &B) {
+    if (A.Marked != B.Marked)
+      return A.Marked < B.Marked;
+    if (A.Left != B.Left)
+      return A.Left < B.Left;
+    return A.Right < B.Right;
+  }
+};
+
+/// An immutable runtime value.
+class Val {
+public:
+  enum class Kind : uint8_t { Unit, Int, Bool, Pointer, Node, Pair };
+
+  /// Constructs the unit value.
+  Val() : K(Kind::Unit) {}
+
+  static Val unit() { return Val(); }
+  static Val ofInt(int64_t I);
+  static Val ofBool(bool B);
+  static Val ofPtr(Ptr P);
+  static Val node(bool Marked, Ptr Left, Ptr Right);
+  static Val pair(Val First, Val Second);
+
+  Kind kind() const { return K; }
+  bool isUnit() const { return K == Kind::Unit; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isPtr() const { return K == Kind::Pointer; }
+  bool isNode() const { return K == Kind::Node; }
+  bool isPair() const { return K == Kind::Pair; }
+
+  int64_t getInt() const {
+    assert(isInt() && "not an integer value");
+    return IntVal;
+  }
+  bool getBool() const {
+    assert(isBool() && "not a boolean value");
+    return BoolVal;
+  }
+  Ptr getPtr() const {
+    assert(isPtr() && "not a pointer value");
+    return PtrVal;
+  }
+  const NodeCell &getNode() const {
+    assert(isNode() && "not a node value");
+    return Node;
+  }
+  const Val &first() const {
+    assert(isPair() && "not a pair value");
+    return PairVal->first;
+  }
+  const Val &second() const {
+    assert(isPair() && "not a pair value");
+    return PairVal->second;
+  }
+
+  /// Total order across kinds (kind tag first, then payload).
+  int compare(const Val &Other) const;
+
+  friend bool operator==(const Val &A, const Val &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator!=(const Val &A, const Val &B) {
+    return A.compare(B) != 0;
+  }
+  friend bool operator<(const Val &A, const Val &B) {
+    return A.compare(B) < 0;
+  }
+
+  /// Mixes this value into \p Seed.
+  void hashInto(std::size_t &Seed) const;
+
+  std::string toString() const;
+
+private:
+  Kind K;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  Ptr PtrVal;
+  NodeCell Node;
+  std::shared_ptr<const std::pair<Val, Val>> PairVal;
+};
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::Val> {
+  size_t operator()(const fcsl::Val &V) const {
+    size_t Seed = 0;
+    V.hashInto(Seed);
+    return Seed;
+  }
+};
+} // namespace std
+
+#endif // FCSL_HEAP_VAL_H

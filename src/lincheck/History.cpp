@@ -1,0 +1,24 @@
+//===- lincheck/History.cpp - Concurrent operation histories ---------------===//
+//
+// Part of fcsl-cpp. See History.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/History.h"
+
+using namespace fcsl;
+
+void HistoryRecorder::record(unsigned ThreadIndex, std::string Op, Val Arg,
+                             Val Ret, uint64_t InvokeTime) {
+  uint64_t ReturnTime = Clock.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> Guard(Mutex);
+  History.add(OpRecord{ThreadIndex, std::move(Op), std::move(Arg),
+                       std::move(Ret), InvokeTime, ReturnTime});
+}
+
+ConcurrentHistory HistoryRecorder::take() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  ConcurrentHistory Out = std::move(History);
+  History = ConcurrentHistory();
+  return Out;
+}

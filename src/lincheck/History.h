@@ -1,0 +1,75 @@
+//===- lincheck/History.h - Concurrent operation histories ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recording of concurrent operation histories from the runtime (really
+/// multi-threaded) data structures. The paper gives the snapshot and stack
+/// structures specs "via a PCM of time-stamped histories in the spirit of
+/// linearizability [21]"; the lincheck module closes the loop on the
+/// executable side by validating recorded histories against a sequential
+/// specification with a Wing&Gong-style linearizability checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_LINCHECK_HISTORY_H
+#define FCSL_LINCHECK_HISTORY_H
+
+#include "heap/Val.h"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// One completed operation: its identity, payloads and the global
+/// invocation/response timestamps.
+struct OpRecord {
+  unsigned ThreadIndex = 0;
+  std::string Op; ///< e.g. "push", "pop", "read".
+  Val Arg;
+  Val Ret;
+  uint64_t InvokeTime = 0;
+  uint64_t ReturnTime = 0;
+};
+
+/// A finished concurrent history.
+class ConcurrentHistory {
+public:
+  void add(OpRecord R) { Records.push_back(std::move(R)); }
+  const std::vector<OpRecord> &records() const { return Records; }
+  size_t size() const { return Records.size(); }
+
+private:
+  std::vector<OpRecord> Records;
+};
+
+/// Thread-safe recorder handed to runtime worker threads. Timestamps come
+/// from a single atomic counter, so the real-time partial order of
+/// operations is captured faithfully.
+class HistoryRecorder {
+public:
+  /// Draws an invocation timestamp.
+  uint64_t invoke() { return Clock.fetch_add(1) + 1; }
+
+  /// Records a completed operation (draws the return timestamp).
+  void record(unsigned ThreadIndex, std::string Op, Val Arg, Val Ret,
+              uint64_t InvokeTime);
+
+  /// Takes the accumulated history (call after joining all threads).
+  ConcurrentHistory take();
+
+private:
+  std::atomic<uint64_t> Clock{0};
+  std::mutex Mutex;
+  ConcurrentHistory History;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_LINCHECK_HISTORY_H

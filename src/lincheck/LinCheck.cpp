@@ -1,0 +1,152 @@
+//===- lincheck/LinCheck.cpp - Linearizability checking --------------------===//
+//
+// Part of fcsl-cpp. See LinCheck.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/LinCheck.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace fcsl;
+
+namespace {
+
+/// Search node identity: which ops are already linearized plus the
+/// abstract state reached.
+struct SearchKey {
+  std::vector<bool> Done;
+  Val State;
+
+  friend bool operator==(const SearchKey &A, const SearchKey &B) {
+    return A.Done == B.Done && A.State == B.State;
+  }
+};
+
+struct SearchKeyHash {
+  size_t operator()(const SearchKey &K) const {
+    size_t Seed = 0;
+    hashValue(Seed, K.Done.size());
+    for (bool B : K.Done)
+      hashValue(Seed, B);
+    K.State.hashInto(Seed);
+    return Seed;
+  }
+};
+
+class LinSearcher {
+public:
+  LinSearcher(const ConcurrentHistory &H, const SeqSpec &Spec,
+              uint64_t MaxStates)
+      : Records(H.records()), Spec(Spec), MaxStates(MaxStates) {}
+
+  LinResult run() {
+    LinResult Res;
+    std::vector<bool> Done(Records.size(), false);
+    std::vector<size_t> Order;
+    Res.Linearizable = search(Done, Spec.Initial, Order, Res);
+    if (Res.Linearizable)
+      Res.Witness = std::move(Order);
+    return Res;
+  }
+
+private:
+  bool search(std::vector<bool> &Done, const Val &State,
+              std::vector<size_t> &Order, LinResult &Res) {
+    if (Order.size() == Records.size())
+      return true;
+    if (Res.StatesSearched >= MaxStates)
+      return false; // Bound hit: treated as not linearizable.
+    ++Res.StatesSearched;
+    SearchKey Key{Done, State};
+    if (!Visited.insert(std::move(Key)).second)
+      return false;
+
+    // Minimal return time among unlinearized ops: any candidate must have
+    // invoked before it, or it would contradict real-time order.
+    uint64_t MinReturn = UINT64_MAX;
+    for (size_t I = 0; I < Records.size(); ++I)
+      if (!Done[I])
+        MinReturn = std::min(MinReturn, Records[I].ReturnTime);
+
+    for (size_t I = 0; I < Records.size(); ++I) {
+      if (Done[I] || Records[I].InvokeTime > MinReturn)
+        continue;
+      std::optional<std::pair<Val, Val>> Applied =
+          Spec.Apply(State, Records[I].Op, Records[I].Arg);
+      if (!Applied || Applied->second != Records[I].Ret)
+        continue;
+      Done[I] = true;
+      Order.push_back(I);
+      if (search(Done, Applied->first, Order, Res))
+        return true;
+      Order.pop_back();
+      Done[I] = false;
+    }
+    return false;
+  }
+
+  const std::vector<OpRecord> &Records;
+  const SeqSpec &Spec;
+  uint64_t MaxStates;
+  std::unordered_set<SearchKey, SearchKeyHash> Visited;
+};
+
+} // namespace
+
+LinResult fcsl::checkLinearizable(const ConcurrentHistory &H,
+                                  const SeqSpec &Spec, uint64_t MaxStates) {
+  LinSearcher Searcher(H, Spec, MaxStates);
+  return Searcher.run();
+}
+
+SeqSpec fcsl::stackSeqSpec() {
+  SeqSpec Spec;
+  Spec.Initial = Val::unit(); // Empty stack: the unit value.
+  Spec.Apply = [](const Val &State, const std::string &Op,
+                  const Val &Arg) -> std::optional<std::pair<Val, Val>> {
+    if (Op == "push")
+      return std::make_pair(Val::pair(Arg, State), Val::unit());
+    if (Op == "pop") {
+      if (State.isUnit())
+        return std::make_pair(State, Val::ofInt(0)); // Empty marker.
+      return std::make_pair(State.second(), State.first());
+    }
+    return std::nullopt;
+  };
+  return Spec;
+}
+
+SeqSpec fcsl::pairSnapshotSeqSpec(int64_t InitialX, int64_t InitialY) {
+  SeqSpec Spec;
+  Spec.Initial = Val::pair(Val::ofInt(InitialX), Val::ofInt(InitialY));
+  Spec.Apply = [](const Val &State, const std::string &Op,
+                  const Val &Arg) -> std::optional<std::pair<Val, Val>> {
+    if (Op == "writeX")
+      return std::make_pair(Val::pair(Arg, State.second()), Val::unit());
+    if (Op == "writeY")
+      return std::make_pair(Val::pair(State.first(), Arg), Val::unit());
+    if (Op == "read")
+      return std::make_pair(State, State);
+    return std::nullopt;
+  };
+  return Spec;
+}
+
+SeqSpec fcsl::counterSeqSpec(int64_t Initial) {
+  SeqSpec Spec;
+  Spec.Initial = Val::ofInt(Initial);
+  Spec.Apply = [](const Val &State, const std::string &Op,
+                  const Val &Arg) -> std::optional<std::pair<Val, Val>> {
+    (void)Arg;
+    if (Op == "incr")
+      return std::make_pair(Val::ofInt(State.getInt() + 1), State);
+    if (Op == "read")
+      return std::make_pair(State, State);
+    return std::nullopt;
+  };
+  return Spec;
+}

@@ -1,0 +1,68 @@
+//===- lincheck/LinCheck.h - Linearizability checking -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Wing&Gong-style linearizability checker: searches for a sequential
+/// ordering of a recorded concurrent history that (a) respects the
+/// real-time precedence order and (b) replays correctly against a
+/// sequential specification. Memoizes on (set of linearized operations,
+/// abstract state) to keep the search tractable for the bench-sized
+/// histories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_LINCHECK_LINCHECK_H
+#define FCSL_LINCHECK_LINCHECK_H
+
+#include "lincheck/History.h"
+
+#include <functional>
+#include <optional>
+
+namespace fcsl {
+
+/// A sequential specification over an abstract state encoded as a Val.
+struct SeqSpec {
+  Val Initial;
+  /// Applies operation (Op, Arg) to \p State; returns the new state and
+  /// the specified return value, or std::nullopt if the operation is not
+  /// applicable (the checker then rejects the candidate ordering unless
+  /// the recorded return matches a defined outcome).
+  std::function<std::optional<std::pair<Val, Val>>(
+      const Val &State, const std::string &Op, const Val &Arg)>
+      Apply;
+};
+
+/// Result of a linearizability check.
+struct LinResult {
+  bool Linearizable = false;
+  uint64_t StatesSearched = 0;
+  /// A witness ordering (indices into the history) when linearizable.
+  std::vector<size_t> Witness;
+};
+
+/// Decides whether \p H is linearizable with respect to \p Spec.
+/// \p MaxStates bounds the memoized search.
+LinResult checkLinearizable(const ConcurrentHistory &H, const SeqSpec &Spec,
+                            uint64_t MaxStates = 5000000);
+
+/// The sequential stack spec over cons-list states (push/pop), matching
+/// the Treiber stack runtime: "pop" on the empty stack returns int 0
+/// (the runtime's empty marker), "push v" returns unit.
+SeqSpec stackSeqSpec();
+
+/// Sequential spec of the pair snapshot structure: cells hold integers;
+/// ops are "writeX v" / "writeY v" (return unit) and "read" returning the
+/// pair (x, y).
+SeqSpec pairSnapshotSeqSpec(int64_t InitialX, int64_t InitialY);
+
+/// Sequential spec of a counter with "incr" (returns previous value).
+SeqSpec counterSeqSpec(int64_t Initial);
+
+} // namespace fcsl
+
+#endif // FCSL_LINCHECK_LINCHECK_H

@@ -1,0 +1,98 @@
+//===- pcm/Algebra.h - PCM laws as checkable properties ---------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "theory of PCMs" library, rendered as checkable algebraic
+/// laws. Where the Coq development proves commutativity/associativity/unit
+/// once and for all, we expose the laws as decision procedures over finite
+/// samples of carrier elements; the property-test suites sweep them over
+/// generated elements of every carrier used by the case studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PCM_ALGEBRA_H
+#define FCSL_PCM_ALGEBRA_H
+
+#include "pcm/PCMVal.h"
+
+#include <vector>
+
+namespace fcsl {
+
+/// Outcome of a PCM-law check over a sample of elements.
+struct PCMLawReport {
+  bool CommutativityHolds = true;
+  bool AssociativityHolds = true;
+  bool UnitLawHolds = true;
+  bool UnitValid = true;
+  uint64_t JoinsEvaluated = 0;
+
+  bool allHold() const {
+    return CommutativityHolds && AssociativityHolds && UnitLawHolds &&
+           UnitValid;
+  }
+};
+
+/// Checks the PCM laws for carrier \p T over the element \p Sample:
+///  - a \+ b == b \+ a (including agreement on definedness),
+///  - (a \+ b) \+ c == a \+ (b \+ c) whenever both sides are defined, with
+///    definedness itself associative,
+///  - unit \+ a == a, and the unit is valid.
+inline PCMLawReport checkPCMLaws(const PCMType &T,
+                                 const std::vector<PCMVal> &Sample) {
+  PCMLawReport Report;
+  PCMVal Unit = T.unit();
+  Report.UnitValid = Unit.isValid();
+
+  for (const PCMVal &A : Sample) {
+    std::optional<PCMVal> WithUnit = PCMVal::join(Unit, A);
+    ++Report.JoinsEvaluated;
+    if (!WithUnit || *WithUnit != A)
+      Report.UnitLawHolds = false;
+
+    for (const PCMVal &B : Sample) {
+      std::optional<PCMVal> AB = PCMVal::join(A, B);
+      std::optional<PCMVal> BA = PCMVal::join(B, A);
+      Report.JoinsEvaluated += 2;
+      if (AB.has_value() != BA.has_value() ||
+          (AB.has_value() && *AB != *BA))
+        Report.CommutativityHolds = false;
+
+      for (const PCMVal &C : Sample) {
+        std::optional<PCMVal> Left =
+            AB ? PCMVal::join(*AB, C) : std::nullopt;
+        std::optional<PCMVal> BC = PCMVal::join(B, C);
+        std::optional<PCMVal> Right =
+            BC ? PCMVal::join(A, *BC) : std::nullopt;
+        Report.JoinsEvaluated += 2;
+        if (Left.has_value() != Right.has_value() ||
+            (Left.has_value() && *Left != *Right))
+          Report.AssociativityHolds = false;
+      }
+    }
+  }
+  return Report;
+}
+
+/// Checks cancellativity over the sample: a \+ b == a \+ c (both defined)
+/// implies b == c. All carriers used in the paper are cancellative, which
+/// FCSL's metatheory exploits when splitting self contributions.
+inline bool checkCancellativity(const std::vector<PCMVal> &Sample) {
+  for (const PCMVal &A : Sample)
+    for (const PCMVal &B : Sample)
+      for (const PCMVal &C : Sample) {
+        std::optional<PCMVal> AB = PCMVal::join(A, B);
+        std::optional<PCMVal> AC = PCMVal::join(A, C);
+        if (AB && AC && *AB == *AC && B != C)
+          return false;
+      }
+  return true;
+}
+
+} // namespace fcsl
+
+#endif // FCSL_PCM_ALGEBRA_H

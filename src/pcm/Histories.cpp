@@ -1,0 +1,96 @@
+//===- pcm/Histories.cpp - Time-stamped action histories ------------------===//
+//
+// Part of fcsl-cpp. See Histories.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/Histories.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+const HistEntry *History::tryLookup(uint64_t T) const {
+  auto It = Entries.find(T);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void History::add(uint64_t T, HistEntry E) {
+  assert(T != 0 && "timestamp 0 is reserved");
+  bool Inserted = Entries.emplace(T, std::move(E)).second;
+  assert(Inserted && "duplicate timestamp in history");
+  (void)Inserted;
+}
+
+uint64_t History::lastStamp() const {
+  return Entries.empty() ? 0 : Entries.rbegin()->first;
+}
+
+std::optional<History> History::join(const History &A, const History &B) {
+  const History &Small = A.size() <= B.size() ? A : B;
+  const History &Large = A.size() <= B.size() ? B : A;
+  for (const auto &Entry : Small.Entries)
+    if (Large.contains(Entry.first))
+      return std::nullopt;
+  History Out = Large;
+  for (const auto &Entry : Small.Entries)
+    Out.Entries.emplace(Entry.first, Entry.second);
+  return Out;
+}
+
+bool History::isContinuous() const {
+  uint64_t Expected = 1;
+  const Val *PrevAfter = nullptr;
+  for (const auto &Entry : Entries) {
+    if (Entry.first != Expected)
+      return false;
+    if (PrevAfter && !(*PrevAfter == Entry.second.Before))
+      return false;
+    PrevAfter = &Entry.second.After;
+    ++Expected;
+  }
+  return true;
+}
+
+int History::compare(const History &Other) const {
+  auto AIt = Entries.begin(), AEnd = Entries.end();
+  auto BIt = Other.Entries.begin(), BEnd = Other.Entries.end();
+  for (; AIt != AEnd && BIt != BEnd; ++AIt, ++BIt) {
+    if (AIt->first != BIt->first)
+      return AIt->first < BIt->first ? -1 : 1;
+    if (!(AIt->second == BIt->second))
+      return AIt->second < BIt->second ? -1 : 1;
+  }
+  if (AIt != AEnd)
+    return 1;
+  if (BIt != BEnd)
+    return -1;
+  return 0;
+}
+
+void History::hashInto(std::size_t &Seed) const {
+  hashValue(Seed, Entries.size());
+  for (const auto &Entry : Entries) {
+    hashValue(Seed, Entry.first);
+    Entry.second.Before.hashInto(Seed);
+    Entry.second.After.hashInto(Seed);
+  }
+}
+
+std::string History::toString() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const auto &Entry : Entries) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += formatString("%llu: %s ~> %s",
+                        static_cast<unsigned long long>(Entry.first),
+                        Entry.second.Before.toString().c_str(),
+                        Entry.second.After.toString().c_str());
+  }
+  Out += "]";
+  return Out;
+}

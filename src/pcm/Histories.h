@@ -1,0 +1,91 @@
+//===- pcm/Histories.h - Time-stamped action histories ----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time-stamped action histories, the PCM used by the paper (after Sergey et
+/// al., ESOP'15) to specify the pair snapshot, the Treiber stack and the
+/// producer/consumer clients "in the spirit of linearizability": each entry
+/// t -> (a, a') records that at abstract time t the shared structure's
+/// abstract state changed from a to a'. Histories form a PCM under disjoint
+/// union of their timestamp domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PCM_HISTORIES_H
+#define FCSL_PCM_HISTORIES_H
+
+#include "heap/Val.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fcsl {
+
+/// One history entry: the abstract state before and after the step taken at
+/// some timestamp.
+struct HistEntry {
+  Val Before;
+  Val After;
+
+  friend bool operator==(const HistEntry &A, const HistEntry &B) {
+    return A.Before == B.Before && A.After == B.After;
+  }
+  friend bool operator<(const HistEntry &A, const HistEntry &B) {
+    if (A.Before != B.Before)
+      return A.Before < B.Before;
+    return A.After < B.After;
+  }
+};
+
+/// A time-stamped history: a finite map from timestamps to entries.
+class History {
+public:
+  History() = default;
+
+  bool isEmpty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  bool contains(uint64_t T) const { return Entries.count(T) != 0; }
+  const HistEntry *tryLookup(uint64_t T) const;
+
+  /// Adds entry \p E at timestamp \p T; asserts \p T is fresh and nonzero.
+  void add(uint64_t T, HistEntry E);
+
+  /// Returns the largest timestamp, or 0 for the empty history.
+  uint64_t lastStamp() const;
+
+  /// Disjoint union on timestamps; std::nullopt when stamps overlap.
+  static std::optional<History> join(const History &A, const History &B);
+
+  /// Checks the "continuity" shape used as a coherence invariant: timestamps
+  /// are exactly 1..size() and each entry's Before matches the previous
+  /// entry's After.
+  bool isContinuous() const;
+
+  int compare(const History &Other) const;
+  friend bool operator==(const History &A, const History &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator<(const History &A, const History &B) {
+    return A.compare(B) < 0;
+  }
+
+  void hashInto(std::size_t &Seed) const;
+  std::string toString() const;
+
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+private:
+  std::map<uint64_t, HistEntry> Entries;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_PCM_HISTORIES_H

@@ -1,0 +1,402 @@
+//===- pcm/PCMVal.cpp - Dynamic PCM elements -------------------------------===//
+//
+// Part of fcsl-cpp. See PCMVal.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/PCMVal.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fcsl;
+
+PCMVal PCMVal::ofNat(uint64_t N) {
+  PCMVal V;
+  V.K = PCMKind::Nat;
+  V.Nat = N;
+  return V;
+}
+
+PCMVal PCMVal::mutexOwn() {
+  PCMVal V;
+  V.K = PCMKind::Mutex;
+  V.Own = true;
+  return V;
+}
+
+PCMVal PCMVal::mutexFree() {
+  PCMVal V;
+  V.K = PCMKind::Mutex;
+  V.Own = false;
+  return V;
+}
+
+PCMVal PCMVal::ofPtrSet(std::set<Ptr> S) {
+  PCMVal V;
+  V.K = PCMKind::PtrSet;
+  V.Set = std::move(S);
+  return V;
+}
+
+PCMVal PCMVal::singletonPtr(Ptr P) {
+  assert(!P.isNull() && "null cannot be a set element");
+  return ofPtrSet({P});
+}
+
+PCMVal PCMVal::ofHeap(Heap H) {
+  PCMVal V;
+  V.K = PCMKind::HeapPCM;
+  V.HeapVal = std::move(H);
+  return V;
+}
+
+PCMVal PCMVal::ofHist(History H) {
+  PCMVal V;
+  V.K = PCMKind::Hist;
+  V.Hist = std::move(H);
+  return V;
+}
+
+PCMVal PCMVal::makePair(PCMVal First, PCMVal Second) {
+  PCMVal V;
+  V.K = PCMKind::Pair;
+  V.PairVal = std::make_shared<const std::pair<PCMVal, PCMVal>>(
+      std::move(First), std::move(Second));
+  return V;
+}
+
+PCMVal PCMVal::liftDef(PCMVal Inner) {
+  PCMVal V;
+  V.K = PCMKind::Lift;
+  V.LiftVal = std::make_shared<const PCMVal>(std::move(Inner));
+  return V;
+}
+
+PCMVal PCMVal::liftUndef(PCMTypeRef Inner) {
+  PCMVal V;
+  V.K = PCMKind::Lift;
+  V.LiftInnerType = std::move(Inner);
+  return V;
+}
+
+uint64_t PCMVal::getNat() const {
+  assert(K == PCMKind::Nat && "not a nat element");
+  return Nat;
+}
+
+bool PCMVal::isOwn() const {
+  assert(K == PCMKind::Mutex && "not a mutex element");
+  return Own;
+}
+
+const std::set<Ptr> &PCMVal::getPtrSet() const {
+  assert(K == PCMKind::PtrSet && "not a pointer-set element");
+  return Set;
+}
+
+const Heap &PCMVal::getHeap() const {
+  assert(K == PCMKind::HeapPCM && "not a heap element");
+  return HeapVal;
+}
+
+const History &PCMVal::getHist() const {
+  assert(K == PCMKind::Hist && "not a history element");
+  return Hist;
+}
+
+const PCMVal &PCMVal::first() const {
+  assert(K == PCMKind::Pair && "not a product element");
+  return PairVal->first;
+}
+
+const PCMVal &PCMVal::second() const {
+  assert(K == PCMKind::Pair && "not a product element");
+  return PairVal->second;
+}
+
+bool PCMVal::isLiftUndef() const {
+  assert(K == PCMKind::Lift && "not a lifted element");
+  return LiftVal == nullptr;
+}
+
+const PCMVal &PCMVal::liftInner() const {
+  assert(K == PCMKind::Lift && LiftVal && "not a defined lifted element");
+  return *LiftVal;
+}
+
+std::optional<PCMVal> PCMVal::join(const PCMVal &A, const PCMVal &B) {
+  assert(A.K == B.K && "joining elements of different PCMs");
+  switch (A.K) {
+  case PCMKind::Nat:
+    return ofNat(A.Nat + B.Nat);
+  case PCMKind::Mutex:
+    // Own * Own is undefined: at most one thread holds the lock token.
+    if (A.Own && B.Own)
+      return std::nullopt;
+    return A.Own || B.Own ? mutexOwn() : mutexFree();
+  case PCMKind::PtrSet: {
+    for (Ptr P : A.Set)
+      if (B.Set.count(P))
+        return std::nullopt;
+    std::set<Ptr> Out = A.Set;
+    Out.insert(B.Set.begin(), B.Set.end());
+    return ofPtrSet(std::move(Out));
+  }
+  case PCMKind::HeapPCM: {
+    std::optional<Heap> H = Heap::join(A.HeapVal, B.HeapVal);
+    if (!H)
+      return std::nullopt;
+    return ofHeap(std::move(*H));
+  }
+  case PCMKind::Hist: {
+    std::optional<History> H = History::join(A.Hist, B.Hist);
+    if (!H)
+      return std::nullopt;
+    return ofHist(std::move(*H));
+  }
+  case PCMKind::Pair: {
+    std::optional<PCMVal> First = join(A.first(), B.first());
+    if (!First)
+      return std::nullopt;
+    std::optional<PCMVal> Second = join(A.second(), B.second());
+    if (!Second)
+      return std::nullopt;
+    return makePair(std::move(*First), std::move(*Second));
+  }
+  case PCMKind::Lift: {
+    // The lifted PCM makes join total by absorbing failures into the
+    // explicit undefined element.
+    PCMTypeRef InnerTy =
+        A.LiftInnerType ? A.LiftInnerType : B.LiftInnerType;
+    if (A.isLiftUndef() || B.isLiftUndef())
+      return liftUndef(InnerTy);
+    std::optional<PCMVal> Inner = join(A.liftInner(), B.liftInner());
+    if (!Inner)
+      return liftUndef(InnerTy);
+    return liftDef(std::move(*Inner));
+  }
+  }
+  assert(false && "unknown PCM kind");
+  return std::nullopt;
+}
+
+bool PCMVal::isValid() const {
+  switch (K) {
+  case PCMKind::Pair:
+    return first().isValid() && second().isValid();
+  case PCMKind::Lift:
+    return !isLiftUndef() && liftInner().isValid();
+  default:
+    return true;
+  }
+}
+
+bool PCMVal::isUnitOf(const PCMType &T) const {
+  return T.admits(*this) && *this == T.unit();
+}
+
+int PCMVal::compare(const PCMVal &Other) const {
+  if (K != Other.K)
+    return K < Other.K ? -1 : 1;
+  switch (K) {
+  case PCMKind::Nat:
+    if (Nat != Other.Nat)
+      return Nat < Other.Nat ? -1 : 1;
+    return 0;
+  case PCMKind::Mutex:
+    if (Own != Other.Own)
+      return Own < Other.Own ? -1 : 1;
+    return 0;
+  case PCMKind::PtrSet: {
+    if (Set.size() != Other.Set.size())
+      return Set.size() < Other.Set.size() ? -1 : 1;
+    auto AIt = Set.begin();
+    auto BIt = Other.Set.begin();
+    for (; AIt != Set.end(); ++AIt, ++BIt)
+      if (*AIt != *BIt)
+        return *AIt < *BIt ? -1 : 1;
+    return 0;
+  }
+  case PCMKind::HeapPCM:
+    return HeapVal.compare(Other.HeapVal);
+  case PCMKind::Hist:
+    return Hist.compare(Other.Hist);
+  case PCMKind::Pair: {
+    int First = PairVal->first.compare(Other.PairVal->first);
+    if (First != 0)
+      return First;
+    return PairVal->second.compare(Other.PairVal->second);
+  }
+  case PCMKind::Lift: {
+    bool AUndef = isLiftUndef(), BUndef = Other.isLiftUndef();
+    if (AUndef != BUndef)
+      return AUndef ? -1 : 1;
+    if (AUndef)
+      return 0;
+    return LiftVal->compare(*Other.LiftVal);
+  }
+  }
+  assert(false && "unknown PCM kind");
+  return 0;
+}
+
+void PCMVal::hashInto(std::size_t &Seed) const {
+  hashValue(Seed, static_cast<uint8_t>(K));
+  switch (K) {
+  case PCMKind::Nat:
+    hashValue(Seed, Nat);
+    break;
+  case PCMKind::Mutex:
+    hashValue(Seed, Own);
+    break;
+  case PCMKind::PtrSet:
+    hashValue(Seed, Set.size());
+    for (Ptr P : Set)
+      hashValue(Seed, P.id());
+    break;
+  case PCMKind::HeapPCM:
+    HeapVal.hashInto(Seed);
+    break;
+  case PCMKind::Hist:
+    Hist.hashInto(Seed);
+    break;
+  case PCMKind::Pair:
+    PairVal->first.hashInto(Seed);
+    PairVal->second.hashInto(Seed);
+    break;
+  case PCMKind::Lift:
+    hashValue(Seed, isLiftUndef());
+    if (!isLiftUndef())
+      LiftVal->hashInto(Seed);
+    break;
+  }
+}
+
+namespace {
+
+/// Truncates \p Out to \p Limit elements if a limit is set.
+void clampTo(std::vector<PCMVal> &Out, size_t Limit) {
+  if (Limit != 0 && Out.size() > Limit)
+    Out.resize(Limit);
+}
+
+} // namespace
+
+std::vector<PCMVal> fcsl::enumerateSubElements(const PCMVal &V,
+                                               size_t Limit) {
+  std::vector<PCMVal> Out;
+  switch (V.kind()) {
+  case PCMKind::Nat:
+    for (uint64_t N = 0; N <= V.getNat(); ++N)
+      Out.push_back(PCMVal::ofNat(N));
+    break;
+  case PCMKind::Mutex:
+    Out.push_back(PCMVal::mutexFree());
+    if (V.isOwn())
+      Out.push_back(PCMVal::mutexOwn());
+    break;
+  case PCMKind::PtrSet: {
+    // All subsets; carriers in the case studies keep sets small.
+    std::vector<Ptr> Elems(V.getPtrSet().begin(), V.getPtrSet().end());
+    size_t Count = size_t{1} << std::min<size_t>(Elems.size(), 20);
+    for (size_t Mask = 0; Mask < Count; ++Mask) {
+      std::set<Ptr> Subset;
+      for (size_t I = 0; I < Elems.size(); ++I)
+        if (Mask & (size_t{1} << I))
+          Subset.insert(Elems[I]);
+      Out.push_back(PCMVal::ofPtrSet(std::move(Subset)));
+      if (Limit != 0 && Out.size() >= Limit)
+        break;
+    }
+    break;
+  }
+  case PCMKind::HeapPCM: {
+    std::vector<std::pair<Ptr, Val>> Cells(V.getHeap().begin(),
+                                           V.getHeap().end());
+    size_t Count = size_t{1} << std::min<size_t>(Cells.size(), 20);
+    for (size_t Mask = 0; Mask < Count; ++Mask) {
+      Heap Sub;
+      for (size_t I = 0; I < Cells.size(); ++I)
+        if (Mask & (size_t{1} << I))
+          Sub.insert(Cells[I].first, Cells[I].second);
+      Out.push_back(PCMVal::ofHeap(std::move(Sub)));
+      if (Limit != 0 && Out.size() >= Limit)
+        break;
+    }
+    break;
+  }
+  case PCMKind::Hist: {
+    std::vector<std::pair<uint64_t, HistEntry>> Entries(V.getHist().begin(),
+                                                        V.getHist().end());
+    size_t Count = size_t{1} << std::min<size_t>(Entries.size(), 20);
+    for (size_t Mask = 0; Mask < Count; ++Mask) {
+      History Sub;
+      for (size_t I = 0; I < Entries.size(); ++I)
+        if (Mask & (size_t{1} << I))
+          Sub.add(Entries[I].first, Entries[I].second);
+      Out.push_back(PCMVal::ofHist(std::move(Sub)));
+      if (Limit != 0 && Out.size() >= Limit)
+        break;
+    }
+    break;
+  }
+  case PCMKind::Pair: {
+    std::vector<PCMVal> Firsts = enumerateSubElements(V.first(), Limit);
+    std::vector<PCMVal> Seconds = enumerateSubElements(V.second(), Limit);
+    for (const PCMVal &F : Firsts) {
+      for (const PCMVal &S : Seconds) {
+        Out.push_back(PCMVal::makePair(F, S));
+        if (Limit != 0 && Out.size() >= Limit)
+          break;
+      }
+      if (Limit != 0 && Out.size() >= Limit)
+        break;
+    }
+    break;
+  }
+  case PCMKind::Lift:
+    if (V.isLiftUndef()) {
+      Out.push_back(V);
+    } else {
+      for (PCMVal &Inner : enumerateSubElements(V.liftInner(), Limit))
+        Out.push_back(PCMVal::liftDef(std::move(Inner)));
+    }
+    break;
+  }
+  clampTo(Out, Limit);
+  return Out;
+}
+
+std::string PCMVal::toString() const {
+  switch (K) {
+  case PCMKind::Nat:
+    return formatString("%llu", static_cast<unsigned long long>(Nat));
+  case PCMKind::Mutex:
+    return Own ? "Own" : "NotOwn";
+  case PCMKind::PtrSet: {
+    std::string Out = "{";
+    bool First = true;
+    for (Ptr P : Set) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += P.toString();
+    }
+    return Out + "}";
+  }
+  case PCMKind::HeapPCM:
+    return HeapVal.toString();
+  case PCMKind::Hist:
+    return Hist.toString();
+  case PCMKind::Pair:
+    return "<" + PairVal->first.toString() + " | " +
+           PairVal->second.toString() + ">";
+  case PCMKind::Lift:
+    return isLiftUndef() ? "Undef" : "Def(" + LiftVal->toString() + ")";
+  }
+  assert(false && "unknown PCM kind");
+  return "<?>";
+}

@@ -1,0 +1,116 @@
+//===- pcm/PCMVal.h - Dynamic PCM elements ----------------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged elements of the dynamic PCM framework (see PCMType.h). The paper's
+/// `\+` (the PCM join) is PCMVal::join, which is partial: joining two Own
+/// tokens, overlapping pointer sets, overlapping heaps or overlapping
+/// histories yields std::nullopt. Commutativity, associativity and unit laws
+/// are checked by property tests in tests/pcm_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PCM_PCMVAL_H
+#define FCSL_PCM_PCMVAL_H
+
+#include "heap/Heap.h"
+#include "pcm/Histories.h"
+#include "pcm/PCMType.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace fcsl {
+
+/// One element of a PCM carrier. The kind tag matches a PCMType shape.
+class PCMVal {
+public:
+  /// Constructs the Nat unit (0); use the factories for anything else.
+  PCMVal() : K(PCMKind::Nat) {}
+
+  static PCMVal ofNat(uint64_t N);
+  static PCMVal mutexOwn();
+  static PCMVal mutexFree();
+  static PCMVal ofPtrSet(std::set<Ptr> S);
+  /// The singleton pointer set #x of the paper.
+  static PCMVal singletonPtr(Ptr P);
+  static PCMVal ofHeap(Heap H);
+  static PCMVal ofHist(History H);
+  static PCMVal makePair(PCMVal First, PCMVal Second);
+  static PCMVal liftDef(PCMVal Inner);
+  /// The explicit undefined element of a lifted PCM.
+  static PCMVal liftUndef(PCMTypeRef Inner);
+
+  PCMKind kind() const { return K; }
+
+  uint64_t getNat() const;
+  bool isOwn() const;
+  const std::set<Ptr> &getPtrSet() const;
+  const Heap &getHeap() const;
+  const History &getHist() const;
+  const PCMVal &first() const;
+  const PCMVal &second() const;
+  bool isLiftUndef() const;
+  const PCMVal &liftInner() const;
+
+  /// The PCM join (the paper's \+). Partial: returns std::nullopt on
+  /// incompatible elements. Asserts that kinds agree.
+  static std::optional<PCMVal> join(const PCMVal &A, const PCMVal &B);
+
+  /// Returns true for elements that are valid (everything except the lifted
+  /// undefined element, recursively through pairs).
+  bool isValid() const;
+
+  /// Returns true if this element equals \p T's unit.
+  bool isUnitOf(const PCMType &T) const;
+
+  int compare(const PCMVal &Other) const;
+  friend bool operator==(const PCMVal &A, const PCMVal &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator!=(const PCMVal &A, const PCMVal &B) {
+    return A.compare(B) != 0;
+  }
+  friend bool operator<(const PCMVal &A, const PCMVal &B) {
+    return A.compare(B) < 0;
+  }
+
+  void hashInto(std::size_t &Seed) const;
+  std::string toString() const;
+
+private:
+  PCMKind K;
+  uint64_t Nat = 0;
+  bool Own = false;
+  std::set<Ptr> Set;
+  Heap HeapVal;
+  History Hist;
+  std::shared_ptr<const std::pair<PCMVal, PCMVal>> PairVal;
+  std::shared_ptr<const PCMVal> LiftVal; // null => undefined element
+  PCMTypeRef LiftInnerType;              // set only for lifted undefined
+};
+
+/// Enumerates sub-elements of \p V: elements S for which some R satisfies
+/// S \+ R == V. Used to generate the realignments of the fork-join closure
+/// check and the self-splits of `par`. The result always contains the unit
+/// and \p V itself; at most \p Limit elements are produced (0 = no limit).
+std::vector<PCMVal> enumerateSubElements(const PCMVal &V, size_t Limit = 0);
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::PCMVal> {
+  size_t operator()(const fcsl::PCMVal &V) const {
+    size_t Seed = 0;
+    V.hashInto(Seed);
+    return Seed;
+  }
+};
+} // namespace std
+
+#endif // FCSL_PCM_PCMVAL_H

@@ -1,0 +1,588 @@
+//===- prog/Engine.cpp - Exhaustive interleaving engine --------------------===//
+//
+// Part of fcsl-cpp. See Engine.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Engine.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace fcsl;
+
+namespace {
+
+/// One continuation frame of a thread's control stack.
+struct Frame {
+  enum class Kind : uint8_t {
+    Run,      ///< execute Node under Env.
+    BindCont, ///< awaiting a value; binds Var and runs Rest under Env.
+    HideExit  ///< awaiting the hide body's value; uninstalls Node's spec.
+  };
+
+  Kind K;
+  const Prog *Node = nullptr; // Run: command; HideExit: the Hide node.
+  const Prog *Rest = nullptr; // BindCont continuation.
+  std::string Var;            // BindCont variable ("_" to drop).
+  VarEnv Env;
+
+  friend bool operator==(const Frame &A, const Frame &B) {
+    return A.K == B.K && A.Node == B.Node && A.Rest == B.Rest &&
+           A.Var == B.Var && A.Env == B.Env;
+  }
+
+  void hashInto(size_t &Seed) const {
+    hashValue(Seed, static_cast<uint8_t>(K));
+    hashValue(Seed, reinterpret_cast<uintptr_t>(Node));
+    hashValue(Seed, reinterpret_cast<uintptr_t>(Rest));
+    hashValue(Seed, Var);
+    hashValue(Seed, Env.size());
+    for (const auto &Binding : Env) {
+      hashValue(Seed, Binding.first);
+      Binding.second.hashInto(Seed);
+    }
+  }
+};
+
+Frame runFrame(const Prog *Node, VarEnv Env) {
+  Frame F;
+  F.K = Frame::Kind::Run;
+  F.Node = Node;
+  F.Env = std::move(Env);
+  return F;
+}
+
+/// One thread of the configuration.
+struct ThreadCtx {
+  std::vector<Frame> Stack;
+  bool Waiting = false; ///< suspended on a `par` until children finish.
+  std::optional<Val> Done;
+
+  friend bool operator==(const ThreadCtx &A, const ThreadCtx &B) {
+    return A.Waiting == B.Waiting && A.Done == B.Done && A.Stack == B.Stack;
+  }
+
+  void hashInto(size_t &Seed) const {
+    hashValue(Seed, Waiting);
+    hashValue(Seed, Done.has_value());
+    if (Done)
+      Done->hashInto(Seed);
+    hashValue(Seed, Stack.size());
+    for (const Frame &F : Stack)
+      F.hashInto(Seed);
+  }
+};
+
+/// A whole configuration: instrumented state plus all thread stacks.
+struct Config {
+  GlobalState GS;
+  std::map<ThreadId, ThreadCtx> Threads;
+
+  friend bool operator==(const Config &A, const Config &B) {
+    return A.GS == B.GS && A.Threads == B.Threads;
+  }
+
+  size_t hash() const {
+    size_t Seed = 0;
+    GS.hashInto(Seed);
+    hashValue(Seed, Threads.size());
+    for (const auto &Entry : Threads) {
+      hashValue(Seed, Entry.first);
+      Entry.second.hashInto(Seed);
+    }
+    return Seed;
+  }
+};
+
+struct ConfigHash {
+  size_t operator()(const Config &C) const { return C.hash(); }
+};
+
+struct ConfigEq {
+  bool operator()(const Config &A, const Config &B) const { return A == B; }
+};
+
+/// The exploration driver.
+class Explorer {
+public:
+  Explorer(const EngineOptions &Opts, RunResult &Res)
+      : Opts(Opts), Res(Res) {}
+
+  void run(const ProgRef &Root, const GlobalState &Initial,
+           const VarEnv &InitialEnv) {
+    RootNode = Root.get();
+    Config C0;
+    C0.GS = Initial;
+    ThreadCtx Main;
+    Main.Stack.push_back(runFrame(RootNode, InitialEnv));
+    C0.Threads.emplace(rootThread(), std::move(Main));
+
+    if (!normalize(C0))
+      return;
+    enqueue(std::move(C0), nullptr, "");
+
+    while (!Queue.empty() && Res.Safe) {
+      if (Res.ConfigsExplored >= Opts.MaxConfigs) {
+        Res.Exhausted = true;
+        return;
+      }
+      const Config *C = Queue.front();
+      Queue.pop_front();
+      ++Res.ConfigsExplored;
+      if (!expand(*C))
+        return;
+    }
+  }
+
+  /// Executes one pseudo-random schedule (see fcsl::simulate).
+  SimResult simulateRun(const ProgRef &Root, const GlobalState &Initial,
+                        const VarEnv &InitialEnv, uint64_t Seed,
+                        uint64_t MaxSteps) {
+    SimResult Sim;
+    RootNode = Root.get();
+    Config C;
+    C.GS = Initial;
+    ThreadCtx Main;
+    Main.Stack.push_back(runFrame(RootNode, InitialEnv));
+    C.Threads.emplace(rootThread(), std::move(Main));
+    Rng Random(Seed);
+
+    auto FailOut = [&] {
+      Sim.Safe = false;
+      Sim.FailureNote = Res.FailureNote;
+      return Sim;
+    };
+
+    if (!normalize(C))
+      return FailOut();
+
+    for (Sim.Steps = 0; Sim.Steps < MaxSteps; ++Sim.Steps) {
+      const ThreadCtx &MainCtx = C.Threads.at(rootThread());
+      if (MainCtx.Done) {
+        Sim.Terminated = true;
+        Sim.Result = *MainCtx.Done;
+        Sim.FinalView = C.GS.viewFor(rootThread());
+        return Sim;
+      }
+
+      // One candidate per runnable thread, plus one for the environment.
+      std::vector<ThreadId> Runnable;
+      for (const auto &Entry : C.Threads)
+        if (!Entry.second.Done && !Entry.second.Waiting)
+          Runnable.push_back(Entry.first);
+      bool WithEnv = Opts.EnvInterference && Opts.Ambient;
+      size_t Choices = Runnable.size() + (WithEnv ? 1 : 0);
+      if (Choices == 0)
+        break; // Deadlock: report as non-termination.
+      size_t Pick = static_cast<size_t>(Random.nextBelow(Choices));
+
+      if (Pick < Runnable.size()) {
+        ThreadId T = Runnable[Pick];
+        const Frame &Top = C.Threads.at(T).Stack.back();
+        const AtomicAction &A = *Top.Node->action();
+        std::vector<Val> Args;
+        for (const ExprRef &E : Top.Node->args())
+          Args.push_back(E->eval(Top.Env));
+        View Pre = C.GS.viewFor(T);
+        std::optional<std::vector<ActOutcome>> Outcomes =
+            A.step(Pre, Args);
+        if (!Outcomes) {
+          fail(formatString("action %s is unsafe in the sampled schedule",
+                            A.name().c_str()));
+          return FailOut();
+        }
+        const ActOutcome &O =
+            (*Outcomes)[Random.nextBelow(Outcomes->size())];
+        C.GS.applyThread(T, Pre, O.Post);
+        if (Opts.CheckStepCoherence && Opts.Ambient &&
+            !Opts.Ambient->coherent(C.GS.viewFor(T))) {
+          fail(formatString("action %s broke coherence",
+                            A.name().c_str()));
+          return FailOut();
+        }
+        C.Threads.at(T).Stack.pop_back();
+        if (!deliver(C, T, O.Result) || !normalize(C))
+          return FailOut();
+      } else {
+        // One random environment step (if any is enabled).
+        View EnvView = C.GS.viewForEnv();
+        std::vector<View> Posts;
+        for (const Transition &T : Opts.Ambient->transitions()) {
+          if (!T.isEnvEnabled() || T.name() == "idle")
+            continue;
+          for (const View &Post : T.successors(EnvView))
+            if (Opts.Ambient->coherent(Post))
+              Posts.push_back(Post);
+        }
+        if (!Posts.empty())
+          C.GS.applyEnv(EnvView,
+                        Posts[Random.nextBelow(Posts.size())]);
+      }
+    }
+    return Sim; // Budget exhausted without termination.
+  }
+
+private:
+  /// Delivers \p Value to thread \p T's continuation, unwinding HideExit
+  /// frames. Returns false on an engine-level failure.
+  bool deliver(Config &C, ThreadId T, Val Value) {
+    ThreadCtx &Ctx = C.Threads.at(T);
+    while (true) {
+      if (Ctx.Stack.empty()) {
+        Ctx.Done = std::move(Value);
+        return true;
+      }
+      Frame F = std::move(Ctx.Stack.back());
+      Ctx.Stack.pop_back();
+      switch (F.K) {
+      case Frame::Kind::BindCont: {
+        VarEnv Env = std::move(F.Env);
+        if (F.Var != "_")
+          Env[F.Var] = std::move(Value);
+        Ctx.Stack.push_back(runFrame(F.Rest, std::move(Env)));
+        return true;
+      }
+      case Frame::Kind::HideExit: {
+        // Scoped deinstallation: the hidden joint heap flows back into the
+        // caller's private heap; hidden auxiliary state is discarded
+        // (it was logical-only).
+        const HideSpec &Spec = F.Node->hideSpec();
+        Heap Hidden = C.GS.removeLabel(Spec.Hidden);
+        Heap Mine = C.GS.selfOf(Spec.Pv, T).getHeap();
+        std::optional<Heap> Joined = Heap::join(Mine, Hidden);
+        assert(Joined && "hidden heap clashes with the private heap");
+        C.GS.setSelf(Spec.Pv, T, PCMVal::ofHeap(std::move(*Joined)));
+        continue; // Keep delivering the same value outward.
+      }
+      case Frame::Kind::Run:
+        assert(false && "delivering a value onto a Run frame");
+        return false;
+      }
+    }
+  }
+
+  /// Fails the exploration with a note.
+  bool fail(std::string Note) {
+    Res.Safe = false;
+    Res.FailureNote = std::move(Note);
+    return false;
+  }
+
+  /// Applies administrative steps until every thread is Done, Waiting, or
+  /// stopped at an atomic action. Returns false on failure.
+  bool normalize(Config &C) {
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      // Collect ids first: admin steps add/remove threads.
+      std::vector<ThreadId> Ids;
+      Ids.reserve(C.Threads.size());
+      for (const auto &Entry : C.Threads)
+        Ids.push_back(Entry.first);
+
+      for (ThreadId T : Ids) {
+        auto It = C.Threads.find(T);
+        if (It == C.Threads.end())
+          continue; // Joined away meanwhile.
+        ThreadCtx &Ctx = It->second;
+
+        if (Ctx.Done)
+          continue;
+
+        if (Ctx.Waiting) {
+          auto LeftIt = C.Threads.find(leftChild(T));
+          auto RightIt = C.Threads.find(rightChild(T));
+          assert(LeftIt != C.Threads.end() && RightIt != C.Threads.end() &&
+                 "waiting thread lost its children");
+          if (!LeftIt->second.Done || !RightIt->second.Done)
+            continue;
+          Val Result =
+              Val::pair(*LeftIt->second.Done, *RightIt->second.Done);
+          C.GS.joinChildren(T, leftChild(T), rightChild(T));
+          C.Threads.erase(leftChild(T));
+          C.Threads.erase(rightChild(T));
+          C.Threads.at(T).Waiting = false;
+          if (!deliver(C, T, std::move(Result)))
+            return false;
+          Progress = true;
+          continue;
+        }
+
+        assert(!Ctx.Stack.empty() && "running thread with empty stack");
+        Frame &Top = Ctx.Stack.back();
+        if (Top.K != Frame::Kind::Run)
+          continue; // BindCont/HideExit only surface via deliver.
+        const Prog *Node = Top.Node;
+
+        switch (Node->kind()) {
+        case Prog::Kind::Ret: {
+          Val V = Node->retExpr()->eval(Top.Env);
+          Ctx.Stack.pop_back();
+          if (!deliver(C, T, std::move(V)))
+            return false;
+          Progress = true;
+          break;
+        }
+        case Prog::Kind::Act:
+          break; // Scheduling point; handled by expand().
+        case Prog::Kind::Bind: {
+          Frame Cont;
+          Cont.K = Frame::Kind::BindCont;
+          Cont.Var = Node->bindVar();
+          Cont.Rest = Node->rest().get();
+          Cont.Env = Top.Env;
+          const Prog *First = Node->first().get();
+          VarEnv Env = std::move(Top.Env);
+          Ctx.Stack.pop_back();
+          Ctx.Stack.push_back(std::move(Cont));
+          Ctx.Stack.push_back(runFrame(First, std::move(Env)));
+          Progress = true;
+          break;
+        }
+        case Prog::Kind::If: {
+          bool Taken = Node->cond()->eval(Top.Env).getBool();
+          const Prog *Branch =
+              (Taken ? Node->thenProg() : Node->elseProg()).get();
+          VarEnv Env = std::move(Top.Env);
+          Ctx.Stack.pop_back();
+          Ctx.Stack.push_back(runFrame(Branch, std::move(Env)));
+          Progress = true;
+          break;
+        }
+        case Prog::Kind::Call: {
+          assert(Opts.Defs && "call without a definition table");
+          const FuncDef &Def = Opts.Defs->lookup(Node->callee());
+          assert(Def.Params.size() == Node->args().size() &&
+                 "call arity mismatch");
+          VarEnv CalleeEnv;
+          for (size_t I = 0, N = Def.Params.size(); I != N; ++I)
+            CalleeEnv[Def.Params[I]] = Node->args()[I]->eval(Top.Env);
+          Ctx.Stack.pop_back();
+          Ctx.Stack.push_back(runFrame(Def.Body.get(),
+                                       std::move(CalleeEnv)));
+          Progress = true;
+          break;
+        }
+        case Prog::Kind::Par: {
+          const Prog *Left = Node->left().get();
+          const Prog *Right = Node->right().get();
+          std::map<Label, std::pair<PCMVal, PCMVal>> Splits;
+          if (const SplitFn &Split = Node->split())
+            Splits = Split(C.GS.viewFor(T));
+          VarEnv Env = std::move(Top.Env);
+          Ctx.Stack.pop_back();
+          Ctx.Waiting = true;
+          C.GS.fork(T, leftChild(T), rightChild(T), Splits);
+          ThreadCtx L, R;
+          L.Stack.push_back(runFrame(Left, Env));
+          R.Stack.push_back(runFrame(Right, std::move(Env)));
+          C.Threads.emplace(leftChild(T), std::move(L));
+          C.Threads.emplace(rightChild(T), std::move(R));
+          Progress = true;
+          break;
+        }
+        case Prog::Kind::Hide: {
+          const HideSpec &Spec = Node->hideSpec();
+          View Pre = C.GS.viewFor(T);
+          const Heap &Mine = Pre.self(Spec.Pv).getHeap();
+          std::optional<Heap> Donation = Spec.ChooseDonation(Mine);
+          if (!Donation)
+            return fail(formatString(
+                "hide: the private heap does not satisfy the decoration "
+                "predicate (thread %llu)",
+                static_cast<unsigned long long>(T)));
+          std::optional<PCMVal> Rest = pcmSubtract(
+              PCMVal::ofHeap(Mine), PCMVal::ofHeap(*Donation));
+          if (!Rest)
+            return fail("hide: decoration selected cells outside the "
+                        "private heap");
+          C.GS.setSelf(Spec.Pv, T, std::move(*Rest));
+          C.GS.addLabel(Spec.Hidden, Spec.SelfType, std::move(*Donation),
+                        Spec.SelfType->unit(), /*EnvClosed=*/true);
+          C.GS.setSelf(Spec.Hidden, T, Spec.InitSelf);
+          if (Spec.Installed &&
+              !Spec.Installed->coherent(C.GS.viewFor(T)))
+            return fail("hide: the decorated donation does not establish "
+                        "the installed concurroid's coherence");
+          const Prog *Body = Node->body().get();
+          VarEnv Env = std::move(Top.Env);
+          Ctx.Stack.pop_back();
+          Frame Exit;
+          Exit.K = Frame::Kind::HideExit;
+          Exit.Node = Node;
+          Ctx.Stack.push_back(std::move(Exit));
+          Ctx.Stack.push_back(runFrame(Body, std::move(Env)));
+          Progress = true;
+          break;
+        }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Records a terminal configuration.
+  void recordTerminal(const Config &C) {
+    const ThreadCtx &Main = C.Threads.at(rootThread());
+    Terminal Term{*Main.Done, C.GS.viewFor(rootThread())};
+    if (SeenTerminals.insert(Term).second)
+      Res.Terminals.push_back(std::move(Term));
+  }
+
+  void enqueue(Config C, const Config *Parent, std::string Step) {
+    auto [It, Inserted] = Visited.insert(std::move(C));
+    if (!Inserted) {
+      ++Res.DedupHits;
+      return;
+    }
+    const Config *Canonical = &*It;
+    Provenance.emplace(Canonical,
+                       std::make_pair(Parent, std::move(Step)));
+    Queue.push_back(Canonical);
+  }
+
+  /// Reconstructs the schedule reaching \p C (plus the failing step) into
+  /// the result's FailureTrace.
+  void buildTrace(const Config *C, std::string FailingStep) {
+    std::vector<std::string> Steps;
+    if (!FailingStep.empty())
+      Steps.push_back(std::move(FailingStep));
+    for (const Config *Cur = C; Cur;) {
+      auto It = Provenance.find(Cur);
+      if (It == Provenance.end())
+        break;
+      if (!It->second.second.empty())
+        Steps.push_back(It->second.second);
+      Cur = It->second.first;
+    }
+    Res.FailureTrace.assign(Steps.rbegin(), Steps.rend());
+  }
+
+  /// Generates all successors of a normalized configuration.
+  bool expand(const Config &C) {
+    const ThreadCtx &Main = C.Threads.at(rootThread());
+    if (Main.Done) {
+      recordTerminal(C);
+      return true;
+    }
+
+    // Thread action steps.
+    for (const auto &Entry : C.Threads) {
+      ThreadId T = Entry.first;
+      const ThreadCtx &Ctx = Entry.second;
+      if (Ctx.Done || Ctx.Waiting)
+        continue;
+      assert(!Ctx.Stack.empty());
+      const Frame &Top = Ctx.Stack.back();
+      assert(Top.K == Frame::Kind::Run &&
+             Top.Node->kind() == Prog::Kind::Act &&
+             "normalized thread must sit at an atomic action");
+      const AtomicAction &A = *Top.Node->action();
+      std::vector<Val> Args;
+      Args.reserve(Top.Node->args().size());
+      for (const ExprRef &E : Top.Node->args())
+        Args.push_back(E->eval(Top.Env));
+      std::string ArgText;
+      for (size_t I = 0, N = Args.size(); I != N; ++I)
+        ArgText += (I ? ", " : "") + Args[I].toString();
+
+      View Pre = C.GS.viewFor(T);
+      std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
+      if (!Outcomes) {
+        buildTrace(&C, formatString("thread %llu: %s(%s)  <-- UNSAFE",
+                                    static_cast<unsigned long long>(T),
+                                    A.name().c_str(), ArgText.c_str()));
+        return fail(formatString(
+            "action %s is unsafe in the reached state (thread %llu):\n%s",
+            A.name().c_str(), static_cast<unsigned long long>(T),
+            Pre.toString().c_str()));
+      }
+
+      for (const ActOutcome &O : *Outcomes) {
+        ++Res.ActionSteps;
+        std::string Step = formatString(
+            "thread %llu: %s(%s) -> %s",
+            static_cast<unsigned long long>(T), A.name().c_str(),
+            ArgText.c_str(), O.Result.toString().c_str());
+        Config Next = C;
+        Next.GS.applyThread(T, Pre, O.Post);
+        if (Opts.CheckStepCoherence && Opts.Ambient &&
+            !Opts.Ambient->coherent(Next.GS.viewFor(T))) {
+          buildTrace(&C, Step + "  <-- BREAKS COHERENCE");
+          return fail(formatString(
+              "action %s broke coherence of %s", A.name().c_str(),
+              Opts.Ambient->name().c_str()));
+        }
+        Next.Threads.at(T).Stack.pop_back();
+        if (!deliver(Next, T, O.Result))
+          return false;
+        if (!normalize(Next)) {
+          buildTrace(&C, Step + "  <-- FAILS DURING UNWINDING");
+          return false;
+        }
+        enqueue(std::move(Next), &C, std::move(Step));
+      }
+    }
+
+    // Environment interference steps.
+    if (Opts.EnvInterference && Opts.Ambient) {
+      View EnvView = C.GS.viewForEnv();
+      for (const Transition &T : Opts.Ambient->transitions()) {
+        if (!T.isEnvEnabled() || T.name() == "idle")
+          continue;
+        for (const View &Post : T.successors(EnvView)) {
+          if (!Opts.Ambient->coherent(Post))
+            continue;
+          ++Res.EnvSteps;
+          Config Next = C;
+          Next.GS.applyEnv(EnvView, Post);
+          enqueue(std::move(Next), &C, "env: " + T.name());
+        }
+      }
+    }
+    return true;
+  }
+
+  const EngineOptions &Opts;
+  RunResult &Res;
+  const Prog *RootNode = nullptr;
+  std::deque<const Config *> Queue;
+  std::unordered_set<Config, ConfigHash, ConfigEq> Visited;
+  std::unordered_map<const Config *,
+                     std::pair<const Config *, std::string>>
+      Provenance;
+  std::set<Terminal> SeenTerminals;
+};
+
+} // namespace
+
+std::string RunResult::renderTrace() const {
+  std::string Out;
+  for (size_t I = 0, N = FailureTrace.size(); I != N; ++I)
+    Out += formatString("  %2zu. %s\n", I + 1, FailureTrace[I].c_str());
+  return Out;
+}
+
+RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
+                        const EngineOptions &Opts, const VarEnv &InitialEnv) {
+  assert(Root && "explore needs a program");
+  RunResult Res;
+  Explorer E(Opts, Res);
+  E.run(Root, Initial, InitialEnv);
+  return Res;
+}
+
+SimResult fcsl::simulate(const ProgRef &Root, const GlobalState &Initial,
+                         const EngineOptions &Opts, uint64_t Seed,
+                         uint64_t MaxSteps, const VarEnv &InitialEnv) {
+  assert(Root && "simulate needs a program");
+  RunResult Res;
+  Explorer E(Opts, Res);
+  return E.simulateRun(Root, Initial, InitialEnv, Seed, MaxSteps);
+}

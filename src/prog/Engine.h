@@ -1,0 +1,111 @@
+//===- prog/Engine.h - Exhaustive interleaving engine -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational counterpart of the paper's denotational action-tree
+/// semantics (Section 5.1, after Brookes): an explicit-state exploration of
+/// every interleaving of a program's atomic actions with each other and
+/// with environment interference drawn from the ambient concurroid's
+/// transitions.
+///
+/// Administrative steps (bind, conditionals, calls, fork/join bookkeeping,
+/// and the operationally-no-op hide) are performed eagerly — only atomic
+/// actions and environment transitions are scheduling points, which is
+/// sound because administrative steps commute with every other thread's
+/// steps. Revisited configurations are pruned; since `STsep` specs are
+/// partial correctness, cutting cycles (e.g. spin loops) loses no
+/// terminating behaviours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PROG_ENGINE_H
+#define FCSL_PROG_ENGINE_H
+
+#include "prog/Prog.h"
+#include "state/GlobalState.h"
+
+namespace fcsl {
+
+/// Exploration parameters.
+struct EngineOptions {
+  /// The ambient concurroid: source of coherence checking and of
+  /// environment interference.
+  ConcurroidRef Ambient;
+  /// Interleave environment transitions (open-world). Under a top-level
+  /// `hide`, turn off for closed-world runs.
+  bool EnvInterference = true;
+  /// Hard bound on distinct configurations (guards against blow-up).
+  uint64_t MaxConfigs = 1u << 22;
+  /// Program definitions for `call`.
+  const DefTable *Defs = nullptr;
+  /// Re-check coherence after every action step (catches buggy actions).
+  bool CheckStepCoherence = true;
+};
+
+/// A terminal execution: the program's result and final state.
+struct Terminal {
+  Val Result;
+  View FinalView; ///< the root thread's final subjective view.
+
+  friend bool operator<(const Terminal &A, const Terminal &B) {
+    if (A.Result != B.Result)
+      return A.Result < B.Result;
+    return A.FinalView < B.FinalView;
+  }
+};
+
+/// The outcome of an exploration.
+struct RunResult {
+  bool Safe = true;       ///< no action was applied outside its safe states.
+  bool Exhausted = false; ///< MaxConfigs was hit: exploration incomplete.
+  std::string FailureNote;
+  /// The schedule leading to the failure: one human-readable line per
+  /// scheduling decision ("thread 2: trymark -> true", "env: ...").
+  /// Empty unless a safety violation occurred.
+  std::vector<std::string> FailureTrace;
+  std::vector<Terminal> Terminals; ///< deduplicated terminal executions.
+  uint64_t ConfigsExplored = 0;
+  uint64_t ActionSteps = 0;
+  uint64_t EnvSteps = 0;
+  uint64_t DedupHits = 0;
+
+  bool complete() const { return Safe && !Exhausted; }
+  /// Renders the failure trace, one step per line.
+  std::string renderTrace() const;
+};
+
+/// Explores every interleaving of \p Root from \p Initial. The root
+/// program runs as thread 1; its variable environment starts from
+/// \p InitialEnv (handy for parameterizing a spec's logical variables).
+RunResult explore(const ProgRef &Root, const GlobalState &Initial,
+                  const EngineOptions &Opts, const VarEnv &InitialEnv = {});
+
+/// Outcome of a single simulated schedule.
+struct SimResult {
+  bool Safe = true;
+  bool Terminated = false; ///< false: step budget exhausted (livelock?).
+  std::string FailureNote;
+  Val Result;
+  View FinalView;
+  uint64_t Steps = 0;
+};
+
+/// Executes ONE schedule of \p Root, choosing the next thread (or
+/// environment) step pseudo-randomly from \p Seed. This is the
+/// reproduction's stand-in for the paper's future-work "program
+/// extraction": the same verified model program runs at scales the
+/// exhaustive explorer cannot reach, as a randomized test. The engine
+/// invariants (action safety, per-step coherence) are still enforced on
+/// the sampled path. \p MaxSteps bounds the walk.
+SimResult simulate(const ProgRef &Root, const GlobalState &Initial,
+                   const EngineOptions &Opts, uint64_t Seed,
+                   uint64_t MaxSteps = 1u << 20,
+                   const VarEnv &InitialEnv = {});
+
+} // namespace fcsl
+
+#endif // FCSL_PROG_ENGINE_H

@@ -1,0 +1,118 @@
+//===- prog/Expr.cpp - Pure expressions of the embedded language ----------===//
+//
+// Part of fcsl-cpp. See Expr.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Expr.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+std::shared_ptr<Expr> Expr::makeNode(Kind K) {
+  return std::shared_ptr<Expr>(new Expr(K));
+}
+
+ExprRef Expr::lit(Val V) {
+  auto E = makeNode(Kind::Lit);
+  E->Literal = std::move(V);
+  return E;
+}
+
+ExprRef Expr::var(std::string Name) {
+  auto E = makeNode(Kind::Var);
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprRef Expr::makeUnary(Kind K, ExprRef A) {
+  assert(A && "unary expression needs an operand");
+  auto E = makeNode(K);
+  E->A = std::move(A);
+  return E;
+}
+
+ExprRef Expr::makeBinary(Kind K, ExprRef A, ExprRef B) {
+  assert(A && B && "binary expression needs two operands");
+  auto E = makeNode(K);
+  E->A = std::move(A);
+  E->B = std::move(B);
+  return E;
+}
+
+ExprRef Expr::fst(ExprRef E) { return makeUnary(Kind::Fst, std::move(E)); }
+ExprRef Expr::snd(ExprRef E) { return makeUnary(Kind::Snd, std::move(E)); }
+ExprRef Expr::notE(ExprRef E) { return makeUnary(Kind::Not, std::move(E)); }
+ExprRef Expr::isNull(ExprRef E) {
+  return makeUnary(Kind::IsNull, std::move(E));
+}
+ExprRef Expr::eq(ExprRef A, ExprRef B) {
+  return makeBinary(Kind::Eq, std::move(A), std::move(B));
+}
+ExprRef Expr::mkPair(ExprRef A, ExprRef B) {
+  return makeBinary(Kind::MkPair, std::move(A), std::move(B));
+}
+ExprRef Expr::add(ExprRef A, ExprRef B) {
+  return makeBinary(Kind::Add, std::move(A), std::move(B));
+}
+ExprRef Expr::lt(ExprRef A, ExprRef B) {
+  return makeBinary(Kind::Lt, std::move(A), std::move(B));
+}
+
+Val Expr::eval(const VarEnv &Env) const {
+  switch (K) {
+  case Kind::Lit:
+    return Literal;
+  case Kind::Var: {
+    auto It = Env.find(Name);
+    assert(It != Env.end() && "unbound variable in embedded program");
+    return It->second;
+  }
+  case Kind::Fst:
+    return A->eval(Env).first();
+  case Kind::Snd:
+    return A->eval(Env).second();
+  case Kind::Not:
+    return Val::ofBool(!A->eval(Env).getBool());
+  case Kind::Eq:
+    return Val::ofBool(A->eval(Env) == B->eval(Env));
+  case Kind::IsNull:
+    return Val::ofBool(A->eval(Env).getPtr().isNull());
+  case Kind::MkPair:
+    return Val::pair(A->eval(Env), B->eval(Env));
+  case Kind::Add:
+    return Val::ofInt(A->eval(Env).getInt() + B->eval(Env).getInt());
+  case Kind::Lt:
+    return Val::ofBool(A->eval(Env).getInt() < B->eval(Env).getInt());
+  }
+  assert(false && "unknown expression kind");
+  return Val();
+}
+
+std::string Expr::toString() const {
+  switch (K) {
+  case Kind::Lit:
+    return Literal.toString();
+  case Kind::Var:
+    return Name;
+  case Kind::Fst:
+    return A->toString() + ".1";
+  case Kind::Snd:
+    return A->toString() + ".2";
+  case Kind::Not:
+    return "~~" + A->toString();
+  case Kind::Eq:
+    return "(" + A->toString() + " == " + B->toString() + ")";
+  case Kind::IsNull:
+    return "(" + A->toString() + " == null)";
+  case Kind::MkPair:
+    return "(" + A->toString() + ", " + B->toString() + ")";
+  case Kind::Add:
+    return "(" + A->toString() + " + " + B->toString() + ")";
+  case Kind::Lt:
+    return "(" + A->toString() + " < " + B->toString() + ")";
+  }
+  assert(false && "unknown expression kind");
+  return "<?>";
+}

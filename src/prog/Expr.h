@@ -1,0 +1,92 @@
+//===- prog/Expr.h - Pure expressions of the embedded language --*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure (state-free) expressions of the embedded programming fragment. In
+/// the paper the host language Coq supplies the pure fragment for free;
+/// here we embed a small expression language with variables bound by the
+/// monadic `bind` of the command layer. Expressions are shared immutable
+/// AST nodes, so engine configurations can be hashed by node identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PROG_EXPR_H
+#define FCSL_PROG_EXPR_H
+
+#include "heap/Val.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// A variable environment: bind-introduced names to values.
+using VarEnv = std::map<std::string, Val>;
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// A pure expression.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Lit,    ///< A constant value.
+    Var,    ///< A bound variable.
+    Fst,    ///< First projection of a pair.
+    Snd,    ///< Second projection of a pair.
+    Not,    ///< Boolean negation.
+    Eq,     ///< Structural equality (yields Bool).
+    IsNull, ///< Pointer null test.
+    MkPair, ///< Pair constructor.
+    Add,    ///< Integer addition.
+    Lt      ///< Integer comparison.
+  };
+
+  static ExprRef lit(Val V);
+  static ExprRef unit() { return lit(Val::unit()); }
+  static ExprRef litInt(int64_t I) { return lit(Val::ofInt(I)); }
+  static ExprRef litBool(bool B) { return lit(Val::ofBool(B)); }
+  static ExprRef litPtr(Ptr P) { return lit(Val::ofPtr(P)); }
+  static ExprRef var(std::string Name);
+  static ExprRef fst(ExprRef E);
+  static ExprRef snd(ExprRef E);
+  static ExprRef notE(ExprRef E);
+  static ExprRef eq(ExprRef A, ExprRef B);
+  static ExprRef isNull(ExprRef E);
+  static ExprRef mkPair(ExprRef A, ExprRef B);
+  static ExprRef add(ExprRef A, ExprRef B);
+  static ExprRef lt(ExprRef A, ExprRef B);
+
+  Kind kind() const { return K; }
+
+  /// Evaluates under \p Env; asserts on unbound variables and kind errors
+  /// (the embedded programs are written by this library's case studies, so
+  /// such errors are programming bugs, not verification failures).
+  Val eval(const VarEnv &Env) const;
+
+  /// Pretty-prints the expression.
+  std::string toString() const;
+
+private:
+  explicit Expr(Kind K) : K(K) {}
+
+  static std::shared_ptr<Expr> makeNode(Kind K);
+  static ExprRef makeUnary(Kind K, ExprRef A);
+  static ExprRef makeBinary(Kind K, ExprRef A, ExprRef B);
+
+  Kind K;
+  Val Literal;
+  std::string Name;
+  ExprRef A;
+  ExprRef B;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_PROG_EXPR_H

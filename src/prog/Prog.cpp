@@ -1,0 +1,196 @@
+//===- prog/Prog.cpp - The FCSL command language ---------------------------===//
+//
+// Part of fcsl-cpp. See Prog.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Prog.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+void DefTable::define(std::string Name, FuncDef Def) {
+  assert(Def.Body && "definition needs a body");
+  Defs[std::move(Name)] = std::move(Def);
+}
+
+const FuncDef &DefTable::lookup(const std::string &Name) const {
+  auto It = Defs.find(Name);
+  assert(It != Defs.end() && "call to an undefined program");
+  return It->second;
+}
+
+bool DefTable::contains(const std::string &Name) const {
+  return Defs.count(Name) != 0;
+}
+
+std::shared_ptr<Prog> Prog::makeNode(Kind K) {
+  return std::shared_ptr<Prog>(new Prog(K));
+}
+
+ProgRef Prog::ret(ExprRef E) {
+  assert(E && "ret needs an expression");
+  auto P = makeNode(Kind::Ret);
+  P->E = std::move(E);
+  return P;
+}
+
+ProgRef Prog::act(ActionRef A, std::vector<ExprRef> Args) {
+  assert(A && "act needs an action");
+  assert(A->arity() == Args.size() && "action arity mismatch");
+  auto P = makeNode(Kind::Act);
+  P->A = std::move(A);
+  P->Args = std::move(Args);
+  return P;
+}
+
+ProgRef Prog::bind(ProgRef First, std::string Var, ProgRef Rest) {
+  assert(First && Rest && "bind needs two commands");
+  auto P = makeNode(Kind::Bind);
+  P->P1 = std::move(First);
+  P->Name = std::move(Var);
+  P->P2 = std::move(Rest);
+  return P;
+}
+
+ProgRef Prog::seq(ProgRef First, ProgRef Rest) {
+  return bind(std::move(First), "_", std::move(Rest));
+}
+
+ProgRef Prog::ifThenElse(ExprRef Cond, ProgRef Then, ProgRef Else) {
+  assert(Cond && Then && Else && "if needs a condition and two branches");
+  auto P = makeNode(Kind::If);
+  P->E = std::move(Cond);
+  P->P1 = std::move(Then);
+  P->P2 = std::move(Else);
+  return P;
+}
+
+ProgRef Prog::par(ProgRef Left, ProgRef Right, SplitFn Split) {
+  assert(Left && Right && "par needs two commands");
+  auto P = makeNode(Kind::Par);
+  P->P1 = std::move(Left);
+  P->P2 = std::move(Right);
+  P->Split = std::move(Split);
+  return P;
+}
+
+ProgRef Prog::call(std::string Fn, std::vector<ExprRef> Args) {
+  auto P = makeNode(Kind::Call);
+  P->Name = std::move(Fn);
+  P->Args = std::move(Args);
+  return P;
+}
+
+ProgRef Prog::hide(HideSpec Spec, ProgRef Body) {
+  assert(Body && "hide needs a body");
+  assert(Spec.SelfType && Spec.ChooseDonation && "incomplete hide spec");
+  auto P = makeNode(Kind::Hide);
+  P->Spec = std::move(Spec);
+  P->P1 = std::move(Body);
+  return P;
+}
+
+const ExprRef &Prog::retExpr() const {
+  assert(K == Kind::Ret && "not a ret");
+  return E;
+}
+const ActionRef &Prog::action() const {
+  assert(K == Kind::Act && "not an action invocation");
+  return A;
+}
+const std::vector<ExprRef> &Prog::args() const {
+  assert((K == Kind::Act || K == Kind::Call) && "no arguments here");
+  return Args;
+}
+const ProgRef &Prog::first() const {
+  assert(K == Kind::Bind && "not a bind");
+  return P1;
+}
+const std::string &Prog::bindVar() const {
+  assert(K == Kind::Bind && "not a bind");
+  return Name;
+}
+const ProgRef &Prog::rest() const {
+  assert(K == Kind::Bind && "not a bind");
+  return P2;
+}
+const ExprRef &Prog::cond() const {
+  assert(K == Kind::If && "not a conditional");
+  return E;
+}
+const ProgRef &Prog::thenProg() const {
+  assert(K == Kind::If && "not a conditional");
+  return P1;
+}
+const ProgRef &Prog::elseProg() const {
+  assert(K == Kind::If && "not a conditional");
+  return P2;
+}
+const ProgRef &Prog::left() const {
+  assert(K == Kind::Par && "not a parallel composition");
+  return P1;
+}
+const ProgRef &Prog::right() const {
+  assert(K == Kind::Par && "not a parallel composition");
+  return P2;
+}
+const SplitFn &Prog::split() const {
+  assert(K == Kind::Par && "not a parallel composition");
+  return Split;
+}
+const std::string &Prog::callee() const {
+  assert(K == Kind::Call && "not a call");
+  return Name;
+}
+const HideSpec &Prog::hideSpec() const {
+  assert(K == Kind::Hide && "not a hide");
+  return Spec;
+}
+const ProgRef &Prog::body() const {
+  assert(K == Kind::Hide && "not a hide");
+  return P1;
+}
+
+std::string Prog::toString(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  switch (K) {
+  case Kind::Ret:
+    return Pad + "ret " + E->toString();
+  case Kind::Act: {
+    std::string Out = Pad + A->name() + "(";
+    for (size_t I = 0, N = Args.size(); I != N; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I]->toString();
+    }
+    return Out + ")";
+  }
+  case Kind::Bind:
+    if (Name == "_")
+      return P1->toString(Indent) + ";;\n" + P2->toString(Indent);
+    return Pad + Name + " <-- \n" + P1->toString(Indent + 2) + ";\n" +
+           P2->toString(Indent);
+  case Kind::If:
+    return Pad + "if " + E->toString() + " then\n" +
+           P1->toString(Indent + 2) + "\n" + Pad + "else\n" +
+           P2->toString(Indent + 2);
+  case Kind::Par:
+    return Pad + "par(\n" + P1->toString(Indent + 2) + "\n" + Pad + "||\n" +
+           P2->toString(Indent + 2) + "\n" + Pad + ")";
+  case Kind::Call: {
+    std::string Out = Pad + Name + "(";
+    for (size_t I = 0, N = Args.size(); I != N; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I]->toString();
+    }
+    return Out + ")";
+  }
+  case Kind::Hide:
+    return Pad + "hide {\n" + P1->toString(Indent + 2) + "\n" + Pad + "}";
+  }
+  assert(false && "unknown command kind");
+  return "<?>";
+}

@@ -1,0 +1,128 @@
+//===- prog/Prog.h - The FCSL command language ------------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The monadic command layer of the embedded language, mirroring the
+/// combinators of the paper's Figure 3: `ret`, atomic-action invocation,
+/// monadic bind (`x <-- e1; e2`), conditionals, parallel composition
+/// (`par`, with an explicit subjective split of the self contribution),
+/// general recursion (`ffix`, realized as calls into a definition table),
+/// and scoped concurroid installation (`hide`, Section 3.5).
+///
+/// Programs are immutable shared ASTs. Recursive calls re-enter the same
+/// nodes, which lets the interleaving engine detect cycles (spin loops) by
+/// configuration equality — the operational counterpart of the paper's
+/// partial-correctness (STsep) reading of specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_PROG_PROG_H
+#define FCSL_PROG_PROG_H
+
+#include "action/AtomicAction.h"
+#include "prog/Expr.h"
+
+namespace fcsl {
+
+class Prog;
+using ProgRef = std::shared_ptr<const Prog>;
+
+/// How `par` distributes the parent's self contribution between children:
+/// given the parent's view, returns per-label (left, right) splits; labels
+/// not mentioned give everything to the left child. The split must
+/// recombine to the parent's contribution (checked by the engine).
+using SplitFn = std::function<std::map<Label, std::pair<PCMVal, PCMVal>>(
+    const View &)>;
+
+/// The static data of a `hide` block (the paper's decoration \Phi and
+/// initial auxiliary value, Section 3.5).
+struct HideSpec {
+  Label Pv = 0;          ///< Priv label donating the heap.
+  Label Hidden = 0;      ///< label at which the concurroid is installed.
+  PCMTypeRef SelfType;   ///< carrier of the hidden self component.
+  ConcurroidRef Installed; ///< protocol governing the hidden label.
+  /// The decoration: picks the sub-heap of the caller's private heap to
+  /// donate as the hidden joint state. Returning std::nullopt means the
+  /// private heap does not satisfy the decoration (a verification failure).
+  std::function<std::optional<Heap>(const Heap &)> ChooseDonation;
+  PCMVal InitSelf;       ///< initial self value (the paper's \;).
+};
+
+/// A named, parameterized program definition (the paper's ffix bodies).
+struct FuncDef {
+  std::vector<std::string> Params;
+  ProgRef Body;
+};
+
+/// The table of program definitions; `call` resolves here. Recursion is
+/// simply a call to the enclosing definition.
+class DefTable {
+public:
+  void define(std::string Name, FuncDef Def);
+  const FuncDef &lookup(const std::string &Name) const;
+  bool contains(const std::string &Name) const;
+
+private:
+  std::map<std::string, FuncDef> Defs;
+};
+
+/// A command of the embedded language.
+class Prog {
+public:
+  enum class Kind : uint8_t { Ret, Act, Bind, If, Par, Call, Hide };
+
+  static ProgRef ret(ExprRef E);
+  static ProgRef retUnit() { return ret(Expr::unit()); }
+  static ProgRef act(ActionRef A, std::vector<ExprRef> Args);
+  /// x <-- First; Rest (Var may be "_" for sequencing).
+  static ProgRef bind(ProgRef First, std::string Var, ProgRef Rest);
+  static ProgRef seq(ProgRef First, ProgRef Rest);
+  static ProgRef ifThenElse(ExprRef Cond, ProgRef Then, ProgRef Else);
+  static ProgRef par(ProgRef Left, ProgRef Right, SplitFn Split = nullptr);
+  static ProgRef call(std::string Fn, std::vector<ExprRef> Args);
+  static ProgRef hide(HideSpec Spec, ProgRef Body);
+
+  Kind kind() const { return K; }
+
+  // Accessors (assert on kind mismatch).
+  const ExprRef &retExpr() const;
+  const ActionRef &action() const;
+  const std::vector<ExprRef> &args() const;
+  const ProgRef &first() const;
+  const std::string &bindVar() const;
+  const ProgRef &rest() const;
+  const ExprRef &cond() const;
+  const ProgRef &thenProg() const;
+  const ProgRef &elseProg() const;
+  const ProgRef &left() const;
+  const ProgRef &right() const;
+  const SplitFn &split() const;
+  const std::string &callee() const;
+  const HideSpec &hideSpec() const;
+  const ProgRef &body() const;
+
+  /// Pretty-prints with the given indentation.
+  std::string toString(unsigned Indent = 0) const;
+
+private:
+  explicit Prog(Kind K) : K(K) {}
+  static std::shared_ptr<Prog> makeNode(Kind K);
+
+  Kind K;
+  ExprRef E;                 // Ret, If cond
+  ActionRef A;               // Act
+  std::vector<ExprRef> Args; // Act, Call
+  ProgRef P1;                // Bind first / If then / Par left / Hide body
+  ProgRef P2;                // Bind rest / If else / Par right
+  std::string Name;          // Bind var, Call fn
+  SplitFn Split;             // Par
+  HideSpec Spec;             // Hide
+};
+
+} // namespace fcsl
+
+#endif // FCSL_PROG_PROG_H

@@ -1,0 +1,72 @@
+//===- runtime/RtFlatCombiner.cpp - Executable flat combiner ---------------===//
+//
+// Part of fcsl-cpp. See RtFlatCombiner.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtFlatCombiner.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace fcsl;
+
+RtFcStack::RtFcStack(unsigned NumThreads) : Slots(NumThreads) {}
+
+RtFcStack::~RtFcStack() = default;
+
+void RtFcStack::push(unsigned ThreadIndex, int64_t Value) {
+  runOp(ThreadIndex, OpPush, Value);
+}
+
+std::optional<int64_t> RtFcStack::pop(unsigned ThreadIndex) {
+  int64_t R = runOp(ThreadIndex, OpPop, 0);
+  if (R == INT64_MIN)
+    return std::nullopt;
+  return R;
+}
+
+int64_t RtFcStack::runOp(unsigned ThreadIndex, OpKind Kind, int64_t Arg) {
+  assert(ThreadIndex < Slots.size() && "unregistered thread");
+  Slot &Mine = Slots[ThreadIndex];
+  Mine.Arg.store(Arg, std::memory_order_relaxed);
+  Mine.Done.store(false, std::memory_order_relaxed);
+  Mine.Kind.store(Kind, std::memory_order_release);
+
+  while (true) {
+    if (Mine.Done.load(std::memory_order_acquire))
+      return Mine.Result.load(std::memory_order_relaxed);
+    bool Expected = false;
+    if (CombinerLock.compare_exchange_weak(Expected, true,
+                                           std::memory_order_acquire)) {
+      combineAll();
+      CombinerLock.store(false, std::memory_order_release);
+      if (Mine.Done.load(std::memory_order_acquire))
+        return Mine.Result.load(std::memory_order_relaxed);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void RtFcStack::combineAll() {
+  for (Slot &S : Slots) {
+    uint32_t Kind = S.Kind.load(std::memory_order_acquire);
+    if (Kind == OpNone || S.Done.load(std::memory_order_relaxed))
+      continue;
+    int64_t Result = 0;
+    if (Kind == OpPush) {
+      Data.push_back(S.Arg.load(std::memory_order_relaxed));
+    } else {
+      if (Data.empty()) {
+        Result = INT64_MIN; // Empty marker.
+      } else {
+        Result = Data.back();
+        Data.pop_back();
+      }
+    }
+    S.Result.store(Result, std::memory_order_relaxed);
+    S.Kind.store(OpNone, std::memory_order_relaxed);
+    S.Done.store(true, std::memory_order_release);
+  }
+}

@@ -1,0 +1,65 @@
+//===- runtime/RtFlatCombiner.h - Executable flat combiner ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified flat combiner (after Hendler
+/// et al., SPAA'10): per-thread publication slots and a combiner lock; the
+/// lock holder executes everyone's pending requests against a sequential
+/// structure. Instantiated here with a sequential stack, yielding the
+/// FC-stack of the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTFLATCOMBINER_H
+#define FCSL_RUNTIME_RTFLATCOMBINER_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fcsl {
+
+/// A flat-combined LIFO stack of 64-bit values for a fixed number of
+/// threads (each thread uses its own slot index).
+class RtFcStack {
+public:
+  explicit RtFcStack(unsigned NumThreads);
+  ~RtFcStack();
+  RtFcStack(const RtFcStack &) = delete;
+  RtFcStack &operator=(const RtFcStack &) = delete;
+
+  /// Pushes \p Value on behalf of \p ThreadIndex.
+  void push(unsigned ThreadIndex, int64_t Value);
+
+  /// Pops on behalf of \p ThreadIndex (nullopt on empty).
+  std::optional<int64_t> pop(unsigned ThreadIndex);
+
+private:
+  enum OpKind : uint32_t { OpNone = 0, OpPush = 1, OpPop = 2 };
+
+  struct alignas(64) Slot {
+    std::atomic<uint32_t> Kind{OpNone};
+    std::atomic<int64_t> Arg{0};
+    std::atomic<int64_t> Result{0};
+    std::atomic<bool> Done{false};
+  };
+
+  /// Publishes a request and waits, combining opportunistically.
+  int64_t runOp(unsigned ThreadIndex, OpKind Kind, int64_t Arg);
+
+  /// Executes every pending request (caller holds the combiner lock).
+  void combineAll();
+
+  std::atomic<bool> CombinerLock{false};
+  std::vector<Slot> Slots;
+  std::vector<int64_t> Data; // The protected sequential stack.
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTFLATCOMBINER_H

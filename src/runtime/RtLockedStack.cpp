@@ -1,0 +1,33 @@
+//===- runtime/RtLockedStack.cpp - Coarse-grained locked stack -------------===//
+//
+// Part of fcsl-cpp. See RtLockedStack.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtLockedStack.h"
+
+using namespace fcsl;
+
+void RtLockedStack::push(int64_t Value) {
+  Lock.lock();
+  Data.push_back(Value);
+  Lock.unlock();
+}
+
+std::optional<int64_t> RtLockedStack::pop() {
+  Lock.lock();
+  std::optional<int64_t> Out;
+  if (!Data.empty()) {
+    Out = Data.back();
+    Data.pop_back();
+  }
+  Lock.unlock();
+  return Out;
+}
+
+bool RtLockedStack::isEmpty() {
+  Lock.lock();
+  bool Empty = Data.empty();
+  Lock.unlock();
+  return Empty;
+}

@@ -1,0 +1,39 @@
+//===- runtime/RtLockedStack.h - Coarse-grained locked stack ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coarse-grained baseline of Section 1: a stack protected by a single
+/// lock. Benchmarked against the Treiber stack and the FC-stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTLOCKEDSTACK_H
+#define FCSL_RUNTIME_RTLOCKEDSTACK_H
+
+#include "runtime/RtSpinLock.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fcsl {
+
+/// A lock-protected LIFO stack of 64-bit values.
+class RtLockedStack {
+public:
+  void push(int64_t Value);
+  std::optional<int64_t> pop();
+  bool isEmpty();
+
+private:
+  RtSpinLock Lock;
+  std::vector<int64_t> Data;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTLOCKEDSTACK_H

@@ -1,0 +1,35 @@
+//===- runtime/RtPairSnapshot.cpp - Executable pair snapshot ---------------===//
+//
+// Part of fcsl-cpp. See RtPairSnapshot.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtPairSnapshot.h"
+
+using namespace fcsl;
+
+void RtPairSnapshot::bumpCell(std::atomic<uint64_t> &Cell, uint32_t Value) {
+  uint64_t Cur = Cell.load(std::memory_order_relaxed);
+  while (true) {
+    uint64_t Version = (Cur >> 32) + 1;
+    uint64_t Next = (Version << 32) | Value;
+    if (Cell.compare_exchange_weak(Cur, Next, std::memory_order_release,
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+void RtPairSnapshot::writeX(uint32_t Value) { bumpCell(X, Value); }
+void RtPairSnapshot::writeY(uint32_t Value) { bumpCell(Y, Value); }
+
+std::pair<uint32_t, uint32_t> RtPairSnapshot::readPair() {
+  while (true) {
+    uint64_t X1 = X.load(std::memory_order_acquire);
+    uint64_t YV = Y.load(std::memory_order_acquire);
+    uint64_t X2 = X.load(std::memory_order_acquire);
+    // If x's version is unchanged, (x, y) was simultaneously present at
+    // the moment y was read (the argument verified on the model).
+    if ((X1 >> 32) == (X2 >> 32))
+      return {static_cast<uint32_t>(X1), static_cast<uint32_t>(YV)};
+  }
+}

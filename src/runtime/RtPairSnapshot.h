@@ -1,0 +1,44 @@
+//===- runtime/RtPairSnapshot.h - Executable pair snapshot ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified pair snapshot: two versioned
+/// cells, a wait-free-in-practice reader that validates x's version across
+/// its reads. Value and version are packed into one 64-bit atomic so a
+/// cell read is a single atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTPAIRSNAPSHOT_H
+#define FCSL_RUNTIME_RTPAIRSNAPSHOT_H
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace fcsl {
+
+/// A two-cell versioned snapshot structure over 32-bit values.
+class RtPairSnapshot {
+public:
+  void writeX(uint32_t Value);
+  void writeY(uint32_t Value);
+
+  /// Returns a consistent (x, y) snapshot.
+  std::pair<uint32_t, uint32_t> readPair();
+
+private:
+  // Layout: high 32 bits version, low 32 bits value.
+  std::atomic<uint64_t> X{0};
+  std::atomic<uint64_t> Y{0};
+
+  static void bumpCell(std::atomic<uint64_t> &Cell, uint32_t Value);
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTPAIRSNAPSHOT_H

@@ -1,0 +1,91 @@
+//===- runtime/RtSpanTree.cpp - Executable concurrent spanning -------------===//
+//
+// Part of fcsl-cpp. See RtSpanTree.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtSpanTree.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+#include <thread>
+
+using namespace fcsl;
+
+RtGraph::RtGraph(unsigned NumNodes) : Nodes(NumNodes) {}
+
+void RtGraph::setEdges(unsigned Node, int Left, int Right) {
+  assert(Node < Nodes.size());
+  Nodes[Node].Left = Left;
+  Nodes[Node].Right = Right;
+}
+
+bool RtGraph::isMarked(unsigned Node) const {
+  return Nodes[Node].Marked.load(std::memory_order_acquire);
+}
+
+bool RtGraph::tryMark(unsigned Node) {
+  bool Expected = false;
+  return Nodes[Node].Marked.compare_exchange_strong(
+      Expected, true, std::memory_order_acq_rel);
+}
+
+void RtGraph::clearMarks() {
+  for (Node &N : Nodes)
+    N.Marked.store(false, std::memory_order_relaxed);
+}
+
+bool fcsl::rtSpan(RtGraph &G, int Root, unsigned ParallelDepth) {
+  if (Root < 0)
+    return false;
+  unsigned Node = static_cast<unsigned>(Root);
+  if (!G.tryMark(Node))
+    return false;
+
+  int Left = G.left(Node);
+  int Right = G.right(Node);
+  bool GotLeft = false, GotRight = false;
+  if (ParallelDepth > 0) {
+    // Figure 1 line 6: two parallel child calls.
+    std::thread LeftThread(
+        [&] { GotLeft = rtSpan(G, Left, ParallelDepth - 1); });
+    GotRight = rtSpan(G, Right, ParallelDepth - 1);
+    LeftThread.join();
+  } else {
+    GotLeft = rtSpan(G, Left, 0);
+    GotRight = rtSpan(G, Right, 0);
+  }
+  if (!GotLeft)
+    G.nullifyLeft(Node); // Line 7.
+  if (!GotRight)
+    G.nullifyRight(Node); // Line 8.
+  return true;
+}
+
+bool fcsl::rtIsSpanningTree(const RtGraph &G, unsigned Root) {
+  // All marked nodes must be reachable via surviving edges, exactly once.
+  std::set<unsigned> Visited;
+  std::deque<unsigned> Queue;
+  if (!G.isMarked(Root))
+    return false;
+  Queue.push_back(Root);
+  Visited.insert(Root);
+  while (!Queue.empty()) {
+    unsigned Node = Queue.front();
+    Queue.pop_front();
+    for (int Succ : {G.left(Node), G.right(Node)}) {
+      if (Succ < 0)
+        continue;
+      // Tree property: no node has two parents and no back edges.
+      if (!Visited.insert(static_cast<unsigned>(Succ)).second)
+        return false;
+      Queue.push_back(static_cast<unsigned>(Succ));
+    }
+  }
+  // Every marked node is in the tree; no unmarked node is.
+  for (unsigned I = 0; I < G.size(); ++I)
+    if (G.isMarked(I) != (Visited.count(I) != 0))
+      return false;
+  return true;
+}

@@ -1,0 +1,69 @@
+//===- runtime/RtSpanTree.h - Executable concurrent spanning ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified spanning-tree construction
+/// (Figure 1): graph nodes carry atomic mark bits; `span` CASes the mark,
+/// spawns real threads for its children up to a parallel depth, and prunes
+/// the edges whose targets were already claimed. The paper's verified
+/// property — the surviving edges form a spanning tree of the reachable
+/// component — is asserted by the examples and tests after every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTSPANTREE_H
+#define FCSL_RUNTIME_RTSPANTREE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fcsl {
+
+/// A binary directed graph with atomically markable nodes. Node ids are
+/// dense indices; -1 is "no successor".
+class RtGraph {
+public:
+  explicit RtGraph(unsigned NumNodes);
+
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+  void setEdges(unsigned Node, int Left, int Right);
+  int left(unsigned Node) const { return Nodes[Node].Left; }
+  int right(unsigned Node) const { return Nodes[Node].Right; }
+  bool isMarked(unsigned Node) const;
+
+  /// CAS on the mark bit; true if this call marked the node.
+  bool tryMark(unsigned Node);
+
+  void nullifyLeft(unsigned Node) { Nodes[Node].Left = -1; }
+  void nullifyRight(unsigned Node) { Nodes[Node].Right = -1; }
+
+  /// Resets all marks (edges stay as pruned).
+  void clearMarks();
+
+private:
+  struct Node {
+    std::atomic<bool> Marked{false};
+    int Left = -1;
+    int Right = -1;
+  };
+  std::vector<Node> Nodes;
+};
+
+/// Runs the concurrent spanning-tree construction from \p Root, spawning
+/// real threads for recursive calls while depth < \p ParallelDepth.
+/// Returns false iff the root was null/already marked.
+bool rtSpan(RtGraph &G, int Root, unsigned ParallelDepth = 4);
+
+/// Checks that the surviving edges of \p G form a tree rooted at \p Root
+/// covering exactly the originally-reachable nodes (all marked).
+bool rtIsSpanningTree(const RtGraph &G, unsigned Root);
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTSPANTREE_H

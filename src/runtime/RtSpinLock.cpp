@@ -1,0 +1,32 @@
+//===- runtime/RtSpinLock.cpp - Executable CAS spinlock --------------------===//
+//
+// Part of fcsl-cpp. See RtSpinLock.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtSpinLock.h"
+
+#include <thread>
+
+using namespace fcsl;
+
+void RtSpinLock::lock() {
+  while (true) {
+    // Test-and-test-and-set: spin on loads to avoid cacheline ping-pong;
+    // yield so oversubscribed (or single-core) machines make progress.
+    while (Locked.load(std::memory_order_relaxed))
+      std::this_thread::yield();
+    if (tryLock())
+      return;
+  }
+}
+
+bool RtSpinLock::tryLock() {
+  bool Expected = false;
+  return Locked.compare_exchange_strong(Expected, true,
+                                        std::memory_order_acquire);
+}
+
+void RtSpinLock::unlock() {
+  Locked.store(false, std::memory_order_release);
+}

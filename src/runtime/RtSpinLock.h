@@ -1,0 +1,36 @@
+//===- runtime/RtSpinLock.h - Executable CAS spinlock -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified CAS lock model: a
+/// test-and-test-and-set spinlock over std::atomic. Used by the perf
+/// benches that regenerate the paper's motivating coarse- vs fine-grained
+/// comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTSPINLOCK_H
+#define FCSL_RUNTIME_RTSPINLOCK_H
+
+#include <atomic>
+
+namespace fcsl {
+
+/// A TTAS spinlock.
+class RtSpinLock {
+public:
+  void lock();
+  bool tryLock();
+  void unlock();
+
+private:
+  std::atomic<bool> Locked{false};
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTSPINLOCK_H

@@ -1,0 +1,26 @@
+//===- runtime/RtTicketLock.cpp - Executable ticketed lock -----------------===//
+//
+// Part of fcsl-cpp. See RtTicketLock.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtTicketLock.h"
+
+#include <thread>
+
+using namespace fcsl;
+
+uint64_t RtTicketLock::takeTicket() {
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RtTicketLock::waitFor(uint64_t Ticket) {
+  while (Owner.load(std::memory_order_acquire) != Ticket)
+    std::this_thread::yield();
+}
+
+void RtTicketLock::lock() { waitFor(takeTicket()); }
+
+void RtTicketLock::unlock() {
+  Owner.fetch_add(1, std::memory_order_release);
+}

@@ -1,0 +1,40 @@
+//===- runtime/RtTicketLock.h - Executable ticketed lock --------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified ticketed-lock model: FIFO
+/// fairness via fetch-and-increment tickets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTTICKETLOCK_H
+#define FCSL_RUNTIME_RTTICKETLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace fcsl {
+
+/// A ticket lock.
+class RtTicketLock {
+public:
+  void lock();
+  void unlock();
+
+  /// Draws a ticket (exposed for fairness experiments).
+  uint64_t takeTicket();
+  /// Spins until \p Ticket is served.
+  void waitFor(uint64_t Ticket);
+
+private:
+  std::atomic<uint64_t> Next{0};
+  std::atomic<uint64_t> Owner{0};
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTTICKETLOCK_H

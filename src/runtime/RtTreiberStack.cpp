@@ -1,0 +1,56 @@
+//===- runtime/RtTreiberStack.cpp - Executable Treiber stack ---------------===//
+//
+// Part of fcsl-cpp. See RtTreiberStack.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RtTreiberStack.h"
+
+using namespace fcsl;
+
+RtTreiberStack::~RtTreiberStack() {
+  for (Node *Cur = Head.load(); Cur;) {
+    Node *Next = Cur->Next;
+    delete Cur;
+    Cur = Next;
+  }
+  for (Node *Cur = Retired.load(); Cur;) {
+    Node *Next = Cur->Next;
+    delete Cur;
+    Cur = Next;
+  }
+}
+
+void RtTreiberStack::push(int64_t Value) {
+  Node *N = new Node{Value, Head.load(std::memory_order_relaxed)};
+  while (!Head.compare_exchange_weak(N->Next, N,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed))
+    ;
+}
+
+std::optional<int64_t> RtTreiberStack::pop() {
+  Node *Cur = Head.load(std::memory_order_acquire);
+  while (Cur) {
+    if (Head.compare_exchange_weak(Cur, Cur->Next,
+                                   std::memory_order_acquire,
+                                   std::memory_order_acquire)) {
+      int64_t Value = Cur->Value;
+      retire(Cur);
+      return Value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool RtTreiberStack::isEmpty() const {
+  return Head.load(std::memory_order_acquire) == nullptr;
+}
+
+void RtTreiberStack::retire(Node *N) {
+  N->Next = Retired.load(std::memory_order_relaxed);
+  while (!Retired.compare_exchange_weak(N->Next, N,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed))
+    ;
+}

@@ -1,0 +1,52 @@
+//===- runtime/RtTreiberStack.h - Executable Treiber stack ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the verified Treiber stack. Nodes popped
+/// under contention are retired to a per-stack free list only at
+/// destruction (no reclamation while threads run), which sidesteps ABA
+/// without hazard pointers; the verified model mirrors this by moving
+/// popped cells to the popping thread's private heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_RUNTIME_RTTREIBERSTACK_H
+#define FCSL_RUNTIME_RTTREIBERSTACK_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace fcsl {
+
+/// A lock-free LIFO stack of 64-bit values.
+class RtTreiberStack {
+public:
+  RtTreiberStack() = default;
+  ~RtTreiberStack();
+  RtTreiberStack(const RtTreiberStack &) = delete;
+  RtTreiberStack &operator=(const RtTreiberStack &) = delete;
+
+  void push(int64_t Value);
+  std::optional<int64_t> pop();
+  bool isEmpty() const;
+
+private:
+  struct Node {
+    int64_t Value;
+    Node *Next;
+  };
+
+  std::atomic<Node *> Head{nullptr};
+  std::atomic<Node *> Retired{nullptr};
+
+  void retire(Node *N);
+};
+
+} // namespace fcsl
+
+#endif // FCSL_RUNTIME_RTTREIBERSTACK_H

@@ -1,0 +1,66 @@
+//===- spec/Assertion.cpp - Assertions over subjective states --------------===//
+//
+// Part of fcsl-cpp. See Assertion.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Assertion.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+Assertion::Assertion(std::string Name, PredFn Pred)
+    : Name(std::move(Name)), Pred(std::move(Pred)) {
+  assert(this->Pred && "assertion needs a predicate");
+}
+
+bool Assertion::holds(const View &S) const {
+  assert(Pred && "evaluating an empty assertion");
+  return Pred(S);
+}
+
+Assertion fcsl::operator&&(const Assertion &A, const Assertion &B) {
+  return Assertion("(" + A.name() + " /\\ " + B.name() + ")",
+                   [A, B](const View &S) {
+                     return A.holds(S) && B.holds(S);
+                   });
+}
+
+Assertion fcsl::operator||(const Assertion &A, const Assertion &B) {
+  return Assertion("(" + A.name() + " \\/ " + B.name() + ")",
+                   [A, B](const View &S) {
+                     return A.holds(S) || B.holds(S);
+                   });
+}
+
+Assertion fcsl::operator!(const Assertion &A) {
+  return Assertion("~" + A.name(),
+                   [A](const View &S) { return !A.holds(S); });
+}
+
+Assertion fcsl::assertTrue() {
+  return Assertion("true", [](const View &) { return true; });
+}
+
+Assertion fcsl::selfIs(Label L, PCMVal V) {
+  return Assertion("self@" + std::to_string(L) + " == " + V.toString(),
+                   [L, V](const View &S) {
+                     return S.hasLabel(L) && S.self(L) == V;
+                   });
+}
+
+Assertion fcsl::jointContains(Label L, Ptr P) {
+  return Assertion(P.toString() + " in dom(joint@" + std::to_string(L) + ")",
+                   [L, P](const View &S) {
+                     return S.hasLabel(L) && S.joint(L).contains(P);
+                   });
+}
+
+Assertion fcsl::contributionsCompatible(Label L) {
+  return Assertion("valid(self@" + std::to_string(L) + " \\+ other)",
+                   [L](const View &S) {
+                     return S.hasLabel(L) &&
+                            S.selfOtherJoin(L).has_value();
+                   });
+}

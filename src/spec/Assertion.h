@@ -1,0 +1,61 @@
+//===- spec/Assertion.h - Assertions over subjective states -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-class assertions: named predicates over subjective Views, with the
+/// usual connectives. In the paper assertions are CIC propositions; here
+/// they are executable predicates so that stability and Hoare-triple
+/// validity become decidable over finite state spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SPEC_ASSERTION_H
+#define FCSL_SPEC_ASSERTION_H
+
+#include "state/View.h"
+
+#include <functional>
+
+namespace fcsl {
+
+/// A named predicate over views.
+class Assertion {
+public:
+  using PredFn = std::function<bool(const View &)>;
+
+  Assertion() = default;
+  Assertion(std::string Name, PredFn Pred);
+
+  const std::string &name() const { return Name; }
+  bool holds(const View &S) const;
+  explicit operator bool() const { return static_cast<bool>(Pred); }
+
+private:
+  std::string Name;
+  PredFn Pred;
+};
+
+/// Connectives.
+Assertion operator&&(const Assertion &A, const Assertion &B);
+Assertion operator||(const Assertion &A, const Assertion &B);
+Assertion operator!(const Assertion &A);
+
+/// True everywhere.
+Assertion assertTrue();
+
+/// "self at L equals V".
+Assertion selfIs(Label L, PCMVal V);
+
+/// "x \in dom (joint L)".
+Assertion jointContains(Label L, Ptr P);
+
+/// "self \+ other is defined at L" (basic well-formedness).
+Assertion contributionsCompatible(Label L);
+
+} // namespace fcsl
+
+#endif // FCSL_SPEC_ASSERTION_H

@@ -1,0 +1,75 @@
+//===- spec/Session.cpp - Verification obligation ledger -------------------===//
+//
+// Part of fcsl-cpp. See Session.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Session.h"
+
+#include "support/Stats.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+const char *fcsl::obCategoryName(ObCategory C) {
+  switch (C) {
+  case ObCategory::Libs:
+    return "Libs";
+  case ObCategory::Conc:
+    return "Conc";
+  case ObCategory::Acts:
+    return "Acts";
+  case ObCategory::Stab:
+    return "Stab";
+  case ObCategory::Main:
+    return "Main";
+  }
+  assert(false && "unknown obligation category");
+  return "<?>";
+}
+
+uint64_t SessionReport::totalObligations() const {
+  uint64_t Total = 0;
+  for (const CategoryStats &S : PerCategory)
+    Total += S.Obligations;
+  return Total;
+}
+
+uint64_t SessionReport::totalChecks() const {
+  uint64_t Total = 0;
+  for (const CategoryStats &S : PerCategory)
+    Total += S.Checks;
+  return Total;
+}
+
+void VerificationSession::addObligation(
+    ObCategory Category, std::string Name,
+    std::function<ObligationResult()> Run) {
+  assert(Run && "obligation needs a discharge function");
+  Obligations.push_back(
+      Obligation{Category, std::move(Name), std::move(Run)});
+}
+
+SessionReport VerificationSession::run() const {
+  SessionReport Report;
+  Report.Program = Program;
+  Timer Total;
+  for (const Obligation &Ob : Obligations) {
+    Timer One;
+    ObligationResult Result = Ob.Run();
+    double Ms = One.elapsedMs();
+    CategoryStats &Stats =
+        Report.PerCategory[static_cast<size_t>(Ob.Category)];
+    ++Stats.Obligations;
+    Stats.Checks += Result.Checks;
+    Stats.ElapsedMs += Ms;
+    if (!Result.Passed) {
+      Report.AllPassed = false;
+      Report.Failures.push_back(Program + "/" + Ob.Name + ": " +
+                                Result.Note);
+    }
+  }
+  Report.TotalMs = Total.elapsedMs();
+  return Report;
+}

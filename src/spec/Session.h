@@ -1,0 +1,90 @@
+//===- spec/Session.h - Verification obligation ledger ----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A VerificationSession collects the named proof obligations of one case
+/// study, classified into the categories of the paper's Table 1 — Libs
+/// (program-specific library lemmas), Conc (concurroid definitions and
+/// their metatheory), Acts (atomic-action obligations), Stab (stability
+/// lemmas) and Main (the main function's Hoare triple) — discharges them,
+/// and reports per-category counts and timings. Running every session is
+/// how bench_table1 regenerates the shape of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SPEC_SESSION_H
+#define FCSL_SPEC_SESSION_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// The obligation categories of Table 1's columns.
+enum class ObCategory : uint8_t { Libs, Conc, Acts, Stab, Main };
+
+/// Renders a category as the paper's column heading.
+const char *obCategoryName(ObCategory C);
+
+/// What one discharged obligation reports back.
+struct ObligationResult {
+  bool Passed = true;
+  uint64_t Checks = 0; ///< elementary checks run (states, joins, ...).
+  std::string Note;    ///< failure description when !Passed.
+};
+
+/// Per-category tallies.
+struct CategoryStats {
+  uint64_t Obligations = 0;
+  uint64_t Checks = 0;
+  double ElapsedMs = 0.0;
+};
+
+/// The report of a completed session (one Table 1 row).
+struct SessionReport {
+  std::string Program;
+  bool AllPassed = true;
+  CategoryStats PerCategory[5];
+  double TotalMs = 0.0;
+  std::vector<std::string> Failures;
+
+  uint64_t totalObligations() const;
+  uint64_t totalChecks() const;
+};
+
+/// One case study's bundle of obligations.
+class VerificationSession {
+public:
+  explicit VerificationSession(std::string Program)
+      : Program(std::move(Program)) {}
+
+  /// Registers an obligation; obligations run in registration order.
+  void addObligation(ObCategory Category, std::string Name,
+                     std::function<ObligationResult()> Run);
+
+  /// Discharges every obligation and reports.
+  SessionReport run() const;
+
+  const std::string &program() const { return Program; }
+  size_t numObligations() const { return Obligations.size(); }
+
+private:
+  struct Obligation {
+    ObCategory Category;
+    std::string Name;
+    std::function<ObligationResult()> Run;
+  };
+
+  std::string Program;
+  std::vector<Obligation> Obligations;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SPEC_SESSION_H

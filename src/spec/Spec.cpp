@@ -1,0 +1,7 @@
+//===- spec/Spec.cpp - Hoare-style specifications ---------------------------===//
+//
+// Part of fcsl-cpp. Spec is a plain aggregate; this file anchors the header.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Spec.h"

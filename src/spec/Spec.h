@@ -1,0 +1,46 @@
+//===- spec/Spec.h - Hoare-style specifications -----------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analogue of the paper's `STsep [C] (pre, post)` types (Section 3.1):
+/// a specification carries the concurroid it respects, a precondition over
+/// pre-views and a binary postcondition over (result, post-view). Logical
+/// (ghost) variables — the `{i (g1 : ...)}` binders of span_tp — are
+/// realized by quantifying the verification over all sampled initial
+/// states and threading a snapshot of the initial view into the
+/// postcondition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SPEC_SPEC_H
+#define FCSL_SPEC_SPEC_H
+
+#include "spec/Assertion.h"
+
+namespace fcsl {
+
+class Concurroid;
+using ConcurroidRef = std::shared_ptr<const Concurroid>;
+
+/// A binary postcondition: result value, initial view (the ghost snapshot
+/// `i` of the paper's specs) and final view.
+using PostFn =
+    std::function<bool(const Val &Result, const View &Initial,
+                       const View &Final)>;
+
+/// A Hoare-style partial-correctness spec.
+struct Spec {
+  std::string Name;
+  ConcurroidRef C;  ///< the `[SpanTree sp]` component of STsep.
+  Assertion Pre;    ///< precondition over the initial view.
+  PostFn Post;      ///< postcondition relating result, initial, final.
+  std::string PostName; ///< human-readable postcondition description.
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SPEC_SPEC_H

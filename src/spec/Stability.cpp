@@ -1,0 +1,148 @@
+//===- spec/Stability.cpp - Stability under interference -------------------===//
+//
+// Part of fcsl-cpp. See Stability.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Stability.h"
+
+#include "support/Format.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace fcsl;
+
+namespace {
+
+struct ViewHash {
+  size_t operator()(const View &V) const {
+    size_t Seed = 0;
+    V.hashInto(Seed);
+    return Seed;
+  }
+};
+
+} // namespace
+
+StabilityReport fcsl::checkStability(const Assertion &A, const Concurroid &C,
+                                     const std::vector<View> &Seeds,
+                                     uint64_t MaxStates) {
+  StabilityReport Report;
+  std::unordered_set<View, ViewHash> Visited;
+  std::deque<View> Queue;
+
+  for (const View &Seed : Seeds) {
+    if (!C.coherent(Seed) || !A.holds(Seed))
+      continue;
+    if (Visited.insert(Seed).second)
+      Queue.push_back(Seed);
+  }
+
+  while (!Queue.empty()) {
+    if (Report.StatesVisited >= MaxStates)
+      break;
+    View S = std::move(Queue.front());
+    Queue.pop_front();
+    ++Report.StatesVisited;
+
+    for (const View &Next : C.envSuccessors(S)) {
+      ++Report.EnvStepsTaken;
+      if (!A.holds(Next)) {
+        Report.Stable = false;
+        Report.CounterExample = formatString(
+            "assertion %s destabilized by interference; pre-state:\n%s"
+            "post-state:\n%s",
+            A.name().c_str(), S.toString().c_str(),
+            Next.toString().c_str());
+        return Report;
+      }
+      if (Visited.insert(Next).second)
+        Queue.push_back(Next);
+    }
+  }
+  return Report;
+}
+
+Assertion fcsl::stableInterior(const Assertion &P, const ConcurroidRef &C,
+                               const std::vector<View> &Seeds,
+                               uint64_t MaxStates) {
+  // Build the env-reachable closure with its successor relation.
+  std::unordered_set<View, ViewHash> Closure;
+  std::deque<View> Queue;
+  for (const View &Seed : Seeds) {
+    if (!C->coherent(Seed))
+      continue;
+    if (Closure.insert(Seed).second)
+      Queue.push_back(Seed);
+  }
+  std::vector<std::pair<View, std::vector<View>>> Graph;
+  while (!Queue.empty() && Closure.size() < MaxStates) {
+    View S = std::move(Queue.front());
+    Queue.pop_front();
+    std::vector<View> Succs = C->envSuccessors(S);
+    for (const View &Next : Succs)
+      if (Closure.insert(Next).second)
+        Queue.push_back(Next);
+    Graph.emplace_back(std::move(S), std::move(Succs));
+  }
+
+  // Greatest fixpoint: start from the P-states and peel off any state
+  // with an env successor outside the candidate set.
+  auto InSet = std::make_shared<std::unordered_set<View, ViewHash>>();
+  for (const auto &Node : Graph)
+    if (P.holds(Node.first))
+      InSet->insert(Node.first);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Node : Graph) {
+      if (!InSet->count(Node.first))
+        continue;
+      for (const View &Succ : Node.second) {
+        if (!InSet->count(Succ)) {
+          InSet->erase(Node.first);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  return Assertion("stable interior of " + P.name(),
+                   [InSet](const View &S) {
+                     return InSet->count(S) != 0;
+                   });
+}
+
+StabilityReport fcsl::checkRelationStability(
+    const std::function<bool(const View &, const View &)> &R,
+    const std::string &Name, const Concurroid &C,
+    const std::vector<View> &Seeds, uint64_t MaxStates) {
+  StabilityReport Report;
+  for (const View &Seed : Seeds) {
+    if (!C.coherent(Seed) || !R(Seed, Seed))
+      continue;
+    std::unordered_set<View, ViewHash> Visited{Seed};
+    std::deque<View> Queue{Seed};
+    while (!Queue.empty()) {
+      if (Report.StatesVisited >= MaxStates)
+        break;
+      View S = std::move(Queue.front());
+      Queue.pop_front();
+      ++Report.StatesVisited;
+      for (const View &Next : C.envSuccessors(S)) {
+        ++Report.EnvStepsTaken;
+        if (!R(Seed, Next)) {
+          Report.Stable = false;
+          Report.CounterExample = formatString(
+              "relation %s is not monotone under env steps", Name.c_str());
+          return Report;
+        }
+        if (Visited.insert(Next).second)
+          Queue.push_back(Next);
+      }
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,65 @@
+//===- spec/Stability.h - Stability under interference ----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stability (Section 2.2.3): an assertion is stable when it is invariant
+/// under every transition the environment may take. The paper discharges
+/// one stability lemma per intermediate assertion; we decide stability by
+/// closing a set of seed views under environment successors and checking
+/// the assertion on the closure. The check also serves as the analogue of
+/// the paper's `subgraph_steps`-style lemmas ("property P is monotone wrt.
+/// env_steps").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SPEC_STABILITY_H
+#define FCSL_SPEC_STABILITY_H
+
+#include "concurroid/Concurroid.h"
+#include "spec/Assertion.h"
+
+namespace fcsl {
+
+/// Result of a stability check.
+struct StabilityReport {
+  bool Stable = true;
+  uint64_t StatesVisited = 0;
+  uint64_t EnvStepsTaken = 0;
+  std::string CounterExample; ///< empty when Stable.
+};
+
+/// Checks that \p A is stable under \p C's environment transitions, from
+/// the given seed views: for every view reachable from a seed by env steps,
+/// if the assertion held at the seed it keeps holding along the closure.
+/// \p MaxStates bounds the closure.
+StabilityReport checkStability(const Assertion &A, const Concurroid &C,
+                               const std::vector<View> &Seeds,
+                               uint64_t MaxStates = 100000);
+
+/// Checks that a *relation* R(seed, s) between the seed view and reachable
+/// views is monotone under env steps (the shape of the paper's
+/// `subgraph_steps` lemma: env_steps s1 s2 -> subgraph g1 g2).
+StabilityReport checkRelationStability(
+    const std::function<bool(const View &Seed, const View &S)> &R,
+    const std::string &Name, const Concurroid &C,
+    const std::vector<View> &Seeds, uint64_t MaxStates = 100000);
+
+/// Automation for stability facts (the paper's future-work item
+/// "implement proof automation for stability-related facts via lemma
+/// overloading"): computes the *stable interior* of \p P — the largest
+/// strengthening of P that is invariant under \p C's interference —
+/// over the environment-reachable closure of \p Seeds, as a greatest
+/// fixpoint. The result is a decidable Assertion (true exactly on the
+/// closure states in the fixpoint), so an unstable precondition can be
+/// automatically weakened-into-stable instead of hand-strengthened.
+Assertion stableInterior(const Assertion &P, const ConcurroidRef &C,
+                         const std::vector<View> &Seeds,
+                         uint64_t MaxStates = 100000);
+
+} // namespace fcsl
+
+#endif // FCSL_SPEC_STABILITY_H

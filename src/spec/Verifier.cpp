@@ -1,0 +1,90 @@
+//===- spec/Verifier.cpp - Hoare-triple verification ------------------------===//
+//
+// Part of fcsl-cpp. See Verifier.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace fcsl;
+
+std::optional<std::vector<Terminal>>
+fcsl::strongestPost(const ProgRef &Prog, const VerifyInstance &Instance,
+                    const EngineOptions &Opts) {
+  RunResult Run = explore(Prog, Instance.Initial, Opts,
+                          Instance.InitialEnv);
+  if (!Run.complete())
+    return std::nullopt;
+  return Run.Terminals;
+}
+
+std::vector<size_t>
+fcsl::inferPre(const ProgRef &Prog, const PostFn &Post,
+               const std::vector<VerifyInstance> &Candidates,
+               const EngineOptions &Opts) {
+  std::vector<size_t> Good;
+  for (size_t I = 0, N = Candidates.size(); I != N; ++I) {
+    std::optional<std::vector<Terminal>> Terminals =
+        strongestPost(Prog, Candidates[I], Opts);
+    if (!Terminals)
+      continue;
+    View Initial = Candidates[I].Initial.viewFor(rootThread());
+    bool AllHold = true;
+    for (const Terminal &T : *Terminals)
+      AllHold &= Post(T.Result, Initial, T.FinalView);
+    if (AllHold)
+      Good.push_back(I);
+  }
+  return Good;
+}
+
+VerifyResult fcsl::verifyTriple(const ProgRef &Prog, const Spec &S,
+                                const std::vector<VerifyInstance> &Instances,
+                                const EngineOptions &Opts) {
+  VerifyResult Out;
+  for (const VerifyInstance &Inst : Instances) {
+    View InitialView = Inst.Initial.viewFor(rootThread());
+    if (S.Pre && !S.Pre.holds(InitialView))
+      continue; // Outside the triple's domain.
+    ++Out.InstancesChecked;
+
+    RunResult Run = explore(Prog, Inst.Initial, Opts, Inst.InitialEnv);
+    Out.ConfigsExplored += Run.ConfigsExplored;
+    Out.ActionSteps += Run.ActionSteps;
+    Out.EnvSteps += Run.EnvSteps;
+
+    if (!Run.Safe) {
+      Out.Holds = false;
+      Out.FailureNote =
+          formatString("%s: safety violation: %s", S.Name.c_str(),
+                       Run.FailureNote.c_str());
+      if (!Run.FailureTrace.empty())
+        Out.FailureNote +=
+            "\ncounterexample schedule:\n" + Run.renderTrace();
+      return Out;
+    }
+    if (Run.Exhausted) {
+      Out.Holds = false;
+      Out.FailureNote = formatString(
+          "%s: state space exceeded the exploration bound", S.Name.c_str());
+      return Out;
+    }
+    for (const Terminal &Term : Run.Terminals) {
+      ++Out.TerminalsChecked;
+      if (!S.Post(Term.Result, InitialView, Term.FinalView)) {
+        Out.Holds = false;
+        Out.FailureNote = formatString(
+            "%s: postcondition %s fails for result %s;\ninitial view:\n%s"
+            "final view:\n%s",
+            S.Name.c_str(), S.PostName.c_str(),
+            Term.Result.toString().c_str(),
+            InitialView.toString().c_str(),
+            Term.FinalView.toString().c_str());
+        return Out;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- spec/Verifier.h - Hoare-triple verification --------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verification of `{Pre} prog {Post}` judgments: for every initial state
+/// satisfying the precondition, every interleaving of the program with
+/// environment interference must (a) never apply an atomic action outside
+/// its safe states — the paper's "natural safety predicate" (Section 5.1,
+/// footnote 5) — and (b) satisfy the postcondition at every terminal
+/// state. This is the model-checking discharge of what FCSL proves
+/// deductively; on the finite instances explored it is exhaustive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SPEC_VERIFIER_H
+#define FCSL_SPEC_VERIFIER_H
+
+#include "prog/Engine.h"
+#include "spec/Spec.h"
+
+namespace fcsl {
+
+/// One verification instance: the program with a concrete initial state
+/// (the logical variables of the paper's specs become the quantification
+/// over instances).
+struct VerifyInstance {
+  GlobalState Initial;
+  VarEnv InitialEnv; ///< program-level arguments (e.g. the root pointer x).
+};
+
+/// Outcome of verifying a triple.
+struct VerifyResult {
+  bool Holds = true;
+  std::string FailureNote;
+  uint64_t InstancesChecked = 0;
+  uint64_t ConfigsExplored = 0;
+  uint64_t ActionSteps = 0;
+  uint64_t EnvSteps = 0;
+  uint64_t TerminalsChecked = 0;
+};
+
+/// Verifies `{Spec.Pre} Prog {Spec.Post}` over all \p Instances whose
+/// initial root-thread view satisfies the precondition (instances failing
+/// the precondition are skipped — they are outside the triple's domain).
+VerifyResult verifyTriple(const ProgRef &Prog, const Spec &S,
+                          const std::vector<VerifyInstance> &Instances,
+                          const EngineOptions &Opts);
+
+/// The synthesized strongest postcondition of Section 5.1 ("each FCSL
+/// command is packaged together with its weakest pre- and strongest
+/// postconditions"): for one instance, the exact set of reachable
+/// terminal (result, final view) pairs. std::nullopt if the program is
+/// unsafe from this instance or the exploration was exhausted.
+std::optional<std::vector<Terminal>>
+strongestPost(const ProgRef &Prog, const VerifyInstance &Instance,
+              const EngineOptions &Opts);
+
+/// Precondition inference, the model-checking counterpart of Section
+/// 5.2's spec weakening: among \p Candidates, returns the indices of the
+/// initial states from which `{*} Prog {Post}` holds (safe, complete and
+/// postcondition-satisfying). The assertion "initial state is one of the
+/// returned candidates" is then a valid precondition for the triple.
+std::vector<size_t>
+inferPre(const ProgRef &Prog, const PostFn &Post,
+         const std::vector<VerifyInstance> &Candidates,
+         const EngineOptions &Opts);
+
+} // namespace fcsl
+
+#endif // FCSL_SPEC_VERIFIER_H

@@ -1,0 +1,132 @@
+//===- state/GlobalState.h - Whole-system instrumented state ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model checker's global configuration state. Where a View is one
+/// thread's subjective [self|joint|other] snapshot, the GlobalState keeps,
+/// per label: the shared joint heap, every live thread's self contribution,
+/// and the abstract environment's contribution. A thread's View is derived
+/// by taking its own contribution as self and joining everything else into
+/// other — which is precisely the paper's subjective semantics, and makes
+/// the proofs (here: explorations) "insensitive to the number of threads
+/// forked" (Section 2.2.1): forking splits a contribution, joining reunites
+/// it, and the global state never changes shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STATE_GLOBALSTATE_H
+#define FCSL_STATE_GLOBALSTATE_H
+
+#include "state/View.h"
+
+#include <set>
+
+namespace fcsl {
+
+/// Thread identifiers form a binary tree: the root program is thread 1, and
+/// the children of thread t are 2t and 2t+1 (the `par` combinator). Ids are
+/// deterministic across explorations so configurations hash stably.
+using ThreadId = uint64_t;
+
+inline ThreadId rootThread() { return 1; }
+inline ThreadId leftChild(ThreadId T) { return 2 * T; }
+inline ThreadId rightChild(ThreadId T) { return 2 * T + 1; }
+
+/// The whole-system state over which the interleaving engine runs.
+class GlobalState {
+public:
+  GlobalState() = default;
+
+  /// Installs a concurroid instance at \p L. \p EnvClosed marks labels that
+  /// external interference may not touch (the effect of `hide`).
+  void addLabel(Label L, PCMTypeRef SelfType, Heap Joint, PCMVal EnvSelf,
+                bool EnvClosed);
+
+  /// Uninstalls \p L, returning its joint heap (used by `hide` on exit).
+  Heap removeLabel(Label L);
+
+  bool hasLabel(Label L) const { return SelfTypes.count(L) != 0; }
+  std::vector<Label> labels() const;
+  bool isEnvClosed(Label L) const { return EnvClosed.count(L) != 0; }
+
+  const PCMTypeRef &selfType(Label L) const;
+  const Heap &joint(Label L) const;
+  void setJoint(Label L, Heap H);
+
+  /// Thread \p T's contribution at \p L (unit if none recorded). Unit
+  /// contributions are canonically not stored, so states compare equal
+  /// independently of which threads ever touched a label.
+  PCMVal selfOf(Label L, ThreadId T) const;
+  void setSelf(Label L, ThreadId T, PCMVal V);
+
+  const PCMVal &envSelf(Label L) const;
+  void setEnvSelf(Label L, PCMVal V);
+
+  /// Joined contribution of every thread except \p T, plus the environment;
+  /// std::nullopt if contributions clash (the state is then globally
+  /// incoherent and the engine reports a soundness violation).
+  std::optional<PCMVal> otherFor(Label L, ThreadId T) const;
+
+  /// Joined contribution of every thread (no environment).
+  std::optional<PCMVal> allThreadsJoin(Label L) const;
+
+  /// Builds thread \p T's subjective view of all labels.
+  View viewFor(ThreadId T) const;
+
+  /// Builds the environment's subjective view (self = env contribution,
+  /// other = all threads). Environment transitions step this view.
+  View viewForEnv() const;
+
+  /// Writes back thread \p T's post-view: joints and T's selves are
+  /// updated; asserts the other components were left untouched.
+  void applyThread(ThreadId T, const View &Pre, const View &Post);
+
+  /// Writes back an environment step.
+  void applyEnv(const View &Pre, const View &Post);
+
+  /// Forks \p Parent into \p Left and \p Right, distributing the parent's
+  /// contribution at every label according to \p Splits (labels missing
+  /// from \p Splits give the whole contribution to the left child).
+  void fork(ThreadId Parent, ThreadId Left, ThreadId Right,
+            const std::map<Label, std::pair<PCMVal, PCMVal>> &Splits);
+
+  /// Joins children back into \p Parent: the parent's contribution becomes
+  /// the PCM join of the children's. Asserts definedness.
+  void joinChildren(ThreadId Parent, ThreadId Left, ThreadId Right);
+
+  int compare(const GlobalState &Other) const;
+  friend bool operator==(const GlobalState &A, const GlobalState &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator<(const GlobalState &A, const GlobalState &B) {
+    return A.compare(B) < 0;
+  }
+
+  void hashInto(std::size_t &Seed) const;
+  std::string toString() const;
+
+private:
+  std::map<Label, PCMTypeRef> SelfTypes;
+  std::map<Label, Heap> Joints;
+  std::map<Label, std::map<ThreadId, PCMVal>> Selves;
+  std::map<Label, PCMVal> EnvSelves;
+  std::set<Label> EnvClosed;
+};
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::GlobalState> {
+  size_t operator()(const fcsl::GlobalState &S) const {
+    size_t Seed = 0;
+    S.hashInto(Seed);
+    return Seed;
+  }
+};
+} // namespace std
+
+#endif // FCSL_STATE_GLOBALSTATE_H

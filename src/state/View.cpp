@@ -1,0 +1,182 @@
+//===- state/View.cpp - Subjective [self|joint|other] states ---------------===//
+//
+// Part of fcsl-cpp. See View.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/View.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+std::vector<Label> View::labels() const {
+  std::vector<Label> Out;
+  Out.reserve(Slices.size());
+  for (const auto &Entry : Slices)
+    Out.push_back(Entry.first);
+  return Out;
+}
+
+void View::addLabel(Label L, LabelSlice S) {
+  bool Inserted = Slices.emplace(L, std::move(S)).second;
+  assert(Inserted && "label already installed");
+  (void)Inserted;
+}
+
+void View::removeLabel(Label L) {
+  size_t Erased = Slices.erase(L);
+  assert(Erased == 1 && "label not installed");
+  (void)Erased;
+}
+
+const LabelSlice &View::slice(Label L) const {
+  auto It = Slices.find(L);
+  assert(It != Slices.end() && "label not installed");
+  return It->second;
+}
+
+LabelSlice &View::sliceMut(Label L) {
+  auto It = Slices.find(L);
+  assert(It != Slices.end() && "label not installed");
+  return It->second;
+}
+
+std::optional<PCMVal> View::selfOtherJoin(Label L) const {
+  const LabelSlice &S = slice(L);
+  return PCMVal::join(S.Self, S.Other);
+}
+
+bool View::realignSelfToOther(Label L, const PCMVal &Delta) {
+  LabelSlice &S = sliceMut(L);
+  std::optional<PCMVal> Rest = pcmSubtract(S.Self, Delta);
+  if (!Rest)
+    return false;
+  std::optional<PCMVal> NewOther = PCMVal::join(S.Other, Delta);
+  if (!NewOther)
+    return false;
+  S.Self = std::move(*Rest);
+  S.Other = std::move(*NewOther);
+  return true;
+}
+
+int View::compare(const View &Other) const {
+  auto AIt = Slices.begin(), AEnd = Slices.end();
+  auto BIt = Other.Slices.begin(), BEnd = Other.Slices.end();
+  for (; AIt != AEnd && BIt != BEnd; ++AIt, ++BIt) {
+    if (AIt->first != BIt->first)
+      return AIt->first < BIt->first ? -1 : 1;
+    int Cmp = AIt->second.Self.compare(BIt->second.Self);
+    if (Cmp != 0)
+      return Cmp;
+    Cmp = AIt->second.Joint.compare(BIt->second.Joint);
+    if (Cmp != 0)
+      return Cmp;
+    Cmp = AIt->second.Other.compare(BIt->second.Other);
+    if (Cmp != 0)
+      return Cmp;
+  }
+  if (AIt != AEnd)
+    return 1;
+  if (BIt != BEnd)
+    return -1;
+  return 0;
+}
+
+void View::hashInto(std::size_t &Seed) const {
+  hashValue(Seed, Slices.size());
+  for (const auto &Entry : Slices) {
+    hashValue(Seed, Entry.first);
+    Entry.second.Self.hashInto(Seed);
+    Entry.second.Joint.hashInto(Seed);
+    Entry.second.Other.hashInto(Seed);
+  }
+}
+
+std::string View::toString() const {
+  std::string Out;
+  for (const auto &Entry : Slices) {
+    Out += formatString("%u ->> [", Entry.first);
+    Out += Entry.second.Self.toString() + " | " +
+           Entry.second.Joint.toString() + " | " +
+           Entry.second.Other.toString() + "]\n";
+  }
+  return Out;
+}
+
+std::optional<PCMVal> fcsl::pcmSubtract(const PCMVal &Whole,
+                                        const PCMVal &Part) {
+  if (Whole.kind() != Part.kind())
+    return std::nullopt;
+  switch (Whole.kind()) {
+  case PCMKind::Nat:
+    if (Part.getNat() > Whole.getNat())
+      return std::nullopt;
+    return PCMVal::ofNat(Whole.getNat() - Part.getNat());
+  case PCMKind::Mutex:
+    if (Part.isOwn())
+      return Whole.isOwn() ? std::optional<PCMVal>(PCMVal::mutexFree())
+                           : std::nullopt;
+    return Whole;
+  case PCMKind::PtrSet: {
+    std::set<Ptr> Rest = Whole.getPtrSet();
+    for (Ptr P : Part.getPtrSet()) {
+      auto It = Rest.find(P);
+      if (It == Rest.end())
+        return std::nullopt;
+      Rest.erase(It);
+    }
+    return PCMVal::ofPtrSet(std::move(Rest));
+  }
+  case PCMKind::HeapPCM: {
+    const Heap &WholeHeap = Whole.getHeap();
+    Heap Rest = WholeHeap;
+    for (const auto &Cell : Part.getHeap()) {
+      const Val *V = WholeHeap.tryLookup(Cell.first);
+      if (!V || *V != Cell.second)
+        return std::nullopt;
+      Rest.remove(Cell.first);
+    }
+    return PCMVal::ofHeap(std::move(Rest));
+  }
+  case PCMKind::Hist: {
+    const History &WholeHist = Whole.getHist();
+    History Rest;
+    for (const auto &Entry : WholeHist) {
+      const HistEntry *E = Part.getHist().tryLookup(Entry.first);
+      if (E) {
+        if (!(*E == Entry.second))
+          return std::nullopt;
+        continue;
+      }
+      Rest.add(Entry.first, Entry.second);
+    }
+    // Every Part stamp must occur in Whole.
+    if (Rest.size() + Part.getHist().size() != WholeHist.size())
+      return std::nullopt;
+    return PCMVal::ofHist(std::move(Rest));
+  }
+  case PCMKind::Pair: {
+    std::optional<PCMVal> First = pcmSubtract(Whole.first(), Part.first());
+    if (!First)
+      return std::nullopt;
+    std::optional<PCMVal> Second = pcmSubtract(Whole.second(), Part.second());
+    if (!Second)
+      return std::nullopt;
+    return PCMVal::makePair(std::move(*First), std::move(*Second));
+  }
+  case PCMKind::Lift: {
+    if (Whole.isLiftUndef() || Part.isLiftUndef())
+      return std::nullopt;
+    std::optional<PCMVal> Inner =
+        pcmSubtract(Whole.liftInner(), Part.liftInner());
+    if (!Inner)
+      return std::nullopt;
+    return PCMVal::liftDef(std::move(*Inner));
+  }
+  }
+  assert(false && "unknown PCM kind");
+  return std::nullopt;
+}

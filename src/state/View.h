@@ -1,0 +1,126 @@
+//===- state/View.h - Subjective [self|joint|other] states ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A View is one thread's subjective snapshot of the labelled state: for
+/// each concurroid label it carries the triple [self | joint | other]
+/// (Section 2.2.1). `joint` is real heap shared by every thread; `self` is
+/// the observing thread's own (possibly auxiliary) PCM contribution and
+/// `other` the combined contribution of everyone else. Specifications,
+/// coherence predicates, transitions and atomic actions are all predicates
+/// or relations on Views — exactly the paper's state model, with the label
+/// indexing of Section 3.3 (`sp ->> [self, joint, other]`) and the getters
+/// of Section 5.3 (`self pv s`, `joint sp s`, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STATE_VIEW_H
+#define FCSL_STATE_VIEW_H
+
+#include "pcm/PCMVal.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// Identifies one installed concurroid instance (the paper's label, e.g. the
+/// variable `sp` parameterizing the SpanTree concurroid).
+using Label = uint32_t;
+
+/// The per-label state triple.
+struct LabelSlice {
+  PCMVal Self;
+  Heap Joint;
+  PCMVal Other;
+
+  friend bool operator==(const LabelSlice &A, const LabelSlice &B) {
+    return A.Self == B.Self && A.Joint == B.Joint && A.Other == B.Other;
+  }
+};
+
+/// A labelled subjective state: finite map from labels to slices.
+class View {
+public:
+  View() = default;
+
+  bool hasLabel(Label L) const { return Slices.count(L) != 0; }
+  size_t numLabels() const { return Slices.size(); }
+  std::vector<Label> labels() const;
+
+  /// Adds a fresh label; asserts it is not already present.
+  void addLabel(Label L, LabelSlice S);
+
+  /// Removes a label; asserts it is present.
+  void removeLabel(Label L);
+
+  const LabelSlice &slice(Label L) const;
+  LabelSlice &sliceMut(Label L);
+
+  /// The paper's getters: self/joint/other projections at a label.
+  const PCMVal &self(Label L) const { return slice(L).Self; }
+  const Heap &joint(Label L) const { return slice(L).Joint; }
+  const PCMVal &other(Label L) const { return slice(L).Other; }
+
+  void setSelf(Label L, PCMVal V) { sliceMut(L).Self = std::move(V); }
+  void setJoint(Label L, Heap H) { sliceMut(L).Joint = std::move(H); }
+  void setOther(Label L, PCMVal V) { sliceMut(L).Other = std::move(V); }
+
+  /// self \+ other at \p L; std::nullopt when the contributions clash (such
+  /// a view is incoherent for any concurroid).
+  std::optional<PCMVal> selfOtherJoin(Label L) const;
+
+  /// Realigns the subjective split at \p L: moves \p Delta from self to
+  /// other. Returns false when self cannot be split as Delta \+ rest. This
+  /// is the fork-join realignment the concurroid state spaces must be closed
+  /// under (the paper's "subjectivity" / fork-join closure requirement);
+  /// note it needs PCM cancellativity to be well-defined, which
+  /// pcm/Algebra.h checks per carrier.
+  bool realignSelfToOther(Label L, const PCMVal &Delta);
+
+  int compare(const View &Other) const;
+  friend bool operator==(const View &A, const View &B) {
+    return A.compare(B) == 0;
+  }
+  friend bool operator!=(const View &A, const View &B) {
+    return A.compare(B) != 0;
+  }
+  friend bool operator<(const View &A, const View &B) {
+    return A.compare(B) < 0;
+  }
+
+  void hashInto(std::size_t &Seed) const;
+  std::string toString() const;
+
+  auto begin() const { return Slices.begin(); }
+  auto end() const { return Slices.end(); }
+
+private:
+  std::map<Label, LabelSlice> Slices;
+};
+
+/// Attempts to subtract \p Part from \p Whole in the PCM sense: returns R
+/// with Part \+ R == Whole if such an element exists among candidates
+/// constructible for the carrier. Implemented exactly for the cancellative
+/// carriers used in the case studies (nat, mutex, ptrset, heap, hist, and
+/// pairs thereof); returns std::nullopt if Part is not a sub-element.
+std::optional<PCMVal> pcmSubtract(const PCMVal &Whole, const PCMVal &Part);
+
+} // namespace fcsl
+
+namespace std {
+template <> struct hash<fcsl::View> {
+  size_t operator()(const fcsl::View &V) const {
+    size_t Seed = 0;
+    V.hashInto(Seed);
+    return Seed;
+  }
+};
+} // namespace std
+
+#endif // FCSL_STATE_VIEW_H

@@ -1,0 +1,60 @@
+//===- structures/CaseCommon.h - Case-study plumbing ------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for assembling the case studies of Table 1: adapters
+/// from the metatheory/stability/verifier report types into session
+/// obligations, and small view/state builders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_CASECOMMON_H
+#define FCSL_STRUCTURES_CASECOMMON_H
+
+#include "action/ActionChecks.h"
+#include "concurroid/Metatheory.h"
+#include "spec/Session.h"
+#include "spec/Stability.h"
+#include "spec/Verifier.h"
+
+namespace fcsl {
+
+/// Adapts a MetaReport into an ObligationResult.
+inline ObligationResult toObligation(const MetaReport &R) {
+  return ObligationResult{R.Passed, R.ChecksRun, R.CounterExample};
+}
+
+/// Adapts a StabilityReport into an ObligationResult.
+inline ObligationResult toObligation(const StabilityReport &R) {
+  return ObligationResult{R.Stable, R.StatesVisited + R.EnvStepsTaken,
+                          R.CounterExample};
+}
+
+/// Adapts a VerifyResult into an ObligationResult.
+inline ObligationResult toObligation(const VerifyResult &R) {
+  return ObligationResult{R.Holds,
+                          R.ConfigsExplored + R.TerminalsChecked,
+                          R.FailureNote};
+}
+
+/// Builds a one-label view.
+inline View makeView(Label L, PCMVal Self, Heap Joint, PCMVal Other) {
+  View S;
+  S.addLabel(L, LabelSlice{std::move(Self), std::move(Joint),
+                           std::move(Other)});
+  return S;
+}
+
+/// A named case study for the suite/bench harness.
+struct CaseEntry {
+  std::string Name;
+  std::function<VerificationSession()> MakeSession;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_CASECOMMON_H

@@ -1,0 +1,50 @@
+//===- structures/CgAllocator.h - Coarse-grained allocator ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "CG allocator" row of Table 1 and Section 4.1's `alloc` example: a
+/// lock-protected pool of free cells. Acquiring the lock brings the whole
+/// pool into the caller's private heap; the caller withdraws one cell and
+/// releases the rest, bumping its allocation count — "the pointer is
+/// logically transferred from the concurroid ALock" to Priv. Like CG
+/// increment, it needs no concurroid of its own (Table 1's `-` cells) and
+/// verifies against either lock implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_CGALLOCATOR_H
+#define FCSL_STRUCTURES_CGALLOCATOR_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// Number of cells in the allocator pool for the Table 1 instance.
+constexpr unsigned AllocPoolSize = 2;
+
+/// True if \p P is one of the pool's cells.
+bool isPoolCell(Ptr P);
+
+/// The pool resource model: invariant |pool| = PoolSize - total allocated.
+/// \p Pv locates the environment's private heap for release enumeration.
+ResourceModel allocatorResourceModel(Label Pv, Label Lk, unsigned PoolSize);
+
+/// Registers `lock` and `alloc` in \p Defs over lock protocol \p P.
+/// `alloc()` returns a pointer freshly withdrawn from the pool (it loops
+/// on the lock like the paper's spin-looping `alloc`).
+void defineAllocProgram(const LockProtocol &P, DefTable &Defs,
+                        unsigned PoolSize);
+
+/// The "CG allocator" Table 1 row.
+VerificationSession makeCgAllocatorSession();
+
+void registerCgAllocatorLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_CGALLOCATOR_H

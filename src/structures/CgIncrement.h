@@ -1,0 +1,50 @@
+//===- structures/CgIncrement.h - Coarse-grained increment ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "CG increment" row of Table 1: concurrent incrementation of a
+/// shared counter protected by the abstract lock interface (after
+/// Ley-Wild & Nanevski's subjective auxiliary state). Each thread's
+/// contribution lives in the PCM of naturals under addition; the lock's
+/// resource invariant ties the counter cell to the *combined*
+/// contribution, so the parallel-increment client can conclude that two
+/// increments add two — the textbook subjectivity example. The program
+/// needs no concurroid of its own (the `-` cells of Table 1): it reuses
+/// Priv and a lock through the interface, so it verifies unchanged with
+/// either the CAS lock or the ticketed lock (Table 2's `3L`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_CGINCREMENT_H
+#define FCSL_STRUCTURES_CGINCREMENT_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// The shared counter's resource model over \p Lk (cell &1 holds the total
+/// contribution; environment releases add exactly one, up to \p EnvCap).
+ResourceModel counterResourceModel(Label Lk, uint64_t EnvCap);
+
+/// The counter cell protected by the lock.
+Ptr counterResourceCell();
+
+/// Builds the increment client over a lock produced by \p Factory:
+/// registers `lock` (+ helpers) and `incr` in \p Defs and returns the
+/// unlock action used by `incr`.
+ActionRef defineIncrProgram(const LockProtocol &P, DefTable &Defs);
+
+/// The "CG increment" Table 1 row. Verifies incr with the CAS lock and the
+/// ticketed lock, plus the parallel-increment client.
+VerificationSession makeCgIncrementSession();
+
+void registerCgIncrementLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_CGINCREMENT_H

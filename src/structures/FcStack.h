@@ -1,0 +1,32 @@
+//===- structures/FcStack.h - Stack via flat combining ----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "FC-stack" row of Table 1: the flat combiner instantiated with a
+/// sequential stack, "showing that the result has the same spec as a
+/// concurrent stack implementation" (Section 4.2). Two clients run
+/// flat_combine concurrently — each owning one publication slot — and the
+/// combined history records both operations, whichever thread ended up
+/// combining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_FCSTACK_H
+#define FCSL_STRUCTURES_FCSTACK_H
+
+#include "structures/FlatCombiner.h"
+
+namespace fcsl {
+
+/// The "FC-stack" Table 1 row.
+VerificationSession makeFcStackSession();
+
+void registerFcStackLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_FCSTACK_H

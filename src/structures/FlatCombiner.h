@@ -1,0 +1,71 @@
+//===- structures/FlatCombiner.h - Flat combining ---------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat combiner of Section 4.2 (after Hendler et al.): a higher-order
+/// structure whose `flat_combine(f, v)` registers the request (f, v) in a
+/// publication slot; some thread then becomes the *combiner* by taking the
+/// lock and executes every registered request on the protected sequential
+/// structure (here: a sequential stack), writing results back into the
+/// slots. This is the paper's showcase of the *helping* pattern: the
+/// history entry for an operation executed by the combiner is ascribed to
+/// the *requesting* thread — it parks in the slot (as joint state) until
+/// the requester collects it into its self history.
+///
+/// Slot protocol (values of the slot cells):
+///   unit                          — Idle
+///   pair(int op, arg)             — Request (op 1 = push, 2 = pop)
+///   pair(true, (res,(t,(b,a))))   — Done: result, stamp, before, after
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_FLATCOMBINER_H
+#define FCSL_STRUCTURES_FLATCOMBINER_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// Operation codes of the sequential structure.
+enum FcOp : int64_t { FcPush = 1, FcPop = 2 };
+
+/// The packaged flat-combiner setup.
+struct FlatCombinerCase {
+  Label Fc;
+  Ptr LockCell;
+  Ptr Slot1;
+  Ptr Slot2;
+  Ptr StackCell; ///< holds the sequential structure's whole state.
+  ConcurroidRef C;
+  ActionRef Publish;    ///< (slot, op, arg) -> unit.
+  ActionRef TryLockFc;  ///< () -> bool.
+  ActionRef CombineSlot;///< (slot) -> unit (no-op unless Request).
+  ActionRef ReleaseFc;  ///< () -> unit.
+  ActionRef TryCollect; ///< (slot) -> pair(bool, result).
+  DefTable Defs;        ///< contains `flat_combine(slot, op, arg)`.
+};
+
+/// Builds the case; environment requests are bounded by \p EnvHistCap
+/// total history entries (committed plus parked in slots).
+FlatCombinerCase makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap);
+
+/// Initial state: empty stack, idle slots; the root thread owns \p MySlots
+/// of the two slots (the env owns the rest).
+GlobalState flatCombinerState(const FlatCombinerCase &C, unsigned MySlots);
+
+/// Sample coherent views.
+std::vector<View> flatCombinerSampleViews(const FlatCombinerCase &C);
+
+/// The "Flat combiner" Table 1 row.
+VerificationSession makeFlatCombinerSession();
+
+void registerFlatCombinerLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_FLATCOMBINER_H

@@ -1,0 +1,19 @@
+//===- structures/LockIface.cpp - The abstract lock interface --------------===//
+//
+// Part of fcsl-cpp. See LockIface.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/LockIface.h"
+
+using namespace fcsl;
+
+void fcsl::defineLockLoop(DefTable &Defs, const std::string &FnName,
+                          const ActionRef &TryLock) {
+  // lock() := b <-- tryLock; if b then ret () else lock().
+  ProgRef Body = Prog::bind(
+      Prog::act(TryLock, {}), "b",
+      Prog::ifThenElse(Expr::var("b"), Prog::retUnit(),
+                       Prog::call(FnName, {})));
+  Defs.define(FnName, FuncDef{{}, std::move(Body)});
+}

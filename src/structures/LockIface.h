@@ -1,0 +1,114 @@
+//===- structures/LockIface.h - The abstract lock interface -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract lock interface of the paper's Section 6 / Figure 5: "both
+/// lock implementations are instances of the abstract lock interface,
+/// which is used to implement and verify the allocator" (and the
+/// coarse-grained incrementor). A lock protects a *resource*: a heap
+/// satisfying a client-chosen invariant I(resource, total), where `total`
+/// is the combined client-PCM contribution of all threads. Acquiring the
+/// lock transfers the resource heap into the caller's private heap (via
+/// entanglement with Priv); releasing returns a new resource and may
+/// augment the caller's client contribution, subject to I.
+///
+/// Two factories implement the interface: the CAS spinlock (SpinLock.h)
+/// and the ticketed lock (TicketLock.h). Clients — CG increment and the CG
+/// allocator — are written only against LockProtocol, which is exactly
+/// what makes them verifiable with either lock (Table 2's `3L` marks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_LOCKIFACE_H
+#define FCSL_STRUCTURES_LOCKIFACE_H
+
+#include "action/AtomicAction.h"
+#include "concurroid/Entangle.h"
+#include "concurroid/Priv.h"
+#include "prog/Prog.h"
+
+namespace fcsl {
+
+/// The client side of the abstract lock: what the lock protects.
+struct ResourceModel {
+  /// Carrier of per-thread client contributions (e.g. nat for increment).
+  PCMTypeRef ClientType;
+
+  /// The resource invariant I(resource heap, total client contribution),
+  /// required whenever the lock is free.
+  std::function<bool(const Heap &Resource, const PCMVal &TotalClient)>
+      Invariant;
+
+  /// Finite enumeration of environment release options: given the
+  /// environment's view *while it holds the lock*, the (new resource, new
+  /// env client contribution) pairs it may release with. Bounding this set
+  /// bounds interference, keeping exploration finite; each option must
+  /// re-establish the invariant and draw its cells from the env's private
+  /// heap.
+  std::function<std::vector<std::pair<Heap, PCMVal>>(const View &EnvView)>
+      EnvReleaseOptions;
+};
+
+/// How a client computes its release payload: from the caller's view and
+/// the unlock action's arguments, the (new resource heap, new client self)
+/// pair; std::nullopt makes the unlock unsafe (precondition violation).
+using ReleaseFn = std::function<std::optional<std::pair<Heap, PCMVal>>(
+    const View &, const std::vector<Val> &)>;
+
+/// A lock implementation, packaged for clients.
+struct LockProtocol {
+  std::string Name; ///< "CLock" or "TLock" (Table 2 column names).
+  ConcurroidRef C;  ///< entangle(Priv pv, <lock>) — clients may entangle
+                    ///< further.
+  Label Pv = 0;
+  Label Lk = 0;
+  PCMTypeRef ClientType;
+
+  /// tryLock: () -> bool. True means acquired: the resource heap is now in
+  /// the caller's private heap and the caller's lock token is Own. (The
+  /// ticketed lock has no single-action tryLock; it leaves this null and
+  /// clients must go through DefineLock.)
+  ActionRef TryLock;
+
+  /// Registers a blocking `lock()` program under \p FnName: the CAS lock
+  /// spins on tryLock, the ticketed lock takes a ticket and waits for its
+  /// turn. This is the entry point clients program against.
+  std::function<void(DefTable &Defs, const std::string &FnName)> DefineLock;
+
+  /// Builds the client-specific unlock action: requires the caller to hold
+  /// the lock; applies \p Release.
+  std::function<ActionRef(std::string Name, unsigned Arity,
+                          ReleaseFn Release)>
+      MakeUnlock;
+
+  /// Whether the observing thread holds the lock in view \p S.
+  std::function<bool(const View &S)> HoldsLock;
+
+  /// The observing thread's client contribution in view \p S.
+  std::function<PCMVal(const View &S)> ClientSelf;
+
+  /// Initial joint heap for the lock's label (free lock + \p Resource).
+  std::function<Heap(const Heap &Resource)> InitialJoint;
+
+  /// Unit self value for the lock label (NotOwn x client unit, or the
+  /// ticket-lock analogue).
+  std::function<PCMVal()> UnitSelf;
+};
+
+/// A lock factory: both lock implementations have this shape, which is the
+/// interface clients are parameterized by.
+using LockFactory =
+    std::function<LockProtocol(Label Pv, Label Lk, const ResourceModel &)>;
+
+/// Builds the spin-lock program `lock()`: loop { b <-- tryLock; if b then
+/// ret () else retry }, registered in \p Defs under \p FnName.
+void defineLockLoop(DefTable &Defs, const std::string &FnName,
+                    const ActionRef &TryLock);
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_LOCKIFACE_H

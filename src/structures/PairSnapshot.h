@@ -1,0 +1,58 @@
+//===- structures/PairSnapshot.h - Atomic pair snapshot ---------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The atomic pair snapshot of Table 1 (after Qadeer et al. / Liang&Feng):
+/// two cells x and y carry (value, version) pairs; writers bump the
+/// version, and the wait-free reader `readPair` retries until the version
+/// of x is unchanged across its two reads, which guarantees the returned
+/// pair (vx, vy) was simultaneously present at the moment y was read.
+/// Specified — as in the paper — with a PCM of time-stamped histories of
+/// the abstract pair state: the snapshot spec says the returned pair
+/// appears as some state of the history between invocation and return.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_PAIRSNAPSHOT_H
+#define FCSL_STRUCTURES_PAIRSNAPSHOT_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// The packaged pair-snapshot setup.
+struct PairSnapCase {
+  Label Rp;
+  Ptr CellX;
+  Ptr CellY;
+  ConcurroidRef C; ///< the ReadPair concurroid (no Priv needed).
+  ActionRef ReadX; ///< () -> (value, version) of x.
+  ActionRef ReadY; ///< () -> (value, version) of y.
+  ActionRef WriteX; ///< (v) -> unit.
+  ActionRef WriteY; ///< (v) -> unit.
+  DefTable Defs;   ///< contains `readPair`.
+};
+
+/// Builds the case; env writes (bounded by \p EnvHistCap history entries)
+/// store the fixed values 9 into x and 8 into y.
+PairSnapCase makePairSnapCase(Label Rp, uint64_t EnvHistCap);
+
+/// Initial state with x = y = 0, versions 0, empty history.
+GlobalState pairSnapState(const PairSnapCase &C);
+
+/// Sample coherent views.
+std::vector<View> pairSnapSampleViews(const PairSnapCase &C);
+
+/// The "Pair snapshot" Table 1 row.
+VerificationSession makePairSnapshotSession();
+
+void registerPairSnapshotLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_PAIRSNAPSHOT_H

@@ -1,0 +1,30 @@
+//===- structures/ProdCons.h - Producer/Consumer over Treiber ---*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Prod/Cons" row of Table 1: a Treiber-stack-based producer/consumer
+/// client. The producer pushes a fixed sequence of values; the consumer
+/// loops popping until it has received as many. The triple proves exact
+/// delivery: the consumer receives precisely the produced multiset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_PRODCONS_H
+#define FCSL_STRUCTURES_PRODCONS_H
+
+#include "structures/TreiberStack.h"
+
+namespace fcsl {
+
+/// The "Prod/Cons" Table 1 row.
+VerificationSession makeProdConsSession();
+
+void registerProdConsLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_PRODCONS_H

@@ -1,0 +1,165 @@
+//===- structures/SeqStack.cpp - Sequential stack via hiding ---------------===//
+//
+// Part of fcsl-cpp. See SeqStack.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/SeqStack.h"
+
+#include "concurroid/Registry.h"
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label PvLbl = 1;
+constexpr Label TrLbl = 2;
+
+/// Initial state: the Treiber layout (sentinel cell) and two node cells
+/// all sit in the root thread's private heap; nothing is installed yet.
+GlobalState seqStackInitialState(const TreiberCase &C) {
+  Heap Mine;
+  Mine.insert(C.Sentinel, Val::ofPtr(Ptr::null()));
+  Mine.insert(Ptr(20), Val::pair(Val::ofInt(0), Val::ofPtr(Ptr::null())));
+  Mine.insert(Ptr(21), Val::pair(Val::ofInt(0), Val::ofPtr(Ptr::null())));
+  GlobalState GS;
+  GS.addLabel(PvLbl, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+              /*EnvClosed=*/false);
+  GS.setSelf(PvLbl, rootThread(), PCMVal::ofHeap(std::move(Mine)));
+  return GS;
+}
+
+/// hide { push 1; push 2; a <-- pop; b <-- pop; ret (a, b) }.
+ProgRef seqStackProg(const TreiberCase &C) {
+  HideSpec Spec;
+  Spec.Pv = C.Pv;
+  Spec.Hidden = C.Tr;
+  Spec.SelfType = PCMType::hist();
+  Spec.Installed = C.Treiber;
+  Ptr Snt = C.Sentinel;
+  // Decoration: donate the sentinel cell (an empty stack layout); node
+  // cells stay private until pushed.
+  Spec.ChooseDonation = [Snt](const Heap &Mine) -> std::optional<Heap> {
+    const Val *Head = Mine.tryLookup(Snt);
+    if (!Head || !Head->isPtr() || !Head->getPtr().isNull())
+      return std::nullopt;
+    return Heap::singleton(Snt, *Head);
+  };
+  Spec.InitSelf = PCMVal::ofHist(History());
+
+  ProgRef Body = Prog::seq(
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
+      Prog::seq(
+          Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}),
+          Prog::bind(
+              Prog::call("pop", {}), "a",
+              Prog::bind(Prog::call("pop", {}), "b",
+                         Prog::ret(Expr::mkPair(
+                             Expr::snd(Expr::var("a")),
+                             Expr::snd(Expr::var("b"))))))));
+  return Prog::hide(std::move(Spec), std::move(Body));
+}
+
+} // namespace
+
+VerificationSession fcsl::makeSeqStackSession() {
+  VerificationSession Session("Seq. stack");
+  auto Case = std::make_shared<TreiberCase>(
+      makeTreiberCase(PvLbl, TrLbl, /*EnvHistCap=*/0));
+
+  // Libs: the client-side list lemma — the abstract stack read off any
+  // list-shaped joint heap is unique and LIFO-consistent with the cell
+  // chain (exercised over a family of layouts).
+  Session.addObligation(ObCategory::Libs, "list_abstraction_lemma",
+                        [Case] {
+    uint64_t Checks = 0;
+    for (const std::vector<int64_t> &Elems :
+         std::vector<std::vector<int64_t>>{
+             {}, {1}, {2, 1}, {3, 2, 1}, {5, 5}}) {
+      GlobalState GS = treiberState(*Case, Elems, 0, 0);
+      std::optional<Val> Abs =
+          treiberAbstractStack(*Case, GS.joint(TrLbl));
+      ++Checks;
+      if (!Abs)
+        return ObligationResult{false, Checks,
+                                "list abstraction undefined"};
+      // Peel the cons list and compare element by element.
+      const Val *Cur = &*Abs;
+      for (int64_t E : Elems) {
+        if (!Cur->isPair() || Cur->first() != Val::ofInt(E))
+          return ObligationResult{false, Checks,
+                                  "list abstraction mismatch"};
+        Cur = &Cur->second();
+        ++Checks;
+      }
+      if (!Cur->isUnit())
+        return ObligationResult{false, Checks, "list tail not nil"};
+    }
+    return ObligationResult{true, Checks, ""};
+  });
+
+  Session.addObligation(ObCategory::Main, "lifo_under_hiding", [Case] {
+    Spec S;
+    S.Name = "seq_stack";
+    S.C = Case->C;
+    S.Pre = assertTrue();
+    S.PostName = "LIFO: push 1; push 2; pop = 2; pop = 1";
+    S.Post = [](const Val &R, const View &, const View &) {
+      return R.isPair() && R.first() == Val::ofInt(2) &&
+             R.second() == Val::ofInt(1);
+    };
+    ProgRef Main = seqStackProg(*Case);
+    EngineOptions Opts;
+    // The ambient protocol outside the hide is just Priv; the Treiber
+    // concurroid only exists inside the hidden scope.
+    Opts.Ambient = makePriv(PvLbl);
+    Opts.EnvInterference = true; // Priv generates no interference anyway.
+    Opts.Defs = &Case->Defs;
+    return toObligation(verifyTriple(
+        Main, S, {VerifyInstance{seqStackInitialState(*Case), {}}}, Opts));
+  });
+
+  Session.addObligation(ObCategory::Main, "pop_empty_after_hiding",
+                        [Case] {
+    // hide { a <-- pop; ret a } on the empty stack observes emptiness.
+    HideSpec Spec;
+    Spec.Pv = Case->Pv;
+    Spec.Hidden = Case->Tr;
+    Spec.SelfType = PCMType::hist();
+    Spec.Installed = Case->Treiber;
+    Ptr Snt = Case->Sentinel;
+    Spec.ChooseDonation = [Snt](const Heap &Mine) -> std::optional<Heap> {
+      const Val *Head = Mine.tryLookup(Snt);
+      if (!Head)
+        return std::nullopt;
+      return Heap::singleton(Snt, *Head);
+    };
+    Spec.InitSelf = PCMVal::ofHist(History());
+    ProgRef Main = Prog::hide(std::move(Spec), Prog::call("pop", {}));
+
+    struct Spec S;
+    S.Name = "seq_stack_empty_pop";
+    S.C = Case->C;
+    S.Pre = assertTrue();
+    S.PostName = "pop on the empty stack reports empty";
+    S.Post = [](const Val &R, const View &, const View &) {
+      return R.isPair() && R.first() == Val::ofBool(false);
+    };
+    EngineOptions Opts;
+    Opts.Ambient = makePriv(PvLbl);
+    Opts.EnvInterference = true;
+    Opts.Defs = &Case->Defs;
+    return toObligation(verifyTriple(
+        Main, S, {VerifyInstance{seqStackInitialState(*Case), {}}}, Opts));
+  });
+
+  return Session;
+}
+
+void fcsl::registerSeqStackLibrary() {
+  globalRegistry().registerLibrary(LibraryInfo{
+      "Seq. stack",
+      {ConcurroidUse{"Priv", false}, ConcurroidUse{"CLock", true},
+       ConcurroidUse{"TLock", true}, ConcurroidUse{"Treiber", false}},
+      {"Treiber stack"}});
+}

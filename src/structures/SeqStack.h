@@ -1,0 +1,31 @@
+//===- structures/SeqStack.h - Sequential stack via hiding ------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Seq. stack" row of Table 1: "a sequential stack (obtained from
+/// Treiber stack via hiding)". The client installs the Treiber concurroid
+/// over its own private heap with `hide`, shielding it from all
+/// interference; under that closed-world assumption the fine-grained stack
+/// enjoys the purely sequential LIFO specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_SEQSTACK_H
+#define FCSL_STRUCTURES_SEQSTACK_H
+
+#include "structures/TreiberStack.h"
+
+namespace fcsl {
+
+/// The "Seq. stack" Table 1 row.
+VerificationSession makeSeqStackSession();
+
+void registerSeqStackLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_SEQSTACK_H

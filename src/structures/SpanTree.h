@@ -1,0 +1,84 @@
+//===- structures/SpanTree.h - Concurrent spanning tree ---------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Sections 2-3): in-place concurrent
+/// spanning-tree construction over a heap-represented binary graph. This
+/// module packages
+///
+///  - the `SpanTree sp` concurroid: joint = the graph heap, self/other =
+///    disjoint sets of nodes marked by the observing thread / its
+///    environment, with transitions `marknode_trans` and `nullify_trans`
+///    (Section 3.3);
+///  - the atomic actions `trymark` (erases to CAS), `read_child` and
+///    `nullify` (Section 3.4);
+///  - the `span` program of Figure 3, written in the embedded DSL;
+///  - the `span_tp` spec of Figure 4 as a checkable triple, and the
+///    closed-world `span_root_tp` via `hide` (Section 3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_SPANTREE_H
+#define FCSL_STRUCTURES_SPANTREE_H
+
+#include "graph/GraphGen.h"
+#include "graph/GraphPredicates.h"
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// The packaged spanning-tree verification setup.
+struct SpanTreeCase {
+  Label Pv;             ///< Priv label (for span_root's hide).
+  Label Sp;             ///< SpanTree label.
+  ConcurroidRef Span;   ///< the SpanTree concurroid alone.
+  ConcurroidRef Open;   ///< entangle(Priv, SpanTree) for open-world runs.
+  ConcurroidRef PrivOnly; ///< ambient for the hidden (closed-world) run.
+  ActionRef TryMark;
+  ActionRef ReadChildL;
+  ActionRef ReadChildR;
+  ActionRef NullifyL;
+  ActionRef NullifyR;
+  DefTable Defs; ///< contains `span`.
+};
+
+/// Builds the spanning-tree case over labels \p Pv and \p Sp.
+SpanTreeCase makeSpanTreeCase(Label Pv, Label Sp);
+
+/// Initial open-world state: graph \p G installed at sp, nothing marked by
+/// the root thread, \p EnvMarked pre-marked by the environment.
+GlobalState spanOpenState(const SpanTreeCase &C, const Heap &G,
+                          const PtrSet &EnvMarked);
+
+/// Initial closed-world state: graph \p G sits in the root thread's
+/// private heap, ready for `hide`.
+GlobalState spanRootState(const SpanTreeCase &C, const Heap &G);
+
+/// The program `span_root(x)` = hide { span(x) } (Section 3.5).
+ProgRef makeSpanRootProg(const SpanTreeCase &C, Ptr Root);
+
+/// The open-world span_tp postcondition of Figure 4 as a checkable
+/// relation over (result, initial view, final view).
+bool spanTpPost(const SpanTreeCase &C, Ptr X, const Val &R, const View &I,
+                const View &F);
+
+/// The paper's `subgraph s1 s2` relation over views at label sp.
+bool spanSubgraphRel(Label Sp, const View &S1, const View &S2);
+
+/// Sample coherent views over \p G for the metatheory/action/stability
+/// obligations (marking subsets distributed between self and other).
+std::vector<View> spanSampleViews(const SpanTreeCase &C, const Heap &G);
+
+/// The "Spanning tree" Table 1 row.
+VerificationSession makeSpanTreeSession();
+
+void registerSpanTreeLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_SPANTREE_H

@@ -1,0 +1,42 @@
+//===- structures/SpinLock.h - CAS-based spinlock (CLock) -------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CAS-based spinlock of the paper's Section 6 ("CAS-lock" row of
+/// Table 1): a concurroid `CLock lk` whose joint heap holds a lock bit and,
+/// while the lock is free, the protected resource heap. Its self/other
+/// carrier is mutex x client PCM: the mutual-exclusion token plus the
+/// client's contribution (the "mutual exclusion PCM" and "client-provided
+/// PCMs" of the paper's PCM inventory). Acquisition transfers the resource
+/// into the caller's private heap across the Priv entanglement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_SPINLOCK_H
+#define FCSL_STRUCTURES_SPINLOCK_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// Builds a CAS-lock protocol instance over labels \p Pv (Priv) and \p Lk.
+LockProtocol makeCasLock(Label Pv, Label Lk, const ResourceModel &Model);
+
+/// The LockFactory for the CAS lock (Table 2's CLock column).
+LockFactory casLockFactory();
+
+/// The "CAS-lock" row of Table 1: verifies the lock's own obligations and
+/// the lock();unlock() round-trip spec against a one-cell resource.
+VerificationSession makeSpinLockSession();
+
+/// Registers the library in the global registry (Table 2 / Figure 5).
+void registerSpinLockLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_SPINLOCK_H

@@ -1,0 +1,55 @@
+//===- structures/Suite.cpp - The full case-study suite --------------------===//
+//
+// Part of fcsl-cpp. See Suite.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/Suite.h"
+
+#include "structures/CgAllocator.h"
+#include "structures/CgIncrement.h"
+#include "structures/FcStack.h"
+#include "structures/FlatCombiner.h"
+#include "structures/PairSnapshot.h"
+#include "structures/ProdCons.h"
+#include "structures/SeqStack.h"
+#include "structures/SpanTree.h"
+#include "structures/SpinLock.h"
+#include "structures/StackIface.h"
+#include "structures/TicketLock.h"
+#include "structures/TreiberStack.h"
+
+using namespace fcsl;
+
+std::vector<CaseEntry> fcsl::allCaseStudies() {
+  return {
+      CaseEntry{"CAS-lock", makeSpinLockSession},
+      CaseEntry{"Ticketed lock", makeTicketLockSession},
+      CaseEntry{"CG increment", makeCgIncrementSession},
+      CaseEntry{"CG allocator", makeCgAllocatorSession},
+      CaseEntry{"Pair snapshot", makePairSnapshotSession},
+      CaseEntry{"Treiber stack", makeTreiberSession},
+      CaseEntry{"Spanning tree", makeSpanTreeSession},
+      CaseEntry{"Flat combiner", makeFlatCombinerSession},
+      CaseEntry{"Seq. stack", makeSeqStackSession},
+      CaseEntry{"FC-stack", makeFcStackSession},
+      CaseEntry{"Prod/Cons", makeProdConsSession},
+  };
+}
+
+void fcsl::registerAllLibraries() {
+  registerSpinLockLibrary();
+  registerTicketLockLibrary();
+  registerCgIncrementLibrary();
+  registerCgAllocatorLibrary();
+  registerPairSnapshotLibrary();
+  registerTreiberLibrary();
+  registerSpanTreeLibrary();
+  registerFlatCombinerLibrary();
+  registerSeqStackLibrary();
+  registerFcStackLibrary();
+  registerProdConsLibrary();
+  // Extension beyond the paper: the abstract stack interface (the
+  // unification Section 6 leaves as an exercise).
+  registerStackIfaceLibrary();
+}

@@ -1,0 +1,30 @@
+//===- structures/Suite.h - The full case-study suite -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates the eleven case studies of the paper's Table 1, in the
+/// table's row order, and populates the library registry that regenerates
+/// Table 2 and Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_SUITE_H
+#define FCSL_STRUCTURES_SUITE_H
+
+#include "structures/CaseCommon.h"
+
+namespace fcsl {
+
+/// All Table 1 rows, in order.
+std::vector<CaseEntry> allCaseStudies();
+
+/// Registers every library in the global registry (idempotent).
+void registerAllLibraries();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_SUITE_H

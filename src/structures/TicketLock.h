@@ -1,0 +1,41 @@
+//===- structures/TicketLock.h - Ticketed lock (TLock) ----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ticketed lock of Table 1 (after Dinsdale-Young et al.): the joint
+/// heap holds `owner` and `next` counters plus a serving bit; threads draw
+/// tickets (fetch-and-increment of `next`) into their self component — a
+/// disjoint set of ticket tokens, the paper's "disjoint sets" PCM — and
+/// enter the critical section when `owner` reaches their ticket.
+/// Implements the same abstract lock interface as the CAS lock, which is
+/// what lets clients switch implementations (Table 2's `3L`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_TICKETLOCK_H
+#define FCSL_STRUCTURES_TICKETLOCK_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// Builds a ticketed-lock protocol instance over labels \p Pv and \p Lk.
+LockProtocol makeTicketLock(Label Pv, Label Lk, const ResourceModel &Model);
+
+/// The LockFactory for the ticketed lock (Table 2's TLock column).
+LockFactory ticketLockFactory();
+
+/// The "Ticketed lock" row of Table 1.
+VerificationSession makeTicketLockSession();
+
+/// Registers the library in the global registry (Table 2 / Figure 5).
+void registerTicketLockLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_TICKETLOCK_H

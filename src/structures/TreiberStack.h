@@ -1,0 +1,72 @@
+//===- structures/TreiberStack.h - Treiber's lock-free stack ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Treiber's non-blocking stack (Table 1's "Treiber stack"), specified —
+/// as in the paper — "via a PCM of time-stamped action histories in the
+/// spirit of linearizability": each thread's self component is the history
+/// of the push/pop steps it performed on the abstract stack; coherence
+/// ties the combined history's last state to the concrete linked list in
+/// the joint heap. Push transfers a privately-prepared node cell into the
+/// shared structure (an acquire across the Priv entanglement); pop
+/// transfers the head cell back out.
+///
+/// Abstract stacks are encoded as cons lists over Val: unit is the empty
+/// stack and pair(v, rest) is v pushed onto rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_STRUCTURES_TREIBERSTACK_H
+#define FCSL_STRUCTURES_TREIBERSTACK_H
+
+#include "structures/CaseCommon.h"
+#include "structures/LockIface.h"
+
+namespace fcsl {
+
+/// The packaged Treiber-stack verification setup.
+struct TreiberCase {
+  Label Pv;
+  Label Tr;
+  Ptr Sentinel;       ///< cell holding the head pointer.
+  ConcurroidRef Treiber; ///< the Treiber concurroid alone.
+  ConcurroidRef C;    ///< entangle(Priv, Treiber).
+  ActionRef ReadHead; ///< () -> ptr.
+  ActionRef TryPush;  ///< (node, value, expectedHead) -> bool.
+  ActionRef TryPop;   ///< (expectedHead) -> pair(bool, value).
+  DefTable Defs;      ///< contains `push(p, v)` and `pop()`.
+};
+
+/// Builds the Treiber case. Environment interference performs pushes of
+/// the value 7 from pre-seeded private cells and arbitrary pops, bounded
+/// by \p EnvHistCap history entries.
+TreiberCase makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap);
+
+/// The abstract stack contents as a cons list read from the joint heap;
+/// std::nullopt when the heap is not list-shaped.
+std::optional<Val> treiberAbstractStack(const TreiberCase &C,
+                                        const Heap &Joint);
+
+/// Builds an initial state: joint list of \p Elems (top first), the root
+/// thread's private heap seeded with \p MyCells fresh node cells, and the
+/// env's private heap with \p EnvCells cells (fuel for env pushes). All
+/// prior history is ascribed to the environment.
+GlobalState treiberState(const TreiberCase &C,
+                         const std::vector<int64_t> &Elems,
+                         unsigned MyCells, unsigned EnvCells);
+
+/// Sample coherent views for the obligations.
+std::vector<View> treiberSampleViews(const TreiberCase &C);
+
+/// The "Treiber stack" Table 1 row.
+VerificationSession makeTreiberSession();
+
+void registerTreiberLibrary();
+
+} // namespace fcsl
+
+#endif // FCSL_STRUCTURES_TREIBERSTACK_H

@@ -1,0 +1,89 @@
+//===- support/Dot.cpp - Graphviz DOT emitter -----------------------------===//
+//
+// Part of fcsl-cpp. See Dot.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace fcsl;
+
+void DotGraph::addNode(const std::string &Id, const std::string &Label) {
+  for (const auto &N : Nodes)
+    if (N.first == Id)
+      return;
+  Nodes.emplace_back(Id, Label.empty() ? Id : Label);
+}
+
+void DotGraph::addEdge(const std::string &From, const std::string &To) {
+  addNode(From);
+  addNode(To);
+  Edges.emplace_back(From, To);
+}
+
+std::string DotGraph::render() const {
+  std::string Out = "digraph \"" + Name + "\" {\n";
+  Out += "  rankdir=BT;\n";
+  for (const auto &N : Nodes)
+    Out += "  \"" + N.first + "\" [label=\"" + N.second + "\"];\n";
+  for (const auto &E : Edges)
+    Out += "  \"" + E.first + "\" -> \"" + E.second + "\";\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string DotGraph::renderAscii() const {
+  std::map<std::string, std::vector<std::string>> Adj;
+  for (const auto &N : Nodes)
+    Adj[N.first]; // Ensure isolated nodes appear.
+  for (const auto &E : Edges)
+    Adj[E.first].push_back(E.second);
+  std::string Out;
+  for (auto &Entry : Adj) {
+    Out += Entry.first;
+    if (!Entry.second.empty()) {
+      std::sort(Entry.second.begin(), Entry.second.end());
+      Out += " -> ";
+      for (size_t I = 0, E = Entry.second.size(); I != E; ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += Entry.second[I];
+      }
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool DotGraph::isAcyclic() const {
+  std::map<std::string, std::vector<std::string>> Adj;
+  for (const auto &E : Edges)
+    Adj[E.first].push_back(E.second);
+
+  enum class Mark { White, Grey, Black };
+  std::map<std::string, Mark> Marks;
+  for (const auto &N : Nodes)
+    Marks[N.first] = Mark::White;
+
+  // Iterative DFS with grey-set cycle detection.
+  std::function<bool(const std::string &)> Visit =
+      [&](const std::string &Node) -> bool {
+    Marks[Node] = Mark::Grey;
+    for (const auto &Succ : Adj[Node]) {
+      if (Marks[Succ] == Mark::Grey)
+        return false;
+      if (Marks[Succ] == Mark::White && !Visit(Succ))
+        return false;
+    }
+    Marks[Node] = Mark::Black;
+    return true;
+  };
+  for (const auto &N : Nodes)
+    if (Marks[N.first] == Mark::White && !Visit(N.first))
+      return false;
+  return true;
+}

@@ -1,0 +1,55 @@
+//===- support/Dot.h - Graphviz DOT emitter ---------------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny Graphviz DOT writer used to regenerate the paper's Figure 5
+/// (dependencies between concurrent libraries) from the live registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_DOT_H
+#define FCSL_SUPPORT_DOT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fcsl {
+
+/// Accumulates nodes and edges and renders a digraph in DOT syntax.
+class DotGraph {
+public:
+  explicit DotGraph(std::string Name) : Name(std::move(Name)) {}
+
+  /// Adds a node with an optional display label (defaults to the id).
+  void addNode(const std::string &Id, const std::string &Label = "");
+
+  /// Adds a directed edge From -> To (nodes are added implicitly).
+  void addEdge(const std::string &From, const std::string &To);
+
+  /// Renders the graph in DOT syntax.
+  std::string render() const;
+
+  /// Renders an indented ASCII adjacency listing ("A -> B, C").
+  std::string renderAscii() const;
+
+  /// Returns true if the directed graph has no cycles.
+  bool isAcyclic() const;
+
+  const std::vector<std::pair<std::string, std::string>> &edges() const {
+    return Edges;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Nodes; // (id, label)
+  std::vector<std::pair<std::string, std::string>> Edges; // (from, to)
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_DOT_H

@@ -1,0 +1,111 @@
+//===- support/Format.cpp - String formatting helpers --------------------===//
+//
+// Part of fcsl-cpp. See Format.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace fcsl;
+
+std::string fcsl::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string fcsl::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string fcsl::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string fcsl::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  assert(Rows.empty() && "header must precede rows");
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::setRightAligned(unsigned Index) {
+  if (RightAligned.size() <= Index)
+    RightAligned.resize(Index + 1, false);
+  RightAligned[Index] = true;
+}
+
+std::string TextTable::render() const {
+  // Compute per-column widths across header and body.
+  std::vector<unsigned> Widths;
+  auto Grow = [&](const std::vector<std::string> &Row) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max<unsigned>(Widths[I],
+                                     static_cast<unsigned>(Row[I].size()));
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : std::string();
+      bool Right = I < RightAligned.size() && RightAligned[I];
+      Line += Right ? padLeft(Cell, Widths[I]) : padRight(Cell, Widths[I]);
+      if (I + 1 != E)
+        Line += "  ";
+    }
+    // Trim trailing spaces so the output is stable under diffing.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    Out += '\n';
+    unsigned Total = 0;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I)
+      Total += Widths[I] + (I + 1 != E ? 2 : 0);
+    Out += std::string(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows) {
+    Out += RenderRow(Row);
+    Out += '\n';
+  }
+  return Out;
+}

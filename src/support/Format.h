@@ -1,0 +1,61 @@
+//===- support/Format.h - String formatting helpers -------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style string formatting plus small table-rendering helpers used by
+/// the bench harness to print Table 1/Table 2-shaped reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_FORMAT_H
+#define FCSL_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace fcsl {
+
+/// Returns the printf-style rendering of \p Fmt with the given arguments.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep ("a, b, c" for Sep = ", ").
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Pads \p S with spaces on the right up to \p Width (no-op if longer).
+std::string padRight(const std::string &S, unsigned Width);
+
+/// Pads \p S with spaces on the left up to \p Width (no-op if longer).
+std::string padLeft(const std::string &S, unsigned Width);
+
+/// A simple monospaced table renderer: collects rows of cells and renders
+/// them with per-column widths, a header rule, and optional right-alignment
+/// for numeric columns. Used to regenerate the paper's tables.
+class TextTable {
+public:
+  /// Sets the header row. Must be called before adding rows.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a body row; shorter rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Marks column \p Index as right-aligned (numeric).
+  void setRightAligned(unsigned Index);
+
+  /// Renders the table to a string, one row per line.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<bool> RightAligned;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_FORMAT_H

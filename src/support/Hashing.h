@@ -1,0 +1,43 @@
+//===- support/Hashing.h - Hash combination utilities -----------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combination helpers used by the explicit-state model checker to
+/// hash heaps, PCM values, subjective states and engine configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_HASHING_H
+#define FCSL_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fcsl {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant).
+inline void hashCombine(std::size_t &Seed, std::size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes any value with a std::hash specialization into \p Seed.
+template <typename T> void hashValue(std::size_t &Seed, const T &V) {
+  hashCombine(Seed, std::hash<T>{}(V));
+}
+
+/// Hashes a range of hashable elements into \p Seed, order-sensitively.
+template <typename Range> void hashRange(std::size_t &Seed, const Range &R) {
+  for (const auto &Elem : R)
+    hashValue(Seed, Elem);
+}
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_HASHING_H

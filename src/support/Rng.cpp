@@ -1,0 +1,30 @@
+//===- support/Rng.cpp - Deterministic random number generator -----------===//
+//
+// Part of fcsl-cpp. See Rng.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+uint64_t Rng::next() {
+  // splitmix64: good distribution, tiny state, fully deterministic.
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  return next() % Bound;
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "chance requires a nonzero denominator");
+  return nextBelow(Den) < Num;
+}

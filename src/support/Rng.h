@@ -1,0 +1,42 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xoshiro-style PRNG. Property tests and random graph
+/// generation must be reproducible across platforms, so we do not rely on
+/// std::mt19937's distribution implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_RNG_H
+#define FCSL_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace fcsl {
+
+/// Deterministic splitmix64/xorshift generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next();
+
+  /// Returns a value uniformly in [0, Bound); Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+private:
+  uint64_t State;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_RNG_H

@@ -1,0 +1,28 @@
+//===- support/Stats.cpp - Counters and wall-clock timers ----------------===//
+//
+// Part of fcsl-cpp. See Stats.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+using namespace fcsl;
+
+void StatBag::add(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+uint64_t StatBag::get(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void StatBag::merge(const StatBag &Other) {
+  for (const auto &Entry : Other.Counters)
+    Counters[Entry.first] += Entry.second;
+}
+
+double Timer::elapsedMs() const {
+  auto Delta = Clock::now() - Start;
+  return std::chrono::duration<double, std::milli>(Delta).count();
+}

@@ -1,0 +1,58 @@
+//===- support/Stats.h - Counters and wall-clock timers ---------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters and a scoped wall-clock timer. The verification session
+/// uses these to report per-program effort, the analogue of the paper's
+/// Table 1 LOC/build-time statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_STATS_H
+#define FCSL_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fcsl {
+
+/// A bag of named monotone counters.
+class StatBag {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Returns the value of \p Name, or zero if never touched.
+  uint64_t get(const std::string &Name) const;
+
+  /// Merges all counters of \p Other into this bag.
+  void merge(const StatBag &Other);
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+/// Measures wall-clock time between construction and elapsedMs() calls.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Returns milliseconds elapsed since construction (fractional).
+  double elapsedMs() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_STATS_H

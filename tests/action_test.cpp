@@ -1,0 +1,154 @@
+//===- tests/action_test.cpp - Atomic action tests -------------------------===//
+//
+// Part of fcsl-cpp. Exercises the Priv actions and the per-action proof
+// obligations, including a deliberately non-erasing action that the
+// erasure check must reject.
+//
+//===----------------------------------------------------------------------===//
+
+#include "action/ActionChecks.h"
+#include "concurroid/Priv.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Pv = 1;
+
+View privView(Heap Mine, Heap Theirs = Heap()) {
+  View S;
+  S.addLabel(Pv, LabelSlice{PCMVal::ofHeap(std::move(Mine)), Heap(),
+                            PCMVal::ofHeap(std::move(Theirs))});
+  return S;
+}
+
+std::vector<View> privSamples() {
+  return {privView(Heap()),
+          privView(Heap::singleton(Ptr(1), Val::ofInt(5))),
+          privView(Heap::singleton(Ptr(2), Val::ofInt(7)),
+                   Heap::singleton(Ptr(3), Val::ofInt(9)))};
+}
+
+} // namespace
+
+TEST(PrivActionsTest, AllocReadsWritesFrees) {
+  ConcurroidRef C = makePriv(Pv);
+  ActionRef Alloc = makePrivAlloc(C, Pv);
+  ActionRef Read = makePrivRead(C, Pv);
+  ActionRef Write = makePrivWrite(C, Pv);
+  ActionRef Free = makePrivFree(C, Pv);
+
+  View S = privView(Heap());
+  auto A = Alloc->step(S, {Val::ofInt(42)});
+  ASSERT_TRUE(A.has_value());
+  ASSERT_EQ(A->size(), 1u);
+  Ptr P = (*A)[0].Result.getPtr();
+  View S1 = (*A)[0].Post;
+  EXPECT_TRUE(S1.self(Pv).getHeap().contains(P));
+
+  auto R = Read->step(S1, {Val::ofPtr(P)});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ((*R)[0].Result.getInt(), 42);
+
+  auto W = Write->step(S1, {Val::ofPtr(P), Val::ofInt(7)});
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)[0].Post.self(Pv).getHeap().lookup(P).getInt(), 7);
+
+  auto F = Free->step((*W)[0].Post, {Val::ofPtr(P)});
+  ASSERT_TRUE(F.has_value());
+  EXPECT_FALSE((*F)[0].Post.self(Pv).getHeap().contains(P));
+}
+
+TEST(PrivActionsTest, ReadOutsideHeapIsUnsafe) {
+  ConcurroidRef C = makePriv(Pv);
+  ActionRef Read = makePrivRead(C, Pv);
+  // Reading another thread's private cell is unsafe, too.
+  View S = privView(Heap(), Heap::singleton(Ptr(3), Val::ofInt(9)));
+  EXPECT_FALSE(Read->step(S, {Val::ofPtr(Ptr(3))}).has_value());
+  EXPECT_FALSE(Read->step(S, {Val::ofPtr(Ptr(8))}).has_value());
+}
+
+TEST(PrivActionsTest, AllocAvoidsAllVisibleCells) {
+  ConcurroidRef C = makePriv(Pv);
+  ActionRef Alloc = makePrivAlloc(C, Pv);
+  View S = privView(Heap::singleton(Ptr(1), Val::ofInt(0)),
+                    Heap::singleton(Ptr(2), Val::ofInt(0)));
+  auto A = Alloc->step(S, {Val::unit()});
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ((*A)[0].Result.getPtr(), Ptr(3));
+}
+
+TEST(ActionChecksTest, PrivActionsWellFormed) {
+  ConcurroidRef C = makePriv(Pv);
+  std::vector<ActionArgs> Args = {{Val::ofPtr(Ptr(1))},
+                                  {Val::ofPtr(Ptr(2))}};
+  MetaReport R =
+      checkActionWellFormed(*makePrivRead(C, Pv), privSamples(), Args);
+  EXPECT_TRUE(R.Passed) << R.CounterExample;
+  MetaReport F =
+      checkActionWellFormed(*makePrivFree(C, Pv), privSamples(), Args);
+  EXPECT_TRUE(F.Passed) << F.CounterExample;
+}
+
+TEST(ActionChecksTest, NonErasingActionRejected) {
+  // An action whose *physical* effect depends on state outside the
+  // physical projection (here: the other component's heap, which the
+  // observing thread cannot physically inspect): the erasure check must
+  // reject it, mirroring the paper's "trymark erases to CAS" obligation.
+  ConcurroidRef C = makePriv(Pv);
+  ActionRef AuxLeak = makeAction(
+      "aux_leak", C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        if (!Pre.self(Pv).getHeap().contains(Ptr(1)))
+          return std::nullopt;
+        View Post = Pre;
+        Heap Mine = Pre.self(Pv).getHeap();
+        Mine.update(Ptr(1), Val::ofInt(static_cast<int64_t>(
+                                Pre.other(Pv).getHeap().size())));
+        Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
+        return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+      });
+  std::vector<View> Sample = {
+      privView(Heap::singleton(Ptr(1), Val::ofInt(0))),
+      privView(Heap::singleton(Ptr(1), Val::ofInt(0)),
+               Heap::singleton(Ptr(9), Val::ofInt(0)))};
+  MetaReport R = checkActionErasure(*AuxLeak, Sample, {{}});
+  EXPECT_FALSE(R.Passed);
+}
+
+TEST(ActionChecksTest, TotalityCatchesPartiality) {
+  ConcurroidRef C = makePriv(Pv);
+  ActionRef Read = makePrivRead(C, Pv);
+  // Precondition "always" is too weak for reads: totality fails on views
+  // whose private heap lacks the cell.
+  MetaReport R = checkActionTotality(
+      *Read, privSamples(), {{Val::ofPtr(Ptr(1))}},
+      [](const View &, const ActionArgs &) { return true; });
+  EXPECT_FALSE(R.Passed);
+  // With the right precondition it passes.
+  MetaReport R2 = checkActionTotality(
+      *Read, privSamples(), {{Val::ofPtr(Ptr(1))}},
+      [](const View &S, const ActionArgs &A) {
+        return S.self(Pv).getHeap().contains(A[0].getPtr());
+      });
+  EXPECT_TRUE(R2.Passed) << R2.CounterExample;
+}
+
+TEST(ActionChecksTest, CorrespondenceCatchesRogueActions) {
+  ConcurroidRef C = makePriv(Pv);
+  // A rogue action that mutates the (supposedly empty) joint heap: no
+  // Priv transition covers that.
+  ActionRef Rogue = makeAction(
+      "rogue", C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        View Post = Pre;
+        Post.setJoint(Pv, Heap::singleton(Ptr(5), Val::ofInt(1)));
+        return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+      });
+  MetaReport R = checkActionCorrespondence(*Rogue, privSamples(), {{}});
+  EXPECT_FALSE(R.Passed);
+}

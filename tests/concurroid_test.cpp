@@ -1,0 +1,229 @@
+//===- tests/concurroid_test.cpp - Concurroid layer tests ------------------===//
+//
+// Part of fcsl-cpp. Exercises the STS layer on a toy "counter" concurroid
+// plus Priv, entanglement, the registry and the metatheory checks —
+// including negative cases where an ill-formed concurroid is rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Entangle.h"
+#include "concurroid/Metatheory.h"
+#include "concurroid/Priv.h"
+#include "concurroid/Registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Ct = 3;
+constexpr Label Pv = 1;
+
+/// A toy concurroid: joint cell &1 holds the sum of all contributions
+/// (nat PCM); one transition bumps the counter.
+ConcurroidRef makeCounter(bool BuggyTransition = false) {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct) || S.self(Ct).kind() != PCMKind::Nat ||
+        S.other(Ct).kind() != PCMKind::Nat)
+      return false;
+    const Val *Cell = S.joint(Ct).tryLookup(Ptr(1));
+    if (!Cell || !Cell->isInt() || S.joint(Ct).size() != 1)
+      return false;
+    return Cell->getInt() ==
+           static_cast<int64_t>(S.self(Ct).getNat() +
+                                S.other(Ct).getNat());
+  };
+  auto C = makeConcurroid("Counter", {OwnedLabel{Ct, "ct",
+                                                 PCMType::nat()}},
+                          Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [BuggyTransition](const View &Pre) -> std::vector<View> {
+        if (!Pre.hasLabel(Ct))
+          return {};
+        const Val *Cell = Pre.joint(Ct).tryLookup(Ptr(1));
+        if (!Cell || Cell->getInt() >= 3)
+          return {};
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Ptr(1), Val::ofInt(Cell->getInt() + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        // The buggy variant "forgets" to bump the auxiliary self, which
+        // breaks coherence preservation.
+        if (!BuggyTransition)
+          Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return {Post};
+      }));
+  return C;
+}
+
+View counterView(uint64_t Mine, uint64_t Theirs) {
+  View S;
+  S.addLabel(Ct, LabelSlice{PCMVal::ofNat(Mine),
+                            Heap::singleton(
+                                Ptr(1), Val::ofInt(static_cast<int64_t>(
+                                            Mine + Theirs))),
+                            PCMVal::ofNat(Theirs)});
+  return S;
+}
+
+std::vector<View> counterSamples() {
+  std::vector<View> Out;
+  for (uint64_t M = 0; M <= 2; ++M)
+    for (uint64_t T = 0; T <= 2; ++T)
+      Out.push_back(counterView(M, T));
+  return Out;
+}
+
+} // namespace
+
+TEST(ConcurroidTest, CoherenceAndLabels) {
+  ConcurroidRef C = makeCounter();
+  EXPECT_EQ(C->name(), "Counter");
+  EXPECT_EQ(C->labelIds(), std::vector<Label>{Ct});
+  EXPECT_TRUE(C->coherent(counterView(1, 2)));
+  View Bad = counterView(1, 2);
+  Bad.setJoint(Ct, Heap::singleton(Ptr(1), Val::ofInt(99)));
+  EXPECT_FALSE(C->coherent(Bad));
+}
+
+TEST(ConcurroidTest, IdleTransitionAlwaysPresent) {
+  ConcurroidRef C = makeCounter();
+  ASSERT_FALSE(C->transitions().empty());
+  EXPECT_EQ(C->transitions().front().name(), "idle");
+  View S = counterView(0, 0);
+  EXPECT_TRUE(C->someTransitionCovers(S, S));
+}
+
+TEST(ConcurroidTest, EnvSuccessorsAreSubjective) {
+  ConcurroidRef C = makeCounter();
+  View S = counterView(1, 0);
+  std::vector<View> Succs = C->envSuccessors(S);
+  ASSERT_EQ(Succs.size(), 1u);
+  // The environment bumped: my self is untouched, other grew.
+  EXPECT_EQ(Succs[0].self(Ct).getNat(), 1u);
+  EXPECT_EQ(Succs[0].other(Ct).getNat(), 1u);
+  EXPECT_EQ(Succs[0].joint(Ct).lookup(Ptr(1)).getInt(), 2);
+}
+
+TEST(ConcurroidTest, InvertSwapsRoles) {
+  ConcurroidRef C = makeCounter();
+  View S = counterView(1, 2);
+  View Inv = C->invert(S);
+  EXPECT_EQ(Inv.self(Ct).getNat(), 2u);
+  EXPECT_EQ(Inv.other(Ct).getNat(), 1u);
+  EXPECT_EQ(C->invert(Inv), S);
+}
+
+TEST(MetatheoryTest, WellFormedCounterPasses) {
+  ConcurroidRef C = makeCounter();
+  MetaReport R = checkConcurroidWellFormed(*C, counterSamples());
+  EXPECT_TRUE(R.Passed) << R.CounterExample;
+  EXPECT_GT(R.ChecksRun, 0u);
+}
+
+TEST(MetatheoryTest, BuggyTransitionCaught) {
+  ConcurroidRef C = makeCounter(/*BuggyTransition=*/true);
+  MetaReport R = checkTransitionsPreserveCoherence(*C, counterSamples());
+  EXPECT_FALSE(R.Passed);
+  EXPECT_FALSE(R.CounterExample.empty());
+}
+
+TEST(MetatheoryTest, ForkJoinClosureHolds) {
+  ConcurroidRef C = makeCounter();
+  MetaReport R = checkForkJoinClosure(*C, counterSamples());
+  EXPECT_TRUE(R.Passed) << R.CounterExample;
+}
+
+TEST(MetatheoryTest, ForkJoinClosureCatchesSelfDependentCoherence) {
+  // A concurroid whose coherence depends on the self/other *split* (not
+  // just their join) is not fork-join closed.
+  auto Coh = [](const View &S) {
+    return S.hasLabel(Ct) && S.self(Ct).kind() == PCMKind::Nat &&
+           S.other(Ct).kind() == PCMKind::Nat &&
+           S.self(Ct).getNat() == 1;
+  };
+  auto C = makeConcurroid("SplitSensitive",
+                          {OwnedLabel{Ct, "ct", PCMType::nat()}}, Coh);
+  View S;
+  S.addLabel(Ct, LabelSlice{PCMVal::ofNat(1), Heap(), PCMVal::ofNat(0)});
+  MetaReport R = checkForkJoinClosure(*C, {S});
+  EXPECT_FALSE(R.Passed);
+}
+
+TEST(PrivTest, CoherenceAndLocality) {
+  ConcurroidRef P = makePriv(Pv);
+  View S;
+  S.addLabel(Pv, LabelSlice{PCMVal::ofHeap(Heap::singleton(Ptr(1),
+                                                           Val::unit())),
+                            Heap(), PCMVal::ofHeap(Heap())});
+  EXPECT_TRUE(P->coherent(S));
+  EXPECT_EQ(pvSelfHeap(S, Pv).size(), 1u);
+  // Non-empty joint is incoherent for Priv.
+  View Bad = S;
+  Bad.setJoint(Pv, Heap::singleton(Ptr(2), Val::unit()));
+  EXPECT_FALSE(P->coherent(Bad));
+  // Priv generates no interference.
+  EXPECT_TRUE(P->envSuccessors(S).empty());
+}
+
+TEST(PrivTest, LocalStepsCovered) {
+  ConcurroidRef P = makePriv(Pv);
+  View Pre;
+  Pre.addLabel(Pv, LabelSlice{PCMVal::ofHeap(Heap()), Heap(),
+                              PCMVal::ofHeap(Heap())});
+  View Post = Pre;
+  Post.setSelf(Pv, PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(3))));
+  EXPECT_TRUE(P->someTransitionCovers(Pre, Post));
+}
+
+TEST(EntangleTest, ProductCoherenceAndTransitions) {
+  ConcurroidRef P = makePriv(Pv);
+  ConcurroidRef C = makeCounter();
+  ConcurroidRef E = entangle(P, C);
+  EXPECT_EQ(E->name(), "Priv >< Counter");
+  EXPECT_EQ(E->ownedLabels().size(), 2u);
+
+  View S = counterView(1, 1);
+  S.addLabel(Pv, LabelSlice{PCMVal::ofHeap(Heap()), Heap(),
+                            PCMVal::ofHeap(Heap())});
+  EXPECT_TRUE(E->coherent(S));
+  // Both constituents' transitions are present (plus one idle).
+  size_t Names = 0;
+  for (const Transition &T : E->transitions())
+    if (T.name() == "bump" || T.name() == "priv_local")
+      ++Names;
+  EXPECT_EQ(Names, 2u);
+}
+
+TEST(RegistryTest, Table2AndFigure5Shapes) {
+  Registry R;
+  R.registerLibrary(LibraryInfo{
+      "Lib A", {ConcurroidUse{"Priv", false}, ConcurroidUse{"CLock", true}},
+      {}});
+  R.registerLibrary(LibraryInfo{"Iface", {}, {"Lib A"}});
+  R.registerLibrary(LibraryInfo{
+      "Lib B", {ConcurroidUse{"Priv", false}}, {"Iface"}});
+
+  std::string Table = R.renderTable2();
+  EXPECT_NE(Table.find("Lib A"), std::string::npos);
+  EXPECT_NE(Table.find("3L"), std::string::npos);
+  EXPECT_EQ(Table.find("Iface"), std::string::npos); // Interface-only.
+
+  DotGraph G = R.dependencyGraph();
+  EXPECT_TRUE(G.isAcyclic());
+  // Edge direction: dependency -> user.
+  bool Found = false;
+  for (const auto &E : G.edges())
+    Found |= E.first == "Iface" && E.second == "Lib B";
+  EXPECT_TRUE(Found);
+}
+
+TEST(RegistryTest, ReregistrationReplaces) {
+  Registry R;
+  R.registerLibrary(LibraryInfo{"X", {ConcurroidUse{"A", false}}, {}});
+  R.registerLibrary(LibraryInfo{"X", {ConcurroidUse{"B", false}}, {}});
+  ASSERT_EQ(R.libraries().size(), 1u);
+  EXPECT_EQ(R.libraries()[0].Uses[0].Concurroid, "B");
+}

@@ -1,0 +1,34 @@
+//===- tests/derived_clients_test.cpp - Seq/FC-stack, Prod/Cons tests ------===//
+//
+// Part of fcsl-cpp. The derived clients of Figure 5's upper layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/FcStack.h"
+#include "structures/ProdCons.h"
+#include "structures/SeqStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+TEST(SeqStackTest, SessionPasses) {
+  SessionReport Report = makeSeqStackSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  // Derived client: Main obligations only (Table 1's "-" cells).
+  EXPECT_EQ(Report.PerCategory[size_t(ObCategory::Conc)].Obligations, 0u);
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Main)].Obligations, 0u);
+}
+
+TEST(FcStackTest, SessionPasses) {
+  SessionReport Report = makeFcStackSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+}
+
+TEST(ProdConsTest, SessionPasses) {
+  SessionReport Report = makeProdConsSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+}

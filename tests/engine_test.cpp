@@ -1,0 +1,331 @@
+//===- tests/engine_test.cpp - Interleaving engine tests -------------------===//
+//
+// Part of fcsl-cpp. Exercises the exhaustive interleaving engine on a toy
+// counter concurroid: sequencing, conditionals, recursion with cycle
+// pruning, parallel composition with subjective splits, hide, safety
+// violations and environment interference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Entangle.h"
+#include "concurroid/Priv.h"
+#include "prog/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Pv = 1;
+constexpr Label Ct = 2;
+const Ptr Cell = Ptr(1);
+
+struct CounterWorld {
+  ConcurroidRef C;
+  ActionRef Incr;  ///< () -> old value; bumps cell and self.
+  ActionRef Read;  ///< () -> value.
+  DefTable Defs;
+};
+
+/// The toy world: joint cell &1 == sum of contributions (nat PCM); the
+/// environment may bump the counter up to a cap.
+CounterWorld makeCounterWorld(int64_t EnvCap) {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct))
+      return false;
+    const Val *V = S.joint(Ct).tryLookup(Cell);
+    if (!V || !V->isInt())
+      return false;
+    return V->getInt() == static_cast<int64_t>(S.self(Ct).getNat() +
+                                               S.other(Ct).getNat());
+  };
+  auto C = makeConcurroid("Counter", {OwnedLabel{Ct, "ct",
+                                                 PCMType::nat()}},
+                          Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [EnvCap](const View &Pre) -> std::vector<View> {
+        if (!Pre.hasLabel(Ct))
+          return {};
+        int64_t Cur = Pre.joint(Ct).lookup(Cell).getInt();
+        if (Cur >= EnvCap)
+          return {};
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(Cur + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return {Post};
+      },
+      // Thread-side increments are uncapped.
+      [](const View &Pre, const View &Post) {
+        if (!Pre.hasLabel(Ct) || !Post.hasLabel(Ct))
+          return false;
+        for (Label L : Pre.labels())
+          if (L != Ct && !(Pre.slice(L) == Post.slice(L)))
+            return false;
+        return Post.joint(Ct).lookup(Cell).getInt() ==
+                   Pre.joint(Ct).lookup(Cell).getInt() + 1 &&
+               Post.self(Ct).getNat() == Pre.self(Ct).getNat() + 1 &&
+               Pre.other(Ct) == Post.other(Ct);
+      }));
+
+  CounterWorld World;
+  World.C = entangle(makePriv(Pv), C);
+
+  World.Incr = makeAction(
+      "incr", World.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(Cell);
+        if (!V)
+          return std::nullopt;
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(V->getInt() + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return std::vector<ActOutcome>{{*V, std::move(Post)}};
+      });
+
+  World.Read = makeAction(
+      "read", World.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(Cell);
+        if (!V)
+          return std::nullopt;
+        return std::vector<ActOutcome>{{*V, Pre}};
+      });
+  return World;
+}
+
+GlobalState counterState(int64_t Initial = 0, uint64_t EnvSelf = 0) {
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  GS.addLabel(Ct, PCMType::nat(), Heap::singleton(Cell,
+                                                  Val::ofInt(Initial)),
+              PCMVal::ofNat(EnvSelf), false);
+  return GS;
+}
+
+EngineOptions optsFor(const CounterWorld &W, bool Env) {
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.EnvInterference = Env;
+  Opts.Defs = &W.Defs;
+  return Opts;
+}
+
+} // namespace
+
+TEST(EngineTest, RetProducesOneTerminal) {
+  CounterWorld W = makeCounterWorld(0);
+  RunResult R = explore(Prog::ret(Expr::litInt(7)), counterState(),
+                        optsFor(W, false));
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(7));
+}
+
+TEST(EngineTest, BindThreadsValues) {
+  CounterWorld W = makeCounterWorld(0);
+  ProgRef P = Prog::bind(Prog::act(W.Incr, {}), "old",
+                         Prog::ret(Expr::add(Expr::var("old"),
+                                             Expr::litInt(100))));
+  RunResult R = explore(P, counterState(5, 5), optsFor(W, false));
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(105));
+  EXPECT_EQ(R.Terminals[0].FinalView.joint(Ct).lookup(Cell).getInt(), 6);
+}
+
+TEST(EngineTest, IfSelectsBranch) {
+  CounterWorld W = makeCounterWorld(0);
+  ProgRef P = Prog::ifThenElse(Expr::litBool(false),
+                               Prog::ret(Expr::litInt(1)),
+                               Prog::ret(Expr::litInt(2)));
+  RunResult R = explore(P, counterState(), optsFor(W, false));
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(2));
+}
+
+TEST(EngineTest, RecursionWithTermination) {
+  CounterWorld W = makeCounterWorld(0);
+  // bump_until(n): v <-- incr; if n < v then ret v else bump_until(n).
+  W.Defs.define(
+      "bump_until",
+      FuncDef{{"n"},
+              Prog::bind(Prog::act(W.Incr, {}), "v",
+                         Prog::ifThenElse(
+                             Expr::lt(Expr::var("n"), Expr::var("v")),
+                             Prog::ret(Expr::var("v")),
+                             Prog::call("bump_until",
+                                        {Expr::var("n")})))});
+  RunResult R = explore(Prog::call("bump_until", {Expr::litInt(2)}),
+                        counterState(), optsFor(W, false));
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(3));
+}
+
+TEST(EngineTest, SpinLoopIsPrunedNotDiverging) {
+  CounterWorld W = makeCounterWorld(/*EnvCap=*/1);
+  // wait_pos(): v <-- read; if 0 < v then ret v else wait_pos().
+  // Terminates only via environment interference; the pure spin cycles
+  // are pruned by configuration dedup.
+  W.Defs.define("wait_pos",
+                FuncDef{{},
+                        Prog::bind(
+                            Prog::act(W.Read, {}), "v",
+                            Prog::ifThenElse(
+                                Expr::lt(Expr::litInt(0), Expr::var("v")),
+                                Prog::ret(Expr::var("v")),
+                                Prog::call("wait_pos", {})))});
+  RunResult R = explore(Prog::call("wait_pos", {}), counterState(),
+                        optsFor(W, true));
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(1));
+  EXPECT_GT(R.EnvSteps, 0u);
+  EXPECT_GT(R.DedupHits, 0u);
+}
+
+TEST(EngineTest, ParallelIncrementsInterleave) {
+  CounterWorld W = makeCounterWorld(0);
+  ProgRef P = Prog::par(Prog::act(W.Incr, {}), Prog::act(W.Incr, {}));
+  RunResult R = explore(P, counterState(), optsFor(W, false));
+  EXPECT_TRUE(R.complete());
+  // Both interleavings reach counter == 2; results differ in the pair of
+  // observed old values: (0,1) and (1,0).
+  ASSERT_EQ(R.Terminals.size(), 2u);
+  for (const Terminal &T : R.Terminals) {
+    EXPECT_EQ(T.FinalView.joint(Ct).lookup(Cell).getInt(), 2);
+    EXPECT_EQ(T.FinalView.self(Ct).getNat(), 2u);
+    EXPECT_TRUE(T.Result == Val::pair(Val::ofInt(0), Val::ofInt(1)) ||
+                T.Result == Val::pair(Val::ofInt(1), Val::ofInt(0)));
+  }
+}
+
+TEST(EngineTest, NestedParJoinsContributions) {
+  CounterWorld W = makeCounterWorld(0);
+  ProgRef Two = Prog::par(Prog::act(W.Incr, {}), Prog::act(W.Incr, {}));
+  ProgRef Four = Prog::par(Two, Two);
+  RunResult R = explore(Four, counterState(), optsFor(W, false));
+  EXPECT_TRUE(R.complete());
+  for (const Terminal &T : R.Terminals)
+    EXPECT_EQ(T.FinalView.self(Ct).getNat(), 4u);
+}
+
+TEST(EngineTest, UnsafeActionReported) {
+  CounterWorld W = makeCounterWorld(0);
+  GlobalState Bad;
+  Bad.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  Bad.addLabel(Ct, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  EngineOptions Opts = optsFor(W, false);
+  Opts.CheckStepCoherence = false; // Reach the action itself.
+  RunResult R = explore(Prog::act(W.Read, {}), Bad, Opts);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_NE(R.FailureNote.find("read"), std::string::npos);
+}
+
+TEST(EngineTest, MaxConfigsExhaustion) {
+  CounterWorld W = makeCounterWorld(0);
+  W.Defs.define(
+      "count_up",
+      FuncDef{{},
+              Prog::bind(Prog::act(W.Incr, {}), "v",
+                         Prog::ifThenElse(
+                             Expr::lt(Expr::litInt(1000), Expr::var("v")),
+                             Prog::retUnit(),
+                             Prog::call("count_up", {})))});
+  EngineOptions Opts = optsFor(W, false);
+  Opts.MaxConfigs = 50;
+  RunResult R = explore(Prog::call("count_up", {}), counterState(), Opts);
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_FALSE(R.complete());
+}
+
+TEST(EngineTest, HideShieldsFromInterference) {
+  // Without hide, env bumps make several terminal counter values; the
+  // hidden version is deterministic.
+  CounterWorld W = makeCounterWorld(/*EnvCap=*/2);
+  ProgRef ReadTwice =
+      Prog::bind(Prog::act(W.Read, {}), "a",
+                 Prog::bind(Prog::act(W.Read, {}), "b",
+                            Prog::ret(Expr::mkPair(Expr::var("a"),
+                                                   Expr::var("b")))));
+  RunResult Open =
+      explore(ReadTwice, counterState(), optsFor(W, true));
+  EXPECT_TRUE(Open.complete());
+  EXPECT_GT(Open.Terminals.size(), 1u);
+}
+
+TEST(EngineTest, HideInstallsAndUninstalls) {
+  CounterWorld W = makeCounterWorld(0);
+  // The private heap holds the counter cell; hide installs the Counter
+  // concurroid over it, the body increments twice, and on exit the cell
+  // returns to the private heap with the new value.
+  HideSpec Spec;
+  Spec.Pv = Pv;
+  Spec.Hidden = Ct;
+  Spec.SelfType = PCMType::nat();
+  Spec.ChooseDonation = [](const Heap &Mine) -> std::optional<Heap> {
+    const Val *V = Mine.tryLookup(Cell);
+    if (!V || !V->isInt())
+      return std::nullopt;
+    return Heap::singleton(Cell, *V);
+  };
+  Spec.InitSelf = PCMVal::ofNat(0);
+
+  ProgRef Body = Prog::seq(Prog::act(W.Incr, {}), Prog::act(W.Incr, {}));
+  ProgRef P = Prog::hide(Spec, Body);
+
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  GS.setSelf(Pv, rootThread(),
+             PCMVal::ofHeap(Heap::singleton(Cell, Val::ofInt(0))));
+
+  EngineOptions Opts;
+  Opts.Ambient = makePriv(Pv);
+  Opts.EnvInterference = true;
+  Opts.Defs = &W.Defs;
+  RunResult R = explore(P, GS, Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  const View &F = R.Terminals[0].FinalView;
+  EXPECT_FALSE(F.hasLabel(Ct));
+  EXPECT_EQ(F.self(Pv).getHeap().lookup(Cell).getInt(), 2);
+}
+
+TEST(EngineTest, HideDecorationFailureReported) {
+  CounterWorld W = makeCounterWorld(0);
+  HideSpec Spec;
+  Spec.Pv = Pv;
+  Spec.Hidden = Ct;
+  Spec.SelfType = PCMType::nat();
+  Spec.ChooseDonation =
+      [](const Heap &) -> std::optional<Heap> { return std::nullopt; };
+  Spec.InitSelf = PCMVal::ofNat(0);
+  ProgRef P = Prog::hide(Spec, Prog::retUnit());
+
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  EngineOptions Opts;
+  Opts.Ambient = makePriv(Pv);
+  Opts.Defs = &W.Defs;
+  RunResult R = explore(P, GS, Opts);
+  EXPECT_FALSE(R.Safe);
+  EXPECT_NE(R.FailureNote.find("decoration"), std::string::npos);
+}
+
+TEST(EngineTest, EnvironmentStepsRespectOtherFixity) {
+  CounterWorld W = makeCounterWorld(1);
+  // A plain read under interference: my contribution never changes.
+  RunResult R = explore(Prog::act(W.Read, {}), counterState(),
+                        optsFor(W, true));
+  EXPECT_TRUE(R.complete());
+  for (const Terminal &T : R.Terminals)
+    EXPECT_EQ(T.FinalView.self(Ct).getNat(), 0u);
+}

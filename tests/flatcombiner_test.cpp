@@ -1,0 +1,142 @@
+//===- tests/flatcombiner_test.cpp - Flat combiner tests -------------------===//
+//
+// Part of fcsl-cpp. Includes a scripted demonstration that *helping*
+// works: the environment combines the observing thread's request, yet the
+// operation is ascribed to the requester.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/FlatCombiner.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Fc = 1;
+} // namespace
+
+TEST(FlatCombinerTest, PublishCombineCollectCycle) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Fc, 0);
+  GlobalState GS = flatCombinerState(Case, 1);
+  View S0 = GS.viewFor(rootThread());
+
+  // Publish my push request.
+  auto P = Case.Publish->step(
+      S0, {Val::ofPtr(Case.Slot1), Val::ofInt(FcPush), Val::ofInt(4)});
+  ASSERT_TRUE(P.has_value());
+  View S1 = (*P)[0].Post;
+
+  // Acquire the combiner lock and combine my own slot (self-helping).
+  auto L = Case.TryLockFc->step(S1, {});
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ((*L)[0].Result, Val::ofBool(true));
+  View S2 = (*L)[0].Post;
+  auto C = Case.CombineSlot->step(S2, {Val::ofPtr(Case.Slot1)});
+  ASSERT_TRUE(C.has_value());
+  View S3 = (*C)[0].Post;
+  // The stack now holds the value; the entry is parked in the slot.
+  EXPECT_EQ(S3.joint(Fc).lookup(Case.StackCell),
+            Val::pair(Val::ofInt(4), Val::unit()));
+  EXPECT_EQ(S3.self(Fc).second().second().getHist().size(), 0u);
+
+  auto R = Case.ReleaseFc->step(S3, {});
+  ASSERT_TRUE(R.has_value());
+  View S4 = (*R)[0].Post;
+
+  // Collect: the entry lands in MY history.
+  auto K = Case.TryCollect->step(S4, {Val::ofPtr(Case.Slot1)});
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ((*K)[0].Result.first(), Val::ofBool(true));
+  const View &S5 = (*K)[0].Post;
+  EXPECT_EQ(S5.self(Fc).second().second().getHist().size(), 1u);
+  EXPECT_TRUE(Case.C->coherent(S5));
+}
+
+TEST(FlatCombinerTest, HelpingAscribesToRequester) {
+  // The ENVIRONMENT plays combiner for my request: simulate via the
+  // concurroid's subjective transitions — env locks, combines my slot,
+  // releases; then I collect. My history gains the entry even though I
+  // never held the lock.
+  FlatCombinerCase Case = makeFlatCombinerCase(Fc, /*EnvHistCap=*/4);
+  GlobalState GS = flatCombinerState(Case, 1);
+  View S0 = GS.viewFor(rootThread());
+  auto P = Case.Publish->step(
+      S0, {Val::ofPtr(Case.Slot1), Val::ofInt(FcPush), Val::ofInt(4)});
+  ASSERT_TRUE(P.has_value());
+  View Mine = (*P)[0].Post;
+
+  // Environment side: find env successors that combine my request.
+  bool EnvCombinedMine = false;
+  for (const View &AfterLock : Case.C->envSuccessors(Mine)) {
+    // Lock taken by env?
+    if (!AfterLock.joint(Fc).lookup(Case.LockCell).getBool())
+      continue;
+    for (const View &AfterCombine : Case.C->envSuccessors(AfterLock)) {
+      const Val &Slot = AfterCombine.joint(Fc).tryLookup(Case.Slot1)
+                            ? AfterCombine.joint(Fc).lookup(Case.Slot1)
+                            : Val::unit();
+      if (!Slot.isPair() || !Slot.first().isBool())
+        continue; // My slot not Done yet.
+      EnvCombinedMine = true;
+      // My own history is still untouched (helping in flight)...
+      EXPECT_EQ(
+          AfterCombine.self(Fc).second().second().getHist().size(), 0u);
+      // ...until I collect, which ascribes the push to me.
+      auto K =
+          Case.TryCollect->step(AfterCombine, {Val::ofPtr(Case.Slot1)});
+      ASSERT_TRUE(K.has_value());
+      const History &MineH =
+          (*K)[0].Post.self(Fc).second().second().getHist();
+      ASSERT_EQ(MineH.size(), 1u);
+      EXPECT_EQ(MineH.begin()->second.After,
+                Val::pair(Val::ofInt(4), MineH.begin()->second.Before));
+    }
+  }
+  EXPECT_TRUE(EnvCombinedMine)
+      << "interference never combined the published request";
+}
+
+TEST(FlatCombinerTest, CombineWithoutLockUnsafe) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Fc, 0);
+  View S0 = flatCombinerState(Case, 1).viewFor(rootThread());
+  EXPECT_FALSE(
+      Case.CombineSlot->step(S0, {Val::ofPtr(Case.Slot1)}).has_value());
+  EXPECT_FALSE(Case.ReleaseFc->step(S0, {}).has_value());
+}
+
+TEST(FlatCombinerTest, CollectForeignSlotUnsafe) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Fc, 0);
+  View S0 = flatCombinerState(Case, 1).viewFor(rootThread());
+  // Slot 2 belongs to the environment.
+  EXPECT_FALSE(
+      Case.TryCollect->step(S0, {Val::ofPtr(Case.Slot2)}).has_value());
+}
+
+TEST(FlatCombinerTest, FlatCombineClosedWorld) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Fc, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  ProgRef Main = Prog::call(
+      "flat_combine",
+      {Expr::litPtr(Case.Slot1), Expr::litInt(FcPush), Expr::litInt(4)});
+  RunResult R = explore(Main, flatCombinerState(Case, 1), Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::unit());
+  EXPECT_EQ(R.Terminals[0]
+                .FinalView.self(Fc)
+                .second()
+                .second()
+                .getHist()
+                .size(),
+            1u);
+}
+
+TEST(FlatCombinerTest, SessionPasses) {
+  SessionReport Report = makeFlatCombinerSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+}

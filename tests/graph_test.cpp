@@ -1,0 +1,179 @@
+//===- tests/graph_test.cpp - Graph predicates and lemma tests -------------===//
+//
+// Part of fcsl-cpp. Unit tests for the Section 3.2 predicates plus
+// parameterized property sweeps of the key lemmas over random graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphGen.h"
+#include "graph/GraphPredicates.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+Heap chainGraph() {
+  // 1 -> 2 -> 3 (left successors only).
+  return buildGraph({GraphNode{Ptr(1), Ptr(2), Ptr::null()},
+                     GraphNode{Ptr(2), Ptr(3), Ptr::null()},
+                     GraphNode{Ptr(3), Ptr::null(), Ptr::null()}});
+}
+
+} // namespace
+
+TEST(HeapGraphTest, WellFormedness) {
+  EXPECT_TRUE(isGraphHeap(chainGraph()));
+  EXPECT_TRUE(isGraphHeap(figure2Graph()));
+  EXPECT_TRUE(isGraphHeap(Heap()));
+  // Dangling successor.
+  Heap Bad;
+  Bad.insert(Ptr(1), Val::node(false, Ptr(9), Ptr::null()));
+  EXPECT_FALSE(isGraphHeap(Bad));
+  // Non-node cell.
+  Heap NotNode = Heap::singleton(Ptr(1), Val::ofInt(3));
+  EXPECT_FALSE(isGraphHeap(NotNode));
+}
+
+TEST(HeapGraphTest, AccessorsDefaultOutsideHeap) {
+  Heap G = chainGraph();
+  EXPECT_FALSE(nodeMarked(G, Ptr(1)));
+  EXPECT_FALSE(nodeMarked(G, Ptr(77)));
+  EXPECT_EQ(succOf(G, Ptr(1), Side::Left), Ptr(2));
+  EXPECT_EQ(succOf(G, Ptr(77), Side::Left), Ptr::null());
+  EXPECT_EQ(nodeCont(G, Ptr(77)).Left, Ptr::null());
+}
+
+TEST(HeapGraphTest, EdgesAndTransformers) {
+  Heap G = chainGraph();
+  EXPECT_TRUE(hasEdge(G, Ptr(1), Ptr(2)));
+  EXPECT_FALSE(hasEdge(G, Ptr(2), Ptr(1)));
+  EXPECT_EQ(succsOf(G, Ptr(1)), std::vector<Ptr>{Ptr(2)});
+
+  Heap Marked = markNode(G, Ptr(2));
+  EXPECT_TRUE(nodeMarked(Marked, Ptr(2)));
+  EXPECT_FALSE(nodeMarked(G, Ptr(2))); // Pure transformer.
+  EXPECT_EQ(markedNodes(Marked), PtrSet{Ptr(2)});
+
+  Heap Cut = nullEdge(G, Ptr(1), Side::Left);
+  EXPECT_FALSE(hasEdge(Cut, Ptr(1), Ptr(2)));
+}
+
+TEST(GraphPredicatesTest, TreeRecognition) {
+  Heap G = figure2Graph();
+  // {d} is a leaf tree; {b, d, e} is a tree rooted at b.
+  EXPECT_TRUE(isTreeIn(G, Ptr(4), {Ptr(4)}));
+  EXPECT_TRUE(isTreeIn(G, Ptr(2), {Ptr(2), Ptr(4), Ptr(5)}));
+  // Root must belong to the set.
+  EXPECT_FALSE(isTreeIn(G, Ptr(1), {Ptr(2)}));
+  // The full Figure 2 graph is NOT a tree from a: e is reachable both
+  // via b and via c.
+  PtrSet All = {Ptr(1), Ptr(2), Ptr(3), Ptr(4), Ptr(5)};
+  EXPECT_FALSE(isTreeIn(G, Ptr(1), All));
+}
+
+TEST(GraphPredicatesTest, FrontAndMaximal) {
+  Heap G = figure2Graph();
+  // front({b}) includes d and e.
+  EXPECT_TRUE(isFront(G, {Ptr(2)}, {Ptr(2), Ptr(4), Ptr(5)}));
+  EXPECT_FALSE(isFront(G, {Ptr(2)}, {Ptr(2), Ptr(4)}));
+  // {d, e} is maximal (leaves); {b, d} is not (edge to e).
+  EXPECT_TRUE(isMaximal(G, {Ptr(4), Ptr(5)}));
+  EXPECT_FALSE(isMaximal(G, {Ptr(2), Ptr(4)}));
+}
+
+TEST(GraphPredicatesTest, ReachabilityAndConnectivity) {
+  Heap G = figure2Graph();
+  EXPECT_TRUE(isConnectedFrom(G, Ptr(1)));
+  EXPECT_FALSE(isConnectedFrom(G, Ptr(2)));
+  PtrSet FromB = reachableFrom(G, Ptr(2));
+  EXPECT_EQ(FromB, (PtrSet{Ptr(2), Ptr(4), Ptr(5)}));
+  EXPECT_TRUE(reachableFrom(G, Ptr(99)).empty());
+}
+
+TEST(GraphPredicatesTest, SubgraphEvolution) {
+  Heap G1 = figure2Graph();
+  Heap G2 = markNode(G1, Ptr(1));
+  EXPECT_TRUE(isSubgraphEvolution(G1, G2));
+  Heap G3 = nullEdge(G2, Ptr(1), Side::Right);
+  EXPECT_TRUE(isSubgraphEvolution(G1, G3));
+  // Un-marking violates evolution.
+  EXPECT_FALSE(isSubgraphEvolution(G2, G1));
+  // Nullifying an *unmarked* node's edge changes its content: violation.
+  Heap G4 = nullEdge(G1, Ptr(2), Side::Left);
+  EXPECT_FALSE(isSubgraphEvolution(G1, G4));
+  // Domain changes are violations.
+  Heap G5 = G1;
+  G5.remove(Ptr(5));
+  EXPECT_FALSE(isSubgraphEvolution(G1, G5));
+}
+
+TEST(GraphGenTest, Figure2Shape) {
+  Heap G = figure2Graph();
+  EXPECT_EQ(G.size(), 5u);
+  EXPECT_EQ(succOf(G, Ptr(1), Side::Left), Ptr(2));  // a -> b
+  EXPECT_EQ(succOf(G, Ptr(1), Side::Right), Ptr(3)); // a -> c
+  EXPECT_EQ(succOf(G, Ptr(3), Side::Right), Ptr(3)); // c's self loop
+  EXPECT_EQ(figure2NodeName(Ptr(1)), "a");
+  EXPECT_EQ(figure2NodeName(Ptr(5)), "e");
+}
+
+TEST(GraphGenTest, RandomGraphsWellFormed) {
+  Rng R(123);
+  for (int I = 0; I < 50; ++I) {
+    Heap G = randomGraph(6, R, /*ConnectedFromRoot=*/false);
+    EXPECT_EQ(G.size(), 6u);
+    EXPECT_TRUE(isGraphHeap(G));
+  }
+}
+
+TEST(GraphGenTest, ConnectedGraphsAreConnected) {
+  Rng R(321);
+  for (int I = 0; I < 50; ++I) {
+    Heap G = randomGraph(5, R, /*ConnectedFromRoot=*/true);
+    EXPECT_TRUE(isConnectedFrom(G, Ptr(1)));
+  }
+}
+
+/// Property sweep: the max_tree2 lemma holds across random graphs and
+/// subtree choices (seed-parameterized).
+class GraphLemmaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphLemmaTest, MaxTree2Holds) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    Heap G = randomGraph(5, R, false);
+    for (const auto &Cell : G) {
+      Ptr X = Cell.first;
+      Ptr Y1 = Cell.second.getNode().Left;
+      Ptr Y2 = Cell.second.getNode().Right;
+      PtrSet T1 = Y1.isNull() ? PtrSet{} : reachableFrom(G, Y1);
+      PtrSet T2 = Y2.isNull() ? PtrSet{} : reachableFrom(G, Y2);
+      EXPECT_TRUE(lemmaMaxTree2(G, X, Y1, Y2, T1, T2))
+          << "graph: " << G.toString() << " x=" << X.toString();
+    }
+  }
+}
+
+TEST_P(GraphLemmaTest, MaximalTreeSpans) {
+  Rng R(GetParam() ^ 0xabcdef);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    Heap G = randomGraph(5, R, true);
+    EXPECT_TRUE(lemmaMaximalTreeSpans(G, Ptr(1), reachableFrom(G, Ptr(1))));
+  }
+}
+
+TEST_P(GraphLemmaTest, FrontOfReachableSetIsItself) {
+  // reachableFrom always yields a maximal set.
+  Rng R(GetParam() + 17);
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    Heap G = randomGraph(5, R, false);
+    for (const auto &Cell : G)
+      EXPECT_TRUE(isMaximal(G, reachableFrom(G, Cell.first)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphLemmaTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));

@@ -1,0 +1,126 @@
+//===- tests/heap_test.cpp - Heap model tests ------------------------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+TEST(PtrTest, NullAndIds) {
+  EXPECT_TRUE(Ptr().isNull());
+  EXPECT_TRUE(Ptr::null().isNull());
+  EXPECT_FALSE(Ptr(3).isNull());
+  EXPECT_EQ(Ptr(3).id(), 3u);
+  EXPECT_EQ(Ptr().toString(), "null");
+  EXPECT_EQ(Ptr(7).toString(), "&7");
+  EXPECT_LT(Ptr(1), Ptr(2));
+}
+
+TEST(ValTest, KindsAndAccessors) {
+  EXPECT_TRUE(Val::unit().isUnit());
+  EXPECT_EQ(Val::ofInt(-3).getInt(), -3);
+  EXPECT_TRUE(Val::ofBool(true).getBool());
+  EXPECT_EQ(Val::ofPtr(Ptr(4)).getPtr(), Ptr(4));
+  Val N = Val::node(true, Ptr(1), Ptr(2));
+  EXPECT_TRUE(N.getNode().Marked);
+  EXPECT_EQ(N.getNode().Left, Ptr(1));
+  Val P = Val::pair(Val::ofInt(1), Val::ofBool(false));
+  EXPECT_EQ(P.first().getInt(), 1);
+  EXPECT_FALSE(P.second().getBool());
+}
+
+TEST(ValTest, TotalOrderAndEquality) {
+  EXPECT_EQ(Val::ofInt(5), Val::ofInt(5));
+  EXPECT_NE(Val::ofInt(5), Val::ofInt(6));
+  EXPECT_NE(Val::ofInt(0), Val::ofBool(false));
+  EXPECT_LT(Val::unit(), Val::ofInt(0)); // Kind tag order.
+  Val A = Val::pair(Val::ofInt(1), Val::ofInt(2));
+  Val B = Val::pair(Val::ofInt(1), Val::ofInt(3));
+  EXPECT_LT(A, B);
+  EXPECT_EQ(A, Val::pair(Val::ofInt(1), Val::ofInt(2)));
+}
+
+TEST(ValTest, HashingAgreesWithEquality) {
+  Val A = Val::pair(Val::ofInt(1), Val::ofPtr(Ptr(2)));
+  Val B = Val::pair(Val::ofInt(1), Val::ofPtr(Ptr(2)));
+  EXPECT_EQ(std::hash<Val>{}(A), std::hash<Val>{}(B));
+}
+
+TEST(ValTest, ToString) {
+  EXPECT_EQ(Val::unit().toString(), "()");
+  EXPECT_EQ(Val::ofInt(9).toString(), "9");
+  EXPECT_EQ(Val::ofBool(false).toString(), "false");
+  EXPECT_EQ(Val::node(false, Ptr(1), Ptr()).toString(), "{u, &1, null}");
+  EXPECT_EQ(Val::pair(Val::ofInt(1), Val::unit()).toString(), "(1, ())");
+}
+
+TEST(HeapTest, InsertLookupUpdateRemove) {
+  Heap H;
+  EXPECT_TRUE(H.isEmpty());
+  H.insert(Ptr(1), Val::ofInt(10));
+  H.insert(Ptr(3), Val::ofInt(30));
+  EXPECT_EQ(H.size(), 2u);
+  EXPECT_TRUE(H.contains(Ptr(1)));
+  EXPECT_FALSE(H.contains(Ptr(2)));
+  EXPECT_EQ(H.lookup(Ptr(3)).getInt(), 30);
+  EXPECT_EQ(H.tryLookup(Ptr(2)), nullptr);
+  H.update(Ptr(1), Val::ofInt(11));
+  EXPECT_EQ(H.lookup(Ptr(1)).getInt(), 11);
+  H.remove(Ptr(1));
+  EXPECT_FALSE(H.contains(Ptr(1)));
+}
+
+TEST(HeapTest, DomainSortedAndFreshPtr) {
+  Heap H;
+  H.insert(Ptr(2), Val::unit());
+  H.insert(Ptr(1), Val::unit());
+  H.insert(Ptr(5), Val::unit());
+  std::vector<Ptr> Dom = H.domain();
+  ASSERT_EQ(Dom.size(), 3u);
+  EXPECT_EQ(Dom[0], Ptr(1));
+  EXPECT_EQ(Dom[2], Ptr(5));
+  // Smallest absent id.
+  EXPECT_EQ(H.freshPtr(), Ptr(3));
+  EXPECT_EQ(Heap().freshPtr(), Ptr(1));
+}
+
+TEST(HeapTest, DisjointUnionIsPartial) {
+  Heap A = Heap::singleton(Ptr(1), Val::ofInt(1));
+  Heap B = Heap::singleton(Ptr(2), Val::ofInt(2));
+  std::optional<Heap> AB = Heap::join(A, B);
+  ASSERT_TRUE(AB.has_value());
+  EXPECT_EQ(AB->size(), 2u);
+  // Overlap is undefined.
+  EXPECT_FALSE(Heap::join(A, A).has_value());
+  EXPECT_TRUE(Heap::disjoint(A, B));
+  EXPECT_FALSE(Heap::disjoint(A, A));
+}
+
+TEST(HeapTest, JoinWithEmptyIsIdentity) {
+  Heap A = Heap::singleton(Ptr(1), Val::ofInt(1));
+  std::optional<Heap> R = Heap::join(A, Heap());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, A);
+}
+
+TEST(HeapTest, WithoutAndCompare) {
+  Heap A;
+  A.insert(Ptr(1), Val::ofInt(1));
+  A.insert(Ptr(2), Val::ofInt(2));
+  Heap B = A.without({Ptr(1)});
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_TRUE(B.contains(Ptr(2)));
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A.compare(A), 0);
+  EXPECT_NE(A.compare(B), 0);
+}
+
+TEST(HeapTest, ToStringShape) {
+  Heap H = Heap::singleton(Ptr(1), Val::ofInt(5));
+  EXPECT_EQ(H.toString(), "{&1 :-> 5}");
+  EXPECT_EQ(Heap().toString(), "{}");
+}

@@ -1,0 +1,76 @@
+//===- tests/histories_test.cpp - Time-stamped history tests ---------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/Histories.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+HistEntry entry(int64_t From, int64_t To) {
+  return HistEntry{Val::ofInt(From), Val::ofInt(To)};
+}
+} // namespace
+
+TEST(HistoryTest, AddLookupLast) {
+  History H;
+  EXPECT_TRUE(H.isEmpty());
+  EXPECT_EQ(H.lastStamp(), 0u);
+  H.add(1, entry(0, 1));
+  H.add(3, entry(2, 3));
+  EXPECT_EQ(H.size(), 2u);
+  EXPECT_TRUE(H.contains(3));
+  EXPECT_FALSE(H.contains(2));
+  EXPECT_EQ(H.lastStamp(), 3u);
+  ASSERT_NE(H.tryLookup(1), nullptr);
+  EXPECT_EQ(H.tryLookup(1)->After, Val::ofInt(1));
+}
+
+TEST(HistoryTest, JoinDisjointness) {
+  History A, B;
+  A.add(1, entry(0, 1));
+  B.add(2, entry(1, 2));
+  std::optional<History> AB = History::join(A, B);
+  ASSERT_TRUE(AB.has_value());
+  EXPECT_EQ(AB->size(), 2u);
+  // Overlapping stamps are undefined.
+  EXPECT_FALSE(History::join(A, A).has_value());
+}
+
+TEST(HistoryTest, ContinuityAccepts) {
+  History H;
+  H.add(1, entry(0, 5));
+  H.add(2, entry(5, 7));
+  H.add(3, entry(7, 7));
+  EXPECT_TRUE(H.isContinuous());
+  EXPECT_TRUE(History().isContinuous());
+}
+
+TEST(HistoryTest, ContinuityRejectsGapsAndMismatches) {
+  History Gap;
+  Gap.add(1, entry(0, 1));
+  Gap.add(3, entry(1, 2));
+  EXPECT_FALSE(Gap.isContinuous());
+
+  History Mismatch;
+  Mismatch.add(1, entry(0, 1));
+  Mismatch.add(2, entry(9, 2)); // Before != previous After.
+  EXPECT_FALSE(Mismatch.isContinuous());
+
+  History NotFromOne;
+  NotFromOne.add(2, entry(0, 1));
+  EXPECT_FALSE(NotFromOne.isContinuous());
+}
+
+TEST(HistoryTest, CompareAndToString) {
+  History A, B;
+  A.add(1, entry(0, 1));
+  B.add(1, entry(0, 2));
+  EXPECT_NE(A.compare(B), 0);
+  EXPECT_EQ(A.compare(A), 0);
+  EXPECT_NE(A.toString().find("0 ~> 1"), std::string::npos);
+}

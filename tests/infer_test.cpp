@@ -1,0 +1,92 @@
+//===- tests/infer_test.cpp - Strongest-post / pre-inference tests ---------===//
+//
+// Part of fcsl-cpp. The synthesized strongest postconditions of the
+// paper's Section 5.1 and the spec-weakening view of Section 5.2, as
+// decision procedures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Tr = 2;
+} // namespace
+
+TEST(StrongestPostTest, EnumeratesExactTerminalSet) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+
+  // pop on the stack [5]: exactly one terminal, result (true, 5).
+  auto Post = strongestPost(
+      Prog::call("pop", {}),
+      VerifyInstance{treiberState(Case, {5}, 0, 0), {}}, Opts);
+  ASSERT_TRUE(Post.has_value());
+  ASSERT_EQ(Post->size(), 1u);
+  EXPECT_EQ((*Post)[0].Result,
+            Val::pair(Val::ofBool(true), Val::ofInt(5)));
+}
+
+TEST(StrongestPostTest, UnsafeProgramsHaveNoPost) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  // Pushing an unowned node is unsafe: no strongest post exists.
+  auto Post = strongestPost(
+      Prog::act(Case.TryPush, {Expr::litPtr(Ptr(20)), Expr::litInt(1),
+                               Expr::litPtr(Ptr::null())}),
+      VerifyInstance{treiberState(Case, {}, 0, 0), {}}, Opts);
+  EXPECT_FALSE(Post.has_value());
+}
+
+TEST(InferPreTest, SelectsExactlyTheValidInitialStates) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+
+  // Postcondition: pop returns the value 5.
+  PostFn PopsFive = [](const Val &R, const View &, const View &) {
+    return R == Val::pair(Val::ofBool(true), Val::ofInt(5));
+  };
+  std::vector<VerifyInstance> Candidates = {
+      VerifyInstance{treiberState(Case, {5}, 0, 0), {}},    // yes
+      VerifyInstance{treiberState(Case, {7}, 0, 0), {}},    // no
+      VerifyInstance{treiberState(Case, {5, 7}, 0, 0), {}}, // yes
+      VerifyInstance{treiberState(Case, {}, 0, 0), {}},     // no (empty)
+  };
+  std::vector<size_t> Valid =
+      inferPre(Prog::call("pop", {}), PopsFive, Candidates, Opts);
+  EXPECT_EQ(Valid, (std::vector<size_t>{0, 2}));
+}
+
+TEST(InferPreTest, UnsafeCandidatesExcluded) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+
+  // push(20, 1) needs node 20 privately owned: only candidate 1 works.
+  PostFn Any = [](const Val &, const View &, const View &) {
+    return true;
+  };
+  std::vector<VerifyInstance> Candidates = {
+      VerifyInstance{treiberState(Case, {}, 0, 0), {}}, // unsafe: no node
+      VerifyInstance{treiberState(Case, {}, 1, 0), {}}, // ok
+  };
+  ProgRef Push =
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)});
+  std::vector<size_t> Valid = inferPre(Push, Any, Candidates, Opts);
+  EXPECT_EQ(Valid, std::vector<size_t>{1});
+}

@@ -1,0 +1,206 @@
+//===- tests/integration_test.cpp - Cross-module integration sweeps --------===//
+//
+// Part of fcsl-cpp. Deeper end-to-end coverage across modules: binder
+// semantics of the embedded language, stale-CAS scenarios, publication
+// protocol misuse, and seed-parameterized open-world spanning sweeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/FlatCombiner.h"
+#include "structures/PairSnapshot.h"
+#include "structures/SpanTree.h"
+#include "structures/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Sec = 2;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Embedded-language semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(LanguageTest, BindShadowsOuterVariable) {
+  TreiberCase Case = makeTreiberCase(Pv, Sec, 0);
+  // x bound twice: the inner binding wins in the continuation.
+  ProgRef P = Prog::bind(
+      Prog::ret(Expr::litInt(1)), "x",
+      Prog::bind(Prog::ret(Expr::litInt(2)), "x",
+                 Prog::ret(Expr::var("x"))));
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(P, treiberState(Case, {}, 0, 0), Opts);
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofInt(2));
+}
+
+TEST(LanguageTest, CallIsByValue) {
+  TreiberCase Case = makeTreiberCase(Pv, Sec, 0);
+  // The callee's parameter is a copy: rebinding it does not leak out.
+  Case.Defs.define("shadow",
+                   FuncDef{{"x"},
+                           Prog::bind(Prog::ret(Expr::litInt(99)), "x",
+                                      Prog::ret(Expr::var("x")))});
+  ProgRef P = Prog::bind(
+      Prog::ret(Expr::litInt(7)), "x",
+      Prog::bind(Prog::call("shadow", {Expr::var("x")}), "r",
+                 Prog::ret(Expr::mkPair(Expr::var("x"),
+                                        Expr::var("r")))));
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(P, treiberState(Case, {}, 0, 0), Opts);
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result,
+            Val::pair(Val::ofInt(7), Val::ofInt(99)));
+}
+
+TEST(LanguageTest, ParPairsResultsInOrder) {
+  TreiberCase Case = makeTreiberCase(Pv, Sec, 0);
+  ProgRef P = Prog::par(Prog::ret(Expr::litInt(1)),
+                        Prog::ret(Expr::litInt(2)));
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(P, treiberState(Case, {}, 0, 0), Opts);
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  // Left child's value is first, right child's second.
+  EXPECT_EQ(R.Terminals[0].Result,
+            Val::pair(Val::ofInt(1), Val::ofInt(2)));
+}
+
+//===----------------------------------------------------------------------===//
+// Stale-CAS and protocol-misuse scenarios.
+//===----------------------------------------------------------------------===//
+
+TEST(StaleCasTest, PopWithOutdatedHeadFailsCleanly) {
+  // Read the head, let another pop commit first, then try_pop with the
+  // stale pointer: the CAS must fail and leave the state untouched.
+  TreiberCase Case = makeTreiberCase(Pv, Sec, 0);
+  GlobalState GS = treiberState(Case, {7, 5}, 0, 0);
+  View S0 = GS.viewFor(rootThread());
+  Ptr StaleHead = S0.joint(Sec).lookup(Case.Sentinel).getPtr();
+
+  // A first pop succeeds (same thread, modeling an interleaved winner).
+  auto First = Case.TryPop->step(S0, {Val::ofPtr(StaleHead)});
+  ASSERT_TRUE(First.has_value());
+  const View &S1 = (*First)[0].Post;
+
+  // The stale retry observes the new head and fails.
+  auto Retry = Case.TryPop->step(S1, {Val::ofPtr(StaleHead)});
+  ASSERT_TRUE(Retry.has_value());
+  EXPECT_EQ((*Retry)[0].Result.first(), Val::ofBool(false));
+  EXPECT_EQ((*Retry)[0].Post, S1);
+}
+
+TEST(ProtocolMisuseTest, DoublePublishIsUnsafe) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Pv, 0);
+  View S0 = flatCombinerState(Case, 1).viewFor(rootThread());
+  auto P1 = Case.Publish->step(
+      S0, {Val::ofPtr(Case.Slot1), Val::ofInt(FcPush), Val::ofInt(1)});
+  ASSERT_TRUE(P1.has_value());
+  // Publishing into a non-idle slot violates the protocol.
+  EXPECT_FALSE(Case.Publish
+                   ->step((*P1)[0].Post,
+                          {Val::ofPtr(Case.Slot1), Val::ofInt(FcPush),
+                           Val::ofInt(2)})
+                   .has_value());
+}
+
+TEST(ProtocolMisuseTest, PublishingToForeignSlotIsUnsafe) {
+  FlatCombinerCase Case = makeFlatCombinerCase(Pv, 0);
+  View S0 = flatCombinerState(Case, 1).viewFor(rootThread());
+  EXPECT_FALSE(Case.Publish
+                   ->step(S0, {Val::ofPtr(Case.Slot2), Val::ofInt(FcPush),
+                               Val::ofInt(1)})
+                   .has_value());
+}
+
+TEST(ProtocolMisuseTest, SnapshotVersionsNeverRegress) {
+  // Drive the snapshot through a random action soup and confirm the
+  // version monotonicity invariant end to end.
+  PairSnapCase Case = makePairSnapCase(Pv, /*EnvHistCap=*/3);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  ProgRef P = Prog::seq(
+      Prog::act(Case.WriteX, {Expr::litInt(1)}),
+      Prog::seq(Prog::act(Case.WriteY, {Expr::litInt(2)}),
+                Prog::call("readPair", {})));
+  RunResult R = explore(P, pairSnapState(Case), Opts);
+  ASSERT_TRUE(R.complete()) << R.FailureNote;
+  for (const Terminal &T : R.Terminals) {
+    const Val &CellX = T.FinalView.joint(Pv).lookup(Case.CellX);
+    const Val &CellY = T.FinalView.joint(Pv).lookup(Case.CellY);
+    EXPECT_GE(CellX.second().getInt(), 1);
+    EXPECT_GE(CellY.second().getInt(), 1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seed-parameterized open-world spanning sweeps.
+//===----------------------------------------------------------------------===//
+
+class OpenWorldSpanTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpenWorldSpanTest, SpanTpHoldsOnRandomGraphs) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sec);
+  Rng Random(GetParam());
+  Heap G = randomGraph(3, Random, /*ConnectedFromRoot=*/false);
+
+  Spec S;
+  S.Name = "span_tp_sweep";
+  S.C = Case.Open;
+  Ptr X(1);
+  S.Pre = Assertion("x in graph", [X](const View &V) {
+    return V.joint(Sec).contains(X);
+  });
+  S.PostName = "Figure 4 postcondition";
+  S.Post = [&Case, X](const Val &R, const View &I, const View &F) {
+    return spanTpPost(Case, X, R, I, F);
+  };
+  ProgRef Main = Prog::call("span", {Expr::litPtr(X)});
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  VerifyResult R = verifyTriple(
+      Main, S, {VerifyInstance{spanOpenState(Case, G, {}), {}}}, Opts);
+  EXPECT_TRUE(R.Holds) << R.FailureNote << "\ngraph: " << G.toString();
+  EXPECT_GT(R.TerminalsChecked, 0u);
+}
+
+TEST_P(OpenWorldSpanTest, SimulatedOpenWorldRunsSatisfySpanTp) {
+  // The same spec, sampled on a larger graph where exploration would be
+  // costly: interference included.
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sec);
+  Rng Random(GetParam() * 31);
+  Heap G = randomGraph(6, Random, /*ConnectedFromRoot=*/false);
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  GlobalState Initial = spanOpenState(Case, G, {});
+  View I = Initial.viewFor(rootThread());
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    SimResult Sim = simulate(Prog::call("span", {Expr::litPtr(Ptr(1))}),
+                             Initial, Opts, Seed);
+    ASSERT_TRUE(Sim.Safe) << Sim.FailureNote;
+    if (!Sim.Terminated)
+      continue; // Interference may starve the run; that is fine.
+    EXPECT_TRUE(spanTpPost(Case, Ptr(1), Sim.Result, I, Sim.FinalView))
+        << "seed " << Seed << " graph " << G.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpenWorldSpanTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));

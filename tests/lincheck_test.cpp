@@ -1,0 +1,110 @@
+//===- tests/lincheck_test.cpp - Linearizability checker tests -------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/LinCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+OpRecord op(unsigned Thread, const char *Name, Val Arg, Val Ret,
+            uint64_t Invoke, uint64_t Return) {
+  return OpRecord{Thread, Name, std::move(Arg), std::move(Ret), Invoke,
+                  Return};
+}
+
+} // namespace
+
+TEST(LinCheckTest, SequentialStackHistoryAccepted) {
+  ConcurrentHistory H;
+  H.add(op(0, "push", Val::ofInt(1), Val::unit(), 1, 2));
+  H.add(op(0, "push", Val::ofInt(2), Val::unit(), 3, 4));
+  H.add(op(0, "pop", Val::unit(), Val::ofInt(2), 5, 6));
+  H.add(op(0, "pop", Val::unit(), Val::ofInt(1), 7, 8));
+  LinResult R = checkLinearizable(H, stackSeqSpec());
+  EXPECT_TRUE(R.Linearizable);
+  EXPECT_EQ(R.Witness.size(), 4u);
+}
+
+TEST(LinCheckTest, FifoStackHistoryRejected) {
+  // Strictly sequential LIFO violation: pop returns the *bottom* element.
+  ConcurrentHistory H;
+  H.add(op(0, "push", Val::ofInt(1), Val::unit(), 1, 2));
+  H.add(op(0, "push", Val::ofInt(2), Val::unit(), 3, 4));
+  H.add(op(0, "pop", Val::unit(), Val::ofInt(1), 5, 6));
+  LinResult R = checkLinearizable(H, stackSeqSpec());
+  EXPECT_FALSE(R.Linearizable);
+}
+
+TEST(LinCheckTest, OverlappingOpsMayReorder) {
+  // A pop overlapping a push may linearize either side; returning the
+  // pushed value is legal exactly because they overlap.
+  ConcurrentHistory H;
+  H.add(op(0, "push", Val::ofInt(9), Val::unit(), 1, 5));
+  H.add(op(1, "pop", Val::unit(), Val::ofInt(9), 2, 6));
+  EXPECT_TRUE(checkLinearizable(H, stackSeqSpec()).Linearizable);
+
+  // If the pop strictly precedes the push, it cannot see the value.
+  ConcurrentHistory H2;
+  H2.add(op(1, "pop", Val::unit(), Val::ofInt(9), 1, 2));
+  H2.add(op(0, "push", Val::ofInt(9), Val::unit(), 3, 4));
+  EXPECT_FALSE(checkLinearizable(H2, stackSeqSpec()).Linearizable);
+}
+
+TEST(LinCheckTest, EmptyPopMarker) {
+  ConcurrentHistory H;
+  H.add(op(0, "pop", Val::unit(), Val::ofInt(0), 1, 2));
+  EXPECT_TRUE(checkLinearizable(H, stackSeqSpec()).Linearizable);
+}
+
+TEST(LinCheckTest, PairSnapshotSpec) {
+  // writeX(1) completes, then a read returns (1, 0): fine.
+  ConcurrentHistory H;
+  H.add(op(0, "writeX", Val::ofInt(1), Val::unit(), 1, 2));
+  H.add(op(1, "read", Val::unit(),
+           Val::pair(Val::ofInt(1), Val::ofInt(0)), 3, 4));
+  EXPECT_TRUE(
+      checkLinearizable(H, pairSnapshotSeqSpec(0, 0)).Linearizable);
+
+  // A read strictly after the write cannot miss it.
+  ConcurrentHistory H2;
+  H2.add(op(0, "writeX", Val::ofInt(1), Val::unit(), 1, 2));
+  H2.add(op(1, "read", Val::unit(),
+            Val::pair(Val::ofInt(0), Val::ofInt(0)), 3, 4));
+  EXPECT_FALSE(
+      checkLinearizable(H2, pairSnapshotSeqSpec(0, 0)).Linearizable);
+}
+
+TEST(LinCheckTest, CounterSpec) {
+  ConcurrentHistory H;
+  H.add(op(0, "incr", Val::unit(), Val::ofInt(0), 1, 4));
+  H.add(op(1, "incr", Val::unit(), Val::ofInt(1), 2, 5));
+  H.add(op(0, "read", Val::unit(), Val::ofInt(2), 6, 7));
+  EXPECT_TRUE(checkLinearizable(H, counterSeqSpec(0)).Linearizable);
+
+  // Two increments returning the same old value are impossible.
+  ConcurrentHistory H2;
+  H2.add(op(0, "incr", Val::unit(), Val::ofInt(0), 1, 4));
+  H2.add(op(1, "incr", Val::unit(), Val::ofInt(0), 2, 5));
+  EXPECT_FALSE(checkLinearizable(H2, counterSeqSpec(0)).Linearizable);
+}
+
+TEST(LinCheckTest, RecorderTimestampsRespectOrder) {
+  HistoryRecorder Rec;
+  uint64_t I1 = Rec.invoke();
+  Rec.record(0, "push", Val::ofInt(1), Val::unit(), I1);
+  uint64_t I2 = Rec.invoke();
+  Rec.record(1, "pop", Val::unit(), Val::ofInt(1), I2);
+  ConcurrentHistory H = Rec.take();
+  ASSERT_EQ(H.size(), 2u);
+  EXPECT_LT(H.records()[0].InvokeTime, H.records()[0].ReturnTime);
+  EXPECT_LT(H.records()[0].ReturnTime, H.records()[1].InvokeTime);
+  EXPECT_TRUE(checkLinearizable(H, stackSeqSpec()).Linearizable);
+  // take() drains.
+  EXPECT_EQ(Rec.take().size(), 0u);
+}

@@ -1,0 +1,85 @@
+//===- tests/pairsnapshot_test.cpp - Pair snapshot tests -------------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/PairSnapshot.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Rp = 1;
+} // namespace
+
+TEST(PairSnapshotTest, WritesBumpVersionsAndHistory) {
+  PairSnapCase Case = makePairSnapCase(Rp, /*EnvHistCap=*/0);
+  GlobalState GS = pairSnapState(Case);
+  View Pre = GS.viewFor(rootThread());
+
+  auto W = Case.WriteX->step(Pre, {Val::ofInt(5)});
+  ASSERT_TRUE(W.has_value());
+  const View &Post = (*W)[0].Post;
+  const Val &CellX = Post.joint(Rp).lookup(Case.CellX);
+  EXPECT_EQ(CellX.first().getInt(), 5);
+  EXPECT_EQ(CellX.second().getInt(), 1); // Version bumped.
+  EXPECT_EQ(Post.self(Rp).getHist().size(), 1u);
+  EXPECT_TRUE(Case.C->coherent(Post));
+}
+
+TEST(PairSnapshotTest, ReadsAreIdle) {
+  PairSnapCase Case = makePairSnapCase(Rp, 0);
+  View Pre = pairSnapState(Case).viewFor(rootThread());
+  auto R = Case.ReadX->step(Pre, {});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ((*R)[0].Post, Pre);
+  EXPECT_EQ((*R)[0].Result, Val::pair(Val::ofInt(0), Val::ofInt(0)));
+}
+
+TEST(PairSnapshotTest, ReadPairWithoutInterference) {
+  PairSnapCase Case = makePairSnapCase(Rp, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Prog::call("readPair", {}), pairSnapState(Case),
+                        Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result,
+            Val::pair(Val::ofInt(0), Val::ofInt(0)));
+}
+
+TEST(PairSnapshotTest, ReadPairConsistentUnderInterference) {
+  PairSnapCase Case = makePairSnapCase(Rp, /*EnvHistCap=*/2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Prog::call("readPair", {}), pairSnapState(Case),
+                        Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  EXPECT_GT(R.Terminals.size(), 1u); // Interference is visible...
+  for (const Terminal &T : R.Terminals) {
+    // ...but never as an inconsistent mix: the returned pair must appear
+    // in the final combined history's state chain.
+    std::optional<History> Full = History::join(
+        T.FinalView.self(Rp).getHist(), T.FinalView.other(Rp).getHist());
+    ASSERT_TRUE(Full.has_value());
+    std::vector<Val> States = {Val::pair(Val::ofInt(0), Val::ofInt(0))};
+    for (const auto &Entry : *Full)
+      States.push_back(Entry.second.After);
+    bool Found = false;
+    for (const Val &S : States)
+      Found |= S == T.Result;
+    EXPECT_TRUE(Found) << T.Result.toString();
+  }
+}
+
+TEST(PairSnapshotTest, SessionPasses) {
+  SessionReport Report = makePairSnapshotSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+}

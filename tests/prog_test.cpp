@@ -1,0 +1,88 @@
+//===- tests/prog_test.cpp - Program AST tests -----------------------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Prog.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+TEST(ExprTest, Literals) {
+  VarEnv Env;
+  EXPECT_EQ(Expr::unit()->eval(Env), Val::unit());
+  EXPECT_EQ(Expr::litInt(5)->eval(Env), Val::ofInt(5));
+  EXPECT_EQ(Expr::litBool(true)->eval(Env), Val::ofBool(true));
+  EXPECT_EQ(Expr::litPtr(Ptr(2))->eval(Env), Val::ofPtr(Ptr(2)));
+}
+
+TEST(ExprTest, VariablesAndOps) {
+  VarEnv Env;
+  Env["x"] = Val::ofInt(3);
+  Env["p"] = Val::ofPtr(Ptr());
+  EXPECT_EQ(Expr::var("x")->eval(Env), Val::ofInt(3));
+  EXPECT_EQ(Expr::add(Expr::var("x"), Expr::litInt(4))->eval(Env),
+            Val::ofInt(7));
+  EXPECT_EQ(Expr::lt(Expr::var("x"), Expr::litInt(4))->eval(Env),
+            Val::ofBool(true));
+  EXPECT_EQ(Expr::isNull(Expr::var("p"))->eval(Env), Val::ofBool(true));
+  EXPECT_EQ(Expr::eq(Expr::var("x"), Expr::litInt(3))->eval(Env),
+            Val::ofBool(true));
+  EXPECT_EQ(Expr::notE(Expr::litBool(false))->eval(Env),
+            Val::ofBool(true));
+}
+
+TEST(ExprTest, PairsAndProjections) {
+  VarEnv Env;
+  ExprRef P = Expr::mkPair(Expr::litInt(1), Expr::litBool(true));
+  EXPECT_EQ(Expr::fst(P)->eval(Env), Val::ofInt(1));
+  EXPECT_EQ(Expr::snd(P)->eval(Env), Val::ofBool(true));
+}
+
+TEST(ExprTest, ToString) {
+  EXPECT_EQ(Expr::var("x")->toString(), "x");
+  EXPECT_EQ(Expr::notE(Expr::var("b"))->toString(), "~~b");
+  EXPECT_EQ(Expr::isNull(Expr::var("p"))->toString(), "(p == null)");
+  EXPECT_EQ(Expr::fst(Expr::var("rs"))->toString(), "rs.1");
+}
+
+TEST(ProgTest, BuildersAndAccessors) {
+  ProgRef R = Prog::ret(Expr::litInt(1));
+  EXPECT_EQ(R->kind(), Prog::Kind::Ret);
+  ProgRef B = Prog::bind(R, "x", Prog::ret(Expr::var("x")));
+  EXPECT_EQ(B->kind(), Prog::Kind::Bind);
+  EXPECT_EQ(B->bindVar(), "x");
+  ProgRef S = Prog::seq(R, R);
+  EXPECT_EQ(S->bindVar(), "_");
+  ProgRef I = Prog::ifThenElse(Expr::litBool(true), R, S);
+  EXPECT_EQ(I->kind(), Prog::Kind::If);
+  ProgRef P = Prog::par(R, R);
+  EXPECT_EQ(P->kind(), Prog::Kind::Par);
+  ProgRef C = Prog::call("f", {Expr::litInt(1)});
+  EXPECT_EQ(C->callee(), "f");
+}
+
+TEST(ProgTest, PrettyPrinting) {
+  ProgRef P = Prog::bind(Prog::ret(Expr::litInt(1)), "x",
+                         Prog::ret(Expr::var("x")));
+  std::string S = P->toString();
+  EXPECT_NE(S.find("x <--"), std::string::npos);
+  EXPECT_NE(S.find("ret x"), std::string::npos);
+
+  ProgRef I = Prog::ifThenElse(Expr::var("b"), Prog::retUnit(),
+                               Prog::call("loop", {}));
+  EXPECT_NE(I->toString().find("if b then"), std::string::npos);
+}
+
+TEST(DefTableTest, DefineAndLookup) {
+  DefTable Defs;
+  EXPECT_FALSE(Defs.contains("f"));
+  Defs.define("f", FuncDef{{"a"}, Prog::ret(Expr::var("a"))});
+  EXPECT_TRUE(Defs.contains("f"));
+  EXPECT_EQ(Defs.lookup("f").Params.size(), 1u);
+  // Redefinition replaces.
+  Defs.define("f", FuncDef{{"a", "b"}, Prog::retUnit()});
+  EXPECT_EQ(Defs.lookup("f").Params.size(), 2u);
+}

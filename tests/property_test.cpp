@@ -1,0 +1,221 @@
+//===- tests/property_test.cpp - Randomized property sweeps ----------------===//
+//
+// Part of fcsl-cpp. Deterministic-seed randomized properties over the
+// algebraic substrate: PCM laws on generated elements, subtraction
+// round-trips, subjective fork/join round-trips, and nested hide.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Priv.h"
+#include "pcm/Algebra.h"
+#include "prog/Engine.h"
+#include "state/GlobalState.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+Val randomVal(Rng &R) {
+  switch (R.nextBelow(4)) {
+  case 0:
+    return Val::ofInt(static_cast<int64_t>(R.nextBelow(5)));
+  case 1:
+    return Val::ofBool(R.chance(1, 2));
+  case 2:
+    return Val::ofPtr(Ptr(static_cast<uint32_t>(R.nextBelow(4))));
+  default:
+    return Val::unit();
+  }
+}
+
+Heap randomHeap(Rng &R, uint32_t MaxPtr) {
+  Heap H;
+  for (uint32_t I = 1; I <= MaxPtr; ++I)
+    if (R.chance(1, 2))
+      H.insert(Ptr(I), randomVal(R));
+  return H;
+}
+
+History randomHist(Rng &R) {
+  History H;
+  for (uint64_t T = 1; T <= 4; ++T)
+    if (R.chance(1, 2))
+      H.add(T, HistEntry{randomVal(R), randomVal(R)});
+  return H;
+}
+
+PCMVal randomElem(Rng &R, const PCMType &T) {
+  switch (T.kind()) {
+  case PCMKind::Nat:
+    return PCMVal::ofNat(R.nextBelow(5));
+  case PCMKind::Mutex:
+    return R.chance(1, 2) ? PCMVal::mutexOwn() : PCMVal::mutexFree();
+  case PCMKind::PtrSet: {
+    std::set<Ptr> S;
+    for (uint32_t I = 1; I <= 4; ++I)
+      if (R.chance(1, 2))
+        S.insert(Ptr(I));
+    return PCMVal::ofPtrSet(std::move(S));
+  }
+  case PCMKind::HeapPCM:
+    return PCMVal::ofHeap(randomHeap(R, 4));
+  case PCMKind::Hist:
+    return PCMVal::ofHist(randomHist(R));
+  case PCMKind::Pair:
+    return PCMVal::makePair(randomElem(R, *T.first()),
+                            randomElem(R, *T.second()));
+  case PCMKind::Lift:
+    if (R.chance(1, 5))
+      return PCMVal::liftUndef(T.inner());
+    return PCMVal::liftDef(randomElem(R, *T.inner()));
+  }
+  return PCMVal::ofNat(0);
+}
+
+} // namespace
+
+class RandomPCMTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPCMTest, LawsOnRandomElements) {
+  Rng R(GetParam());
+  for (PCMTypeRef T :
+       {PCMType::nat(), PCMType::mutex(), PCMType::ptrSet(),
+        PCMType::heap(), PCMType::hist(),
+        PCMType::pairOf(PCMType::ptrSet(), PCMType::hist()),
+        PCMType::lifted(PCMType::heap())}) {
+    std::vector<PCMVal> Sample;
+    for (int I = 0; I < 6; ++I)
+      Sample.push_back(randomElem(R, *T));
+    PCMLawReport Report = checkPCMLaws(*T, Sample);
+    EXPECT_TRUE(Report.allHold()) << T->name();
+  }
+}
+
+TEST_P(RandomPCMTest, SubtractionRoundTrips) {
+  Rng R(GetParam() ^ 0x50b7);
+  for (PCMTypeRef T : {PCMType::nat(), PCMType::ptrSet(), PCMType::heap(),
+                       PCMType::hist(),
+                       PCMType::pairOf(PCMType::nat(), PCMType::heap())}) {
+    for (int I = 0; I < 10; ++I) {
+      PCMVal Whole = randomElem(R, *T);
+      for (const PCMVal &Part : enumerateSubElements(Whole, 16)) {
+        std::optional<PCMVal> Rest = pcmSubtract(Whole, Part);
+        ASSERT_TRUE(Rest.has_value()) << T->name();
+        std::optional<PCMVal> Back = PCMVal::join(Part, *Rest);
+        ASSERT_TRUE(Back.has_value());
+        EXPECT_EQ(*Back, Whole) << T->name();
+      }
+    }
+  }
+}
+
+TEST_P(RandomPCMTest, ForkJoinRoundTripsGlobalState) {
+  Rng R(GetParam() + 99);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    GlobalState GS;
+    GS.addLabel(1, PCMType::ptrSet(), Heap(), PCMVal::ofPtrSet({}),
+                false);
+    PCMVal Whole = randomElem(R, *PCMType::ptrSet());
+    GS.setSelf(1, rootThread(), Whole);
+    GlobalState Before = GS;
+
+    // Any split; fork then join must restore the parent contribution.
+    std::vector<PCMVal> Subs = enumerateSubElements(Whole, 8);
+    PCMVal Left = Subs[R.nextBelow(Subs.size())];
+    PCMVal Right = *pcmSubtract(Whole, Left);
+    std::map<Label, std::pair<PCMVal, PCMVal>> Splits;
+    Splits[1] = {Left, Right};
+    GS.fork(rootThread(), 2, 3, Splits);
+    GS.joinChildren(rootThread(), 2, 3);
+    EXPECT_EQ(GS, Before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPCMTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(NestedHideTest, TwoScopedInstallationsUnwindInOrder) {
+  // Install two counters over disjoint private cells, innermost first
+  // out: hide A { hide B { incr both } }; afterwards both cells are back
+  // in the private heap with their new values.
+  constexpr Label Pv = 1, CtA = 2, CtB = 3;
+  const Ptr CellA = Ptr(1), CellB = Ptr(2);
+
+  auto MakeCounter = [](Label L, Ptr Cell) {
+    auto Coh = [L, Cell](const View &S) {
+      if (!S.hasLabel(L))
+        return false;
+      const Val *V = S.joint(L).tryLookup(Cell);
+      return V && V->isInt() &&
+             V->getInt() == static_cast<int64_t>(S.self(L).getNat() +
+                                                 S.other(L).getNat());
+    };
+    return makeConcurroid("Counter" + std::to_string(L),
+                          {OwnedLabel{L, "ct", PCMType::nat()}}, Coh);
+  };
+  ConcurroidRef CA = MakeCounter(CtA, CellA);
+  ConcurroidRef CB = MakeCounter(CtB, CellB);
+
+  auto MakeIncr = [](ConcurroidRef C, Label L, Ptr Cell) {
+    return makeAction(
+        "incr" + std::to_string(L), C, 0,
+        [L, Cell](const View &Pre, const std::vector<Val> &)
+            -> std::optional<std::vector<ActOutcome>> {
+          const Val *V = Pre.joint(L).tryLookup(Cell);
+          if (!V)
+            return std::nullopt;
+          View Post = Pre;
+          Heap Joint = Pre.joint(L);
+          Joint.update(Cell, Val::ofInt(V->getInt() + 1));
+          Post.setJoint(L, std::move(Joint));
+          Post.setSelf(L, PCMVal::ofNat(Pre.self(L).getNat() + 1));
+          return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+        });
+  };
+
+  auto HideOver = [Pv](Label L, Ptr Cell, ConcurroidRef C, ProgRef Body) {
+    HideSpec Spec;
+    Spec.Pv = Pv;
+    Spec.Hidden = L;
+    Spec.SelfType = PCMType::nat();
+    Spec.Installed = std::move(C);
+    Spec.ChooseDonation = [Cell](const Heap &Mine) -> std::optional<Heap> {
+      const Val *V = Mine.tryLookup(Cell);
+      if (!V)
+        return std::nullopt;
+      return Heap::singleton(Cell, *V);
+    };
+    Spec.InitSelf = PCMVal::ofNat(0);
+    return Prog::hide(std::move(Spec), std::move(Body));
+  };
+
+  ProgRef Inner = Prog::seq(
+      Prog::act(MakeIncr(CA, CtA, CellA), {}),
+      Prog::act(MakeIncr(CB, CtB, CellB), {}));
+  ProgRef Main =
+      HideOver(CtA, CellA, CA, HideOver(CtB, CellB, CB, Inner));
+
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  Heap Mine;
+  Mine.insert(CellA, Val::ofInt(0));
+  Mine.insert(CellB, Val::ofInt(0));
+  GS.setSelf(Pv, rootThread(), PCMVal::ofHeap(std::move(Mine)));
+
+  EngineOptions Opts;
+  Opts.Ambient = makePriv(Pv);
+  Opts.EnvInterference = true;
+  DefTable Defs;
+  Opts.Defs = &Defs;
+  RunResult R = explore(Main, GS, Opts);
+  ASSERT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  const View &F = R.Terminals[0].FinalView;
+  EXPECT_FALSE(F.hasLabel(CtA));
+  EXPECT_FALSE(F.hasLabel(CtB));
+  EXPECT_EQ(F.self(Pv).getHeap().lookup(CellA).getInt(), 1);
+  EXPECT_EQ(F.self(Pv).getHeap().lookup(CellB).getInt(), 1);
+}

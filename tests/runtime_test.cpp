@@ -1,0 +1,182 @@
+//===- tests/runtime_test.cpp - Executable structure tests -----------------===//
+//
+// Part of fcsl-cpp. Cross-validates the runtime structures against their
+// sequential specs with the linearizability checker, and checks the
+// runtime spanning tree against the verified property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lincheck/LinCheck.h"
+#include "runtime/RtFlatCombiner.h"
+#include "runtime/RtLockedStack.h"
+#include "runtime/RtPairSnapshot.h"
+#include "runtime/RtSpanTree.h"
+#include "runtime/RtSpinLock.h"
+#include "runtime/RtTicketLock.h"
+#include "runtime/RtTreiberStack.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace fcsl;
+
+TEST(RtLockTest, SpinLockMutualExclusion) {
+  RtSpinLock Lock;
+  int64_t Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 5000; ++I) {
+        Lock.lock();
+        ++Counter;
+        Lock.unlock();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, 20000);
+}
+
+TEST(RtLockTest, TicketLockMutualExclusionAndFairness) {
+  RtTicketLock Lock;
+  int64_t Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 5000; ++I) {
+        Lock.lock();
+        ++Counter;
+        Lock.unlock();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, 20000);
+}
+
+TEST(RtStackTest, TreiberSequentialLifo) {
+  RtTreiberStack S;
+  EXPECT_TRUE(S.isEmpty());
+  EXPECT_FALSE(S.pop().has_value());
+  S.push(1);
+  S.push(2);
+  EXPECT_EQ(S.pop(), std::optional<int64_t>(2));
+  EXPECT_EQ(S.pop(), std::optional<int64_t>(1));
+  EXPECT_FALSE(S.pop().has_value());
+}
+
+namespace {
+
+/// Hammers a stack-like structure from several threads while recording a
+/// history, then checks linearizability.
+template <typename PushFn, typename PopFn>
+ConcurrentHistory recordStackHistory(PushFn Push, PopFn Pop,
+                                     unsigned Threads, unsigned OpsEach) {
+  HistoryRecorder Rec;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Rng R(1000 + T);
+      for (unsigned I = 0; I < OpsEach; ++I) {
+        if (R.chance(1, 2)) {
+          int64_t V = static_cast<int64_t>(T * 100 + I + 1);
+          uint64_t Inv = Rec.invoke();
+          Push(T, V);
+          Rec.record(T, "push", Val::ofInt(V), Val::unit(), Inv);
+        } else {
+          uint64_t Inv = Rec.invoke();
+          std::optional<int64_t> Out = Pop(T);
+          Rec.record(T, "pop", Val::unit(),
+                     Val::ofInt(Out.value_or(0)), Inv);
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  return Rec.take();
+}
+
+} // namespace
+
+TEST(RtStackTest, TreiberHistoriesLinearizable) {
+  RtTreiberStack S;
+  ConcurrentHistory H = recordStackHistory(
+      [&](unsigned, int64_t V) { S.push(V); },
+      [&](unsigned) { return S.pop(); }, 3, 6);
+  LinResult R = checkLinearizable(H, stackSeqSpec());
+  EXPECT_TRUE(R.Linearizable) << "history size " << H.size();
+}
+
+TEST(RtStackTest, LockedStackHistoriesLinearizable) {
+  RtLockedStack S;
+  ConcurrentHistory H = recordStackHistory(
+      [&](unsigned, int64_t V) { S.push(V); },
+      [&](unsigned) { return S.pop(); }, 3, 6);
+  EXPECT_TRUE(checkLinearizable(H, stackSeqSpec()).Linearizable);
+}
+
+TEST(RtStackTest, FcStackHistoriesLinearizable) {
+  RtFcStack S(3);
+  ConcurrentHistory H = recordStackHistory(
+      [&](unsigned T, int64_t V) { S.push(T, V); },
+      [&](unsigned T) { return S.pop(T); }, 3, 6);
+  EXPECT_TRUE(checkLinearizable(H, stackSeqSpec()).Linearizable);
+}
+
+TEST(RtSnapshotTest, SnapshotsAreConsistentCuts) {
+  RtPairSnapshot Snap;
+  std::atomic<bool> Stop{false};
+  // Writers keep x == y mod 1000 in lockstep pairs: x = k, y = k.
+  std::thread Writer([&] {
+    for (uint32_t K = 1; K <= 2000; ++K) {
+      Snap.writeX(K);
+      Snap.writeY(K);
+    }
+    Stop.store(true);
+  });
+  // Readers: a snapshot (x, y) must satisfy y == x or y == x - 1 (y lags
+  // by at most the in-flight write).
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      auto [X, Y] = Snap.readPair();
+      EXPECT_TRUE(Y == X || Y + 1 == X)
+          << "inconsistent snapshot (" << X << ", " << Y << ")";
+    }
+  });
+  Writer.join();
+  Reader.join();
+}
+
+TEST(RtSpanTest, SpanningTreeOnFixedGraph) {
+  // The Figure 2 graph (0-indexed).
+  RtGraph G(5);
+  G.setEdges(0, 1, 2);
+  G.setEdges(1, 3, 4);
+  G.setEdges(2, 4, 2);
+  EXPECT_TRUE(rtSpan(G, 0));
+  EXPECT_TRUE(rtIsSpanningTree(G, 0));
+}
+
+TEST(RtSpanTest, SpanningTreeOnRandomGraphs) {
+  Rng R(77);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    unsigned N = 8 + static_cast<unsigned>(R.nextBelow(8));
+    RtGraph G(N);
+    for (unsigned I = 0; I < N; ++I) {
+      int L = R.chance(1, 4) ? -1 : static_cast<int>(R.nextBelow(N));
+      int Rr = R.chance(1, 4) ? -1 : static_cast<int>(R.nextBelow(N));
+      G.setEdges(I, L, Rr);
+    }
+    EXPECT_TRUE(rtSpan(G, 0));
+    EXPECT_TRUE(rtIsSpanningTree(G, 0)) << "N=" << N;
+  }
+}
+
+TEST(RtSpanTest, SecondSpanFindsNothing) {
+  RtGraph G(3);
+  G.setEdges(0, 1, 2);
+  EXPECT_TRUE(rtSpan(G, 0));
+  EXPECT_FALSE(rtSpan(G, 0)); // Root already marked.
+}

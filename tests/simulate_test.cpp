@@ -1,0 +1,140 @@
+//===- tests/simulate_test.cpp - Randomized schedule simulation ------------===//
+//
+// Part of fcsl-cpp. The scalable single-schedule execution mode (the
+// reproduction's analogue of the paper's "program extraction" future
+// work): its sampled runs must agree with exhaustive exploration on
+// small instances and scale to instances exploration cannot reach.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/SpanTree.h"
+#include "structures/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+/// Splits the private node cells between the two pushing children.
+SplitFn nodeSplit(Label Pv) {
+  return [Pv](const View &V)
+             -> std::map<Label, std::pair<PCMVal, PCMVal>> {
+    Heap Mine = V.self(Pv).getHeap();
+    Heap Left, Right;
+    for (const auto &Cell : Mine)
+      (Cell.first == Ptr(21) ? Right : Left)
+          .insert(Cell.first, Cell.second);
+    return {{Pv, {PCMVal::ofHeap(std::move(Left)),
+                  PCMVal::ofHeap(std::move(Right))}}};
+  };
+}
+
+} // namespace
+
+TEST(SimulateTest, SampledTerminalsAreExploredTerminals) {
+  // Every simulated outcome of the parallel Treiber pushes must be among
+  // the exhaustively explored terminals.
+  TreiberCase Case = makeTreiberCase(1, 2, 0);
+  ProgRef Main = Prog::par(
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
+      Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}),
+      nodeSplit(Case.Pv));
+  GlobalState Initial = treiberState(Case, {}, 2, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+
+  RunResult Explored = explore(Main, Initial, Opts);
+  ASSERT_TRUE(Explored.complete());
+  ASSERT_FALSE(Explored.Terminals.empty());
+
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    SimResult Sim = simulate(Main, Initial, Opts, Seed);
+    ASSERT_TRUE(Sim.Safe) << Sim.FailureNote;
+    ASSERT_TRUE(Sim.Terminated);
+    bool Found = false;
+    for (const Terminal &T : Explored.Terminals)
+      Found |= T.Result == Sim.Result && T.FinalView == Sim.FinalView;
+    EXPECT_TRUE(Found) << "seed " << Seed << " produced an outcome the "
+                       << "exhaustive exploration did not";
+  }
+}
+
+TEST(SimulateTest, DeterministicPerSeed) {
+  TreiberCase Case = makeTreiberCase(1, 2, 0);
+  ProgRef Main = Prog::par(
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
+      Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}),
+      nodeSplit(Case.Pv));
+  GlobalState Initial = treiberState(Case, {}, 2, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  SimResult A = simulate(Main, Initial, Opts, 42);
+  SimResult B = simulate(Main, Initial, Opts, 42);
+  ASSERT_TRUE(A.Terminated && B.Terminated);
+  EXPECT_EQ(A.Result, B.Result);
+  EXPECT_EQ(A.FinalView, B.FinalView);
+  EXPECT_EQ(A.Steps, B.Steps);
+}
+
+TEST(SimulateTest, ScalesBeyondExhaustiveExploration) {
+  // A 10-node connected graph: far too many interleavings to enumerate
+  // cheaply, but each sampled schedule still yields a spanning tree.
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  Rng Random(0xbeef);
+  Heap G = randomGraph(10, Random, /*ConnectedFromRoot=*/true);
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    SimResult Sim = simulate(Main, spanRootState(Case, G), Opts, Seed);
+    ASSERT_TRUE(Sim.Safe) << Sim.FailureNote;
+    ASSERT_TRUE(Sim.Terminated);
+    const Heap &G2 = Sim.FinalView.self(1).getHeap();
+    PtrSet All;
+    for (const auto &Cell : G2)
+      All.insert(Cell.first);
+    EXPECT_EQ(All.size(), 10u);
+    EXPECT_TRUE(isTreeIn(G2, Ptr(1), All)) << "seed " << Seed;
+  }
+}
+
+TEST(SimulateTest, UnsafeActionsCaughtOnSampledPaths) {
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  // nullify on a node we never marked: unsafe on every schedule.
+  ProgRef Main = Prog::act(Case.NullifyL, {Expr::litPtr(Ptr(1))});
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  SimResult Sim =
+      simulate(Main, spanOpenState(Case, figure2Graph(), {}), Opts, 7);
+  EXPECT_FALSE(Sim.Safe);
+  EXPECT_FALSE(Sim.Terminated);
+}
+
+TEST(SimulateTest, BudgetExhaustionReportsNonTermination) {
+  // A pure spin loop with no way out: the walk hits the step budget.
+  TreiberCase Case = makeTreiberCase(1, 2, 0);
+  Case.Defs.define("spin",
+                   FuncDef{{},
+                           Prog::bind(Prog::act(Case.ReadHead, {}), "h",
+                                      Prog::call("spin", {}))});
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  SimResult Sim = simulate(Prog::call("spin", {}),
+                           treiberState(Case, {}, 0, 0), Opts, 3,
+                           /*MaxSteps=*/500);
+  EXPECT_TRUE(Sim.Safe);
+  EXPECT_FALSE(Sim.Terminated);
+  EXPECT_EQ(Sim.Steps, 500u);
+}

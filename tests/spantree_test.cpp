@@ -1,0 +1,155 @@
+//===- tests/spantree_test.cpp - Spanning-tree case-study tests ------------===//
+//
+// Part of fcsl-cpp. The paper's running example, end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/SpanTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Sp = 2;
+} // namespace
+
+TEST(SpanTreeTest, TryMarkErasesToCas) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanOpenState(Case, figure2Graph(), {});
+  View Pre = GS.viewFor(rootThread());
+
+  auto First = Case.TryMark->step(Pre, {Val::ofPtr(Ptr(1))});
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ((*First)[0].Result, Val::ofBool(true));
+  const View &Post = (*First)[0].Post;
+  EXPECT_TRUE(nodeMarked(Post.joint(Sp), Ptr(1)));
+  EXPECT_TRUE(Post.self(Sp).getPtrSet().count(Ptr(1)));
+  EXPECT_TRUE(Case.Span->coherent(Post));
+
+  // Second mark attempt fails like a CAS.
+  auto Second = Case.TryMark->step(Post, {Val::ofPtr(Ptr(1))});
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ((*Second)[0].Result, Val::ofBool(false));
+  EXPECT_EQ((*Second)[0].Post, Post);
+}
+
+TEST(SpanTreeTest, TryMarkOutsideGraphUnsafe) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  View Pre = spanOpenState(Case, figure2Graph(), {})
+                 .viewFor(rootThread());
+  EXPECT_FALSE(Case.TryMark->step(Pre, {Val::ofPtr(Ptr(42))}).has_value());
+}
+
+TEST(SpanTreeTest, NullifyRequiresOwnership) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  // Node 1 marked by the ENVIRONMENT: nullifying it is unsafe for us.
+  View Pre = spanOpenState(Case, figure2Graph(), {Ptr(1)})
+                 .viewFor(rootThread());
+  EXPECT_FALSE(Case.NullifyL->step(Pre, {Val::ofPtr(Ptr(1))}).has_value());
+  EXPECT_FALSE(
+      Case.ReadChildL->step(Pre, {Val::ofPtr(Ptr(1))}).has_value());
+}
+
+TEST(SpanTreeTest, SpanOnNullReturnsFalse) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Prog::call("span", {Expr::litPtr(Ptr::null())}),
+                        spanOpenState(Case, figure2Graph(), {}), Opts);
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result, Val::ofBool(false));
+}
+
+TEST(SpanTreeTest, SpanRootBuildsSpanningTreeFigure2) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  Heap G = figure2Graph();
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Main, spanRootState(Case, G), Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  EXPECT_FALSE(R.Terminals.empty());
+  for (const Terminal &T : R.Terminals) {
+    EXPECT_EQ(T.Result, Val::ofBool(true));
+    const Heap &G2 = T.FinalView.self(Pv).getHeap();
+    PtrSet All;
+    for (const auto &Cell : G2)
+      All.insert(Cell.first);
+    EXPECT_EQ(All.size(), 5u);
+    EXPECT_TRUE(isTreeIn(G2, Ptr(1), All)) << G2.toString();
+    // Every node ended up marked.
+    EXPECT_EQ(markedNodes(G2), All);
+    // Edges were only removed, never added or redirected.
+    for (const auto &Cell : G) {
+      const NodeCell &Before = Cell.second.getNode();
+      const NodeCell &After = G2.lookup(Cell.first).getNode();
+      EXPECT_TRUE(After.Left == Before.Left || After.Left.isNull());
+      EXPECT_TRUE(After.Right == Before.Right || After.Right.isNull());
+    }
+  }
+}
+
+TEST(SpanTreeTest, SpanRootOnRandomConnectedGraphs) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  Rng Random(2024);
+  for (int Iter = 0; Iter < 3; ++Iter) {
+    Heap G = randomGraph(4, Random, /*ConnectedFromRoot=*/true);
+    ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+    EngineOptions Opts;
+    Opts.Ambient = Case.PrivOnly;
+    Opts.EnvInterference = false;
+    Opts.Defs = &Case.Defs;
+    RunResult R = explore(Main, spanRootState(Case, G), Opts);
+    EXPECT_TRUE(R.complete()) << R.FailureNote;
+    for (const Terminal &T : R.Terminals) {
+      const Heap &G2 = T.FinalView.self(Pv).getHeap();
+      PtrSet All;
+      for (const auto &Cell : G2)
+        All.insert(Cell.first);
+      EXPECT_TRUE(isTreeIn(G2, Ptr(1), All))
+          << "input: " << G.toString() << "\noutput: " << G2.toString();
+    }
+  }
+}
+
+TEST(SpanTreeTest, OpenWorldSpanMarksDisjointFromEnv) {
+  // With env interference, whatever span marks is disjoint from env marks
+  // and the subjective split tracks it exactly.
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  Heap G = buildGraph({GraphNode{Ptr(1), Ptr(2), Ptr::null()},
+                       GraphNode{Ptr(2), Ptr::null(), Ptr::null()}});
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Prog::call("span", {Expr::litPtr(Ptr(1))}),
+                        spanOpenState(Case, G, {}), Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  EXPECT_GT(R.EnvSteps, 0u);
+  for (const Terminal &T : R.Terminals) {
+    const PtrSet &Mine = T.FinalView.self(Sp).getPtrSet();
+    const PtrSet &Theirs = T.FinalView.other(Sp).getPtrSet();
+    for (Ptr P : Mine)
+      EXPECT_FALSE(Theirs.count(P));
+    EXPECT_EQ(markedNodes(T.FinalView.joint(Sp)).size(),
+              Mine.size() + Theirs.size());
+  }
+}
+
+TEST(SpanTreeTest, SessionPasses) {
+  SessionReport Report = makeSpanTreeSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  // All five Table 1 columns are populated for the spanning tree.
+  for (ObCategory C : {ObCategory::Libs, ObCategory::Conc, ObCategory::Acts,
+                       ObCategory::Stab, ObCategory::Main})
+    EXPECT_GT(Report.PerCategory[size_t(C)].Obligations, 0u)
+        << obCategoryName(C);
+}

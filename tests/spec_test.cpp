@@ -1,0 +1,249 @@
+//===- tests/spec_test.cpp - Assertions/stability/verifier tests -----------===//
+//
+// Part of fcsl-cpp. Includes negative tests: unstable assertions must be
+// rejected, false triples must fail.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Entangle.h"
+#include "concurroid/Priv.h"
+#include "spec/Stability.h"
+#include "spec/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Pv = 1;
+constexpr Label Ct = 2;
+const Ptr Cell = Ptr(1);
+
+ConcurroidRef makeCounter(int64_t EnvCap) {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct))
+      return false;
+    const Val *V = S.joint(Ct).tryLookup(Cell);
+    return V && V->isInt() &&
+           V->getInt() == static_cast<int64_t>(S.self(Ct).getNat() +
+                                               S.other(Ct).getNat());
+  };
+  auto C = makeConcurroid("Counter", {OwnedLabel{Ct, "ct",
+                                                 PCMType::nat()}},
+                          Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [EnvCap](const View &Pre) -> std::vector<View> {
+        if (!Pre.hasLabel(Ct))
+          return {};
+        int64_t Cur = Pre.joint(Ct).lookup(Cell).getInt();
+        if (Cur >= EnvCap)
+          return {};
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(Cur + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return {Post};
+      }));
+  return C;
+}
+
+View counterView(uint64_t Mine, uint64_t Theirs) {
+  View S;
+  S.addLabel(Ct, LabelSlice{PCMVal::ofNat(Mine),
+                            Heap::singleton(
+                                Cell, Val::ofInt(static_cast<int64_t>(
+                                          Mine + Theirs))),
+                            PCMVal::ofNat(Theirs)});
+  return S;
+}
+
+} // namespace
+
+TEST(AssertionTest, Combinators) {
+  Assertion T = assertTrue();
+  Assertion HasCell = jointContains(Ct, Cell);
+  View S = counterView(0, 0);
+  EXPECT_TRUE(T.holds(S));
+  EXPECT_TRUE(HasCell.holds(S));
+  EXPECT_FALSE((!HasCell).holds(S));
+  EXPECT_TRUE((T && HasCell).holds(S));
+  EXPECT_TRUE(((!T) || HasCell).holds(S));
+  EXPECT_TRUE(contributionsCompatible(Ct).holds(S));
+  EXPECT_TRUE(selfIs(Ct, PCMVal::ofNat(0)).holds(S));
+  EXPECT_FALSE(selfIs(Ct, PCMVal::ofNat(1)).holds(S));
+}
+
+TEST(StabilityTest, StableAssertionAccepted) {
+  ConcurroidRef C = makeCounter(3);
+  // "my contribution is exactly 1" cannot be changed by interference.
+  Assertion Mine("self == 1", [](const View &S) {
+    return S.self(Ct).getNat() == 1;
+  });
+  StabilityReport R = checkStability(Mine, *C, {counterView(1, 0)});
+  EXPECT_TRUE(R.Stable) << R.CounterExample;
+  EXPECT_GT(R.EnvStepsTaken, 0u);
+}
+
+TEST(StabilityTest, UnstableAssertionRejected) {
+  ConcurroidRef C = makeCounter(3);
+  // "the counter is exactly 1" is destroyed by an env bump.
+  Assertion Exact("cell == 1", [](const View &S) {
+    return S.joint(Ct).lookup(Cell).getInt() == 1;
+  });
+  StabilityReport R = checkStability(Exact, *C, {counterView(1, 0)});
+  EXPECT_FALSE(R.Stable);
+  EXPECT_FALSE(R.CounterExample.empty());
+}
+
+TEST(StabilityTest, MonotoneRelationAccepted) {
+  ConcurroidRef C = makeCounter(3);
+  StabilityReport R = checkRelationStability(
+      [](const View &Seed, const View &S) {
+        return S.joint(Ct).lookup(Cell).getInt() >=
+               Seed.joint(Ct).lookup(Cell).getInt();
+      },
+      "counter monotone", *C, {counterView(0, 0)});
+  EXPECT_TRUE(R.Stable) << R.CounterExample;
+}
+
+TEST(StabilityTest, NonMonotoneRelationRejected) {
+  ConcurroidRef C = makeCounter(3);
+  StabilityReport R = checkRelationStability(
+      [](const View &Seed, const View &S) {
+        return S.joint(Ct).lookup(Cell).getInt() ==
+               Seed.joint(Ct).lookup(Cell).getInt();
+      },
+      "counter frozen", *C, {counterView(0, 0)});
+  EXPECT_FALSE(R.Stable);
+}
+
+namespace {
+
+/// A tiny world for triple verification.
+struct TripleWorld {
+  ConcurroidRef C;
+  ActionRef Incr;
+  DefTable Defs;
+};
+
+TripleWorld makeTripleWorld(int64_t EnvCap) {
+  TripleWorld W;
+  ConcurroidRef Counter = makeCounter(EnvCap);
+  W.C = entangle(makePriv(Pv), Counter);
+  W.Incr = makeAction(
+      "incr", W.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(Cell);
+        if (!V)
+          return std::nullopt;
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(V->getInt() + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return std::vector<ActOutcome>{{*V, std::move(Post)}};
+      });
+  return W;
+}
+
+GlobalState tripleState(int64_t Cell0, uint64_t EnvSelf) {
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  GS.addLabel(Ct, PCMType::nat(),
+              Heap::singleton(Cell, Val::ofInt(Cell0)),
+              PCMVal::ofNat(EnvSelf), false);
+  return GS;
+}
+
+} // namespace
+
+TEST(VerifierTest, ValidTripleHolds) {
+  TripleWorld W = makeTripleWorld(2);
+  Spec S;
+  S.Name = "incr";
+  S.C = W.C;
+  S.Pre = assertTrue();
+  S.PostName = "self grew by one";
+  S.Post = [](const Val &, const View &I, const View &F) {
+    return F.self(Ct).getNat() == I.self(Ct).getNat() + 1;
+  };
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &W.Defs;
+  VerifyResult R = verifyTriple(
+      Prog::act(W.Incr, {}), S,
+      {VerifyInstance{tripleState(0, 0), {}},
+       VerifyInstance{tripleState(1, 1), {}}},
+      Opts);
+  EXPECT_TRUE(R.Holds) << R.FailureNote;
+  EXPECT_EQ(R.InstancesChecked, 2u);
+  EXPECT_GT(R.TerminalsChecked, 0u);
+}
+
+TEST(VerifierTest, FalsePostconditionRejected) {
+  TripleWorld W = makeTripleWorld(2);
+  Spec S;
+  S.Name = "incr_wrong";
+  S.C = W.C;
+  S.Pre = assertTrue();
+  S.PostName = "counter is exactly 1 (false under interference)";
+  S.Post = [](const Val &, const View &, const View &F) {
+    return F.joint(Ct).lookup(Cell).getInt() == 1;
+  };
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &W.Defs;
+  VerifyResult R = verifyTriple(Prog::act(W.Incr, {}), S,
+                                {VerifyInstance{tripleState(0, 0), {}}},
+                                Opts);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_NE(R.FailureNote.find("incr_wrong"), std::string::npos);
+}
+
+TEST(VerifierTest, InstancesOutsidePreSkipped) {
+  TripleWorld W = makeTripleWorld(0);
+  Spec S;
+  S.Name = "skipped";
+  S.C = W.C;
+  S.Pre = Assertion("cell is 42", [](const View &V) {
+    return V.joint(Ct).lookup(Cell).getInt() == 42;
+  });
+  S.PostName = "unreachable";
+  S.Post = [](const Val &, const View &, const View &) { return false; };
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.Defs = &W.Defs;
+  VerifyResult R = verifyTriple(Prog::retUnit(), S,
+                                {VerifyInstance{tripleState(0, 0), {}}},
+                                Opts);
+  EXPECT_TRUE(R.Holds);
+  EXPECT_EQ(R.InstancesChecked, 0u);
+}
+
+TEST(VerifierTest, SafetyViolationSurfaces) {
+  TripleWorld W = makeTripleWorld(0);
+  GlobalState Missing;
+  Missing.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+                   false);
+  Missing.addLabel(Ct, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  Spec S;
+  S.Name = "unsafe";
+  S.C = W.C;
+  S.Pre = assertTrue();
+  S.PostName = "any";
+  S.Post = [](const Val &, const View &, const View &) { return true; };
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.CheckStepCoherence = false;
+  Opts.Defs = &W.Defs;
+  VerifyResult R = verifyTriple(Prog::act(W.Incr, {}), S,
+                                {VerifyInstance{Missing, {}}}, Opts);
+  EXPECT_FALSE(R.Holds);
+  EXPECT_NE(R.FailureNote.find("safety violation"), std::string::npos);
+}

@@ -1,0 +1,107 @@
+//===- tests/spinlock_test.cpp - CAS-lock case-study tests -----------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/CgIncrement.h"
+#include "structures/SpinLock.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Lk = 2;
+
+LockProtocol protocolUnderTest() {
+  return makeCasLock(Pv, Lk, counterResourceModel(Lk, /*EnvCap=*/1));
+}
+
+GlobalState initialState(const LockProtocol &P) {
+  GlobalState GS;
+  GS.addLabel(P.Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+              false);
+  GS.addLabel(P.Lk, PCMType::pairOf(PCMType::mutex(), PCMType::nat()),
+              P.InitialJoint(Heap::singleton(counterResourceCell(),
+                                             Val::ofInt(0))),
+              PCMVal::makePair(PCMVal::mutexFree(), PCMVal::ofNat(0)),
+              false);
+  return GS;
+}
+} // namespace
+
+TEST(SpinLockTest, TryLockAcquiresResource) {
+  LockProtocol P = protocolUnderTest();
+  GlobalState GS = initialState(P);
+  View Pre = GS.viewFor(rootThread());
+  EXPECT_FALSE(P.HoldsLock(Pre));
+
+  auto Out = P.TryLock->step(Pre, {});
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 1u);
+  EXPECT_EQ((*Out)[0].Result, Val::ofBool(true));
+  const View &Post = (*Out)[0].Post;
+  EXPECT_TRUE(P.HoldsLock(Post));
+  // The resource cell moved into my private heap.
+  EXPECT_TRUE(Post.self(P.Pv).getHeap().contains(counterResourceCell()));
+  EXPECT_FALSE(Post.joint(P.Lk).contains(counterResourceCell()));
+
+  // A second tryLock observes contention.
+  auto Again = P.TryLock->step(Post, {});
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ((*Again)[0].Result, Val::ofBool(false));
+}
+
+TEST(SpinLockTest, UnlockRequiresOwnership) {
+  LockProtocol P = protocolUnderTest();
+  ActionRef Unlock = P.MakeUnlock(
+      "unlock_id", 0,
+      [P](const View &S,
+          const std::vector<Val> &) -> std::optional<std::pair<Heap, PCMVal>> {
+        const Val *Cell =
+            S.self(P.Pv).getHeap().tryLookup(counterResourceCell());
+        if (!Cell)
+          return std::nullopt;
+        return std::make_pair(
+            Heap::singleton(counterResourceCell(), *Cell),
+            P.ClientSelf(S));
+      });
+  GlobalState GS = initialState(P);
+  View Pre = GS.viewFor(rootThread());
+  // Unlocking without holding is a safety violation.
+  EXPECT_FALSE(Unlock->step(Pre, {}).has_value());
+}
+
+TEST(SpinLockTest, InvariantViolatingReleaseIsUnsafe) {
+  LockProtocol P = protocolUnderTest();
+  // A broken client that tries to release with a corrupted counter.
+  ActionRef BadUnlock = P.MakeUnlock(
+      "unlock_bad", 0,
+      [](const View &,
+         const std::vector<Val> &) -> std::optional<std::pair<Heap, PCMVal>> {
+        return std::make_pair(Heap::singleton(counterResourceCell(),
+                                              Val::ofInt(999)),
+                              PCMVal::ofNat(0));
+      });
+  GlobalState GS = initialState(P);
+  View Pre = GS.viewFor(rootThread());
+  auto Locked = P.TryLock->step(Pre, {});
+  ASSERT_TRUE(Locked.has_value());
+  EXPECT_FALSE(BadUnlock->step((*Locked)[0].Post, {}).has_value());
+}
+
+TEST(SpinLockTest, SessionDischargesAllObligations) {
+  VerificationSession Session = makeSpinLockSession();
+  EXPECT_GT(Session.numObligations(), 5u);
+  SessionReport Report = Session.run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  EXPECT_GT(Report.totalChecks(), 0u);
+  // Table 1 shape: the CAS lock has Conc, Acts, Stab and Main columns.
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Conc)].Obligations, 0u);
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Acts)].Obligations, 0u);
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Stab)].Obligations, 0u);
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Main)].Obligations, 0u);
+}

@@ -1,0 +1,118 @@
+//===- tests/stability_auto_test.cpp - Stable-interior automation ----------===//
+//
+// Part of fcsl-cpp. The paper's future-work item "proof automation for
+// stability-related facts": the stable interior of an assertion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Stability.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Ct = 1;
+const Ptr Cell = Ptr(1);
+
+ConcurroidRef makeCounter(int64_t EnvCap) {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct))
+      return false;
+    const Val *V = S.joint(Ct).tryLookup(Cell);
+    return V && V->isInt() &&
+           V->getInt() == static_cast<int64_t>(S.self(Ct).getNat() +
+                                               S.other(Ct).getNat());
+  };
+  auto C = makeConcurroid("Counter", {OwnedLabel{Ct, "ct",
+                                                 PCMType::nat()}},
+                          Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [EnvCap](const View &Pre) -> std::vector<View> {
+        if (!Pre.hasLabel(Ct))
+          return {};
+        int64_t Cur = Pre.joint(Ct).lookup(Cell).getInt();
+        if (Cur >= EnvCap)
+          return {};
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(Cur + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return {Post};
+      }));
+  return C;
+}
+
+View counterView(uint64_t Mine, uint64_t Theirs) {
+  View S;
+  S.addLabel(Ct, LabelSlice{PCMVal::ofNat(Mine),
+                            Heap::singleton(
+                                Cell, Val::ofInt(static_cast<int64_t>(
+                                          Mine + Theirs))),
+                            PCMVal::ofNat(Theirs)});
+  return S;
+}
+
+} // namespace
+
+TEST(StableInteriorTest, StableAssertionIsItsOwnInterior) {
+  ConcurroidRef C = makeCounter(3);
+  Assertion Mine("self >= 1", [](const View &S) {
+    return S.self(Ct).getNat() >= 1;
+  });
+  Assertion Interior = stableInterior(Mine, C, {counterView(1, 0)});
+  // The seed satisfies the interior, and the interior is stable.
+  EXPECT_TRUE(Interior.holds(counterView(1, 0)));
+  StabilityReport R = checkStability(Interior, *C, {counterView(1, 0)});
+  EXPECT_TRUE(R.Stable) << R.CounterExample;
+}
+
+TEST(StableInteriorTest, UnstableAssertionShrinksToLastSafeStates) {
+  ConcurroidRef C = makeCounter(3);
+  // "the counter is at most 2" is destroyed once the env bumps past 2 —
+  // every state with headroom for an env bump must leave the interior;
+  // only the cap state (counter == 3) would satisfy "<= 2"... it does
+  // not, so the interior is empty on the reachable closure.
+  Assertion AtMost2("cell <= 2", [](const View &S) {
+    return S.joint(Ct).lookup(Cell).getInt() <= 2;
+  });
+  Assertion Interior = stableInterior(AtMost2, C, {counterView(0, 0)});
+  for (uint64_t Mine = 0; Mine <= 3; ++Mine)
+    EXPECT_FALSE(Interior.holds(counterView(Mine, 0)));
+}
+
+TEST(StableInteriorTest, CapStateIsStable) {
+  ConcurroidRef C = makeCounter(2);
+  // At the interference cap, "cell == 2" cannot be destroyed.
+  Assertion Exactly2("cell == 2", [](const View &S) {
+    return S.joint(Ct).lookup(Cell).getInt() == 2;
+  });
+  Assertion Interior = stableInterior(
+      Exactly2, C, {counterView(0, 0), counterView(0, 2)});
+  EXPECT_TRUE(Interior.holds(counterView(0, 2)));
+  EXPECT_FALSE(Interior.holds(counterView(0, 0)));
+  StabilityReport R =
+      checkStability(Interior, *C, {counterView(0, 2)});
+  EXPECT_TRUE(R.Stable) << R.CounterExample;
+}
+
+TEST(StableInteriorTest, InteriorImpliesOriginal) {
+  ConcurroidRef C = makeCounter(3);
+  Assertion Mixed("self == 1 or cell == 0", [](const View &S) {
+    return S.self(Ct).getNat() == 1 ||
+           S.joint(Ct).lookup(Cell).getInt() == 0;
+  });
+  std::vector<View> Seeds = {counterView(0, 0), counterView(1, 0),
+                             counterView(1, 2)};
+  Assertion Interior = stableInterior(Mixed, C, Seeds);
+  // Soundness: interior => original, on every closure state we can name.
+  for (const View &S : Seeds)
+    if (Interior.holds(S))
+      EXPECT_TRUE(Mixed.holds(S));
+  // "self == 1" states stay; "cell == 0"-only states are unstable.
+  EXPECT_TRUE(Interior.holds(counterView(1, 0)));
+  EXPECT_FALSE(Interior.holds(counterView(0, 0)));
+}

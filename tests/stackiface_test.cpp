@@ -1,0 +1,52 @@
+//===- tests/stackiface_test.cpp - Abstract stack interface tests ----------===//
+//
+// Part of fcsl-cpp. The unification exercise the paper's Section 6 left
+// open: one client theorem, two implementations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/StackIface.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+/// Parameterized over the implementation: verifying the SAME client
+/// against both protocols is the whole point.
+class StackIfaceTest : public ::testing::TestWithParam<const char *> {
+protected:
+  StackProtocol protocol() {
+    return std::string(GetParam()) == "treiber" ? treiberStackProtocol()
+                                                : fcStackProtocol();
+  }
+};
+
+TEST_P(StackIfaceTest, UnifiedPushPairTheorem) {
+  ObligationResult R = verifyUnifiedPushPair(protocol(), 1, 2);
+  EXPECT_TRUE(R.Passed) << R.Note;
+  EXPECT_GT(R.Checks, 0u);
+}
+
+TEST_P(StackIfaceTest, UnifiedPushPopTheorem) {
+  ObligationResult R = verifyUnifiedPushPop(protocol(), 9);
+  EXPECT_TRUE(R.Passed) << R.Note;
+}
+
+TEST_P(StackIfaceTest, InterfaceProgramsDefined) {
+  StackProtocol P = protocol();
+  EXPECT_TRUE(P.Defs->contains("s_push"));
+  EXPECT_TRUE(P.Defs->contains("s_pop"));
+  EXPECT_NE(P.TokenLeft, P.TokenRight);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, StackIfaceTest,
+                         ::testing::Values("treiber", "fc"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &I) { return std::string(I.param); });
+
+TEST(StackIfaceTest, SessionPasses) {
+  SessionReport Report = makeStackIfaceSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  EXPECT_EQ(Report.totalObligations(), 4u);
+}

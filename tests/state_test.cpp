@@ -1,0 +1,157 @@
+//===- tests/state_test.cpp - Subjective state tests -----------------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/GlobalState.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label L1 = 1;
+constexpr Label L2 = 2;
+
+View twoLabelView() {
+  View S;
+  S.addLabel(L1, LabelSlice{PCMVal::ofNat(2), Heap(), PCMVal::ofNat(3)});
+  S.addLabel(L2, LabelSlice{PCMVal::singletonPtr(Ptr(1)),
+                            Heap::singleton(Ptr(9), Val::ofInt(0)),
+                            PCMVal::ofPtrSet({})});
+  return S;
+}
+
+} // namespace
+
+TEST(ViewTest, GettersAndSetters) {
+  View S = twoLabelView();
+  EXPECT_TRUE(S.hasLabel(L1));
+  EXPECT_FALSE(S.hasLabel(7));
+  EXPECT_EQ(S.self(L1).getNat(), 2u);
+  EXPECT_EQ(S.other(L1).getNat(), 3u);
+  EXPECT_TRUE(S.joint(L2).contains(Ptr(9)));
+  S.setSelf(L1, PCMVal::ofNat(5));
+  EXPECT_EQ(S.self(L1).getNat(), 5u);
+  EXPECT_EQ(S.labels(), (std::vector<Label>{L1, L2}));
+}
+
+TEST(ViewTest, SelfOtherJoin) {
+  View S = twoLabelView();
+  auto Total = S.selfOtherJoin(L1);
+  ASSERT_TRUE(Total);
+  EXPECT_EQ(Total->getNat(), 5u);
+  // Clashing contributions are detected.
+  S.setSelf(L2, PCMVal::singletonPtr(Ptr(4)));
+  S.setOther(L2, PCMVal::singletonPtr(Ptr(4)));
+  EXPECT_FALSE(S.selfOtherJoin(L2).has_value());
+}
+
+TEST(ViewTest, RealignSelfToOther) {
+  View S = twoLabelView();
+  EXPECT_TRUE(S.realignSelfToOther(L1, PCMVal::ofNat(2)));
+  EXPECT_EQ(S.self(L1).getNat(), 0u);
+  EXPECT_EQ(S.other(L1).getNat(), 5u);
+  // Cannot move more than self holds.
+  EXPECT_FALSE(S.realignSelfToOther(L1, PCMVal::ofNat(1)));
+}
+
+TEST(ViewTest, CompareAndHash) {
+  View A = twoLabelView();
+  View B = twoLabelView();
+  EXPECT_EQ(A, B);
+  B.setSelf(L1, PCMVal::ofNat(9));
+  EXPECT_NE(A, B);
+  EXPECT_LT(std::min(A, B), std::max(A, B));
+}
+
+TEST(GlobalStateTest, ViewsComputeOther) {
+  GlobalState GS;
+  GS.addLabel(L1, PCMType::nat(), Heap(), PCMVal::ofNat(10), false);
+  GS.setSelf(L1, rootThread(), PCMVal::ofNat(1));
+  GS.setSelf(L1, 5, PCMVal::ofNat(2));
+
+  View Mine = GS.viewFor(rootThread());
+  EXPECT_EQ(Mine.self(L1).getNat(), 1u);
+  EXPECT_EQ(Mine.other(L1).getNat(), 12u); // env 10 + thread-5's 2.
+
+  View Env = GS.viewForEnv();
+  EXPECT_EQ(Env.self(L1).getNat(), 10u);
+  EXPECT_EQ(Env.other(L1).getNat(), 3u);
+}
+
+TEST(GlobalStateTest, UnitContributionsCanonical) {
+  GlobalState A, B;
+  A.addLabel(L1, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  B.addLabel(L1, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  // Touching a thread's self with the unit leaves the state canonical.
+  A.setSelf(L1, 42, PCMVal::ofNat(0));
+  EXPECT_EQ(A, B);
+  std::size_t SA = 0, SB = 0;
+  A.hashInto(SA);
+  B.hashInto(SB);
+  EXPECT_EQ(SA, SB);
+}
+
+TEST(GlobalStateTest, ApplyThreadWritesBack) {
+  GlobalState GS;
+  GS.addLabel(L1, PCMType::nat(), Heap::singleton(Ptr(1), Val::ofInt(0)),
+              PCMVal::ofNat(0), false);
+  View Pre = GS.viewFor(rootThread());
+  View Post = Pre;
+  Post.setSelf(L1, PCMVal::ofNat(4));
+  Post.setJoint(L1, Heap::singleton(Ptr(1), Val::ofInt(7)));
+  GS.applyThread(rootThread(), Pre, Post);
+  EXPECT_EQ(GS.selfOf(L1, rootThread()).getNat(), 4u);
+  EXPECT_EQ(GS.joint(L1).lookup(Ptr(1)).getInt(), 7);
+}
+
+TEST(GlobalStateTest, ForkSplitsAndJoinReunites) {
+  GlobalState GS;
+  GS.addLabel(L1, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  GS.setSelf(L1, rootThread(), PCMVal::ofNat(5));
+
+  std::map<Label, std::pair<PCMVal, PCMVal>> Splits;
+  Splits[L1] = {PCMVal::ofNat(2), PCMVal::ofNat(3)};
+  GS.fork(rootThread(), leftChild(rootThread()),
+          rightChild(rootThread()), Splits);
+  EXPECT_EQ(GS.selfOf(L1, rootThread()).getNat(), 0u);
+  EXPECT_EQ(GS.selfOf(L1, leftChild(rootThread())).getNat(), 2u);
+  EXPECT_EQ(GS.selfOf(L1, rightChild(rootThread())).getNat(), 3u);
+  // Subjectivity: each child sees the sibling's part in `other`.
+  EXPECT_EQ(GS.viewFor(leftChild(rootThread())).other(L1).getNat(), 3u);
+
+  // Children work, then join.
+  GS.setSelf(L1, leftChild(rootThread()), PCMVal::ofNat(4));
+  GS.joinChildren(rootThread(), leftChild(rootThread()),
+                  rightChild(rootThread()));
+  EXPECT_EQ(GS.selfOf(L1, rootThread()).getNat(), 7u);
+}
+
+TEST(GlobalStateTest, DefaultForkGivesAllToLeft) {
+  GlobalState GS;
+  GS.addLabel(L1, PCMType::nat(), Heap(), PCMVal::ofNat(0), false);
+  GS.setSelf(L1, rootThread(), PCMVal::ofNat(5));
+  GS.fork(rootThread(), 2, 3, {});
+  EXPECT_EQ(GS.selfOf(L1, 2).getNat(), 5u);
+  EXPECT_EQ(GS.selfOf(L1, 3).getNat(), 0u);
+}
+
+TEST(GlobalStateTest, RemoveLabelReturnsJoint) {
+  GlobalState GS;
+  Heap J = Heap::singleton(Ptr(3), Val::ofInt(3));
+  GS.addLabel(L1, PCMType::ptrSet(), J, PCMVal::ofPtrSet({}), true);
+  EXPECT_TRUE(GS.isEnvClosed(L1));
+  Heap Out = GS.removeLabel(L1);
+  EXPECT_EQ(Out, J);
+  EXPECT_FALSE(GS.hasLabel(L1));
+}
+
+TEST(GlobalStateTest, ThreadTreeIds) {
+  EXPECT_EQ(rootThread(), 1u);
+  EXPECT_EQ(leftChild(1), 2u);
+  EXPECT_EQ(rightChild(1), 3u);
+  EXPECT_EQ(leftChild(3), 6u);
+}

@@ -1,0 +1,107 @@
+//===- tests/suite_test.cpp - Whole-suite and registry tests ---------------===//
+//
+// Part of fcsl-cpp. Checks the suite inventory, the Table 2 matrix and
+// the Figure 5 dependency diagram against the paper's shapes. (The
+// individual sessions are discharged by the per-structure tests and by
+// bench_table1.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Registry.h"
+#include "structures/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+TEST(SuiteTest, ElevenCaseStudiesInTableOrder) {
+  std::vector<CaseEntry> Cases = allCaseStudies();
+  ASSERT_EQ(Cases.size(), 11u);
+  EXPECT_EQ(Cases[0].Name, "CAS-lock");
+  EXPECT_EQ(Cases[6].Name, "Spanning tree");
+  EXPECT_EQ(Cases[10].Name, "Prod/Cons");
+}
+
+TEST(SuiteTest, Table2MatchesPaperShape) {
+  registerAllLibraries();
+  Registry &R = globalRegistry();
+  std::string Table = R.renderTable2();
+
+  // Every Table 1 program appears.
+  for (const CaseEntry &Case : allCaseStudies())
+    EXPECT_NE(Table.find(Case.Name), std::string::npos) << Case.Name;
+  // The paper's primitive concurroids appear as columns.
+  for (const char *Col : {"Priv", "CLock", "TLock", "ReadPair", "Treiber",
+                          "SpanTree", "FlatCombine"})
+    EXPECT_NE(Table.find(Col), std::string::npos) << Col;
+  // Interchangeable-lock marks exist.
+  EXPECT_NE(Table.find("3L"), std::string::npos);
+}
+
+TEST(SuiteTest, Table2CellsMatchPaper) {
+  registerAllLibraries();
+  const std::vector<LibraryInfo> &Libs = globalRegistry().libraries();
+  auto UsesOf = [&](const std::string &Name)
+      -> const std::vector<ConcurroidUse> * {
+    for (const LibraryInfo &L : Libs)
+      if (L.Name == Name)
+        return &L.Uses;
+    return nullptr;
+  };
+
+  // Spot checks against the paper's Table 2.
+  const auto *Span = UsesOf("Spanning tree");
+  ASSERT_NE(Span, nullptr);
+  ASSERT_EQ(Span->size(), 2u);
+  EXPECT_EQ((*Span)[0].Concurroid, "Priv");
+  EXPECT_EQ((*Span)[1].Concurroid, "SpanTree");
+
+  const auto *Snapshot = UsesOf("Pair snapshot");
+  ASSERT_NE(Snapshot, nullptr);
+  ASSERT_EQ(Snapshot->size(), 1u); // ReadPair only.
+
+  const auto *Incr = UsesOf("CG increment");
+  ASSERT_NE(Incr, nullptr);
+  bool LockViaIface = false;
+  for (const ConcurroidUse &U : *Incr)
+    if (U.Concurroid == "CLock")
+      LockViaIface = U.ViaLockInterface;
+  EXPECT_TRUE(LockViaIface);
+}
+
+TEST(SuiteTest, Figure5DependenciesMatchPaper) {
+  registerAllLibraries();
+  DotGraph G = globalRegistry().dependencyGraph();
+  EXPECT_TRUE(G.isAcyclic());
+
+  auto HasEdge = [&](const char *From, const char *To) {
+    for (const auto &E : G.edges())
+      if (E.first == From && E.second == To)
+        return true;
+    return false;
+  };
+  // The exact edges of Figure 5.
+  EXPECT_TRUE(HasEdge("CAS-lock", "Abstract lock"));
+  EXPECT_TRUE(HasEdge("Ticketed lock", "Abstract lock"));
+  EXPECT_TRUE(HasEdge("Abstract lock", "CG increment"));
+  EXPECT_TRUE(HasEdge("Abstract lock", "CG allocator"));
+  EXPECT_TRUE(HasEdge("Abstract lock", "Flat combiner"));
+  EXPECT_TRUE(HasEdge("CG allocator", "Treiber stack"));
+  EXPECT_TRUE(HasEdge("Treiber stack", "Seq. stack"));
+  EXPECT_TRUE(HasEdge("Treiber stack", "Prod/Cons"));
+  EXPECT_TRUE(HasEdge("Flat combiner", "FC-stack"));
+  // And no reversed edges.
+  EXPECT_FALSE(HasEdge("Abstract lock", "CAS-lock"));
+}
+
+TEST(SuiteTest, SessionReportsCarryTimings) {
+  // Run the two cheapest sessions and sanity-check the report plumbing.
+  for (const CaseEntry &Case : allCaseStudies()) {
+    if (Case.Name != "CG increment" && Case.Name != "CG allocator")
+      continue;
+    SessionReport Report = Case.MakeSession().run();
+    EXPECT_EQ(Report.Program, Case.Name);
+    EXPECT_GE(Report.TotalMs, 0.0);
+    EXPECT_GT(Report.totalObligations(), 0u);
+  }
+}

@@ -1,0 +1,115 @@
+//===- tests/support_test.cpp - Support utilities tests --------------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Dot.h"
+#include "support/Format.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace fcsl;
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("x=%d", 42), "x=42");
+  EXPECT_EQ(formatString("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatString("none"), "none");
+  // Long outputs are not truncated.
+  std::string Long(500, 'y');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(FormatTest, JoinAndPad) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(FormatTest, TextTableRendering) {
+  TextTable T;
+  T.setHeader({"Name", "Count"});
+  T.setRightAligned(1);
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "100"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Right-aligned numeric column.
+  EXPECT_NE(Out.find("    1"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(DotTest, RenderAndAcyclicity) {
+  DotGraph G("test");
+  G.addEdge("A", "B");
+  G.addEdge("B", "C");
+  EXPECT_TRUE(G.isAcyclic());
+  std::string Dot = G.render();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("\"A\" -> \"B\""), std::string::npos);
+
+  G.addEdge("C", "A");
+  EXPECT_FALSE(G.isAcyclic());
+}
+
+TEST(DotTest, AsciiAdjacency) {
+  DotGraph G("test");
+  G.addEdge("A", "C");
+  G.addEdge("A", "B");
+  G.addNode("D");
+  std::string Ascii = G.renderAscii();
+  EXPECT_NE(Ascii.find("A -> B, C"), std::string::npos);
+  EXPECT_NE(Ascii.find("D"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(C.nextBelow(10), 10u);
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool Different = false;
+  for (int I = 0; I < 10 && !Different; ++I)
+    Different = A.next() != B.next();
+  EXPECT_TRUE(Different);
+}
+
+TEST(StatsTest, CountersMerge) {
+  StatBag A, B;
+  A.add("x");
+  A.add("x", 2);
+  B.add("y", 5);
+  A.merge(B);
+  EXPECT_EQ(A.get("x"), 3u);
+  EXPECT_EQ(A.get("y"), 5u);
+  EXPECT_EQ(A.get("z"), 0u);
+}
+
+TEST(StatsTest, TimerAdvances) {
+  Timer T;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(T.elapsedMs(), 0.0);
+}
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  size_t A = 0, B = 0;
+  hashValue(A, 1);
+  hashValue(A, 2);
+  hashValue(B, 2);
+  hashValue(B, 1);
+  EXPECT_NE(A, B);
+}

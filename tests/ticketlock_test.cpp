@@ -1,0 +1,76 @@
+//===- tests/ticketlock_test.cpp - Ticketed-lock case-study tests ----------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/CgIncrement.h"
+#include "structures/TicketLock.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Lk = 2;
+
+LockProtocol protocolUnderTest() {
+  return makeTicketLock(Pv, Lk, counterResourceModel(Lk, /*EnvCap=*/1));
+}
+
+GlobalState initialState(const LockProtocol &P) {
+  GlobalState GS;
+  GS.addLabel(P.Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+              false);
+  GS.addLabel(P.Lk, PCMType::pairOf(PCMType::ptrSet(), PCMType::nat()),
+              P.InitialJoint(Heap::singleton(counterResourceCell(),
+                                             Val::ofInt(0))),
+              PCMVal::makePair(PCMVal::ofPtrSet({}), PCMVal::ofNat(0)),
+              false);
+  return GS;
+}
+} // namespace
+
+TEST(TicketLockTest, LockProgramAcquiresViaTicket) {
+  LockProtocol P = protocolUnderTest();
+  DefTable Defs;
+  P.DefineLock(Defs, "lock");
+  ASSERT_TRUE(Defs.contains("lock"));
+  ASSERT_TRUE(Defs.contains("lock_wait"));
+
+  EngineOptions Opts;
+  Opts.Ambient = P.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Defs;
+  RunResult R = explore(Prog::call("lock", {}), initialState(P), Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_TRUE(P.HoldsLock(R.Terminals[0].FinalView));
+  // The resource moved into the private heap.
+  EXPECT_TRUE(R.Terminals[0].FinalView.self(P.Pv).getHeap().contains(
+      counterResourceCell()));
+}
+
+TEST(TicketLockTest, NoLockWithoutTicket) {
+  LockProtocol P = protocolUnderTest();
+  GlobalState GS = initialState(P);
+  View Pre = GS.viewFor(rootThread());
+  EXPECT_FALSE(P.HoldsLock(Pre));
+  // Unlock without being served is unsafe.
+  ActionRef Unlock = P.MakeUnlock(
+      "unlock_id", 0,
+      [](const View &,
+         const std::vector<Val> &) -> std::optional<std::pair<Heap, PCMVal>> {
+        return std::make_pair(Heap(), PCMVal::ofNat(0));
+      });
+  EXPECT_FALSE(Unlock->step(Pre, {}).has_value());
+}
+
+TEST(TicketLockTest, SessionDischargesAllObligations) {
+  VerificationSession Session = makeTicketLockSession();
+  SessionReport Report = Session.run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Stab)].Obligations, 0u);
+}

@@ -1,0 +1,83 @@
+//===- tests/trace_test.cpp - Counterexample trace tests -------------------===//
+//
+// Part of fcsl-cpp. When verification fails, the engine reconstructs the
+// schedule that reaches the failure — the tool-side counterpart of
+// staring at a failing Coq goal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/SpanTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Sp = 2;
+} // namespace
+
+TEST(TraceTest, UnsafeActionGetsASchedule) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  // mark 1, then nullify node 2 which we never marked: unsafe after one
+  // successful step.
+  ProgRef Main = Prog::seq(
+      Prog::act(Case.TryMark, {Expr::litPtr(Ptr(1))}),
+      Prog::act(Case.NullifyL, {Expr::litPtr(Ptr(2))}));
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R =
+      explore(Main, spanOpenState(Case, figure2Graph(), {}), Opts);
+  ASSERT_FALSE(R.Safe);
+  ASSERT_FALSE(R.FailureTrace.empty());
+  // The trace ends at the unsafe nullify and contains the prior trymark.
+  EXPECT_NE(R.FailureTrace.back().find("UNSAFE"), std::string::npos);
+  EXPECT_NE(R.FailureTrace.back().find("nullify_l"), std::string::npos);
+  bool SawMark = false;
+  for (const std::string &Step : R.FailureTrace)
+    SawMark |= Step.find("trymark") != std::string::npos;
+  EXPECT_TRUE(SawMark);
+  // Rendering numbers the steps.
+  EXPECT_NE(R.renderTrace().find("1. "), std::string::npos);
+}
+
+TEST(TraceTest, SafeRunsHaveNoTrace) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  ProgRef Main = Prog::act(Case.TryMark, {Expr::litPtr(Ptr(1))});
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R =
+      explore(Main, spanOpenState(Case, figure2Graph(), {}), Opts);
+  EXPECT_TRUE(R.complete());
+  EXPECT_TRUE(R.FailureTrace.empty());
+}
+
+TEST(TraceTest, EnvironmentStepsAppearInTraces) {
+  // Under interference, an env mark can make our later nullify unsafe
+  // only if WE never marked... instead: our trymark succeeds only when
+  // env has not claimed the node; drive a failure whose schedule must
+  // mention an env step: trymark(1); if it FAILED (env won), nullify(1)
+  // unsafely.
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  ProgRef Main = Prog::bind(
+      Prog::act(Case.TryMark, {Expr::litPtr(Ptr(1))}), "b",
+      Prog::ifThenElse(Expr::var("b"), Prog::ret(Expr::litBool(true)),
+                       Prog::seq(Prog::act(Case.NullifyL,
+                                           {Expr::litPtr(Ptr(1))}),
+                                 Prog::ret(Expr::litBool(false)))));
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  RunResult R =
+      explore(Main, spanOpenState(Case, figure2Graph(), {}), Opts);
+  ASSERT_FALSE(R.Safe);
+  bool SawEnv = false;
+  for (const std::string &Step : R.FailureTrace)
+    SawEnv |= Step.find("env: ") != std::string::npos;
+  EXPECT_TRUE(SawEnv) << R.renderTrace();
+}

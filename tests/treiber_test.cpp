@@ -1,0 +1,124 @@
+//===- tests/treiber_test.cpp - Treiber stack case-study tests -------------===//
+//
+// Part of fcsl-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/TreiberStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+constexpr Label Pv = 1;
+constexpr Label Tr = 2;
+} // namespace
+
+TEST(TreiberTest, AbstractionReadsTheList) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  GlobalState GS = treiberState(Case, {7, 5}, 0, 0);
+  std::optional<Val> Abs = treiberAbstractStack(Case, GS.joint(Tr));
+  ASSERT_TRUE(Abs.has_value());
+  EXPECT_EQ(*Abs, Val::pair(Val::ofInt(7),
+                            Val::pair(Val::ofInt(5), Val::unit())));
+  // Junk cells are rejected.
+  Heap Junk = GS.joint(Tr);
+  Junk.insert(Ptr(99), Val::pair(Val::ofInt(0), Val::ofPtr(Ptr::null())));
+  EXPECT_FALSE(treiberAbstractStack(Case, Junk).has_value());
+}
+
+TEST(TreiberTest, PushCommitsAtomically) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  GlobalState GS = treiberState(Case, {}, 1, 0);
+  View Pre = GS.viewFor(rootThread());
+
+  auto R = Case.TryPush->step(
+      Pre, {Val::ofPtr(Ptr(20)), Val::ofInt(4), Val::ofPtr(Ptr::null())});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ((*R)[0].Result, Val::ofBool(true));
+  const View &Post = (*R)[0].Post;
+  EXPECT_TRUE(Case.C->coherent(Post));
+  // The node moved from my private heap into the shared list.
+  EXPECT_FALSE(Post.self(Pv).getHeap().contains(Ptr(20)));
+  EXPECT_TRUE(Post.joint(Tr).contains(Ptr(20)));
+  // The history records the push.
+  ASSERT_EQ(Post.self(Tr).getHist().size(), 1u);
+  EXPECT_EQ(Post.self(Tr).getHist().tryLookup(1)->After,
+            Val::pair(Val::ofInt(4), Val::unit()));
+}
+
+TEST(TreiberTest, StaleCasFails) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  GlobalState GS = treiberState(Case, {5}, 1, 0);
+  View Pre = GS.viewFor(rootThread());
+  // Expected head is stale (null, but the stack has an element).
+  auto R = Case.TryPush->step(
+      Pre, {Val::ofPtr(Ptr(20)), Val::ofInt(4), Val::ofPtr(Ptr::null())});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ((*R)[0].Result, Val::ofBool(false));
+  EXPECT_EQ((*R)[0].Post, Pre);
+}
+
+TEST(TreiberTest, PushingUnownedNodeIsUnsafe) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  GlobalState GS = treiberState(Case, {}, 0, 0);
+  View Pre = GS.viewFor(rootThread());
+  EXPECT_FALSE(Case.TryPush
+                   ->step(Pre, {Val::ofPtr(Ptr(20)), Val::ofInt(4),
+                                Val::ofPtr(Ptr::null())})
+                   .has_value());
+}
+
+TEST(TreiberTest, PopTransfersOwnership) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  GlobalState GS = treiberState(Case, {5}, 0, 0);
+  View Pre = GS.viewFor(rootThread());
+  Ptr Head = Pre.joint(Tr).lookup(Case.Sentinel).getPtr();
+  auto R = Case.TryPop->step(Pre, {Val::ofPtr(Head)});
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ((*R)[0].Result.first(), Val::ofBool(true));
+  EXPECT_EQ((*R)[0].Result.second(), Val::ofInt(5));
+  const View &Post = (*R)[0].Post;
+  EXPECT_TRUE(Post.self(Pv).getHeap().contains(Head));
+  EXPECT_FALSE(Post.joint(Tr).contains(Head));
+  EXPECT_TRUE(Case.C->coherent(Post));
+}
+
+TEST(TreiberTest, PushPopRoundTrip) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  ProgRef P = Prog::seq(
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(9)}),
+      Prog::call("pop", {}));
+  RunResult R =
+      explore(P, treiberState(Case, {}, 1, 0), Opts);
+  EXPECT_TRUE(R.complete()) << R.FailureNote;
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result,
+            Val::pair(Val::ofBool(true), Val::ofInt(9)));
+}
+
+TEST(TreiberTest, PopOnEmptyReportsEmpty) {
+  TreiberCase Case = makeTreiberCase(Pv, Tr, 0);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  RunResult R = explore(Prog::call("pop", {}),
+                        treiberState(Case, {}, 0, 0), Opts);
+  EXPECT_TRUE(R.complete());
+  ASSERT_EQ(R.Terminals.size(), 1u);
+  EXPECT_EQ(R.Terminals[0].Result,
+            Val::pair(Val::ofBool(false), Val::ofInt(0)));
+}
+
+TEST(TreiberTest, SessionPasses) {
+  SessionReport Report = makeTreiberSession().run();
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? "" : Report.Failures.front());
+  EXPECT_GT(Report.PerCategory[size_t(ObCategory::Conc)].Obligations, 0u);
+}

@@ -1,0 +1,142 @@
+//===- tools/fcsl-verify.cpp - Command-line verification driver ------------===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+// The command-line entry point to the verification suite:
+//
+//   fcsl-verify list                 list the case studies
+//   fcsl-verify verify <name|all>    discharge one (or every) session
+//   fcsl-verify table1               regenerate Table 1
+//   fcsl-verify table2               regenerate Table 2
+//   fcsl-verify fig5 [--dot]         regenerate Figure 5
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Registry.h"
+#include "structures/StackIface.h"
+#include "structures/Suite.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace fcsl;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fcsl-verify <command>\n"
+               "  list                 list the verifiable case studies\n"
+               "  verify <name|all>    run one (or every) verification "
+               "session\n"
+               "  table1               regenerate the paper's Table 1\n"
+               "  table2               regenerate the paper's Table 2\n"
+               "  fig5 [--dot]         regenerate the paper's Figure 5\n");
+  return 2;
+}
+
+/// All sessions: the paper's eleven plus the abstract-stack extension.
+std::vector<CaseEntry> allSessions() {
+  std::vector<CaseEntry> Cases = allCaseStudies();
+  Cases.push_back(CaseEntry{"Abstract stack", makeStackIfaceSession});
+  return Cases;
+}
+
+int runList() {
+  for (const CaseEntry &Case : allSessions())
+    std::printf("%s\n", Case.Name.c_str());
+  return 0;
+}
+
+int reportSession(const SessionReport &Report) {
+  TextTable Table;
+  Table.setHeader({"category", "obligations", "checks", "ms"});
+  for (unsigned I = 1; I <= 3; ++I)
+    Table.setRightAligned(I);
+  for (ObCategory C : {ObCategory::Libs, ObCategory::Conc, ObCategory::Acts,
+                       ObCategory::Stab, ObCategory::Main}) {
+    const CategoryStats &S = Report.PerCategory[size_t(C)];
+    Table.addRow({obCategoryName(C), std::to_string(S.Obligations),
+                  std::to_string(S.Checks),
+                  formatString("%.1f", S.ElapsedMs)});
+  }
+  std::printf("%s: %s (%.1f ms)\n%s", Report.Program.c_str(),
+              Report.AllPassed ? "all obligations discharged" : "FAILED",
+              Report.TotalMs, Table.render().c_str());
+  for (const std::string &F : Report.Failures)
+    std::printf("  failure: %s\n", F.c_str());
+  return Report.AllPassed ? 0 : 1;
+}
+
+int runVerify(const char *Name) {
+  bool All = std::strcmp(Name, "all") == 0;
+  bool Found = false;
+  int Status = 0;
+  for (const CaseEntry &Case : allSessions()) {
+    if (!All && Case.Name != Name)
+      continue;
+    Found = true;
+    Status |= reportSession(Case.MakeSession().run());
+    std::printf("\n");
+  }
+  if (!Found) {
+    std::fprintf(stderr, "error: unknown case study '%s'; try 'list'\n",
+                 Name);
+    return 2;
+  }
+  return Status;
+}
+
+int runTable1() {
+  TextTable Table;
+  Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
+                   "Total", "Checks", "ms"});
+  for (unsigned I = 1; I <= 8; ++I)
+    Table.setRightAligned(I);
+  bool AllPassed = true;
+  for (const CaseEntry &Case : allCaseStudies()) {
+    SessionReport Report = Case.MakeSession().run();
+    AllPassed &= Report.AllPassed;
+    auto Cell = [&](ObCategory C) -> std::string {
+      uint64_t N = Report.PerCategory[size_t(C)].Obligations;
+      return N == 0 ? "-" : std::to_string(N);
+    };
+    Table.addRow({Report.Program, Cell(ObCategory::Libs),
+                  Cell(ObCategory::Conc), Cell(ObCategory::Acts),
+                  Cell(ObCategory::Stab), Cell(ObCategory::Main),
+                  std::to_string(Report.totalObligations()),
+                  std::to_string(Report.totalChecks()),
+                  formatString("%.0f", Report.TotalMs)});
+  }
+  std::printf("%s", Table.render().c_str());
+  return AllPassed ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  const char *Cmd = Argv[1];
+  if (std::strcmp(Cmd, "list") == 0)
+    return runList();
+  if (std::strcmp(Cmd, "verify") == 0)
+    return Argc >= 3 ? runVerify(Argv[2]) : usage();
+  if (std::strcmp(Cmd, "table1") == 0)
+    return runTable1();
+  if (std::strcmp(Cmd, "table2") == 0) {
+    registerAllLibraries();
+    std::printf("%s", globalRegistry().renderTable2().c_str());
+    return 0;
+  }
+  if (std::strcmp(Cmd, "fig5") == 0) {
+    registerAllLibraries();
+    DotGraph G = globalRegistry().dependencyGraph();
+    bool Dot = Argc >= 3 && std::strcmp(Argv[2], "--dot") == 0;
+    std::printf("%s", Dot ? G.render().c_str() : G.renderAscii().c_str());
+    return 0;
+  }
+  return usage();
+}
