@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_combining_demo.dir/flat_combining_demo.cpp.o"
+  "CMakeFiles/flat_combining_demo.dir/flat_combining_demo.cpp.o.d"
+  "flat_combining_demo"
+  "flat_combining_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_combining_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodcons_demo.dir/prodcons_demo.cpp.o"
+  "CMakeFiles/prodcons_demo.dir/prodcons_demo.cpp.o.d"
+  "prodcons_demo"
+  "prodcons_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodcons_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

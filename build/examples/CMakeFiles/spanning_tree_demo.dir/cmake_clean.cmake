@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_tree_demo.dir/spanning_tree_demo.cpp.o"
+  "CMakeFiles/spanning_tree_demo.dir/spanning_tree_demo.cpp.o.d"
+  "spanning_tree_demo"
+  "spanning_tree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_tree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_your_own.dir/verify_your_own.cpp.o"
+  "CMakeFiles/verify_your_own.dir/verify_your_own.cpp.o.d"
+  "verify_your_own"
+  "verify_your_own.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_your_own.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/action/ActionChecks.cpp" "src/CMakeFiles/fcsl.dir/action/ActionChecks.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/action/ActionChecks.cpp.o.d"
+  "/root/repo/src/action/AtomicAction.cpp" "src/CMakeFiles/fcsl.dir/action/AtomicAction.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/action/AtomicAction.cpp.o.d"
+  "/root/repo/src/concurroid/Concurroid.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Concurroid.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Concurroid.cpp.o.d"
+  "/root/repo/src/concurroid/Entangle.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Entangle.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Entangle.cpp.o.d"
+  "/root/repo/src/concurroid/Metatheory.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Metatheory.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Metatheory.cpp.o.d"
+  "/root/repo/src/concurroid/Priv.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Priv.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Priv.cpp.o.d"
+  "/root/repo/src/concurroid/Registry.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Registry.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Registry.cpp.o.d"
+  "/root/repo/src/concurroid/Transition.cpp" "src/CMakeFiles/fcsl.dir/concurroid/Transition.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/concurroid/Transition.cpp.o.d"
+  "/root/repo/src/graph/GraphGen.cpp" "src/CMakeFiles/fcsl.dir/graph/GraphGen.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/graph/GraphGen.cpp.o.d"
+  "/root/repo/src/graph/GraphPredicates.cpp" "src/CMakeFiles/fcsl.dir/graph/GraphPredicates.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/graph/GraphPredicates.cpp.o.d"
+  "/root/repo/src/graph/HeapGraph.cpp" "src/CMakeFiles/fcsl.dir/graph/HeapGraph.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/graph/HeapGraph.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/CMakeFiles/fcsl.dir/heap/Heap.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/heap/Heap.cpp.o.d"
+  "/root/repo/src/heap/Ptr.cpp" "src/CMakeFiles/fcsl.dir/heap/Ptr.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/heap/Ptr.cpp.o.d"
+  "/root/repo/src/heap/Val.cpp" "src/CMakeFiles/fcsl.dir/heap/Val.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/heap/Val.cpp.o.d"
+  "/root/repo/src/lincheck/History.cpp" "src/CMakeFiles/fcsl.dir/lincheck/History.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/lincheck/History.cpp.o.d"
+  "/root/repo/src/lincheck/LinCheck.cpp" "src/CMakeFiles/fcsl.dir/lincheck/LinCheck.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/lincheck/LinCheck.cpp.o.d"
+  "/root/repo/src/pcm/Histories.cpp" "src/CMakeFiles/fcsl.dir/pcm/Histories.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/pcm/Histories.cpp.o.d"
+  "/root/repo/src/pcm/PCMType.cpp" "src/CMakeFiles/fcsl.dir/pcm/PCMType.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/pcm/PCMType.cpp.o.d"
+  "/root/repo/src/pcm/PCMVal.cpp" "src/CMakeFiles/fcsl.dir/pcm/PCMVal.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/pcm/PCMVal.cpp.o.d"
+  "/root/repo/src/prog/Engine.cpp" "src/CMakeFiles/fcsl.dir/prog/Engine.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/prog/Engine.cpp.o.d"
+  "/root/repo/src/prog/Expr.cpp" "src/CMakeFiles/fcsl.dir/prog/Expr.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/prog/Expr.cpp.o.d"
+  "/root/repo/src/prog/Prog.cpp" "src/CMakeFiles/fcsl.dir/prog/Prog.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/prog/Prog.cpp.o.d"
+  "/root/repo/src/spec/Assertion.cpp" "src/CMakeFiles/fcsl.dir/spec/Assertion.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/spec/Assertion.cpp.o.d"
+  "/root/repo/src/spec/Session.cpp" "src/CMakeFiles/fcsl.dir/spec/Session.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/spec/Session.cpp.o.d"
+  "/root/repo/src/spec/Spec.cpp" "src/CMakeFiles/fcsl.dir/spec/Spec.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/spec/Spec.cpp.o.d"
+  "/root/repo/src/spec/Stability.cpp" "src/CMakeFiles/fcsl.dir/spec/Stability.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/spec/Stability.cpp.o.d"
+  "/root/repo/src/spec/Verifier.cpp" "src/CMakeFiles/fcsl.dir/spec/Verifier.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/spec/Verifier.cpp.o.d"
+  "/root/repo/src/state/GlobalState.cpp" "src/CMakeFiles/fcsl.dir/state/GlobalState.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/state/GlobalState.cpp.o.d"
+  "/root/repo/src/state/View.cpp" "src/CMakeFiles/fcsl.dir/state/View.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/state/View.cpp.o.d"
+  "/root/repo/src/structures/CgAllocator.cpp" "src/CMakeFiles/fcsl.dir/structures/CgAllocator.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/CgAllocator.cpp.o.d"
+  "/root/repo/src/structures/CgIncrement.cpp" "src/CMakeFiles/fcsl.dir/structures/CgIncrement.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/CgIncrement.cpp.o.d"
+  "/root/repo/src/structures/FcStack.cpp" "src/CMakeFiles/fcsl.dir/structures/FcStack.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/FcStack.cpp.o.d"
+  "/root/repo/src/structures/FlatCombiner.cpp" "src/CMakeFiles/fcsl.dir/structures/FlatCombiner.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/FlatCombiner.cpp.o.d"
+  "/root/repo/src/structures/LockIface.cpp" "src/CMakeFiles/fcsl.dir/structures/LockIface.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/LockIface.cpp.o.d"
+  "/root/repo/src/structures/PairSnapshot.cpp" "src/CMakeFiles/fcsl.dir/structures/PairSnapshot.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/PairSnapshot.cpp.o.d"
+  "/root/repo/src/structures/ProdCons.cpp" "src/CMakeFiles/fcsl.dir/structures/ProdCons.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/ProdCons.cpp.o.d"
+  "/root/repo/src/structures/SeqStack.cpp" "src/CMakeFiles/fcsl.dir/structures/SeqStack.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/SeqStack.cpp.o.d"
+  "/root/repo/src/structures/SpanTree.cpp" "src/CMakeFiles/fcsl.dir/structures/SpanTree.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/SpanTree.cpp.o.d"
+  "/root/repo/src/structures/SpinLock.cpp" "src/CMakeFiles/fcsl.dir/structures/SpinLock.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/SpinLock.cpp.o.d"
+  "/root/repo/src/structures/StackIface.cpp" "src/CMakeFiles/fcsl.dir/structures/StackIface.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/StackIface.cpp.o.d"
+  "/root/repo/src/structures/Suite.cpp" "src/CMakeFiles/fcsl.dir/structures/Suite.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/Suite.cpp.o.d"
+  "/root/repo/src/structures/TicketLock.cpp" "src/CMakeFiles/fcsl.dir/structures/TicketLock.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/TicketLock.cpp.o.d"
+  "/root/repo/src/structures/TreiberStack.cpp" "src/CMakeFiles/fcsl.dir/structures/TreiberStack.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/structures/TreiberStack.cpp.o.d"
+  "/root/repo/src/support/Dot.cpp" "src/CMakeFiles/fcsl.dir/support/Dot.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Dot.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/fcsl.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/fcsl.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/fcsl.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

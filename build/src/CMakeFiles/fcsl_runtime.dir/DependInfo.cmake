@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/RtFlatCombiner.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtFlatCombiner.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtFlatCombiner.cpp.o.d"
+  "/root/repo/src/runtime/RtLockedStack.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtLockedStack.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtLockedStack.cpp.o.d"
+  "/root/repo/src/runtime/RtPairSnapshot.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtPairSnapshot.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtPairSnapshot.cpp.o.d"
+  "/root/repo/src/runtime/RtSpanTree.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtSpanTree.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtSpanTree.cpp.o.d"
+  "/root/repo/src/runtime/RtSpinLock.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtSpinLock.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtSpinLock.cpp.o.d"
+  "/root/repo/src/runtime/RtTicketLock.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtTicketLock.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtTicketLock.cpp.o.d"
+  "/root/repo/src/runtime/RtTreiberStack.cpp" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtTreiberStack.cpp.o" "gcc" "src/CMakeFiles/fcsl_runtime.dir/runtime/RtTreiberStack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

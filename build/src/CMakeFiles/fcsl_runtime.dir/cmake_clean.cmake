@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtFlatCombiner.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtFlatCombiner.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtLockedStack.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtLockedStack.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtPairSnapshot.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtPairSnapshot.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtSpanTree.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtSpanTree.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtSpinLock.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtSpinLock.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtTicketLock.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtTicketLock.cpp.o.d"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtTreiberStack.cpp.o"
+  "CMakeFiles/fcsl_runtime.dir/runtime/RtTreiberStack.cpp.o.d"
+  "libfcsl_runtime.a"
+  "libfcsl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcsl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurroid_test.dir/concurroid_test.cpp.o"
+  "CMakeFiles/concurroid_test.dir/concurroid_test.cpp.o.d"
+  "concurroid_test"
+  "concurroid_test.pdb"
+  "concurroid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurroid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_clients_test.dir/derived_clients_test.cpp.o"
+  "CMakeFiles/derived_clients_test.dir/derived_clients_test.cpp.o.d"
+  "derived_clients_test"
+  "derived_clients_test.pdb"
+  "derived_clients_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_clients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

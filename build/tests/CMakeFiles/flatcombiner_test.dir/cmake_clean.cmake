@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatcombiner_test.dir/flatcombiner_test.cpp.o"
+  "CMakeFiles/flatcombiner_test.dir/flatcombiner_test.cpp.o.d"
+  "flatcombiner_test"
+  "flatcombiner_test.pdb"
+  "flatcombiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatcombiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histories_test.dir/histories_test.cpp.o"
+  "CMakeFiles/histories_test.dir/histories_test.cpp.o.d"
+  "histories_test"
+  "histories_test.pdb"
+  "histories_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

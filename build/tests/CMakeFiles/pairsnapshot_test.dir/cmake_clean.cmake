@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairsnapshot_test.dir/pairsnapshot_test.cpp.o"
+  "CMakeFiles/pairsnapshot_test.dir/pairsnapshot_test.cpp.o.d"
+  "pairsnapshot_test"
+  "pairsnapshot_test.pdb"
+  "pairsnapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairsnapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pairsnapshot_test.
+# This may be replaced when dependencies are built.

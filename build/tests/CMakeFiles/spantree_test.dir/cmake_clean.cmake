@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spantree_test.dir/spantree_test.cpp.o"
+  "CMakeFiles/spantree_test.dir/spantree_test.cpp.o.d"
+  "spantree_test"
+  "spantree_test.pdb"
+  "spantree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spantree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

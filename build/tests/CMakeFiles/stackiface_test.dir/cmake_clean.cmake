@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackiface_test.dir/stackiface_test.cpp.o"
+  "CMakeFiles/stackiface_test.dir/stackiface_test.cpp.o.d"
+  "stackiface_test"
+  "stackiface_test.pdb"
+  "stackiface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackiface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticketlock_test.dir/ticketlock_test.cpp.o"
+  "CMakeFiles/ticketlock_test.dir/ticketlock_test.cpp.o.d"
+  "ticketlock_test"
+  "ticketlock_test.pdb"
+  "ticketlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticketlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treiber_test.dir/treiber_test.cpp.o"
+  "CMakeFiles/treiber_test.dir/treiber_test.cpp.o.d"
+  "treiber_test"
+  "treiber_test.pdb"
+  "treiber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

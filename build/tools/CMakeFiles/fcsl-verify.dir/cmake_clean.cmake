@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcsl-verify.dir/fcsl-verify.cpp.o"
+  "CMakeFiles/fcsl-verify.dir/fcsl-verify.cpp.o.d"
+  "fcsl-verify"
+  "fcsl-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcsl-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
