@@ -4,16 +4,20 @@
 // Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
 //
 // An ablation unique to the model-checking substitution: how the explored
-// state space grows with instance size, and how much the closed-world
-// `hide` (no interference) saves over open-world verification — the
-// quantitative counterpart of the paper's point that hiding removes the
-// need to consider external interference.
+// state space grows with instance size, how much the closed-world `hide`
+// (no interference) saves over open-world verification — the quantitative
+// counterpart of the paper's point that hiding removes the need to
+// consider external interference — and how the multi-worker engine scales
+// with the job count. Emits BENCH_statespace.json (machine-readable
+// wall-clock, states/sec and speedup per job count) so the perf
+// trajectory is tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
 #include "structures/SpanTree.h"
 #include "support/Format.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
@@ -44,6 +48,34 @@ Heap diamondOf(unsigned Layers) {
   return buildGraph(Nodes);
 }
 
+struct GrowthRow {
+  std::string Graph;
+  size_t Nodes = 0;
+  uint64_t Configs = 0;
+  uint64_t ActionSteps = 0;
+  size_t Terminals = 0;
+  double Ms = 0.0;
+};
+
+struct SweepRow {
+  unsigned Jobs = 0;
+  double Ms = 0.0;
+  uint64_t Configs = 0;
+  double StatesPerSec = 0.0;
+  double Speedup = 1.0;
+  bool Identical = true; ///< terminals + verdict match the Jobs=1 run.
+};
+
+bool sameTerminals(const std::vector<Terminal> &A,
+                   const std::vector<Terminal> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, N = A.size(); I != N; ++I)
+    if (A[I] < B[I] || B[I] < A[I])
+      return false;
+  return true;
+}
+
 } // namespace
 
 int main() {
@@ -56,6 +88,7 @@ int main() {
   for (unsigned I = 1; I <= 5; ++I)
     Table.setRightAligned(I);
 
+  std::vector<GrowthRow> Rows;
   SpanTreeCase Case = makeSpanTreeCase(1, 2);
   auto RunOne = [&](const char *Name, const Heap &G) {
     Timer T;
@@ -65,11 +98,14 @@ int main() {
     Opts.EnvInterference = false;
     Opts.Defs = &Case.Defs;
     RunResult R = explore(Main, spanRootState(Case, G), Opts);
+    double Ms = T.elapsedMs();
     Table.addRow({Name, std::to_string(G.size()),
                   std::to_string(R.ConfigsExplored),
                   std::to_string(R.ActionSteps),
                   std::to_string(R.Terminals.size()),
-                  formatString("%.1f", T.elapsedMs())});
+                  formatString("%.1f", Ms)});
+    Rows.push_back(GrowthRow{Name, G.size(), R.ConfigsExplored,
+                             R.ActionSteps, R.Terminals.size(), Ms});
     return R.complete();
   };
 
@@ -81,6 +117,68 @@ int main() {
   Ok &= RunOne("diamond-2", diamondOf(2));
   Ok &= RunOne("figure-2", figure2Graph());
   std::printf("%s\n", Table.render().c_str());
+
+  // Multi-worker scaling on the largest instance: sweep the job count
+  // from 1 to hardware_concurrency (at least 4 so the sweep is
+  // informative on small machines) and verify the results are
+  // bit-identical at every job count.
+  std::printf("parallel exploration sweep, diamond-3 (largest "
+              "instance):\n");
+  std::vector<SweepRow> Sweep;
+  {
+    Heap G = diamondOf(3);
+    ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+    GlobalState S0 = spanRootState(Case, G);
+    std::vector<unsigned> JobList;
+    unsigned MaxJobs = std::max(4u, hardwareJobs());
+    for (unsigned J = 1; J <= MaxJobs; J *= 2)
+      JobList.push_back(J);
+    if (JobList.back() != MaxJobs)
+      JobList.push_back(MaxJobs);
+
+    TextTable SweepTable;
+    SweepTable.setHeader({"jobs", "configs", "time (ms)", "states/sec",
+                          "speedup", "identical"});
+    for (unsigned I = 0; I <= 4; ++I)
+      SweepTable.setRightAligned(I);
+
+    RunResult Base;
+    double BaseMs = 0.0;
+    for (unsigned Jobs : JobList) {
+      EngineOptions Opts;
+      Opts.Ambient = Case.PrivOnly;
+      Opts.EnvInterference = false;
+      Opts.Defs = &Case.Defs;
+      Opts.Jobs = Jobs;
+      Timer T;
+      RunResult R = explore(Main, spanRootState(Case, G), Opts);
+      double Ms = T.elapsedMs();
+      Ok &= R.complete();
+      if (Jobs == 1) {
+        Base = R;
+        BaseMs = Ms;
+      }
+      SweepRow Row;
+      Row.Jobs = Jobs;
+      Row.Ms = Ms;
+      Row.Configs = R.ConfigsExplored;
+      Row.StatesPerSec = Ms > 0 ? R.ConfigsExplored * 1000.0 / Ms : 0;
+      Row.Speedup = Ms > 0 ? BaseMs / Ms : 1.0;
+      Row.Identical = R.Safe == Base.Safe &&
+                      R.Exhausted == Base.Exhausted &&
+                      R.ConfigsExplored == Base.ConfigsExplored &&
+                      sameTerminals(R.Terminals, Base.Terminals);
+      Ok &= Row.Identical;
+      Sweep.push_back(Row);
+      SweepTable.addRow({std::to_string(Jobs),
+                         std::to_string(Row.Configs),
+                         formatString("%.1f", Row.Ms),
+                         formatString("%.0f", Row.StatesPerSec),
+                         formatString("%.2fx", Row.Speedup),
+                         Row.Identical ? "yes" : "NO"});
+    }
+    std::printf("%s\n", SweepTable.render().c_str());
+  }
 
   // Randomized simulation past the exhaustive frontier: the same model
   // program, sampled schedules, instances exploration cannot touch.
@@ -153,6 +251,42 @@ int main() {
                 static_cast<unsigned long long>(R.ConfigsExplored),
                 T.elapsedMs());
     Ok &= R.complete();
+  }
+
+  // Machine-readable trajectory for cross-PR tracking.
+  if (std::FILE *F = std::fopen("BENCH_statespace.json", "w")) {
+    std::fprintf(F, "{\n  \"bench\": \"statespace\",\n");
+    std::fprintf(F, "  \"hardware_concurrency\": %u,\n", hardwareJobs());
+    std::fprintf(F, "  \"growth\": [\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const GrowthRow &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"graph\": \"%s\", \"nodes\": %zu, \"configs\": "
+                   "%llu, \"action_steps\": %llu, \"terminals\": %zu, "
+                   "\"ms\": %.2f}%s\n",
+                   R.Graph.c_str(), R.Nodes,
+                   static_cast<unsigned long long>(R.Configs),
+                   static_cast<unsigned long long>(R.ActionSteps),
+                   R.Terminals, R.Ms, I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"jobs_sweep\": {\"graph\": \"diamond-3\", "
+                    "\"runs\": [\n");
+    for (size_t I = 0; I != Sweep.size(); ++I) {
+      const SweepRow &R = Sweep[I];
+      std::fprintf(F,
+                   "    {\"jobs\": %u, \"ms\": %.2f, \"configs\": %llu, "
+                   "\"states_per_sec\": %.0f, \"speedup\": %.3f, "
+                   "\"identical\": %s}%s\n",
+                   R.Jobs, R.Ms,
+                   static_cast<unsigned long long>(R.Configs),
+                   R.StatesPerSec, R.Speedup,
+                   R.Identical ? "true" : "false",
+                   I + 1 == Sweep.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]}\n}\n");
+    std::fclose(F);
+    std::printf("wrote BENCH_statespace.json\n");
   }
   return Ok ? 0 : 1;
 }

@@ -11,14 +11,32 @@
 // program-specific concurroid/actions/stability lemmas needed), and the
 // relative cost ordering of the programs.
 //
+// Each suite is discharged twice — serially (Jobs=1) and with parallel
+// obligation discharge (Jobs=4) — and both timings land in
+// BENCH_table1.json so the speedup from the multi-worker engine is
+// tracked across PRs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "structures/Suite.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 
 using namespace fcsl;
+
+namespace {
+
+struct ProgramRow {
+  std::string Program;
+  uint64_t Obligations = 0;
+  uint64_t Checks = 0;
+  double SerialMs = 0.0;   ///< Jobs=1 discharge (the "before").
+  double ParallelMs = 0.0; ///< Jobs=4 discharge (the "after").
+};
+
+} // namespace
 
 int main() {
   std::printf("Table 1: per-program verification statistics\n");
@@ -29,21 +47,33 @@ int main() {
 
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
-                   "Total", "Checks", "Verify"});
+                   "Total", "Checks", "Jobs=1", "Jobs=4"});
   for (unsigned I = 1; I <= 7; ++I)
     Table.setRightAligned(I);
   Table.setRightAligned(8);
+  Table.setRightAligned(9);
 
   bool AllPassed = true;
   std::vector<std::string> Failures;
-  double GrandTotalMs = 0;
+  std::vector<ProgramRow> Rows;
+  double SerialTotalMs = 0;
+  double ParallelTotalMs = 0;
+  const unsigned ParJobs = 4;
 
   for (const CaseEntry &Case : allCaseStudies()) {
-    SessionReport Report = Case.MakeSession().run();
+    SessionReport Report = Case.MakeSession().run(/*Jobs=*/1);
     AllPassed &= Report.AllPassed;
     for (const std::string &F : Report.Failures)
       Failures.push_back(F);
-    GrandTotalMs += Report.TotalMs;
+    SerialTotalMs += Report.TotalMs;
+
+    // Parallel discharge of the same obligations must agree verdict for
+    // verdict; its wall-clock is the "after" column.
+    SessionReport Par = Case.MakeSession().run(ParJobs);
+    AllPassed &= Par.AllPassed == Report.AllPassed &&
+                 Par.totalObligations() == Report.totalObligations() &&
+                 Par.totalChecks() == Report.totalChecks();
+    ParallelTotalMs += Par.TotalMs;
 
     auto Cell = [&](ObCategory C) -> std::string {
       uint64_t N = Report.PerCategory[size_t(C)].Obligations;
@@ -54,13 +84,18 @@ int main() {
                   Cell(ObCategory::Stab), Cell(ObCategory::Main),
                   std::to_string(Report.totalObligations()),
                   std::to_string(Report.totalChecks()),
-                  formatString("%.0f ms", Report.TotalMs)});
+                  formatString("%.0f ms", Report.TotalMs),
+                  formatString("%.0f ms", Par.TotalMs)});
+    Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
+                              Report.totalChecks(), Report.TotalMs,
+                              Par.TotalMs});
   }
 
   std::printf("%s\n", Table.render().c_str());
-  std::printf("total verification time: %.1f ms (paper: 27m31s of Coq "
-              "compilation on a 2.7 GHz Core i7)\n\n",
-              GrandTotalMs);
+  std::printf("total verification time: %.1f ms serial, %.1f ms at "
+              "%u jobs (paper: 27m31s of Coq compilation on a 2.7 GHz "
+              "Core i7)\n\n",
+              SerialTotalMs, ParallelTotalMs, ParJobs);
 
   std::printf("shape checks against the paper's table:\n");
   std::printf("  - CG increment/CG allocator/Seq. stack/FC-stack/Prod/Cons "
@@ -68,6 +103,36 @@ int main() {
               AllPassed ? "see rows above" : "n/a");
   std::printf("  - every lock/stack/snapshot/span/FC row populates all "
               "categories\n");
+
+  // Machine-readable before/after for cross-PR perf tracking.
+  if (std::FILE *F = std::fopen("BENCH_table1.json", "w")) {
+    std::fprintf(F, "{\n  \"bench\": \"table1\",\n");
+    std::fprintf(F, "  \"hardware_concurrency\": %u,\n", hardwareJobs());
+    std::fprintf(F, "  \"parallel_jobs\": %u,\n", ParJobs);
+    std::fprintf(F, "  \"programs\": [\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const ProgramRow &R = Rows[I];
+      double Speedup = R.ParallelMs > 0 ? R.SerialMs / R.ParallelMs : 1.0;
+      std::fprintf(F,
+                   "    {\"program\": \"%s\", \"obligations\": %llu, "
+                   "\"checks\": %llu, \"serial_ms\": %.2f, "
+                   "\"parallel_ms\": %.2f, \"speedup\": %.3f}%s\n",
+                   R.Program.c_str(),
+                   static_cast<unsigned long long>(R.Obligations),
+                   static_cast<unsigned long long>(R.Checks), R.SerialMs,
+                   R.ParallelMs, Speedup,
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F,
+                 "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
+                 "%.2f, \"speedup\": %.3f}\n}\n",
+                 SerialTotalMs, ParallelTotalMs,
+                 ParallelTotalMs > 0 ? SerialTotalMs / ParallelTotalMs
+                                     : 1.0);
+    std::fclose(F);
+    std::printf("wrote BENCH_table1.json\n");
+  }
 
   if (!AllPassed) {
     std::printf("\nFAILURES:\n");

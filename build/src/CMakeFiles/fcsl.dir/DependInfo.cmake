@@ -55,6 +55,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/Format.cpp" "src/CMakeFiles/fcsl.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Format.cpp.o.d"
   "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/fcsl.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Rng.cpp.o.d"
   "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/fcsl.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/CMakeFiles/fcsl.dir/support/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/fcsl.dir/support/ThreadPool.cpp.o.d"
   )
 
 # Targets to which this target links.

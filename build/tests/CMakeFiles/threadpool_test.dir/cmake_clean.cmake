@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threadpool_test.dir/threadpool_test.cpp.o"
+  "CMakeFiles/threadpool_test.dir/threadpool_test.cpp.o.d"
+  "threadpool_test"
+  "threadpool_test.pdb"
+  "threadpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threadpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

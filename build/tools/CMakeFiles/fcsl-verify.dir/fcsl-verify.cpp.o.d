@@ -236,4 +236,17 @@ tools/CMakeFiles/fcsl-verify.dir/fcsl-verify.cpp.o: \
  /root/repo/src/structures/LockIface.h \
  /root/repo/src/concurroid/Entangle.h /root/repo/src/concurroid/Priv.h \
  /root/repo/src/structures/Suite.h /root/repo/src/support/Format.h \
+ /root/repo/src/support/ThreadPool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+#===- scripts/verify.sh - Tier-1 suite + TSan race check ------------------===#
+#
+# Part of fcsl-cpp. Two stages:
+#
+#   1. Tier-1: configure + build + full ctest in build/ (the gate every
+#      PR must keep green).
+#   2. TSan: a separate build tree (build-tsan/) compiled with
+#      -DFCSL_SANITIZE=thread; the thread pool, the parallel exploration
+#      engine, and the runtime structures are run under the race
+#      detector. The binaries are invoked directly rather than through
+#      ctest so only the three relevant targets need to build.
+#
+# Usage: scripts/verify.sh [--no-tsan]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: configure + build (build-tsan/) =="
+  cmake -B build-tsan -S . -DFCSL_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" \
+    --target threadpool_test parallel_engine_test runtime_test
+
+  echo "== tsan: race-checking thread pool, parallel engine, runtime =="
+  # TSan aborts the process on the first data race; a clean exit is the
+  # pass condition.
+  ./build-tsan/tests/threadpool_test
+  ./build-tsan/tests/parallel_engine_test
+  ./build-tsan/tests/runtime_test
+fi
+
+echo "== verify.sh: all stages passed =="

@@ -2,16 +2,32 @@
 //
 // Part of fcsl-cpp. See Engine.h for the interface.
 //
+// Exploration is a breadth-ish parallel frontier search: each worker owns
+// a deque of pending configurations (FIFO for the owner, stolen LIFO from
+// the back by idle peers) and the visited set is lock-striped across
+// shards keyed by the configuration's cached hash. Determinism across job
+// counts follows from three facts: the visited set is keyed by the full
+// configuration (so the reachable set is schedule-independent), terminals
+// are merged into a sorted set at the end, and for complete explorations
+// every counter is a function of the reachable set alone.
+//
 //===----------------------------------------------------------------------===//
 
 #include "prog/Engine.h"
 
 #include "support/Format.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <deque>
-#include <unordered_map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <unordered_set>
 
 using namespace fcsl;
@@ -79,16 +95,20 @@ struct ThreadCtx {
   }
 };
 
-/// A whole configuration: instrumented state plus all thread stacks.
+/// A whole configuration: instrumented state plus all thread stacks. The
+/// deep hash is computed once (`rehash`) when the configuration is frozen
+/// for insertion into the visited set, so probes and table rehashes never
+/// recompute it.
 struct Config {
   GlobalState GS;
   std::map<ThreadId, ThreadCtx> Threads;
+  size_t Hash = 0; ///< cached; valid after rehash().
 
   friend bool operator==(const Config &A, const Config &B) {
     return A.GS == B.GS && A.Threads == B.Threads;
   }
 
-  size_t hash() const {
+  void rehash() {
     size_t Seed = 0;
     GS.hashInto(Seed);
     hashValue(Seed, Threads.size());
@@ -96,16 +116,27 @@ struct Config {
       hashValue(Seed, Entry.first);
       Entry.second.hashInto(Seed);
     }
-    return Seed;
+    Hash = Seed;
   }
 };
 
-struct ConfigHash {
-  size_t operator()(const Config &C) const { return C.hash(); }
+/// A visited configuration plus the provenance needed to reconstruct a
+/// counterexample schedule: the parent it was reached from and the
+/// human-readable scheduling step. Nodes live in node-based hash sets, so
+/// their addresses are stable and parent chains stay valid across
+/// insertions from any worker.
+struct Node {
+  Config C;
+  const Node *Parent = nullptr;
+  std::string Step; ///< empty for the initial configuration.
 };
 
-struct ConfigEq {
-  bool operator()(const Config &A, const Config &B) const { return A == B; }
+struct NodeHash {
+  size_t operator()(const Node &N) const { return N.C.Hash; }
+};
+
+struct NodeEq {
+  bool operator()(const Node &A, const Node &B) const { return A.C == B.C; }
 };
 
 /// The exploration driver.
@@ -116,28 +147,59 @@ public:
 
   void run(const ProgRef &Root, const GlobalState &Initial,
            const VarEnv &InitialEnv) {
-    RootNode = Root.get();
     Config C0;
     C0.GS = Initial;
     ThreadCtx Main;
-    Main.Stack.push_back(runFrame(RootNode, InitialEnv));
+    Main.Stack.push_back(runFrame(Root.get(), InitialEnv));
     C0.Threads.emplace(rootThread(), std::move(Main));
 
-    if (!normalize(C0))
+    std::string Err;
+    if (!normalize(C0, Err)) {
+      Res.Safe = false;
+      Res.FailureNote = std::move(Err);
       return;
-    enqueue(std::move(C0), nullptr, "");
-
-    while (!Queue.empty() && Res.Safe) {
-      if (Res.ConfigsExplored >= Opts.MaxConfigs) {
-        Res.Exhausted = true;
-        return;
-      }
-      const Config *C = Queue.front();
-      Queue.pop_front();
-      ++Res.ConfigsExplored;
-      if (!expand(*C))
-        return;
     }
+
+    unsigned Jobs = resolveJobs(Opts.Jobs);
+    NumShards = Jobs == 1 ? 1 : 64;
+    Shards = std::vector<Shard>(NumShards);
+    // Pre-size the visited set from the exploration bound (bounded so
+    // tiny explorations do not pay for a four-million-bucket table).
+    size_t Reserve = static_cast<size_t>(
+        std::min<uint64_t>(Opts.MaxConfigs, 1u << 16));
+    for (Shard &S : Shards)
+      S.Set.reserve(Reserve / NumShards + 1);
+    Workers.clear();
+    for (unsigned I = 0; I != Jobs; ++I)
+      Workers.push_back(std::make_unique<Worker>());
+
+    C0.rehash();
+    enqueue(std::move(C0), nullptr, "", *Workers[0]);
+
+    if (Jobs == 1) {
+      workerLoop(0);
+    } else {
+      std::vector<std::thread> Team;
+      Team.reserve(Jobs);
+      for (unsigned I = 0; I != Jobs; ++I)
+        Team.emplace_back([this, I] {
+          ParallelRegionGuard Region;
+          workerLoop(I);
+        });
+      for (std::thread &T : Team)
+        T.join();
+    }
+
+    Res.ConfigsExplored = Expanded.load();
+    Res.Exhausted = ExhaustedFlag.load();
+    std::set<Terminal> Merged;
+    for (const std::unique_ptr<Worker> &W : Workers) {
+      Res.ActionSteps += W->ActionSteps;
+      Res.EnvSteps += W->EnvSteps;
+      Res.DedupHits += W->DedupHits;
+      Merged.insert(W->Terminals.begin(), W->Terminals.end());
+    }
+    Res.Terminals.assign(Merged.begin(), Merged.end());
   }
 
   /// Executes one pseudo-random schedule (see fcsl::simulate).
@@ -145,22 +207,22 @@ public:
                         const VarEnv &InitialEnv, uint64_t Seed,
                         uint64_t MaxSteps) {
     SimResult Sim;
-    RootNode = Root.get();
     Config C;
     C.GS = Initial;
     ThreadCtx Main;
-    Main.Stack.push_back(runFrame(RootNode, InitialEnv));
+    Main.Stack.push_back(runFrame(Root.get(), InitialEnv));
     C.Threads.emplace(rootThread(), std::move(Main));
     Rng Random(Seed);
 
-    auto FailOut = [&] {
+    auto FailOut = [&](std::string Note) {
       Sim.Safe = false;
-      Sim.FailureNote = Res.FailureNote;
+      Sim.FailureNote = std::move(Note);
       return Sim;
     };
 
-    if (!normalize(C))
-      return FailOut();
+    std::string Err;
+    if (!normalize(C, Err))
+      return FailOut(std::move(Err));
 
     for (Sim.Steps = 0; Sim.Steps < MaxSteps; ++Sim.Steps) {
       const ThreadCtx &MainCtx = C.Threads.at(rootThread());
@@ -192,23 +254,20 @@ public:
         View Pre = C.GS.viewFor(T);
         std::optional<std::vector<ActOutcome>> Outcomes =
             A.step(Pre, Args);
-        if (!Outcomes) {
-          fail(formatString("action %s is unsafe in the sampled schedule",
-                            A.name().c_str()));
-          return FailOut();
-        }
+        if (!Outcomes)
+          return FailOut(
+              formatString("action %s is unsafe in the sampled schedule",
+                           A.name().c_str()));
         const ActOutcome &O =
             (*Outcomes)[Random.nextBelow(Outcomes->size())];
         C.GS.applyThread(T, Pre, O.Post);
         if (Opts.CheckStepCoherence && Opts.Ambient &&
-            !Opts.Ambient->coherent(C.GS.viewFor(T))) {
-          fail(formatString("action %s broke coherence",
-                            A.name().c_str()));
-          return FailOut();
-        }
+            !Opts.Ambient->coherent(C.GS.viewFor(T)))
+          return FailOut(formatString("action %s broke coherence",
+                                      A.name().c_str()));
         C.Threads.at(T).Stack.pop_back();
-        if (!deliver(C, T, O.Result) || !normalize(C))
-          return FailOut();
+        if (!deliver(C, T, O.Result, Err) || !normalize(C, Err))
+          return FailOut(std::move(Err));
       } else {
         // One random environment step (if any is enabled).
         View EnvView = C.GS.viewForEnv();
@@ -229,9 +288,26 @@ public:
   }
 
 private:
+  /// One stripe of the visited set.
+  struct Shard {
+    std::mutex M;
+    std::unordered_set<Node, NodeHash, NodeEq> Set;
+  };
+
+  /// Per-worker frontier and statistics; counters are summed and terminal
+  /// sets merged (sorted) after the team joins.
+  struct Worker {
+    std::mutex M;
+    std::deque<const Node *> Queue;
+    uint64_t ActionSteps = 0;
+    uint64_t EnvSteps = 0;
+    uint64_t DedupHits = 0;
+    std::set<Terminal> Terminals;
+  };
+
   /// Delivers \p Value to thread \p T's continuation, unwinding HideExit
-  /// frames. Returns false on an engine-level failure.
-  bool deliver(Config &C, ThreadId T, Val Value) {
+  /// frames. Returns false on an engine-level failure, with \p Err set.
+  bool deliver(Config &C, ThreadId T, Val Value, std::string &Err) {
     ThreadCtx &Ctx = C.Threads.at(T);
     while (true) {
       if (Ctx.Stack.empty()) {
@@ -262,21 +338,16 @@ private:
       }
       case Frame::Kind::Run:
         assert(false && "delivering a value onto a Run frame");
+        Err = "internal: delivering a value onto a Run frame";
         return false;
       }
     }
   }
 
-  /// Fails the exploration with a note.
-  bool fail(std::string Note) {
-    Res.Safe = false;
-    Res.FailureNote = std::move(Note);
-    return false;
-  }
-
   /// Applies administrative steps until every thread is Done, Waiting, or
-  /// stopped at an atomic action. Returns false on failure.
-  bool normalize(Config &C) {
+  /// stopped at an atomic action. Returns false on failure, with \p Err
+  /// set.
+  bool normalize(Config &C, std::string &Err) {
     bool Progress = true;
     while (Progress) {
       Progress = false;
@@ -308,7 +379,7 @@ private:
           C.Threads.erase(leftChild(T));
           C.Threads.erase(rightChild(T));
           C.Threads.at(T).Waiting = false;
-          if (!deliver(C, T, std::move(Result)))
+          if (!deliver(C, T, std::move(Result), Err))
             return false;
           Progress = true;
           continue;
@@ -324,7 +395,7 @@ private:
         case Prog::Kind::Ret: {
           Val V = Node->retExpr()->eval(Top.Env);
           Ctx.Stack.pop_back();
-          if (!deliver(C, T, std::move(V)))
+          if (!deliver(C, T, std::move(V), Err))
             return false;
           Progress = true;
           break;
@@ -392,24 +463,30 @@ private:
           View Pre = C.GS.viewFor(T);
           const Heap &Mine = Pre.self(Spec.Pv).getHeap();
           std::optional<Heap> Donation = Spec.ChooseDonation(Mine);
-          if (!Donation)
-            return fail(formatString(
+          if (!Donation) {
+            Err = formatString(
                 "hide: the private heap does not satisfy the decoration "
                 "predicate (thread %llu)",
-                static_cast<unsigned long long>(T)));
+                static_cast<unsigned long long>(T));
+            return false;
+          }
           std::optional<PCMVal> Rest = pcmSubtract(
               PCMVal::ofHeap(Mine), PCMVal::ofHeap(*Donation));
-          if (!Rest)
-            return fail("hide: decoration selected cells outside the "
-                        "private heap");
+          if (!Rest) {
+            Err = "hide: decoration selected cells outside the private "
+                  "heap";
+            return false;
+          }
           C.GS.setSelf(Spec.Pv, T, std::move(*Rest));
           C.GS.addLabel(Spec.Hidden, Spec.SelfType, std::move(*Donation),
                         Spec.SelfType->unit(), /*EnvClosed=*/true);
           C.GS.setSelf(Spec.Hidden, T, Spec.InitSelf);
           if (Spec.Installed &&
-              !Spec.Installed->coherent(C.GS.viewFor(T)))
-            return fail("hide: the decorated donation does not establish "
-                        "the installed concurroid's coherence");
+              !Spec.Installed->coherent(C.GS.viewFor(T))) {
+            Err = "hide: the decorated donation does not establish the "
+                  "installed concurroid's coherence";
+            return false;
+          }
           const Prog *Body = Node->body().get();
           VarEnv Env = std::move(Top.Env);
           Ctx.Stack.pop_back();
@@ -427,49 +504,102 @@ private:
     return true;
   }
 
-  /// Records a terminal configuration.
-  void recordTerminal(const Config &C) {
-    const ThreadCtx &Main = C.Threads.at(rootThread());
-    Terminal Term{*Main.Done, C.GS.viewFor(rootThread())};
-    if (SeenTerminals.insert(Term).second)
-      Res.Terminals.push_back(std::move(Term));
+  /// Inserts \p C into the sharded visited set and, when new, hands it to
+  /// \p W's frontier. Requires C.rehash() to have been called.
+  void enqueue(Config C, const Node *Parent, std::string Step, Worker &W) {
+    Shard &S = Shards[C.Hash % NumShards];
+    const Node *Inserted = nullptr;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto [It, IsNew] =
+          S.Set.insert(Node{std::move(C), Parent, std::move(Step)});
+      if (!IsNew) {
+        ++W.DedupHits;
+        return;
+      }
+      Inserted = &*It;
+    }
+    InFlight.fetch_add(1);
+    std::lock_guard<std::mutex> Lock(W.M);
+    W.Queue.push_back(Inserted);
   }
 
-  void enqueue(Config C, const Config *Parent, std::string Step) {
-    auto [It, Inserted] = Visited.insert(std::move(C));
-    if (!Inserted) {
-      ++Res.DedupHits;
-      return;
-    }
-    const Config *Canonical = &*It;
-    Provenance.emplace(Canonical,
-                       std::make_pair(Parent, std::move(Step)));
-    Queue.push_back(Canonical);
+  const Node *popLocal(Worker &W) {
+    std::lock_guard<std::mutex> Lock(W.M);
+    if (W.Queue.empty())
+      return nullptr;
+    const Node *N = W.Queue.front();
+    W.Queue.pop_front();
+    return N;
   }
 
-  /// Reconstructs the schedule reaching \p C (plus the failing step) into
-  /// the result's FailureTrace.
-  void buildTrace(const Config *C, std::string FailingStep) {
-    std::vector<std::string> Steps;
-    if (!FailingStep.empty())
-      Steps.push_back(std::move(FailingStep));
-    for (const Config *Cur = C; Cur;) {
-      auto It = Provenance.find(Cur);
-      if (It == Provenance.end())
-        break;
-      if (!It->second.second.empty())
-        Steps.push_back(It->second.second);
-      Cur = It->second.first;
+  const Node *trySteal(unsigned Self) {
+    for (size_t I = 1, N = Workers.size(); I != N; ++I) {
+      Worker &Victim = *Workers[(Self + I) % N];
+      std::lock_guard<std::mutex> Lock(Victim.M);
+      if (Victim.Queue.empty())
+        continue;
+      const Node *Stolen = Victim.Queue.back();
+      Victim.Queue.pop_back();
+      return Stolen;
     }
-    Res.FailureTrace.assign(Steps.rbegin(), Steps.rend());
+    return nullptr;
+  }
+
+  void workerLoop(unsigned Id) {
+    Worker &W = *Workers[Id];
+    while (!Abort.load(std::memory_order_acquire)) {
+      const Node *N = popLocal(W);
+      if (!N && Workers.size() > 1)
+        N = trySteal(Id);
+      if (!N) {
+        if (InFlight.load(std::memory_order_acquire) == 0)
+          return;
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        continue;
+      }
+      uint64_t Ticket = Expanded.fetch_add(1, std::memory_order_relaxed);
+      if (Ticket >= Opts.MaxConfigs) {
+        // The bound was hit with work still pending: exploration is
+        // incomplete. Undo the overshoot so ConfigsExplored stays exact.
+        Expanded.fetch_sub(1, std::memory_order_relaxed);
+        ExhaustedFlag.store(true);
+        Abort.store(true, std::memory_order_release);
+        return;
+      }
+      expand(*N, W);
+      InFlight.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// Publishes the first safety failure: the winning worker records the
+  /// note and reconstructs the schedule from its parent chain; everyone
+  /// else just stops.
+  void failGlobal(const Node *At, std::string FailingStep,
+                  std::string Note) {
+    bool Expected = false;
+    if (FailWon.compare_exchange_strong(Expected, true)) {
+      Res.Safe = false;
+      Res.FailureNote = std::move(Note);
+      std::vector<std::string> Steps;
+      if (!FailingStep.empty())
+        Steps.push_back(std::move(FailingStep));
+      for (const Node *Cur = At; Cur; Cur = Cur->Parent)
+        if (!Cur->Step.empty())
+          Steps.push_back(Cur->Step);
+      Res.FailureTrace.assign(Steps.rbegin(), Steps.rend());
+    }
+    Abort.store(true, std::memory_order_release);
   }
 
   /// Generates all successors of a normalized configuration.
-  bool expand(const Config &C) {
+  void expand(const Node &N, Worker &W) {
+    const Config &C = N.C;
     const ThreadCtx &Main = C.Threads.at(rootThread());
     if (Main.Done) {
-      recordTerminal(C);
-      return true;
+      W.Terminals.insert(
+          Terminal{*Main.Done, C.GS.viewFor(rootThread())});
+      return;
     }
 
     // Thread action steps.
@@ -489,23 +619,26 @@ private:
       for (const ExprRef &E : Top.Node->args())
         Args.push_back(E->eval(Top.Env));
       std::string ArgText;
-      for (size_t I = 0, N = Args.size(); I != N; ++I)
+      for (size_t I = 0, Sz = Args.size(); I != Sz; ++I)
         ArgText += (I ? ", " : "") + Args[I].toString();
 
       View Pre = C.GS.viewFor(T);
       std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
       if (!Outcomes) {
-        buildTrace(&C, formatString("thread %llu: %s(%s)  <-- UNSAFE",
-                                    static_cast<unsigned long long>(T),
-                                    A.name().c_str(), ArgText.c_str()));
-        return fail(formatString(
-            "action %s is unsafe in the reached state (thread %llu):\n%s",
-            A.name().c_str(), static_cast<unsigned long long>(T),
-            Pre.toString().c_str()));
+        failGlobal(&N,
+                   formatString("thread %llu: %s(%s)  <-- UNSAFE",
+                                static_cast<unsigned long long>(T),
+                                A.name().c_str(), ArgText.c_str()),
+                   formatString("action %s is unsafe in the reached state "
+                                "(thread %llu):\n%s",
+                                A.name().c_str(),
+                                static_cast<unsigned long long>(T),
+                                Pre.toString().c_str()));
+        return;
       }
 
       for (const ActOutcome &O : *Outcomes) {
-        ++Res.ActionSteps;
+        ++W.ActionSteps;
         std::string Step = formatString(
             "thread %llu: %s(%s) -> %s",
             static_cast<unsigned long long>(T), A.name().c_str(),
@@ -514,19 +647,21 @@ private:
         Next.GS.applyThread(T, Pre, O.Post);
         if (Opts.CheckStepCoherence && Opts.Ambient &&
             !Opts.Ambient->coherent(Next.GS.viewFor(T))) {
-          buildTrace(&C, Step + "  <-- BREAKS COHERENCE");
-          return fail(formatString(
-              "action %s broke coherence of %s", A.name().c_str(),
-              Opts.Ambient->name().c_str()));
+          failGlobal(&N, Step + "  <-- BREAKS COHERENCE",
+                     formatString("action %s broke coherence of %s",
+                                  A.name().c_str(),
+                                  Opts.Ambient->name().c_str()));
+          return;
         }
         Next.Threads.at(T).Stack.pop_back();
-        if (!deliver(Next, T, O.Result))
-          return false;
-        if (!normalize(Next)) {
-          buildTrace(&C, Step + "  <-- FAILS DURING UNWINDING");
-          return false;
+        std::string Err;
+        if (!deliver(Next, T, O.Result, Err) || !normalize(Next, Err)) {
+          failGlobal(&N, Step + "  <-- FAILS DURING UNWINDING",
+                     std::move(Err));
+          return;
         }
-        enqueue(std::move(Next), &C, std::move(Step));
+        Next.rehash();
+        enqueue(std::move(Next), &N, std::move(Step), W);
       }
     }
 
@@ -539,25 +674,26 @@ private:
         for (const View &Post : T.successors(EnvView)) {
           if (!Opts.Ambient->coherent(Post))
             continue;
-          ++Res.EnvSteps;
+          ++W.EnvSteps;
           Config Next = C;
           Next.GS.applyEnv(EnvView, Post);
-          enqueue(std::move(Next), &C, "env: " + T.name());
+          Next.rehash();
+          enqueue(std::move(Next), &N, "env: " + T.name(), W);
         }
       }
     }
-    return true;
   }
 
   const EngineOptions &Opts;
   RunResult &Res;
-  const Prog *RootNode = nullptr;
-  std::deque<const Config *> Queue;
-  std::unordered_set<Config, ConfigHash, ConfigEq> Visited;
-  std::unordered_map<const Config *,
-                     std::pair<const Config *, std::string>>
-      Provenance;
-  std::set<Terminal> SeenTerminals;
+  unsigned NumShards = 1;
+  std::vector<Shard> Shards;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::atomic<uint64_t> Expanded{0};
+  std::atomic<int64_t> InFlight{0};
+  std::atomic<bool> Abort{false};
+  std::atomic<bool> ExhaustedFlag{false};
+  std::atomic<bool> FailWon{false};
 };
 
 } // namespace

@@ -44,6 +44,12 @@ struct EngineOptions {
   const DefTable *Defs = nullptr;
   /// Re-check coherence after every action step (catches buggy actions).
   bool CheckStepCoherence = true;
+  /// Worker threads for the exploration. 0 = the process default
+  /// (`FCSL_JOBS` / `setDefaultJobs`, see support/ThreadPool.h); 1 =
+  /// serial. Results are bit-identical across job counts: terminals are
+  /// merged and sorted deterministically, and for complete explorations
+  /// every counter is order-independent.
+  unsigned Jobs = 0;
 };
 
 /// A terminal execution: the program's result and final state.
@@ -67,7 +73,7 @@ struct RunResult {
   /// scheduling decision ("thread 2: trymark -> true", "env: ...").
   /// Empty unless a safety violation occurred.
   std::vector<std::string> FailureTrace;
-  std::vector<Terminal> Terminals; ///< deduplicated terminal executions.
+  std::vector<Terminal> Terminals; ///< deduplicated, sorted ascending.
   uint64_t ConfigsExplored = 0;
   uint64_t ActionSteps = 0;
   uint64_t EnvSteps = 0;
@@ -81,6 +87,11 @@ struct RunResult {
 /// Explores every interleaving of \p Root from \p Initial. The root
 /// program runs as thread 1; its variable environment starts from
 /// \p InitialEnv (handy for parameterizing a spec's logical variables).
+/// With `Opts.Jobs > 1` the frontier is explored by a work-stealing
+/// worker team over a lock-striped visited set; the returned result is
+/// identical to the serial one (terminals sorted, exact counters), except
+/// that when a safety violation exists the reported counterexample is
+/// whichever violating schedule a worker reached first.
 RunResult explore(const ProgRef &Root, const GlobalState &Initial,
                   const EngineOptions &Opts, const VarEnv &InitialEnv = {});
 

@@ -7,7 +7,9 @@
 #include "spec/Session.h"
 
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace fcsl;
@@ -51,23 +53,36 @@ void VerificationSession::addObligation(
       Obligation{Category, std::move(Name), std::move(Run)});
 }
 
-SessionReport VerificationSession::run() const {
+SessionReport VerificationSession::run(unsigned Jobs) const {
   SessionReport Report;
   Report.Program = Program;
   Timer Total;
-  for (const Obligation &Ob : Obligations) {
+  size_t N = Obligations.size();
+  unsigned J =
+      static_cast<unsigned>(std::min<size_t>(resolveJobs(Jobs), N));
+
+  // Discharge concurrently (obligations are independent), then fold the
+  // ledger in registration order so tallies and the failure list do not
+  // depend on scheduling.
+  std::vector<ObligationResult> Results(N);
+  std::vector<double> ElapsedMs(N, 0.0);
+  parallelFor(N, J, [&](size_t I) {
     Timer One;
-    ObligationResult Result = Ob.Run();
-    double Ms = One.elapsedMs();
+    Results[I] = Obligations[I].Run();
+    ElapsedMs[I] = One.elapsedMs();
+  });
+
+  for (size_t I = 0; I != N; ++I) {
+    const Obligation &Ob = Obligations[I];
     CategoryStats &Stats =
         Report.PerCategory[static_cast<size_t>(Ob.Category)];
     ++Stats.Obligations;
-    Stats.Checks += Result.Checks;
-    Stats.ElapsedMs += Ms;
-    if (!Result.Passed) {
+    Stats.Checks += Results[I].Checks;
+    Stats.ElapsedMs += ElapsedMs[I];
+    if (!Results[I].Passed) {
       Report.AllPassed = false;
       Report.Failures.push_back(Program + "/" + Ob.Name + ": " +
-                                Result.Note);
+                                Results[I].Note);
     }
   }
   Report.TotalMs = Total.elapsedMs();

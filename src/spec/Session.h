@@ -64,12 +64,18 @@ public:
   explicit VerificationSession(std::string Program)
       : Program(std::move(Program)) {}
 
-  /// Registers an obligation; obligations run in registration order.
+  /// Registers an obligation. Obligations must be independent: with a
+  /// parallel job count they are discharged concurrently, and the report
+  /// always aggregates in registration order.
   void addObligation(ObCategory Category, std::string Name,
                      std::function<ObligationResult()> Run);
 
-  /// Discharges every obligation and reports.
-  SessionReport run() const;
+  /// Discharges every obligation and reports. \p Jobs is the worker
+  /// count for concurrent discharge: 0 = the process default (see
+  /// support/ThreadPool.h), 1 = serial. Independent ledger entries
+  /// (stability, metatheory, action checks, triples) run concurrently;
+  /// per-category tallies and the failure list are deterministic.
+  SessionReport run(unsigned Jobs = 0) const;
 
   const std::string &program() const { return Program; }
   size_t numObligations() const { return Obligations.size(); }

@@ -2,13 +2,55 @@
 //
 // Part of fcsl-cpp. See Verifier.h for the interface.
 //
+// Instance-level parallelism: the logical-variable quantification of a
+// triple yields many independent explorations, so with Jobs > 1 the
+// instances fan out across a thread pool (each inner exploration forced
+// serial — the parallelism budget is spent at one level, not
+// multiplicatively). Results are aggregated in instance order, so the
+// outcome — including which instance's failure is reported and every
+// counter — is bit-identical to the serial run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "spec/Verifier.h"
 
 #include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace fcsl;
+
+namespace {
+
+/// Runs `explore` over instances [0, N) with the triple's options,
+/// fanning out over up to \p Jobs threads; \p Skip marks instances
+/// outside the domain (not explored). Inner explorations run with
+/// Jobs = 1 when the fan-out itself is parallel.
+std::vector<RunResult>
+exploreInstances(const ProgRef &Prog,
+                 const std::vector<VerifyInstance> &Instances,
+                 const std::vector<bool> &Skip, const EngineOptions &Opts,
+                 unsigned Jobs) {
+  EngineOptions Inner = Opts;
+  if (Jobs > 1)
+    Inner.Jobs = 1;
+  std::vector<RunResult> Runs(Instances.size());
+  parallelFor(Instances.size(), Jobs, [&](size_t I) {
+    if (I < Skip.size() && Skip[I])
+      return;
+    Runs[I] = explore(Prog, Instances[I].Initial, Inner,
+                      Instances[I].InitialEnv);
+  });
+  return Runs;
+}
+
+unsigned fanoutJobs(const EngineOptions &Opts, size_t NumInstances) {
+  return static_cast<unsigned>(
+      std::min<size_t>(resolveJobs(Opts.Jobs), NumInstances));
+}
+
+} // namespace
 
 std::optional<std::vector<Terminal>>
 fcsl::strongestPost(const ProgRef &Prog, const VerifyInstance &Instance,
@@ -24,15 +66,15 @@ std::vector<size_t>
 fcsl::inferPre(const ProgRef &Prog, const PostFn &Post,
                const std::vector<VerifyInstance> &Candidates,
                const EngineOptions &Opts) {
+  std::vector<RunResult> Runs = exploreInstances(
+      Prog, Candidates, {}, Opts, fanoutJobs(Opts, Candidates.size()));
   std::vector<size_t> Good;
   for (size_t I = 0, N = Candidates.size(); I != N; ++I) {
-    std::optional<std::vector<Terminal>> Terminals =
-        strongestPost(Prog, Candidates[I], Opts);
-    if (!Terminals)
+    if (!Runs[I].complete())
       continue;
     View Initial = Candidates[I].Initial.viewFor(rootThread());
     bool AllHold = true;
-    for (const Terminal &T : *Terminals)
+    for (const Terminal &T : Runs[I].Terminals)
       AllHold &= Post(T.Result, Initial, T.FinalView);
     if (AllHold)
       Good.push_back(I);
@@ -43,14 +85,27 @@ fcsl::inferPre(const ProgRef &Prog, const PostFn &Post,
 VerifyResult fcsl::verifyTriple(const ProgRef &Prog, const Spec &S,
                                 const std::vector<VerifyInstance> &Instances,
                                 const EngineOptions &Opts) {
-  VerifyResult Out;
-  for (const VerifyInstance &Inst : Instances) {
-    View InitialView = Inst.Initial.viewFor(rootThread());
-    if (S.Pre && !S.Pre.holds(InitialView))
-      continue; // Outside the triple's domain.
-    ++Out.InstancesChecked;
+  // Domain filtering first: instances failing the precondition are
+  // outside the triple and never explored.
+  std::vector<bool> Skip(Instances.size(), false);
+  for (size_t I = 0, N = Instances.size(); I != N; ++I)
+    if (S.Pre &&
+        !S.Pre.holds(Instances[I].Initial.viewFor(rootThread())))
+      Skip[I] = true;
 
-    RunResult Run = explore(Prog, Inst.Initial, Opts, Inst.InitialEnv);
+  std::vector<RunResult> Runs = exploreInstances(
+      Prog, Instances, Skip, Opts, fanoutJobs(Opts, Instances.size()));
+
+  // Aggregate in instance order: the first failing instance wins, and
+  // counters cover exactly the instances up to and including it —
+  // bit-identical to the serial early-exit loop.
+  VerifyResult Out;
+  for (size_t I = 0, N = Instances.size(); I != N; ++I) {
+    if (Skip[I])
+      continue;
+    ++Out.InstancesChecked;
+    const RunResult &Run = Runs[I];
+    View InitialView = Instances[I].Initial.viewFor(rootThread());
     Out.ConfigsExplored += Run.ConfigsExplored;
     Out.ActionSteps += Run.ActionSteps;
     Out.EnvSteps += Run.EnvSteps;

@@ -14,6 +14,11 @@
 /// state. This is the model-checking discharge of what FCSL proves
 /// deductively; on the finite instances explored it is exhaustive.
 ///
+/// With `EngineOptions::Jobs > 1`, `verifyTriple` and `inferPre` fan the
+/// independent instances out across worker threads (inner explorations
+/// then run serially); results and counters are aggregated in instance
+/// order and are identical to the serial run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_SPEC_VERIFIER_H

@@ -1,0 +1,143 @@
+//===- support/ThreadPool.cpp - Lightweight task pool ----------------------===//
+//
+// Part of fcsl-cpp. See ThreadPool.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+using namespace fcsl;
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "submitting an empty task");
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Tasks.push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  ParallelRegionGuard Region;
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void fcsl::parallelFor(size_t N, unsigned Jobs,
+                       const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Jobs <= 1 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  unsigned Workers = static_cast<unsigned>(
+      std::min<size_t>(Jobs, N));
+  std::atomic<size_t> NextIndex{0};
+  {
+    ThreadPool Pool(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.submit([&] {
+        for (size_t I = NextIndex.fetch_add(1); I < N;
+             I = NextIndex.fetch_add(1))
+          Fn(I);
+      });
+    Pool.wait();
+  }
+}
+
+unsigned fcsl::hardwareJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+namespace {
+
+thread_local unsigned ParallelDepth = 0;
+
+std::atomic<unsigned> &defaultJobsSlot() {
+  // 0 = "not set yet": fall back to FCSL_JOBS / 1 on first read.
+  static std::atomic<unsigned> Slot{0};
+  return Slot;
+}
+
+unsigned envJobs() {
+  static const unsigned Parsed = [] {
+    const char *Env = std::getenv("FCSL_JOBS");
+    if (!Env || !*Env)
+      return 1u;
+    char *End = nullptr;
+    long V = std::strtol(Env, &End, 10);
+    if (End == Env || *End != '\0' || V < 0)
+      return 1u;
+    return V == 0 ? hardwareJobs() : static_cast<unsigned>(V);
+  }();
+  return Parsed;
+}
+
+} // namespace
+
+bool fcsl::inParallelRegion() { return ParallelDepth > 0; }
+
+ParallelRegionGuard::ParallelRegionGuard() { ++ParallelDepth; }
+ParallelRegionGuard::~ParallelRegionGuard() { --ParallelDepth; }
+
+void fcsl::setDefaultJobs(unsigned Jobs) {
+  defaultJobsSlot().store(Jobs == 0 ? hardwareJobs() : Jobs);
+}
+
+unsigned fcsl::defaultJobs() {
+  unsigned Set = defaultJobsSlot().load();
+  return Set == 0 ? envJobs() : Set;
+}
+
+unsigned fcsl::resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return inParallelRegion() ? 1 : defaultJobs();
+}

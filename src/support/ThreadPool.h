@@ -1,0 +1,106 @@
+//===- support/ThreadPool.h - Lightweight task pool -------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool and a `parallelFor` helper used to
+/// parallelize the verification pipeline: obligation discharge in
+/// `spec/Session`, instance-level fan-out in `spec/Verifier`, and tests.
+/// The exploration engine itself (`prog/Engine`) uses its own
+/// work-stealing scheduler; this pool is for coarse-grained, independent
+/// units of work.
+///
+/// Job-count policy lives here too: `EngineOptions::Jobs == 0` (and
+/// `VerificationSession::run(0)`) mean "use the process default", which is
+/// the `FCSL_JOBS` environment variable when set, else 1. Tools expose it
+/// as `--jobs N` via `setDefaultJobs`. Nested parallel regions resolve a
+/// default job count to 1 so a parallel session does not multiply with a
+/// parallel engine underneath it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SUPPORT_THREADPOOL_H
+#define FCSL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcsl {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+private:
+  void workerLoop();
+
+  std::mutex M;
+  std::condition_variable WorkReady; ///< signalled on submit/shutdown.
+  std::condition_variable AllDone;   ///< signalled when Pending hits 0.
+  std::deque<std::function<void()>> Tasks;
+  std::vector<std::thread> Threads;
+  size_t Pending = 0; ///< queued + running tasks.
+  bool Stopping = false;
+};
+
+/// Runs `Fn(I)` for every I in [0, N), fanning out over up to \p Jobs
+/// worker threads. Jobs <= 1 (or N <= 1) runs inline on the caller.
+/// Worker-side invocations execute inside a parallel region (see
+/// `inParallelRegion`), so nested default job counts resolve to 1.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Fn);
+
+/// `std::thread::hardware_concurrency`, clamped to at least 1.
+unsigned hardwareJobs();
+
+/// True while the calling thread is executing a task spawned by
+/// `parallelFor` or by the exploration engine's worker team.
+bool inParallelRegion();
+
+/// RAII marker for a parallel region on the current thread.
+class ParallelRegionGuard {
+public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard &) = delete;
+  ParallelRegionGuard &operator=(const ParallelRegionGuard &) = delete;
+};
+
+/// Sets the process-default job count used when a requested count is 0.
+/// Passing 0 selects `hardwareJobs()`.
+void setDefaultJobs(unsigned Jobs);
+
+/// The process-default job count: the last `setDefaultJobs` value, else
+/// the `FCSL_JOBS` environment variable, else 1.
+unsigned defaultJobs();
+
+/// Resolves a requested job count: nonzero counts pass through; 0 becomes
+/// `defaultJobs()`, forced to 1 inside a parallel region (no
+/// multiplicative nesting unless explicitly asked for).
+unsigned resolveJobs(unsigned Requested);
+
+} // namespace fcsl
+
+#endif // FCSL_SUPPORT_THREADPOOL_H

@@ -1,0 +1,103 @@
+//===- tests/threadpool_test.cpp - Task pool tests -------------------------===//
+//
+// Part of fcsl-cpp. Exercises the support thread pool, the parallelFor
+// fan-out, and the job-count resolution policy (explicit counts, process
+// default, nested-region clamping). These tests are part of the TSan
+// stage of scripts/verify.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace fcsl;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(4);
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(2);
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 1);
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I != 32; ++I)
+      Pool.submit([&Ran] { Ran.fetch_add(1); });
+  }
+  EXPECT_EQ(Ran.load(), 32);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  parallelFor(N, 8, [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelForTest, SerialFallbackRunsInline) {
+  std::vector<size_t> Order;
+  parallelFor(5, 1, [&Order](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroItemsIsANoop) {
+  bool Ran = false;
+  parallelFor(0, 8, [&Ran](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(JobPolicyTest, ExplicitCountPassesThrough) {
+  EXPECT_EQ(resolveJobs(3), 3u);
+  EXPECT_EQ(resolveJobs(1), 1u);
+}
+
+TEST(JobPolicyTest, HardwareJobsIsPositive) {
+  EXPECT_GE(hardwareJobs(), 1u);
+}
+
+TEST(JobPolicyTest, DefaultJobsFollowsSetter) {
+  setDefaultJobs(5);
+  EXPECT_EQ(defaultJobs(), 5u);
+  EXPECT_EQ(resolveJobs(0), 5u);
+  setDefaultJobs(1);
+  EXPECT_EQ(resolveJobs(0), 1u);
+}
+
+TEST(JobPolicyTest, NestedRegionsClampDefaultToOne) {
+  setDefaultJobs(4);
+  EXPECT_FALSE(inParallelRegion());
+  std::atomic<unsigned> NestedResolved{0};
+  std::atomic<int> RegionsSeen{0};
+  parallelFor(8, 4, [&](size_t) {
+    if (inParallelRegion())
+      RegionsSeen.fetch_add(1);
+    NestedResolved.fetch_add(resolveJobs(0));
+  });
+  // Every worker-side invocation sees a parallel region and resolves the
+  // default job count to 1 (explicit counts still pass through).
+  EXPECT_EQ(RegionsSeen.load(), 8);
+  EXPECT_EQ(NestedResolved.load(), 8u);
+  EXPECT_FALSE(inParallelRegion());
+  setDefaultJobs(1);
+}

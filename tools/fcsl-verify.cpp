@@ -17,9 +17,12 @@
 #include "structures/StackIface.h"
 #include "structures/Suite.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 using namespace fcsl;
 
@@ -27,13 +30,18 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fcsl-verify <command>\n"
+               "usage: fcsl-verify [--jobs N] <command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
                "  table1               regenerate the paper's Table 1\n"
                "  table2               regenerate the paper's Table 2\n"
-               "  fig5 [--dot]         regenerate the paper's Figure 5\n");
+               "  fig5 [--dot]         regenerate the paper's Figure 5\n"
+               "\n"
+               "  --jobs N             discharge obligations over N worker "
+               "threads\n"
+               "                       (0 = all hardware threads; default "
+               "from FCSL_JOBS, else 1)\n");
   return 2;
 }
 
@@ -117,13 +125,31 @@ int runTable1() {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // Strip `--jobs N` (anywhere on the line) before command dispatch; it
+  // sets the process-default job count picked up by every session and
+  // engine invocation with Jobs = 0.
+  std::vector<char *> Args;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (I + 1 >= Argc)
+        return usage();
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || N < 0)
+        return usage();
+      setDefaultJobs(static_cast<unsigned>(N));
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  Argc = static_cast<int>(Args.size()) + 1;
   if (Argc < 2)
     return usage();
-  const char *Cmd = Argv[1];
+  const char *Cmd = Args[0];
   if (std::strcmp(Cmd, "list") == 0)
     return runList();
   if (std::strcmp(Cmd, "verify") == 0)
-    return Argc >= 3 ? runVerify(Argv[2]) : usage();
+    return Argc >= 3 ? runVerify(Args[1]) : usage();
   if (std::strcmp(Cmd, "table1") == 0)
     return runTable1();
   if (std::strcmp(Cmd, "table2") == 0) {
@@ -134,7 +160,7 @@ int main(int Argc, char **Argv) {
   if (std::strcmp(Cmd, "fig5") == 0) {
     registerAllLibraries();
     DotGraph G = globalRegistry().dependencyGraph();
-    bool Dot = Argc >= 3 && std::strcmp(Argv[2], "--dot") == 0;
+    bool Dot = Argc >= 3 && std::strcmp(Args[1], "--dot") == 0;
     std::printf("%s", Dot ? G.render().c_str() : G.renderAscii().c_str());
     return 0;
   }
