@@ -16,10 +16,13 @@
 
 #include "structures/SpanTree.h"
 #include "support/Format.h"
+#include "support/Intern.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
+
+#include <sys/resource.h>
 
 using namespace fcsl;
 
@@ -55,7 +58,17 @@ struct GrowthRow {
   uint64_t ActionSteps = 0;
   size_t Terminals = 0;
   double Ms = 0.0;
+  uint64_t VisitedBytes = 0;
 };
+
+/// Peak resident set size of this process in kilobytes (ru_maxrss is KB
+/// on Linux).
+uint64_t peakRssKb() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss);
+}
 
 struct SweepRow {
   unsigned Jobs = 0;
@@ -84,8 +97,8 @@ int main() {
 
   TextTable Table;
   Table.setHeader({"graph", "nodes", "configs", "action steps",
-                   "outcomes", "time (ms)"});
-  for (unsigned I = 1; I <= 5; ++I)
+                   "outcomes", "time (ms)", "visited KB"});
+  for (unsigned I = 1; I <= 6; ++I)
     Table.setRightAligned(I);
 
   std::vector<GrowthRow> Rows;
@@ -103,9 +116,11 @@ int main() {
                   std::to_string(R.ConfigsExplored),
                   std::to_string(R.ActionSteps),
                   std::to_string(R.Terminals.size()),
-                  formatString("%.1f", Ms)});
+                  formatString("%.1f", Ms),
+                  std::to_string(R.VisitedBytes / 1024)});
     Rows.push_back(GrowthRow{Name, G.size(), R.ConfigsExplored,
-                             R.ActionSteps, R.Terminals.size(), Ms});
+                             R.ActionSteps, R.Terminals.size(), Ms,
+                             R.VisitedBytes});
     return R.complete();
   };
 
@@ -263,11 +278,13 @@ int main() {
       std::fprintf(F,
                    "    {\"graph\": \"%s\", \"nodes\": %zu, \"configs\": "
                    "%llu, \"action_steps\": %llu, \"terminals\": %zu, "
-                   "\"ms\": %.2f}%s\n",
+                   "\"ms\": %.2f, \"visited_bytes\": %llu}%s\n",
                    R.Graph.c_str(), R.Nodes,
                    static_cast<unsigned long long>(R.Configs),
                    static_cast<unsigned long long>(R.ActionSteps),
-                   R.Terminals, R.Ms, I + 1 == Rows.size() ? "" : ",");
+                   R.Terminals, R.Ms,
+                   static_cast<unsigned long long>(R.VisitedBytes),
+                   I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "  ],\n");
     std::fprintf(F, "  \"jobs_sweep\": {\"graph\": \"diamond-3\", "
@@ -284,9 +301,29 @@ int main() {
                    R.Identical ? "true" : "false",
                    I + 1 == Sweep.size() ? "" : ",");
     }
-    std::fprintf(F, "  ]}\n}\n");
+    std::fprintf(F, "  ]},\n");
+    InternStats IS = internStats();
+    std::fprintf(F,
+                 "  \"memory\": {\"peak_rss_kb\": %llu, "
+                 "\"peak_visited_configs\": %llu, "
+                 "\"peak_visited_bytes\": %llu, "
+                 "\"intern_requests\": %llu, \"intern_nodes\": %llu, "
+                 "\"dedup_ratio\": %.3f}\n",
+                 static_cast<unsigned long long>(peakRssKb()),
+                 static_cast<unsigned long long>(peakVisitedNodes()),
+                 static_cast<unsigned long long>(peakVisitedBytes()),
+                 static_cast<unsigned long long>(IS.totalRequests()),
+                 static_cast<unsigned long long>(IS.totalNodes()),
+                 IS.dedupRatio());
+    std::fprintf(F, "}\n");
     std::fclose(F);
     std::printf("wrote BENCH_statespace.json\n");
+    std::printf("peak RSS: %llu KB; peak visited set: %llu configs, "
+                "%llu bytes; intern dedup %.2fx\n",
+                static_cast<unsigned long long>(peakRssKb()),
+                static_cast<unsigned long long>(peakVisitedNodes()),
+                static_cast<unsigned long long>(peakVisitedBytes()),
+                IS.dedupRatio());
   }
   return Ok ? 0 : 1;
 }

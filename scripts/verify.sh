@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-#===- scripts/verify.sh - Tier-1 suite + TSan race check ------------------===#
+#===- scripts/verify.sh - Tier-1 suite + TSan race check + ASan/UBSan -----===#
 #
-# Part of fcsl-cpp. Two stages:
+# Part of fcsl-cpp. Three stages:
 #
 #   1. Tier-1: configure + build + full ctest in build/ (the gate every
 #      PR must keep green).
 #   2. TSan: a separate build tree (build-tsan/) compiled with
 #      -DFCSL_SANITIZE=thread; the thread pool, the parallel exploration
-#      engine, and the runtime structures are run under the race
-#      detector. The binaries are invoked directly rather than through
-#      ctest so only the three relevant targets need to build.
+#      engine, the lock-striped intern arena, and the runtime structures
+#      are run under the race detector. The binaries are invoked directly
+#      rather than through ctest so only the relevant targets need to
+#      build.
+#   3. ASan+UBSan: a third build tree (build-asan/) compiled with
+#      -DFCSL_SANITIZE=address,undefined; the intern-arena and codec
+#      tests run under it, since those two layers do the pointer-identity
+#      and raw-byte manipulation where memory bugs would hide.
 #
-# Usage: scripts/verify.sh [--no-tsan]
+# Usage: scripts/verify.sh [--no-tsan] [--no-asan]
 #
 #===----------------------------------------------------------------------===#
 
@@ -19,7 +24,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TSAN=1
-[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+RUN_ASAN=1
+for Arg in "$@"; do
+  case "$Arg" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "unknown flag: $Arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -32,14 +44,25 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: configure + build (build-tsan/) =="
   cmake -B build-tsan -S . -DFCSL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target threadpool_test parallel_engine_test runtime_test
+    --target threadpool_test parallel_engine_test runtime_test intern_test
 
-  echo "== tsan: race-checking thread pool, parallel engine, runtime =="
+  echo "== tsan: race-checking thread pool, parallel engine, runtime, arena =="
   # TSan aborts the process on the first data race; a clean exit is the
   # pass condition.
   ./build-tsan/tests/threadpool_test
   ./build-tsan/tests/parallel_engine_test
   ./build-tsan/tests/runtime_test
+  ./build-tsan/tests/intern_test
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== asan+ubsan: configure + build (build-asan/) =="
+  cmake -B build-asan -S . -DFCSL_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$(nproc)" --target intern_test codec_test
+
+  echo "== asan+ubsan: checking intern arena and codec =="
+  ./build-asan/tests/intern_test
+  ./build-asan/tests/codec_test
 fi
 
 echo "== verify.sh: all stages passed =="

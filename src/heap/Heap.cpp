@@ -6,10 +6,44 @@
 
 #include "heap/Heap.h"
 
+#include "support/Intern.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace fcsl;
+using fcsl::detail::HeapNode;
+
+namespace {
+
+detail::InternArena<HeapNode> &arena() {
+  static auto *A = new detail::InternArena<HeapNode>("heap");
+  return *A;
+}
+
+uint64_t heapSalt() {
+  static const uint64_t Salt = fpString("fcsl.heap");
+  return Salt;
+}
+
+const HeapNode *intern(std::map<Ptr, Val> Cells) {
+  HeapNode H;
+  uint64_t Fp = fpCombine(heapSalt(), Cells.size());
+  for (const auto &Cell : Cells) {
+    Fp = fpCombine(Fp, Cell.first.id());
+    Fp = fpCombine(Fp, Cell.second.fingerprint());
+  }
+  H.Cells = std::move(Cells);
+  H.Fp = Fp;
+  return arena().intern(std::move(H));
+}
+
+} // namespace
+
+const HeapNode *fcsl::detail::heapEmptyNode() {
+  static const HeapNode *N = intern({});
+  return N;
+}
 
 Heap Heap::singleton(Ptr P, Val V) {
   Heap H;
@@ -18,8 +52,8 @@ Heap Heap::singleton(Ptr P, Val V) {
 }
 
 const Val *Heap::tryLookup(Ptr P) const {
-  auto It = Cells.find(P);
-  return It == Cells.end() ? nullptr : &It->second;
+  auto It = N->Cells.find(P);
+  return It == N->Cells.end() ? nullptr : &It->second;
 }
 
 const Val &Heap::lookup(Ptr P) const {
@@ -29,35 +63,41 @@ const Val &Heap::lookup(Ptr P) const {
 }
 
 void Heap::update(Ptr P, Val V) {
+  std::map<Ptr, Val> Cells = N->Cells;
   auto It = Cells.find(P);
   assert(It != Cells.end() && "update of a pointer outside the heap domain");
   It->second = std::move(V);
+  N = intern(std::move(Cells));
 }
 
 void Heap::insert(Ptr P, Val V) {
   assert(!P.isNull() && "cannot allocate the null pointer");
+  std::map<Ptr, Val> Cells = N->Cells;
   bool Inserted = Cells.emplace(P, std::move(V)).second;
   assert(Inserted && "insert of an already-allocated pointer");
   (void)Inserted;
+  N = intern(std::move(Cells));
 }
 
 void Heap::remove(Ptr P) {
+  std::map<Ptr, Val> Cells = N->Cells;
   size_t Erased = Cells.erase(P);
   assert(Erased == 1 && "free of a pointer outside the heap domain");
   (void)Erased;
+  N = intern(std::move(Cells));
 }
 
 std::vector<Ptr> Heap::domain() const {
   std::vector<Ptr> Dom;
-  Dom.reserve(Cells.size());
-  for (const auto &Cell : Cells)
+  Dom.reserve(N->Cells.size());
+  for (const auto &Cell : N->Cells)
     Dom.push_back(Cell.first);
   return Dom;
 }
 
 Ptr Heap::freshPtr() const {
   uint32_t Candidate = 1;
-  for (const auto &Cell : Cells) {
+  for (const auto &Cell : N->Cells) {
     if (Cell.first.id() != Candidate)
       break;
     ++Candidate;
@@ -68,31 +108,37 @@ Ptr Heap::freshPtr() const {
 std::optional<Heap> Heap::join(const Heap &A, const Heap &B) {
   if (!disjoint(A, B))
     return std::nullopt;
-  Heap Out = A;
-  for (const auto &Cell : B.Cells)
-    Out.Cells.emplace(Cell.first, Cell.second);
-  return Out;
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  std::map<Ptr, Val> Cells = A.N->Cells;
+  for (const auto &Cell : B.N->Cells)
+    Cells.emplace(Cell.first, Cell.second);
+  return Heap(intern(std::move(Cells)));
 }
 
 Heap Heap::without(const std::vector<Ptr> &Doomed) const {
-  Heap Out = *this;
+  std::map<Ptr, Val> Cells = N->Cells;
   for (Ptr P : Doomed)
-    Out.Cells.erase(P);
-  return Out;
+    Cells.erase(P);
+  return Heap(intern(std::move(Cells)));
 }
 
 bool Heap::disjoint(const Heap &A, const Heap &B) {
   const Heap &Small = A.size() <= B.size() ? A : B;
   const Heap &Large = A.size() <= B.size() ? B : A;
-  for (const auto &Cell : Small.Cells)
+  for (const auto &Cell : Small.N->Cells)
     if (Large.contains(Cell.first))
       return false;
   return true;
 }
 
 int Heap::compare(const Heap &Other) const {
-  auto AIt = Cells.begin(), AEnd = Cells.end();
-  auto BIt = Other.Cells.begin(), BEnd = Other.Cells.end();
+  if (N == Other.N)
+    return 0;
+  auto AIt = N->Cells.begin(), AEnd = N->Cells.end();
+  auto BIt = Other.N->Cells.begin(), BEnd = Other.N->Cells.end();
   for (; AIt != AEnd && BIt != BEnd; ++AIt, ++BIt) {
     if (AIt->first != BIt->first)
       return AIt->first < BIt->first ? -1 : 1;
@@ -107,18 +153,10 @@ int Heap::compare(const Heap &Other) const {
   return 0;
 }
 
-void Heap::hashInto(std::size_t &Seed) const {
-  hashValue(Seed, Cells.size());
-  for (const auto &Cell : Cells) {
-    hashValue(Seed, Cell.first.id());
-    Cell.second.hashInto(Seed);
-  }
-}
-
 std::string Heap::toString() const {
   std::string Out = "{";
   bool First = true;
-  for (const auto &Cell : Cells) {
+  for (const auto &Cell : N->Cells) {
     if (!First)
       Out += ", ";
     First = false;

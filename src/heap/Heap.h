@@ -12,6 +12,12 @@
 /// heaps is the *undefined* element and is reported as std::nullopt, which
 /// mirrors the partiality of the monoid operation.
 ///
+/// A Heap is a handle to a hash-consed node (support/Intern.h): structurally
+/// equal heaps share one canonical node, so copies are O(1) and equality is
+/// pointer comparison. The mutating operations build the updated cell map
+/// and re-intern it — heaps in the modeled programs are small, and the
+/// visited-set probes this makes cheap dominate exploration cost.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_HEAP_HEAP_H
@@ -25,22 +31,28 @@
 
 namespace fcsl {
 
+namespace detail {
+struct HeapNode;
+}
+
 /// A valid heap: a finite map from non-null pointers to values.
 class Heap {
 public:
   /// Constructs the empty heap (the PCM unit).
-  Heap() = default;
+  Heap();
 
   /// Returns a heap with a single cell P :-> V.
   static Heap singleton(Ptr P, Val V);
 
-  bool isEmpty() const { return Cells.empty(); }
-  size_t size() const { return Cells.size(); }
+  bool isEmpty() const;
+  size_t size() const;
 
   /// Returns true if \p P is in the domain.
-  bool contains(Ptr P) const { return Cells.count(P) != 0; }
+  bool contains(Ptr P) const;
 
   /// Returns the cell contents, or nullptr if \p P is not in the domain.
+  /// The pointee lives in the arena, so it stays valid even after this
+  /// handle is reassigned.
   const Val *tryLookup(Ptr P) const;
 
   /// Returns the cell contents; asserts that \p P is in the domain.
@@ -73,15 +85,14 @@ public:
   static bool disjoint(const Heap &A, const Heap &B);
 
   int compare(const Heap &Other) const;
-  friend bool operator==(const Heap &A, const Heap &B) {
-    return A.compare(B) == 0;
-  }
-  friend bool operator!=(const Heap &A, const Heap &B) {
-    return A.compare(B) != 0;
-  }
+  friend bool operator==(const Heap &A, const Heap &B) { return A.N == B.N; }
+  friend bool operator!=(const Heap &A, const Heap &B) { return A.N != B.N; }
   friend bool operator<(const Heap &A, const Heap &B) {
     return A.compare(B) < 0;
   }
+
+  /// The precomputed structural fingerprint (process-stable).
+  uint64_t fingerprint() const;
 
   void hashInto(std::size_t &Seed) const;
 
@@ -89,21 +100,54 @@ public:
   std::string toString() const;
 
   /// Iteration over (pointer, value) cells in pointer order.
-  auto begin() const { return Cells.begin(); }
-  auto end() const { return Cells.end(); }
+  std::map<Ptr, Val>::const_iterator begin() const;
+  std::map<Ptr, Val>::const_iterator end() const;
 
 private:
-  std::map<Ptr, Val> Cells;
+  explicit Heap(const detail::HeapNode *N) : N(N) {}
+
+  const detail::HeapNode *N; ///< never null; owned by the intern arena.
 };
+
+namespace detail {
+
+/// The interned payload of a Heap.
+struct HeapNode {
+  std::map<Ptr, Val> Cells;
+  uint64_t Fp = 0;
+
+  bool samePayload(const HeapNode &O) const {
+    // Cell values are canonical handles, so map equality costs one pointer
+    // comparison per cell.
+    return Fp == O.Fp && Cells == O.Cells;
+  }
+};
+
+const HeapNode *heapEmptyNode();
+
+} // namespace detail
+
+inline Heap::Heap() : N(detail::heapEmptyNode()) {}
+inline bool Heap::isEmpty() const { return N->Cells.empty(); }
+inline size_t Heap::size() const { return N->Cells.size(); }
+inline bool Heap::contains(Ptr P) const { return N->Cells.count(P) != 0; }
+inline uint64_t Heap::fingerprint() const { return N->Fp; }
+inline void Heap::hashInto(std::size_t &Seed) const {
+  hashCombine(Seed, static_cast<std::size_t>(N->Fp));
+}
+inline std::map<Ptr, Val>::const_iterator Heap::begin() const {
+  return N->Cells.begin();
+}
+inline std::map<Ptr, Val>::const_iterator Heap::end() const {
+  return N->Cells.end();
+}
 
 } // namespace fcsl
 
 namespace std {
 template <> struct hash<fcsl::Heap> {
   size_t operator()(const fcsl::Heap &H) const {
-    size_t Seed = 0;
-    H.hashInto(Seed);
-    return Seed;
+    return static_cast<size_t>(H.fingerprint());
   }
 };
 } // namespace std

@@ -7,121 +7,176 @@
 #include "heap/Val.h"
 
 #include "support/Format.h"
+#include "support/Intern.h"
 
 using namespace fcsl;
+using fcsl::detail::ValNode;
+
+namespace {
+
+detail::InternArena<ValNode> &arena() {
+  // Deliberately leaked: canonical node pointers must outlive every static.
+  static auto *A = new detail::InternArena<ValNode>("val");
+  return *A;
+}
+
+/// Domain-separation salt so Val fingerprints never collide with other
+/// node families by construction.
+uint64_t valSalt() {
+  static const uint64_t Salt = fpString("fcsl.val");
+  return Salt;
+}
+
+uint64_t fpOf(const ValNode &V) {
+  uint64_t Fp = fpCombine(valSalt(), static_cast<uint64_t>(V.K));
+  switch (V.K) {
+  case Val::Kind::Unit:
+    break;
+  case Val::Kind::Int:
+    Fp = fpCombine(Fp, static_cast<uint64_t>(V.IntVal));
+    break;
+  case Val::Kind::Bool:
+    Fp = fpCombine(Fp, V.BoolVal);
+    break;
+  case Val::Kind::Pointer:
+    Fp = fpCombine(Fp, V.PtrVal.id());
+    break;
+  case Val::Kind::Node:
+    Fp = fpCombine(Fp, V.Node.Marked);
+    Fp = fpCombine(Fp, V.Node.Left.id());
+    Fp = fpCombine(Fp, V.Node.Right.id());
+    break;
+  case Val::Kind::Pair:
+    Fp = fpCombine(Fp, V.FirstN->Fp);
+    Fp = fpCombine(Fp, V.SecondN->Fp);
+    break;
+  }
+  return Fp;
+}
+
+const ValNode *intern(ValNode &&V) {
+  V.Fp = fpOf(V);
+  return arena().intern(std::move(V));
+}
+
+} // namespace
+
+bool ValNode::samePayload(const ValNode &O) const {
+  if (Fp != O.Fp || K != O.K)
+    return false;
+  switch (K) {
+  case Val::Kind::Unit:
+    return true;
+  case Val::Kind::Int:
+    return IntVal == O.IntVal;
+  case Val::Kind::Bool:
+    return BoolVal == O.BoolVal;
+  case Val::Kind::Pointer:
+    return PtrVal == O.PtrVal;
+  case Val::Kind::Node:
+    return Node == O.Node;
+  case Val::Kind::Pair:
+    return FirstN == O.FirstN && SecondN == O.SecondN;
+  }
+  return false;
+}
+
+const ValNode *fcsl::detail::valUnitNode() {
+  static const ValNode *N = [] {
+    ValNode V;
+    V.K = Val::Kind::Unit;
+    return intern(std::move(V));
+  }();
+  return N;
+}
 
 Val Val::ofInt(int64_t I) {
-  Val V;
+  ValNode V;
   V.K = Kind::Int;
   V.IntVal = I;
-  return V;
+  return Val(intern(std::move(V)));
 }
 
 Val Val::ofBool(bool B) {
-  Val V;
+  ValNode V;
   V.K = Kind::Bool;
   V.BoolVal = B;
-  return V;
+  return Val(intern(std::move(V)));
 }
 
 Val Val::ofPtr(Ptr P) {
-  Val V;
+  ValNode V;
   V.K = Kind::Pointer;
   V.PtrVal = P;
-  return V;
+  return Val(intern(std::move(V)));
 }
 
 Val Val::node(bool Marked, Ptr Left, Ptr Right) {
-  Val V;
+  ValNode V;
   V.K = Kind::Node;
   V.Node = NodeCell{Marked, Left, Right};
-  return V;
+  return Val(intern(std::move(V)));
 }
 
 Val Val::pair(Val First, Val Second) {
-  Val V;
+  ValNode V;
   V.K = Kind::Pair;
-  V.PairVal = std::make_shared<const std::pair<Val, Val>>(std::move(First),
-                                                          std::move(Second));
-  return V;
+  V.FirstN = First.N;
+  V.SecondN = Second.N;
+  return Val(intern(std::move(V)));
 }
 
 int Val::compare(const Val &Other) const {
-  if (K != Other.K)
-    return K < Other.K ? -1 : 1;
-  switch (K) {
+  if (N == Other.N)
+    return 0;
+  if (N->K != Other.N->K)
+    return N->K < Other.N->K ? -1 : 1;
+  switch (N->K) {
   case Kind::Unit:
     return 0;
   case Kind::Int:
-    if (IntVal != Other.IntVal)
-      return IntVal < Other.IntVal ? -1 : 1;
+    if (N->IntVal != Other.N->IntVal)
+      return N->IntVal < Other.N->IntVal ? -1 : 1;
     return 0;
   case Kind::Bool:
-    if (BoolVal != Other.BoolVal)
-      return BoolVal < Other.BoolVal ? -1 : 1;
+    if (N->BoolVal != Other.N->BoolVal)
+      return N->BoolVal < Other.N->BoolVal ? -1 : 1;
     return 0;
   case Kind::Pointer:
-    if (PtrVal != Other.PtrVal)
-      return PtrVal < Other.PtrVal ? -1 : 1;
+    if (N->PtrVal != Other.N->PtrVal)
+      return N->PtrVal < Other.N->PtrVal ? -1 : 1;
     return 0;
   case Kind::Node:
-    if (!(Node == Other.Node))
-      return Node < Other.Node ? -1 : 1;
+    if (!(N->Node == Other.N->Node))
+      return N->Node < Other.N->Node ? -1 : 1;
     return 0;
   case Kind::Pair: {
-    int First = PairVal->first.compare(Other.PairVal->first);
+    int First = Val(N->FirstN).compare(Val(Other.N->FirstN));
     if (First != 0)
       return First;
-    return PairVal->second.compare(Other.PairVal->second);
+    return Val(N->SecondN).compare(Val(Other.N->SecondN));
   }
   }
   assert(false && "unknown value kind");
   return 0;
 }
 
-void Val::hashInto(std::size_t &Seed) const {
-  hashValue(Seed, static_cast<uint8_t>(K));
-  switch (K) {
-  case Kind::Unit:
-    break;
-  case Kind::Int:
-    hashValue(Seed, IntVal);
-    break;
-  case Kind::Bool:
-    hashValue(Seed, BoolVal);
-    break;
-  case Kind::Pointer:
-    hashValue(Seed, PtrVal.id());
-    break;
-  case Kind::Node:
-    hashValue(Seed, Node.Marked);
-    hashValue(Seed, Node.Left.id());
-    hashValue(Seed, Node.Right.id());
-    break;
-  case Kind::Pair:
-    PairVal->first.hashInto(Seed);
-    PairVal->second.hashInto(Seed);
-    break;
-  }
-}
-
 std::string Val::toString() const {
-  switch (K) {
+  switch (N->K) {
   case Kind::Unit:
     return "()";
   case Kind::Int:
-    return formatString("%lld", static_cast<long long>(IntVal));
+    return formatString("%lld", static_cast<long long>(N->IntVal));
   case Kind::Bool:
-    return BoolVal ? "true" : "false";
+    return N->BoolVal ? "true" : "false";
   case Kind::Pointer:
-    return PtrVal.toString();
+    return N->PtrVal.toString();
   case Kind::Node:
-    return formatString("{%c, %s, %s}", Node.Marked ? 'M' : 'u',
-                        Node.Left.toString().c_str(),
-                        Node.Right.toString().c_str());
+    return formatString("{%c, %s, %s}", N->Node.Marked ? 'M' : 'u',
+                        N->Node.Left.toString().c_str(),
+                        N->Node.Right.toString().c_str());
   case Kind::Pair:
-    return "(" + PairVal->first.toString() + ", " +
-           PairVal->second.toString() + ")";
+    return "(" + first().toString() + ", " + second().toString() + ")";
   }
   assert(false && "unknown value kind");
   return "<?>";

@@ -12,6 +12,11 @@
 /// parallel composition). Values are immutable and totally ordered so they
 /// can key the model checker's visited-state sets.
 ///
+/// A Val is a handle to a hash-consed node in the process-wide intern arena
+/// (support/Intern.h): structurally equal values share one canonical node,
+/// so copies are O(1), equality is pointer comparison, and hashing reads the
+/// node's precomputed structural fingerprint.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_HEAP_VAL_H
@@ -21,11 +26,14 @@
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <utility>
 
 namespace fcsl {
+
+namespace detail {
+struct ValNode;
+}
 
 /// A graph node cell: the "marked" bit plus left/right successor pointers.
 /// This is the triple (b, xl, xr) of the paper's `graph` predicate.
@@ -46,13 +54,13 @@ struct NodeCell {
   }
 };
 
-/// An immutable runtime value.
+/// An immutable runtime value (a canonical interned handle).
 class Val {
 public:
   enum class Kind : uint8_t { Unit, Int, Bool, Pointer, Node, Pair };
 
   /// Constructs the unit value.
-  Val() : K(Kind::Unit) {}
+  Val();
 
   static Val unit() { return Val(); }
   static Val ofInt(int64_t I);
@@ -61,74 +69,106 @@ public:
   static Val node(bool Marked, Ptr Left, Ptr Right);
   static Val pair(Val First, Val Second);
 
-  Kind kind() const { return K; }
-  bool isUnit() const { return K == Kind::Unit; }
-  bool isInt() const { return K == Kind::Int; }
-  bool isBool() const { return K == Kind::Bool; }
-  bool isPtr() const { return K == Kind::Pointer; }
-  bool isNode() const { return K == Kind::Node; }
-  bool isPair() const { return K == Kind::Pair; }
+  Kind kind() const;
+  bool isUnit() const { return kind() == Kind::Unit; }
+  bool isInt() const { return kind() == Kind::Int; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isPtr() const { return kind() == Kind::Pointer; }
+  bool isNode() const { return kind() == Kind::Node; }
+  bool isPair() const { return kind() == Kind::Pair; }
 
-  int64_t getInt() const {
-    assert(isInt() && "not an integer value");
-    return IntVal;
-  }
-  bool getBool() const {
-    assert(isBool() && "not a boolean value");
-    return BoolVal;
-  }
-  Ptr getPtr() const {
-    assert(isPtr() && "not a pointer value");
-    return PtrVal;
-  }
-  const NodeCell &getNode() const {
-    assert(isNode() && "not a node value");
-    return Node;
-  }
-  const Val &first() const {
-    assert(isPair() && "not a pair value");
-    return PairVal->first;
-  }
-  const Val &second() const {
-    assert(isPair() && "not a pair value");
-    return PairVal->second;
-  }
+  int64_t getInt() const;
+  bool getBool() const;
+  Ptr getPtr() const;
+  const NodeCell &getNode() const;
+  Val first() const;
+  Val second() const;
 
   /// Total order across kinds (kind tag first, then payload).
   int compare(const Val &Other) const;
 
-  friend bool operator==(const Val &A, const Val &B) {
-    return A.compare(B) == 0;
-  }
-  friend bool operator!=(const Val &A, const Val &B) {
-    return A.compare(B) != 0;
-  }
+  /// Canonicity makes structural equality a pointer comparison.
+  friend bool operator==(const Val &A, const Val &B) { return A.N == B.N; }
+  friend bool operator!=(const Val &A, const Val &B) { return A.N != B.N; }
   friend bool operator<(const Val &A, const Val &B) {
     return A.compare(B) < 0;
   }
 
-  /// Mixes this value into \p Seed.
+  /// The precomputed structural fingerprint: stable across runs and
+  /// processes (never derived from addresses or std::hash).
+  uint64_t fingerprint() const;
+
+  /// Mixes this value's fingerprint into \p Seed.
   void hashInto(std::size_t &Seed) const;
 
   std::string toString() const;
 
 private:
-  Kind K;
+  explicit Val(const detail::ValNode *N) : N(N) {}
+
+  const detail::ValNode *N; ///< never null; owned by the intern arena.
+};
+
+namespace detail {
+
+/// The interned payload of a Val. Children of pairs are held as canonical
+/// node pointers, so payload equality over children is pointer equality.
+struct ValNode {
+  Val::Kind K = Val::Kind::Unit;
   int64_t IntVal = 0;
   bool BoolVal = false;
   Ptr PtrVal;
   NodeCell Node;
-  std::shared_ptr<const std::pair<Val, Val>> PairVal;
+  const ValNode *FirstN = nullptr;  ///< Pair
+  const ValNode *SecondN = nullptr; ///< Pair
+  uint64_t Fp = 0;
+
+  bool samePayload(const ValNode &O) const;
 };
+
+/// The canonical unit node (also the moral zero of default construction).
+const ValNode *valUnitNode();
+
+} // namespace detail
+
+inline Val::Val() : N(detail::valUnitNode()) {}
+inline Val::Kind Val::kind() const { return N->K; }
+
+inline int64_t Val::getInt() const {
+  assert(isInt() && "not an integer value");
+  return N->IntVal;
+}
+inline bool Val::getBool() const {
+  assert(isBool() && "not a boolean value");
+  return N->BoolVal;
+}
+inline Ptr Val::getPtr() const {
+  assert(isPtr() && "not a pointer value");
+  return N->PtrVal;
+}
+inline const NodeCell &Val::getNode() const {
+  assert(isNode() && "not a node value");
+  return N->Node;
+}
+inline Val Val::first() const {
+  assert(isPair() && "not a pair value");
+  return Val(N->FirstN);
+}
+inline Val Val::second() const {
+  assert(isPair() && "not a pair value");
+  return Val(N->SecondN);
+}
+inline uint64_t Val::fingerprint() const { return N->Fp; }
+inline void Val::hashInto(std::size_t &Seed) const {
+  hashCombine(Seed, static_cast<std::size_t>(N->Fp));
+}
 
 } // namespace fcsl
 
 namespace std {
 template <> struct hash<fcsl::Val> {
   size_t operator()(const fcsl::Val &V) const {
-    size_t Seed = 0;
-    V.hashInto(Seed);
-    return Seed;
+    return static_cast<size_t>(V.fingerprint());
   }
 };
 } // namespace std

@@ -7,43 +7,81 @@
 #include "pcm/Histories.h"
 
 #include "support/Format.h"
+#include "support/Intern.h"
 
 #include <cassert>
 
 using namespace fcsl;
+using fcsl::detail::HistNode;
+
+namespace {
+
+detail::InternArena<HistNode> &arena() {
+  static auto *A = new detail::InternArena<HistNode>("history");
+  return *A;
+}
+
+uint64_t histSalt() {
+  static const uint64_t Salt = fpString("fcsl.hist");
+  return Salt;
+}
+
+const HistNode *intern(std::map<uint64_t, HistEntry> Entries) {
+  HistNode H;
+  uint64_t Fp = fpCombine(histSalt(), Entries.size());
+  for (const auto &Entry : Entries) {
+    Fp = fpCombine(Fp, Entry.first);
+    Fp = fpCombine(Fp, Entry.second.Before.fingerprint());
+    Fp = fpCombine(Fp, Entry.second.After.fingerprint());
+  }
+  H.Entries = std::move(Entries);
+  H.Fp = Fp;
+  return arena().intern(std::move(H));
+}
+
+} // namespace
+
+const HistNode *fcsl::detail::histEmptyNode() {
+  static const HistNode *N = intern({});
+  return N;
+}
 
 const HistEntry *History::tryLookup(uint64_t T) const {
-  auto It = Entries.find(T);
-  return It == Entries.end() ? nullptr : &It->second;
+  auto It = N->Entries.find(T);
+  return It == N->Entries.end() ? nullptr : &It->second;
 }
 
 void History::add(uint64_t T, HistEntry E) {
   assert(T != 0 && "timestamp 0 is reserved");
+  std::map<uint64_t, HistEntry> Entries = N->Entries;
   bool Inserted = Entries.emplace(T, std::move(E)).second;
   assert(Inserted && "duplicate timestamp in history");
   (void)Inserted;
+  N = intern(std::move(Entries));
 }
 
 uint64_t History::lastStamp() const {
-  return Entries.empty() ? 0 : Entries.rbegin()->first;
+  return N->Entries.empty() ? 0 : N->Entries.rbegin()->first;
 }
 
 std::optional<History> History::join(const History &A, const History &B) {
   const History &Small = A.size() <= B.size() ? A : B;
   const History &Large = A.size() <= B.size() ? B : A;
-  for (const auto &Entry : Small.Entries)
+  for (const auto &Entry : Small.N->Entries)
     if (Large.contains(Entry.first))
       return std::nullopt;
-  History Out = Large;
-  for (const auto &Entry : Small.Entries)
-    Out.Entries.emplace(Entry.first, Entry.second);
-  return Out;
+  if (Small.isEmpty())
+    return Large;
+  std::map<uint64_t, HistEntry> Entries = Large.N->Entries;
+  for (const auto &Entry : Small.N->Entries)
+    Entries.emplace(Entry.first, Entry.second);
+  return History(intern(std::move(Entries)));
 }
 
 bool History::isContinuous() const {
   uint64_t Expected = 1;
   const Val *PrevAfter = nullptr;
-  for (const auto &Entry : Entries) {
+  for (const auto &Entry : N->Entries) {
     if (Entry.first != Expected)
       return false;
     if (PrevAfter && !(*PrevAfter == Entry.second.Before))
@@ -55,8 +93,10 @@ bool History::isContinuous() const {
 }
 
 int History::compare(const History &Other) const {
-  auto AIt = Entries.begin(), AEnd = Entries.end();
-  auto BIt = Other.Entries.begin(), BEnd = Other.Entries.end();
+  if (N == Other.N)
+    return 0;
+  auto AIt = N->Entries.begin(), AEnd = N->Entries.end();
+  auto BIt = Other.N->Entries.begin(), BEnd = Other.N->Entries.end();
   for (; AIt != AEnd && BIt != BEnd; ++AIt, ++BIt) {
     if (AIt->first != BIt->first)
       return AIt->first < BIt->first ? -1 : 1;
@@ -70,19 +110,10 @@ int History::compare(const History &Other) const {
   return 0;
 }
 
-void History::hashInto(std::size_t &Seed) const {
-  hashValue(Seed, Entries.size());
-  for (const auto &Entry : Entries) {
-    hashValue(Seed, Entry.first);
-    Entry.second.Before.hashInto(Seed);
-    Entry.second.After.hashInto(Seed);
-  }
-}
-
 std::string History::toString() const {
   std::string Out = "[";
   bool First = true;
-  for (const auto &Entry : Entries) {
+  for (const auto &Entry : N->Entries) {
     if (!First)
       Out += ", ";
     First = false;

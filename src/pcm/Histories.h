@@ -13,6 +13,10 @@
 /// abstract state changed from a to a'. Histories form a PCM under disjoint
 /// union of their timestamp domains.
 ///
+/// Like Heap, a History is a handle to a hash-consed node: structurally
+/// equal histories share one canonical node (O(1) copies, pointer
+/// equality, precomputed fingerprint).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_PCM_HISTORIES_H
@@ -26,6 +30,10 @@
 #include <string>
 
 namespace fcsl {
+
+namespace detail {
+struct HistNode;
+}
 
 /// One history entry: the abstract state before and after the step taken at
 /// some timestamp.
@@ -46,12 +54,12 @@ struct HistEntry {
 /// A time-stamped history: a finite map from timestamps to entries.
 class History {
 public:
-  History() = default;
+  History();
 
-  bool isEmpty() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
+  bool isEmpty() const;
+  size_t size() const;
 
-  bool contains(uint64_t T) const { return Entries.count(T) != 0; }
+  bool contains(uint64_t T) const;
   const HistEntry *tryLookup(uint64_t T) const;
 
   /// Adds entry \p E at timestamp \p T; asserts \p T is fresh and nonzero.
@@ -70,21 +78,59 @@ public:
 
   int compare(const History &Other) const;
   friend bool operator==(const History &A, const History &B) {
-    return A.compare(B) == 0;
+    return A.N == B.N;
   }
   friend bool operator<(const History &A, const History &B) {
     return A.compare(B) < 0;
   }
 
+  /// The precomputed structural fingerprint (process-stable).
+  uint64_t fingerprint() const;
+
   void hashInto(std::size_t &Seed) const;
   std::string toString() const;
 
-  auto begin() const { return Entries.begin(); }
-  auto end() const { return Entries.end(); }
+  std::map<uint64_t, HistEntry>::const_iterator begin() const;
+  std::map<uint64_t, HistEntry>::const_iterator end() const;
 
 private:
-  std::map<uint64_t, HistEntry> Entries;
+  explicit History(const detail::HistNode *N) : N(N) {}
+
+  const detail::HistNode *N; ///< never null; owned by the intern arena.
 };
+
+namespace detail {
+
+/// The interned payload of a History.
+struct HistNode {
+  std::map<uint64_t, HistEntry> Entries;
+  uint64_t Fp = 0;
+
+  bool samePayload(const HistNode &O) const {
+    return Fp == O.Fp && Entries == O.Entries;
+  }
+};
+
+const HistNode *histEmptyNode();
+
+} // namespace detail
+
+inline History::History() : N(detail::histEmptyNode()) {}
+inline bool History::isEmpty() const { return N->Entries.empty(); }
+inline size_t History::size() const { return N->Entries.size(); }
+inline bool History::contains(uint64_t T) const {
+  return N->Entries.count(T) != 0;
+}
+inline uint64_t History::fingerprint() const { return N->Fp; }
+inline void History::hashInto(std::size_t &Seed) const {
+  hashCombine(Seed, static_cast<std::size_t>(N->Fp));
+}
+inline std::map<uint64_t, HistEntry>::const_iterator History::begin() const {
+  return N->Entries.begin();
+}
+inline std::map<uint64_t, HistEntry>::const_iterator History::end() const {
+  return N->Entries.end();
+}
 
 } // namespace fcsl
 

@@ -7,38 +7,126 @@
 #include "pcm/PCMVal.h"
 
 #include "support/Format.h"
+#include "support/Intern.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace fcsl;
+using fcsl::detail::PCMNode;
+
+namespace {
+
+detail::InternArena<PCMNode> &arena() {
+  static auto *A = new detail::InternArena<PCMNode>("pcmval");
+  return *A;
+}
+
+uint64_t pcmSalt() {
+  static const uint64_t Salt = fpString("fcsl.pcmval");
+  return Salt;
+}
+
+uint64_t fpOf(const PCMNode &V) {
+  uint64_t Fp = fpCombine(pcmSalt(), static_cast<uint64_t>(V.K));
+  switch (V.K) {
+  case PCMKind::Nat:
+    Fp = fpCombine(Fp, V.Nat);
+    break;
+  case PCMKind::Mutex:
+    Fp = fpCombine(Fp, V.Own);
+    break;
+  case PCMKind::PtrSet:
+    Fp = fpCombine(Fp, V.Set.size());
+    for (Ptr P : V.Set)
+      Fp = fpCombine(Fp, P.id());
+    break;
+  case PCMKind::HeapPCM:
+    Fp = fpCombine(Fp, V.HeapVal.fingerprint());
+    break;
+  case PCMKind::Hist:
+    Fp = fpCombine(Fp, V.Hist.fingerprint());
+    break;
+  case PCMKind::Pair:
+    Fp = fpCombine(Fp, V.FirstN->Fp);
+    Fp = fpCombine(Fp, V.SecondN->Fp);
+    break;
+  case PCMKind::Lift:
+    // The carrier type of an undefined element is deliberately excluded:
+    // structural equality (and hence interning) never distinguished
+    // undefined elements by carrier, so all of them share one node.
+    Fp = fpCombine(Fp, V.LiftN != nullptr);
+    if (V.LiftN)
+      Fp = fpCombine(Fp, V.LiftN->Fp);
+    break;
+  }
+  return Fp;
+}
+
+const PCMNode *intern(PCMNode &&V) {
+  V.Fp = fpOf(V);
+  return arena().intern(std::move(V));
+}
+
+} // namespace
+
+bool PCMNode::samePayload(const PCMNode &O) const {
+  if (Fp != O.Fp || K != O.K)
+    return false;
+  switch (K) {
+  case PCMKind::Nat:
+    return Nat == O.Nat;
+  case PCMKind::Mutex:
+    return Own == O.Own;
+  case PCMKind::PtrSet:
+    return Set == O.Set;
+  case PCMKind::HeapPCM:
+    return HeapVal == O.HeapVal;
+  case PCMKind::Hist:
+    return Hist == O.Hist;
+  case PCMKind::Pair:
+    return FirstN == O.FirstN && SecondN == O.SecondN;
+  case PCMKind::Lift:
+    return LiftN == O.LiftN;
+  }
+  return false;
+}
+
+const PCMNode *fcsl::detail::pcmNatUnitNode() {
+  static const PCMNode *N = [] {
+    PCMNode V;
+    V.K = PCMKind::Nat;
+    return intern(std::move(V));
+  }();
+  return N;
+}
 
 PCMVal PCMVal::ofNat(uint64_t N) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Nat;
   V.Nat = N;
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::mutexOwn() {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Mutex;
   V.Own = true;
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::mutexFree() {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Mutex;
   V.Own = false;
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::ofPtrSet(std::set<Ptr> S) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::PtrSet;
   V.Set = std::move(S);
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::singletonPtr(Ptr P) {
@@ -47,112 +135,117 @@ PCMVal PCMVal::singletonPtr(Ptr P) {
 }
 
 PCMVal PCMVal::ofHeap(Heap H) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::HeapPCM;
   V.HeapVal = std::move(H);
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::ofHist(History H) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Hist;
   V.Hist = std::move(H);
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::makePair(PCMVal First, PCMVal Second) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Pair;
-  V.PairVal = std::make_shared<const std::pair<PCMVal, PCMVal>>(
-      std::move(First), std::move(Second));
-  return V;
+  V.FirstN = First.N;
+  V.SecondN = Second.N;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::liftDef(PCMVal Inner) {
-  PCMVal V;
+  PCMNode V;
   V.K = PCMKind::Lift;
-  V.LiftVal = std::make_shared<const PCMVal>(std::move(Inner));
-  return V;
+  V.LiftN = Inner.N;
+  return PCMVal(intern(std::move(V)));
 }
 
 PCMVal PCMVal::liftUndef(PCMTypeRef Inner) {
-  PCMVal V;
+  // All undefined elements intern to one node (they always compared equal),
+  // so the stored carrier is whichever one was interned first. That is fine:
+  // the carrier is advisory — only join reads it, to decorate another
+  // undefined element.
+  PCMNode V;
   V.K = PCMKind::Lift;
   V.LiftInnerType = std::move(Inner);
-  return V;
+  return PCMVal(intern(std::move(V)));
 }
 
 uint64_t PCMVal::getNat() const {
-  assert(K == PCMKind::Nat && "not a nat element");
-  return Nat;
+  assert(N->K == PCMKind::Nat && "not a nat element");
+  return N->Nat;
 }
 
 bool PCMVal::isOwn() const {
-  assert(K == PCMKind::Mutex && "not a mutex element");
-  return Own;
+  assert(N->K == PCMKind::Mutex && "not a mutex element");
+  return N->Own;
 }
 
 const std::set<Ptr> &PCMVal::getPtrSet() const {
-  assert(K == PCMKind::PtrSet && "not a pointer-set element");
-  return Set;
+  assert(N->K == PCMKind::PtrSet && "not a pointer-set element");
+  return N->Set;
 }
 
 const Heap &PCMVal::getHeap() const {
-  assert(K == PCMKind::HeapPCM && "not a heap element");
-  return HeapVal;
+  assert(N->K == PCMKind::HeapPCM && "not a heap element");
+  return N->HeapVal;
 }
 
 const History &PCMVal::getHist() const {
-  assert(K == PCMKind::Hist && "not a history element");
-  return Hist;
+  assert(N->K == PCMKind::Hist && "not a history element");
+  return N->Hist;
 }
 
-const PCMVal &PCMVal::first() const {
-  assert(K == PCMKind::Pair && "not a product element");
-  return PairVal->first;
+PCMVal PCMVal::first() const {
+  assert(N->K == PCMKind::Pair && "not a product element");
+  return PCMVal(N->FirstN);
 }
 
-const PCMVal &PCMVal::second() const {
-  assert(K == PCMKind::Pair && "not a product element");
-  return PairVal->second;
+PCMVal PCMVal::second() const {
+  assert(N->K == PCMKind::Pair && "not a product element");
+  return PCMVal(N->SecondN);
 }
 
 bool PCMVal::isLiftUndef() const {
-  assert(K == PCMKind::Lift && "not a lifted element");
-  return LiftVal == nullptr;
+  assert(N->K == PCMKind::Lift && "not a lifted element");
+  return N->LiftN == nullptr;
 }
 
-const PCMVal &PCMVal::liftInner() const {
-  assert(K == PCMKind::Lift && LiftVal && "not a defined lifted element");
-  return *LiftVal;
+PCMVal PCMVal::liftInner() const {
+  assert(N->K == PCMKind::Lift && N->LiftN &&
+         "not a defined lifted element");
+  return PCMVal(N->LiftN);
 }
 
 std::optional<PCMVal> PCMVal::join(const PCMVal &A, const PCMVal &B) {
-  assert(A.K == B.K && "joining elements of different PCMs");
-  switch (A.K) {
+  assert(A.N->K == B.N->K && "joining elements of different PCMs");
+  switch (A.N->K) {
   case PCMKind::Nat:
-    return ofNat(A.Nat + B.Nat);
+    return ofNat(A.N->Nat + B.N->Nat);
   case PCMKind::Mutex:
     // Own * Own is undefined: at most one thread holds the lock token.
-    if (A.Own && B.Own)
+    if (A.N->Own && B.N->Own)
       return std::nullopt;
-    return A.Own || B.Own ? mutexOwn() : mutexFree();
+    return A.N->Own || B.N->Own ? mutexOwn() : mutexFree();
   case PCMKind::PtrSet: {
-    for (Ptr P : A.Set)
-      if (B.Set.count(P))
+    for (Ptr P : A.N->Set)
+      if (B.N->Set.count(P))
         return std::nullopt;
-    std::set<Ptr> Out = A.Set;
-    Out.insert(B.Set.begin(), B.Set.end());
+    std::set<Ptr> Out = A.N->Set;
+    Out.insert(B.N->Set.begin(), B.N->Set.end());
     return ofPtrSet(std::move(Out));
   }
   case PCMKind::HeapPCM: {
-    std::optional<Heap> H = Heap::join(A.HeapVal, B.HeapVal);
+    std::optional<Heap> H = Heap::join(A.N->HeapVal, B.N->HeapVal);
     if (!H)
       return std::nullopt;
     return ofHeap(std::move(*H));
   }
   case PCMKind::Hist: {
-    std::optional<History> H = History::join(A.Hist, B.Hist);
+    std::optional<History> H = History::join(A.N->Hist, B.N->Hist);
     if (!H)
       return std::nullopt;
     return ofHist(std::move(*H));
@@ -170,7 +263,7 @@ std::optional<PCMVal> PCMVal::join(const PCMVal &A, const PCMVal &B) {
     // The lifted PCM makes join total by absorbing failures into the
     // explicit undefined element.
     PCMTypeRef InnerTy =
-        A.LiftInnerType ? A.LiftInnerType : B.LiftInnerType;
+        A.N->LiftInnerType ? A.N->LiftInnerType : B.N->LiftInnerType;
     if (A.isLiftUndef() || B.isLiftUndef())
       return liftUndef(InnerTy);
     std::optional<PCMVal> Inner = join(A.liftInner(), B.liftInner());
@@ -184,7 +277,7 @@ std::optional<PCMVal> PCMVal::join(const PCMVal &A, const PCMVal &B) {
 }
 
 bool PCMVal::isValid() const {
-  switch (K) {
+  switch (N->K) {
   case PCMKind::Pair:
     return first().isValid() && second().isValid();
   case PCMKind::Lift:
@@ -199,36 +292,39 @@ bool PCMVal::isUnitOf(const PCMType &T) const {
 }
 
 int PCMVal::compare(const PCMVal &Other) const {
-  if (K != Other.K)
-    return K < Other.K ? -1 : 1;
-  switch (K) {
+  if (N == Other.N)
+    return 0;
+  if (N->K != Other.N->K)
+    return N->K < Other.N->K ? -1 : 1;
+  switch (N->K) {
   case PCMKind::Nat:
-    if (Nat != Other.Nat)
-      return Nat < Other.Nat ? -1 : 1;
+    if (N->Nat != Other.N->Nat)
+      return N->Nat < Other.N->Nat ? -1 : 1;
     return 0;
   case PCMKind::Mutex:
-    if (Own != Other.Own)
-      return Own < Other.Own ? -1 : 1;
+    if (N->Own != Other.N->Own)
+      return N->Own < Other.N->Own ? -1 : 1;
     return 0;
   case PCMKind::PtrSet: {
-    if (Set.size() != Other.Set.size())
-      return Set.size() < Other.Set.size() ? -1 : 1;
-    auto AIt = Set.begin();
-    auto BIt = Other.Set.begin();
-    for (; AIt != Set.end(); ++AIt, ++BIt)
+    const std::set<Ptr> &A = N->Set, &B = Other.N->Set;
+    if (A.size() != B.size())
+      return A.size() < B.size() ? -1 : 1;
+    auto AIt = A.begin();
+    auto BIt = B.begin();
+    for (; AIt != A.end(); ++AIt, ++BIt)
       if (*AIt != *BIt)
         return *AIt < *BIt ? -1 : 1;
     return 0;
   }
   case PCMKind::HeapPCM:
-    return HeapVal.compare(Other.HeapVal);
+    return N->HeapVal.compare(Other.N->HeapVal);
   case PCMKind::Hist:
-    return Hist.compare(Other.Hist);
+    return N->Hist.compare(Other.N->Hist);
   case PCMKind::Pair: {
-    int First = PairVal->first.compare(Other.PairVal->first);
+    int First = PCMVal(N->FirstN).compare(PCMVal(Other.N->FirstN));
     if (First != 0)
       return First;
-    return PairVal->second.compare(Other.PairVal->second);
+    return PCMVal(N->SecondN).compare(PCMVal(Other.N->SecondN));
   }
   case PCMKind::Lift: {
     bool AUndef = isLiftUndef(), BUndef = Other.isLiftUndef();
@@ -236,43 +332,11 @@ int PCMVal::compare(const PCMVal &Other) const {
       return AUndef ? -1 : 1;
     if (AUndef)
       return 0;
-    return LiftVal->compare(*Other.LiftVal);
+    return PCMVal(N->LiftN).compare(PCMVal(Other.N->LiftN));
   }
   }
   assert(false && "unknown PCM kind");
   return 0;
-}
-
-void PCMVal::hashInto(std::size_t &Seed) const {
-  hashValue(Seed, static_cast<uint8_t>(K));
-  switch (K) {
-  case PCMKind::Nat:
-    hashValue(Seed, Nat);
-    break;
-  case PCMKind::Mutex:
-    hashValue(Seed, Own);
-    break;
-  case PCMKind::PtrSet:
-    hashValue(Seed, Set.size());
-    for (Ptr P : Set)
-      hashValue(Seed, P.id());
-    break;
-  case PCMKind::HeapPCM:
-    HeapVal.hashInto(Seed);
-    break;
-  case PCMKind::Hist:
-    Hist.hashInto(Seed);
-    break;
-  case PCMKind::Pair:
-    PairVal->first.hashInto(Seed);
-    PairVal->second.hashInto(Seed);
-    break;
-  case PCMKind::Lift:
-    hashValue(Seed, isLiftUndef());
-    if (!isLiftUndef())
-      LiftVal->hashInto(Seed);
-    break;
-  }
 }
 
 namespace {
@@ -371,15 +435,15 @@ std::vector<PCMVal> fcsl::enumerateSubElements(const PCMVal &V,
 }
 
 std::string PCMVal::toString() const {
-  switch (K) {
+  switch (N->K) {
   case PCMKind::Nat:
-    return formatString("%llu", static_cast<unsigned long long>(Nat));
+    return formatString("%llu", static_cast<unsigned long long>(N->Nat));
   case PCMKind::Mutex:
-    return Own ? "Own" : "NotOwn";
+    return N->Own ? "Own" : "NotOwn";
   case PCMKind::PtrSet: {
     std::string Out = "{";
     bool First = true;
-    for (Ptr P : Set) {
+    for (Ptr P : N->Set) {
       if (!First)
         Out += ", ";
       First = false;
@@ -388,14 +452,14 @@ std::string PCMVal::toString() const {
     return Out + "}";
   }
   case PCMKind::HeapPCM:
-    return HeapVal.toString();
+    return N->HeapVal.toString();
   case PCMKind::Hist:
-    return Hist.toString();
+    return N->Hist.toString();
   case PCMKind::Pair:
-    return "<" + PairVal->first.toString() + " | " +
-           PairVal->second.toString() + ">";
+    return "<" + first().toString() + " | " + second().toString() + ">";
   case PCMKind::Lift:
-    return isLiftUndef() ? "Undef" : "Def(" + LiftVal->toString() + ")";
+    return isLiftUndef() ? "Undef"
+                         : "Def(" + liftInner().toString() + ")";
   }
   assert(false && "unknown PCM kind");
   return "<?>";

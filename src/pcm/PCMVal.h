@@ -12,6 +12,10 @@
 /// histories yields std::nullopt. Commutativity, associativity and unit laws
 /// are checked by property tests in tests/pcm_test.cpp.
 ///
+/// A PCMVal is a handle to a hash-consed node (support/Intern.h), like Val,
+/// Heap and History: equality is pointer comparison, copies are O(1), and
+/// hashing reads the node's precomputed structural fingerprint.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_PCM_PCMVAL_H
@@ -27,11 +31,15 @@
 
 namespace fcsl {
 
+namespace detail {
+struct PCMNode;
+}
+
 /// One element of a PCM carrier. The kind tag matches a PCMType shape.
 class PCMVal {
 public:
   /// Constructs the Nat unit (0); use the factories for anything else.
-  PCMVal() : K(PCMKind::Nat) {}
+  PCMVal();
 
   static PCMVal ofNat(uint64_t N);
   static PCMVal mutexOwn();
@@ -46,17 +54,17 @@ public:
   /// The explicit undefined element of a lifted PCM.
   static PCMVal liftUndef(PCMTypeRef Inner);
 
-  PCMKind kind() const { return K; }
+  PCMKind kind() const;
 
   uint64_t getNat() const;
   bool isOwn() const;
   const std::set<Ptr> &getPtrSet() const;
   const Heap &getHeap() const;
   const History &getHist() const;
-  const PCMVal &first() const;
-  const PCMVal &second() const;
+  PCMVal first() const;
+  PCMVal second() const;
   bool isLiftUndef() const;
-  const PCMVal &liftInner() const;
+  PCMVal liftInner() const;
 
   /// The PCM join (the paper's \+). Partial: returns std::nullopt on
   /// incompatible elements. Asserts that kinds agree.
@@ -71,29 +79,59 @@ public:
 
   int compare(const PCMVal &Other) const;
   friend bool operator==(const PCMVal &A, const PCMVal &B) {
-    return A.compare(B) == 0;
+    return A.N == B.N;
   }
   friend bool operator!=(const PCMVal &A, const PCMVal &B) {
-    return A.compare(B) != 0;
+    return A.N != B.N;
   }
   friend bool operator<(const PCMVal &A, const PCMVal &B) {
     return A.compare(B) < 0;
   }
 
+  /// The precomputed structural fingerprint (process-stable).
+  uint64_t fingerprint() const;
+
   void hashInto(std::size_t &Seed) const;
   std::string toString() const;
 
 private:
-  PCMKind K;
+  explicit PCMVal(const detail::PCMNode *N) : N(N) {}
+
+  const detail::PCMNode *N; ///< never null; owned by the intern arena.
+};
+
+namespace detail {
+
+/// The interned payload of a PCMVal. Pair/Lift children are canonical node
+/// pointers; a null LiftN under PCMKind::Lift is the explicit undefined
+/// element. LiftInnerType is advisory (undefined elements of every carrier
+/// share one node, as they always compared equal); only join reads it.
+struct PCMNode {
+  PCMKind K = PCMKind::Nat;
   uint64_t Nat = 0;
   bool Own = false;
   std::set<Ptr> Set;
   Heap HeapVal;
   History Hist;
-  std::shared_ptr<const std::pair<PCMVal, PCMVal>> PairVal;
-  std::shared_ptr<const PCMVal> LiftVal; // null => undefined element
-  PCMTypeRef LiftInnerType;              // set only for lifted undefined
+  const PCMNode *FirstN = nullptr;  ///< Pair
+  const PCMNode *SecondN = nullptr; ///< Pair
+  const PCMNode *LiftN = nullptr;   ///< Lift; null => undefined element
+  PCMTypeRef LiftInnerType;         ///< set only for lifted undefined
+  uint64_t Fp = 0;
+
+  bool samePayload(const PCMNode &O) const;
 };
+
+const PCMNode *pcmNatUnitNode();
+
+} // namespace detail
+
+inline PCMVal::PCMVal() : N(detail::pcmNatUnitNode()) {}
+inline PCMKind PCMVal::kind() const { return N->K; }
+inline uint64_t PCMVal::fingerprint() const { return N->Fp; }
+inline void PCMVal::hashInto(std::size_t &Seed) const {
+  hashCombine(Seed, static_cast<std::size_t>(N->Fp));
+}
 
 /// Enumerates sub-elements of \p V: elements S for which some R satisfies
 /// S \+ R == V. Used to generate the realignments of the fork-join closure
@@ -106,9 +144,7 @@ std::vector<PCMVal> enumerateSubElements(const PCMVal &V, size_t Limit = 0);
 namespace std {
 template <> struct hash<fcsl::PCMVal> {
   size_t operator()(const fcsl::PCMVal &V) const {
-    size_t Seed = 0;
-    V.hashInto(Seed);
-    return Seed;
+    return static_cast<size_t>(V.fingerprint());
   }
 };
 } // namespace std

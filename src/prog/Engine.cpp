@@ -34,6 +34,34 @@ using namespace fcsl;
 
 namespace {
 
+std::atomic<uint64_t> PeakVisitedNodesCounter{0};
+std::atomic<uint64_t> PeakVisitedBytesCounter{0};
+
+void atomicMax(std::atomic<uint64_t> &Counter, uint64_t V) {
+  uint64_t Cur = Counter.load(std::memory_order_relaxed);
+  while (Cur < V &&
+         !Counter.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+  }
+}
+
+/// Records one run's final visited-set size into the process-wide peaks.
+void notePeakVisited(uint64_t Nodes, uint64_t Bytes) {
+  atomicMax(PeakVisitedNodesCounter, Nodes);
+  atomicMax(PeakVisitedBytesCounter, Bytes);
+}
+
+} // namespace
+
+uint64_t fcsl::peakVisitedNodes() {
+  return PeakVisitedNodesCounter.load(std::memory_order_relaxed);
+}
+
+uint64_t fcsl::peakVisitedBytes() {
+  return PeakVisitedBytesCounter.load(std::memory_order_relaxed);
+}
+
+namespace {
+
 /// One continuation frame of a thread's control stack.
 struct Frame {
   enum class Kind : uint8_t {
@@ -54,15 +82,29 @@ struct Frame {
   }
 
   void hashInto(size_t &Seed) const {
+    // Programs hash by structural fingerprint, not node address: addresses
+    // vary run to run (and across processes), which would make config
+    // hashes unstable — fatal for serialized frontiers and for comparing
+    // hash-derived statistics across runs. Equality still compares node
+    // pointers, so a fingerprint collision costs a probe, never soundness.
     hashValue(Seed, static_cast<uint8_t>(K));
-    hashValue(Seed, reinterpret_cast<uintptr_t>(Node));
-    hashValue(Seed, reinterpret_cast<uintptr_t>(Rest));
+    hashValue(Seed, Node ? Node->fingerprint() : 0);
+    hashValue(Seed, Rest ? Rest->fingerprint() : 0);
     hashValue(Seed, Var);
     hashValue(Seed, Env.size());
     for (const auto &Binding : Env) {
       hashValue(Seed, Binding.first);
       Binding.second.hashInto(Seed);
     }
+  }
+
+  /// Approximate handle-level footprint (see GlobalState::approxBytes).
+  size_t approxBytes() const {
+    constexpr size_t MapNode = 48;
+    size_t Bytes = sizeof(Frame) + Var.capacity();
+    for (const auto &Binding : Env)
+      Bytes += MapNode + Binding.first.capacity() + sizeof(Val);
+    return Bytes;
   }
 };
 
@@ -117,6 +159,19 @@ struct Config {
       Entry.second.hashInto(Seed);
     }
     Hash = Seed;
+  }
+
+  /// Approximate retained bytes of this configuration in the visited set
+  /// (container overhead only — interned nodes are shared arena-wide).
+  size_t approxBytes() const {
+    constexpr size_t MapNode = 48;
+    size_t Bytes = GS.approxBytes();
+    for (const auto &Entry : Threads) {
+      Bytes += MapNode + sizeof(ThreadId) + sizeof(ThreadCtx);
+      for (const Frame &F : Entry.second.Stack)
+        Bytes += F.approxBytes();
+    }
+    return Bytes;
   }
 };
 
@@ -200,6 +255,18 @@ public:
       Merged.insert(W->Terminals.begin(), W->Terminals.end());
     }
     Res.Terminals.assign(Merged.begin(), Merged.end());
+
+    // The visited set only grows, so its final size is the run's peak.
+    uint64_t Nodes = 0, Bytes = 0;
+    for (Shard &S : Shards) {
+      Nodes += S.Set.size();
+      // 16 bytes: the hash-set node (next pointer + cached hash).
+      for (const Node &N : S.Set)
+        Bytes += sizeof(Node) + N.Step.capacity() + N.C.approxBytes() + 16;
+    }
+    Res.VisitedNodes = Nodes;
+    Res.VisitedBytes = Bytes;
+    notePeakVisited(Nodes, Bytes);
   }
 
   /// Executes one pseudo-random schedule (see fcsl::simulate).

@@ -78,6 +78,11 @@ struct RunResult {
   uint64_t ActionSteps = 0;
   uint64_t EnvSteps = 0;
   uint64_t DedupHits = 0;
+  /// Final (= peak, the set only grows) visited-set size for this run.
+  /// Bytes are an approximation of container overhead; interned nodes are
+  /// shared process-wide and counted by support/Intern.h, not here.
+  uint64_t VisitedNodes = 0;
+  uint64_t VisitedBytes = 0;
 
   bool complete() const { return Safe && !Exhausted; }
   /// Renders the failure trace, one step per line.
@@ -116,6 +121,11 @@ SimResult simulate(const ProgRef &Root, const GlobalState &Initial,
                    const EngineOptions &Opts, uint64_t Seed,
                    uint64_t MaxSteps = 1u << 20,
                    const VarEnv &InitialEnv = {});
+
+/// Process-wide high-water marks over every exploration run so far
+/// (reported by `fcsl-verify --stats` and the benchmarks).
+uint64_t peakVisitedNodes();
+uint64_t peakVisitedBytes();
 
 } // namespace fcsl
 

@@ -6,9 +6,24 @@
 
 #include "prog/Expr.h"
 
+#include "support/Intern.h"
+
 #include <cassert>
 
 using namespace fcsl;
+
+namespace {
+
+uint64_t exprSalt() {
+  static const uint64_t Salt = fpString("fcsl.expr");
+  return Salt;
+}
+
+uint64_t fpKind(Expr::Kind K) {
+  return fpCombine(exprSalt(), static_cast<uint64_t>(K));
+}
+
+} // namespace
 
 std::shared_ptr<Expr> Expr::makeNode(Kind K) {
   return std::shared_ptr<Expr>(new Expr(K));
@@ -16,12 +31,14 @@ std::shared_ptr<Expr> Expr::makeNode(Kind K) {
 
 ExprRef Expr::lit(Val V) {
   auto E = makeNode(Kind::Lit);
+  E->Fp = fpCombine(fpKind(Kind::Lit), V.fingerprint());
   E->Literal = std::move(V);
   return E;
 }
 
 ExprRef Expr::var(std::string Name) {
   auto E = makeNode(Kind::Var);
+  E->Fp = fpCombine(fpKind(Kind::Var), fpString(Name));
   E->Name = std::move(Name);
   return E;
 }
@@ -29,6 +46,7 @@ ExprRef Expr::var(std::string Name) {
 ExprRef Expr::makeUnary(Kind K, ExprRef A) {
   assert(A && "unary expression needs an operand");
   auto E = makeNode(K);
+  E->Fp = fpCombine(fpKind(K), A->Fp);
   E->A = std::move(A);
   return E;
 }
@@ -36,6 +54,7 @@ ExprRef Expr::makeUnary(Kind K, ExprRef A) {
 ExprRef Expr::makeBinary(Kind K, ExprRef A, ExprRef B) {
   assert(A && B && "binary expression needs two operands");
   auto E = makeNode(K);
+  E->Fp = fpCombine(fpCombine(fpKind(K), A->Fp), B->Fp);
   E->A = std::move(A);
   E->B = std::move(B);
   return E;

@@ -65,6 +65,11 @@ public:
 
   Kind kind() const { return K; }
 
+  /// Process-stable structural fingerprint, precomputed at construction.
+  /// Structurally equal expressions get equal fingerprints even when they
+  /// are distinct AST nodes.
+  uint64_t fingerprint() const { return Fp; }
+
   /// Evaluates under \p Env; asserts on unbound variables and kind errors
   /// (the embedded programs are written by this library's case studies, so
   /// such errors are programming bugs, not verification failures).
@@ -81,6 +86,7 @@ private:
   static ExprRef makeBinary(Kind K, ExprRef A, ExprRef B);
 
   Kind K;
+  uint64_t Fp = 0;
   Val Literal;
   std::string Name;
   ExprRef A;

@@ -6,9 +6,31 @@
 
 #include "prog/Prog.h"
 
+#include "support/Intern.h"
+
 #include <cassert>
 
 using namespace fcsl;
+
+namespace {
+
+uint64_t progSalt() {
+  static const uint64_t Salt = fpString("fcsl.prog");
+  return Salt;
+}
+
+uint64_t fpKind(Prog::Kind K) {
+  return fpCombine(progSalt(), static_cast<uint64_t>(K));
+}
+
+uint64_t fpArgs(uint64_t Fp, const std::vector<ExprRef> &Args) {
+  Fp = fpCombine(Fp, Args.size());
+  for (const ExprRef &Arg : Args)
+    Fp = fpCombine(Fp, Arg->fingerprint());
+  return Fp;
+}
+
+} // namespace
 
 void DefTable::define(std::string Name, FuncDef Def) {
   assert(Def.Body && "definition needs a body");
@@ -25,6 +47,14 @@ bool DefTable::contains(const std::string &Name) const {
   return Defs.count(Name) != 0;
 }
 
+std::vector<std::string> DefTable::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Defs.size());
+  for (const auto &Entry : Defs)
+    Out.push_back(Entry.first);
+  return Out;
+}
+
 std::shared_ptr<Prog> Prog::makeNode(Kind K) {
   return std::shared_ptr<Prog>(new Prog(K));
 }
@@ -32,6 +62,7 @@ std::shared_ptr<Prog> Prog::makeNode(Kind K) {
 ProgRef Prog::ret(ExprRef E) {
   assert(E && "ret needs an expression");
   auto P = makeNode(Kind::Ret);
+  P->Fp = fpCombine(fpKind(Kind::Ret), E->fingerprint());
   P->E = std::move(E);
   return P;
 }
@@ -40,6 +71,7 @@ ProgRef Prog::act(ActionRef A, std::vector<ExprRef> Args) {
   assert(A && "act needs an action");
   assert(A->arity() == Args.size() && "action arity mismatch");
   auto P = makeNode(Kind::Act);
+  P->Fp = fpArgs(fpCombine(fpKind(Kind::Act), fpString(A->name())), Args);
   P->A = std::move(A);
   P->Args = std::move(Args);
   return P;
@@ -48,6 +80,9 @@ ProgRef Prog::act(ActionRef A, std::vector<ExprRef> Args) {
 ProgRef Prog::bind(ProgRef First, std::string Var, ProgRef Rest) {
   assert(First && Rest && "bind needs two commands");
   auto P = makeNode(Kind::Bind);
+  P->Fp = fpCombine(fpCombine(fpCombine(fpKind(Kind::Bind), fpString(Var)),
+                              First->fingerprint()),
+                    Rest->fingerprint());
   P->P1 = std::move(First);
   P->Name = std::move(Var);
   P->P2 = std::move(Rest);
@@ -61,6 +96,9 @@ ProgRef Prog::seq(ProgRef First, ProgRef Rest) {
 ProgRef Prog::ifThenElse(ExprRef Cond, ProgRef Then, ProgRef Else) {
   assert(Cond && Then && Else && "if needs a condition and two branches");
   auto P = makeNode(Kind::If);
+  P->Fp = fpCombine(fpCombine(fpCombine(fpKind(Kind::If), Cond->fingerprint()),
+                              Then->fingerprint()),
+                    Else->fingerprint());
   P->E = std::move(Cond);
   P->P1 = std::move(Then);
   P->P2 = std::move(Else);
@@ -70,6 +108,9 @@ ProgRef Prog::ifThenElse(ExprRef Cond, ProgRef Then, ProgRef Else) {
 ProgRef Prog::par(ProgRef Left, ProgRef Right, SplitFn Split) {
   assert(Left && Right && "par needs two commands");
   auto P = makeNode(Kind::Par);
+  P->Fp = fpCombine(fpCombine(fpCombine(fpKind(Kind::Par), Left->fingerprint()),
+                              Right->fingerprint()),
+                    Split != nullptr);
   P->P1 = std::move(Left);
   P->P2 = std::move(Right);
   P->Split = std::move(Split);
@@ -78,6 +119,7 @@ ProgRef Prog::par(ProgRef Left, ProgRef Right, SplitFn Split) {
 
 ProgRef Prog::call(std::string Fn, std::vector<ExprRef> Args) {
   auto P = makeNode(Kind::Call);
+  P->Fp = fpArgs(fpCombine(fpKind(Kind::Call), fpString(Fn)), Args);
   P->Name = std::move(Fn);
   P->Args = std::move(Args);
   return P;
@@ -87,6 +129,10 @@ ProgRef Prog::hide(HideSpec Spec, ProgRef Body) {
   assert(Body && "hide needs a body");
   assert(Spec.SelfType && Spec.ChooseDonation && "incomplete hide spec");
   auto P = makeNode(Kind::Hide);
+  P->Fp = fpCombine(
+      fpCombine(fpCombine(fpCombine(fpKind(Kind::Hide), Spec.Pv), Spec.Hidden),
+                Spec.InitSelf.fingerprint()),
+      Body->fingerprint());
   P->Spec = std::move(Spec);
   P->P1 = std::move(Body);
   return P;

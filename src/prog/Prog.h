@@ -66,6 +66,10 @@ public:
   const FuncDef &lookup(const std::string &Name) const;
   bool contains(const std::string &Name) const;
 
+  /// All defined names, sorted (map order). Used by the codec's program
+  /// table to enumerate every reachable Prog node deterministically.
+  std::vector<std::string> names() const;
+
 private:
   std::map<std::string, FuncDef> Defs;
 };
@@ -87,6 +91,12 @@ public:
   static ProgRef hide(HideSpec Spec, ProgRef Body);
 
   Kind kind() const { return K; }
+
+  /// Process-stable structural fingerprint, precomputed at construction.
+  /// Par splits and hide decorations are opaque closures, so they
+  /// contribute only their presence — the fingerprint is a hash key, not
+  /// an identity (frames still compare programs by node pointer).
+  uint64_t fingerprint() const { return Fp; }
 
   // Accessors (assert on kind mismatch).
   const ExprRef &retExpr() const;
@@ -113,6 +123,7 @@ private:
   static std::shared_ptr<Prog> makeNode(Kind K);
 
   Kind K;
+  uint64_t Fp = 0;
   ExprRef E;                 // Ret, If cond
   ActionRef A;               // Act
   std::vector<ExprRef> Args; // Act, Call

@@ -90,6 +90,12 @@ void GlobalState::setEnvSelf(Label L, PCMVal V) {
   EnvSelves[L] = std::move(V);
 }
 
+const std::map<ThreadId, PCMVal> &GlobalState::selves(Label L) const {
+  auto It = Selves.find(L);
+  assert(It != Selves.end() && "label not installed");
+  return It->second;
+}
+
 std::optional<PCMVal> GlobalState::otherFor(Label L, ThreadId T) const {
   std::optional<PCMVal> Acc = envSelf(L);
   for (const auto &Entry : Selves.at(L)) {
@@ -259,6 +265,22 @@ void GlobalState::hashInto(std::size_t &Seed) const {
       hashValue(Seed, Contribution.first);
       Contribution.second.hashInto(Seed);
     }
+}
+
+size_t GlobalState::approxBytes() const {
+  // Red-black tree node overhead per entry on a 64-bit libstdc++/libc++:
+  // three pointers, a color and padding.
+  constexpr size_t MapNode = 48;
+  size_t Bytes = sizeof(GlobalState);
+  Bytes += SelfTypes.size() * (MapNode + sizeof(Label) + sizeof(PCMTypeRef));
+  Bytes += Joints.size() * (MapNode + sizeof(Label) + sizeof(Heap));
+  for (const auto &Entry : Selves)
+    Bytes += MapNode + sizeof(Label) + sizeof(Entry.second) +
+             Entry.second.size() *
+                 (MapNode + sizeof(ThreadId) + sizeof(PCMVal));
+  Bytes += EnvSelves.size() * (MapNode + sizeof(Label) + sizeof(PCMVal));
+  Bytes += EnvClosed.size() * (MapNode + sizeof(Label));
+  return Bytes;
 }
 
 std::string GlobalState::toString() const {

@@ -66,6 +66,10 @@ public:
   const PCMVal &envSelf(Label L) const;
   void setEnvSelf(Label L, PCMVal V);
 
+  /// All stored (non-unit) thread contributions at \p L, keyed by thread.
+  /// Used by the codec; unit contributions are canonically absent.
+  const std::map<ThreadId, PCMVal> &selves(Label L) const;
+
   /// Joined contribution of every thread except \p T, plus the environment;
   /// std::nullopt if contributions clash (the state is then globally
   /// incoherent and the engine reports a soundness violation).
@@ -108,6 +112,11 @@ public:
 
   void hashInto(std::size_t &Seed) const;
   std::string toString() const;
+
+  /// Approximate handle-level footprint in bytes: the per-state container
+  /// overhead, NOT the interned nodes (those are shared arena-wide). Used
+  /// for visited-set memory accounting.
+  size_t approxBytes() const;
 
 private:
   std::map<Label, PCMTypeRef> SelfTypes;

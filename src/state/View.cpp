@@ -89,9 +89,7 @@ void View::hashInto(std::size_t &Seed) const {
   hashValue(Seed, Slices.size());
   for (const auto &Entry : Slices) {
     hashValue(Seed, Entry.first);
-    Entry.second.Self.hashInto(Seed);
-    Entry.second.Joint.hashInto(Seed);
-    Entry.second.Other.hashInto(Seed);
+    hashCombine(Seed, static_cast<std::size_t>(Entry.second.fingerprint()));
   }
 }
 

@@ -22,6 +22,7 @@
 #define FCSL_STATE_VIEW_H
 
 #include "pcm/PCMVal.h"
+#include "support/Intern.h"
 
 #include <map>
 #include <string>
@@ -33,7 +34,10 @@ namespace fcsl {
 /// variable `sp` parameterizing the SpanTree concurroid).
 using Label = uint32_t;
 
-/// The per-label state triple.
+/// The per-label state triple. Each component is a canonical interned
+/// handle, so a slice is itself canonical up to component identity:
+/// equality is three pointer compares and the fingerprint combines three
+/// cached fingerprints.
 struct LabelSlice {
   PCMVal Self;
   Heap Joint;
@@ -41,6 +45,12 @@ struct LabelSlice {
 
   friend bool operator==(const LabelSlice &A, const LabelSlice &B) {
     return A.Self == B.Self && A.Joint == B.Joint && A.Other == B.Other;
+  }
+
+  /// Process-stable structural fingerprint of the triple.
+  uint64_t fingerprint() const {
+    return fpCombine(fpCombine(Self.fingerprint(), Joint.fingerprint()),
+                     Other.fingerprint());
   }
 };
 

@@ -16,7 +16,7 @@ namespace {
 const int64_t EnvPushValue = 5;
 
 /// self = (mutex, (slots, hist)) accessors.
-const PCMVal &mxOf(const PCMVal &Self) { return Self.first(); }
+PCMVal mxOf(const PCMVal &Self) { return Self.first(); }
 const std::set<Ptr> &slotsOf(const PCMVal &Self) {
   return Self.second().first().getPtrSet();
 }
@@ -83,13 +83,13 @@ std::pair<Val, Val> applyOp(int64_t Op, const Val &Arg, const Val &State) {
 
 /// Checks the cons-list shape of the abstract stack value.
 bool isStackVal(const Val &V) {
-  const Val *Cur = &V;
-  while (Cur->isPair()) {
-    if (!Cur->first().isInt())
+  Val Cur = V;
+  while (Cur.isPair()) {
+    if (!Cur.first().isInt())
       return false;
-    Cur = &Cur->second();
+    Cur = Cur.second();
   }
-  return Cur->isUnit();
+  return Cur.isUnit();
 }
 
 } // namespace

@@ -84,15 +84,15 @@ VerificationSession fcsl::makeSeqStackSession() {
         return ObligationResult{false, Checks,
                                 "list abstraction undefined"};
       // Peel the cons list and compare element by element.
-      const Val *Cur = &*Abs;
+      Val Cur = *Abs;
       for (int64_t E : Elems) {
-        if (!Cur->isPair() || Cur->first() != Val::ofInt(E))
+        if (!Cur.isPair() || Cur.first() != Val::ofInt(E))
           return ObligationResult{false, Checks,
                                   "list abstraction mismatch"};
-        Cur = &Cur->second();
+        Cur = Cur.second();
         ++Checks;
       }
-      if (!Cur->isUnit())
+      if (!Cur.isUnit())
         return ObligationResult{false, Checks, "list tail not nil"};
     }
     return ObligationResult{true, Checks, ""};

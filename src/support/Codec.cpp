@@ -1,0 +1,464 @@
+//===- support/Codec.cpp - Deterministic binary state codec ----------------===//
+//
+// Part of fcsl-cpp. See Codec.h for the interface and format notes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Codec.h"
+
+#include <cassert>
+
+using namespace fcsl;
+
+static const char CodecMagic[4] = {'F', 'C', 'S', 'L'};
+
+void fcsl::encodeHeader(Encoder &E) {
+  for (char C : CodecMagic)
+    E.u8(static_cast<uint8_t>(C));
+  E.u32(CodecVersion);
+}
+
+bool fcsl::decodeHeader(Decoder &D) {
+  for (char C : CodecMagic)
+    if (D.u8() != static_cast<uint8_t>(C)) {
+      D.fail();
+      return false;
+    }
+  if (D.u32() != CodecVersion) {
+    D.fail();
+    return false;
+  }
+  return !D.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// Ptr / Val
+//===----------------------------------------------------------------------===//
+
+void fcsl::encode(Encoder &E, Ptr P) { E.u32(P.id()); }
+
+Ptr fcsl::decodePtr(Decoder &D) { return Ptr(D.u32()); }
+
+void fcsl::encode(Encoder &E, const Val &V) {
+  E.u8(static_cast<uint8_t>(V.kind()));
+  switch (V.kind()) {
+  case Val::Kind::Unit:
+    break;
+  case Val::Kind::Int:
+    E.i64(V.getInt());
+    break;
+  case Val::Kind::Bool:
+    E.u8(V.getBool());
+    break;
+  case Val::Kind::Pointer:
+    encode(E, V.getPtr());
+    break;
+  case Val::Kind::Node: {
+    const NodeCell &N = V.getNode();
+    E.u8(N.Marked);
+    encode(E, N.Left);
+    encode(E, N.Right);
+    break;
+  }
+  case Val::Kind::Pair:
+    encode(E, V.first());
+    encode(E, V.second());
+    break;
+  }
+}
+
+Val fcsl::decodeVal(Decoder &D) {
+  switch (static_cast<Val::Kind>(D.u8())) {
+  case Val::Kind::Unit:
+    return Val::unit();
+  case Val::Kind::Int:
+    return Val::ofInt(D.i64());
+  case Val::Kind::Bool:
+    return Val::ofBool(D.u8() != 0);
+  case Val::Kind::Pointer:
+    return Val::ofPtr(decodePtr(D));
+  case Val::Kind::Node: {
+    bool Marked = D.u8() != 0;
+    Ptr Left = decodePtr(D);
+    Ptr Right = decodePtr(D);
+    return Val::node(Marked, Left, Right);
+  }
+  case Val::Kind::Pair: {
+    Val First = decodeVal(D);
+    Val Second = decodeVal(D);
+    return Val::pair(std::move(First), std::move(Second));
+  }
+  }
+  D.fail();
+  return Val();
+}
+
+//===----------------------------------------------------------------------===//
+// Heap / History
+//===----------------------------------------------------------------------===//
+
+void fcsl::encode(Encoder &E, const Heap &H) {
+  E.u32(static_cast<uint32_t>(H.size()));
+  for (const auto &Cell : H) {
+    encode(E, Cell.first);
+    encode(E, Cell.second);
+  }
+}
+
+Heap fcsl::decodeHeap(Decoder &D) {
+  Heap H;
+  uint32_t Count = D.u32();
+  for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+    Ptr P = decodePtr(D);
+    Val V = decodeVal(D);
+    if (D.failed() || P.isNull() || H.contains(P)) {
+      D.fail();
+      break;
+    }
+    H.insert(P, std::move(V));
+  }
+  return D.failed() ? Heap() : H;
+}
+
+void fcsl::encode(Encoder &E, const History &H) {
+  E.u32(static_cast<uint32_t>(H.size()));
+  for (const auto &Entry : H) {
+    E.u64(Entry.first);
+    encode(E, Entry.second.Before);
+    encode(E, Entry.second.After);
+  }
+}
+
+History fcsl::decodeHistory(Decoder &D) {
+  History H;
+  uint32_t Count = D.u32();
+  for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+    uint64_t Stamp = D.u64();
+    Val Before = decodeVal(D);
+    Val After = decodeVal(D);
+    if (D.failed() || Stamp == 0 || H.contains(Stamp)) {
+      D.fail();
+      break;
+    }
+    H.add(Stamp, HistEntry{std::move(Before), std::move(After)});
+  }
+  return D.failed() ? History() : H;
+}
+
+//===----------------------------------------------------------------------===//
+// PCMType / PCMVal
+//===----------------------------------------------------------------------===//
+
+void fcsl::encode(Encoder &E, const PCMTypeRef &T) {
+  // Tag 0 is "absent"; otherwise kind + 1 so the nullable case is explicit.
+  if (!T) {
+    E.u8(0);
+    return;
+  }
+  E.u8(static_cast<uint8_t>(T->kind()) + 1);
+  switch (T->kind()) {
+  case PCMKind::Pair:
+    encode(E, T->first());
+    encode(E, T->second());
+    break;
+  case PCMKind::Lift:
+    encode(E, T->inner());
+    break;
+  default:
+    break;
+  }
+}
+
+PCMTypeRef fcsl::decodePCMType(Decoder &D) {
+  uint8_t Tag = D.u8();
+  if (Tag == 0)
+    return nullptr;
+  switch (static_cast<PCMKind>(Tag - 1)) {
+  case PCMKind::Nat:
+    return PCMType::nat();
+  case PCMKind::Mutex:
+    return PCMType::mutex();
+  case PCMKind::PtrSet:
+    return PCMType::ptrSet();
+  case PCMKind::HeapPCM:
+    return PCMType::heap();
+  case PCMKind::Hist:
+    return PCMType::hist();
+  case PCMKind::Pair: {
+    PCMTypeRef First = decodePCMType(D);
+    PCMTypeRef Second = decodePCMType(D);
+    if (D.failed() || !First || !Second) {
+      D.fail();
+      return nullptr;
+    }
+    return PCMType::pairOf(std::move(First), std::move(Second));
+  }
+  case PCMKind::Lift: {
+    PCMTypeRef Inner = decodePCMType(D);
+    if (D.failed() || !Inner) {
+      D.fail();
+      return nullptr;
+    }
+    return PCMType::lifted(std::move(Inner));
+  }
+  }
+  D.fail();
+  return nullptr;
+}
+
+void fcsl::encode(Encoder &E, const PCMVal &V) {
+  E.u8(static_cast<uint8_t>(V.kind()));
+  switch (V.kind()) {
+  case PCMKind::Nat:
+    E.u64(V.getNat());
+    break;
+  case PCMKind::Mutex:
+    E.u8(V.isOwn());
+    break;
+  case PCMKind::PtrSet: {
+    const std::set<Ptr> &S = V.getPtrSet();
+    E.u32(static_cast<uint32_t>(S.size()));
+    for (Ptr P : S)
+      encode(E, P);
+    break;
+  }
+  case PCMKind::HeapPCM:
+    encode(E, V.getHeap());
+    break;
+  case PCMKind::Hist:
+    encode(E, V.getHist());
+    break;
+  case PCMKind::Pair:
+    encode(E, V.first());
+    encode(E, V.second());
+    break;
+  case PCMKind::Lift:
+    E.u8(!V.isLiftUndef());
+    if (V.isLiftUndef())
+      encode(E, PCMTypeRef()); // carrier advisory; undefs share one node.
+    else
+      encode(E, V.liftInner());
+    break;
+  }
+}
+
+PCMVal fcsl::decodePCMVal(Decoder &D) {
+  switch (static_cast<PCMKind>(D.u8())) {
+  case PCMKind::Nat:
+    return PCMVal::ofNat(D.u64());
+  case PCMKind::Mutex:
+    return D.u8() != 0 ? PCMVal::mutexOwn() : PCMVal::mutexFree();
+  case PCMKind::PtrSet: {
+    uint32_t Count = D.u32();
+    std::set<Ptr> S;
+    for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+      Ptr P = decodePtr(D);
+      if (P.isNull() || !S.insert(P).second) {
+        D.fail();
+        break;
+      }
+    }
+    if (D.failed())
+      return PCMVal();
+    return PCMVal::ofPtrSet(std::move(S));
+  }
+  case PCMKind::HeapPCM:
+    return PCMVal::ofHeap(decodeHeap(D));
+  case PCMKind::Hist:
+    return PCMVal::ofHist(decodeHistory(D));
+  case PCMKind::Pair: {
+    PCMVal First = decodePCMVal(D);
+    PCMVal Second = decodePCMVal(D);
+    return PCMVal::makePair(std::move(First), std::move(Second));
+  }
+  case PCMKind::Lift: {
+    bool Defined = D.u8() != 0;
+    if (!Defined)
+      return PCMVal::liftUndef(decodePCMType(D));
+    return PCMVal::liftDef(decodePCMVal(D));
+  }
+  }
+  D.fail();
+  return PCMVal();
+}
+
+//===----------------------------------------------------------------------===//
+// View / GlobalState
+//===----------------------------------------------------------------------===//
+
+void fcsl::encode(Encoder &E, const View &V) {
+  E.u32(static_cast<uint32_t>(V.numLabels()));
+  for (const auto &Entry : V) {
+    E.u32(Entry.first);
+    encode(E, Entry.second.Self);
+    encode(E, Entry.second.Joint);
+    encode(E, Entry.second.Other);
+  }
+}
+
+View fcsl::decodeView(Decoder &D) {
+  View V;
+  uint32_t Count = D.u32();
+  for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+    Label L = D.u32();
+    PCMVal Self = decodePCMVal(D);
+    Heap Joint = decodeHeap(D);
+    PCMVal Other = decodePCMVal(D);
+    if (D.failed() || V.hasLabel(L)) {
+      D.fail();
+      break;
+    }
+    V.addLabel(L, LabelSlice{std::move(Self), std::move(Joint),
+                             std::move(Other)});
+  }
+  return D.failed() ? View() : V;
+}
+
+void fcsl::encode(Encoder &E, const GlobalState &S) {
+  std::vector<Label> Labels = S.labels();
+  E.u32(static_cast<uint32_t>(Labels.size()));
+  for (Label L : Labels) {
+    E.u32(L);
+    encode(E, S.selfType(L));
+    encode(E, S.joint(L));
+    encode(E, S.envSelf(L));
+    E.u8(S.isEnvClosed(L));
+    const std::map<ThreadId, PCMVal> &Selves = S.selves(L);
+    E.u32(static_cast<uint32_t>(Selves.size()));
+    for (const auto &Entry : Selves) {
+      E.u64(Entry.first);
+      encode(E, Entry.second);
+    }
+  }
+}
+
+GlobalState fcsl::decodeGlobalState(Decoder &D) {
+  GlobalState S;
+  uint32_t Count = D.u32();
+  for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+    Label L = D.u32();
+    PCMTypeRef SelfType = decodePCMType(D);
+    Heap Joint = decodeHeap(D);
+    PCMVal EnvSelf = decodePCMVal(D);
+    bool Closed = D.u8() != 0;
+    if (D.failed() || !SelfType || S.hasLabel(L)) {
+      D.fail();
+      break;
+    }
+    S.addLabel(L, SelfType, std::move(Joint), std::move(EnvSelf), Closed);
+    uint32_t NumSelves = D.u32();
+    for (uint32_t J = 0; J != NumSelves && !D.failed(); ++J) {
+      ThreadId T = D.u64();
+      PCMVal V = decodePCMVal(D);
+      if (!D.failed())
+        S.setSelf(L, T, std::move(V));
+    }
+  }
+  return D.failed() ? GlobalState() : S;
+}
+
+//===----------------------------------------------------------------------===//
+// ProgTable / frontier configurations
+//===----------------------------------------------------------------------===//
+
+ProgTable::ProgTable(const Prog *Root, const DefTable *Defs) {
+  if (Root)
+    visit(Root);
+  if (Defs)
+    for (const std::string &Name : Defs->names())
+      visit(Defs->lookup(Name).Body.get());
+}
+
+void ProgTable::visit(const Prog *P) {
+  if (!P || Index.count(P))
+    return;
+  Index.emplace(P, static_cast<uint32_t>(Nodes.size()));
+  Nodes.push_back(P);
+  switch (P->kind()) {
+  case Prog::Kind::Ret:
+  case Prog::Kind::Act:
+  case Prog::Kind::Call:
+    break;
+  case Prog::Kind::Bind:
+    visit(P->first().get());
+    visit(P->rest().get());
+    break;
+  case Prog::Kind::If:
+    visit(P->thenProg().get());
+    visit(P->elseProg().get());
+    break;
+  case Prog::Kind::Par:
+    visit(P->left().get());
+    visit(P->right().get());
+    break;
+  case Prog::Kind::Hide:
+    visit(P->body().get());
+    break;
+  }
+}
+
+uint32_t ProgTable::indexOf(const Prog *P) const {
+  auto It = Index.find(P);
+  assert(It != Index.end() && "program node not in the table");
+  return It->second;
+}
+
+const Prog *ProgTable::progAt(uint32_t I) const {
+  assert(I < Nodes.size() && "program index out of range");
+  return Nodes[I];
+}
+
+void fcsl::encode(Encoder &E, const FrontierConfig &C) {
+  encode(E, C.GS);
+  E.u32(static_cast<uint32_t>(C.Threads.size()));
+  for (const FrontierThread &T : C.Threads) {
+    E.u64(T.Id);
+    E.u8(T.Waiting);
+    E.u8(T.Done.has_value());
+    if (T.Done)
+      encode(E, *T.Done);
+    E.u32(static_cast<uint32_t>(T.Frames.size()));
+    for (const FrontierFrame &F : T.Frames) {
+      E.u8(F.Kind);
+      E.u32(F.Node);
+      E.u32(F.Rest);
+      E.str(F.Var);
+      E.u32(static_cast<uint32_t>(F.Env.size()));
+      for (const auto &Binding : F.Env) {
+        E.str(Binding.first);
+        encode(E, Binding.second);
+      }
+    }
+  }
+}
+
+FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
+  FrontierConfig C;
+  C.GS = decodeGlobalState(D);
+  uint32_t NumThreads = D.u32();
+  for (uint32_t I = 0; I != NumThreads && !D.failed(); ++I) {
+    FrontierThread T;
+    T.Id = D.u64();
+    T.Waiting = D.u8() != 0;
+    if (D.u8() != 0)
+      T.Done = decodeVal(D);
+    uint32_t NumFrames = D.u32();
+    for (uint32_t J = 0; J != NumFrames && !D.failed(); ++J) {
+      FrontierFrame F;
+      F.Kind = D.u8();
+      F.Node = D.u32();
+      F.Rest = D.u32();
+      F.Var = D.str();
+      uint32_t NumBindings = D.u32();
+      for (uint32_t K = 0; K != NumBindings && !D.failed(); ++K) {
+        std::string Name = D.str();
+        Val V = decodeVal(D);
+        if (!D.failed())
+          F.Env.emplace(std::move(Name), std::move(V));
+      }
+      T.Frames.push_back(std::move(F));
+    }
+    C.Threads.push_back(std::move(T));
+  }
+  return D.failed() ? FrontierConfig() : C;
+}

@@ -1,0 +1,45 @@
+//===- support/Intern.cpp - Hash-consing arena statistics ------------------===//
+//
+// Part of fcsl-cpp. See Intern.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Intern.h"
+
+using namespace fcsl;
+
+namespace {
+
+struct StatsRegistry {
+  std::mutex M;
+  std::vector<std::pair<std::string,
+                        std::function<std::pair<uint64_t, uint64_t>()>>>
+      Providers;
+};
+
+// Leaked singleton: arenas register during static init and live forever,
+// so the registry must too.
+StatsRegistry &registry() {
+  static StatsRegistry *R = new StatsRegistry;
+  return *R;
+}
+
+} // namespace
+
+void fcsl::detail::registerArenaStats(
+    const char *Name, std::function<std::pair<uint64_t, uint64_t>()> Fn) {
+  StatsRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Providers.emplace_back(Name, std::move(Fn));
+}
+
+InternStats fcsl::internStats() {
+  StatsRegistry &R = registry();
+  InternStats Out;
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (const auto &Entry : R.Providers) {
+    auto [Requests, Nodes] = Entry.second();
+    Out.PerType.push_back(InternTypeStats{Entry.first, Requests, Nodes});
+  }
+  return Out;
+}

@@ -1,0 +1,200 @@
+//===- tests/intern_test.cpp - Canonical interned-state layer tests --------===//
+//
+// Part of fcsl-cpp.
+//
+// Pins the invariants of the hash-consed state representation
+// (support/Intern.h): structurally equal values share one canonical node
+// (so handle equality is pointer equality), copies are O(1), fingerprints
+// are process-stable (golden values below fail if the mixing scheme ever
+// drifts), and concurrent interning from many threads converges on the
+// same canonical nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+#include "pcm/Histories.h"
+#include "pcm/PCMVal.h"
+#include "state/View.h"
+#include "support/Intern.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace fcsl;
+
+namespace {
+
+// A handle is one arena pointer; interning must not grow it.
+static_assert(sizeof(Val) == sizeof(void *), "Val is a single pointer");
+static_assert(sizeof(Heap) == sizeof(void *), "Heap is a single pointer");
+static_assert(sizeof(History) == sizeof(void *),
+              "History is a single pointer");
+static_assert(sizeof(PCMVal) == sizeof(void *), "PCMVal is a single pointer");
+
+/// Structural equality must coincide with fingerprint equality on the
+/// canonical representation: same node <=> same fingerprint here.
+template <typename T> void expectCanonical(const T &A, const T &B) {
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+}
+
+TEST(InternTest, StructurallyEqualValsShareOneNode) {
+  expectCanonical(Val::unit(), Val());
+  expectCanonical(Val::ofInt(42), Val::ofInt(42));
+  expectCanonical(Val::ofBool(false), Val::ofBool(false));
+  expectCanonical(Val::ofPtr(Ptr(9)), Val::ofPtr(Ptr(9)));
+  expectCanonical(Val::node(true, Ptr(1), Ptr(2)),
+                  Val::node(true, Ptr(1), Ptr(2)));
+  expectCanonical(Val::pair(Val::ofInt(1), Val::ofBool(true)),
+                  Val::pair(Val::ofInt(1), Val::ofBool(true)));
+  EXPECT_NE(Val::ofInt(1).fingerprint(), Val::ofInt(2).fingerprint());
+  EXPECT_NE(Val::ofInt(0).fingerprint(), Val::ofBool(false).fingerprint());
+}
+
+TEST(InternTest, StructurallyEqualHeapsShareOneNode) {
+  // Insertion order must not matter: the payload is a sorted map.
+  Heap A;
+  A.insert(Ptr(1), Val::ofInt(10));
+  A.insert(Ptr(2), Val::ofInt(20));
+  Heap B;
+  B.insert(Ptr(2), Val::ofInt(20));
+  B.insert(Ptr(1), Val::ofInt(10));
+  expectCanonical(A, B);
+  expectCanonical(Heap(), Heap());
+  EXPECT_NE(A.fingerprint(), Heap().fingerprint());
+}
+
+TEST(InternTest, StructurallyEqualHistoriesShareOneNode) {
+  History A;
+  A.add(1, HistEntry{Val::ofInt(0), Val::ofInt(1)});
+  A.add(2, HistEntry{Val::ofInt(1), Val::ofInt(2)});
+  History B;
+  B.add(2, HistEntry{Val::ofInt(1), Val::ofInt(2)});
+  B.add(1, HistEntry{Val::ofInt(0), Val::ofInt(1)});
+  expectCanonical(A, B);
+  expectCanonical(History(), History());
+}
+
+TEST(InternTest, StructurallyEqualPCMValsShareOneNode) {
+  expectCanonical(PCMVal::ofNat(7), PCMVal::ofNat(7));
+  expectCanonical(PCMVal::mutexOwn(), PCMVal::mutexOwn());
+  expectCanonical(PCMVal::mutexFree(), PCMVal::mutexFree());
+  expectCanonical(PCMVal::singletonPtr(Ptr(3)),
+                  PCMVal::ofPtrSet({Ptr(3)}));
+  expectCanonical(PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(1))),
+                  PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(1))));
+  expectCanonical(PCMVal::ofHist(History()), PCMVal::ofHist(History()));
+  expectCanonical(
+      PCMVal::makePair(PCMVal::ofNat(1), PCMVal::mutexFree()),
+      PCMVal::makePair(PCMVal::ofNat(1), PCMVal::mutexFree()));
+  expectCanonical(PCMVal::liftDef(PCMVal::ofNat(5)),
+                  PCMVal::liftDef(PCMVal::ofNat(5)));
+  // Default construction is the Nat unit.
+  expectCanonical(PCMVal(), PCMVal::ofNat(0));
+}
+
+TEST(InternTest, AllLiftedUndefinedElementsAreOneNode) {
+  // Undefined elements of every lifted carrier always compared equal, so
+  // canonically they are one node regardless of the recorded carrier type.
+  PCMVal UNat = PCMVal::liftUndef(PCMType::nat());
+  PCMVal UHeap = PCMVal::liftUndef(PCMType::heap());
+  PCMVal UNone = PCMVal::liftUndef(nullptr);
+  expectCanonical(UNat, UHeap);
+  expectCanonical(UNat, UNone);
+  EXPECT_TRUE(UNat.isLiftUndef());
+  EXPECT_FALSE(UNat.isValid());
+  EXPECT_NE(UNat, PCMVal::liftDef(PCMVal::ofNat(0)));
+}
+
+TEST(InternTest, GoldenFingerprintsAreProcessStable) {
+  // Frozen constants: fingerprints feed cross-process dedup keys and the
+  // binary codec's identity expectations, so any change to the mixing
+  // scheme (fpScramble/fpCombine/fpString, salts, payload order) must be
+  // deliberate and bump CodecVersion.
+  EXPECT_EQ(Val::unit().fingerprint(), 0x4803287b9c419382ULL);
+  EXPECT_EQ(Val::ofInt(42).fingerprint(), 0x3d5374c201aa199dULL);
+  EXPECT_EQ(Val::ofBool(true).fingerprint(), 0xba72d94a6e6aefabULL);
+  EXPECT_EQ(Val::ofPtr(Ptr(7)).fingerprint(), 0xabdcd78407479e17ULL);
+  EXPECT_EQ(Val::node(true, Ptr(1), Ptr(2)).fingerprint(),
+            0x334ccc3f88f674eaULL);
+  EXPECT_EQ(Val::pair(Val::ofInt(1), Val::ofInt(2)).fingerprint(),
+            0x986e4687649ef175ULL);
+  EXPECT_EQ(Heap().fingerprint(), 0x4d309f0c1d314aedULL);
+  EXPECT_EQ(Heap::singleton(Ptr(1), Val::ofInt(5)).fingerprint(),
+            0x55673e7afbc043a1ULL);
+  EXPECT_EQ(History().fingerprint(), 0x2b54be08b68a307fULL);
+  History H1;
+  H1.add(1, HistEntry{Val::unit(), Val::ofInt(1)});
+  EXPECT_EQ(H1.fingerprint(), 0xbfa733a31a648dc9ULL);
+  EXPECT_EQ(PCMVal::ofNat(3).fingerprint(), 0x127b227a674e2fe3ULL);
+  EXPECT_EQ(PCMVal::mutexOwn().fingerprint(), 0x8bc2b2a867910e2aULL);
+  EXPECT_EQ(PCMVal::liftUndef(PCMType::nat()).fingerprint(),
+            0x08e793f2f0077d2cULL);
+}
+
+TEST(InternTest, LabelSliceFingerprintCombinesComponents) {
+  LabelSlice A{PCMVal::ofNat(1), Heap(), PCMVal::ofNat(2)};
+  LabelSlice B{PCMVal::ofNat(1), Heap(), PCMVal::ofNat(2)};
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  // Self/other asymmetry must be visible in the fingerprint.
+  LabelSlice C{PCMVal::ofNat(2), Heap(), PCMVal::ofNat(1)};
+  EXPECT_NE(A.fingerprint(), C.fingerprint());
+}
+
+TEST(InternTest, CopiesAreHandleCopies) {
+  // A copy shares the node, so deep structures copy in O(1) and compare
+  // in O(1) — the property the visited set relies on.
+  Val Deep = Val::ofInt(0);
+  for (int I = 0; I != 64; ++I)
+    Deep = Val::pair(Deep, Val::ofInt(I));
+  Val Copy = Deep;
+  EXPECT_EQ(Copy, Deep);
+  EXPECT_EQ(std::hash<Val>()(Copy), std::hash<Val>()(Deep));
+}
+
+TEST(InternTest, StatsReportEveryArenaAndDedup) {
+  // Force at least one duplicate request per arena.
+  (void)Val::ofInt(12345);
+  (void)Val::ofInt(12345);
+  (void)Heap::singleton(Ptr(99), Val::unit());
+  (void)Heap::singleton(Ptr(99), Val::unit());
+  History H;
+  H.add(1, HistEntry{Val::unit(), Val::unit()});
+  (void)PCMVal::ofNat(999);
+  (void)PCMVal::ofNat(999);
+  InternStats Stats = internStats();
+  std::vector<std::string> Names;
+  for (const InternTypeStats &S : Stats.PerType) {
+    Names.push_back(S.Name);
+    EXPECT_GE(S.Requests, S.Nodes) << S.Name;
+  }
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "val"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "heap"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "history"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "pcmval"), Names.end());
+  EXPECT_GT(Stats.dedupRatio(), 1.0);
+}
+
+TEST(InternTest, ConcurrentInterningConvergesOnCanonicalNodes) {
+  // Many threads intern the same structures; every thread must end up
+  // with the same canonical handles (pointer equality across threads).
+  constexpr int NumThreads = 8;
+  std::vector<std::vector<Val>> PerThread(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&PerThread, T] {
+      for (int I = 0; I != 200; ++I) {
+        Val V = Val::pair(Val::ofInt(I % 32), Val::ofBool(I % 2 == 0));
+        PerThread[T].push_back(V);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (int T = 1; T != NumThreads; ++T)
+    for (size_t I = 0; I != PerThread[0].size(); ++I)
+      EXPECT_EQ(PerThread[0][I], PerThread[T][I]);
+}
+
+} // namespace

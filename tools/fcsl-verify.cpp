@@ -14,9 +14,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "concurroid/Registry.h"
+#include "prog/Engine.h"
 #include "structures/StackIface.h"
 #include "structures/Suite.h"
 #include "support/Format.h"
+#include "support/Intern.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -41,8 +43,36 @@ int usage() {
                "  --jobs N             discharge obligations over N worker "
                "threads\n"
                "                       (0 = all hardware threads; default "
-               "from FCSL_JOBS, else 1)\n");
+               "from FCSL_JOBS, else 1)\n"
+               "  --stats              after the command, print intern-arena "
+               "and visited-set\n"
+               "                       statistics (node counts, dedup ratio, "
+               "peak bytes)\n");
   return 2;
+}
+
+/// Prints the canonical-state-layer statistics: per-arena interning
+/// counters, the overall dedup ratio, and the engine's visited-set peaks.
+void printStats() {
+  InternStats Stats = internStats();
+  TextTable Table;
+  Table.setHeader({"arena", "requests", "nodes", "dedup"});
+  for (unsigned I = 1; I <= 3; ++I)
+    Table.setRightAligned(I);
+  for (const InternTypeStats &S : Stats.PerType) {
+    double Ratio = S.Nodes == 0 ? 1.0
+                                : static_cast<double>(S.Requests) /
+                                      static_cast<double>(S.Nodes);
+    Table.addRow({S.Name, std::to_string(S.Requests),
+                  std::to_string(S.Nodes), formatString("%.2f", Ratio)});
+  }
+  Table.addRow({"total", std::to_string(Stats.totalRequests()),
+                std::to_string(Stats.totalNodes()),
+                formatString("%.2f", Stats.dedupRatio())});
+  std::printf("\nintern arenas:\n%s", Table.render().c_str());
+  std::printf("peak visited set: %llu configs, %llu bytes\n",
+              static_cast<unsigned long long>(peakVisitedNodes()),
+              static_cast<unsigned long long>(peakVisitedBytes()));
 }
 
 /// All sessions: the paper's eleven plus the abstract-stack extension.
@@ -125,10 +155,12 @@ int runTable1() {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  // Strip `--jobs N` (anywhere on the line) before command dispatch; it
-  // sets the process-default job count picked up by every session and
-  // engine invocation with Jobs = 0.
+  // Strip `--jobs N` and `--stats` (anywhere on the line) before command
+  // dispatch; --jobs sets the process-default job count picked up by every
+  // session and engine invocation with Jobs = 0, and --stats prints the
+  // canonical-state-layer counters after the command finishes.
   std::vector<char *> Args;
+  bool Stats = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--jobs") == 0) {
       if (I + 1 >= Argc)
@@ -140,29 +172,37 @@ int main(int Argc, char **Argv) {
       setDefaultJobs(static_cast<unsigned>(N));
       continue;
     }
+    if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
+      continue;
+    }
     Args.push_back(Argv[I]);
   }
   Argc = static_cast<int>(Args.size()) + 1;
   if (Argc < 2)
     return usage();
   const char *Cmd = Args[0];
-  if (std::strcmp(Cmd, "list") == 0)
-    return runList();
-  if (std::strcmp(Cmd, "verify") == 0)
-    return Argc >= 3 ? runVerify(Args[1]) : usage();
-  if (std::strcmp(Cmd, "table1") == 0)
-    return runTable1();
-  if (std::strcmp(Cmd, "table2") == 0) {
+  int Status = 2;
+  if (std::strcmp(Cmd, "list") == 0) {
+    Status = runList();
+  } else if (std::strcmp(Cmd, "verify") == 0) {
+    Status = Argc >= 3 ? runVerify(Args[1]) : usage();
+  } else if (std::strcmp(Cmd, "table1") == 0) {
+    Status = runTable1();
+  } else if (std::strcmp(Cmd, "table2") == 0) {
     registerAllLibraries();
     std::printf("%s", globalRegistry().renderTable2().c_str());
-    return 0;
-  }
-  if (std::strcmp(Cmd, "fig5") == 0) {
+    Status = 0;
+  } else if (std::strcmp(Cmd, "fig5") == 0) {
     registerAllLibraries();
     DotGraph G = globalRegistry().dependencyGraph();
     bool Dot = Argc >= 3 && std::strcmp(Args[1], "--dot") == 0;
     std::printf("%s", Dot ? G.render().c_str() : G.renderAscii().c_str());
-    return 0;
+    Status = 0;
+  } else {
+    return usage();
   }
-  return usage();
+  if (Stats)
+    printStats();
+  return Status;
 }
