@@ -70,6 +70,15 @@ uint64_t peakRssKb() {
   return static_cast<uint64_t>(Usage.ru_maxrss);
 }
 
+struct PorRow {
+  std::string Graph;
+  uint64_t ConfigsFull = 0;
+  uint64_t ConfigsReduced = 0;
+  double MsFull = 0.0;
+  double MsReduced = 0.0;
+  bool Identical = true; ///< reduced terminals + verdict match the full run.
+};
+
 struct SweepRow {
   unsigned Jobs = 0;
   double Ms = 0.0;
@@ -195,6 +204,62 @@ int main() {
     std::printf("%s\n", SweepTable.render().c_str());
   }
 
+  // Partial-order reduction: full vs reduced exploration per instance.
+  // The reduction must preserve verdict and terminals exactly; the ratio
+  // column is the headline number (diamonds are the commuting-heavy best
+  // case, chains the adversarial worst case).
+  std::printf("partial-order reduction, full vs reduced exploration:\n");
+  std::vector<PorRow> PorRows;
+  {
+    TextTable PorTable;
+    PorTable.setHeader({"graph", "full cfgs", "reduced cfgs", "ratio",
+                        "full ms", "reduced ms", "identical"});
+    for (unsigned I = 1; I <= 5; ++I)
+      PorTable.setRightAligned(I);
+    auto RunPor = [&](const char *Name, const Heap &G) {
+      ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+      EngineOptions Opts;
+      Opts.Ambient = Case.PrivOnly;
+      Opts.EnvInterference = false;
+      Opts.Defs = &Case.Defs;
+      Opts.Por = PorMode::Off;
+      Timer TF;
+      RunResult Full = explore(Main, spanRootState(Case, G), Opts);
+      double MsFull = TF.elapsedMs();
+      Opts.Por = PorMode::On;
+      Timer TR;
+      RunResult Red = explore(Main, spanRootState(Case, G), Opts);
+      double MsRed = TR.elapsedMs();
+      PorRow Row;
+      Row.Graph = Name;
+      Row.ConfigsFull = Full.ConfigsExplored;
+      Row.ConfigsReduced = Red.ConfigsExplored;
+      Row.MsFull = MsFull;
+      Row.MsReduced = MsRed;
+      Row.Identical = Full.Safe == Red.Safe &&
+                      Full.Exhausted == Red.Exhausted &&
+                      sameTerminals(Full.Terminals, Red.Terminals);
+      PorRows.push_back(Row);
+      PorTable.addRow(
+          {Name, std::to_string(Row.ConfigsFull),
+           std::to_string(Row.ConfigsReduced),
+           formatString("%.3f", Row.ConfigsFull
+                                    ? double(Row.ConfigsReduced) /
+                                          double(Row.ConfigsFull)
+                                    : 1.0),
+           formatString("%.1f", MsFull), formatString("%.1f", MsRed),
+           Row.Identical ? "yes" : "NO"});
+      return Full.complete() && Red.complete() && Row.Identical;
+    };
+    Ok &= RunPor("chain-4", chainOf(4));
+    Ok &= RunPor("chain-6", chainOf(6));
+    Ok &= RunPor("diamond-1", diamondOf(1));
+    Ok &= RunPor("diamond-2", diamondOf(2));
+    Ok &= RunPor("diamond-3", diamondOf(3));
+    Ok &= RunPor("figure-2", figure2Graph());
+    std::printf("%s\n", PorTable.render().c_str());
+  }
+
   // Randomized simulation past the exhaustive frontier: the same model
   // program, sampled schedules, instances exploration cannot touch.
   std::printf("randomized simulation of span_root beyond the exhaustive "
@@ -302,6 +367,24 @@ int main() {
                    I + 1 == Sweep.size() ? "" : ",");
     }
     std::fprintf(F, "  ]},\n");
+    std::fprintf(F, "  \"por\": [\n");
+    for (size_t I = 0; I != PorRows.size(); ++I) {
+      const PorRow &R = PorRows[I];
+      std::fprintf(F,
+                   "    {\"graph\": \"%s\", \"configs_full\": %llu, "
+                   "\"configs_reduced\": %llu, \"ratio\": %.3f, "
+                   "\"ms_full\": %.2f, \"ms_reduced\": %.2f, "
+                   "\"identical\": %s}%s\n",
+                   R.Graph.c_str(),
+                   static_cast<unsigned long long>(R.ConfigsFull),
+                   static_cast<unsigned long long>(R.ConfigsReduced),
+                   R.ConfigsFull
+                       ? double(R.ConfigsReduced) / double(R.ConfigsFull)
+                       : 1.0,
+                   R.MsFull, R.MsReduced, R.Identical ? "true" : "false",
+                   I + 1 == PorRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
     InternStats IS = internStats();
     std::fprintf(F,
                  "  \"memory\": {\"peak_rss_kb\": %llu, "

@@ -11,13 +11,15 @@
 // program-specific concurroid/actions/stability lemmas needed), and the
 // relative cost ordering of the programs.
 //
-// Each suite is discharged twice — serially (Jobs=1) and with parallel
-// obligation discharge (Jobs=4) — and both timings land in
-// BENCH_table1.json so the speedup from the multi-worker engine is
-// tracked across PRs.
+// Each suite is discharged three times — serially (Jobs=1), with
+// parallel obligation discharge (Jobs=4), and serially with partial-order
+// reduction — and all timings land in BENCH_table1.json so the speedup
+// from the multi-worker engine and the state-space savings from the
+// reduction are tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "prog/Engine.h"
 #include "structures/Suite.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
@@ -34,6 +36,9 @@ struct ProgramRow {
   uint64_t Checks = 0;
   double SerialMs = 0.0;   ///< Jobs=1 discharge (the "before").
   double ParallelMs = 0.0; ///< Jobs=4 discharge (the "after").
+  double PorMs = 0.0;      ///< Jobs=1 discharge under reduction.
+  uint64_t ConfigsFull = 0;    ///< configs explored by the serial run.
+  uint64_t ConfigsReduced = 0; ///< configs explored under reduction.
 };
 
 } // namespace
@@ -47,25 +52,32 @@ int main() {
 
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
-                   "Total", "Checks", "Jobs=1", "Jobs=4"});
+                   "Total", "Checks", "Jobs=1", "Jobs=4", "POR"});
   for (unsigned I = 1; I <= 7; ++I)
     Table.setRightAligned(I);
   Table.setRightAligned(8);
   Table.setRightAligned(9);
+  Table.setRightAligned(10);
 
   bool AllPassed = true;
   std::vector<std::string> Failures;
   std::vector<ProgramRow> Rows;
   double SerialTotalMs = 0;
   double ParallelTotalMs = 0;
+  double PorTotalMs = 0;
+  uint64_t ConfigsFullTotal = 0;
+  uint64_t ConfigsReducedTotal = 0;
   const unsigned ParJobs = 4;
 
   for (const CaseEntry &Case : allCaseStudies()) {
+    uint64_t Configs0 = totalConfigsExplored();
     SessionReport Report = Case.MakeSession().run(/*Jobs=*/1);
+    uint64_t ConfigsFull = totalConfigsExplored() - Configs0;
     AllPassed &= Report.AllPassed;
     for (const std::string &F : Report.Failures)
       Failures.push_back(F);
     SerialTotalMs += Report.TotalMs;
+    ConfigsFullTotal += ConfigsFull;
 
     // Parallel discharge of the same obligations must agree verdict for
     // verdict; its wall-clock is the "after" column.
@@ -74,6 +86,18 @@ int main() {
                  Par.totalObligations() == Report.totalObligations() &&
                  Par.totalChecks() == Report.totalChecks();
     ParallelTotalMs += Par.TotalMs;
+
+    // Serial discharge again under partial-order reduction: same
+    // verdicts, fewer explored configurations.
+    setDefaultPorMode(PorMode::On);
+    uint64_t Configs1 = totalConfigsExplored();
+    SessionReport Por = Case.MakeSession().run(/*Jobs=*/1);
+    uint64_t ConfigsReduced = totalConfigsExplored() - Configs1;
+    setDefaultPorMode(PorMode::Off);
+    AllPassed &= Por.AllPassed == Report.AllPassed &&
+                 Por.totalObligations() == Report.totalObligations();
+    PorTotalMs += Por.TotalMs;
+    ConfigsReducedTotal += ConfigsReduced;
 
     auto Cell = [&](ObCategory C) -> std::string {
       uint64_t N = Report.PerCategory[size_t(C)].Obligations;
@@ -85,17 +109,26 @@ int main() {
                   std::to_string(Report.totalObligations()),
                   std::to_string(Report.totalChecks()),
                   formatString("%.0f ms", Report.TotalMs),
-                  formatString("%.0f ms", Par.TotalMs)});
+                  formatString("%.0f ms", Par.TotalMs),
+                  formatString("%.0f ms", Por.TotalMs)});
     Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
                               Report.totalChecks(), Report.TotalMs,
-                              Par.TotalMs});
+                              Par.TotalMs, Por.TotalMs, ConfigsFull,
+                              ConfigsReduced});
   }
 
   std::printf("%s\n", Table.render().c_str());
   std::printf("total verification time: %.1f ms serial, %.1f ms at "
-              "%u jobs (paper: 27m31s of Coq compilation on a 2.7 GHz "
-              "Core i7)\n\n",
-              SerialTotalMs, ParallelTotalMs, ParJobs);
+              "%u jobs, %.1f ms serial with partial-order reduction "
+              "(paper: 27m31s of Coq compilation on a 2.7 GHz Core i7)\n",
+              SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs);
+  std::printf("state space: %llu configs full, %llu reduced (ratio "
+              "%.3f)\n\n",
+              static_cast<unsigned long long>(ConfigsFullTotal),
+              static_cast<unsigned long long>(ConfigsReducedTotal),
+              ConfigsFullTotal
+                  ? double(ConfigsReducedTotal) / double(ConfigsFullTotal)
+                  : 1.0);
 
   std::printf("shape checks against the paper's table:\n");
   std::printf("  - CG increment/CG allocator/Seq. stack/FC-stack/Prod/Cons "
@@ -116,20 +149,36 @@ int main() {
       std::fprintf(F,
                    "    {\"program\": \"%s\", \"obligations\": %llu, "
                    "\"checks\": %llu, \"serial_ms\": %.2f, "
-                   "\"parallel_ms\": %.2f, \"speedup\": %.3f}%s\n",
+                   "\"parallel_ms\": %.2f, \"speedup\": %.3f, "
+                   "\"por_ms\": %.2f, \"configs_full\": %llu, "
+                   "\"configs_reduced\": %llu, \"por_ratio\": %.3f}%s\n",
                    R.Program.c_str(),
                    static_cast<unsigned long long>(R.Obligations),
                    static_cast<unsigned long long>(R.Checks), R.SerialMs,
-                   R.ParallelMs, Speedup,
+                   R.ParallelMs, Speedup, R.PorMs,
+                   static_cast<unsigned long long>(R.ConfigsFull),
+                   static_cast<unsigned long long>(R.ConfigsReduced),
+                   R.ConfigsFull
+                       ? double(R.ConfigsReduced) / double(R.ConfigsFull)
+                       : 1.0,
                    I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "  ],\n");
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
-                 "%.2f, \"speedup\": %.3f}\n}\n",
+                 "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "
+                 "\"configs_full\": %llu, \"configs_reduced\": %llu, "
+                 "\"por_ratio\": %.3f}\n}\n",
                  SerialTotalMs, ParallelTotalMs,
                  ParallelTotalMs > 0 ? SerialTotalMs / ParallelTotalMs
-                                     : 1.0);
+                                     : 1.0,
+                 PorTotalMs,
+                 static_cast<unsigned long long>(ConfigsFullTotal),
+                 static_cast<unsigned long long>(ConfigsReducedTotal),
+                 ConfigsFullTotal
+                     ? double(ConfigsReducedTotal) /
+                           double(ConfigsFullTotal)
+                     : 1.0);
     std::fclose(F);
     std::printf("wrote BENCH_table1.json\n");
   }

@@ -15,8 +15,11 @@
 #      -DFCSL_SANITIZE=address,undefined; the intern-arena and codec
 #      tests run under it, since those two layers do the pointer-identity
 #      and raw-byte manipulation where memory bugs would hide.
+#   4. POR cross-check: fcsl-verify --por=check runs every Table-1
+#      session twice (full and reduced exploration) and fails on any
+#      divergence in verdicts or terminal states, at 1 and 4 jobs.
 #
-# Usage: scripts/verify.sh [--no-tsan] [--no-asan]
+# Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por]
 #
 #===----------------------------------------------------------------------===#
 
@@ -25,10 +28,12 @@ cd "$(dirname "$0")/.."
 
 RUN_TSAN=1
 RUN_ASAN=1
+RUN_POR=1
 for Arg in "$@"; do
   case "$Arg" in
     --no-tsan) RUN_TSAN=0 ;;
     --no-asan) RUN_ASAN=0 ;;
+    --no-por) RUN_POR=0 ;;
     *) echo "unknown flag: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -44,7 +49,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: configure + build (build-tsan/) =="
   cmake -B build-tsan -S . -DFCSL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target threadpool_test parallel_engine_test runtime_test intern_test
+    --target threadpool_test parallel_engine_test runtime_test intern_test \
+    --target por_independence_test
 
   echo "== tsan: race-checking thread pool, parallel engine, runtime, arena =="
   # TSan aborts the process on the first data race; a clean exit is the
@@ -53,6 +59,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/parallel_engine_test
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/intern_test
+  ./build-tsan/tests/por_independence_test
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -63,6 +70,17 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== asan+ubsan: checking intern arena and codec =="
   ./build-asan/tests/intern_test
   ./build-asan/tests/codec_test
+fi
+
+if [[ "$RUN_POR" == 1 ]]; then
+  echo "== por: soundness cross-check over every Table-1 session =="
+  cmake --build build -j "$(nproc)" --target fcsl-verify
+  # Check mode explores each session's state space twice — full and
+  # reduced — and any divergence in Safe verdicts, exhaustion, or
+  # terminal states fails the session. Run serial and parallel.
+  for Jobs in 1 4; do
+    ./build/tools/fcsl-verify --jobs "$Jobs" --por=check verify all
+  done
 fi
 
 echo "== verify.sh: all stages passed =="

@@ -11,9 +11,10 @@
 using namespace fcsl;
 
 AtomicAction::AtomicAction(std::string Name, ConcurroidRef C, unsigned Arity,
-                           StepFn Step)
+                           StepFn Step, Footprint StaticFp, FootprintFn DynFp)
     : Name(std::move(Name)), C(std::move(C)), Arity(Arity),
-      Step(std::move(Step)) {
+      Step(std::move(Step)), StaticFp(std::move(StaticFp)),
+      DynFp(std::move(DynFp)) {
   assert(this->C && "action needs a concurroid");
   assert(this->Step && "action needs a stepping relation");
 }
@@ -28,9 +29,11 @@ AtomicAction::step(const View &Pre, const std::vector<Val> &Args) const {
 }
 
 ActionRef fcsl::makeAction(std::string Name, ConcurroidRef C, unsigned Arity,
-                           AtomicAction::StepFn Step) {
+                           AtomicAction::StepFn Step, Footprint StaticFp,
+                           AtomicAction::FootprintFn DynFp) {
   return std::make_shared<AtomicAction>(std::move(Name), std::move(C), Arity,
-                                        std::move(Step));
+                                        std::move(Step), std::move(StaticFp),
+                                        std::move(DynFp));
 }
 
 ActionRef fcsl::makePrivAlloc(ConcurroidRef C, Label Pv) {
@@ -77,7 +80,8 @@ ActionRef fcsl::makePrivRead(ConcurroidRef C, Label Pv) {
         if (!Cell)
           return std::nullopt; // Reading outside the private heap: unsafe.
         return std::vector<ActOutcome>{{*Cell, Pre}};
-      });
+      },
+      Footprint::none().read(FpAtom::selfAux(Pv)));
 }
 
 ActionRef fcsl::makePrivWrite(ConcurroidRef C, Label Pv) {
@@ -94,7 +98,8 @@ ActionRef fcsl::makePrivWrite(ConcurroidRef C, Label Pv) {
         View Post = Pre;
         Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
         return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
-      });
+      },
+      Footprint::none().readWrite(FpAtom::selfAux(Pv)));
 }
 
 ActionRef fcsl::makePrivFree(ConcurroidRef C, Label Pv) {
@@ -111,5 +116,6 @@ ActionRef fcsl::makePrivFree(ConcurroidRef C, Label Pv) {
         View Post = Pre;
         Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
         return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
-      });
+      },
+      Footprint::none().readWrite(FpAtom::selfAux(Pv)));
 }

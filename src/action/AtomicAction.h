@@ -21,6 +21,7 @@
 #define FCSL_ACTION_ATOMICACTION_H
 
 #include "concurroid/Concurroid.h"
+#include "concurroid/Footprint.h"
 
 #include <optional>
 
@@ -46,8 +47,15 @@ public:
   using StepFn = std::function<std::optional<std::vector<ActOutcome>>(
       const View &, const std::vector<Val> &)>;
 
+  /// Dynamic footprint generator: the components one step from the given
+  /// pre-view with the given arguments may read/write (see Footprint.h for
+  /// the honesty contract backing the engine's partial-order reduction).
+  using FootprintFn =
+      std::function<Footprint(const View &, const std::vector<Val> &)>;
+
   AtomicAction(std::string Name, ConcurroidRef C, unsigned Arity,
-               StepFn Step);
+               StepFn Step, Footprint StaticFp = Footprint(),
+               FootprintFn DynFp = nullptr);
 
   const std::string &name() const { return Name; }
   unsigned arity() const { return Arity; }
@@ -57,16 +65,30 @@ public:
   std::optional<std::vector<ActOutcome>>
   step(const View &Pre, const std::vector<Val> &Args) const;
 
+  /// The static footprint, covering every step from every view with any
+  /// arguments; unknown (dependent on everything) unless supplied.
+  const Footprint &staticFootprint() const { return StaticFp; }
+
+  /// The footprint of one step: the dynamic generator when present, else
+  /// the static footprint.
+  Footprint footprint(const View &Pre, const std::vector<Val> &Args) const {
+    return DynFp ? DynFp(Pre, Args) : StaticFp;
+  }
+
 private:
   std::string Name;
   ConcurroidRef C;
   unsigned Arity;
   StepFn Step;
+  Footprint StaticFp;
+  FootprintFn DynFp;
 };
 
 /// Convenience factory.
 ActionRef makeAction(std::string Name, ConcurroidRef C, unsigned Arity,
-                     AtomicAction::StepFn Step);
+                     AtomicAction::StepFn Step,
+                     Footprint StaticFp = Footprint(),
+                     AtomicAction::FootprintFn DynFp = nullptr);
 
 /// Generic actions over a Priv label (their physical effect is a single
 /// cell operation inside the calling thread's private heap; they correspond

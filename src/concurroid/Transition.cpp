@@ -18,6 +18,12 @@ Transition::Transition(std::string Name, TransitionKind Kind,
          "a transition needs an enumerator or a coverage predicate");
 }
 
+Transition &Transition::withFootprint(Footprint Static, FootprintFn Dyn) {
+  StaticFp = std::move(Static);
+  DynFp = std::move(Dyn);
+  return *this;
+}
+
 Transition Transition::idle() {
   return Transition(
       "idle", TransitionKind::Internal,

@@ -26,6 +26,7 @@
 #ifndef FCSL_CONCURROID_TRANSITION_H
 #define FCSL_CONCURROID_TRANSITION_H
 
+#include "concurroid/Footprint.h"
 #include "state/View.h"
 
 #include <functional>
@@ -68,12 +69,33 @@ public:
   /// Whether (Pre, Post) is an instance of this transition.
   bool covers(const View &Pre, const View &Post) const;
 
+  /// Dynamic footprint generator: the components one step of this
+  /// transition from the given pre-view may read/write (see Footprint.h
+  /// for the honesty contract; the "agent" is the environment).
+  using FootprintFn = std::function<Footprint(const View &)>;
+
+  /// Attaches footprint metadata; returns *this so call sites can chain
+  /// onto a freshly constructed transition. \p Static must cover every
+  /// instance from every view; \p Dyn (optional) refines it per view.
+  Transition &withFootprint(Footprint Static, FootprintFn Dyn = nullptr);
+
+  /// The static footprint; unknown unless withFootprint was called.
+  const Footprint &staticFootprint() const { return StaticFp; }
+
+  /// The footprint of one step from \p Pre: the dynamic generator when
+  /// present, else the static footprint.
+  Footprint footprint(const View &Pre) const {
+    return DynFp ? DynFp(Pre) : StaticFp;
+  }
+
 private:
   std::string Name;
   TransitionKind Kind;
   StepFn Enumerate;
   CoverFn Covers;
   bool EnvEnabled;
+  Footprint StaticFp; ///< default-unknown: dependent on everything.
+  FootprintFn DynFp;
 };
 
 } // namespace fcsl

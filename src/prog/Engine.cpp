@@ -15,6 +15,7 @@
 
 #include "prog/Engine.h"
 
+#include "concurroid/Footprint.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
@@ -23,6 +24,8 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -50,6 +53,22 @@ void notePeakVisited(uint64_t Nodes, uint64_t Bytes) {
   atomicMax(PeakVisitedBytesCounter, Bytes);
 }
 
+std::atomic<uint64_t> TotalConfigsCounter{0};
+std::atomic<uint64_t> CheckFullCounter{0};
+std::atomic<uint64_t> CheckReducedCounter{0};
+std::atomic<int> DefaultPorSetting{-1}; ///< -1: fall back to FCSL_POR.
+
+PorMode envPorMode() {
+  const char *E = std::getenv("FCSL_POR");
+  if (!E)
+    return PorMode::Off;
+  if (std::strcmp(E, "on") == 0 || std::strcmp(E, "1") == 0)
+    return PorMode::On;
+  if (std::strcmp(E, "check") == 0)
+    return PorMode::Check;
+  return PorMode::Off;
+}
+
 } // namespace
 
 uint64_t fcsl::peakVisitedNodes() {
@@ -58,6 +77,26 @@ uint64_t fcsl::peakVisitedNodes() {
 
 uint64_t fcsl::peakVisitedBytes() {
   return PeakVisitedBytesCounter.load(std::memory_order_relaxed);
+}
+
+uint64_t fcsl::totalConfigsExplored() {
+  return TotalConfigsCounter.load(std::memory_order_relaxed);
+}
+
+void fcsl::setDefaultPorMode(PorMode M) {
+  DefaultPorSetting.store(static_cast<int>(M), std::memory_order_relaxed);
+}
+
+PorMode fcsl::defaultPorMode() {
+  int V = DefaultPorSetting.load(std::memory_order_relaxed);
+  if (V >= 0 && static_cast<PorMode>(V) != PorMode::Default)
+    return static_cast<PorMode>(V);
+  return envPorMode();
+}
+
+PorCheckTotals fcsl::porCheckTotals() {
+  return {CheckFullCounter.load(std::memory_order_relaxed),
+          CheckReducedCounter.load(std::memory_order_relaxed)};
 }
 
 namespace {
@@ -137,17 +176,74 @@ struct ThreadCtx {
   }
 };
 
-/// A whole configuration: instrumented state plus all thread stacks. The
-/// deep hash is computed once (`rehash`) when the configuration is frozen
-/// for insertion into the visited set, so probes and table rehashes never
-/// recompute it.
+/// One suppressed scheduling alternative under partial-order reduction: a
+/// step that was already explored at an ancestor configuration and has
+/// commuted with every step on the path since, so re-exploring it here
+/// would only re-derive states reached there. Identity (for config
+/// equality and hashing) is the *step*, not the footprint: a thread entry
+/// is (thread, action node) — a sleeping thread cannot move, so its
+/// pending action is pinned — and an environment entry is the transition's
+/// index in the ambient concurroid. The footprint recorded when the entry
+/// went to sleep rides along for re-filtering against later steps; it is
+/// deliberately excluded from identity (it is a function of the step and
+/// the configuration already).
+struct SleepEntry {
+  bool IsEnv = false;
+  ThreadId T = 0;
+  const Prog *ActNode = nullptr; ///< thread entries: the pending Act node.
+  size_t EnvIdx = 0;             ///< env entries: transition index.
+  Footprint Fp; ///< dynamic footprint at sleep time; not identity.
+
+  friend bool operator==(const SleepEntry &A, const SleepEntry &B) {
+    return A.IsEnv == B.IsEnv && A.T == B.T && A.ActNode == B.ActNode &&
+           A.EnvIdx == B.EnvIdx;
+  }
+
+  void hashInto(size_t &Seed) const {
+    hashValue(Seed, IsEnv);
+    hashValue(Seed, T);
+    hashValue(Seed, ActNode ? ActNode->fingerprint() : 0);
+    hashValue(Seed, EnvIdx);
+  }
+};
+
+/// Canonical sleep-set order: thread entries ascending by id, then env
+/// entries ascending by transition index (each kind's key is unique).
+bool sleepLess(const SleepEntry &A, const SleepEntry &B) {
+  if (A.IsEnv != B.IsEnv)
+    return A.IsEnv < B.IsEnv;
+  if (A.T != B.T)
+    return A.T < B.T;
+  return A.EnvIdx < B.EnvIdx;
+}
+
+/// A whole configuration: instrumented state plus all thread stacks plus —
+/// under partial-order reduction — the sleep set. The sleep set is part of
+/// configuration identity so the reachable node set (and with it every
+/// counter) stays schedule-independent across worker counts; without POR
+/// it is always empty and changes nothing. The deep hash is computed once
+/// (`rehash`) when the configuration is frozen for insertion into the
+/// visited set, so probes and table rehashes never recompute it.
 struct Config {
   GlobalState GS;
   std::map<ThreadId, ThreadCtx> Threads;
+  std::vector<SleepEntry> Sleep; ///< sorted by sleepLess.
+  /// POR only, and only ever nonzero on *terminal* configurations: bit i
+  /// licenses trailing applications of the ambient's i-th transition at
+  /// this terminal. Every step into a terminal is the program's last
+  /// action `a` (env steps never finish a thread); an env transition
+  /// independent of `a` commutes before it, so its trailing firing here is
+  /// the final view of a real full-run trace "...env, then a". Without the
+  /// closure those traces' views would be lost whenever the reduction
+  /// (ample postponement or sleep-set pruning) explored `a` before the env
+  /// step. Dependent transitions stay unlicensed: firing them after `a`
+  /// would invent terminals the full exploration never reaches.
+  uint32_t EnvCloseMask = 0;
   size_t Hash = 0; ///< cached; valid after rehash().
 
   friend bool operator==(const Config &A, const Config &B) {
-    return A.GS == B.GS && A.Threads == B.Threads;
+    return A.EnvCloseMask == B.EnvCloseMask && A.GS == B.GS &&
+           A.Sleep == B.Sleep && A.Threads == B.Threads;
   }
 
   void rehash() {
@@ -158,6 +254,10 @@ struct Config {
       hashValue(Seed, Entry.first);
       Entry.second.hashInto(Seed);
     }
+    hashValue(Seed, Sleep.size());
+    for (const SleepEntry &E : Sleep)
+      E.hashInto(Seed);
+    hashValue(Seed, EnvCloseMask);
     Hash = Seed;
   }
 
@@ -171,6 +271,8 @@ struct Config {
       for (const Frame &F : Entry.second.Stack)
         Bytes += F.approxBytes();
     }
+    for (const SleepEntry &E : Sleep)
+      Bytes += E.Fp.approxBytes();
     return Bytes;
   }
 };
@@ -215,6 +317,12 @@ public:
       return;
     }
 
+    assert(Opts.Por != PorMode::Default && Opts.Por != PorMode::Check &&
+           "explore() resolves the POR mode before running");
+    PorOn = Opts.Por == PorMode::On;
+    if (PorOn)
+      collectUniverse(Root);
+
     unsigned Jobs = resolveJobs(Opts.Jobs);
     NumShards = Jobs == 1 ? 1 : 64;
     Shards = std::vector<Shard>(NumShards);
@@ -247,6 +355,12 @@ public:
 
     Res.ConfigsExplored = Expanded.load();
     Res.Exhausted = ExhaustedFlag.load();
+    if (Res.Exhausted) {
+      uint64_t Frontier = 0;
+      for (const std::unique_ptr<Worker> &W : Workers)
+        Frontier += W->Queue.size();
+      Res.FrontierAtAbort = Frontier;
+    }
     std::set<Terminal> Merged;
     for (const std::unique_ptr<Worker> &W : Workers) {
       Res.ActionSteps += W->ActionSteps;
@@ -659,8 +773,386 @@ private:
     Abort.store(true, std::memory_order_release);
   }
 
+  /// The static-footprint universe for partial-order reduction: the
+  /// footprints of every atomic action syntactically reachable from the
+  /// root program (through binds, branches, pars, hides, and calls) plus
+  /// every interference-enabled environment transition. A step whose
+  /// dynamic footprint is independent of all of them is independent of
+  /// anything any *other* agent could ever do — past or future — which is
+  /// the condition for exploring it alone (a "local move", generalizing
+  /// the administrative-step argument). The strong universal form needs no
+  /// cycle proviso: it rules out the classic ignoring problem, because no
+  /// deferred step can ever depend on an ample one.
+  struct Universe {
+    bool AllKnown = false;
+    std::vector<Footprint> Fps;
+  };
+
+  void collectUniverse(const ProgRef &Root) {
+    Uni.AllKnown = true;
+    Uni.Fps.clear();
+    std::set<std::string> Defined;
+    if (Opts.Defs)
+      for (const std::string &Name : Opts.Defs->names())
+        Defined.insert(Name);
+    std::unordered_set<const Prog *> Seen;
+    std::set<std::string> SeenDefs;
+    std::vector<const Prog *> Stack{Root.get()};
+    while (!Stack.empty()) {
+      const Prog *P = Stack.back();
+      Stack.pop_back();
+      if (!P || !Seen.insert(P).second)
+        continue;
+      switch (P->kind()) {
+      case Prog::Kind::Ret:
+        break;
+      case Prog::Kind::Act: {
+        const Footprint &F = P->action()->staticFootprint();
+        if (F.known())
+          Uni.Fps.push_back(F);
+        else
+          Uni.AllKnown = false;
+        break;
+      }
+      case Prog::Kind::Bind:
+        Stack.push_back(P->first().get());
+        Stack.push_back(P->rest().get());
+        break;
+      case Prog::Kind::If:
+        Stack.push_back(P->thenProg().get());
+        Stack.push_back(P->elseProg().get());
+        break;
+      case Prog::Kind::Par:
+        Stack.push_back(P->left().get());
+        Stack.push_back(P->right().get());
+        break;
+      case Prog::Kind::Call:
+        if (SeenDefs.insert(P->callee()).second) {
+          if (Defined.count(P->callee()))
+            Stack.push_back(Opts.Defs->lookup(P->callee()).Body.get());
+          else
+            Uni.AllKnown = false; // Engine would assert on execution.
+        }
+        break;
+      case Prog::Kind::Hide:
+        Stack.push_back(P->body().get());
+        break;
+      }
+    }
+    if (Opts.EnvInterference && Opts.Ambient) {
+      for (const Transition &T : Opts.Ambient->transitions()) {
+        if (!T.isEnvEnabled() || T.name() == "idle")
+          continue;
+        const Footprint &F = T.staticFootprint();
+        if (F.known())
+          Uni.Fps.push_back(F);
+        else
+          Uni.AllKnown = false;
+      }
+    }
+  }
+
+  /// Is \p F independent of every step any other agent could ever take?
+  bool globallyIndependent(const Footprint &F) const {
+    if (!Uni.AllKnown || !F.known())
+      return false;
+    for (const Footprint &U : Uni.Fps)
+      if (!fpIndependent(F, U))
+        return false;
+    return true;
+  }
+
+  /// One successor built by a thread's action step, before enqueueing.
+  struct BuiltSucc {
+    Config Next;
+    std::string Step;
+    bool LabelsChanged; ///< the admin cascade installed/uninstalled a label.
+  };
+
+  /// Builds every successor of thread \p T's pending action (all
+  /// outcomes), without counting or enqueueing. Returns false when a
+  /// safety failure was published (the run is aborting).
+  bool buildThreadSuccessors(const Node &N, ThreadId T, const View &Pre,
+                             const AtomicAction &A,
+                             const std::vector<Val> &Args,
+                             const std::string &ArgText,
+                             std::vector<BuiltSucc> &Out) {
+    const Config &C = N.C;
+    std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
+    if (!Outcomes) {
+      failGlobal(&N,
+                 formatString("thread %llu: %s(%s)  <-- UNSAFE",
+                              static_cast<unsigned long long>(T),
+                              A.name().c_str(), ArgText.c_str()),
+                 formatString("action %s is unsafe in the reached state "
+                              "(thread %llu):\n%s",
+                              A.name().c_str(),
+                              static_cast<unsigned long long>(T),
+                              Pre.toString().c_str()));
+      return false;
+    }
+    for (const ActOutcome &O : *Outcomes) {
+      std::string Step = formatString(
+          "thread %llu: %s(%s) -> %s",
+          static_cast<unsigned long long>(T), A.name().c_str(),
+          ArgText.c_str(), O.Result.toString().c_str());
+      Config Next = C;
+      Next.GS.applyThread(T, Pre, O.Post);
+      if (Opts.CheckStepCoherence && Opts.Ambient &&
+          !Opts.Ambient->coherent(Next.GS.viewFor(T))) {
+        failGlobal(&N, Step + "  <-- BREAKS COHERENCE",
+                   formatString("action %s broke coherence of %s",
+                                A.name().c_str(),
+                                Opts.Ambient->name().c_str()));
+        return false;
+      }
+      Next.Threads.at(T).Stack.pop_back();
+      std::string Err;
+      if (!deliver(Next, T, O.Result, Err) || !normalize(Next, Err)) {
+        failGlobal(&N, Step + "  <-- FAILS DURING UNWINDING",
+                   std::move(Err));
+        return false;
+      }
+      bool LabelsChanged = Next.GS.labels() != C.GS.labels();
+      Out.push_back(BuiltSucc{std::move(Next), std::move(Step),
+                              LabelsChanged});
+    }
+    return true;
+  }
+
+  /// Reduced successor generation: ample singletons layered with sleep
+  /// sets (DESIGN.md §9). Candidates are gathered in canonical order —
+  /// runnable threads ascending by id, then env transitions in
+  /// declaration order — so the sleep sets attached to successors, and
+  /// with them the reachable node set, are functions of the node alone.
+  void expandPor(const Node &N, Worker &W) {
+    const Config &C = N.C;
+    const ThreadCtx &Main = C.Threads.at(rootThread());
+    if (Main.Done) {
+      W.Terminals.insert(
+          Terminal{*Main.Done, C.GS.viewFor(rootThread())});
+      // A terminal must keep stepping the env transitions its last action
+      // commutes with: the reduction may have explored that action before
+      // a postponed env step, and once the program terminates the
+      // commuted traces "env before the last action" — and their distinct
+      // final views — would otherwise be lost. Falling through (no
+      // runnable threads remain, so only licensed env candidates arise
+      // below) recovers exactly those traces' terminals; dependent or
+      // unlicensed transitions stop here like the full engine does.
+      if (C.EnvCloseMask == 0 || !Opts.EnvInterference || !Opts.Ambient)
+        return;
+    }
+
+    struct Candidate {
+      bool IsEnv = false;
+      ThreadId T = 0;
+      const Prog *ActNode = nullptr;
+      const AtomicAction *A = nullptr;
+      std::vector<Val> Args;
+      std::string ArgText;
+      View Pre;
+      size_t EnvIdx = 0;
+      const Transition *Tr = nullptr;
+      Footprint Fp;
+      bool Sleeping = false;
+    };
+
+    auto SleepingThread = [&](ThreadId T) {
+      for (const SleepEntry &E : C.Sleep)
+        if (!E.IsEnv && E.T == T)
+          return true;
+      return false;
+    };
+    auto SleepingEnv = [&](size_t Idx) {
+      for (const SleepEntry &E : C.Sleep)
+        if (E.IsEnv && E.EnvIdx == Idx)
+          return true;
+      return false;
+    };
+
+    std::vector<Candidate> Cands;
+    for (const auto &Entry : C.Threads) {
+      ThreadId T = Entry.first;
+      const ThreadCtx &Ctx = Entry.second;
+      if (Ctx.Done || Ctx.Waiting)
+        continue;
+      assert(!Ctx.Stack.empty());
+      const Frame &Top = Ctx.Stack.back();
+      assert(Top.K == Frame::Kind::Run &&
+             Top.Node->kind() == Prog::Kind::Act &&
+             "normalized thread must sit at an atomic action");
+      Candidate K;
+      K.T = T;
+      K.ActNode = Top.Node;
+      K.A = Top.Node->action().get();
+      K.Args.reserve(Top.Node->args().size());
+      for (const ExprRef &E : Top.Node->args())
+        K.Args.push_back(E->eval(Top.Env));
+      for (size_t I = 0, Sz = K.Args.size(); I != Sz; ++I)
+        K.ArgText += (I ? ", " : "") + K.Args[I].toString();
+      K.Pre = C.GS.viewFor(T);
+      K.Fp = K.A->footprint(K.Pre, K.Args);
+      K.Sleeping = SleepingThread(T);
+      Cands.push_back(std::move(K));
+    }
+    View EnvView;
+    if (Opts.EnvInterference && Opts.Ambient) {
+      EnvView = C.GS.viewForEnv();
+      const std::vector<Transition> &Ts = Opts.Ambient->transitions();
+      for (size_t I = 0, Sz = Ts.size(); I != Sz; ++I) {
+        if (!Ts[I].isEnvEnabled() || Ts[I].name() == "idle")
+          continue;
+        // At a terminal, only transitions licensed by the last action's
+        // close mask may keep firing (see Config::EnvCloseMask).
+        if (Main.Done &&
+            (I >= 32 || !((C.EnvCloseMask >> I) & uint32_t(1))))
+          continue;
+        Candidate K;
+        K.IsEnv = true;
+        K.EnvIdx = I;
+        K.Tr = &Ts[I];
+        K.Fp = Ts[I].footprint(EnvView);
+        K.Sleeping = SleepingEnv(I);
+        Cands.push_back(std::move(K));
+      }
+    }
+
+    // The close mask a step with footprint \p Fp grants its terminal
+    // successors: one bit per ambient transition the step is independent
+    // of (judged against the transition's static, all-instance
+    // footprint).
+    auto CloseMask = [&](const Footprint &Fp) -> uint32_t {
+      if (!Fp.known() || !Opts.EnvInterference || !Opts.Ambient)
+        return 0;
+      uint32_t Mask = 0;
+      const std::vector<Transition> &Ts = Opts.Ambient->transitions();
+      size_t Sz = Ts.size() < 32 ? Ts.size() : 32;
+      for (size_t I = 0; I != Sz; ++I) {
+        if (!Ts[I].isEnvEnabled() || Ts[I].name() == "idle")
+          continue;
+        if (fpIndependent(Fp, Ts[I].staticFootprint()))
+          Mask |= uint32_t(1) << I;
+      }
+      return Mask;
+    };
+
+    auto ToSleepEntry = [](const Candidate &K) {
+      SleepEntry E;
+      E.IsEnv = K.IsEnv;
+      E.T = K.T;
+      E.ActNode = K.ActNode;
+      E.EnvIdx = K.EnvIdx;
+      E.Fp = K.Fp;
+      return E;
+    };
+
+    // Ample singleton: the first non-sleeping thread whose step is a
+    // local move explores alone; the sleep set survives filtered by
+    // independence with the chosen step. If any outcome's admin cascade
+    // changes the label set (hide install/uninstall — a state effect the
+    // action's footprint does not describe), fall back to full expansion.
+    for (Candidate &K : Cands) {
+      if (K.IsEnv || K.Sleeping || !globallyIndependent(K.Fp))
+        continue;
+      std::vector<BuiltSucc> Succ;
+      if (!buildThreadSuccessors(N, K.T, K.Pre, *K.A, K.Args, K.ArgText,
+                                 Succ))
+        return;
+      bool LabelsChanged = false;
+      for (const BuiltSucc &B : Succ)
+        LabelsChanged |= B.LabelsChanged;
+      if (LabelsChanged)
+        break;
+      std::vector<SleepEntry> NextSleep;
+      for (const SleepEntry &E : C.Sleep)
+        if (fpIndependent(E.Fp, K.Fp))
+          NextSleep.push_back(E);
+      W.ActionSteps += Succ.size();
+      for (BuiltSucc &B : Succ) {
+        B.Next.Sleep = NextSleep;
+        // License trailing-env closure on terminal successors: postponed
+        // independent env transitions still commute before this step.
+        B.Next.EnvCloseMask =
+            B.Next.Threads.at(rootThread()).Done.has_value()
+                ? CloseMask(K.Fp)
+                : 0;
+        B.Next.rehash();
+        enqueue(std::move(B.Next), &N, std::move(B.Step), W);
+      }
+      return;
+    }
+
+    // Full expansion with sleep sets: sleeping candidates are skipped
+    // outright (their outcomes were explored where they entered the sleep
+    // set and, by independence of everything since, are unchanged here);
+    // each executed step puts every earlier independent sibling and every
+    // surviving inherited entry to sleep in its successors. Steps whose
+    // cascade changes the label set have effects beyond their footprint,
+    // so they are treated as dependent on everything.
+    std::vector<SleepEntry> Taken;
+    for (Candidate &K : Cands) {
+      if (K.Sleeping)
+        continue;
+      std::vector<SleepEntry> NextSleep;
+      auto ComputeSleep = [&]() {
+        if (!K.Fp.known())
+          return;
+        // Two env transitions are steps of the *same* agent (the
+        // environment): their self/self and owned-region touches alias.
+        for (const SleepEntry &E : C.Sleep)
+          if (fpIndependent(E.Fp, K.Fp, E.IsEnv && K.IsEnv))
+            NextSleep.push_back(E);
+        for (const SleepEntry &E : Taken)
+          if (fpIndependent(E.Fp, K.Fp, E.IsEnv && K.IsEnv))
+            NextSleep.push_back(E);
+        std::sort(NextSleep.begin(), NextSleep.end(), sleepLess);
+      };
+      if (!K.IsEnv) {
+        std::vector<BuiltSucc> Succ;
+        if (!buildThreadSuccessors(N, K.T, K.Pre, *K.A, K.Args, K.ArgText,
+                                   Succ))
+          return;
+        bool LabelsChanged = false;
+        for (const BuiltSucc &B : Succ)
+          LabelsChanged |= B.LabelsChanged;
+        if (!LabelsChanged)
+          ComputeSleep();
+        W.ActionSteps += Succ.size();
+        for (BuiltSucc &B : Succ) {
+          B.Next.Sleep = NextSleep;
+          B.Next.EnvCloseMask =
+              (!LabelsChanged &&
+               B.Next.Threads.at(rootThread()).Done.has_value())
+                  ? CloseMask(K.Fp)
+                  : 0;
+          B.Next.rehash();
+          enqueue(std::move(B.Next), &N, std::move(B.Step), W);
+        }
+        if (!LabelsChanged && K.Fp.known())
+          Taken.push_back(ToSleepEntry(K));
+      } else {
+        ComputeSleep();
+        for (const View &Post : K.Tr->successors(EnvView)) {
+          if (!Opts.Ambient->coherent(Post))
+            continue;
+          ++W.EnvSteps;
+          Config Next = C;
+          Next.GS.applyEnv(EnvView, Post);
+          Next.Sleep = NextSleep;
+          Next.rehash();
+          enqueue(std::move(Next), &N, "env: " + K.Tr->name(), W);
+        }
+        if (K.Fp.known())
+          Taken.push_back(ToSleepEntry(K));
+      }
+    }
+  }
+
   /// Generates all successors of a normalized configuration.
   void expand(const Node &N, Worker &W) {
+    if (PorOn)
+      return expandPor(N, W);
+
     const Config &C = N.C;
     const ThreadCtx &Main = C.Threads.at(rootThread());
     if (Main.Done) {
@@ -753,6 +1245,8 @@ private:
 
   const EngineOptions &Opts;
   RunResult &Res;
+  bool PorOn = false;
+  Universe Uni;
   unsigned NumShards = 1;
   std::vector<Shard> Shards;
   std::vector<std::unique_ptr<Worker>> Workers;
@@ -772,12 +1266,78 @@ std::string RunResult::renderTrace() const {
   return Out;
 }
 
+namespace {
+
+/// Terminal sets are sorted; equality via the strict weak order.
+bool sameTerminals(const std::vector<Terminal> &A,
+                   const std::vector<Terminal> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, N = A.size(); I != N; ++I)
+    if (A[I] < B[I] || B[I] < A[I])
+      return false;
+  return true;
+}
+
+} // namespace
+
 RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
                         const EngineOptions &Opts, const VarEnv &InitialEnv) {
   assert(Root && "explore needs a program");
+  PorMode Mode = Opts.Por == PorMode::Default ? defaultPorMode() : Opts.Por;
+
+  if (Mode == PorMode::Check) {
+    // The soundness cross-check harness: run both explorations and demand
+    // the same verdict — and, when both complete, the same terminals. The
+    // full run's result is returned (it is the ground truth); a mismatch
+    // forces Safe = false so verification sessions fail loudly.
+    EngineOptions Sub = Opts;
+    Sub.Por = PorMode::Off;
+    RunResult Full = explore(Root, Initial, Sub, InitialEnv);
+    Sub.Por = PorMode::On;
+    RunResult Reduced = explore(Root, Initial, Sub, InitialEnv);
+    CheckFullCounter.fetch_add(Full.ConfigsExplored,
+                               std::memory_order_relaxed);
+    CheckReducedCounter.fetch_add(Reduced.ConfigsExplored,
+                                  std::memory_order_relaxed);
+    RunResult Res = Full;
+    Res.PorChecked = true;
+    Res.ConfigsFull = Full.ConfigsExplored;
+    Res.ConfigsReduced = Reduced.ConfigsExplored;
+    bool Agree =
+        Full.Safe == Reduced.Safe && Full.Exhausted == Reduced.Exhausted &&
+        (!Full.complete() ||
+         sameTerminals(Full.Terminals, Reduced.Terminals));
+    if (!Agree) {
+      Res.PorMismatch = true;
+      Res.Safe = false;
+      Res.FailureNote = formatString(
+          "partial-order reduction soundness cross-check failed: full "
+          "exploration (safe=%d exhausted=%d, %zu terminals, %llu configs) "
+          "disagrees with reduced exploration (safe=%d exhausted=%d, %zu "
+          "terminals, %llu configs)",
+          int(Full.Safe), int(Full.Exhausted), Full.Terminals.size(),
+          static_cast<unsigned long long>(Full.ConfigsExplored),
+          int(Reduced.Safe), int(Reduced.Exhausted),
+          Reduced.Terminals.size(),
+          static_cast<unsigned long long>(Reduced.ConfigsExplored));
+    }
+    return Res;
+  }
+
   RunResult Res;
-  Explorer E(Opts, Res);
+  Res.MaxConfigsBound = Opts.MaxConfigs;
+  Res.PorReduced = Mode == PorMode::On;
+  EngineOptions RunOpts = Opts;
+  RunOpts.Por = Mode;
+  Explorer E(RunOpts, Res);
   E.run(Root, Initial, InitialEnv);
+  if (Res.PorReduced)
+    Res.ConfigsReduced = Res.ConfigsExplored;
+  else
+    Res.ConfigsFull = Res.ConfigsExplored;
+  TotalConfigsCounter.fetch_add(Res.ConfigsExplored,
+                                std::memory_order_relaxed);
   return Res;
 }
 

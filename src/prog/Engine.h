@@ -20,6 +20,16 @@
 /// partial correctness, cutting cycles (e.g. spin loops) loses no
 /// terminating behaviours.
 ///
+/// The same commutation argument generalizes to atomic actions through
+/// footprint metadata (concurroid/Footprint.h): with partial-order
+/// reduction enabled, a thread whose pending action is independent of
+/// every step any other agent could ever take explores alone, and sleep
+/// sets prune the second order of already-commuted pairs (DESIGN.md §9).
+/// Reduction preserves the Safe verdict, the sorted Terminals, and
+/// failure detection, and stays bit-identical across job counts; the
+/// `Check` mode cross-validates this at runtime by running both
+/// explorations and comparing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_PROG_ENGINE_H
@@ -29,6 +39,14 @@
 #include "state/GlobalState.h"
 
 namespace fcsl {
+
+/// Partial-order reduction mode for an exploration.
+enum class PorMode : uint8_t {
+  Default, ///< use the process default (setDefaultPorMode / FCSL_POR).
+  Off,     ///< full interleaving exploration.
+  On,      ///< ample-set + sleep-set reduction.
+  Check    ///< run Off and On, assert identical verdicts and terminals.
+};
 
 /// Exploration parameters.
 struct EngineOptions {
@@ -50,6 +68,10 @@ struct EngineOptions {
   /// merged and sorted deterministically, and for complete explorations
   /// every counter is order-independent.
   unsigned Jobs = 0;
+  /// Partial-order reduction (see PorMode). `Default` resolves to the
+  /// process default, which is Off unless overridden by `--por` /
+  /// `FCSL_POR` / setDefaultPorMode.
+  PorMode Por = PorMode::Default;
 };
 
 /// A terminal execution: the program's result and final state.
@@ -83,6 +105,19 @@ struct RunResult {
   /// shared process-wide and counted by support/Intern.h, not here.
   uint64_t VisitedNodes = 0;
   uint64_t VisitedBytes = 0;
+  /// Exhaustion diagnostics: the MaxConfigs bound that was in effect and,
+  /// when it was hit, how many frontier configurations were still pending
+  /// at abort (scheduling-dependent; a magnitude, not an exact count).
+  uint64_t MaxConfigsBound = 0;
+  uint64_t FrontierAtAbort = 0;
+  /// Partial-order reduction provenance: whether this run explored the
+  /// reduced state space, and — in Check mode — both runs' config counts
+  /// and whether they disagreed (a mismatch also forces Safe = false).
+  bool PorReduced = false;
+  bool PorChecked = false;
+  bool PorMismatch = false;
+  uint64_t ConfigsFull = 0;    ///< Check mode: the full run's configs.
+  uint64_t ConfigsReduced = 0; ///< Check/On: the reduced run's configs.
 
   bool complete() const { return Safe && !Exhausted; }
   /// Renders the failure trace, one step per line.
@@ -126,6 +161,26 @@ SimResult simulate(const ProgRef &Root, const GlobalState &Initial,
 /// (reported by `fcsl-verify --stats` and the benchmarks).
 uint64_t peakVisitedNodes();
 uint64_t peakVisitedBytes();
+
+/// Cumulative configurations explored across every run so far. Benchmarks
+/// read deltas around a workload to attribute state-space volume to it.
+uint64_t totalConfigsExplored();
+
+/// Sets the process-default PorMode used when `EngineOptions::Por` is
+/// `Default` (exposed as `fcsl-verify --por=off|on|check`).
+void setDefaultPorMode(PorMode M);
+
+/// The process-default PorMode: the last setDefaultPorMode value, else the
+/// `FCSL_POR` environment variable ("off"/"on"/"check"), else Off.
+PorMode defaultPorMode();
+
+/// Cumulative full/reduced config counts over every Check-mode run so far
+/// (the cross-check harness prints the aggregate reduction ratio).
+struct PorCheckTotals {
+  uint64_t Full = 0;
+  uint64_t Reduced = 0;
+};
+PorCheckTotals porCheckTotals();
 
 } // namespace fcsl
 

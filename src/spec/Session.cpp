@@ -58,8 +58,7 @@ SessionReport VerificationSession::run(unsigned Jobs) const {
   Report.Program = Program;
   Timer Total;
   size_t N = Obligations.size();
-  unsigned J =
-      static_cast<unsigned>(std::min<size_t>(resolveJobs(Jobs), N));
+  unsigned J = effectiveJobs(Jobs, N);
 
   // Discharge concurrently (obligations are independent), then fold the
   // ledger in registration order so tallies and the failure list do not

@@ -8,7 +8,11 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 
 using namespace fcsl;
@@ -22,6 +26,46 @@ struct ViewHash {
     return Seed;
   }
 };
+
+/// The assertion-independent half of stableInterior: the env-reachable
+/// closure with its successor relation.
+using ClosureGraph = std::vector<std::pair<View, std::vector<View>>>;
+
+/// Memo key: concurroid identity, exact seed views, and the bound. Seeds
+/// are compared by View's total order, so the key is value-based and a
+/// re-built identical seed set still hits. The key holds the ConcurroidRef
+/// (not a raw pointer) so a cached concurroid cannot be destroyed and its
+/// address recycled by an unrelated one.
+struct ClosureKey {
+  ConcurroidRef C;
+  uint64_t MaxStates;
+  std::vector<View> Seeds;
+
+  friend bool operator<(const ClosureKey &A, const ClosureKey &B) {
+    if (A.C.get() != B.C.get())
+      return A.C.get() < B.C.get();
+    if (A.MaxStates != B.MaxStates)
+      return A.MaxStates < B.MaxStates;
+    return std::lexicographical_compare(A.Seeds.begin(), A.Seeds.end(),
+                                        B.Seeds.begin(), B.Seeds.end());
+  }
+};
+
+struct ClosureCache {
+  std::mutex M;
+  std::map<ClosureKey, std::shared_ptr<const ClosureGraph>> Entries;
+  StableInteriorCacheStats Stats;
+};
+
+ClosureCache &closureCache() {
+  static ClosureCache Cache;
+  return Cache;
+}
+
+/// Keeps the cache from growing without bound across long sessions; the
+/// working set per verification session is a handful of (concurroid,
+/// seeds) pairs, far below the cap.
+constexpr size_t ClosureCacheCap = 64;
 
 } // namespace
 
@@ -67,25 +111,50 @@ StabilityReport fcsl::checkStability(const Assertion &A, const Concurroid &C,
 Assertion fcsl::stableInterior(const Assertion &P, const ConcurroidRef &C,
                                const std::vector<View> &Seeds,
                                uint64_t MaxStates) {
-  // Build the env-reachable closure with its successor relation.
-  std::unordered_set<View, ViewHash> Closure;
-  std::deque<View> Queue;
-  for (const View &Seed : Seeds) {
-    if (!C->coherent(Seed))
-      continue;
-    if (Closure.insert(Seed).second)
-      Queue.push_back(Seed);
+  // The closure graph depends only on (concurroid, seeds, bound), not on
+  // P — look it up before rebuilding.
+  ClosureKey Key{C, MaxStates, Seeds};
+  std::shared_ptr<const ClosureGraph> Cached;
+  {
+    ClosureCache &Cache = closureCache();
+    std::lock_guard<std::mutex> Lock(Cache.M);
+    auto It = Cache.Entries.find(Key);
+    if (It != Cache.Entries.end()) {
+      ++Cache.Stats.Hits;
+      Cached = It->second;
+    } else {
+      ++Cache.Stats.Misses;
+    }
   }
-  std::vector<std::pair<View, std::vector<View>>> Graph;
-  while (!Queue.empty() && Closure.size() < MaxStates) {
-    View S = std::move(Queue.front());
-    Queue.pop_front();
-    std::vector<View> Succs = C->envSuccessors(S);
-    for (const View &Next : Succs)
-      if (Closure.insert(Next).second)
-        Queue.push_back(Next);
-    Graph.emplace_back(std::move(S), std::move(Succs));
+
+  if (!Cached) {
+    // Build the env-reachable closure with its successor relation.
+    std::unordered_set<View, ViewHash> Closure;
+    std::deque<View> Queue;
+    for (const View &Seed : Seeds) {
+      if (!C->coherent(Seed))
+        continue;
+      if (Closure.insert(Seed).second)
+        Queue.push_back(Seed);
+    }
+    auto Graph = std::make_shared<ClosureGraph>();
+    while (!Queue.empty() && Closure.size() < MaxStates) {
+      View S = std::move(Queue.front());
+      Queue.pop_front();
+      std::vector<View> Succs = C->envSuccessors(S);
+      for (const View &Next : Succs)
+        if (Closure.insert(Next).second)
+          Queue.push_back(Next);
+      Graph->emplace_back(std::move(S), std::move(Succs));
+    }
+    Cached = Graph;
+    ClosureCache &Cache = closureCache();
+    std::lock_guard<std::mutex> Lock(Cache.M);
+    if (Cache.Entries.size() >= ClosureCacheCap)
+      Cache.Entries.clear();
+    Cache.Entries.emplace(std::move(Key), Cached);
   }
+  const ClosureGraph &Graph = *Cached;
 
   // Greatest fixpoint: start from the P-states and peel off any state
   // with an env successor outside the candidate set.
@@ -113,6 +182,12 @@ Assertion fcsl::stableInterior(const Assertion &P, const ConcurroidRef &C,
                    [InSet](const View &S) {
                      return InSet->count(S) != 0;
                    });
+}
+
+StableInteriorCacheStats fcsl::stableInteriorCacheStats() {
+  ClosureCache &Cache = closureCache();
+  std::lock_guard<std::mutex> Lock(Cache.M);
+  return Cache.Stats;
 }
 
 StabilityReport fcsl::checkRelationStability(

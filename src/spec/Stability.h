@@ -60,6 +60,18 @@ Assertion stableInterior(const Assertion &P, const ConcurroidRef &C,
                          const std::vector<View> &Seeds,
                          uint64_t MaxStates = 100000);
 
+/// `stableInterior` memoizes the env-reachable closure graph (the
+/// expensive, assertion-independent half of the computation) keyed on the
+/// concurroid, the seed views, and the bound; repeated interiors over the
+/// same interference — the common case when a session discharges many
+/// spec obligations against one concurroid — only pay for the greatest
+/// fixpoint. These counters expose the cache for tests and diagnostics.
+struct StableInteriorCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+StableInteriorCacheStats stableInteriorCacheStats();
+
 } // namespace fcsl
 
 #endif // FCSL_SPEC_STABILITY_H

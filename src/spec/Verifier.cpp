@@ -46,8 +46,7 @@ exploreInstances(const ProgRef &Prog,
 }
 
 unsigned fanoutJobs(const EngineOptions &Opts, size_t NumInstances) {
-  return static_cast<unsigned>(
-      std::min<size_t>(resolveJobs(Opts.Jobs), NumInstances));
+  return effectiveJobs(Opts.Jobs, NumInstances);
 }
 
 } // namespace
@@ -123,7 +122,14 @@ VerifyResult fcsl::verifyTriple(const ProgRef &Prog, const Spec &S,
     if (Run.Exhausted) {
       Out.Holds = false;
       Out.FailureNote = formatString(
-          "%s: state space exceeded the exploration bound", S.Name.c_str());
+          "%s: state space exceeded the exploration bound "
+          "(MaxConfigs=%llu, %llu configs explored, ~%llu frontier "
+          "configurations pending at abort, partial-order reduction %s)",
+          S.Name.c_str(),
+          static_cast<unsigned long long>(Run.MaxConfigsBound),
+          static_cast<unsigned long long>(Run.ConfigsExplored),
+          static_cast<unsigned long long>(Run.FrontierAtAbort),
+          Run.PorReduced ? "on" : "off");
       return Out;
     }
     for (const Terminal &Term : Run.Terminals) {

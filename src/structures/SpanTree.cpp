@@ -26,6 +26,12 @@ PtrSet unionSets(const PtrSet &A, const PtrSet &B) {
   return Out;
 }
 
+/// Footprint field masks for graph cells (NodeCell has three independent
+/// fields; see Footprint.h on field-masked joint atoms).
+constexpr uint8_t FpLeft = 1;
+constexpr uint8_t FpRight = 2;
+constexpr uint8_t FpMarked = 4;
+
 } // namespace
 
 SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
@@ -54,7 +60,10 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
       "SpanTree", {OwnedLabel{Sp, "sp", PCMType::ptrSet()}}, Coh);
 
   // --- marknode_trans -----------------------------------------------------
-  Span->addTransition(Transition(
+  // Footprint (the agent is the environment): scans every cell's Marked
+  // bit, marks one, and grows its own contribution — Left/Right fields
+  // are never touched, so marking commutes with edge nullification.
+  Transition MarkT(
       "marknode_trans", TransitionKind::Internal,
       [Sp](const View &Pre) -> std::vector<View> {
         std::vector<View> Out;
@@ -72,10 +81,17 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
           Out.push_back(std::move(Post));
         }
         return Out;
-      }));
+      });
+  MarkT.withFootprint(Footprint::none()
+                          .readWrite(FpAtom::joint(Sp, FpMarked))
+                          .readWrite(FpAtom::selfAux(Sp)));
+  Span->addTransition(std::move(MarkT));
 
   // --- nullify_trans -------------------------------------------------------
-  Span->addTransition(Transition(
+  // Footprint: reads its own marked set and reads/writes the Left/Right
+  // fields of cells it owns (x in the agent's self set is governed by that
+  // contribution, and distinct agents' ptrset contributions are disjoint).
+  Transition NullT(
       "nullify_trans", TransitionKind::Internal,
       [Sp](const View &Pre) -> std::vector<View> {
         std::vector<View> Out;
@@ -92,7 +108,13 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
           }
         }
         return Out;
-      }));
+      });
+  NullT.withFootprint(
+      Footprint::none()
+          .read(FpAtom::selfAux(Sp))
+          .readWrite(FpAtom::joint(Sp, FpLeft | FpRight,
+                                   FpRegion::SelfOwned)));
+  Span->addTransition(std::move(NullT));
 
   ConcurroidRef PrivC = makePriv(Pv);
   Case.Span = Span;
@@ -118,6 +140,19 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
         Mine.insert(X);
         Post.setSelf(Sp, PCMVal::ofPtrSet(std::move(Mine)));
         return std::vector<ActOutcome>{{Val::ofBool(true), std::move(Post)}};
+      },
+      // Static: may touch any cell's Marked bit plus own contribution.
+      // Dynamically the cell is known, but stays FpRegion::Any — x may be
+      // another agent's node (that is the whole point of trymark's race).
+      Footprint::none()
+          .readWrite(FpAtom::joint(Sp, FpMarked))
+          .readWrite(FpAtom::selfAux(Sp)),
+      [Sp](const View &, const std::vector<Val> &Args) -> Footprint {
+        if (!Args[0].isPtr())
+          return Footprint::none(); // Unsafe in every state: no footprint.
+        return Footprint::none()
+            .readWrite(FpAtom::jointCell(Sp, Args[0].getPtr(), FpMarked))
+            .readWrite(FpAtom::selfAux(Sp));
       });
 
   auto MakeReadChild = [Sp, &Case](const char *Name, Side S) {
@@ -132,6 +167,20 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
             return std::nullopt; // Precondition: x \in self.
           return std::vector<ActOutcome>{
               {Val::ofPtr(succOf(Pre.joint(Sp), X, S)), Pre}};
+        },
+        // Safety needs only the own marked set; the edge read is confined
+        // to one Left/Right field of a cell the agent owns (x in self).
+        Footprint::none()
+            .read(FpAtom::selfAux(Sp))
+            .read(FpAtom::joint(Sp, FpLeft | FpRight, FpRegion::SelfOwned)),
+        [Sp, S](const View &, const std::vector<Val> &Args) -> Footprint {
+          if (!Args[0].isPtr())
+            return Footprint::none();
+          return Footprint::none()
+              .read(FpAtom::selfAux(Sp))
+              .read(FpAtom::jointCell(Sp, Args[0].getPtr(),
+                                      S == Side::Left ? FpLeft : FpRight,
+                                      FpRegion::SelfOwned));
         });
   };
   Case.ReadChildL = MakeReadChild("read_child_l", Side::Left);
@@ -150,6 +199,19 @@ SpanTreeCase fcsl::makeSpanTreeCase(Label Pv, Label Sp) {
           View Post = Pre;
           Post.setJoint(Sp, nullEdge(Pre.joint(Sp), X, S));
           return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
+        },
+        Footprint::none()
+            .read(FpAtom::selfAux(Sp))
+            .readWrite(
+                FpAtom::joint(Sp, FpLeft | FpRight, FpRegion::SelfOwned)),
+        [Sp, S](const View &, const std::vector<Val> &Args) -> Footprint {
+          if (!Args[0].isPtr())
+            return Footprint::none();
+          return Footprint::none()
+              .read(FpAtom::selfAux(Sp))
+              .readWrite(FpAtom::jointCell(Sp, Args[0].getPtr(),
+                                           S == Side::Left ? FpLeft : FpRight,
+                                           FpRegion::SelfOwned));
         });
   };
   Case.NullifyL = MakeNullify("nullify_l", Side::Left);

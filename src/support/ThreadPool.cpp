@@ -141,3 +141,16 @@ unsigned fcsl::resolveJobs(unsigned Requested) {
     return Requested;
   return inParallelRegion() ? 1 : defaultJobs();
 }
+
+unsigned fcsl::effectiveJobs(unsigned Requested, size_t WorkItems) {
+  if (WorkItems <= 1)
+    return 1;
+  unsigned Resolved = resolveJobs(Requested);
+  if (Resolved <= 1)
+    return 1;
+  // Thread spin-up costs more than it saves on a single hardware thread,
+  // and for a handful of items the pool barely overlaps anything.
+  if (hardwareJobs() == 1 || WorkItems < 4)
+    return 1;
+  return static_cast<unsigned>(std::min<size_t>(Resolved, WorkItems));
+}

@@ -101,6 +101,13 @@ unsigned defaultJobs();
 /// multiplicative nesting unless explicitly asked for).
 unsigned resolveJobs(unsigned Requested);
 
+/// Resolves a job count for a fan-out over \p WorkItems independent units:
+/// `resolveJobs(Requested)` clamped to the item count, and forced serial
+/// when parallelism cannot pay for itself — a single-core host, or too few
+/// items to amortize pool spin-up (fixes the table-1 case where the
+/// parallel path was slower than serial on one core).
+unsigned effectiveJobs(unsigned Requested, size_t WorkItems);
+
 } // namespace fcsl
 
 #endif // FCSL_SUPPORT_THREADPOOL_H

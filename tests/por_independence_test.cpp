@@ -1,0 +1,353 @@
+//===- tests/por_independence_test.cpp - Partial-order reduction -----------===//
+//
+// Part of fcsl-cpp. The footprint independence relation behind the
+// engine's partial-order reduction (DESIGN.md §9), and the reduction's
+// observational-equivalence contract: same Safe verdict, same sorted
+// Terminals, same failure detection as the full exploration, bit-identical
+// across job counts — with strictly fewer configurations where actions
+// commute.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphGen.h"
+#include "prog/Engine.h"
+#include "structures/SpanTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Pv = 1;
+constexpr Label Sp = 2;
+// SpanTree's graph-cell field masks (structures/SpanTree.cpp).
+constexpr uint8_t FpLeft = 1;
+constexpr uint8_t FpRight = 2;
+constexpr uint8_t FpMarked = 4;
+
+// The three-node graph with sharing and a cycle used throughout the
+// spanning-tree tests: 1 -> (2, 3), 2 -> (3, null), 3 -> (1, null).
+Heap threeNodeGraph() {
+  return buildGraph({GraphNode{Ptr(1), Ptr(2), Ptr(3)},
+                     GraphNode{Ptr(2), Ptr(3), Ptr::null()},
+                     GraphNode{Ptr(3), Ptr(1), Ptr::null()}});
+}
+
+// A stack of diamonds: layer L is Id -> (Id+1, Id+2), both -> Id+3. Wide
+// fork/join parallelism with heavy commuting, the reduction's best case.
+Heap diamondOf(unsigned Layers) {
+  std::vector<GraphNode> Nodes;
+  uint32_t Id = 1;
+  for (unsigned L = 0; L < Layers; ++L) {
+    Nodes.push_back(GraphNode{Ptr(Id), Ptr(Id + 1), Ptr(Id + 2)});
+    Nodes.push_back(GraphNode{Ptr(Id + 1), Ptr(Id + 3), Ptr::null()});
+    Nodes.push_back(GraphNode{Ptr(Id + 2), Ptr(Id + 3), Ptr::null()});
+    Id += 3;
+  }
+  Nodes.push_back(GraphNode{Ptr(Id), Ptr::null(), Ptr::null()});
+  return buildGraph(Nodes);
+}
+
+bool sameTerminals(const RunResult &A, const RunResult &B) {
+  if (A.Terminals.size() != B.Terminals.size())
+    return false;
+  for (size_t I = 0; I != A.Terminals.size(); ++I)
+    if (A.Terminals[I] < B.Terminals[I] || B.Terminals[I] < A.Terminals[I])
+      return false;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The atom clash matrix.
+//===----------------------------------------------------------------------===//
+
+TEST(FpClashTest, DifferentLabelsNeverClash) {
+  EXPECT_FALSE(fpAtomsClash(FpAtom::joint(1), FpAtom::joint(2)));
+  EXPECT_FALSE(fpAtomsClash(FpAtom::selfAux(1), FpAtom::otherAux(2)));
+}
+
+TEST(FpClashTest, AuxAndJointAreDisjointComponents) {
+  EXPECT_FALSE(fpAtomsClash(FpAtom::selfAux(Sp), FpAtom::joint(Sp)));
+  EXPECT_FALSE(fpAtomsClash(FpAtom::otherAux(Sp), FpAtom::joint(Sp)));
+}
+
+TEST(FpClashTest, AuxComponentsAcrossAgents) {
+  // Two agents' self contributions join in the PCM: frame-disjoint.
+  EXPECT_FALSE(fpAtomsClash(FpAtom::selfAux(Sp), FpAtom::selfAux(Sp)));
+  // X's self is part of Y's other, and two others share third parties.
+  EXPECT_TRUE(fpAtomsClash(FpAtom::selfAux(Sp), FpAtom::otherAux(Sp)));
+  EXPECT_TRUE(fpAtomsClash(FpAtom::otherAux(Sp), FpAtom::selfAux(Sp)));
+  EXPECT_TRUE(fpAtomsClash(FpAtom::otherAux(Sp), FpAtom::otherAux(Sp)));
+}
+
+TEST(FpClashTest, AuxComponentsSameAgent) {
+  // One agent touching the same component twice aliases itself; its self
+  // and other components stay disjoint.
+  EXPECT_TRUE(fpAtomsClash(FpAtom::selfAux(Sp), FpAtom::selfAux(Sp),
+                           /*SameAgent=*/true));
+  EXPECT_TRUE(fpAtomsClash(FpAtom::otherAux(Sp), FpAtom::otherAux(Sp),
+                           /*SameAgent=*/true));
+  EXPECT_FALSE(fpAtomsClash(FpAtom::selfAux(Sp), FpAtom::otherAux(Sp),
+                            /*SameAgent=*/true));
+}
+
+TEST(FpClashTest, OwnershipRegionsAcrossAgents) {
+  FpAtom Own = FpAtom::joint(Sp, FpFieldsAll, FpRegion::SelfOwned);
+  FpAtom Unowned = FpAtom::joint(Sp, FpFieldsAll, FpRegion::Unowned);
+  FpAtom Any = FpAtom::joint(Sp);
+  // Different agents' owned regions are disjoint, and disjoint from the
+  // unowned remainder; Any makes no claim.
+  EXPECT_FALSE(fpAtomsClash(Own, Own));
+  EXPECT_FALSE(fpAtomsClash(Own, Unowned));
+  EXPECT_FALSE(fpAtomsClash(Unowned, Own));
+  EXPECT_TRUE(fpAtomsClash(Own, Any));
+  EXPECT_TRUE(fpAtomsClash(Any, Any));
+}
+
+TEST(FpClashTest, SelfOwnedSameAgentNamesOneRegion) {
+  // The same agent's two SelfOwned touches may alias; refinement then
+  // falls through to fields and cells.
+  FpAtom OwnL = FpAtom::joint(Sp, FpLeft, FpRegion::SelfOwned);
+  FpAtom OwnR = FpAtom::joint(Sp, FpRight, FpRegion::SelfOwned);
+  EXPECT_TRUE(fpAtomsClash(OwnL, OwnL, /*SameAgent=*/true));
+  EXPECT_FALSE(fpAtomsClash(OwnL, OwnR, /*SameAgent=*/true));
+}
+
+TEST(FpClashTest, DisjointFieldMasks) {
+  EXPECT_FALSE(
+      fpAtomsClash(FpAtom::joint(Sp, FpMarked), FpAtom::joint(Sp, FpLeft)));
+  EXPECT_TRUE(fpAtomsClash(FpAtom::joint(Sp, FpMarked | FpLeft),
+                           FpAtom::joint(Sp, FpLeft)));
+}
+
+TEST(FpClashTest, CellRefinements) {
+  FpAtom C1 = FpAtom::jointCell(Sp, Ptr(1));
+  FpAtom C2 = FpAtom::jointCell(Sp, Ptr(2));
+  EXPECT_FALSE(fpAtomsClash(C1, C2));
+  EXPECT_TRUE(fpAtomsClash(C1, C1));
+  EXPECT_TRUE(fpAtomsClash(C1, FpAtom::joint(Sp))); // vs all cells.
+}
+
+//===----------------------------------------------------------------------===//
+// Footprint independence on the real SpanTree actions.
+//===----------------------------------------------------------------------===//
+
+TEST(FpIndependenceTest, UnknownFootprintsAreDependentOnEverything) {
+  Footprint Unknown;
+  EXPECT_FALSE(Unknown.known());
+  EXPECT_FALSE(fpIndependent(Unknown, Unknown));
+  EXPECT_FALSE(fpIndependent(Unknown, Footprint::none()));
+  // Two known-empty footprints commute trivially.
+  EXPECT_TRUE(fpIndependent(Footprint::none(), Footprint::none()));
+}
+
+TEST(FpIndependenceTest, ReadsDoNotClashWithReads) {
+  Footprint A = Footprint::none().read(FpAtom::joint(Sp, FpMarked));
+  Footprint B = Footprint::none().read(FpAtom::joint(Sp, FpMarked));
+  EXPECT_TRUE(fpIndependent(A, B));
+  Footprint W = Footprint::none().write(FpAtom::joint(Sp, FpMarked));
+  EXPECT_FALSE(fpIndependent(A, W));
+}
+
+TEST(FpIndependenceTest, TrymarksOnDistinctNodesCommute) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanOpenState(Case, threeNodeGraph(), {});
+  View S = GS.viewFor(ThreadId(1));
+  Footprint M1 = Case.TryMark->footprint(S, {Val::ofPtr(Ptr(1))});
+  Footprint M2 = Case.TryMark->footprint(S, {Val::ofPtr(Ptr(2))});
+  EXPECT_TRUE(fpIndependent(M1, M2));
+  // The same node raced from two threads: the whole point of the CAS.
+  EXPECT_FALSE(fpIndependent(M1, M1));
+  // Marking a node vs reading an edge of another: disjoint fields.
+  Footprint R2 = Case.ReadChildL->footprint(S, {Val::ofPtr(Ptr(2))});
+  EXPECT_TRUE(fpIndependent(M2, R2));
+}
+
+TEST(FpIndependenceTest, StaticFootprintIsTheFallback) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  const Footprint &St = Case.TryMark->staticFootprint();
+  ASSERT_TRUE(St.known());
+  // The static footprint covers all cells, so two instances of it clash.
+  EXPECT_FALSE(fpIndependent(St, St));
+}
+
+//===----------------------------------------------------------------------===//
+// Observational equivalence of the reduced exploration.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+EngineOptions openOpts(const SpanTreeCase &Case) {
+  EngineOptions Opts;
+  Opts.Ambient = Case.Open;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  Opts.Jobs = 1;
+  return Opts;
+}
+
+EngineOptions closedOpts(const SpanTreeCase &Case) {
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  Opts.Jobs = 1;
+  return Opts;
+}
+
+} // namespace
+
+TEST(PorEquivalenceTest, OpenWorldSpanMatchesFullExploration) {
+  // Open-world span under live environment interference, across root
+  // arguments and pre-marked env sets: the reduced run must reproduce the
+  // full run's verdict and its exact terminal set (including terminals
+  // only reachable with env steps ordered around the final action).
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  Heap G = threeNodeGraph();
+  for (Ptr X : {Ptr::null(), Ptr(1), Ptr(2)}) {
+    for (const PtrSet &EnvMarked :
+         {PtrSet{}, PtrSet{Ptr(3)}, PtrSet{Ptr(2), Ptr(3)}}) {
+      ProgRef Main = Prog::call("span", {Expr::litPtr(X)});
+      GlobalState GS = spanOpenState(Case, G, EnvMarked);
+      EngineOptions Opts = openOpts(Case);
+      Opts.Por = PorMode::Off;
+      RunResult Full = explore(Main, GS, Opts);
+      Opts.Por = PorMode::On;
+      RunResult Red = explore(Main, GS, Opts);
+      EXPECT_EQ(Full.Safe, Red.Safe);
+      EXPECT_EQ(Full.Exhausted, Red.Exhausted);
+      EXPECT_TRUE(sameTerminals(Full, Red))
+          << "X=" << X.toString() << " |EnvMarked|=" << EnvMarked.size()
+          << ": " << Full.Terminals.size() << " full vs "
+          << Red.Terminals.size() << " reduced terminals";
+      EXPECT_TRUE(Red.PorReduced);
+      EXPECT_FALSE(Full.PorReduced);
+    }
+  }
+}
+
+TEST(PorEquivalenceTest, ClosedWorldDiamondReducesStateSpace) {
+  // The fork/join diamond: massively commuting subtrees. The reduction
+  // must preserve the terminals exactly and beat the acceptance bar of
+  // half the full configuration count.
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanRootState(Case, diamondOf(2));
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts = closedOpts(Case);
+  Opts.Por = PorMode::Off;
+  RunResult Full = explore(Main, GS, Opts);
+  Opts.Por = PorMode::On;
+  RunResult Red = explore(Main, GS, Opts);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Red.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Red));
+  EXPECT_LT(Red.ConfigsExplored, Full.ConfigsExplored);
+  EXPECT_LE(2 * Red.ConfigsExplored, Full.ConfigsExplored)
+      << Red.ConfigsExplored << " reduced vs " << Full.ConfigsExplored
+      << " full configurations";
+}
+
+TEST(PorEquivalenceTest, ReducedRunIsBitIdenticalAcrossJobCounts) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanRootState(Case, diamondOf(2));
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts = closedOpts(Case);
+  Opts.Por = PorMode::On;
+  Opts.Jobs = 1;
+  RunResult Serial = explore(Main, GS, Opts);
+  ASSERT_TRUE(Serial.complete());
+  for (unsigned Jobs : {2u, 8u}) {
+    Opts.Jobs = Jobs;
+    RunResult Par = explore(Main, GS, Opts);
+    EXPECT_EQ(Serial.Safe, Par.Safe) << Jobs << " jobs";
+    EXPECT_TRUE(sameTerminals(Serial, Par)) << Jobs << " jobs";
+    EXPECT_EQ(Serial.ConfigsExplored, Par.ConfigsExplored) << Jobs << " jobs";
+    EXPECT_EQ(Serial.ActionSteps, Par.ActionSteps) << Jobs << " jobs";
+    EXPECT_EQ(Serial.EnvSteps, Par.EnvSteps) << Jobs << " jobs";
+  }
+}
+
+TEST(PorEquivalenceTest, CheckModeCrossValidates) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanRootState(Case, diamondOf(1));
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts = closedOpts(Case);
+  Opts.Por = PorMode::Check;
+  RunResult R = explore(Main, GS, Opts);
+  EXPECT_TRUE(R.Safe);
+  EXPECT_TRUE(R.PorChecked);
+  EXPECT_FALSE(R.PorMismatch);
+  EXPECT_GT(R.ConfigsFull, 0u);
+  EXPECT_GT(R.ConfigsReduced, 0u);
+  EXPECT_LT(R.ConfigsReduced, R.ConfigsFull);
+  // Check mode reports the *full* run (the ground truth), so its counters
+  // and PorReduced flag describe the unreduced exploration.
+  EXPECT_FALSE(R.PorReduced);
+  EXPECT_EQ(R.ConfigsExplored, R.ConfigsFull);
+}
+
+TEST(PorEquivalenceTest, DefaultModeFollowsProcessDefault) {
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  GlobalState GS = spanRootState(Case, diamondOf(1));
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  EngineOptions Opts = closedOpts(Case);
+  Opts.Por = PorMode::Default;
+  setDefaultPorMode(PorMode::On);
+  RunResult R = explore(Main, GS, Opts);
+  setDefaultPorMode(PorMode::Off);
+  RunResult F = explore(Main, GS, Opts);
+  EXPECT_TRUE(R.PorReduced);
+  EXPECT_FALSE(F.PorReduced);
+  EXPECT_TRUE(sameTerminals(R, F));
+}
+
+//===----------------------------------------------------------------------===//
+// Failure preservation: reduction must not hide safety violations.
+//===----------------------------------------------------------------------===//
+
+TEST(PorFailureTest, RacyUnsafeActionStillDetected) {
+  // An action that crashes when its node is already marked, raced against
+  // trymark on the same node: unsafe only in the schedule where trymark
+  // goes first. Both actions' footprints honestly name cell 1's Marked
+  // field, so they are dependent and the reduction must keep both orders —
+  // and report the violation, exactly like the full exploration.
+  SpanTreeCase Case = makeSpanTreeCase(Pv, Sp);
+  ActionRef AssertUnmarked = makeAction(
+      "assert_unmarked", Case.Open, 1,
+      [](const View &Pre, const std::vector<Val> &Args)
+          -> std::optional<std::vector<ActOutcome>> {
+        if (!Args[0].isPtr())
+          return std::nullopt;
+        Ptr X = Args[0].getPtr();
+        const Heap &G = Pre.joint(Sp);
+        if (!G.contains(X) || G.lookup(X).getNode().Marked)
+          return std::nullopt; // Crashes once the environment marked x.
+        return std::vector<ActOutcome>{{Val::unit(), Pre}};
+      },
+      Footprint::none().read(FpAtom::joint(Sp, FpMarked)),
+      [](const View &, const std::vector<Val> &Args) -> Footprint {
+        if (!Args[0].isPtr())
+          return Footprint::none();
+        return Footprint::none().read(
+            FpAtom::jointCell(Sp, Args[0].getPtr(), FpMarked));
+      });
+  ProgRef Racy =
+      Prog::par(Prog::act(Case.TryMark, {Expr::litPtr(Ptr(1))}),
+                Prog::act(AssertUnmarked, {Expr::litPtr(Ptr(1))}));
+  GlobalState GS = spanOpenState(Case, threeNodeGraph(), {});
+  EngineOptions Opts = openOpts(Case);
+  Opts.EnvInterference = false;
+  Opts.CheckStepCoherence = false; // assert_unmarked is not a transition.
+  Opts.Por = PorMode::Off;
+  RunResult Full = explore(Racy, GS, Opts);
+  Opts.Por = PorMode::On;
+  RunResult Red = explore(Racy, GS, Opts);
+  EXPECT_FALSE(Full.Safe);
+  EXPECT_FALSE(Red.Safe) << "reduction hid the racy violation";
+  EXPECT_NE(Red.FailureNote.find("assert_unmarked"), std::string::npos)
+      << Red.FailureNote;
+  EXPECT_FALSE(Red.FailureTrace.empty());
+}

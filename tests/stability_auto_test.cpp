@@ -58,6 +58,30 @@ View counterView(uint64_t Mine, uint64_t Theirs) {
 
 } // namespace
 
+TEST(StableInteriorTest, ClosureGraphIsMemoized) {
+  // The env-reachable closure is assertion-independent; two interiors
+  // over the same (concurroid, seeds, bound) must share it. A session
+  // discharging many obligations against one concurroid hits this path
+  // on every obligation after the first.
+  ConcurroidRef C = makeCounter(3);
+  Assertion Mine("self >= 1",
+                 [](const View &S) { return S.self(Ct).getNat() >= 1; });
+  Assertion Joint2("joint <= 2", [](const View &S) {
+    return S.joint(Ct).lookup(Cell).getInt() <= 2;
+  });
+  StableInteriorCacheStats Before = stableInteriorCacheStats();
+  stableInterior(Mine, C, {counterView(1, 0)});
+  StableInteriorCacheStats Mid = stableInteriorCacheStats();
+  EXPECT_EQ(Mid.Misses, Before.Misses + 1);
+  stableInterior(Joint2, C, {counterView(1, 0)});
+  StableInteriorCacheStats After = stableInteriorCacheStats();
+  EXPECT_EQ(After.Misses, Mid.Misses) << "closure graph rebuilt";
+  EXPECT_EQ(After.Hits, Mid.Hits + 1);
+  // A different seed set is a different closure.
+  stableInterior(Mine, C, {counterView(2, 0)});
+  EXPECT_EQ(stableInteriorCacheStats().Misses, After.Misses + 1);
+}
+
 TEST(StableInteriorTest, StableAssertionIsItsOwnInterior) {
   ConcurroidRef C = makeCounter(3);
   Assertion Mine("self >= 1", [](const View &S) {

@@ -84,6 +84,29 @@ TEST(JobPolicyTest, DefaultJobsFollowsSetter) {
   EXPECT_EQ(resolveJobs(0), 1u);
 }
 
+TEST(JobPolicyTest, EffectiveJobsFallsBackToSerial) {
+  // Degenerate fan-outs run inline: nothing to parallelize, or the
+  // caller asked for one worker.
+  EXPECT_EQ(effectiveJobs(8, 0), 1u);
+  EXPECT_EQ(effectiveJobs(8, 1), 1u);
+  EXPECT_EQ(effectiveJobs(1, 100), 1u);
+  // Too few items to amortize pool spin-up.
+  EXPECT_EQ(effectiveJobs(8, 2), 1u);
+  EXPECT_EQ(effectiveJobs(8, 3), 1u);
+}
+
+TEST(JobPolicyTest, EffectiveJobsClampsToItemsOnMultiCore) {
+  if (hardwareJobs() == 1) {
+    // Single-core host: parallel fan-out cannot pay for itself, the
+    // policy goes serial regardless of the request.
+    EXPECT_EQ(effectiveJobs(8, 100), 1u);
+    EXPECT_EQ(effectiveJobs(2, 6), 1u);
+  } else {
+    EXPECT_EQ(effectiveJobs(8, 100), 8u);
+    EXPECT_EQ(effectiveJobs(8, 5), 5u);
+  }
+}
+
 TEST(JobPolicyTest, NestedRegionsClampDefaultToOne) {
   setDefaultJobs(4);
   EXPECT_FALSE(inParallelRegion());

@@ -32,7 +32,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fcsl-verify [--jobs N] <command>\n"
+               "usage: fcsl-verify [--jobs N] [--por MODE] <command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
@@ -44,6 +44,13 @@ int usage() {
                "threads\n"
                "                       (0 = all hardware threads; default "
                "from FCSL_JOBS, else 1)\n"
+               "  --por off|on|check   partial-order reduction for every "
+               "exploration:\n"
+               "                       off = full interleaving (default), on "
+               "= ample+sleep\n"
+               "                       reduction, check = run both and "
+               "cross-validate\n"
+               "                       (default from FCSL_POR, else off)\n"
                "  --stats              after the command, print intern-arena "
                "and visited-set\n"
                "                       statistics (node counts, dedup ratio, "
@@ -161,6 +168,20 @@ int main(int Argc, char **Argv) {
   // canonical-state-layer counters after the command finishes.
   std::vector<char *> Args;
   bool Stats = false;
+  bool PorCheckRequested = false;
+  auto ParsePor = [&](const char *Mode) -> bool {
+    if (std::strcmp(Mode, "off") == 0) {
+      setDefaultPorMode(PorMode::Off);
+    } else if (std::strcmp(Mode, "on") == 0) {
+      setDefaultPorMode(PorMode::On);
+    } else if (std::strcmp(Mode, "check") == 0) {
+      setDefaultPorMode(PorMode::Check);
+      PorCheckRequested = true;
+    } else {
+      return false;
+    }
+    return true;
+  };
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--jobs") == 0) {
       if (I + 1 >= Argc)
@@ -170,6 +191,16 @@ int main(int Argc, char **Argv) {
       if (End == Argv[I] || *End != '\0' || N < 0)
         return usage();
       setDefaultJobs(static_cast<unsigned>(N));
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--por") == 0) {
+      if (I + 1 >= Argc || !ParsePor(Argv[++I]))
+        return usage();
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--por=", 6) == 0) {
+      if (!ParsePor(Argv[I] + 6))
+        return usage();
       continue;
     }
     if (std::strcmp(Argv[I], "--stats") == 0) {
@@ -201,6 +232,16 @@ int main(int Argc, char **Argv) {
     Status = 0;
   } else {
     return usage();
+  }
+  if (PorCheckRequested) {
+    PorCheckTotals Totals = porCheckTotals();
+    if (Totals.Full > 0)
+      std::printf("\npor cross-check: %llu full configs vs %llu reduced "
+                  "(ratio %.3f), verdicts identical\n",
+                  static_cast<unsigned long long>(Totals.Full),
+                  static_cast<unsigned long long>(Totals.Reduced),
+                  static_cast<double>(Totals.Reduced) /
+                      static_cast<double>(Totals.Full));
   }
   if (Stats)
     printStats();
