@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dist/Coordinator.h"
 #include "structures/SpanTree.h"
 #include "support/Format.h"
 #include "support/Intern.h"
@@ -69,6 +70,26 @@ uint64_t peakRssKb() {
     return 0;
   return static_cast<uint64_t>(Usage.ru_maxrss);
 }
+
+/// Peak resident set size across reaped children (the forked shard
+/// workers) in kilobytes.
+uint64_t childPeakRssKb() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_CHILDREN, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss);
+}
+
+struct DistRow {
+  unsigned Shards = 0;
+  double Ms = 0.0;
+  uint64_t Configs = 0;
+  bool Identical = true; ///< terminals + verdict + counters match shards=1.
+  uint64_t ExchangedConfigs = 0;
+  uint64_t Batches = 0;
+  uint64_t Bytes = 0;
+  uint64_t ChildRssKb = 0;
+};
 
 struct PorRow {
   std::string Graph;
@@ -260,6 +281,65 @@ int main() {
     std::printf("%s\n", PorTable.render().c_str());
   }
 
+  // Multi-process sharded exploration (src/dist/): shard sweep on
+  // diamond-2, checking bit-identity against the in-process run and
+  // recording the frontier-exchange volume per shard count.
+  std::printf("sharded exploration sweep, diamond-2:\n");
+  std::vector<DistRow> DistRows;
+  {
+    Heap G = diamondOf(2);
+    ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+    EngineOptions Opts;
+    Opts.Ambient = Case.PrivOnly;
+    Opts.EnvInterference = false;
+    Opts.Defs = &Case.Defs;
+    Opts.Jobs = 1;
+    TextTable DistTable;
+    DistTable.setHeader({"shards", "configs", "time (ms)", "exchanged",
+                         "batches", "bytes", "child rss KB", "identical"});
+    for (unsigned I = 0; I <= 6; ++I)
+      DistTable.setRightAligned(I);
+    Timer TB;
+    RunResult Base = explore(Main, spanRootState(Case, G), Opts);
+    double BaseMs = TB.elapsedMs();
+    Ok &= Base.complete();
+    DistRows.push_back(DistRow{1, BaseMs, Base.ConfigsExplored, true, 0, 0,
+                               0, 0});
+    for (unsigned Shards : {2u, 4u}) {
+      dist::FleetStats Before = dist::fleetTotals();
+      Timer T;
+      RunResult R = dist::distributedExplore(Main, spanRootState(Case, G),
+                                             Opts, {}, Shards);
+      double Ms = T.elapsedMs();
+      dist::FleetStats After = dist::fleetTotals();
+      DistRow Row;
+      Row.Shards = Shards;
+      Row.Ms = Ms;
+      Row.Configs = R.ConfigsExplored;
+      Row.Identical = R.Safe == Base.Safe &&
+                      R.Exhausted == Base.Exhausted &&
+                      R.ConfigsExplored == Base.ConfigsExplored &&
+                      R.ActionSteps == Base.ActionSteps &&
+                      sameTerminals(R.Terminals, Base.Terminals);
+      Row.ExchangedConfigs = After.Configs - Before.Configs;
+      Row.Batches = After.Messages - Before.Messages;
+      Row.Bytes = After.Bytes - Before.Bytes;
+      Row.ChildRssKb = After.ChildRssKbMax;
+      Ok &= R.complete() && Row.Identical;
+      DistRows.push_back(Row);
+    }
+    for (const DistRow &R : DistRows)
+      DistTable.addRow({std::to_string(R.Shards),
+                        std::to_string(R.Configs),
+                        formatString("%.1f", R.Ms),
+                        std::to_string(R.ExchangedConfigs),
+                        std::to_string(R.Batches),
+                        std::to_string(R.Bytes),
+                        std::to_string(R.ChildRssKb),
+                        R.Identical ? "yes" : "NO"});
+    std::printf("%s\n", DistTable.render().c_str());
+  }
+
   // Randomized simulation past the exhaustive frontier: the same model
   // program, sampled schedules, instances exploration cannot touch.
   std::printf("randomized simulation of span_root beyond the exhaustive "
@@ -385,14 +465,34 @@ int main() {
                    I + 1 == PorRows.size() ? "" : ",");
     }
     std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"dist\": {\"graph\": \"diamond-2\", \"runs\": [\n");
+    for (size_t I = 0; I != DistRows.size(); ++I) {
+      const DistRow &R = DistRows[I];
+      std::fprintf(F,
+                   "    {\"shards\": %u, \"ms\": %.2f, \"configs\": %llu, "
+                   "\"exchanged_configs\": %llu, \"batches\": %llu, "
+                   "\"bytes\": %llu, \"child_rss_kb\": %llu, "
+                   "\"identical\": %s}%s\n",
+                   R.Shards, R.Ms,
+                   static_cast<unsigned long long>(R.Configs),
+                   static_cast<unsigned long long>(R.ExchangedConfigs),
+                   static_cast<unsigned long long>(R.Batches),
+                   static_cast<unsigned long long>(R.Bytes),
+                   static_cast<unsigned long long>(R.ChildRssKb),
+                   R.Identical ? "true" : "false",
+                   I + 1 == DistRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]},\n");
     InternStats IS = internStats();
     std::fprintf(F,
                  "  \"memory\": {\"peak_rss_kb\": %llu, "
+                 "\"children_rss_kb\": %llu, "
                  "\"peak_visited_configs\": %llu, "
                  "\"peak_visited_bytes\": %llu, "
                  "\"intern_requests\": %llu, \"intern_nodes\": %llu, "
                  "\"dedup_ratio\": %.3f}\n",
                  static_cast<unsigned long long>(peakRssKb()),
+                 static_cast<unsigned long long>(childPeakRssKb()),
                  static_cast<unsigned long long>(peakVisitedNodes()),
                  static_cast<unsigned long long>(peakVisitedBytes()),
                  static_cast<unsigned long long>(IS.totalRequests()),

@@ -11,14 +11,17 @@
 // program-specific concurroid/actions/stability lemmas needed), and the
 // relative cost ordering of the programs.
 //
-// Each suite is discharged three times — serially (Jobs=1), with
-// parallel obligation discharge (Jobs=4), and serially with partial-order
-// reduction — and all timings land in BENCH_table1.json so the speedup
-// from the multi-worker engine and the state-space savings from the
-// reduction are tracked across PRs.
+// Each suite is discharged four times — serially (Jobs=1), with parallel
+// obligation discharge (Jobs=4), serially with partial-order reduction,
+// and serially with every exploration sharded across two worker processes
+// (src/dist/) — and all timings land in BENCH_table1.json so the speedup
+// from the multi-worker engine, the state-space savings from the
+// reduction, and the frontier-exchange cost of sharding are tracked
+// across PRs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "dist/Coordinator.h"
 #include "prog/Engine.h"
 #include "structures/Suite.h"
 #include "support/Format.h"
@@ -37,8 +40,11 @@ struct ProgramRow {
   double SerialMs = 0.0;   ///< Jobs=1 discharge (the "before").
   double ParallelMs = 0.0; ///< Jobs=4 discharge (the "after").
   double PorMs = 0.0;      ///< Jobs=1 discharge under reduction.
+  double DistMs = 0.0;     ///< Jobs=1 discharge sharded across 2 workers.
   uint64_t ConfigsFull = 0;    ///< configs explored by the serial run.
   uint64_t ConfigsReduced = 0; ///< configs explored under reduction.
+  uint64_t DistExchanged = 0;  ///< frontier configs exchanged when sharded.
+  uint64_t DistBytes = 0;      ///< wire bytes exchanged when sharded.
 };
 
 } // namespace
@@ -52,12 +58,10 @@ int main() {
 
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
-                   "Total", "Checks", "Jobs=1", "Jobs=4", "POR"});
-  for (unsigned I = 1; I <= 7; ++I)
+                   "Total", "Checks", "Jobs=1", "Jobs=4", "POR",
+                   "Shards=2"});
+  for (unsigned I = 1; I <= 11; ++I)
     Table.setRightAligned(I);
-  Table.setRightAligned(8);
-  Table.setRightAligned(9);
-  Table.setRightAligned(10);
 
   bool AllPassed = true;
   std::vector<std::string> Failures;
@@ -65,9 +69,12 @@ int main() {
   double SerialTotalMs = 0;
   double ParallelTotalMs = 0;
   double PorTotalMs = 0;
+  double DistTotalMs = 0;
   uint64_t ConfigsFullTotal = 0;
   uint64_t ConfigsReducedTotal = 0;
   const unsigned ParJobs = 4;
+  const unsigned DistShards = 2;
+  dist::installDistributedEngine();
 
   for (const CaseEntry &Case : allCaseStudies()) {
     uint64_t Configs0 = totalConfigsExplored();
@@ -99,6 +106,19 @@ int main() {
     PorTotalMs += Por.TotalMs;
     ConfigsReducedTotal += ConfigsReduced;
 
+    // Serial discharge once more with every exploration sharded across
+    // two worker processes: verdicts must agree; the exchange volume is
+    // the cost of the partitioning.
+    setDefaultShards(DistShards);
+    dist::FleetStats Fleet0 = dist::fleetTotals();
+    SessionReport Sh = Case.MakeSession().run(/*Jobs=*/1);
+    dist::FleetStats Fleet1 = dist::fleetTotals();
+    setDefaultShards(0);
+    AllPassed &= Sh.AllPassed == Report.AllPassed &&
+                 Sh.totalObligations() == Report.totalObligations() &&
+                 Sh.totalChecks() == Report.totalChecks();
+    DistTotalMs += Sh.TotalMs;
+
     auto Cell = [&](ObCategory C) -> std::string {
       uint64_t N = Report.PerCategory[size_t(C)].Obligations;
       return N == 0 ? "-" : std::to_string(N);
@@ -110,18 +130,23 @@ int main() {
                   std::to_string(Report.totalChecks()),
                   formatString("%.0f ms", Report.TotalMs),
                   formatString("%.0f ms", Par.TotalMs),
-                  formatString("%.0f ms", Por.TotalMs)});
+                  formatString("%.0f ms", Por.TotalMs),
+                  formatString("%.0f ms", Sh.TotalMs)});
     Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
                               Report.totalChecks(), Report.TotalMs,
-                              Par.TotalMs, Por.TotalMs, ConfigsFull,
-                              ConfigsReduced});
+                              Par.TotalMs, Por.TotalMs, Sh.TotalMs,
+                              ConfigsFull, ConfigsReduced,
+                              Fleet1.Configs - Fleet0.Configs,
+                              Fleet1.Bytes - Fleet0.Bytes});
   }
 
   std::printf("%s\n", Table.render().c_str());
   std::printf("total verification time: %.1f ms serial, %.1f ms at "
-              "%u jobs, %.1f ms serial with partial-order reduction "
+              "%u jobs, %.1f ms serial with partial-order reduction, "
+              "%.1f ms sharded over %u worker processes "
               "(paper: 27m31s of Coq compilation on a 2.7 GHz Core i7)\n",
-              SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs);
+              SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs,
+              DistTotalMs, DistShards);
   std::printf("state space: %llu configs full, %llu reduced (ratio "
               "%.3f)\n\n",
               static_cast<unsigned long long>(ConfigsFullTotal),
@@ -151,7 +176,9 @@ int main() {
                    "\"checks\": %llu, \"serial_ms\": %.2f, "
                    "\"parallel_ms\": %.2f, \"speedup\": %.3f, "
                    "\"por_ms\": %.2f, \"configs_full\": %llu, "
-                   "\"configs_reduced\": %llu, \"por_ratio\": %.3f}%s\n",
+                   "\"configs_reduced\": %llu, \"por_ratio\": %.3f, "
+                   "\"dist_ms\": %.2f, \"dist_exchanged_configs\": %llu, "
+                   "\"dist_bytes\": %llu}%s\n",
                    R.Program.c_str(),
                    static_cast<unsigned long long>(R.Obligations),
                    static_cast<unsigned long long>(R.Checks), R.SerialMs,
@@ -161,18 +188,34 @@ int main() {
                    R.ConfigsFull
                        ? double(R.ConfigsReduced) / double(R.ConfigsFull)
                        : 1.0,
+                   R.DistMs,
+                   static_cast<unsigned long long>(R.DistExchanged),
+                   static_cast<unsigned long long>(R.DistBytes),
                    I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "  ],\n");
+    dist::FleetStats Fleet = dist::fleetTotals();
+    std::fprintf(F,
+                 "  \"dist\": {\"shards\": %u, \"ms\": %.2f, "
+                 "\"fleets\": %llu, \"exchanged_configs\": %llu, "
+                 "\"batches\": %llu, \"bytes\": %llu, "
+                 "\"child_rss_kb_max\": %llu},\n",
+                 DistShards, DistTotalMs,
+                 static_cast<unsigned long long>(Fleet.Fleets),
+                 static_cast<unsigned long long>(Fleet.Configs),
+                 static_cast<unsigned long long>(Fleet.Messages),
+                 static_cast<unsigned long long>(Fleet.Bytes),
+                 static_cast<unsigned long long>(Fleet.ChildRssKbMax));
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
                  "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "
+                 "\"dist_ms\": %.2f, "
                  "\"configs_full\": %llu, \"configs_reduced\": %llu, "
                  "\"por_ratio\": %.3f}\n}\n",
                  SerialTotalMs, ParallelTotalMs,
                  ParallelTotalMs > 0 ? SerialTotalMs / ParallelTotalMs
                                      : 1.0,
-                 PorTotalMs,
+                 PorTotalMs, DistTotalMs,
                  static_cast<unsigned long long>(ConfigsFullTotal),
                  static_cast<unsigned long long>(ConfigsReducedTotal),
                  ConfigsFullTotal

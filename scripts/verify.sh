@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 #===- scripts/verify.sh - Tier-1 suite + TSan race check + ASan/UBSan -----===#
 #
-# Part of fcsl-cpp. Three stages:
+# Part of fcsl-cpp. Five stages:
 #
 #   1. Tier-1: configure + build + full ctest in build/ (the gate every
 #      PR must keep green).
@@ -18,8 +18,12 @@
 #   4. POR cross-check: fcsl-verify --por=check runs every Table-1
 #      session twice (full and reduced exploration) and fails on any
 #      divergence in verdicts or terminal states, at 1 and 4 jobs.
+#   5. Shards: fcsl-verify --shards=2 verify all must print the same
+#      report as --shards=1 (modulo timings), with POR off and on — the
+#      multi-process partitioned exploration (src/dist/) is bit-identical
+#      to the in-process engine.
 #
-# Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por]
+# Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por] [--no-shards]
 #
 #===----------------------------------------------------------------------===#
 
@@ -29,11 +33,13 @@ cd "$(dirname "$0")/.."
 RUN_TSAN=1
 RUN_ASAN=1
 RUN_POR=1
+RUN_SHARDS=1
 for Arg in "$@"; do
   case "$Arg" in
     --no-tsan) RUN_TSAN=0 ;;
     --no-asan) RUN_ASAN=0 ;;
     --no-por) RUN_POR=0 ;;
+    --no-shards) RUN_SHARDS=0 ;;
     *) echo "unknown flag: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -65,11 +71,13 @@ fi
 if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== asan+ubsan: configure + build (build-asan/) =="
   cmake -B build-asan -S . -DFCSL_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "$(nproc)" --target intern_test codec_test
+  cmake --build build-asan -j "$(nproc)" --target intern_test codec_test \
+    --target dist_test
 
-  echo "== asan+ubsan: checking intern arena and codec =="
+  echo "== asan+ubsan: checking intern arena, codec, and dist wire =="
   ./build-asan/tests/intern_test
   ./build-asan/tests/codec_test
+  ./build-asan/tests/dist_test
 fi
 
 if [[ "$RUN_POR" == 1 ]]; then
@@ -80,6 +88,23 @@ if [[ "$RUN_POR" == 1 ]]; then
   # terminal states fails the session. Run serial and parallel.
   for Jobs in 1 4; do
     ./build/tools/fcsl-verify --jobs "$Jobs" --por=check verify all
+  done
+fi
+
+if [[ "$RUN_SHARDS" == 1 ]]; then
+  echo "== shards: sharded exploration vs in-process, por off and on =="
+  cmake --build build -j "$(nproc)" --target fcsl-verify
+  # The report must be byte-identical once timings (and the column
+  # padding they widen) are stripped.
+  Normalize='s/[0-9]+\.[0-9]+//g; s/ +/ /g; s/-+/-/g; s/ +$//'
+  for Por in off on; do
+    ./build/tools/fcsl-verify --por="$Por" --shards=1 verify all \
+      | sed -E "$Normalize" > build/verify-shards-1.txt
+    ./build/tools/fcsl-verify --por="$Por" --shards=2 verify all \
+      | sed -E "$Normalize" > build/verify-shards-2.txt
+    diff build/verify-shards-1.txt build/verify-shards-2.txt \
+      || { echo "shards=2 diverged from shards=1 (por=$Por)" >&2; exit 1; }
+    echo "   por=$Por: shards=2 identical to shards=1"
   done
 fi
 

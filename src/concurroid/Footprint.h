@@ -94,6 +94,12 @@ struct FpAtom {
                       FpRegion Region = FpRegion::Any);
   static FpAtom jointCell(Label L, Ptr P, uint8_t Fields = FpFieldsAll,
                           FpRegion Region = FpRegion::Any);
+
+  friend bool operator==(const FpAtom &A, const FpAtom &B) {
+    return A.L == B.L && A.Comp == B.Comp && A.Region == B.Region &&
+           A.Fields == B.Fields && A.AllCells == B.AllCells &&
+           A.Cells == B.Cells;
+  }
 };
 
 /// May two atoms refer to overlapping state? Conservative: true unless
@@ -131,6 +137,13 @@ private:
   std::vector<FpAtom> Reads;
   std::vector<FpAtom> Writes;
 };
+
+/// Structural equality (atom order matters), used by the wire codec's
+/// round-trip checks.
+inline bool operator==(const Footprint &A, const Footprint &B) {
+  return A.known() == B.known() && A.reads() == B.reads() &&
+         A.writes() == B.writes();
+}
 
 /// Independence of two steps: each side's writes are disjoint from the
 /// other side's reads and writes. Unknown footprints are independent of

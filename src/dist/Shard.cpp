@@ -1,0 +1,181 @@
+//===- dist/Shard.cpp - Worker-side transport for sharded runs -------------===//
+//
+// Part of fcsl-cpp. See Shard.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Shard.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace fcsl;
+using namespace fcsl::dist;
+
+namespace {
+
+/// Flush a destination's outbox once it holds this many configs...
+constexpr size_t FlushConfigs = 64;
+/// ...or this many payload bytes, whichever comes first.
+constexpr size_t FlushBytes = 256u << 10;
+/// Minimum interval between busy-state stats reports.
+constexpr auto ReportInterval = std::chrono::milliseconds(20);
+
+} // namespace
+
+SocketShardIo::SocketShardIo(int Fd, unsigned ShardId, unsigned NShards)
+    : Fd(Fd), Id(ShardId), Outbox(NShards), OutboxBytes(NShards, 0) {
+  for (unsigned I = 0; I != NShards; ++I)
+    Outbox[I].Dest = I;
+  HelloMsg Hello;
+  Hello.ShardId = ShardId;
+  writeAll(frameHello(Hello));
+}
+
+SocketShardIo::~SocketShardIo() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void SocketShardIo::writeAll(const std::vector<uint8_t> &Bytes) {
+  size_t Off = 0;
+  while (Off != Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // The coordinator is gone (EPIPE/ECONNRESET): an orphaned worker
+      // has nobody to report to. Exit loudly; the coordinator-side EOF
+      // handling (or the crash diagnostic) takes it from here.
+      std::_Exit(3);
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+void SocketShardIo::flushOutbox(unsigned Dest) {
+  FrontierBatchMsg &B = Outbox[Dest];
+  if (B.Configs.empty())
+    return;
+  std::vector<uint8_t> Frame = frameBatch(B);
+  ++SentBatches;
+  SentBytes += Frame.size();
+  writeAll(Frame);
+  B.Configs.clear();
+  OutboxBytes[Dest] = 0;
+}
+
+void SocketShardIo::flushAll() {
+  for (unsigned I = 0; I != Outbox.size(); ++I)
+    flushOutbox(I);
+}
+
+void SocketShardIo::send(unsigned Dest, std::vector<uint8_t> ConfigBytes) {
+  OutboxBytes[Dest] += ConfigBytes.size();
+  Outbox[Dest].Configs.push_back(std::move(ConfigBytes));
+  if (Outbox[Dest].Configs.size() >= FlushConfigs ||
+      OutboxBytes[Dest] >= FlushBytes)
+    flushOutbox(Dest);
+}
+
+ShardCommand SocketShardIo::pump(const ShardStatus &Status,
+                                 std::vector<std::vector<uint8_t>> &Incoming) {
+  // Outboxes first: batches must precede the stats report that counts
+  // them as sent, so the coordinator's received-counts can catch up
+  // before it weighs the report (the socket is FIFO).
+  flushAll();
+
+  // Drain the socket without blocking.
+  uint8_t Buf[64 << 10];
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N > 0) {
+      In.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    // EOF or hard error: coordinator gone. Stop exploring; the Verdict
+    // write will fail and exit the worker.
+    DrainSeen = true;
+    break;
+  }
+
+  while (std::optional<std::vector<uint8_t>> Payload = In.next()) {
+    std::optional<WireMsg> M = decodeFrame(*Payload);
+    if (!M)
+      continue; // Fail-soft: skip malformed frames.
+    if (M->Type == MsgType::FrontierBatch) {
+      for (std::vector<uint8_t> &C : M->Batch.Configs)
+        Incoming.push_back(std::move(C));
+    } else if (M->Type == MsgType::Drain) {
+      DrainSeen = true;
+      DrainExhausted |= M->Drain.Exhausted;
+    }
+  }
+  if (In.corrupt())
+    DrainSeen = true;
+
+  // Report status when it changed: eagerly when quiescent (termination
+  // detection is waiting on it), rate-limited while busy.
+  StatsReportMsg Report;
+  Report.ShardId = Id;
+  Report.Idle = Status.Idle;
+  Report.Failed = Status.Failed;
+  Report.Exhausted = Status.Exhausted;
+  Report.Expanded = Status.Expanded;
+  Report.SentConfigs = Status.SentConfigs;
+  Report.RecvConfigs = Status.RecvConfigs;
+  Report.SentBatches = SentBatches;
+  Report.SentBytes = SentBytes;
+  auto Now = std::chrono::steady_clock::now();
+  bool Changed = !Reported || !(Report == LastReport);
+  bool Due = !Reported || Report.Idle || Report.Failed || Report.Exhausted ||
+             Now - LastReportTime >= ReportInterval;
+  if (Changed && Due && !DrainSeen) {
+    writeAll(frameStats(Report));
+    LastReport = Report;
+    Reported = true;
+    LastReportTime = Now;
+  }
+
+  if (DrainSeen)
+    return DrainExhausted ? ShardCommand::DrainExhausted
+                          : ShardCommand::Drain;
+  return ShardCommand::Continue;
+}
+
+VerdictMsg SocketShardIo::makeVerdict(const RunResult &R) const {
+  VerdictMsg V;
+  V.ShardId = Id;
+  V.Safe = R.Safe;
+  V.Exhausted = R.Exhausted;
+  V.PorReduced = R.PorReduced;
+  V.FailureNote = R.FailureNote;
+  V.FailureTrace = R.FailureTrace;
+  V.Terminals = R.Terminals;
+  V.ConfigsExplored = R.ConfigsExplored;
+  V.ActionSteps = R.ActionSteps;
+  V.EnvSteps = R.EnvSteps;
+  V.DedupHits = R.DedupHits;
+  V.VisitedNodes = R.VisitedNodes;
+  V.VisitedBytes = R.VisitedBytes;
+  V.FrontierAtAbort = R.FrontierAtAbort;
+  // The engine's exchange counters live in its status snapshots; the last
+  // reported one is exact once the fleet has quiesced (stats only).
+  V.SentConfigs = LastReport.SentConfigs;
+  V.RecvConfigs = LastReport.RecvConfigs;
+  V.SentBatches = SentBatches;
+  V.SentBytes = SentBytes;
+  return V;
+}
+
+void SocketShardIo::sendVerdict(const VerdictMsg &M) {
+  flushAll();
+  writeAll(frameVerdict(M));
+}

@@ -1,0 +1,72 @@
+//===- dist/Shard.h - Worker-side transport for sharded runs ----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker-process side of the multi-process sharded exploration
+/// (DESIGN.md §10): a ShardIo implementation over one Unix-domain socket
+/// to the coordinator. Non-owned successors accumulate in per-destination
+/// outboxes and are flushed as FrontierBatch frames when a batch grows
+/// past a size threshold or on the next pump; status reports are sent
+/// when the snapshot changes, rate-limited while busy but eagerly when
+/// idle so the coordinator's termination detection converges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_DIST_SHARD_H
+#define FCSL_DIST_SHARD_H
+
+#include "dist/Wire.h"
+
+#include <chrono>
+
+namespace fcsl {
+namespace dist {
+
+class SocketShardIo final : public ShardIo {
+public:
+  /// Takes ownership of \p Fd (the worker's end of the socket pair) and
+  /// announces itself with a Hello frame.
+  SocketShardIo(int Fd, unsigned ShardId, unsigned NShards);
+  ~SocketShardIo() override;
+
+  void send(unsigned Dest, std::vector<uint8_t> ConfigBytes) override;
+  ShardCommand pump(const ShardStatus &Status,
+                    std::vector<std::vector<uint8_t>> &Incoming) override;
+
+  /// Flattens \p R into a Verdict carrying this transport's counters and
+  /// shard id.
+  VerdictMsg makeVerdict(const RunResult &R) const;
+
+  /// Flushes the outboxes and writes the final Verdict frame.
+  void sendVerdict(const VerdictMsg &M);
+
+private:
+  void flushOutbox(unsigned Dest);
+  void flushAll();
+  /// Blocking write of a whole buffer. A worker whose coordinator is gone
+  /// has no one to report to: it exits with status 3 rather than explore
+  /// an orphaned shard forever.
+  void writeAll(const std::vector<uint8_t> &Bytes);
+
+  int Fd;
+  unsigned Id;
+  std::vector<FrontierBatchMsg> Outbox; ///< one per destination shard.
+  std::vector<size_t> OutboxBytes;
+  FrameBuffer In;
+  bool DrainSeen = false;
+  bool DrainExhausted = false;
+  StatsReportMsg LastReport;
+  bool Reported = false;
+  std::chrono::steady_clock::time_point LastReportTime;
+  uint64_t SentBatches = 0;
+  uint64_t SentBytes = 0;
+};
+
+} // namespace dist
+} // namespace fcsl
+
+#endif // FCSL_DIST_SHARD_H

@@ -1,0 +1,215 @@
+//===- dist/Wire.cpp - Frame protocol for sharded exploration --------------===//
+//
+// Part of fcsl-cpp. See Wire.h for the interface and frame layout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Wire.h"
+
+#include <cstring>
+
+using namespace fcsl;
+using namespace fcsl::dist;
+
+namespace {
+
+Encoder startFrame(MsgType T) {
+  Encoder E;
+  encodeHeader(E);
+  E.u8(static_cast<uint8_t>(T));
+  return E;
+}
+
+std::vector<uint8_t> finishFrame(Encoder &&E) {
+  std::vector<uint8_t> Payload = E.take();
+  std::vector<uint8_t> Frame;
+  Frame.reserve(4 + Payload.size());
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I != 4; ++I)
+    Frame.push_back(static_cast<uint8_t>(N >> (8 * I)));
+  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  return Frame;
+}
+
+void encodeBlob(Encoder &E, const std::vector<uint8_t> &Blob) {
+  E.u32(static_cast<uint32_t>(Blob.size()));
+  for (uint8_t B : Blob)
+    E.u8(B);
+}
+
+std::vector<uint8_t> decodeBlob(Decoder &D) {
+  std::string S = D.str();
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+} // namespace
+
+std::vector<uint8_t> dist::frameHello(const HelloMsg &M) {
+  Encoder E = startFrame(MsgType::Hello);
+  E.u32(M.ShardId);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameBatch(const FrontierBatchMsg &M) {
+  Encoder E = startFrame(MsgType::FrontierBatch);
+  E.u32(M.Dest);
+  E.u32(static_cast<uint32_t>(M.Configs.size()));
+  for (const std::vector<uint8_t> &C : M.Configs)
+    encodeBlob(E, C);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameStats(const StatsReportMsg &M) {
+  Encoder E = startFrame(MsgType::StatsReport);
+  E.u32(M.ShardId);
+  E.u8(M.Idle);
+  E.u8(M.Failed);
+  E.u8(M.Exhausted);
+  E.u64(M.Expanded);
+  E.u64(M.SentConfigs);
+  E.u64(M.RecvConfigs);
+  E.u64(M.SentBatches);
+  E.u64(M.SentBytes);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameDrain(const DrainMsg &M) {
+  Encoder E = startFrame(MsgType::Drain);
+  E.u8(M.Exhausted);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameVerdict(const VerdictMsg &M) {
+  Encoder E = startFrame(MsgType::Verdict);
+  E.u32(M.ShardId);
+  E.u8(M.Safe);
+  E.u8(M.Exhausted);
+  E.u8(M.PorReduced);
+  E.str(M.FailureNote);
+  E.u32(static_cast<uint32_t>(M.FailureTrace.size()));
+  for (const std::string &S : M.FailureTrace)
+    E.str(S);
+  E.u32(static_cast<uint32_t>(M.Terminals.size()));
+  for (const Terminal &T : M.Terminals) {
+    encode(E, T.Result);
+    encode(E, T.FinalView);
+  }
+  E.u64(M.ConfigsExplored);
+  E.u64(M.ActionSteps);
+  E.u64(M.EnvSteps);
+  E.u64(M.DedupHits);
+  E.u64(M.VisitedNodes);
+  E.u64(M.VisitedBytes);
+  E.u64(M.FrontierAtAbort);
+  E.u64(M.SentConfigs);
+  E.u64(M.RecvConfigs);
+  E.u64(M.SentBatches);
+  E.u64(M.SentBytes);
+  return finishFrame(std::move(E));
+}
+
+std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
+  Decoder D(Payload);
+  if (!decodeHeader(D))
+    return std::nullopt;
+  uint8_t Tag = D.u8();
+  if (Tag < static_cast<uint8_t>(MsgType::Hello) ||
+      Tag > static_cast<uint8_t>(MsgType::Verdict))
+    return std::nullopt;
+  WireMsg M;
+  M.Type = static_cast<MsgType>(Tag);
+  switch (M.Type) {
+  case MsgType::Hello:
+    M.Hello.ShardId = D.u32();
+    break;
+  case MsgType::FrontierBatch: {
+    M.Batch.Dest = D.u32();
+    uint32_t Count = D.u32();
+    for (uint32_t I = 0; I != Count && !D.failed(); ++I)
+      M.Batch.Configs.push_back(decodeBlob(D));
+    break;
+  }
+  case MsgType::StatsReport:
+    M.Stats.ShardId = D.u32();
+    M.Stats.Idle = D.u8() != 0;
+    M.Stats.Failed = D.u8() != 0;
+    M.Stats.Exhausted = D.u8() != 0;
+    M.Stats.Expanded = D.u64();
+    M.Stats.SentConfigs = D.u64();
+    M.Stats.RecvConfigs = D.u64();
+    M.Stats.SentBatches = D.u64();
+    M.Stats.SentBytes = D.u64();
+    break;
+  case MsgType::Drain:
+    M.Drain.Exhausted = D.u8() != 0;
+    break;
+  case MsgType::Verdict: {
+    M.Verdict.ShardId = D.u32();
+    M.Verdict.Safe = D.u8() != 0;
+    M.Verdict.Exhausted = D.u8() != 0;
+    M.Verdict.PorReduced = D.u8() != 0;
+    M.Verdict.FailureNote = D.str();
+    uint32_t NumTrace = D.u32();
+    for (uint32_t I = 0; I != NumTrace && !D.failed(); ++I)
+      M.Verdict.FailureTrace.push_back(D.str());
+    uint32_t NumTerm = D.u32();
+    for (uint32_t I = 0; I != NumTerm && !D.failed(); ++I) {
+      Terminal T;
+      T.Result = decodeVal(D);
+      T.FinalView = decodeView(D);
+      M.Verdict.Terminals.push_back(std::move(T));
+    }
+    M.Verdict.ConfigsExplored = D.u64();
+    M.Verdict.ActionSteps = D.u64();
+    M.Verdict.EnvSteps = D.u64();
+    M.Verdict.DedupHits = D.u64();
+    M.Verdict.VisitedNodes = D.u64();
+    M.Verdict.VisitedBytes = D.u64();
+    M.Verdict.FrontierAtAbort = D.u64();
+    M.Verdict.SentConfigs = D.u64();
+    M.Verdict.RecvConfigs = D.u64();
+    M.Verdict.SentBatches = D.u64();
+    M.Verdict.SentBytes = D.u64();
+    break;
+  }
+  }
+  if (D.failed() || !D.atEnd())
+    return std::nullopt;
+  return M;
+}
+
+void FrameBuffer::feed(const uint8_t *Data, size_t N) {
+  if (Corrupt)
+    return;
+  Buf.insert(Buf.end(), Data, Data + N);
+}
+
+std::optional<std::vector<uint8_t>> FrameBuffer::next() {
+  if (Corrupt)
+    return std::nullopt;
+  size_t Avail = Buf.size() - Consumed;
+  if (Avail < 4)
+    return std::nullopt;
+  uint32_t Len = 0;
+  for (int I = 0; I != 4; ++I)
+    Len |= static_cast<uint32_t>(Buf[Consumed + I]) << (8 * I);
+  if (Len > MaxFrameBytes) {
+    Corrupt = true;
+    return std::nullopt;
+  }
+  if (Avail - 4 < Len)
+    return std::nullopt;
+  std::vector<uint8_t> Payload(Buf.begin() + Consumed + 4,
+                               Buf.begin() + Consumed + 4 + Len);
+  Consumed += 4 + static_cast<size_t>(Len);
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // grow without bound across a long exchange.
+  if (Consumed == Buf.size()) {
+    Buf.clear();
+    Consumed = 0;
+  } else if (Consumed > (1u << 20)) {
+    Buf.erase(Buf.begin(), Buf.begin() + Consumed);
+    Consumed = 0;
+  }
+  return Payload;
+}

@@ -1,0 +1,192 @@
+//===- dist/Wire.h - Frame protocol for sharded exploration -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message layer of the multi-process sharded exploration (DESIGN.md
+/// §10): a length-prefixed frame protocol over `support/Codec`. Every
+/// frame is a u32 little-endian payload length followed by the payload —
+/// the codec header (magic + version), a message-type tag, and the typed
+/// body. Decoding is fail-soft end to end: a malformed payload yields
+/// `std::nullopt`, never a crash, and an implausible frame length latches
+/// the stream as corrupt.
+///
+/// Message flow (coordinator C, workers W0..Wn-1, one socket pair each):
+///
+///   W -> C   Hello          once, immediately after fork
+///   W -> C   FrontierBatch  non-owned successors, addressed by shard id
+///   C -> W   FrontierBatch  relayed to the owning shard
+///   W -> C   StatsReport    idle/failed/exhausted + sent/received counts
+///   C -> W   Drain          stop exploring and report
+///   W -> C   Verdict        the shard's RunResult, then exit
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_DIST_WIRE_H
+#define FCSL_DIST_WIRE_H
+
+#include "prog/Engine.h"
+#include "support/Codec.h"
+
+#include <optional>
+
+namespace fcsl {
+namespace dist {
+
+enum class MsgType : uint8_t {
+  Hello = 1,
+  FrontierBatch = 2,
+  StatsReport = 3,
+  Drain = 4,
+  Verdict = 5,
+};
+
+/// Announces a worker's shard id on its channel.
+struct HelloMsg {
+  uint32_t ShardId = 0;
+
+  friend bool operator==(const HelloMsg &A, const HelloMsg &B) {
+    return A.ShardId == B.ShardId;
+  }
+};
+
+/// A batch of encoded frontier configs addressed to shard \p Dest. Each
+/// config blob is an encodeFrontierConfigPrefix buffer.
+struct FrontierBatchMsg {
+  uint32_t Dest = 0;
+  std::vector<std::vector<uint8_t>> Configs;
+
+  friend bool operator==(const FrontierBatchMsg &A,
+                         const FrontierBatchMsg &B) {
+    return A.Dest == B.Dest && A.Configs == B.Configs;
+  }
+};
+
+/// A shard's status snapshot, feeding the coordinator's termination
+/// detection (see Coordinator.h for the argument).
+struct StatsReportMsg {
+  uint32_t ShardId = 0;
+  bool Idle = false;
+  bool Failed = false;
+  bool Exhausted = false;
+  uint64_t Expanded = 0;
+  uint64_t SentConfigs = 0;
+  uint64_t RecvConfigs = 0;
+  uint64_t SentBatches = 0;
+  uint64_t SentBytes = 0;
+
+  friend bool operator==(const StatsReportMsg &A, const StatsReportMsg &B) {
+    return A.ShardId == B.ShardId && A.Idle == B.Idle &&
+           A.Failed == B.Failed && A.Exhausted == B.Exhausted &&
+           A.Expanded == B.Expanded && A.SentConfigs == B.SentConfigs &&
+           A.RecvConfigs == B.RecvConfigs &&
+           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes;
+  }
+};
+
+/// Coordinator -> worker: stop exploring and send a Verdict. With
+/// \p Exhausted set the fleet hit the config bound, so the worker reports
+/// an incomplete run.
+struct DrainMsg {
+  bool Exhausted = false;
+
+  friend bool operator==(const DrainMsg &A, const DrainMsg &B) {
+    return A.Exhausted == B.Exhausted;
+  }
+};
+
+/// A shard's final RunResult, flattened for the wire, plus its transport
+/// statistics.
+struct VerdictMsg {
+  uint32_t ShardId = 0;
+  bool Safe = true;
+  bool Exhausted = false;
+  bool PorReduced = false;
+  std::string FailureNote;
+  std::vector<std::string> FailureTrace;
+  std::vector<Terminal> Terminals; ///< sorted ascending, like RunResult.
+  uint64_t ConfigsExplored = 0;
+  uint64_t ActionSteps = 0;
+  uint64_t EnvSteps = 0;
+  uint64_t DedupHits = 0;
+  uint64_t VisitedNodes = 0;
+  uint64_t VisitedBytes = 0;
+  uint64_t FrontierAtAbort = 0;
+  uint64_t SentConfigs = 0;
+  uint64_t RecvConfigs = 0;
+  uint64_t SentBatches = 0;
+  uint64_t SentBytes = 0;
+
+  friend bool operator==(const VerdictMsg &A, const VerdictMsg &B) {
+    if (A.Terminals.size() != B.Terminals.size())
+      return false;
+    for (size_t I = 0, N = A.Terminals.size(); I != N; ++I)
+      if (A.Terminals[I] < B.Terminals[I] ||
+          B.Terminals[I] < A.Terminals[I])
+        return false;
+    return A.ShardId == B.ShardId && A.Safe == B.Safe &&
+           A.Exhausted == B.Exhausted && A.PorReduced == B.PorReduced &&
+           A.FailureNote == B.FailureNote &&
+           A.FailureTrace == B.FailureTrace &&
+           A.ConfigsExplored == B.ConfigsExplored &&
+           A.ActionSteps == B.ActionSteps && A.EnvSteps == B.EnvSteps &&
+           A.DedupHits == B.DedupHits &&
+           A.VisitedNodes == B.VisitedNodes &&
+           A.VisitedBytes == B.VisitedBytes &&
+           A.FrontierAtAbort == B.FrontierAtAbort &&
+           A.SentConfigs == B.SentConfigs &&
+           A.RecvConfigs == B.RecvConfigs &&
+           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes;
+  }
+};
+
+/// A decoded frame: the type tag plus the matching body (the other bodies
+/// stay default-constructed).
+struct WireMsg {
+  MsgType Type = MsgType::Hello;
+  HelloMsg Hello;
+  FrontierBatchMsg Batch;
+  StatsReportMsg Stats;
+  DrainMsg Drain;
+  VerdictMsg Verdict;
+};
+
+/// Frames larger than this are treated as stream corruption, not as a
+/// request to allocate gigabytes.
+inline constexpr uint32_t MaxFrameBytes = 1u << 30;
+
+// Each framer returns the complete wire frame: u32 length + payload.
+std::vector<uint8_t> frameHello(const HelloMsg &M);
+std::vector<uint8_t> frameBatch(const FrontierBatchMsg &M);
+std::vector<uint8_t> frameStats(const StatsReportMsg &M);
+std::vector<uint8_t> frameDrain(const DrainMsg &M);
+std::vector<uint8_t> frameVerdict(const VerdictMsg &M);
+
+/// Decodes one frame payload (the bytes after the length prefix).
+/// Returns nullopt on any malformation: bad header, unknown type tag,
+/// truncated body, or trailing garbage.
+std::optional<WireMsg> decodeFrame(const std::vector<uint8_t> &Payload);
+
+/// Reassembles frames from a byte stream delivered in arbitrary chunks.
+/// feed() appends bytes; next() yields the next complete frame payload,
+/// or nullopt when none is buffered. An implausible length prefix
+/// latches corrupt(): the stream cannot be resynchronized.
+class FrameBuffer {
+public:
+  void feed(const uint8_t *Data, size_t N);
+  std::optional<std::vector<uint8_t>> next();
+  bool corrupt() const { return Corrupt; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Consumed = 0;
+  bool Corrupt = false;
+};
+
+} // namespace dist
+} // namespace fcsl
+
+#endif // FCSL_DIST_WIRE_H

@@ -16,7 +16,9 @@
 #include "prog/Engine.h"
 
 #include "concurroid/Footprint.h"
+#include "support/Codec.h"
 #include "support/Format.h"
+#include "support/Intern.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 
@@ -69,6 +71,17 @@ PorMode envPorMode() {
   return PorMode::Off;
 }
 
+std::atomic<int> DefaultShardsSetting{0}; ///< 0: fall back to FCSL_SHARDS.
+std::atomic<ShardedExploreFn> ShardedHook{nullptr};
+
+unsigned envShards() {
+  const char *E = std::getenv("FCSL_SHARDS");
+  if (!E)
+    return 1;
+  long V = std::strtol(E, nullptr, 10);
+  return V > 1 ? static_cast<unsigned>(V) : 1;
+}
+
 } // namespace
 
 uint64_t fcsl::peakVisitedNodes() {
@@ -97,6 +110,21 @@ PorMode fcsl::defaultPorMode() {
 PorCheckTotals fcsl::porCheckTotals() {
   return {CheckFullCounter.load(std::memory_order_relaxed),
           CheckReducedCounter.load(std::memory_order_relaxed)};
+}
+
+void fcsl::setShardedExploreHook(ShardedExploreFn Fn) {
+  ShardedHook.store(Fn, std::memory_order_relaxed);
+}
+
+void fcsl::setDefaultShards(unsigned N) {
+  DefaultShardsSetting.store(static_cast<int>(N), std::memory_order_relaxed);
+}
+
+unsigned fcsl::defaultShards() {
+  int V = DefaultShardsSetting.load(std::memory_order_relaxed);
+  if (V > 0)
+    return static_cast<unsigned>(V);
+  return envShards();
 }
 
 namespace {
@@ -302,6 +330,14 @@ public:
   Explorer(const EngineOptions &Opts, RunResult &Res)
       : Opts(Opts), Res(Res) {}
 
+  /// Configures this run as shard \p Id of an \p N-way partition talking
+  /// to \p Transport (see exploreShard).
+  void setDist(unsigned Id, unsigned N, ShardIo *Transport) {
+    DistId = Id;
+    DistN = N;
+    Io = Transport;
+  }
+
   void run(const ProgRef &Root, const GlobalState &Initial,
            const VarEnv &InitialEnv) {
     Config C0;
@@ -337,9 +373,33 @@ public:
       Workers.push_back(std::make_unique<Worker>());
 
     C0.rehash();
-    enqueue(std::move(C0), nullptr, "", *Workers[0]);
+    if (DistN > 1) {
+      PT = std::make_unique<ProgTable>(Root.get(), Opts.Defs);
+      // The initial configuration is inserted ONLY by its owner shard:
+      // routing it would cost every other shard a dedup-hit and break
+      // counter parity with the in-process engine.
+      Encoder E0;
+      size_t Prefix = encodeFrontierConfigPrefix(E0, toFrontier(C0));
+      if (ownerOf(E0, Prefix) == DistId)
+        insertLocal(std::move(C0), nullptr, "", *Workers[0]);
+    } else {
+      enqueue(std::move(C0), nullptr, "", *Workers[0]);
+    }
 
-    if (Jobs == 1) {
+    if (DistN > 1) {
+      // The main thread pumps the transport while the team explores; even
+      // Jobs == 1 runs its worker on its own thread.
+      std::vector<std::thread> Team;
+      Team.reserve(Jobs);
+      for (unsigned I = 0; I != Jobs; ++I)
+        Team.emplace_back([this, I] {
+          ParallelRegionGuard Region;
+          workerLoop(I);
+        });
+      ioLoop();
+      for (std::thread &T : Team)
+        T.join();
+    } else if (Jobs == 1) {
       workerLoop(0);
     } else {
       std::vector<std::thread> Team;
@@ -685,9 +745,108 @@ private:
     return true;
   }
 
+  /// Lowers an in-memory configuration to its portable form: program
+  /// pointers become ProgTable indices, which are identical in every
+  /// process that built the same program (the coordinator forks workers,
+  /// so the table — and even the pointers — match exactly).
+  FrontierConfig toFrontier(const Config &C) const {
+    FrontierConfig F;
+    F.GS = C.GS;
+    for (const auto &Entry : C.Threads) {
+      FrontierThread T;
+      T.Id = Entry.first;
+      T.Waiting = Entry.second.Waiting;
+      T.Done = Entry.second.Done;
+      for (const Frame &Fr : Entry.second.Stack) {
+        FrontierFrame FF;
+        FF.Kind = static_cast<uint8_t>(Fr.K);
+        FF.Node = Fr.Node ? PT->indexOf(Fr.Node) : ProgTable::NoProg;
+        FF.Rest = Fr.Rest ? PT->indexOf(Fr.Rest) : ProgTable::NoProg;
+        FF.Var = Fr.Var;
+        FF.Env = Fr.Env;
+        T.Frames.push_back(std::move(FF));
+      }
+      F.Threads.push_back(std::move(T));
+    }
+    for (const SleepEntry &S : C.Sleep) {
+      FrontierSleep FS;
+      FS.IsEnv = S.IsEnv;
+      FS.T = S.T;
+      FS.ActNode = S.ActNode ? PT->indexOf(S.ActNode) : ProgTable::NoProg;
+      FS.EnvIdx = S.EnvIdx;
+      FS.Fp = S.Fp;
+      F.Sleep.push_back(std::move(FS));
+    }
+    F.EnvCloseMask = C.EnvCloseMask;
+    return F;
+  }
+
+  Config fromFrontier(const FrontierConfig &F) const {
+    Config C;
+    C.GS = F.GS;
+    for (const FrontierThread &T : F.Threads) {
+      ThreadCtx Ctx;
+      Ctx.Waiting = T.Waiting;
+      Ctx.Done = T.Done;
+      for (const FrontierFrame &FF : T.Frames) {
+        Frame Fr;
+        Fr.K = static_cast<Frame::Kind>(FF.Kind);
+        Fr.Node = FF.Node == ProgTable::NoProg ? nullptr
+                                               : PT->progAt(FF.Node);
+        Fr.Rest = FF.Rest == ProgTable::NoProg ? nullptr
+                                               : PT->progAt(FF.Rest);
+        Fr.Var = FF.Var;
+        Fr.Env = FF.Env;
+        Ctx.Stack.push_back(std::move(Fr));
+      }
+      C.Threads.emplace(T.Id, std::move(Ctx));
+    }
+    for (const FrontierSleep &FS : F.Sleep) {
+      SleepEntry S;
+      S.IsEnv = FS.IsEnv;
+      S.T = FS.T;
+      S.ActNode = FS.ActNode == ProgTable::NoProg ? nullptr
+                                                  : PT->progAt(FS.ActNode);
+      S.EnvIdx = FS.EnvIdx;
+      S.Fp = FS.Fp;
+      C.Sleep.push_back(std::move(S));
+    }
+    C.EnvCloseMask = F.EnvCloseMask;
+    return C;
+  }
+
+  /// The shard that owns the config whose encodeFrontierConfigPrefix
+  /// output sits at the end of \p E's buffer with identity-prefix length
+  /// \p Prefix counted from \p Start. Ownership is a pure function of the
+  /// identity bytes, so every process computes the same owner.
+  unsigned ownerOf(const Encoder &E, size_t Prefix, size_t Start = 0) const {
+    uint64_t Fp = fpString(std::string_view(
+        reinterpret_cast<const char *>(E.buffer().data()) + Start, Prefix));
+    return static_cast<unsigned>(Fp % DistN);
+  }
+
   /// Inserts \p C into the sharded visited set and, when new, hands it to
-  /// \p W's frontier. Requires C.rehash() to have been called.
+  /// \p W's frontier. Under multi-process sharding, a config owned by a
+  /// different shard is shipped there instead — the owner performs the
+  /// single insert attempt, preserving counter parity with the in-process
+  /// engine. Requires C.rehash() to have been called.
   void enqueue(Config C, const Node *Parent, std::string Step, Worker &W) {
+    if (DistN > 1) {
+      Encoder E;
+      size_t Prefix = encodeFrontierConfigPrefix(E, toFrontier(C));
+      unsigned Owner = ownerOf(E, Prefix);
+      if (Owner != DistId) {
+        SentConfigs.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> Lock(IoMutex);
+        Io->send(Owner, E.take());
+        return;
+      }
+    }
+    insertLocal(std::move(C), Parent, std::move(Step), W);
+  }
+
+  void insertLocal(Config C, const Node *Parent, std::string Step,
+                   Worker &W) {
     Shard &S = Shards[C.Hash % NumShards];
     const Node *Inserted = nullptr;
     {
@@ -734,7 +893,10 @@ private:
       if (!N && Workers.size() > 1)
         N = trySteal(Id);
       if (!N) {
-        if (InFlight.load(std::memory_order_acquire) == 0)
+        // Under multi-process sharding an idle worker may yet receive
+        // work from a peer shard, so only the coordinator's Drain
+        // (surfaced by ioLoop as Abort) ends the loop.
+        if (InFlight.load(std::memory_order_acquire) == 0 && DistN <= 1)
           return;
         std::this_thread::sleep_for(std::chrono::microseconds(20));
         continue;
@@ -750,6 +912,67 @@ private:
       }
       expand(*N, W);
       InFlight.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  /// The transport pump, run by the main thread of a sharded exploration
+  /// while the worker team explores: reports status, injects configs
+  /// routed here by peer shards, and reacts to the coordinator's Drain.
+  ///
+  /// Snapshot ordering matters for termination detection: InFlight is
+  /// read *before* the counters, so a snapshot that claims Idle has final
+  /// Sent/Recv values for that quiescent period — every send happens
+  /// during an expansion, i.e. while InFlight > 0, and the release
+  /// decrement of InFlight publishes it.
+  void ioLoop() {
+    size_t NextWorker = 0;
+    while (true) {
+      ShardStatus St;
+      bool Idle = InFlight.load(std::memory_order_acquire) == 0;
+      St.Failed = FailWon.load(std::memory_order_acquire);
+      St.Exhausted = ExhaustedFlag.load(std::memory_order_acquire);
+      St.Idle = Idle || St.Failed || St.Exhausted;
+      St.Expanded = Expanded.load(std::memory_order_relaxed);
+      St.SentConfigs = SentConfigs.load(std::memory_order_relaxed);
+      St.RecvConfigs = RecvConfigs.load(std::memory_order_relaxed);
+
+      std::vector<std::vector<uint8_t>> Incoming;
+      ShardCommand Cmd;
+      {
+        std::lock_guard<std::mutex> Lock(IoMutex);
+        Cmd = Io->pump(St, Incoming);
+      }
+
+      for (const std::vector<uint8_t> &Bytes : Incoming) {
+        // Count every delivery, even ones dropped after a local abort:
+        // the coordinator balances sent-vs-received before terminating.
+        RecvConfigs.fetch_add(1, std::memory_order_relaxed);
+        if (Abort.load(std::memory_order_acquire))
+          continue;
+        Decoder D(Bytes);
+        FrontierConfig FC = decodeFrontierConfig(D);
+        if (D.failed() || !D.atEnd()) {
+          failGlobal(nullptr, "",
+                     "malformed frontier config received from a peer "
+                     "shard");
+          continue;
+        }
+        Config C = fromFrontier(FC);
+        C.rehash();
+        // Remote configs carry no parent chain: a failure found beyond
+        // this point reports the local schedule suffix only.
+        insertLocal(std::move(C), nullptr, "",
+                    *Workers[NextWorker++ % Workers.size()]);
+      }
+
+      if (Cmd != ShardCommand::Continue) {
+        if (Cmd == ShardCommand::DrainExhausted)
+          ExhaustedFlag.store(true);
+        Abort.store(true, std::memory_order_release);
+        return;
+      }
+      if (Incoming.empty())
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
 
@@ -1255,6 +1478,15 @@ private:
   std::atomic<bool> Abort{false};
   std::atomic<bool> ExhaustedFlag{false};
   std::atomic<bool> FailWon{false};
+
+  // Multi-process sharding state (inert when DistN == 1).
+  unsigned DistId = 0;
+  unsigned DistN = 1;
+  ShardIo *Io = nullptr;
+  std::unique_ptr<ProgTable> PT;
+  std::mutex IoMutex; ///< serializes workers' send() against ioLoop's pump().
+  std::atomic<uint64_t> SentConfigs{0};
+  std::atomic<uint64_t> RecvConfigs{0};
 };
 
 } // namespace
@@ -1325,11 +1557,33 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
     return Res;
   }
 
+  EngineOptions RunOpts = Opts;
+  RunOpts.Por = Mode;
+
+  // Multi-process sharding: hand the whole run to the coordinator hook.
+  // Refused inside a parallel region — forking requires a single-threaded
+  // parent, and obligation fan-outs already clamp to serial when shards
+  // are configured (Session/Verifier).
+  unsigned NShards = RunOpts.Shards ? RunOpts.Shards : defaultShards();
+  ShardedExploreFn Hook = ShardedHook.load(std::memory_order_relaxed);
+  if (NShards > 1 && Hook && !inParallelRegion()) {
+    RunOpts.Shards = NShards;
+    RunResult Res = Hook(Root, Initial, RunOpts, InitialEnv, NShards);
+    Res.MaxConfigsBound = Opts.MaxConfigs;
+    Res.PorReduced = Mode == PorMode::On;
+    if (Res.PorReduced)
+      Res.ConfigsReduced = Res.ConfigsExplored;
+    else
+      Res.ConfigsFull = Res.ConfigsExplored;
+    notePeakVisited(Res.VisitedNodes, Res.VisitedBytes);
+    TotalConfigsCounter.fetch_add(Res.ConfigsExplored,
+                                  std::memory_order_relaxed);
+    return Res;
+  }
+
   RunResult Res;
   Res.MaxConfigsBound = Opts.MaxConfigs;
   Res.PorReduced = Mode == PorMode::On;
-  EngineOptions RunOpts = Opts;
-  RunOpts.Por = Mode;
   Explorer E(RunOpts, Res);
   E.run(Root, Initial, InitialEnv);
   if (Res.PorReduced)
@@ -1338,6 +1592,35 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
     Res.ConfigsFull = Res.ConfigsExplored;
   TotalConfigsCounter.fetch_add(Res.ConfigsExplored,
                                 std::memory_order_relaxed);
+  return Res;
+}
+
+RunResult fcsl::exploreShard(const ProgRef &Root, const GlobalState &Initial,
+                             const EngineOptions &Opts,
+                             const VarEnv &InitialEnv, unsigned ShardId,
+                             unsigned NShards, ShardIo &Io) {
+  assert(Root && "exploreShard needs a program");
+  assert(NShards > 0 && ShardId < NShards && "bad shard coordinates");
+  PorMode Mode = Opts.Por == PorMode::Default ? defaultPorMode() : Opts.Por;
+  assert(Mode != PorMode::Check &&
+         "the coordinator resolves Check before sharding");
+  if (Mode == PorMode::Check)
+    Mode = PorMode::Off;
+  RunResult Res;
+  Res.MaxConfigsBound = Opts.MaxConfigs;
+  Res.PorReduced = Mode == PorMode::On;
+  EngineOptions RunOpts = Opts;
+  RunOpts.Por = Mode;
+  Explorer E(RunOpts, Res);
+  E.setDist(ShardId, NShards, &Io);
+  E.run(Root, Initial, InitialEnv);
+  if (Res.PorReduced)
+    Res.ConfigsReduced = Res.ConfigsExplored;
+  else
+    Res.ConfigsFull = Res.ConfigsExplored;
+  // No TotalConfigsCounter update: the shard runs in a forked child whose
+  // counters die with it; the coordinator accounts the merged run in the
+  // parent (see explore()'s hook path).
   return Res;
 }
 

@@ -72,6 +72,14 @@ struct EngineOptions {
   /// process default, which is Off unless overridden by `--por` /
   /// `FCSL_POR` / setDefaultPorMode.
   PorMode Por = PorMode::Default;
+  /// Multi-process sharded exploration (src/dist/, DESIGN.md §10). 0 = the
+  /// process default (`FCSL_SHARDS` / setDefaultShards); 1 = in-process
+  /// only. With N > 1 and a sharded-exploration hook installed
+  /// (installDistributedEngine), explore() forks N worker processes that
+  /// partition the config space by `fingerprint % N` and exchange frontier
+  /// configs; verdicts, terminals, and counters are bit-identical to the
+  /// in-process engine for complete explorations.
+  unsigned Shards = 0;
 };
 
 /// A terminal execution: the program's result and final state.
@@ -181,6 +189,70 @@ struct PorCheckTotals {
   uint64_t Reduced = 0;
 };
 PorCheckTotals porCheckTotals();
+
+//===----------------------------------------------------------------------===//
+// Multi-process sharded exploration (implemented by src/dist/)
+//===----------------------------------------------------------------------===//
+
+/// A shard's status snapshot, handed to its transport on every pump. The
+/// counters feed the coordinator's Mattern-style termination detection:
+/// the fleet is done when every shard is idle and every config counted as
+/// sent has been counted as received at its destination.
+struct ShardStatus {
+  bool Idle = false;      ///< no local work pending or in flight.
+  bool Failed = false;    ///< a safety violation was found locally.
+  bool Exhausted = false; ///< the local MaxConfigs ticket bound was hit.
+  uint64_t Expanded = 0;     ///< configs expanded locally so far.
+  uint64_t SentConfigs = 0;  ///< non-owned successors routed out.
+  uint64_t RecvConfigs = 0;  ///< configs received and injected locally.
+};
+
+/// What the transport tells the shard to do after a pump.
+enum class ShardCommand : uint8_t {
+  Continue,       ///< keep exploring.
+  Drain,          ///< stop now and report (fleet terminated or failed).
+  DrainExhausted  ///< stop and report as an exhausted (incomplete) run.
+};
+
+/// The transport a sharded exploration talks to. `send` routes one
+/// encoded frontier config (an encodeFrontierConfigPrefix buffer) toward
+/// the shard that owns it; `pump` flushes outboxes, reports \p Status,
+/// and delivers any configs routed here. Both are called under one lock,
+/// so implementations need not be thread-safe.
+class ShardIo {
+public:
+  virtual ~ShardIo() = default;
+  virtual void send(unsigned Dest, std::vector<uint8_t> ConfigBytes) = 0;
+  virtual ShardCommand pump(const ShardStatus &Status,
+                            std::vector<std::vector<uint8_t>> &Incoming) = 0;
+};
+
+/// Runs shard \p ShardId of an \p NShards-way partitioned exploration:
+/// identical to explore() except that only configs whose ownership
+/// fingerprint maps to this shard are inserted locally — every other
+/// successor is encoded and handed to \p Io. `Opts.Por` must already be
+/// resolved (not Default or Check) so all shards agree on the reduction.
+RunResult exploreShard(const ProgRef &Root, const GlobalState &Initial,
+                       const EngineOptions &Opts, const VarEnv &InitialEnv,
+                       unsigned ShardId, unsigned NShards, ShardIo &Io);
+
+/// The coordinator entry point explore() dispatches to when sharding is
+/// requested. Registered by dist::installDistributedEngine(); the
+/// indirection keeps the core engine free of process-management code.
+using ShardedExploreFn = RunResult (*)(const ProgRef &Root,
+                                       const GlobalState &Initial,
+                                       const EngineOptions &Opts,
+                                       const VarEnv &InitialEnv,
+                                       unsigned NShards);
+void setShardedExploreHook(ShardedExploreFn Fn);
+
+/// Sets the process-default shard count used when `EngineOptions::Shards`
+/// is 0 (exposed as `fcsl-verify --shards=N`). 0 clears the override.
+void setDefaultShards(unsigned N);
+
+/// The process-default shard count: the last setDefaultShards value, else
+/// the `FCSL_SHARDS` environment variable, else 1.
+unsigned defaultShards();
 
 } // namespace fcsl
 

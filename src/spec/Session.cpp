@@ -6,6 +6,8 @@
 
 #include "spec/Session.h"
 
+#include "prog/Engine.h"
+
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
@@ -59,6 +61,11 @@ SessionReport VerificationSession::run(unsigned Jobs) const {
   Timer Total;
   size_t N = Obligations.size();
   unsigned J = effectiveJobs(Jobs, N);
+  // Sharded exploration forks worker processes from inside obligations;
+  // fork() from a multi-threaded parent is unsafe (and the distributed
+  // hook refuses to engage there), so discharge serially instead.
+  if (defaultShards() > 1)
+    J = 1;
 
   // Discharge concurrently (obligations are independent), then fold the
   // ledger in registration order so tallies and the failure list do not

@@ -46,6 +46,10 @@ exploreInstances(const ProgRef &Prog,
 }
 
 unsigned fanoutJobs(const EngineOptions &Opts, size_t NumInstances) {
+  // Sharded exploration forks from inside each instance run; keep the
+  // parent single-threaded so fork() is safe and the hook engages.
+  if ((Opts.Shards ? Opts.Shards : defaultShards()) > 1)
+    return 1;
   return effectiveJobs(Opts.Jobs, NumInstances);
 }
 

@@ -40,6 +40,21 @@ std::optional<Heap> subtractByDomain(const Heap &Mine, const Heap &R) {
   return Out;
 }
 
+/// Conservative footprint shared by the lock's transitions and actions:
+/// the lock's joint heap (bit plus resource cells, whose *domain* changes
+/// on acquire/release), the agent's mutex token and client contribution
+/// at Lk, the agent's private heap at Pv (resource cells move in and
+/// out), and a read of the other agents' Lk contribution (release
+/// re-checks the resource invariant against it, and the env release
+/// options depend on it).
+Footprint lockFootprint(Label Pv, Label Lk) {
+  return Footprint::none()
+      .readWrite(FpAtom::joint(Lk))
+      .readWrite(FpAtom::selfAux(Lk))
+      .readWrite(FpAtom::selfAux(Pv))
+      .read(FpAtom::otherAux(Lk));
+}
+
 /// The view update shared by the acquire transition and tryLock's success
 /// branch: move the resource into pv-self, flip the bit, take Own.
 View acquireEffect(const View &Pre, Label Pv, Label Lk, Ptr LockPtr) {
@@ -115,7 +130,7 @@ LockProtocol fcsl::makeCasLock(Label Pv, Label Lk,
         if (lockBit(Pre.joint(Lk), LockPtr))
           return {};
         return {acquireEffect(Pre, Pv, Lk, LockPtr)};
-      }));
+      }).withFootprint(lockFootprint(Pv, Lk)));
 
   // --- release: bit true -> false, new resource from pv-self ------------
   auto EnvOptions = Model.EnvReleaseOptions;
@@ -169,7 +184,7 @@ LockProtocol fcsl::makeCasLock(Label Pv, Label Lk,
         std::optional<PCMVal> Total =
             PCMVal::join(Post.self(Lk).second(), Post.other(Lk).second());
         return Total && Invariant(R, *Total);
-      }));
+      }).withFootprint(lockFootprint(Pv, Lk)));
 
   ConcurroidRef Priv = makePriv(Pv);
   ConcurroidRef Entangled = entangle(Priv, Lock);
@@ -192,6 +207,19 @@ LockProtocol fcsl::makeCasLock(Label Pv, Label Lk,
           return std::vector<ActOutcome>{{Val::ofBool(false), Pre}};
         return std::vector<ActOutcome>{
             {Val::ofBool(true), acquireEffect(Pre, Pv, Lk, LockPtr)}};
+      },
+      lockFootprint(Pv, Lk),
+      // A failed try_lock only observes the bit: as long as the bit stays
+      // set, the step reads one joint cell and changes nothing. Steps
+      // independent of that read cannot clear the bit.
+      [Pv, Lk, LockPtr](const View &Pre,
+                        const std::vector<Val> &) -> Footprint {
+        if (Pre.hasLabel(Lk)) {
+          const Val *Cell = Pre.joint(Lk).tryLookup(LockPtr);
+          if (Cell && Cell->isBool() && Cell->getBool())
+            return Footprint::none().read(FpAtom::jointCell(Lk, LockPtr));
+        }
+        return lockFootprint(Pv, Lk);
       });
 
   ActionRef TryLock = P.TryLock;
@@ -225,7 +253,8 @@ LockProtocol fcsl::makeCasLock(Label Pv, Label Lk,
           if (!Post)
             return std::nullopt;
           return std::vector<ActOutcome>{{Val::unit(), std::move(*Post)}};
-        });
+        },
+        lockFootprint(Pv, Lk));
   };
 
   P.HoldsLock = [Lk](const View &S) {

@@ -65,6 +65,37 @@ bool holdsTicket(const PCMVal &Self, int64_t Ticket) {
   return Self.first().getPtrSet().count(ticketToken(Ticket)) != 0;
 }
 
+/// Footprint of drawing a ticket: bump `next`, validate the other control
+/// cells, extend the agent's ticket set. The resource cells are untouched.
+Footprint takeFootprint(Label Lk) {
+  return Footprint::none()
+      .read(FpAtom::jointCell(Lk, ownerPtrFor(Lk)))
+      .read(FpAtom::jointCell(Lk, servingPtrFor(Lk)))
+      .readWrite(FpAtom::jointCell(Lk, nextPtrFor(Lk)))
+      .readWrite(FpAtom::selfAux(Lk));
+}
+
+/// Footprint of entering (checking the resource out): the whole lock joint
+/// heap changes domain (resource cells move into the agent's private
+/// heap), the ticket set is only read.
+Footprint enterFootprint(Label Pv, Label Lk) {
+  return Footprint::none()
+      .readWrite(FpAtom::joint(Lk))
+      .read(FpAtom::selfAux(Lk))
+      .readWrite(FpAtom::selfAux(Pv));
+}
+
+/// Footprint of leaving: on top of enter's effects the ticket set and
+/// client contribution change, and the resource invariant is re-checked
+/// against the other agents' contribution.
+Footprint leaveFootprint(Label Pv, Label Lk) {
+  return Footprint::none()
+      .readWrite(FpAtom::joint(Lk))
+      .readWrite(FpAtom::selfAux(Lk))
+      .readWrite(FpAtom::selfAux(Pv))
+      .read(FpAtom::otherAux(Lk));
+}
+
 } // namespace
 
 LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
@@ -148,7 +179,7 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
         return Post.self(Lk).first().getPtrSet() == Expected &&
                Post.self(Lk).second() == Pre.self(Lk).second() &&
                Pre.other(Lk) == Post.other(Lk);
-      }));
+      }).withFootprint(takeFootprint(Lk)));
 
   // --- tl_enter: my turn; check the resource out -------------------------
   Lock->addTransition(Transition(
@@ -170,7 +201,7 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
           return {};
         Post.setSelf(Pv, PCMVal::ofHeap(std::move(*Mine)));
         return {Post};
-      }));
+      }).withFootprint(enterFootprint(Pv, Lk)));
 
   // --- tl_leave: return the resource, pass the baton ---------------------
   auto EnvOptions = Model.EnvReleaseOptions;
@@ -254,7 +285,7 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
         std::optional<PCMVal> Total =
             PCMVal::join(Post.self(Lk).second(), Post.other(Lk).second());
         return Total && Invariant(R, *Total);
-      }));
+      }).withFootprint(leaveFootprint(Pv, Lk)));
 
   ConcurroidRef Priv = makePriv(Pv);
   ConcurroidRef Entangled = entangle(Priv, Lock);
@@ -279,7 +310,8 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
                                           Pre.self(Lk).second()));
         return std::vector<ActOutcome>{
             {Val::ofInt(Cells->Next), std::move(Post)}};
-      });
+      },
+      takeFootprint(Lk));
 
   ActionRef TryEnter = makeAction(
       "try_enter", Entangled, 1, // Arg: my ticket number.
@@ -307,6 +339,23 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
           return std::nullopt;
         Post.setSelf(Pv, PCMVal::ofHeap(std::move(*Mine)));
         return std::vector<ActOutcome>{{Val::ofBool(true), std::move(Post)}};
+      },
+      enterFootprint(Pv, Lk),
+      // While it is not my turn, try_enter only observes the control cells
+      // and my own ticket set, and changes nothing. Steps independent of
+      // those reads cannot advance `owner` to my ticket.
+      [Pv, Lk](const View &Pre, const std::vector<Val> &Args) -> Footprint {
+        if (Pre.hasLabel(Lk) && Args.size() == 1 && Args[0].isInt() &&
+            holdsTicket(Pre.self(Lk), Args[0].getInt())) {
+          std::optional<TLockCells> Cells = readCells(Pre.joint(Lk), Lk);
+          if (Cells && Cells->Owner != Args[0].getInt())
+            return Footprint::none()
+                .read(FpAtom::jointCell(Lk, ownerPtrFor(Lk)))
+                .read(FpAtom::jointCell(Lk, nextPtrFor(Lk)))
+                .read(FpAtom::jointCell(Lk, servingPtrFor(Lk)))
+                .read(FpAtom::selfAux(Lk));
+        }
+        return enterFootprint(Pv, Lk);
       });
 
   LockProtocol P;
@@ -380,7 +429,8 @@ LockProtocol fcsl::makeTicketLock(Label Pv, Label Lk,
                                Payload->second));
           Post.setSelf(Pv, PCMVal::ofHeap(std::move(Mine)));
           return std::vector<ActOutcome>{{Val::unit(), std::move(Post)}};
-        });
+        },
+        leaveFootprint(Pv, Lk));
   };
 
   P.HoldsLock = [Lk](const View &S) {

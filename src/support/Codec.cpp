@@ -358,6 +358,77 @@ GlobalState fcsl::decodeGlobalState(Decoder &D) {
 }
 
 //===----------------------------------------------------------------------===//
+// Footprints
+//===----------------------------------------------------------------------===//
+
+void fcsl::encode(Encoder &E, const FpAtom &A) {
+  E.u32(A.L);
+  E.u8(static_cast<uint8_t>(A.Comp));
+  E.u8(static_cast<uint8_t>(A.Region));
+  E.u8(A.Fields);
+  E.u8(A.AllCells);
+  if (!A.AllCells) {
+    E.u32(static_cast<uint32_t>(A.Cells.size()));
+    for (Ptr P : A.Cells)
+      encode(E, P);
+  }
+}
+
+FpAtom fcsl::decodeFpAtom(Decoder &D) {
+  FpAtom A;
+  A.L = D.u32();
+  uint8_t Comp = D.u8();
+  uint8_t Region = D.u8();
+  A.Fields = D.u8();
+  A.AllCells = D.u8() != 0;
+  if (Comp > static_cast<uint8_t>(FpComp::OtherAux) ||
+      Region > static_cast<uint8_t>(FpRegion::Unowned)) {
+    D.fail();
+    return FpAtom();
+  }
+  A.Comp = static_cast<FpComp>(Comp);
+  A.Region = static_cast<FpRegion>(Region);
+  if (!A.AllCells) {
+    uint32_t Count = D.u32();
+    for (uint32_t I = 0; I != Count && !D.failed(); ++I) {
+      Ptr P = decodePtr(D);
+      // Cell lists are sorted and duplicate-free by construction.
+      if (P.isNull() || (!A.Cells.empty() && !(A.Cells.back() < P))) {
+        D.fail();
+        break;
+      }
+      A.Cells.push_back(P);
+    }
+  }
+  return D.failed() ? FpAtom() : A;
+}
+
+void fcsl::encode(Encoder &E, const Footprint &F) {
+  E.u8(F.known());
+  if (!F.known())
+    return;
+  E.u32(static_cast<uint32_t>(F.reads().size()));
+  for (const FpAtom &A : F.reads())
+    encode(E, A);
+  E.u32(static_cast<uint32_t>(F.writes().size()));
+  for (const FpAtom &A : F.writes())
+    encode(E, A);
+}
+
+Footprint fcsl::decodeFootprint(Decoder &D) {
+  if (D.u8() == 0)
+    return Footprint();
+  Footprint F = Footprint::none();
+  uint32_t NumReads = D.u32();
+  for (uint32_t I = 0; I != NumReads && !D.failed(); ++I)
+    F.read(decodeFpAtom(D));
+  uint32_t NumWrites = D.u32();
+  for (uint32_t I = 0; I != NumWrites && !D.failed(); ++I)
+    F.write(decodeFpAtom(D));
+  return D.failed() ? Footprint() : F;
+}
+
+//===----------------------------------------------------------------------===//
 // ProgTable / frontier configurations
 //===----------------------------------------------------------------------===//
 
@@ -409,6 +480,11 @@ const Prog *ProgTable::progAt(uint32_t I) const {
 }
 
 void fcsl::encode(Encoder &E, const FrontierConfig &C) {
+  encodeFrontierConfigPrefix(E, C);
+}
+
+size_t fcsl::encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C) {
+  size_t Start = E.buffer().size();
   encode(E, C.GS);
   E.u32(static_cast<uint32_t>(C.Threads.size()));
   for (const FrontierThread &T : C.Threads) {
@@ -430,6 +506,20 @@ void fcsl::encode(Encoder &E, const FrontierConfig &C) {
       }
     }
   }
+  // Sleep identities are part of config equality; the footprints are not,
+  // so they go after the identity prefix ends.
+  E.u32(static_cast<uint32_t>(C.Sleep.size()));
+  for (const FrontierSleep &S : C.Sleep) {
+    E.u8(S.IsEnv);
+    E.u64(S.T);
+    E.u32(S.ActNode);
+    E.u64(S.EnvIdx);
+  }
+  E.u32(C.EnvCloseMask);
+  size_t Prefix = E.buffer().size() - Start;
+  for (const FrontierSleep &S : C.Sleep)
+    encode(E, S.Fp);
+  return Prefix;
 }
 
 FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
@@ -460,5 +550,22 @@ FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
     }
     C.Threads.push_back(std::move(T));
   }
+  uint32_t NumSleep = D.u32();
+  for (uint32_t I = 0; I != NumSleep && !D.failed(); ++I) {
+    FrontierSleep S;
+    uint8_t IsEnv = D.u8();
+    if (IsEnv > 1) {
+      D.fail();
+      break;
+    }
+    S.IsEnv = IsEnv != 0;
+    S.T = D.u64();
+    S.ActNode = D.u32();
+    S.EnvIdx = D.u64();
+    C.Sleep.push_back(std::move(S));
+  }
+  C.EnvCloseMask = D.u32();
+  for (size_t I = 0; I != C.Sleep.size() && !D.failed(); ++I)
+    C.Sleep[I].Fp = decodeFootprint(D);
   return D.failed() ? FrontierConfig() : C;
 }

@@ -25,6 +25,7 @@
 #ifndef FCSL_SUPPORT_CODEC_H
 #define FCSL_SUPPORT_CODEC_H
 
+#include "concurroid/Footprint.h"
 #include "prog/Prog.h"
 #include "state/GlobalState.h"
 
@@ -34,7 +35,8 @@
 namespace fcsl {
 
 /// Format version; bump when the wire layout changes.
-constexpr uint32_t CodecVersion = 1;
+/// v2: frontier configs carry sleep sets, EnvCloseMask, and footprints.
+constexpr uint32_t CodecVersion = 2;
 
 /// Appends fixed-width little-endian primitives to a byte buffer.
 class Encoder {
@@ -155,6 +157,12 @@ View decodeView(Decoder &D);
 void encode(Encoder &E, const GlobalState &S);
 GlobalState decodeGlobalState(Decoder &D);
 
+void encode(Encoder &E, const FpAtom &A);
+FpAtom decodeFpAtom(Decoder &D);
+
+void encode(Encoder &E, const Footprint &F);
+Footprint decodeFootprint(Decoder &D);
+
 /// A deterministic enumeration of every Prog node reachable from \p Root
 /// and the bodies of \p Defs (pre-order; definition bodies in sorted name
 /// order). Two processes that build the same program structurally build
@@ -205,19 +213,52 @@ struct FrontierThread {
   }
 };
 
+/// One sleep-set entry of a frontier configuration (DESIGN.md §9): a step
+/// already explored along a sibling branch, suppressed until a dependent
+/// step wakes it. The identity fields (everything but Fp) take part in
+/// config identity, mirroring the engine's SleepEntry equality; the
+/// footprint rides along so the receiving shard can keep reducing.
+struct FrontierSleep {
+  bool IsEnv = false;
+  ThreadId T = 0;
+  uint32_t ActNode = ProgTable::NoProg;
+  uint64_t EnvIdx = 0;
+  Footprint Fp;
+
+  friend bool operator==(const FrontierSleep &A, const FrontierSleep &B) {
+    return A.IsEnv == B.IsEnv && A.T == B.T && A.ActNode == B.ActNode &&
+           A.EnvIdx == B.EnvIdx && A.Fp == B.Fp;
+  }
+};
+
 /// A portable frontier configuration: the instrumented global state plus
-/// every thread's control stack. This is the unit of work a sharded
-/// exploration would ship between processes.
+/// every thread's control stack, the POR sleep set, and the terminal
+/// env-closure mask. This is the unit of work sharded exploration ships
+/// between processes (src/dist/, DESIGN.md §10).
 struct FrontierConfig {
   GlobalState GS;
   std::vector<FrontierThread> Threads;
+  std::vector<FrontierSleep> Sleep;
+  uint32_t EnvCloseMask = 0;
 
   friend bool operator==(const FrontierConfig &A, const FrontierConfig &B) {
-    return A.GS == B.GS && A.Threads == B.Threads;
+    return A.GS == B.GS && A.Threads == B.Threads && A.Sleep == B.Sleep &&
+           A.EnvCloseMask == B.EnvCloseMask;
   }
 };
 
 void encode(Encoder &E, const FrontierConfig &C);
+
+/// Encodes \p C and returns the length in bytes of its *identity prefix*:
+/// the bytes, counted from the first byte this call appends, that cover
+/// exactly the components the engine's config equality compares (state,
+/// threads, sleep identities, EnvCloseMask). Sleep footprints — advisory
+/// metadata excluded from config identity — are appended after the
+/// prefix, so two configs that the engine deduplicates against each other
+/// encode to identical prefixes. Shard ownership fingerprints hash the
+/// prefix only.
+size_t encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C);
+
 FrontierConfig decodeFrontierConfig(Decoder &D);
 
 } // namespace fcsl

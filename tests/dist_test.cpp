@@ -1,0 +1,509 @@
+//===- tests/dist_test.cpp - Multi-process sharded exploration tests -------===//
+//
+// Part of fcsl-cpp. Checks the src/dist subsystem: the wire protocol must
+// round-trip every message type through arbitrarily chunked streams and
+// reject malformed frames; the identity prefix of an encoded frontier
+// config must exclude sleep footprints; distributedExplore() must return
+// bit-identical verdicts, terminals and counters to the in-process engine
+// at every shard count (with POR off and on); verification sessions run
+// through the installed hook must agree with their in-process baseline;
+// and a crashed worker must fail the run loudly instead of hanging.
+// Part of the ASan stage of scripts/verify.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+#include "dist/Wire.h"
+
+#include "spec/Session.h"
+#include "structures/CgIncrement.h"
+#include "structures/SpanTree.h"
+#include "structures/SpinLock.h"
+#include "structures/TicketLock.h"
+#include "structures/TreiberStack.h"
+#include "support/Codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace fcsl;
+using namespace fcsl::dist;
+
+namespace {
+
+/// Feeds a wire frame to a FrameBuffer in chunks of \p ChunkSize bytes and
+/// decodes the reassembled payload.
+std::optional<WireMsg> throughBuffer(const std::vector<uint8_t> &Frame,
+                                     size_t ChunkSize) {
+  FrameBuffer In;
+  for (size_t I = 0; I < Frame.size(); I += ChunkSize) {
+    size_t N = std::min(ChunkSize, Frame.size() - I);
+    In.feed(Frame.data() + I, N);
+  }
+  EXPECT_FALSE(In.corrupt());
+  std::optional<std::vector<uint8_t>> Payload = In.next();
+  if (!Payload)
+    return std::nullopt;
+  EXPECT_EQ(In.next(), std::nullopt) << "one frame in, one frame out";
+  return decodeFrame(*Payload);
+}
+
+View sampleView() {
+  View S;
+  S.addLabel(1, LabelSlice{PCMVal::ofHeap(Heap::singleton(
+                               Ptr(4), Val::ofInt(7))),
+                           Heap(), PCMVal::ofHeap(Heap())});
+  S.addLabel(2, LabelSlice{PCMVal::ofNat(1),
+                           Heap::singleton(Ptr(1), Val::ofBool(true)),
+                           PCMVal::ofNat(2)});
+  return S;
+}
+
+VerdictMsg sampleVerdict() {
+  VerdictMsg V;
+  V.ShardId = 3;
+  V.Safe = false;
+  V.Exhausted = true;
+  V.PorReduced = true;
+  V.FailureNote = "probe applied outside its safe states";
+  V.FailureTrace = {"thread 1: incr -> 0", "thread 1: probe UNSAFE"};
+  V.Terminals.push_back(Terminal{Val::ofInt(1), sampleView()});
+  V.Terminals.push_back(Terminal{Val::ofInt(2), sampleView()});
+  V.ConfigsExplored = 101;
+  V.ActionSteps = 55;
+  V.EnvSteps = 17;
+  V.DedupHits = 9;
+  V.VisitedNodes = 101;
+  V.VisitedBytes = 4096;
+  V.FrontierAtAbort = 5;
+  V.SentConfigs = 40;
+  V.RecvConfigs = 38;
+  V.SentBatches = 6;
+  V.SentBytes = 3000;
+  return V;
+}
+
+} // namespace
+
+TEST(DistWire, RoundTripsEveryMessageType) {
+  HelloMsg Hello;
+  Hello.ShardId = 2;
+  FrontierBatchMsg Batch;
+  Batch.Dest = 1;
+  Batch.Configs = {{1, 2, 3}, {}, {0xFF, 0x00, 0x7F}};
+  StatsReportMsg Stats;
+  Stats.ShardId = 1;
+  Stats.Idle = true;
+  Stats.Expanded = 12;
+  Stats.SentConfigs = 3;
+  Stats.RecvConfigs = 4;
+  Stats.SentBatches = 2;
+  Stats.SentBytes = 512;
+  DrainMsg Drain;
+  Drain.Exhausted = true;
+  VerdictMsg Verdict = sampleVerdict();
+
+  // Reassembly must not depend on chunking: byte-by-byte, odd chunks, and
+  // one whole write all yield the same frame.
+  for (size_t Chunk : {size_t{1}, size_t{7}, size_t{1 << 20}}) {
+    std::optional<WireMsg> M = throughBuffer(frameHello(Hello), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Hello);
+    EXPECT_EQ(M->Hello, Hello);
+
+    M = throughBuffer(frameBatch(Batch), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::FrontierBatch);
+    EXPECT_EQ(M->Batch, Batch);
+
+    M = throughBuffer(frameStats(Stats), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::StatsReport);
+    EXPECT_EQ(M->Stats, Stats);
+
+    M = throughBuffer(frameDrain(Drain), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Drain);
+    EXPECT_EQ(M->Drain, Drain);
+
+    M = throughBuffer(frameVerdict(Verdict), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Verdict);
+    EXPECT_EQ(M->Verdict, Verdict);
+  }
+}
+
+TEST(DistWire, InterleavedFramesComeOutInOrder) {
+  HelloMsg Hello;
+  Hello.ShardId = 7;
+  DrainMsg Drain;
+  std::vector<uint8_t> Stream = frameHello(Hello);
+  std::vector<uint8_t> Second = frameDrain(Drain);
+  Stream.insert(Stream.end(), Second.begin(), Second.end());
+
+  FrameBuffer In;
+  // Split in the middle of the second frame's length prefix.
+  size_t Cut = frameHello(Hello).size() + 2;
+  In.feed(Stream.data(), Cut);
+  std::optional<std::vector<uint8_t>> P1 = In.next();
+  ASSERT_TRUE(P1);
+  EXPECT_EQ(In.next(), std::nullopt);
+  In.feed(Stream.data() + Cut, Stream.size() - Cut);
+  std::optional<std::vector<uint8_t>> P2 = In.next();
+  ASSERT_TRUE(P2);
+
+  std::optional<WireMsg> M1 = decodeFrame(*P1);
+  std::optional<WireMsg> M2 = decodeFrame(*P2);
+  ASSERT_TRUE(M1 && M2);
+  EXPECT_EQ(M1->Type, MsgType::Hello);
+  EXPECT_EQ(M1->Hello, Hello);
+  EXPECT_EQ(M2->Type, MsgType::Drain);
+}
+
+TEST(DistWire, RejectsMalformedFrames) {
+  // Truncation anywhere in the payload must fail the decode, not crash.
+  std::vector<uint8_t> Frame = frameVerdict(sampleVerdict());
+  std::vector<uint8_t> Payload(Frame.begin() + 4, Frame.end());
+  for (size_t Len : {size_t{0}, size_t{3}, Payload.size() - 1})
+    EXPECT_EQ(decodeFrame(std::vector<uint8_t>(Payload.begin(),
+                                               Payload.begin() + Len)),
+              std::nullopt)
+        << "truncated to " << Len;
+
+  // Trailing garbage after a well-formed body.
+  std::vector<uint8_t> Padded = Payload;
+  Padded.push_back(0);
+  EXPECT_EQ(decodeFrame(Padded), std::nullopt);
+
+  // Unknown message tag (right after the codec header).
+  std::vector<uint8_t> BadTag(Frame.begin() + 4, Frame.end());
+  Encoder Hdr;
+  encodeHeader(Hdr);
+  BadTag[Hdr.buffer().size()] = 99;
+  EXPECT_EQ(decodeFrame(BadTag), std::nullopt);
+
+  // Wrong codec magic.
+  std::vector<uint8_t> BadMagic = Payload;
+  BadMagic[0] ^= 0xFF;
+  EXPECT_EQ(decodeFrame(BadMagic), std::nullopt);
+}
+
+TEST(DistWire, ImplausibleLengthLatchesCorruption) {
+  FrameBuffer In;
+  Encoder E;
+  E.u32(MaxFrameBytes + 1);
+  std::vector<uint8_t> Bytes = E.take();
+  In.feed(Bytes.data(), Bytes.size());
+  EXPECT_EQ(In.next(), std::nullopt);
+  EXPECT_TRUE(In.corrupt());
+
+  // A partial length prefix is just "not yet", not corruption.
+  FrameBuffer Fresh;
+  uint8_t Two[2] = {1, 0};
+  Fresh.feed(Two, 2);
+  EXPECT_EQ(Fresh.next(), std::nullopt);
+  EXPECT_FALSE(Fresh.corrupt());
+}
+
+namespace {
+
+GlobalState smallState() {
+  GlobalState GS;
+  GS.addLabel(1, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+              /*EnvClosed=*/false);
+  GS.addLabel(2, PCMType::nat(), Heap::singleton(Ptr(1), Val::ofInt(0)),
+              PCMVal::ofNat(0), /*EnvClosed=*/false);
+  return GS;
+}
+
+FrontierConfig smallConfig() {
+  FrontierConfig C;
+  C.GS = smallState();
+  FrontierThread T;
+  T.Id = 1;
+  FrontierFrame F;
+  F.Kind = 0;
+  F.Node = 3;
+  F.Env = {{"x", Val::ofInt(5)}};
+  T.Frames.push_back(F);
+  C.Threads.push_back(T);
+  FrontierSleep S;
+  S.IsEnv = false;
+  S.T = 1;
+  S.ActNode = 4;
+  S.Fp = Footprint::none().read(FpAtom::selfAux(1));
+  C.Sleep.push_back(S);
+  C.EnvCloseMask = 0x3;
+  return C;
+}
+
+} // namespace
+
+TEST(DistCodec, FrontierConfigPrefixRoundTrips) {
+  FrontierConfig C = smallConfig();
+  Encoder E;
+  size_t Prefix = encodeFrontierConfigPrefix(E, C);
+  EXPECT_GT(Prefix, 0u);
+  EXPECT_LE(Prefix, E.buffer().size());
+
+  Decoder D(E.buffer());
+  FrontierConfig Back = decodeFrontierConfig(D);
+  EXPECT_FALSE(D.failed());
+  EXPECT_TRUE(D.atEnd());
+  EXPECT_EQ(Back, C);
+}
+
+TEST(DistCodec, IdentityPrefixExcludesSleepFootprints) {
+  // Two configs the engine would deduplicate against each other — equal up
+  // to sleep *footprints* — must own the same fingerprint bytes.
+  FrontierConfig A = smallConfig();
+  FrontierConfig B = smallConfig();
+  B.Sleep[0].Fp = Footprint::none()
+                      .readWrite(FpAtom::joint(2))
+                      .read(FpAtom::otherAux(2));
+  Encoder EA, EB;
+  size_t PA = encodeFrontierConfigPrefix(EA, A);
+  size_t PB = encodeFrontierConfigPrefix(EB, B);
+  ASSERT_EQ(PA, PB);
+  EXPECT_TRUE(std::equal(EA.buffer().begin(), EA.buffer().begin() + PA,
+                         EB.buffer().begin()));
+  // The full buffers differ (the footprints ride behind the prefix).
+  EXPECT_NE(EA.buffer(), EB.buffer());
+
+  // Identity-relevant fields must land inside the prefix.
+  FrontierConfig Masked = smallConfig();
+  Masked.EnvCloseMask = 0;
+  FrontierConfig Slept = smallConfig();
+  Slept.Sleep.clear();
+  for (const FrontierConfig *Other : {&Masked, &Slept}) {
+    Encoder EO;
+    size_t PO = encodeFrontierConfigPrefix(EO, *Other);
+    std::vector<uint8_t> PrefA(EA.buffer().begin(),
+                               EA.buffer().begin() + PA);
+    std::vector<uint8_t> PrefO(EO.buffer().begin(),
+                               EO.buffer().begin() + PO);
+    EXPECT_NE(PrefA, PrefO);
+  }
+}
+
+namespace {
+
+bool sameTerminals(const std::vector<Terminal> &A,
+                   const std::vector<Terminal> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, N = A.size(); I != N; ++I)
+    if (A[I] < B[I] || B[I] < A[I])
+      return false;
+  return true;
+}
+
+Heap diamondOf(unsigned Layers) {
+  std::vector<GraphNode> Nodes;
+  uint32_t Id = 1;
+  for (unsigned L = 0; L < Layers; ++L) {
+    Nodes.push_back(GraphNode{Ptr(Id), Ptr(Id + 1), Ptr(Id + 2)});
+    Nodes.push_back(GraphNode{Ptr(Id + 1), Ptr(Id + 3), Ptr::null()});
+    Nodes.push_back(GraphNode{Ptr(Id + 2), Ptr(Id + 3), Ptr::null()});
+    Id += 3;
+  }
+  Nodes.push_back(GraphNode{Ptr(Id), Ptr::null(), Ptr::null()});
+  return buildGraph(Nodes);
+}
+
+/// Runs the same exploration through distributedExplore at 2 and 4 shards
+/// (and through the public hook path at 1 shard) and checks bit-identity
+/// against the in-process baseline, with POR off and on.
+void expectShardIdentity(const ProgRef &P, const GlobalState &Initial,
+                         EngineOptions Opts) {
+  for (PorMode Mode : {PorMode::Off, PorMode::On}) {
+    Opts.Por = Mode;
+    Opts.Shards = 1;
+    RunResult Base = explore(P, Initial, Opts);
+    ASSERT_TRUE(Base.complete()) << Base.FailureNote;
+    EXPECT_FALSE(Base.Terminals.empty());
+    for (unsigned Shards : {2u, 4u}) {
+      RunResult R = distributedExplore(P, Initial, Opts, {}, Shards);
+      EXPECT_EQ(R.Safe, Base.Safe) << "shards=" << Shards;
+      EXPECT_EQ(R.Exhausted, Base.Exhausted) << "shards=" << Shards;
+      EXPECT_TRUE(sameTerminals(R.Terminals, Base.Terminals))
+          << "shards=" << Shards;
+      EXPECT_EQ(R.ConfigsExplored, Base.ConfigsExplored)
+          << "shards=" << Shards;
+      EXPECT_EQ(R.ActionSteps, Base.ActionSteps) << "shards=" << Shards;
+      EXPECT_EQ(R.EnvSteps, Base.EnvSteps) << "shards=" << Shards;
+      EXPECT_EQ(R.DedupHits, Base.DedupHits) << "shards=" << Shards;
+      EXPECT_EQ(R.VisitedNodes, Base.VisitedNodes) << "shards=" << Shards;
+    }
+  }
+}
+
+/// Restores the process-wide shard default on scope exit.
+struct ShardDefaultGuard {
+  ~ShardDefaultGuard() { setDefaultShards(0); }
+};
+
+/// A coarse-grained increment client over the given lock, packaged with
+/// its definitions, initial state (counter = EnvTotal, owned by the
+/// environment) and engine options.
+struct IncrCase {
+  LockProtocol P;
+  std::shared_ptr<DefTable> Defs;
+  ProgRef Main;
+  GlobalState Initial;
+  EngineOptions Opts;
+};
+
+IncrCase makeIncrCase(const LockFactory &Factory, PCMTypeRef TokenType,
+                      bool Parallel, bool EnvInterference,
+                      uint64_t EnvTotal) {
+  constexpr Label PvLbl = 1, LkLbl = 2;
+  IncrCase C;
+  C.P = Factory(PvLbl, LkLbl, counterResourceModel(LkLbl, /*EnvCap=*/1));
+  C.Defs = std::make_shared<DefTable>();
+  defineIncrProgram(C.P, *C.Defs);
+  C.Main = Parallel ? Prog::par(Prog::call("incr", {}),
+                                Prog::call("incr", {}))
+                    : Prog::call("incr", {});
+  PCMTypeRef SelfType = PCMType::pairOf(TokenType, PCMType::nat());
+  C.Initial.addLabel(C.P.Pv, PCMType::heap(), Heap(),
+                     PCMVal::ofHeap(Heap()), /*EnvClosed=*/false);
+  PCMVal EnvSelf = SelfType->unit();
+  EnvSelf = PCMVal::makePair(EnvSelf.first(), PCMVal::ofNat(EnvTotal));
+  C.Initial.addLabel(
+      C.P.Lk, SelfType,
+      C.P.InitialJoint(Heap::singleton(
+          counterResourceCell(),
+          Val::ofInt(static_cast<int64_t>(EnvTotal)))),
+      std::move(EnvSelf), /*EnvClosed=*/false);
+  C.Opts.Ambient = C.P.C;
+  C.Opts.EnvInterference = EnvInterference;
+  C.Opts.Defs = C.Defs.get();
+  C.Opts.Jobs = 1;
+  C.Opts.Shards = 1;
+  return C;
+}
+
+} // namespace
+
+TEST(DistEngine, SpanTreeClosedWorldShardIdentity) {
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  expectShardIdentity(makeSpanRootProg(Case, Ptr(1)),
+                      spanRootState(Case, diamondOf(1)), Opts);
+}
+
+TEST(DistEngine, TreiberPopUnderInterferenceShardIdentity) {
+  TreiberCase Case = makeTreiberCase(1, 2, /*EnvHistCap=*/2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  expectShardIdentity(Prog::call("pop", {}),
+                      treiberState(Case, {7, 5}, 0, 1), Opts);
+}
+
+TEST(DistEngine, ShardedWorkersComposeWithThreadTeams) {
+  // --shards and --jobs compose: each forked worker runs its own thread
+  // team and the merged result is still bit-identical.
+  TreiberCase Case = makeTreiberCase(1, 2, /*EnvHistCap=*/2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.C;
+  Opts.EnvInterference = true;
+  Opts.Defs = &Case.Defs;
+  Opts.Jobs = 2;
+  expectShardIdentity(
+      Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(4)}),
+      treiberState(Case, {}, 1, 1), Opts);
+}
+
+TEST(DistEngine, SessionsThroughHookMatchBaseline) {
+  ShardDefaultGuard Guard;
+  installDistributedEngine();
+  for (auto MakeSession : {makeSpinLockSession, makeTicketLockSession}) {
+    setDefaultShards(0);
+    SessionReport Base = MakeSession().run();
+    setDefaultShards(2);
+    SessionReport Sharded = MakeSession().run();
+    EXPECT_EQ(Sharded.AllPassed, Base.AllPassed) << Base.Program;
+    EXPECT_TRUE(Base.AllPassed) << Base.Program;
+    EXPECT_EQ(Sharded.totalObligations(), Base.totalObligations());
+    EXPECT_EQ(Sharded.totalChecks(), Base.totalChecks()) << Base.Program;
+  }
+}
+
+TEST(DistEngine, LockClientsReduceUnderPor) {
+  // The spin/ticket lock footprints must buy an actual reduction, not
+  // just compile. A mutex serializes every state-changing step, so the
+  // reachable config set cannot shrink for a lock client; what POR prunes
+  // is redundant *transitions* — failed spin probes and postponed env
+  // steps whose targets dedup into already-visited configs. Assert
+  // strictly fewer explored steps with verdict, terminals, and config set
+  // intact.
+  struct Variant {
+    LockFactory Factory;
+    PCMTypeRef Token;
+    bool Parallel;
+    bool Env;
+    const char *Tag;
+  };
+  const Variant Variants[] = {
+      {casLockFactory(), PCMType::mutex(), true, false, "cas parallel"},
+      {ticketLockFactory(), PCMType::ptrSet(), true, false,
+       "ticket parallel"},
+      {ticketLockFactory(), PCMType::ptrSet(), false, true,
+       "ticket sequential open"},
+  };
+  for (const Variant &V : Variants) {
+    IncrCase C = makeIncrCase(V.Factory, V.Token, V.Parallel, V.Env,
+                              /*EnvTotal=*/0);
+    C.Opts.Por = PorMode::Off;
+    RunResult Full = explore(C.Main, C.Initial, C.Opts);
+    C.Opts.Por = PorMode::On;
+    RunResult Red = explore(C.Main, C.Initial, C.Opts);
+
+    ASSERT_TRUE(Full.complete() && Red.complete()) << V.Tag;
+    EXPECT_TRUE(Full.Safe && Red.Safe) << V.Tag;
+    EXPECT_TRUE(sameTerminals(Full.Terminals, Red.Terminals)) << V.Tag;
+    EXPECT_EQ(Red.ConfigsExplored, Full.ConfigsExplored) << V.Tag;
+    EXPECT_LT(Red.ActionSteps + Red.EnvSteps,
+              Full.ActionSteps + Full.EnvSteps)
+        << V.Tag;
+  }
+}
+
+TEST(DistEngine, LockClientShardIdentity) {
+  // The lock-client explorations (whose POR behaviour the previous test
+  // pins) stay bit-identical when sharded, POR off and on.
+  IncrCase Cas = makeIncrCase(casLockFactory(), PCMType::mutex(),
+                              /*Parallel=*/true, /*EnvInterference=*/false,
+                              /*EnvTotal=*/0);
+  expectShardIdentity(Cas.Main, Cas.Initial, Cas.Opts);
+  IncrCase Ticket = makeIncrCase(ticketLockFactory(), PCMType::ptrSet(),
+                                 /*Parallel=*/false,
+                                 /*EnvInterference=*/true, /*EnvTotal=*/0);
+  expectShardIdentity(Ticket.Main, Ticket.Initial, Ticket.Opts);
+}
+
+TEST(DistEngine, CrashedWorkerFailsLoudly) {
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  ::setenv("FCSL_DIST_CRASH_SHARD", "1", 1);
+  RunResult R = distributedExplore(makeSpanRootProg(Case, Ptr(1)),
+                                   spanRootState(Case, diamondOf(1)), Opts,
+                                   {}, 2);
+  ::unsetenv("FCSL_DIST_CRASH_SHARD");
+  // The exploration is incomplete and says so — never a silent "safe".
+  EXPECT_FALSE(R.complete());
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_NE(R.FailureNote.find("shard 1"), std::string::npos)
+      << R.FailureNote;
+  EXPECT_NE(R.FailureNote.find("died"), std::string::npos) << R.FailureNote;
+}

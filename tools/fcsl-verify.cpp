@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "concurroid/Registry.h"
+#include "dist/Coordinator.h"
 #include "prog/Engine.h"
 #include "structures/StackIface.h"
 #include "structures/Suite.h"
@@ -32,7 +33,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fcsl-verify [--jobs N] [--por MODE] <command>\n"
+               "usage: fcsl-verify [--jobs N] [--por MODE] [--shards N] "
+               "<command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
@@ -51,6 +53,12 @@ int usage() {
                "                       reduction, check = run both and "
                "cross-validate\n"
                "                       (default from FCSL_POR, else off)\n"
+               "  --shards N           partition every exploration across N "
+               "worker processes\n"
+               "                       by state fingerprint (1 = in-process; "
+               "default from\n"
+               "                       FCSL_SHARDS, else 1); composes with "
+               "--por and --jobs\n"
                "  --stats              after the command, print intern-arena "
                "and visited-set\n"
                "                       statistics (node counts, dedup ratio, "
@@ -80,6 +88,31 @@ void printStats() {
   std::printf("peak visited set: %llu configs, %llu bytes\n",
               static_cast<unsigned long long>(peakVisitedNodes()),
               static_cast<unsigned long long>(peakVisitedBytes()));
+
+  dist::FleetStats Fleet = dist::fleetTotals();
+  if (Fleet.Fleets == 0)
+    return;
+  std::printf("sharded exploration: %llu fleets, %llu configs exchanged in "
+              "%llu batches (%llu bytes), peak child rss %llu kB "
+              "(sum %llu kB)\n",
+              static_cast<unsigned long long>(Fleet.Fleets),
+              static_cast<unsigned long long>(Fleet.Configs),
+              static_cast<unsigned long long>(Fleet.Messages),
+              static_cast<unsigned long long>(Fleet.Bytes),
+              static_cast<unsigned long long>(Fleet.ChildRssKbMax),
+              static_cast<unsigned long long>(Fleet.ChildRssKbSum));
+  TextTable Shards;
+  Shards.setHeader({"shard", "expanded", "sent", "recv", "batches",
+                    "rss kB"});
+  for (unsigned I = 1; I <= 5; ++I)
+    Shards.setRightAligned(I);
+  for (const dist::ShardExchange &S : Fleet.LastRun)
+    Shards.addRow({std::to_string(S.ShardId), std::to_string(S.Expanded),
+                   std::to_string(S.SentConfigs),
+                   std::to_string(S.RecvConfigs),
+                   std::to_string(S.SentBatches),
+                   std::to_string(S.MaxRssKb)});
+  std::printf("last fleet:\n%s", Shards.render().c_str());
 }
 
 /// All sessions: the paper's eleven plus the abstract-stack extension.
@@ -169,6 +202,15 @@ int main(int Argc, char **Argv) {
   std::vector<char *> Args;
   bool Stats = false;
   bool PorCheckRequested = false;
+  dist::installDistributedEngine();
+  auto ParseShards = [](const char *Text) -> bool {
+    char *End = nullptr;
+    long N = std::strtol(Text, &End, 10);
+    if (End == Text || *End != '\0' || N < 1)
+      return false;
+    setDefaultShards(static_cast<unsigned>(N));
+    return true;
+  };
   auto ParsePor = [&](const char *Mode) -> bool {
     if (std::strcmp(Mode, "off") == 0) {
       setDefaultPorMode(PorMode::Off);
@@ -200,6 +242,16 @@ int main(int Argc, char **Argv) {
     }
     if (std::strncmp(Argv[I], "--por=", 6) == 0) {
       if (!ParsePor(Argv[I] + 6))
+        return usage();
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--shards") == 0) {
+      if (I + 1 >= Argc || !ParseShards(Argv[++I]))
+        return usage();
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--shards=", 9) == 0) {
+      if (!ParseShards(Argv[I] + 9))
         return usage();
       continue;
     }
