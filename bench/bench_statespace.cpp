@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurroid/Entangle.h"
+#include "concurroid/Priv.h"
 #include "dist/Coordinator.h"
 #include "structures/SpanTree.h"
 #include "support/Format.h"
@@ -101,13 +103,114 @@ struct PorRow {
 };
 
 struct SweepRow {
-  unsigned Jobs = 0;
+  unsigned Jobs = 0;      ///< requested worker count.
+  unsigned Effective = 0; ///< what effectiveJobs() resolved it to.
   double Ms = 0.0;
   uint64_t Configs = 0;
   double StatesPerSec = 0.0;
   double Speedup = 1.0;
   bool Identical = true; ///< terminals + verdict match the Jobs=1 run.
 };
+
+struct SymRow {
+  std::string Suite;
+  uint64_t ConfigsFull = 0;
+  uint64_t ConfigsCanonical = 0;
+  double MsFull = 0.0;
+  double MsCanonical = 0.0;
+  uint64_t OrbitLookups = 0;
+  uint64_t OrbitHits = 0;
+  bool Identical = true; ///< canonical terminals + verdict match the full run.
+};
+
+struct SymDistRow {
+  unsigned Shards = 0;
+  uint64_t ConfigsFull = 0;      ///< exchanged configs, symmetry off.
+  uint64_t ConfigsCanonical = 0; ///< exchanged configs, symmetry on.
+  uint64_t BytesFull = 0;        ///< exchanged bytes, symmetry off.
+  uint64_t BytesCanonical = 0;   ///< exchanged bytes, symmetry on.
+  bool Identical = true;
+};
+
+//===----------------------------------------------------------------------===//
+// A tiny counter world with interchangeable incrementing siblings: the
+// symmetric workload for the symmetry-reduction section. (span_root's par
+// subtrees take different arguments, so its orbits are singletons.)
+//===----------------------------------------------------------------------===//
+
+constexpr Label CtPv = 1;
+constexpr Label Ct = 2;
+const Ptr CtCell = Ptr(1);
+
+struct CounterWorld {
+  ConcurroidRef C;
+  ActionRef Incr;
+  DefTable Defs;
+};
+
+CounterWorld makeCounterWorld() {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct))
+      return false;
+    const Val *V = S.joint(Ct).tryLookup(CtCell);
+    if (!V || !V->isInt())
+      return false;
+    return V->getInt() == static_cast<int64_t>(S.self(Ct).getNat() +
+                                               S.other(Ct).getNat());
+  };
+  auto C =
+      makeConcurroid("Counter", {OwnedLabel{Ct, "ct", PCMType::nat()}}, Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [](const View &) -> std::vector<View> { return {}; },
+      [](const View &Pre, const View &Post) {
+        if (!Pre.hasLabel(Ct) || !Post.hasLabel(Ct))
+          return false;
+        for (Label L : Pre.labels())
+          if (L != Ct && !(Pre.slice(L) == Post.slice(L)))
+            return false;
+        return Post.joint(Ct).lookup(CtCell).getInt() ==
+                   Pre.joint(Ct).lookup(CtCell).getInt() + 1 &&
+               Post.self(Ct).getNat() == Pre.self(Ct).getNat() + 1 &&
+               Pre.other(Ct) == Post.other(Ct);
+      }));
+
+  CounterWorld World;
+  World.C = entangle(makePriv(CtPv), C);
+  World.Incr = makeAction(
+      "incr", World.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(CtCell);
+        if (!V)
+          return std::nullopt;
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(CtCell, Val::ofInt(V->getInt() + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return std::vector<ActOutcome>{{*V, std::move(Post)}};
+      });
+  return World;
+}
+
+GlobalState counterState() {
+  GlobalState GS;
+  GS.addLabel(CtPv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  GS.addLabel(Ct, PCMType::nat(), Heap::singleton(CtCell, Val::ofInt(0)),
+              PCMVal::ofNat(0), false);
+  return GS;
+}
+
+/// A balanced symmetric par tree of 2^Depth interchangeable incrementing
+/// leaves. Subtrees are shared nodes: par children are opaque to
+/// structural comparison, so sharing is how nested symmetry is expressed.
+ProgRef symmetricIncrTree(const CounterWorld &W, unsigned Depth) {
+  ProgRef P = Prog::act(W.Incr, {});
+  for (unsigned D = 0; D < Depth; ++D)
+    P = Prog::par(P, P);
+  return P;
+}
 
 bool sameTerminals(const std::vector<Terminal> &A,
                    const std::vector<Terminal> &B) {
@@ -182,9 +285,9 @@ int main() {
       JobList.push_back(MaxJobs);
 
     TextTable SweepTable;
-    SweepTable.setHeader({"jobs", "configs", "time (ms)", "states/sec",
-                          "speedup", "identical"});
-    for (unsigned I = 0; I <= 4; ++I)
+    SweepTable.setHeader({"jobs", "effective", "configs", "time (ms)",
+                          "states/sec", "speedup", "identical"});
+    for (unsigned I = 0; I <= 5; ++I)
       SweepTable.setRightAligned(I);
 
     RunResult Base;
@@ -194,7 +297,14 @@ int main() {
       Opts.Ambient = Case.PrivOnly;
       Opts.EnvInterference = false;
       Opts.Defs = &Case.Defs;
-      Opts.Jobs = Jobs;
+      // Route the requested count through the oversubscription guard: on
+      // a single-core host (or for a tiny instance) the sweep degrades to
+      // serial instead of paying for idle workers. The Jobs=1 baseline
+      // runs first, so its config count sizes the work estimate.
+      unsigned Effective = effectiveJobs(Jobs, Base.ConfigsExplored);
+      if (Jobs == 1)
+        Effective = 1;
+      Opts.Jobs = Effective;
       Timer T;
       RunResult R = explore(Main, spanRootState(Case, G), Opts);
       double Ms = T.elapsedMs();
@@ -205,6 +315,7 @@ int main() {
       }
       SweepRow Row;
       Row.Jobs = Jobs;
+      Row.Effective = Effective;
       Row.Ms = Ms;
       Row.Configs = R.ConfigsExplored;
       Row.StatesPerSec = Ms > 0 ? R.ConfigsExplored * 1000.0 / Ms : 0;
@@ -216,6 +327,7 @@ int main() {
       Ok &= Row.Identical;
       Sweep.push_back(Row);
       SweepTable.addRow({std::to_string(Jobs),
+                         std::to_string(Row.Effective),
                          std::to_string(Row.Configs),
                          formatString("%.1f", Row.Ms),
                          formatString("%.0f", Row.StatesPerSec),
@@ -340,6 +452,118 @@ int main() {
     std::printf("%s\n", DistTable.render().c_str());
   }
 
+  // Symmetry reduction (DESIGN.md §11): orbit canonicalization of
+  // interchangeable incrementing siblings, full vs canonical exploration,
+  // plus the shard-exchange savings when canonical fingerprints own whole
+  // orbits. span_root rides along as the no-symmetry control.
+  std::printf("symmetry reduction, full vs canonical exploration:\n");
+  std::vector<SymRow> SymRows;
+  std::vector<SymDistRow> SymDistRows;
+  {
+    CounterWorld W = makeCounterWorld();
+    EngineOptions CtOpts;
+    CtOpts.Ambient = W.C;
+    CtOpts.EnvInterference = false;
+    CtOpts.Defs = &W.Defs;
+    CtOpts.Jobs = 1;
+
+    TextTable SymTable;
+    SymTable.setHeader({"suite", "full cfgs", "canonical cfgs", "ratio",
+                        "cache hits", "identical"});
+    for (unsigned I = 1; I <= 4; ++I)
+      SymTable.setRightAligned(I);
+
+    auto RunSym = [&](const char *Name, const ProgRef &Main,
+                      const GlobalState &S0, EngineOptions Opts) {
+      Opts.Symmetry = SymMode::Off;
+      Timer TF;
+      RunResult Full = explore(Main, S0, Opts);
+      double MsF = TF.elapsedMs();
+      SymmetryStats Before = symmetryStats();
+      Opts.Symmetry = SymMode::On;
+      Timer TC;
+      RunResult Canon = explore(Main, S0, Opts);
+      double MsC = TC.elapsedMs();
+      SymmetryStats After = symmetryStats();
+      SymRow Row;
+      Row.Suite = Name;
+      Row.ConfigsFull = Full.ConfigsExplored;
+      Row.ConfigsCanonical = Canon.ConfigsExplored;
+      Row.MsFull = MsF;
+      Row.MsCanonical = MsC;
+      Row.OrbitLookups = After.Lookups - Before.Lookups;
+      Row.OrbitHits = After.Hits - Before.Hits;
+      Row.Identical = Full.Safe == Canon.Safe &&
+                      Full.Exhausted == Canon.Exhausted &&
+                      sameTerminals(Full.Terminals, Canon.Terminals);
+      Ok &= Full.complete() && Canon.complete() && Row.Identical;
+      SymRows.push_back(Row);
+      SymTable.addRow(
+          {Name, std::to_string(Row.ConfigsFull),
+           std::to_string(Row.ConfigsCanonical),
+           formatString("%.3f", Row.ConfigsFull
+                                    ? double(Row.ConfigsCanonical) /
+                                          double(Row.ConfigsFull)
+                                    : 1.0),
+           std::to_string(Row.OrbitHits), Row.Identical ? "yes" : "NO"});
+    };
+
+    RunSym("counter-pair", symmetricIncrTree(W, 1), counterState(), CtOpts);
+    RunSym("counter-quad", symmetricIncrTree(W, 2), counterState(), CtOpts);
+    {
+      EngineOptions SpanOpts;
+      SpanOpts.Ambient = Case.PrivOnly;
+      SpanOpts.EnvInterference = false;
+      SpanOpts.Defs = &Case.Defs;
+      SpanOpts.Jobs = 1;
+      RunSym("span-diamond-1", makeSpanRootProg(Case, Ptr(1)),
+             spanRootState(Case, diamondOf(1)), SpanOpts);
+    }
+    std::printf("%s\n", SymTable.render().c_str());
+
+    // Shard exchange on the symmetric suite: canonical fingerprints give
+    // every orbit one owner, so fewer configs (and bytes) cross shard
+    // boundaries than under plain fingerprint ownership.
+    std::printf("shard exchange on counter-quad, plain vs canonical "
+                "fingerprints:\n");
+    TextTable SymDistTable;
+    SymDistTable.setHeader({"shards", "exch full", "exch canon",
+                            "bytes full", "bytes canon", "identical"});
+    for (unsigned I = 0; I <= 4; ++I)
+      SymDistTable.setRightAligned(I);
+    ProgRef Quad = symmetricIncrTree(W, 2);
+    for (unsigned Shards : {2u, 4u}) {
+      SymDistRow Row;
+      Row.Shards = Shards;
+      EngineOptions Opts = CtOpts;
+      Opts.Symmetry = SymMode::Off;
+      dist::FleetStats Before = dist::fleetTotals();
+      RunResult Full =
+          dist::distributedExplore(Quad, counterState(), Opts, {}, Shards);
+      dist::FleetStats Mid = dist::fleetTotals();
+      Opts.Symmetry = SymMode::On;
+      RunResult Canon =
+          dist::distributedExplore(Quad, counterState(), Opts, {}, Shards);
+      dist::FleetStats After = dist::fleetTotals();
+      Row.ConfigsFull = Mid.Configs - Before.Configs;
+      Row.ConfigsCanonical = After.Configs - Mid.Configs;
+      Row.BytesFull = Mid.Bytes - Before.Bytes;
+      Row.BytesCanonical = After.Bytes - Mid.Bytes;
+      Row.Identical = Full.Safe == Canon.Safe &&
+                      Full.Exhausted == Canon.Exhausted &&
+                      sameTerminals(Full.Terminals, Canon.Terminals);
+      Ok &= Full.complete() && Canon.complete() && Row.Identical;
+      SymDistRows.push_back(Row);
+      SymDistTable.addRow({std::to_string(Shards),
+                           std::to_string(Row.ConfigsFull),
+                           std::to_string(Row.ConfigsCanonical),
+                           std::to_string(Row.BytesFull),
+                           std::to_string(Row.BytesCanonical),
+                           Row.Identical ? "yes" : "NO"});
+    }
+    std::printf("%s\n", SymDistTable.render().c_str());
+  }
+
   // Randomized simulation past the exhaustive frontier: the same model
   // program, sampled schedules, instances exploration cannot touch.
   std::printf("randomized simulation of span_root beyond the exhaustive "
@@ -437,10 +661,11 @@ int main() {
     for (size_t I = 0; I != Sweep.size(); ++I) {
       const SweepRow &R = Sweep[I];
       std::fprintf(F,
-                   "    {\"jobs\": %u, \"ms\": %.2f, \"configs\": %llu, "
+                   "    {\"jobs\": %u, \"effective_jobs\": %u, "
+                   "\"ms\": %.2f, \"configs\": %llu, "
                    "\"states_per_sec\": %.0f, \"speedup\": %.3f, "
                    "\"identical\": %s}%s\n",
-                   R.Jobs, R.Ms,
+                   R.Jobs, R.Effective, R.Ms,
                    static_cast<unsigned long long>(R.Configs),
                    R.StatesPerSec, R.Speedup,
                    R.Identical ? "true" : "false",
@@ -483,6 +708,45 @@ int main() {
                    I + 1 == DistRows.size() ? "" : ",");
     }
     std::fprintf(F, "  ]},\n");
+    std::fprintf(F, "  \"symmetry\": {\"suites\": [\n");
+    for (size_t I = 0; I != SymRows.size(); ++I) {
+      const SymRow &R = SymRows[I];
+      std::fprintf(F,
+                   "    {\"suite\": \"%s\", \"configs_full\": %llu, "
+                   "\"configs_canonical\": %llu, \"ratio\": %.3f, "
+                   "\"orbit_cache_lookups\": %llu, "
+                   "\"orbit_cache_hits\": %llu, "
+                   "\"ms_full\": %.2f, \"ms_canonical\": %.2f, "
+                   "\"identical\": %s}%s\n",
+                   R.Suite.c_str(),
+                   static_cast<unsigned long long>(R.ConfigsFull),
+                   static_cast<unsigned long long>(R.ConfigsCanonical),
+                   R.ConfigsFull ? double(R.ConfigsCanonical) /
+                                       double(R.ConfigsFull)
+                                 : 1.0,
+                   static_cast<unsigned long long>(R.OrbitLookups),
+                   static_cast<unsigned long long>(R.OrbitHits),
+                   R.MsFull, R.MsCanonical,
+                   R.Identical ? "true" : "false",
+                   I + 1 == SymRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ], \"dist\": {\"suite\": \"counter-quad\", "
+                    "\"runs\": [\n");
+    for (size_t I = 0; I != SymDistRows.size(); ++I) {
+      const SymDistRow &R = SymDistRows[I];
+      std::fprintf(F,
+                   "    {\"shards\": %u, \"exchanged_full\": %llu, "
+                   "\"exchanged_canonical\": %llu, \"bytes_full\": %llu, "
+                   "\"bytes_canonical\": %llu, \"identical\": %s}%s\n",
+                   R.Shards,
+                   static_cast<unsigned long long>(R.ConfigsFull),
+                   static_cast<unsigned long long>(R.ConfigsCanonical),
+                   static_cast<unsigned long long>(R.BytesFull),
+                   static_cast<unsigned long long>(R.BytesCanonical),
+                   R.Identical ? "true" : "false",
+                   I + 1 == SymDistRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]}},\n");
     InternStats IS = internStats();
     std::fprintf(F,
                  "  \"memory\": {\"peak_rss_kb\": %llu, "

@@ -41,8 +41,11 @@ struct ProgramRow {
   double ParallelMs = 0.0; ///< Jobs=4 discharge (the "after").
   double PorMs = 0.0;      ///< Jobs=1 discharge under reduction.
   double DistMs = 0.0;     ///< Jobs=1 discharge sharded across 2 workers.
+  double SymMs = 0.0;      ///< Jobs=1 discharge under symmetry reduction.
   uint64_t ConfigsFull = 0;    ///< configs explored by the serial run.
   uint64_t ConfigsReduced = 0; ///< configs explored under reduction.
+  uint64_t ConfigsCanonical = 0; ///< configs explored under symmetry.
+  uint64_t OrbitHits = 0;      ///< orbit-cache hits during the symmetry run.
   uint64_t DistExchanged = 0;  ///< frontier configs exchanged when sharded.
   uint64_t DistBytes = 0;      ///< wire bytes exchanged when sharded.
 };
@@ -59,8 +62,8 @@ int main() {
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
                    "Total", "Checks", "Jobs=1", "Jobs=4", "POR",
-                   "Shards=2"});
-  for (unsigned I = 1; I <= 11; ++I)
+                   "Symm", "Shards=2"});
+  for (unsigned I = 1; I <= 12; ++I)
     Table.setRightAligned(I);
 
   bool AllPassed = true;
@@ -70,8 +73,10 @@ int main() {
   double ParallelTotalMs = 0;
   double PorTotalMs = 0;
   double DistTotalMs = 0;
+  double SymTotalMs = 0;
   uint64_t ConfigsFullTotal = 0;
   uint64_t ConfigsReducedTotal = 0;
+  uint64_t ConfigsCanonicalTotal = 0;
   const unsigned ParJobs = 4;
   const unsigned DistShards = 2;
   dist::installDistributedEngine();
@@ -106,6 +111,20 @@ int main() {
     PorTotalMs += Por.TotalMs;
     ConfigsReducedTotal += ConfigsReduced;
 
+    // Serial discharge under symmetry reduction: identical verdicts over
+    // the orbit-canonicalized state space (DESIGN.md §11).
+    setDefaultSymmetryMode(SymMode::On);
+    uint64_t Configs2 = totalConfigsExplored();
+    SymmetryStats Orbit0 = symmetryStats();
+    SessionReport Sym = Case.MakeSession().run(/*Jobs=*/1);
+    uint64_t ConfigsCanonical = totalConfigsExplored() - Configs2;
+    SymmetryStats Orbit1 = symmetryStats();
+    setDefaultSymmetryMode(SymMode::Off);
+    AllPassed &= Sym.AllPassed == Report.AllPassed &&
+                 Sym.totalObligations() == Report.totalObligations();
+    SymTotalMs += Sym.TotalMs;
+    ConfigsCanonicalTotal += ConfigsCanonical;
+
     // Serial discharge once more with every exploration sharded across
     // two worker processes: verdicts must agree; the exchange volume is
     // the cost of the partitioning.
@@ -131,11 +150,14 @@ int main() {
                   formatString("%.0f ms", Report.TotalMs),
                   formatString("%.0f ms", Par.TotalMs),
                   formatString("%.0f ms", Por.TotalMs),
+                  formatString("%.0f ms", Sym.TotalMs),
                   formatString("%.0f ms", Sh.TotalMs)});
     Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
                               Report.totalChecks(), Report.TotalMs,
                               Par.TotalMs, Por.TotalMs, Sh.TotalMs,
-                              ConfigsFull, ConfigsReduced,
+                              Sym.TotalMs, ConfigsFull, ConfigsReduced,
+                              ConfigsCanonical,
+                              Orbit1.Hits - Orbit0.Hits,
                               Fleet1.Configs - Fleet0.Configs,
                               Fleet1.Bytes - Fleet0.Bytes});
   }
@@ -143,16 +165,21 @@ int main() {
   std::printf("%s\n", Table.render().c_str());
   std::printf("total verification time: %.1f ms serial, %.1f ms at "
               "%u jobs, %.1f ms serial with partial-order reduction, "
+              "%.1f ms under symmetry reduction, "
               "%.1f ms sharded over %u worker processes "
               "(paper: 27m31s of Coq compilation on a 2.7 GHz Core i7)\n",
               SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs,
-              DistTotalMs, DistShards);
+              SymTotalMs, DistTotalMs, DistShards);
   std::printf("state space: %llu configs full, %llu reduced (ratio "
-              "%.3f)\n\n",
+              "%.3f), %llu canonical (orbit ratio %.3f)\n\n",
               static_cast<unsigned long long>(ConfigsFullTotal),
               static_cast<unsigned long long>(ConfigsReducedTotal),
               ConfigsFullTotal
                   ? double(ConfigsReducedTotal) / double(ConfigsFullTotal)
+                  : 1.0,
+              static_cast<unsigned long long>(ConfigsCanonicalTotal),
+              ConfigsFullTotal
+                  ? double(ConfigsCanonicalTotal) / double(ConfigsFullTotal)
                   : 1.0);
 
   std::printf("shape checks against the paper's table:\n");
@@ -177,6 +204,8 @@ int main() {
                    "\"parallel_ms\": %.2f, \"speedup\": %.3f, "
                    "\"por_ms\": %.2f, \"configs_full\": %llu, "
                    "\"configs_reduced\": %llu, \"por_ratio\": %.3f, "
+                   "\"symmetry_ms\": %.2f, \"configs_canonical\": %llu, "
+                   "\"orbit_ratio\": %.3f, \"orbit_cache_hits\": %llu, "
                    "\"dist_ms\": %.2f, \"dist_exchanged_configs\": %llu, "
                    "\"dist_bytes\": %llu}%s\n",
                    R.Program.c_str(),
@@ -188,6 +217,12 @@ int main() {
                    R.ConfigsFull
                        ? double(R.ConfigsReduced) / double(R.ConfigsFull)
                        : 1.0,
+                   R.SymMs,
+                   static_cast<unsigned long long>(R.ConfigsCanonical),
+                   R.ConfigsFull
+                       ? double(R.ConfigsCanonical) / double(R.ConfigsFull)
+                       : 1.0,
+                   static_cast<unsigned long long>(R.OrbitHits),
                    R.DistMs,
                    static_cast<unsigned long long>(R.DistExchanged),
                    static_cast<unsigned long long>(R.DistBytes),
@@ -206,16 +241,33 @@ int main() {
                  static_cast<unsigned long long>(Fleet.Messages),
                  static_cast<unsigned long long>(Fleet.Bytes),
                  static_cast<unsigned long long>(Fleet.ChildRssKbMax));
+    SymmetryStats Orbit = symmetryStats();
+    std::fprintf(F,
+                 "  \"symmetry\": {\"ms\": %.2f, \"configs_full\": %llu, "
+                 "\"configs_canonical\": %llu, \"orbit_ratio\": %.3f, "
+                 "\"orbit_cache_lookups\": %llu, "
+                 "\"orbit_cache_hits\": %llu, "
+                 "\"orbit_cache_canonicalized\": %llu},\n",
+                 SymTotalMs,
+                 static_cast<unsigned long long>(ConfigsFullTotal),
+                 static_cast<unsigned long long>(ConfigsCanonicalTotal),
+                 ConfigsFullTotal
+                     ? double(ConfigsCanonicalTotal) /
+                           double(ConfigsFullTotal)
+                     : 1.0,
+                 static_cast<unsigned long long>(Orbit.Lookups),
+                 static_cast<unsigned long long>(Orbit.Hits),
+                 static_cast<unsigned long long>(Orbit.Changed));
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
                  "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "
-                 "\"dist_ms\": %.2f, "
+                 "\"symmetry_ms\": %.2f, \"dist_ms\": %.2f, "
                  "\"configs_full\": %llu, \"configs_reduced\": %llu, "
                  "\"por_ratio\": %.3f}\n}\n",
                  SerialTotalMs, ParallelTotalMs,
                  ParallelTotalMs > 0 ? SerialTotalMs / ParallelTotalMs
                                      : 1.0,
-                 PorTotalMs, DistTotalMs,
+                 PorTotalMs, SymTotalMs, DistTotalMs,
                  static_cast<unsigned long long>(ConfigsFullTotal),
                  static_cast<unsigned long long>(ConfigsReducedTotal),
                  ConfigsFullTotal

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 #===- scripts/verify.sh - Tier-1 suite + TSan race check + ASan/UBSan -----===#
 #
-# Part of fcsl-cpp. Five stages:
+# Part of fcsl-cpp. Six stages:
 #
 #   1. Tier-1: configure + build + full ctest in build/ (the gate every
 #      PR must keep green).
@@ -18,12 +18,18 @@
 #   4. POR cross-check: fcsl-verify --por=check runs every Table-1
 #      session twice (full and reduced exploration) and fails on any
 #      divergence in verdicts or terminal states, at 1 and 4 jobs.
-#   5. Shards: fcsl-verify --shards=2 verify all must print the same
+#   5. Symmetry: fcsl-verify --symmetry=on must report the same verdicts
+#      and obligation counts as --symmetry=off (per-config check counts
+#      shrink — that is the reduction), and --symmetry=check — the
+#      full-vs-canonical soundness cross-check — must pass alone,
+#      composed with POR, and composed with sharding.
+#   6. Shards: fcsl-verify --shards=2 verify all must print the same
 #      report as --shards=1 (modulo timings), with POR off and on — the
 #      multi-process partitioned exploration (src/dist/) is bit-identical
 #      to the in-process engine.
 #
-# Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por] [--no-shards]
+# Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por]
+#                          [--no-symmetry] [--no-shards]
 #
 #===----------------------------------------------------------------------===#
 
@@ -33,12 +39,14 @@ cd "$(dirname "$0")/.."
 RUN_TSAN=1
 RUN_ASAN=1
 RUN_POR=1
+RUN_SYMMETRY=1
 RUN_SHARDS=1
 for Arg in "$@"; do
   case "$Arg" in
     --no-tsan) RUN_TSAN=0 ;;
     --no-asan) RUN_ASAN=0 ;;
     --no-por) RUN_POR=0 ;;
+    --no-symmetry) RUN_SYMMETRY=0 ;;
     --no-shards) RUN_SHARDS=0 ;;
     *) echo "unknown flag: $Arg" >&2; exit 2 ;;
   esac
@@ -56,7 +64,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DFCSL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target threadpool_test parallel_engine_test runtime_test intern_test \
-    --target por_independence_test
+    --target por_independence_test symmetry_test
 
   echo "== tsan: race-checking thread pool, parallel engine, runtime, arena =="
   # TSan aborts the process on the first data race; a clean exit is the
@@ -66,6 +74,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/intern_test
   ./build-tsan/tests/por_independence_test
+  ./build-tsan/tests/symmetry_test
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -89,6 +98,28 @@ if [[ "$RUN_POR" == 1 ]]; then
   for Jobs in 1 4; do
     ./build/tools/fcsl-verify --jobs "$Jobs" --por=check verify all
   done
+fi
+
+if [[ "$RUN_SYMMETRY" == 1 ]]; then
+  echo "== symmetry: canonical vs full exploration over every session =="
+  cmake --build build -j "$(nproc)" --target fcsl-verify
+  # Verdicts and obligation counts must agree between canonical and full
+  # exploration; the per-category *check* counts legitimately shrink
+  # (fewer configs visited is the whole point), so the third numeric
+  # column is stripped along with timings. Check mode — which explores
+  # each state space twice and compares verdicts, exhaustion, and
+  # terminal sets — must pass composed with POR and with sharding.
+  NormalizeSym='s/[0-9]+\.[0-9]+//g; s/^([A-Za-z]+ +[0-9]+ +)[0-9]+/\1/; s/ +/ /g; s/-+/-/g; s/ +$//'
+  ./build/tools/fcsl-verify --symmetry=off verify all \
+    | sed -E "$NormalizeSym" > build/verify-sym-off.txt
+  ./build/tools/fcsl-verify --symmetry=on verify all \
+    | sed -E "$NormalizeSym" > build/verify-sym-on.txt
+  diff build/verify-sym-off.txt build/verify-sym-on.txt \
+    || { echo "symmetry=on diverged from symmetry=off" >&2; exit 1; }
+  echo "   symmetry=on verdicts/obligations identical to symmetry=off"
+  ./build/tools/fcsl-verify --symmetry=check verify all
+  ./build/tools/fcsl-verify --symmetry=check --por=on verify all
+  ./build/tools/fcsl-verify --symmetry=check --shards=2 verify all
 fi
 
 if [[ "$RUN_SHARDS" == 1 ]]; then

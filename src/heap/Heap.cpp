@@ -134,6 +134,26 @@ bool Heap::disjoint(const Heap &A, const Heap &B) {
   return true;
 }
 
+Heap Heap::renamePtrs(const std::map<Ptr, Ptr> &M) const {
+  if (M.empty() || isEmpty())
+    return *this;
+  auto Map = [&M](Ptr P) {
+    auto It = M.find(P);
+    return It == M.end() ? P : It->second;
+  };
+  std::map<Ptr, Val> Cells;
+  bool Changed = false;
+  for (const auto &Cell : N->Cells) {
+    Ptr P = Map(Cell.first);
+    Val V = Cell.second.renamePtrs(M);
+    Changed |= P != Cell.first || V != Cell.second;
+    bool Inserted = Cells.emplace(P, std::move(V)).second;
+    assert(Inserted && "pointer renaming must stay injective on the domain");
+    (void)Inserted;
+  }
+  return Changed ? Heap(intern(std::move(Cells))) : *this;
+}
+
 int Heap::compare(const Heap &Other) const {
   if (N == Other.N)
     return 0;

@@ -84,6 +84,12 @@ public:
   /// Returns true when the two heaps have disjoint domains.
   static bool disjoint(const Heap &A, const Heap &B);
 
+  /// Rewrites every pointer — domain cells and pointers inside values —
+  /// through \p M (pointers absent from the map are kept). Asserts the
+  /// renaming stays injective on the domain. Used by the symmetry layer's
+  /// canonical renaming of fresh heap names (DESIGN.md §11).
+  Heap renamePtrs(const std::map<Ptr, Ptr> &M) const;
+
   int compare(const Heap &Other) const;
   friend bool operator==(const Heap &A, const Heap &B) { return A.N == B.N; }
   friend bool operator!=(const Heap &A, const Heap &B) { return A.N != B.N; }

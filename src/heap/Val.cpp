@@ -126,6 +126,38 @@ Val Val::pair(Val First, Val Second) {
   return Val(intern(std::move(V)));
 }
 
+Val Val::renamePtrs(const std::map<Ptr, Ptr> &M) const {
+  auto Map = [&M](Ptr P) {
+    auto It = M.find(P);
+    return It == M.end() ? P : It->second;
+  };
+  switch (N->K) {
+  case Kind::Unit:
+  case Kind::Int:
+  case Kind::Bool:
+    return *this;
+  case Kind::Pointer: {
+    Ptr P = Map(N->PtrVal);
+    return P == N->PtrVal ? *this : ofPtr(P);
+  }
+  case Kind::Node: {
+    Ptr L = Map(N->Node.Left), R = Map(N->Node.Right);
+    if (L == N->Node.Left && R == N->Node.Right)
+      return *this;
+    return node(N->Node.Marked, L, R);
+  }
+  case Kind::Pair: {
+    Val First = Val(N->FirstN).renamePtrs(M);
+    Val Second = Val(N->SecondN).renamePtrs(M);
+    if (First.N == N->FirstN && Second.N == N->SecondN)
+      return *this;
+    return pair(First, Second);
+  }
+  }
+  assert(false && "unknown value kind");
+  return *this;
+}
+
 int Val::compare(const Val &Other) const {
   if (N == Other.N)
     return 0;

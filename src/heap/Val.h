@@ -26,6 +26,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -86,6 +87,12 @@ public:
 
   /// Total order across kinds (kind tag first, then payload).
   int compare(const Val &Other) const;
+
+  /// Rewrites every pointer in this value through \p M (pointers absent
+  /// from the map are kept). Used by the symmetry layer's canonical
+  /// renaming of fresh heap names (DESIGN.md §11); the result is interned
+  /// like any other value.
+  Val renamePtrs(const std::map<Ptr, Ptr> &M) const;
 
   /// Canonicity makes structural equality a pointer comparison.
   friend bool operator==(const Val &A, const Val &B) { return A.N == B.N; }

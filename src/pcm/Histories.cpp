@@ -92,6 +92,20 @@ bool History::isContinuous() const {
   return true;
 }
 
+History History::renamePtrs(const std::map<Ptr, Ptr> &M) const {
+  if (M.empty() || isEmpty())
+    return *this;
+  std::map<uint64_t, HistEntry> Entries;
+  bool Changed = false;
+  for (const auto &Entry : N->Entries) {
+    HistEntry E{Entry.second.Before.renamePtrs(M),
+                Entry.second.After.renamePtrs(M)};
+    Changed |= !(E == Entry.second);
+    Entries.emplace(Entry.first, std::move(E));
+  }
+  return Changed ? History(intern(std::move(Entries))) : *this;
+}
+
 int History::compare(const History &Other) const {
   if (N == Other.N)
     return 0;

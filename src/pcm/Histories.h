@@ -76,6 +76,11 @@ public:
   /// entry's After.
   bool isContinuous() const;
 
+  /// Rewrites every pointer inside the entries' Before/After values through
+  /// \p M (timestamps are untouched). Used by the symmetry layer's canonical
+  /// renaming of fresh heap names (DESIGN.md §11).
+  History renamePtrs(const std::map<Ptr, Ptr> &M) const;
+
   int compare(const History &Other) const;
   friend bool operator==(const History &A, const History &B) {
     return A.N == B.N;

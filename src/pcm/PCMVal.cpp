@@ -291,6 +291,55 @@ bool PCMVal::isUnitOf(const PCMType &T) const {
   return T.admits(*this) && *this == T.unit();
 }
 
+PCMVal PCMVal::renamePtrs(const std::map<Ptr, Ptr> &M) const {
+  if (M.empty())
+    return *this;
+  switch (N->K) {
+  case PCMKind::Nat:
+  case PCMKind::Mutex:
+    return *this;
+  case PCMKind::PtrSet: {
+    auto Map = [&M](Ptr P) {
+      auto It = M.find(P);
+      return It == M.end() ? P : It->second;
+    };
+    std::set<Ptr> Out;
+    bool Changed = false;
+    for (Ptr P : N->Set) {
+      Ptr Q = Map(P);
+      Changed |= Q != P;
+      bool Inserted = Out.insert(Q).second;
+      assert(Inserted && "pointer renaming must stay injective on the set");
+      (void)Inserted;
+    }
+    return Changed ? ofPtrSet(std::move(Out)) : *this;
+  }
+  case PCMKind::HeapPCM: {
+    Heap H = N->HeapVal.renamePtrs(M);
+    return H == N->HeapVal ? *this : ofHeap(std::move(H));
+  }
+  case PCMKind::Hist: {
+    History H = N->Hist.renamePtrs(M);
+    return H == N->Hist ? *this : ofHist(std::move(H));
+  }
+  case PCMKind::Pair: {
+    PCMVal First = first().renamePtrs(M);
+    PCMVal Second = second().renamePtrs(M);
+    if (First.N == N->FirstN && Second.N == N->SecondN)
+      return *this;
+    return makePair(std::move(First), std::move(Second));
+  }
+  case PCMKind::Lift: {
+    if (isLiftUndef())
+      return *this;
+    PCMVal Inner = liftInner().renamePtrs(M);
+    return Inner.N == N->LiftN ? *this : liftDef(std::move(Inner));
+  }
+  }
+  assert(false && "unknown PCM kind");
+  return *this;
+}
+
 int PCMVal::compare(const PCMVal &Other) const {
   if (N == Other.N)
     return 0;

@@ -77,6 +77,12 @@ public:
   /// Returns true if this element equals \p T's unit.
   bool isUnitOf(const PCMType &T) const;
 
+  /// Rewrites every pointer in this element — pointer sets, heap domains and
+  /// cell values, history entries — through \p M (pointers absent from the
+  /// map are kept). Used by the symmetry layer's canonical renaming of fresh
+  /// heap names (DESIGN.md §11).
+  PCMVal renamePtrs(const std::map<Ptr, Ptr> &M) const;
+
   int compare(const PCMVal &Other) const;
   friend bool operator==(const PCMVal &A, const PCMVal &B) {
     return A.N == B.N;

@@ -33,6 +33,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace fcsl;
@@ -70,6 +71,26 @@ PorMode envPorMode() {
     return PorMode::Check;
   return PorMode::Off;
 }
+
+std::atomic<uint64_t> SymCheckFullCounter{0};
+std::atomic<uint64_t> SymCheckCanonicalCounter{0};
+std::atomic<int> DefaultSymSetting{-1}; ///< -1: fall back to FCSL_SYMMETRY.
+
+SymMode envSymMode() {
+  const char *E = std::getenv("FCSL_SYMMETRY");
+  if (!E)
+    return SymMode::Off;
+  if (std::strcmp(E, "on") == 0 || std::strcmp(E, "1") == 0)
+    return SymMode::On;
+  if (std::strcmp(E, "check") == 0)
+    return SymMode::Check;
+  return SymMode::Off;
+}
+
+// Orbit-cache telemetry, process-wide across every symmetry-reduced run.
+std::atomic<uint64_t> OrbitLookupsCounter{0};
+std::atomic<uint64_t> OrbitHitsCounter{0};
+std::atomic<uint64_t> OrbitChangedCounter{0};
 
 std::atomic<int> DefaultShardsSetting{0}; ///< 0: fall back to FCSL_SHARDS.
 std::atomic<ShardedExploreFn> ShardedHook{nullptr};
@@ -110,6 +131,28 @@ PorMode fcsl::defaultPorMode() {
 PorCheckTotals fcsl::porCheckTotals() {
   return {CheckFullCounter.load(std::memory_order_relaxed),
           CheckReducedCounter.load(std::memory_order_relaxed)};
+}
+
+void fcsl::setDefaultSymmetryMode(SymMode M) {
+  DefaultSymSetting.store(static_cast<int>(M), std::memory_order_relaxed);
+}
+
+SymMode fcsl::defaultSymmetryMode() {
+  int V = DefaultSymSetting.load(std::memory_order_relaxed);
+  if (V >= 0 && static_cast<SymMode>(V) != SymMode::Default)
+    return static_cast<SymMode>(V);
+  return envSymMode();
+}
+
+SymCheckTotals fcsl::symCheckTotals() {
+  return {SymCheckFullCounter.load(std::memory_order_relaxed),
+          SymCheckCanonicalCounter.load(std::memory_order_relaxed)};
+}
+
+SymmetryStats fcsl::symmetryStats() {
+  return {OrbitLookupsCounter.load(std::memory_order_relaxed),
+          OrbitHitsCounter.load(std::memory_order_relaxed),
+          OrbitChangedCounter.load(std::memory_order_relaxed)};
 }
 
 void fcsl::setShardedExploreHook(ShardedExploreFn Fn) {
@@ -187,14 +230,22 @@ Frame runFrame(const Prog *Node, VarEnv Env) {
 struct ThreadCtx {
   std::vector<Frame> Stack;
   bool Waiting = false; ///< suspended on a `par` until children finish.
+  /// Symmetry reduction: this thread waits on a `par` whose branches run
+  /// equivalent programs from equal per-label contributions, so its two
+  /// child subtrees are interchangeable agents — the canonicalizer may
+  /// swap them (DESIGN.md §11). Part of configuration identity: it decides
+  /// whether the join delivers both pair orders (see normalize).
+  bool SymChildren = false;
   std::optional<Val> Done;
 
   friend bool operator==(const ThreadCtx &A, const ThreadCtx &B) {
-    return A.Waiting == B.Waiting && A.Done == B.Done && A.Stack == B.Stack;
+    return A.Waiting == B.Waiting && A.SymChildren == B.SymChildren &&
+           A.Done == B.Done && A.Stack == B.Stack;
   }
 
   void hashInto(size_t &Seed) const {
     hashValue(Seed, Waiting);
+    hashValue(Seed, SymChildren);
     hashValue(Seed, Done.has_value());
     if (Done)
       Done->hashInto(Seed);
@@ -340,22 +391,31 @@ public:
 
   void run(const ProgRef &Root, const GlobalState &Initial,
            const VarEnv &InitialEnv) {
+    assert(Opts.Por != PorMode::Default && Opts.Por != PorMode::Check &&
+           "explore() resolves the POR mode before running");
+    assert(Opts.Symmetry != SymMode::Default &&
+           Opts.Symmetry != SymMode::Check &&
+           "explore() resolves the symmetry mode before running");
+    PorOn = Opts.Por == PorMode::On;
+    SymOn = Opts.Symmetry == SymMode::On;
+
     Config C0;
     C0.GS = Initial;
     ThreadCtx Main;
     Main.Stack.push_back(runFrame(Root.get(), InitialEnv));
     C0.Threads.emplace(rootThread(), std::move(Main));
 
+    // Under symmetry, normalization of the seed can already cross a
+    // symmetric join (a par of pure branches), in which case the mirrored
+    // pair orders arrive as extra seed configurations.
+    std::vector<Config> Extras;
     std::string Err;
-    if (!normalize(C0, Err)) {
+    if (!normalize(C0, Err, SymOn ? &Extras : nullptr)) {
       Res.Safe = false;
       Res.FailureNote = std::move(Err);
       return;
     }
 
-    assert(Opts.Por != PorMode::Default && Opts.Por != PorMode::Check &&
-           "explore() resolves the POR mode before running");
-    PorOn = Opts.Por == PorMode::On;
     if (PorOn)
       collectUniverse(Root);
 
@@ -372,18 +432,29 @@ public:
     for (unsigned I = 0; I != Jobs; ++I)
       Workers.push_back(std::make_unique<Worker>());
 
-    C0.rehash();
-    if (DistN > 1) {
+    if (DistN > 1)
       PT = std::make_unique<ProgTable>(Root.get(), Opts.Defs);
-      // The initial configuration is inserted ONLY by its owner shard:
-      // routing it would cost every other shard a dedup-hit and break
-      // counter parity with the in-process engine.
-      Encoder E0;
-      size_t Prefix = encodeFrontierConfigPrefix(E0, toFrontier(C0));
-      if (ownerOf(E0, Prefix) == DistId)
-        insertLocal(std::move(C0), nullptr, "", *Workers[0]);
-    } else {
-      enqueue(std::move(C0), nullptr, "", *Workers[0]);
+    std::vector<Config> Seeds;
+    Seeds.push_back(std::move(C0));
+    for (Config &X : Extras)
+      Seeds.push_back(std::move(X));
+    for (Config &Seed : Seeds) {
+      Seed.rehash();
+      // Canonicalize before the ownership decision so a whole orbit maps
+      // to one shard (enqueue would also canonicalize, but the dist seed
+      // path below bypasses it).
+      canonicalize(Seed);
+      if (DistN > 1) {
+        // A seed configuration is inserted ONLY by its owner shard:
+        // routing it would cost every other shard a dedup-hit and break
+        // counter parity with the in-process engine.
+        Encoder E0;
+        size_t Prefix = encodeFrontierConfigPrefix(E0, toFrontier(Seed));
+        if (ownerOf(E0, Prefix) == DistId)
+          insertLocal(std::move(Seed), nullptr, "", *Workers[0]);
+      } else {
+        enqueue(std::move(Seed), nullptr, "", *Workers[0]);
+      }
     }
 
     if (DistN > 1) {
@@ -588,7 +659,16 @@ private:
   /// Applies administrative steps until every thread is Done, Waiting, or
   /// stopped at an atomic action. Returns false on failure, with \p Err
   /// set.
-  bool normalize(Config &C, std::string &Err) {
+  ///
+  /// \p Extra (symmetry reduction only) receives mirror configurations:
+  /// when a symmetric par joins children whose results differ, the
+  /// canonicalizer has collapsed this configuration with its mirror image,
+  /// so BOTH pair orders must be delivered to regenerate exactly the
+  /// unreduced engine's post-join configurations (the PCM join of the
+  /// children's contributions is commutative, so the two orders share one
+  /// global state and differ only in the delivered value).
+  bool normalize(Config &C, std::string &Err,
+                 std::vector<Config> *Extra = nullptr) {
     bool Progress = true;
     while (Progress) {
       Progress = false;
@@ -614,12 +694,32 @@ private:
                  "waiting thread lost its children");
           if (!LeftIt->second.Done || !RightIt->second.Done)
             continue;
-          Val Result =
-              Val::pair(*LeftIt->second.Done, *RightIt->second.Done);
+          Val LeftV = *LeftIt->second.Done;
+          Val RightV = *RightIt->second.Done;
+          if (Ctx.SymChildren && Extra && !(LeftV == RightV)) {
+            // This configuration stands for its mirror image too (the
+            // canonicalizer merged them), so the join must also deliver
+            // the swapped pair order — as a separate configuration,
+            // exactly like the unreduced engine's mirror-schedule join.
+            Config M = C;
+            M.GS.joinChildren(T, leftChild(T), rightChild(T));
+            M.Threads.erase(leftChild(T));
+            M.Threads.erase(rightChild(T));
+            ThreadCtx &MCtx = M.Threads.at(T);
+            MCtx.Waiting = false;
+            MCtx.SymChildren = false;
+            if (!deliver(M, T, Val::pair(RightV, LeftV), Err) ||
+                !normalize(M, Err, Extra))
+              return false;
+            Extra->push_back(std::move(M));
+          }
+          Val Result = Val::pair(std::move(LeftV), std::move(RightV));
           C.GS.joinChildren(T, leftChild(T), rightChild(T));
           C.Threads.erase(leftChild(T));
           C.Threads.erase(rightChild(T));
-          C.Threads.at(T).Waiting = false;
+          ThreadCtx &JCtx = C.Threads.at(T);
+          JCtx.Waiting = false;
+          JCtx.SymChildren = false;
           if (!deliver(C, T, std::move(Result), Err))
             return false;
           Progress = true;
@@ -691,6 +791,28 @@ private:
           Ctx.Stack.pop_back();
           Ctx.Waiting = true;
           C.GS.fork(T, leftChild(T), rightChild(T), Splits);
+          if (SymOn && progEquivalent(Node->left(), Node->right())) {
+            // The branches run equivalent programs; if the fork also gave
+            // them equal contributions at every label, the two subtrees
+            // are interchangeable agents. Mark the parent for the
+            // canonicalizer and unify the right branch onto the left's
+            // node so mirrored executions become structurally equal
+            // (frames compare program node pointers). The rewrite is
+            // injective on reachable configurations: a prog subtree never
+            // migrates between threads, so no merged pair of distinct
+            // off-mode configs can arise from it.
+            bool EqualSelves = true;
+            for (Label L : C.GS.labels())
+              if (!(C.GS.selfOf(L, leftChild(T)) ==
+                    C.GS.selfOf(L, rightChild(T)))) {
+                EqualSelves = false;
+                break;
+              }
+            if (EqualSelves) {
+              C.Threads.at(T).SymChildren = true;
+              Right = Left;
+            }
+          }
           ThreadCtx L, R;
           L.Stack.push_back(runFrame(Left, Env));
           R.Stack.push_back(runFrame(Right, std::move(Env)));
@@ -756,6 +878,7 @@ private:
       FrontierThread T;
       T.Id = Entry.first;
       T.Waiting = Entry.second.Waiting;
+      T.SymChildren = Entry.second.SymChildren;
       T.Done = Entry.second.Done;
       for (const Frame &Fr : Entry.second.Stack) {
         FrontierFrame FF;
@@ -787,6 +910,7 @@ private:
     for (const FrontierThread &T : F.Threads) {
       ThreadCtx Ctx;
       Ctx.Waiting = T.Waiting;
+      Ctx.SymChildren = T.SymChildren;
       Ctx.Done = T.Done;
       for (const FrontierFrame &FF : T.Frames) {
         Frame Fr;
@@ -815,6 +939,197 @@ private:
     return C;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Symmetry reduction: orbit canonicalization (DESIGN.md §11)
+  //===--------------------------------------------------------------------===//
+
+  /// Total order on frames, by content only (program nodes enter via their
+  /// process-stable fingerprints). Relabeling-invariant: swapping two
+  /// subtrees never changes any frame's rank, which is what makes the
+  /// canonicalization pass idempotent and order-independent. A fingerprint
+  /// tie between distinct nodes reads as "equal", which merely suppresses
+  /// a swap — never soundness.
+  static int cmpFrame(const Frame &A, const Frame &B) {
+    if (A.K != B.K)
+      return A.K < B.K ? -1 : 1;
+    uint64_t AN = A.Node ? A.Node->fingerprint() : 0;
+    uint64_t BN = B.Node ? B.Node->fingerprint() : 0;
+    if (AN != BN)
+      return AN < BN ? -1 : 1;
+    uint64_t AR = A.Rest ? A.Rest->fingerprint() : 0;
+    uint64_t BR = B.Rest ? B.Rest->fingerprint() : 0;
+    if (AR != BR)
+      return AR < BR ? -1 : 1;
+    if (A.Var != B.Var)
+      return A.Var < B.Var ? -1 : 1;
+    if (A.Env.size() != B.Env.size())
+      return A.Env.size() < B.Env.size() ? -1 : 1;
+    auto AIt = A.Env.begin(), BIt = B.Env.begin();
+    for (; AIt != A.Env.end(); ++AIt, ++BIt) {
+      if (AIt->first != BIt->first)
+        return AIt->first < BIt->first ? -1 : 1;
+      int Cmp = AIt->second.compare(BIt->second);
+      if (Cmp != 0)
+        return Cmp;
+    }
+    return 0;
+  }
+
+  /// Compares the whole subtrees rooted at threads \p A and \p B of \p C:
+  /// control stack, completion state, per-label contributions, then the
+  /// children recursively. Content-based (never reads thread ids), so the
+  /// order is invariant under the relabeling swapSubtrees performs.
+  int cmpThread(const Config &C, ThreadId A, ThreadId B) const {
+    auto AIt = C.Threads.find(A), BIt = C.Threads.find(B);
+    bool AHas = AIt != C.Threads.end(), BHas = BIt != C.Threads.end();
+    if (AHas != BHas)
+      return AHas ? -1 : 1;
+    if (!AHas)
+      return 0; // Neither exists, so neither has children.
+    const ThreadCtx &X = AIt->second, &Y = BIt->second;
+    if (X.Done.has_value() != Y.Done.has_value())
+      return X.Done.has_value() ? -1 : 1;
+    if (X.Done) {
+      int Cmp = X.Done->compare(*Y.Done);
+      if (Cmp != 0)
+        return Cmp;
+    }
+    if (X.Waiting != Y.Waiting)
+      return X.Waiting < Y.Waiting ? -1 : 1;
+    if (X.SymChildren != Y.SymChildren)
+      return X.SymChildren < Y.SymChildren ? -1 : 1;
+    if (X.Stack.size() != Y.Stack.size())
+      return X.Stack.size() < Y.Stack.size() ? -1 : 1;
+    for (size_t I = 0, Sz = X.Stack.size(); I != Sz; ++I) {
+      int Cmp = cmpFrame(X.Stack[I], Y.Stack[I]);
+      if (Cmp != 0)
+        return Cmp;
+    }
+    for (Label L : C.GS.labels()) {
+      int Cmp = C.GS.selfOf(L, A).compare(C.GS.selfOf(L, B));
+      if (Cmp != 0)
+        return Cmp;
+    }
+    // Sleep membership is deliberately NOT compared: it is not content of
+    // the subtree. Two mirror configs that differ only in which symmetric
+    // thread sleeps may then miss a merge — a lost reduction, not a lost
+    // soundness (sleep entries are renamed consistently by the swap).
+    int Cmp = cmpThread(C, leftChild(A), leftChild(B));
+    if (Cmp != 0)
+      return Cmp;
+    return cmpThread(C, rightChild(A), rightChild(B));
+  }
+
+  /// Relabels the two child subtrees of \p T into each other: every thread
+  /// id under leftChild(T) maps to its mirror under rightChild(T) and vice
+  /// versa, in the thread map, the per-label contributions, and the sleep
+  /// set (whose canonical order is restored afterwards).
+  void swapSubtrees(Config &C, ThreadId T) const {
+    ThreadId A = leftChild(T), B = rightChild(T);
+    auto MirrorOf = [&](ThreadId X) -> ThreadId {
+      // Walk up to depth of the subtree roots; member iff the walk lands
+      // exactly on A or B (ids are a binary heap numbering).
+      ThreadId Y = X;
+      unsigned D = 0;
+      while (Y > B) {
+        Y >>= 1;
+        ++D;
+      }
+      if (Y != A && Y != B)
+        return X;
+      ThreadId Other = Y == A ? B : A;
+      return (Other << D) | (X - (Y << D));
+    };
+    std::map<ThreadId, ThreadId> Rel;
+    for (const auto &Entry : C.Threads) {
+      ThreadId M = MirrorOf(Entry.first);
+      if (M != Entry.first)
+        Rel.emplace(Entry.first, M);
+    }
+    if (Rel.empty())
+      return;
+    std::map<ThreadId, ThreadCtx> Renamed;
+    for (auto &Entry : C.Threads) {
+      auto It = Rel.find(Entry.first);
+      Renamed.emplace(It == Rel.end() ? Entry.first : It->second,
+                      std::move(Entry.second));
+    }
+    C.Threads = std::move(Renamed);
+    C.GS.renameThreads(Rel);
+    bool SleepChanged = false;
+    for (SleepEntry &E : C.Sleep) {
+      if (E.IsEnv)
+        continue;
+      auto It = Rel.find(E.T);
+      if (It != Rel.end()) {
+        E.T = It->second;
+        SleepChanged = true;
+      }
+    }
+    if (SleepChanged)
+      std::sort(C.Sleep.begin(), C.Sleep.end(), sleepLess);
+  }
+
+  /// Rewrites \p C to its orbit representative: at every symmetric par
+  /// (SymChildren, both children live) whose left subtree ranks after its
+  /// right subtree, swap the subtrees. Parents are processed deepest-first
+  /// so an outer swap sees already-canonical inner pairs; because the
+  /// comparator is content-based (relabeling-invariant), one pass reaches
+  /// a fixpoint and the result is independent of discovery order. Returns
+  /// true when the configuration changed.
+  bool canonicalizeConfig(Config &C) const {
+    std::vector<ThreadId> Parents;
+    for (const auto &Entry : C.Threads)
+      if (Entry.second.Waiting && Entry.second.SymChildren &&
+          C.Threads.count(leftChild(Entry.first)) != 0 &&
+          C.Threads.count(rightChild(Entry.first)) != 0)
+        Parents.push_back(Entry.first);
+    std::sort(Parents.begin(), Parents.end(), std::greater<ThreadId>());
+    bool Changed = false;
+    for (ThreadId T : Parents)
+      if (cmpThread(C, leftChild(T), rightChild(T)) > 0) {
+        swapSubtrees(C, T);
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  /// Canonicalizes \p C in place through the orbit cache. Requires
+  /// C.rehash() to have been called; re-hashes when the config changes.
+  /// The cache stores verified (raw, canonical) pairs keyed by the raw
+  /// hash — a hash collision falls back to recomputing, never to a wrong
+  /// representative.
+  void canonicalize(Config &C) {
+    if (!SymOn)
+      return;
+    OrbitLookupsCounter.fetch_add(1, std::memory_order_relaxed);
+    OrbitStripe &S = Orbit[C.Hash % OrbitStripeCount];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(C.Hash);
+      if (It != S.Map.end() && It->second.Raw == C) {
+        OrbitHitsCounter.fetch_add(1, std::memory_order_relaxed);
+        if (It->second.Canon) {
+          C = *It->second.Canon;
+          OrbitChangedCounter.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+    }
+    Config Raw = C;
+    bool Changed = canonicalizeConfig(C);
+    if (Changed) {
+      C.rehash();
+      OrbitChangedCounter.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Map.size() >= OrbitCapPerStripe)
+      S.Map.clear();
+    S.Map[Raw.Hash] = OrbitEntry{
+        std::move(Raw),
+        Changed ? std::optional<Config>(C) : std::nullopt};
+  }
+
   /// The shard that owns the config whose encodeFrontierConfigPrefix
   /// output sits at the end of \p E's buffer with identity-prefix length
   /// \p Prefix counted from \p Start. Ownership is a pure function of the
@@ -831,6 +1146,10 @@ private:
   /// single insert attempt, preserving counter parity with the in-process
   /// engine. Requires C.rehash() to have been called.
   void enqueue(Config C, const Node *Parent, std::string Step, Worker &W) {
+    // Canonicalize BEFORE dedup and shard routing: the canonical identity
+    // prefix is what the codec encodes, so `fingerprint % N` ownership
+    // dedups whole orbits across processes.
+    canonicalize(C);
     if (DistN > 1) {
       Encoder E;
       size_t Prefix = encodeFrontierConfigPrefix(E, toFrontier(C));
@@ -959,6 +1278,9 @@ private:
         }
         Config C = fromFrontier(FC);
         C.rehash();
+        // Senders ship canonical forms; canonicalizing again is an
+        // idempotent no-op kept as a safety net for mixed-version peers.
+        canonicalize(C);
         // Remote configs carry no parent chain: a failure found beyond
         // this point reports the local schedule suffix only.
         insertLocal(std::move(C), nullptr, "",
@@ -1090,6 +1412,9 @@ private:
     Config Next;
     std::string Step;
     bool LabelsChanged; ///< the admin cascade installed/uninstalled a label.
+    bool Mirror = false; ///< symmetry join-expansion extra: the swapped
+                         ///< pair order of a symmetric join. Excluded from
+                         ///< ActionSteps (it is the same action step).
   };
 
   /// Builds every successor of thread \p T's pending action (all
@@ -1131,14 +1456,23 @@ private:
       }
       Next.Threads.at(T).Stack.pop_back();
       std::string Err;
-      if (!deliver(Next, T, O.Result, Err) || !normalize(Next, Err)) {
+      std::vector<Config> Extras;
+      if (!deliver(Next, T, O.Result, Err) ||
+          !normalize(Next, Err, SymOn ? &Extras : nullptr)) {
         failGlobal(&N, Step + "  <-- FAILS DURING UNWINDING",
                    std::move(Err));
         return false;
       }
       bool LabelsChanged = Next.GS.labels() != C.GS.labels();
+      std::string MirrorStep =
+          Extras.empty() ? std::string() : Step + " [sym-mirror]";
       Out.push_back(BuiltSucc{std::move(Next), std::move(Step),
-                              LabelsChanged});
+                              LabelsChanged, /*Mirror=*/false});
+      for (Config &X : Extras) {
+        bool XLabelsChanged = X.GS.labels() != C.GS.labels();
+        Out.push_back(BuiltSucc{std::move(X), MirrorStep, XLabelsChanged,
+                                /*Mirror=*/true});
+      }
     }
     return true;
   }
@@ -1290,7 +1624,9 @@ private:
       for (const SleepEntry &E : C.Sleep)
         if (fpIndependent(E.Fp, K.Fp))
           NextSleep.push_back(E);
-      W.ActionSteps += Succ.size();
+      for (const BuiltSucc &B : Succ)
+        if (!B.Mirror)
+          ++W.ActionSteps;
       for (BuiltSucc &B : Succ) {
         B.Next.Sleep = NextSleep;
         // License trailing-env closure on terminal successors: postponed
@@ -1340,7 +1676,9 @@ private:
           LabelsChanged |= B.LabelsChanged;
         if (!LabelsChanged)
           ComputeSleep();
-        W.ActionSteps += Succ.size();
+        for (const BuiltSucc &B : Succ)
+          if (!B.Mirror)
+            ++W.ActionSteps;
         for (BuiltSucc &B : Succ) {
           B.Next.Sleep = NextSleep;
           B.Next.EnvCloseMask =
@@ -1405,45 +1743,14 @@ private:
         ArgText += (I ? ", " : "") + Args[I].toString();
 
       View Pre = C.GS.viewFor(T);
-      std::optional<std::vector<ActOutcome>> Outcomes = A.step(Pre, Args);
-      if (!Outcomes) {
-        failGlobal(&N,
-                   formatString("thread %llu: %s(%s)  <-- UNSAFE",
-                                static_cast<unsigned long long>(T),
-                                A.name().c_str(), ArgText.c_str()),
-                   formatString("action %s is unsafe in the reached state "
-                                "(thread %llu):\n%s",
-                                A.name().c_str(),
-                                static_cast<unsigned long long>(T),
-                                Pre.toString().c_str()));
+      std::vector<BuiltSucc> Succ;
+      if (!buildThreadSuccessors(N, T, Pre, A, Args, ArgText, Succ))
         return;
-      }
-
-      for (const ActOutcome &O : *Outcomes) {
-        ++W.ActionSteps;
-        std::string Step = formatString(
-            "thread %llu: %s(%s) -> %s",
-            static_cast<unsigned long long>(T), A.name().c_str(),
-            ArgText.c_str(), O.Result.toString().c_str());
-        Config Next = C;
-        Next.GS.applyThread(T, Pre, O.Post);
-        if (Opts.CheckStepCoherence && Opts.Ambient &&
-            !Opts.Ambient->coherent(Next.GS.viewFor(T))) {
-          failGlobal(&N, Step + "  <-- BREAKS COHERENCE",
-                     formatString("action %s broke coherence of %s",
-                                  A.name().c_str(),
-                                  Opts.Ambient->name().c_str()));
-          return;
-        }
-        Next.Threads.at(T).Stack.pop_back();
-        std::string Err;
-        if (!deliver(Next, T, O.Result, Err) || !normalize(Next, Err)) {
-          failGlobal(&N, Step + "  <-- FAILS DURING UNWINDING",
-                     std::move(Err));
-          return;
-        }
-        Next.rehash();
-        enqueue(std::move(Next), &N, std::move(Step), W);
+      for (BuiltSucc &B : Succ) {
+        if (!B.Mirror)
+          ++W.ActionSteps;
+        B.Next.rehash();
+        enqueue(std::move(B.Next), &N, std::move(B.Step), W);
       }
     }
 
@@ -1469,7 +1776,23 @@ private:
   const EngineOptions &Opts;
   RunResult &Res;
   bool PorOn = false;
+  bool SymOn = false;
   Universe Uni;
+
+  /// The orbit cache: striped, verified, capped. Entries map a raw config
+  /// to its canonical form (nullopt when the raw form is already
+  /// canonical — the common case, kept cheap).
+  struct OrbitEntry {
+    Config Raw;
+    std::optional<Config> Canon;
+  };
+  struct OrbitStripe {
+    std::mutex M;
+    std::unordered_map<size_t, OrbitEntry> Map;
+  };
+  static constexpr size_t OrbitStripeCount = 16;
+  static constexpr size_t OrbitCapPerStripe = 4096;
+  OrbitStripe Orbit[OrbitStripeCount];
   unsigned NumShards = 1;
   std::vector<Shard> Shards;
   std::vector<std::unique_ptr<Worker>> Workers;
@@ -1557,8 +1880,53 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
     return Res;
   }
 
+  SymMode Sym =
+      Opts.Symmetry == SymMode::Default ? defaultSymmetryMode() : Opts.Symmetry;
+  if (Sym == SymMode::Check) {
+    // Symmetry soundness cross-check, mirroring the POR harness above: the
+    // full (uncanonicalized) exploration is ground truth; the canonical run
+    // must agree on the verdict and, when both complete, on the terminal
+    // set. Runs under whatever POR mode was resolved, so `check` also
+    // exercises the POR x symmetry composition.
+    EngineOptions Sub = Opts;
+    Sub.Por = Mode;
+    Sub.Symmetry = SymMode::Off;
+    RunResult Full = explore(Root, Initial, Sub, InitialEnv);
+    Sub.Symmetry = SymMode::On;
+    RunResult Canonical = explore(Root, Initial, Sub, InitialEnv);
+    SymCheckFullCounter.fetch_add(Full.ConfigsExplored,
+                                  std::memory_order_relaxed);
+    SymCheckCanonicalCounter.fetch_add(Canonical.ConfigsExplored,
+                                       std::memory_order_relaxed);
+    RunResult Res = Full;
+    Res.SymChecked = true;
+    Res.SymConfigsFull = Full.ConfigsExplored;
+    Res.SymConfigsCanonical = Canonical.ConfigsExplored;
+    bool Agree =
+        Full.Safe == Canonical.Safe &&
+        Full.Exhausted == Canonical.Exhausted &&
+        (!Full.complete() ||
+         sameTerminals(Full.Terminals, Canonical.Terminals));
+    if (!Agree) {
+      Res.SymMismatch = true;
+      Res.Safe = false;
+      Res.FailureNote = formatString(
+          "symmetry reduction soundness cross-check failed: full "
+          "exploration (safe=%d exhausted=%d, %zu terminals, %llu configs) "
+          "disagrees with canonical exploration (safe=%d exhausted=%d, %zu "
+          "terminals, %llu configs)",
+          int(Full.Safe), int(Full.Exhausted), Full.Terminals.size(),
+          static_cast<unsigned long long>(Full.ConfigsExplored),
+          int(Canonical.Safe), int(Canonical.Exhausted),
+          Canonical.Terminals.size(),
+          static_cast<unsigned long long>(Canonical.ConfigsExplored));
+    }
+    return Res;
+  }
+
   EngineOptions RunOpts = Opts;
   RunOpts.Por = Mode;
+  RunOpts.Symmetry = Sym;
 
   // Multi-process sharding: hand the whole run to the coordinator hook.
   // Refused inside a parallel region — forking requires a single-threaded
@@ -1575,6 +1943,11 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
       Res.ConfigsReduced = Res.ConfigsExplored;
     else
       Res.ConfigsFull = Res.ConfigsExplored;
+    Res.SymReduced = Sym == SymMode::On;
+    if (Res.SymReduced)
+      Res.SymConfigsCanonical = Res.ConfigsExplored;
+    else
+      Res.SymConfigsFull = Res.ConfigsExplored;
     notePeakVisited(Res.VisitedNodes, Res.VisitedBytes);
     TotalConfigsCounter.fetch_add(Res.ConfigsExplored,
                                   std::memory_order_relaxed);
@@ -1584,12 +1957,17 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
   RunResult Res;
   Res.MaxConfigsBound = Opts.MaxConfigs;
   Res.PorReduced = Mode == PorMode::On;
+  Res.SymReduced = Sym == SymMode::On;
   Explorer E(RunOpts, Res);
   E.run(Root, Initial, InitialEnv);
   if (Res.PorReduced)
     Res.ConfigsReduced = Res.ConfigsExplored;
   else
     Res.ConfigsFull = Res.ConfigsExplored;
+  if (Res.SymReduced)
+    Res.SymConfigsCanonical = Res.ConfigsExplored;
+  else
+    Res.SymConfigsFull = Res.ConfigsExplored;
   TotalConfigsCounter.fetch_add(Res.ConfigsExplored,
                                 std::memory_order_relaxed);
   return Res;
@@ -1606,11 +1984,19 @@ RunResult fcsl::exploreShard(const ProgRef &Root, const GlobalState &Initial,
          "the coordinator resolves Check before sharding");
   if (Mode == PorMode::Check)
     Mode = PorMode::Off;
+  SymMode Sym =
+      Opts.Symmetry == SymMode::Default ? defaultSymmetryMode() : Opts.Symmetry;
+  assert(Sym != SymMode::Check &&
+         "the coordinator resolves symmetry Check before sharding");
+  if (Sym == SymMode::Check)
+    Sym = SymMode::Off;
   RunResult Res;
   Res.MaxConfigsBound = Opts.MaxConfigs;
   Res.PorReduced = Mode == PorMode::On;
+  Res.SymReduced = Sym == SymMode::On;
   EngineOptions RunOpts = Opts;
   RunOpts.Por = Mode;
+  RunOpts.Symmetry = Sym;
   Explorer E(RunOpts, Res);
   E.setDist(ShardId, NShards, &Io);
   E.run(Root, Initial, InitialEnv);
@@ -1618,6 +2004,10 @@ RunResult fcsl::exploreShard(const ProgRef &Root, const GlobalState &Initial,
     Res.ConfigsReduced = Res.ConfigsExplored;
   else
     Res.ConfigsFull = Res.ConfigsExplored;
+  if (Res.SymReduced)
+    Res.SymConfigsCanonical = Res.ConfigsExplored;
+  else
+    Res.SymConfigsFull = Res.ConfigsExplored;
   // No TotalConfigsCounter update: the shard runs in a forked child whose
   // counters die with it; the coordinator accounts the merged run in the
   // parent (see explore()'s hook path).

@@ -48,6 +48,15 @@ enum class PorMode : uint8_t {
   Check    ///< run Off and On, assert identical verdicts and terminals.
 };
 
+/// Symmetry-reduction mode for an exploration (DESIGN.md §11).
+enum class SymMode : uint8_t {
+  Default, ///< use the process default (setDefaultSymmetryMode /
+           ///< FCSL_SYMMETRY).
+  Off,     ///< explore configurations as constructed.
+  On,      ///< canonicalize each configuration to its orbit representative.
+  Check    ///< run Off and On, assert identical verdicts and terminals.
+};
+
 /// Exploration parameters.
 struct EngineOptions {
   /// The ambient concurroid: source of coherence checking and of
@@ -80,6 +89,12 @@ struct EngineOptions {
   /// configs; verdicts, terminals, and counters are bit-identical to the
   /// in-process engine for complete explorations.
   unsigned Shards = 0;
+  /// Symmetry reduction (see SymMode). `Default` resolves to the process
+  /// default, which is Off unless overridden by `--symmetry` /
+  /// `FCSL_SYMMETRY` / setDefaultSymmetryMode. Composes with POR and
+  /// sharding: canonicalization happens before dedup, sleep-set keying and
+  /// shard routing, so all three reductions multiply.
+  SymMode Symmetry = SymMode::Default;
 };
 
 /// A terminal execution: the program's result and final state.
@@ -126,6 +141,15 @@ struct RunResult {
   bool PorMismatch = false;
   uint64_t ConfigsFull = 0;    ///< Check mode: the full run's configs.
   uint64_t ConfigsReduced = 0; ///< Check/On: the reduced run's configs.
+  /// Symmetry-reduction provenance, mirroring the POR fields: whether this
+  /// run canonicalized configs to orbit representatives, and — in Check
+  /// mode — both runs' config counts and whether they disagreed (a
+  /// mismatch also forces Safe = false).
+  bool SymReduced = false;
+  bool SymChecked = false;
+  bool SymMismatch = false;
+  uint64_t SymConfigsFull = 0;      ///< Check mode: the full run's configs.
+  uint64_t SymConfigsCanonical = 0; ///< Check/On: the canonical run's.
 
   bool complete() const { return Safe && !Exhausted; }
   /// Renders the failure trace, one step per line.
@@ -189,6 +213,33 @@ struct PorCheckTotals {
   uint64_t Reduced = 0;
 };
 PorCheckTotals porCheckTotals();
+
+/// Sets the process-default SymMode used when `EngineOptions::Symmetry` is
+/// `Default` (exposed as `fcsl-verify --symmetry=off|on|check`).
+void setDefaultSymmetryMode(SymMode M);
+
+/// The process-default SymMode: the last setDefaultSymmetryMode value, else
+/// the `FCSL_SYMMETRY` environment variable ("off"/"on"/"check"), else Off.
+SymMode defaultSymmetryMode();
+
+/// Cumulative full/canonical config counts over every symmetry Check-mode
+/// run so far (mirrors porCheckTotals for the `--symmetry=check` harness).
+struct SymCheckTotals {
+  uint64_t Full = 0;
+  uint64_t Canonical = 0;
+};
+SymCheckTotals symCheckTotals();
+
+/// Process-wide orbit-cache counters over every symmetry-reduced run so
+/// far (reported by `fcsl-verify --stats`): cache probes, probe hits, and
+/// how many canonicalizations actually changed the configuration (a proxy
+/// for orbit sizes > 1).
+struct SymmetryStats {
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+  uint64_t Changed = 0;
+};
+SymmetryStats symmetryStats();
 
 //===----------------------------------------------------------------------===//
 // Multi-process sharded exploration (implemented by src/dist/)

@@ -199,6 +199,54 @@ const ProgRef &Prog::body() const {
   return P1;
 }
 
+namespace {
+
+bool exprEquivalent(const ExprRef &A, const ExprRef &B) {
+  return A == B || A->fingerprint() == B->fingerprint();
+}
+
+bool argsEquivalent(const std::vector<ExprRef> &A,
+                    const std::vector<ExprRef> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, N = A.size(); I != N; ++I)
+    if (!exprEquivalent(A[I], B[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool fcsl::progEquivalent(const ProgRef &A, const ProgRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Prog::Kind::Ret:
+    return exprEquivalent(A->retExpr(), B->retExpr());
+  case Prog::Kind::Act:
+    return A->action() == B->action() && argsEquivalent(A->args(), B->args());
+  case Prog::Kind::Bind:
+    return A->bindVar() == B->bindVar() &&
+           progEquivalent(A->first(), B->first()) &&
+           progEquivalent(A->rest(), B->rest());
+  case Prog::Kind::If:
+    return exprEquivalent(A->cond(), B->cond()) &&
+           progEquivalent(A->thenProg(), B->thenProg()) &&
+           progEquivalent(A->elseProg(), B->elseProg());
+  case Prog::Kind::Call:
+    return A->callee() == B->callee() && argsEquivalent(A->args(), B->args());
+  case Prog::Kind::Par:
+  case Prog::Kind::Hide:
+    // Opaque closures (splits, decorations) admit no structural comparison;
+    // distinct nodes stay inequivalent. Pointer equality was handled above.
+    return false;
+  }
+  assert(false && "unknown command kind");
+  return false;
+}
+
 std::string Prog::toString(unsigned Indent) const {
   std::string Pad(Indent, ' ');
   switch (K) {

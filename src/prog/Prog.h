@@ -134,6 +134,13 @@ private:
   HideSpec Spec;             // Hide
 };
 
+/// Structural equivalence of commands, used by the symmetry layer to decide
+/// whether the two branches of a `par` run the same program. Conservative:
+/// nodes holding opaque closures (Par splits, Hide decorations) are
+/// equivalent only when they are the same node, so a `false` answer merely
+/// forgoes reduction, never soundness.
+bool progEquivalent(const ProgRef &A, const ProgRef &B);
+
 } // namespace fcsl
 
 #endif // FCSL_PROG_PROG_H

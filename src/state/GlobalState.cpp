@@ -205,6 +205,37 @@ void GlobalState::joinChildren(ThreadId Parent, ThreadId Left,
   }
 }
 
+void GlobalState::renameThreads(const std::map<ThreadId, ThreadId> &M) {
+  if (M.empty())
+    return;
+  for (auto &Entry : Selves) {
+    std::map<ThreadId, PCMVal> Renamed;
+    bool Changed = false;
+    for (const auto &Contribution : Entry.second) {
+      auto It = M.find(Contribution.first);
+      ThreadId T = It == M.end() ? Contribution.first : It->second;
+      Changed |= T != Contribution.first;
+      bool Inserted = Renamed.emplace(T, Contribution.second).second;
+      assert(Inserted && "thread renaming must stay injective per label");
+      (void)Inserted;
+    }
+    if (Changed)
+      Entry.second = std::move(Renamed);
+  }
+}
+
+void GlobalState::renamePtrs(const std::map<Ptr, Ptr> &M) {
+  if (M.empty())
+    return;
+  for (auto &Entry : Joints)
+    Entry.second = Entry.second.renamePtrs(M);
+  for (auto &Entry : EnvSelves)
+    Entry.second = Entry.second.renamePtrs(M);
+  for (auto &Label : Selves)
+    for (auto &Contribution : Label.second)
+      Contribution.second = Contribution.second.renamePtrs(M);
+}
+
 int GlobalState::compare(const GlobalState &Other) const {
   // Label sets (with their env-closed flags) first.
   {

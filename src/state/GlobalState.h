@@ -102,6 +102,17 @@ public:
   /// the PCM join of the children's. Asserts definedness.
   void joinChildren(ThreadId Parent, ThreadId Left, ThreadId Right);
 
+  /// Rewrites the thread keys of every per-label contribution map through
+  /// \p M (threads absent from the map keep their id). Asserts the renaming
+  /// is injective per label. Used by the symmetry layer when two subtree
+  /// programs are swapped into canonical order (DESIGN.md §11).
+  void renameThreads(const std::map<ThreadId, ThreadId> &M);
+
+  /// Rewrites every pointer in joints, thread contributions and environment
+  /// contributions through \p M. Used by the symmetry layer's canonical
+  /// renaming of fresh heap names (DESIGN.md §11).
+  void renamePtrs(const std::map<Ptr, Ptr> &M);
+
   int compare(const GlobalState &Other) const;
   friend bool operator==(const GlobalState &A, const GlobalState &B) {
     return A.compare(B) == 0;

@@ -80,7 +80,10 @@ void fcsl::defineAllocProgram(const LockProtocol &P, DefTable &Defs,
           return std::nullopt;
         return std::vector<ActOutcome>{
             {Val::ofPtr(Pool.domain().front()), Pre}};
-      });
+      },
+      // Reads only the caller's private heap (the pool cells live there
+      // while the lock is held) and changes nothing.
+      Footprint::none().read(FpAtom::selfAux(Pv)));
 
   auto ClientSelf = P.ClientSelf;
   ActionRef Unlock = P.MakeUnlock(

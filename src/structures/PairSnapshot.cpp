@@ -37,6 +37,19 @@ Val lastState(const History &Combined) {
   return Combined.tryLookup(Combined.lastStamp())->After;
 }
 
+/// Footprint of one write commit: the written cell is read and rewritten,
+/// the sibling cell is only read (its value enters the abstract After
+/// state), the agent's history gains an entry, and the other agents'
+/// histories supply the Before state and the interference cap. Reads and
+/// writes to *different* cells of the pair are therefore independent.
+Footprint writeFootprint(Label Rp, Ptr Target, Ptr Sibling) {
+  return Footprint::none()
+      .readWrite(FpAtom::jointCell(Rp, Target))
+      .read(FpAtom::jointCell(Rp, Sibling))
+      .readWrite(FpAtom::selfAux(Rp))
+      .read(FpAtom::otherAux(Rp));
+}
+
 } // namespace
 
 PairSnapCase fcsl::makePairSnapCase(Label Rp, uint64_t EnvHistCap) {
@@ -128,7 +141,8 @@ PairSnapCase fcsl::makePairSnapCase(Label Rp, uint64_t EnvHistCap) {
           std::optional<View> Candidate =
               WriteCommit(Pre, ToX, Cell->first);
           return Candidate && *Candidate == Post;
-        }));
+        }).withFootprint(writeFootprint(Rp, ToX ? PX : PY,
+                                        ToX ? PY : PX)));
   }
 
   Case.C = ReadPair;
@@ -145,12 +159,14 @@ PairSnapCase fcsl::makePairSnapCase(Label Rp, uint64_t EnvHistCap) {
               {Val::pair(Val::ofInt(Cell->first),
                          Val::ofInt(Cell->second)),
                Pre}};
-        });
+        },
+        Footprint::none().read(FpAtom::jointCell(Rp, P)));
   };
   Case.ReadX = MakeRead("readX", PX);
   Case.ReadY = MakeRead("readY", PY);
 
-  auto MakeWrite = [WriteCommit, &Case](const char *Name, bool ToX) {
+  auto MakeWrite = [WriteCommit, Rp, PX, PY, &Case](const char *Name,
+                                                    bool ToX) {
     return makeAction(
         Name, Case.C, 1,
         [WriteCommit, ToX](const View &Pre, const std::vector<Val> &Args)
@@ -162,7 +178,8 @@ PairSnapCase fcsl::makePairSnapCase(Label Rp, uint64_t EnvHistCap) {
           if (!Post)
             return std::nullopt;
           return std::vector<ActOutcome>{{Val::unit(), std::move(*Post)}};
-        });
+        },
+        writeFootprint(Rp, ToX ? PX : PY, ToX ? PY : PX));
   };
   Case.WriteX = MakeWrite("writeX", true);
   Case.WriteY = MakeWrite("writeY", false);

@@ -40,6 +40,20 @@ History appendEntry(const History &H, uint64_t Stamp, Val Before,
   return Out;
 }
 
+/// Conservative footprint shared by the stack's commit steps: the Treiber
+/// joint heap (cells enter and leave on push/pop, and the sentinel is
+/// rewritten), the agent's history contribution at Tr, the agent's private
+/// heap at Pv (push consumes a node, pop deposits one), and a read of the
+/// other agents' histories (the abstract Before state and the interference
+/// cap both come from the combined history).
+Footprint treiberFootprint(Label Pv, Label Tr) {
+  return Footprint::none()
+      .readWrite(FpAtom::joint(Tr))
+      .readWrite(FpAtom::selfAux(Tr))
+      .readWrite(FpAtom::selfAux(Pv))
+      .read(FpAtom::otherAux(Tr));
+}
+
 } // namespace
 
 std::optional<Val> fcsl::treiberAbstractStack(const TreiberCase &C,
@@ -205,7 +219,7 @@ TreiberCase fcsl::makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap) {
         std::optional<View> Candidate =
             PushCommit(Pre, Node, Cell->first().getInt());
         return Candidate && *Candidate == Post;
-      }));
+      }).withFootprint(treiberFootprint(Pv, Tr)));
 
   // --- tr_pop (release: the head cell leaves) ----------------------------
   Treiber->addTransition(Transition(
@@ -223,7 +237,7 @@ TreiberCase fcsl::makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap) {
       [PopCommit](const View &Pre, const View &Post) {
         std::optional<View> Candidate = PopCommit(Pre);
         return Candidate && *Candidate == Post;
-      }));
+      }).withFootprint(treiberFootprint(Pv, Tr)));
 
   ConcurroidRef PrivC = makePriv(Pv);
   Case.Treiber = Treiber;
@@ -238,7 +252,8 @@ TreiberCase fcsl::makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap) {
         if (!Head)
           return std::nullopt;
         return std::vector<ActOutcome>{{*Head, Pre}};
-      });
+      },
+      Footprint::none().read(FpAtom::jointCell(Tr, Snt)));
 
   Case.TryPush = makeAction(
       "try_push", Case.C, 3,
@@ -255,6 +270,20 @@ TreiberCase fcsl::makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap) {
           return std::nullopt; // Node not privately owned: unsafe.
         return std::vector<ActOutcome>{{Val::ofBool(true),
                                         std::move(*Post)}};
+      },
+      treiberFootprint(Pv, Tr),
+      // A failed CAS only observes the sentinel: as long as the head stays
+      // different from the expected snapshot, the step reads one joint
+      // cell and changes nothing. Steps independent of that read cannot
+      // make the comparison succeed.
+      [Snt, Tr, Pv](const View &Pre,
+                    const std::vector<Val> &Args) -> Footprint {
+        if (Pre.hasLabel(Tr) && Args.size() == 3 && Args[2].isPtr()) {
+          const Val *Head = Pre.joint(Tr).tryLookup(Snt);
+          if (Head && Head->isPtr() && Head->getPtr() != Args[2].getPtr())
+            return Footprint::none().read(FpAtom::jointCell(Tr, Snt));
+        }
+        return treiberFootprint(Pv, Tr);
       });
 
   Case.TryPop = makeAction(
@@ -274,6 +303,17 @@ TreiberCase fcsl::makeTreiberCase(Label Pv, Label Tr, uint64_t EnvHistCap) {
         return std::vector<ActOutcome>{
             {Val::pair(Val::ofBool(true), Cell.first()),
              std::move(*Post)}};
+      },
+      treiberFootprint(Pv, Tr),
+      // Mirrors try_push: a failed pop CAS reads only the sentinel.
+      [Snt, Tr, Pv](const View &Pre,
+                    const std::vector<Val> &Args) -> Footprint {
+        if (Pre.hasLabel(Tr) && Args.size() == 1 && Args[0].isPtr()) {
+          const Val *Head = Pre.joint(Tr).tryLookup(Snt);
+          if (Head && Head->isPtr() && Head->getPtr() != Args[0].getPtr())
+            return Footprint::none().read(FpAtom::jointCell(Tr, Snt));
+        }
+        return treiberFootprint(Pv, Tr);
       });
 
   // --- Programs ---------------------------------------------------------

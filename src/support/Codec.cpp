@@ -490,6 +490,7 @@ size_t fcsl::encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C) {
   for (const FrontierThread &T : C.Threads) {
     E.u64(T.Id);
     E.u8(T.Waiting);
+    E.u8(T.SymChildren);
     E.u8(T.Done.has_value());
     if (T.Done)
       encode(E, *T.Done);
@@ -530,6 +531,7 @@ FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
     FrontierThread T;
     T.Id = D.u64();
     T.Waiting = D.u8() != 0;
+    T.SymChildren = D.u8() != 0;
     if (D.u8() != 0)
       T.Done = decodeVal(D);
     uint32_t NumFrames = D.u32();

@@ -36,7 +36,8 @@ namespace fcsl {
 
 /// Format version; bump when the wire layout changes.
 /// v2: frontier configs carry sleep sets, EnvCloseMask, and footprints.
-constexpr uint32_t CodecVersion = 2;
+/// v3: frontier threads carry the symmetry flag (SymChildren).
+constexpr uint32_t CodecVersion = 3;
 
 /// Appends fixed-width little-endian primitives to a byte buffer.
 class Encoder {
@@ -204,11 +205,17 @@ struct FrontierFrame {
 struct FrontierThread {
   ThreadId Id = 0;
   bool Waiting = false;
+  /// This thread forked structurally-equivalent children with equal
+  /// contributions (DESIGN.md §11); part of config identity, so it must
+  /// survive the wire or shards would merge symmetric and asymmetric
+  /// parents.
+  bool SymChildren = false;
   std::optional<Val> Done;
   std::vector<FrontierFrame> Frames;
 
   friend bool operator==(const FrontierThread &A, const FrontierThread &B) {
-    return A.Id == B.Id && A.Waiting == B.Waiting && A.Done == B.Done &&
+    return A.Id == B.Id && A.Waiting == B.Waiting &&
+           A.SymChildren == B.SymChildren && A.Done == B.Done &&
            A.Frames == B.Frames;
   }
 };

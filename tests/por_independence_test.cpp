@@ -11,7 +11,11 @@
 
 #include "graph/GraphGen.h"
 #include "prog/Engine.h"
+#include "structures/CgAllocator.h"
+#include "structures/PairSnapshot.h"
 #include "structures/SpanTree.h"
+#include "structures/SpinLock.h"
+#include "structures/TreiberStack.h"
 
 #include <gtest/gtest.h>
 
@@ -350,4 +354,167 @@ TEST(PorFailureTest, RacyUnsafeActionStillDetected) {
   EXPECT_NE(Red.FailureNote.find("assert_unmarked"), std::string::npos)
       << Red.FailureNote;
   EXPECT_FALSE(Red.FailureTrace.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Footprints of the Table 1 structures: the independence facts that make
+// reduction fire on Treiber stack, pair snapshot, and CG allocator, and
+// engine-level pins that the reduction is strict on each of them.
+//===----------------------------------------------------------------------===//
+
+TEST(StructureFpTest, TreiberFailedCasShrinksToASentinelRead) {
+  TreiberCase Case = makeTreiberCase(1, 2, /*EnvHistCap=*/3);
+  GlobalState GS = treiberState(Case, {5}, /*MyCells=*/1, /*EnvCells=*/0);
+  View S = GS.viewFor(rootThread());
+  // Two concurrent head reads commute.
+  const Footprint &RH = Case.ReadHead->staticFootprint();
+  ASSERT_TRUE(RH.known());
+  EXPECT_TRUE(fpIndependent(RH, RH));
+  // The commit footprint rewrites the whole structure: dependent on reads.
+  const Footprint &Commit = Case.TryPush->staticFootprint();
+  ASSERT_TRUE(Commit.known());
+  EXPECT_FALSE(fpIndependent(Commit, RH));
+  EXPECT_FALSE(fpIndependent(Commit, Commit));
+  // A CAS armed with a stale head snapshot (the list head is node 40, the
+  // argument expects empty) only *observes* the sentinel: it commutes with
+  // another failed CAS and with head reads.
+  Footprint StalePush = Case.TryPush->footprint(
+      S, {Val::ofPtr(Ptr(20)), Val::ofInt(1), Val::ofPtr(Ptr::null())});
+  EXPECT_TRUE(fpIndependent(StalePush, StalePush));
+  EXPECT_TRUE(fpIndependent(StalePush, RH));
+  Footprint StalePop = Case.TryPop->footprint(S, {Val::ofPtr(Ptr(41))});
+  EXPECT_TRUE(fpIndependent(StalePop, StalePush));
+  // With the matching head the full commit footprint comes back.
+  Footprint LivePush = Case.TryPush->footprint(
+      S, {Val::ofPtr(Ptr(20)), Val::ofInt(1), Val::ofPtr(Ptr(40))});
+  EXPECT_FALSE(fpIndependent(LivePush, RH));
+}
+
+TEST(StructureFpTest, SnapshotWritesToSiblingCellsAreDependent) {
+  PairSnapCase Case = makePairSnapCase(1, /*EnvHistCap=*/2);
+  const Footprint &RX = Case.ReadX->staticFootprint();
+  const Footprint &RY = Case.ReadY->staticFootprint();
+  const Footprint &WX = Case.WriteX->staticFootprint();
+  const Footprint &WY = Case.WriteY->staticFootprint();
+  ASSERT_TRUE(RX.known() && RY.known() && WX.known() && WY.known());
+  // Reads of distinct cells commute with each other and with a write to
+  // the *other* cell.
+  EXPECT_TRUE(fpIndependent(RX, RY));
+  EXPECT_TRUE(fpIndependent(RX, WY));
+  EXPECT_TRUE(fpIndependent(RY, WX));
+  // Same cell: the read observes the write.
+  EXPECT_FALSE(fpIndependent(RX, WX));
+  EXPECT_FALSE(fpIndependent(RY, WY));
+  // Writers race on the shared history and read the sibling's cell to log
+  // the full abstract pair state: dependent in both directions.
+  EXPECT_FALSE(fpIndependent(WX, WY));
+  EXPECT_FALSE(fpIndependent(WX, WX));
+}
+
+TEST(StructureFpTest, AllocatorPickCommutesWithLockTraffic) {
+  ResourceModel Model = allocatorResourceModel(1, 2, AllocPoolSize);
+  LockProtocol P = makeCasLock(1, 2, Model);
+  DefTable Defs;
+  defineAllocProgram(P, Defs, AllocPoolSize);
+  // alloc() := lock(); r <-- pick_pool_cell; ... — fish the pick action
+  // out of the definition body.
+  const ProgRef &Body = Defs.lookup("alloc").Body;
+  ASSERT_EQ(Body->kind(), Prog::Kind::Bind);
+  const ProgRef &AfterLock = Body->rest();
+  ASSERT_EQ(AfterLock->kind(), Prog::Kind::Bind);
+  ASSERT_EQ(AfterLock->first()->kind(), Prog::Kind::Act);
+  const ActionRef &Pick = AfterLock->first()->action();
+  ASSERT_EQ(Pick->name(), "pick_pool_cell");
+  const Footprint &PickFp = Pick->staticFootprint();
+  ASSERT_TRUE(PickFp.known());
+  // Pick reads only the caller's *own* private heap: independent of
+  // itself and of the lock protocol's acquire/release footprint, whose
+  // self-side writes land in other agents' frames.
+  EXPECT_TRUE(fpIndependent(PickFp, PickFp));
+  const Footprint &LockFp = P.TryLock->staticFootprint();
+  ASSERT_TRUE(LockFp.known());
+  EXPECT_TRUE(fpIndependent(PickFp, LockFp));
+  EXPECT_FALSE(fpIndependent(LockFp, LockFp));
+}
+
+namespace {
+
+/// Full-vs-reduced run of \p Main from \p GS in a closed world.
+std::pair<RunResult, RunResult>
+fullVsReduced(const ProgRef &Main, const GlobalState &GS,
+              const ConcurroidRef &Ambient, const DefTable &Defs) {
+  EngineOptions Opts;
+  Opts.Ambient = Ambient;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Defs;
+  Opts.Jobs = 1;
+  Opts.Por = PorMode::Off;
+  RunResult Full = explore(Main, GS, Opts);
+  Opts.Por = PorMode::On;
+  RunResult Red = explore(Main, GS, Opts);
+  return {std::move(Full), std::move(Red)};
+}
+
+} // namespace
+
+TEST(StructurePorTest, TreiberConcurrentHeadReadsReduceStrictly) {
+  TreiberCase Case = makeTreiberCase(1, 2, /*EnvHistCap=*/3);
+  GlobalState GS = treiberState(Case, {5}, 0, 0);
+  ProgRef Main = Prog::par(Prog::act(Case.ReadHead, {}),
+                           Prog::act(Case.ReadHead, {}));
+  auto [Full, Red] = fullVsReduced(Main, GS, Case.C, Case.Defs);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Red.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Red));
+  EXPECT_TRUE(Red.PorReduced);
+  EXPECT_LT(Red.ConfigsExplored, Full.ConfigsExplored)
+      << Red.ConfigsExplored << " reduced vs " << Full.ConfigsExplored;
+  EXPECT_LT(Red.ActionSteps, Full.ActionSteps);
+}
+
+TEST(StructurePorTest, SnapshotReaderIsALocalMoveBesideAWriter) {
+  // par(writeX(3), readY): the y read commutes with everything the writer
+  // does, so the reduction explores it alone and the interleaving where
+  // the write lands first never materializes as a separate configuration.
+  PairSnapCase Case = makePairSnapCase(1, /*EnvHistCap=*/2);
+  GlobalState GS = pairSnapState(Case);
+  ProgRef Main = Prog::par(Prog::act(Case.WriteX, {Expr::litInt(3)}),
+                           Prog::act(Case.ReadY, {}));
+  auto [Full, Red] = fullVsReduced(Main, GS, Case.C, Case.Defs);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Red.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Red));
+  EXPECT_LT(Red.ConfigsExplored, Full.ConfigsExplored)
+      << Red.ConfigsExplored << " reduced vs " << Full.ConfigsExplored;
+  EXPECT_LT(Red.ActionSteps, Full.ActionSteps);
+}
+
+TEST(StructurePorTest, AllocatorPickStepsReduceUnderContention) {
+  // par(alloc, alloc): while one thread holds the lock and picks its
+  // cell, the other spins; the pick is a local move, so the reduced run
+  // takes strictly fewer action steps than the full interleaving.
+  ResourceModel Model = allocatorResourceModel(1, 2, AllocPoolSize);
+  LockProtocol P = makeCasLock(1, 2, Model);
+  DefTable Defs;
+  defineAllocProgram(P, Defs, AllocPoolSize);
+  PCMTypeRef LockSelfType =
+      PCMType::pairOf(PCMType::mutex(), PCMType::nat());
+  Heap Pool;
+  for (unsigned I = 1; I <= AllocPoolSize; ++I)
+    Pool.insert(Ptr(I), Val::ofInt(0));
+  GlobalState GS;
+  GS.addLabel(P.Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()),
+              /*EnvClosed=*/false);
+  GS.addLabel(P.Lk, LockSelfType, P.InitialJoint(Pool),
+              LockSelfType->unit(), /*EnvClosed=*/false);
+  ProgRef Main =
+      Prog::par(Prog::call("alloc", {}), Prog::call("alloc", {}));
+  auto [Full, Red] = fullVsReduced(Main, GS, P.C, Defs);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Red.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Red));
+  EXPECT_LE(Red.ConfigsExplored, Full.ConfigsExplored);
+  EXPECT_LT(Red.ActionSteps, Full.ActionSteps)
+      << Red.ActionSteps << " reduced vs " << Full.ActionSteps
+      << " action steps";
 }

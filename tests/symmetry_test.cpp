@@ -1,0 +1,405 @@
+//===- tests/symmetry_test.cpp - Symmetry-reduction tests ------------------===//
+//
+// Part of fcsl-cpp. Exercises the orbit-canonicalization layer of
+// DESIGN.md §11: the thread/pointer renaming primitives it is built on,
+// strict state-space reduction on programs with interchangeable sibling
+// threads (including a nested par tree whose orbits have up to 2^3
+// members), stability of the canonical space across job counts and shard
+// counts, the `--symmetry=check` cross-validation harness over the
+// Table 1 sessions, and composition with partial-order reduction and
+// multi-process sharding. Part of the TSan stage of scripts/verify.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurroid/Entangle.h"
+#include "concurroid/Priv.h"
+#include "dist/Coordinator.h"
+#include "prog/Engine.h"
+#include "structures/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcsl;
+
+namespace {
+
+constexpr Label Pv = 1;
+constexpr Label Ct = 2;
+const Ptr Cell = Ptr(1);
+
+/// The toy counter world of engine_test: joint cell &1 == sum of the
+/// per-thread nat contributions. Closed world (no env transition), which
+/// keeps the interleaving spaces small and fully symmetric.
+struct CounterWorld {
+  ConcurroidRef C;
+  ActionRef Incr; ///< () -> old value; bumps cell and self.
+  ActionRef Read; ///< () -> value.
+  DefTable Defs;
+};
+
+CounterWorld makeCounterWorld() {
+  auto Coh = [](const View &S) {
+    if (!S.hasLabel(Ct))
+      return false;
+    const Val *V = S.joint(Ct).tryLookup(Cell);
+    if (!V || !V->isInt())
+      return false;
+    return V->getInt() == static_cast<int64_t>(S.self(Ct).getNat() +
+                                               S.other(Ct).getNat());
+  };
+  auto C =
+      makeConcurroid("Counter", {OwnedLabel{Ct, "ct", PCMType::nat()}}, Coh);
+  C->addTransition(Transition(
+      "bump", TransitionKind::Internal,
+      [](const View &) -> std::vector<View> { return {}; },
+      [](const View &Pre, const View &Post) {
+        if (!Pre.hasLabel(Ct) || !Post.hasLabel(Ct))
+          return false;
+        for (Label L : Pre.labels())
+          if (L != Ct && !(Pre.slice(L) == Post.slice(L)))
+            return false;
+        return Post.joint(Ct).lookup(Cell).getInt() ==
+                   Pre.joint(Ct).lookup(Cell).getInt() + 1 &&
+               Post.self(Ct).getNat() == Pre.self(Ct).getNat() + 1 &&
+               Pre.other(Ct) == Post.other(Ct);
+      }));
+
+  CounterWorld World;
+  World.C = entangle(makePriv(Pv), C);
+
+  World.Incr = makeAction(
+      "incr", World.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(Cell);
+        if (!V)
+          return std::nullopt;
+        View Post = Pre;
+        Heap Joint = Pre.joint(Ct);
+        Joint.update(Cell, Val::ofInt(V->getInt() + 1));
+        Post.setJoint(Ct, std::move(Joint));
+        Post.setSelf(Ct, PCMVal::ofNat(Pre.self(Ct).getNat() + 1));
+        return std::vector<ActOutcome>{{*V, std::move(Post)}};
+      });
+
+  World.Read = makeAction(
+      "read", World.C, 0,
+      [](const View &Pre, const std::vector<Val> &)
+          -> std::optional<std::vector<ActOutcome>> {
+        const Val *V = Pre.joint(Ct).tryLookup(Cell);
+        if (!V)
+          return std::nullopt;
+        return std::vector<ActOutcome>{{*V, Pre}};
+      });
+  return World;
+}
+
+GlobalState counterState(int64_t Initial = 0) {
+  GlobalState GS;
+  GS.addLabel(Pv, PCMType::heap(), Heap(), PCMVal::ofHeap(Heap()), false);
+  GS.addLabel(Ct, PCMType::nat(),
+              Heap::singleton(Cell, Val::ofInt(Initial)), PCMVal::ofNat(0),
+              false);
+  return GS;
+}
+
+EngineOptions optsFor(const CounterWorld &W) {
+  EngineOptions Opts;
+  Opts.Ambient = W.C;
+  Opts.EnvInterference = false;
+  Opts.Defs = &W.Defs;
+  Opts.Jobs = 1;
+  return Opts;
+}
+
+/// par(incr, incr): one pair of interchangeable siblings (orbit size 2).
+ProgRef symmetricPair(const CounterWorld &W) {
+  // Sharing the leaf node is not required — two separate `act` nodes are
+  // recognized as equivalent structurally.
+  return Prog::par(Prog::act(W.Incr, {}), Prog::act(W.Incr, {}));
+}
+
+/// par(D, D) where D = par(incr, incr): a nested symmetric par tree with
+/// three interchangeable sibling pairs, so orbits reach 2^3 = 8 members
+/// (the k!-class instance of the acceptance criteria). The subtrees are
+/// the *same node*: par subtrees are opaque to structural comparison
+/// (their split closures cannot be compared), so sharing is how a
+/// symmetric nested tree is expressed.
+ProgRef symmetricQuad(const CounterWorld &W) {
+  ProgRef Leaf = Prog::act(W.Incr, {});
+  ProgRef Inner = Prog::par(Leaf, Leaf);
+  return Prog::par(Inner, Inner);
+}
+
+bool sameTerminals(const RunResult &A, const RunResult &B) {
+  if (A.Terminals.size() != B.Terminals.size())
+    return false;
+  for (size_t I = 0; I != A.Terminals.size(); ++I)
+    if (A.Terminals[I] < B.Terminals[I] || B.Terminals[I] < A.Terminals[I])
+      return false;
+  return true;
+}
+
+/// Restores the process-default symmetry mode on scope exit.
+struct SymModeGuard {
+  ~SymModeGuard() { setDefaultSymmetryMode(SymMode::Off); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The renaming primitives the canonicalizer is built on.
+//===----------------------------------------------------------------------===//
+
+TEST(RenameTest, RenameThreadsSwapsContributions) {
+  GlobalState GS = counterState(3);
+  GS.setSelf(Ct, ThreadId(2), PCMVal::ofNat(1));
+  GS.setSelf(Ct, ThreadId(3), PCMVal::ofNat(2));
+  GS.renameThreads({{ThreadId(2), ThreadId(3)}, {ThreadId(3), ThreadId(2)}});
+  EXPECT_EQ(GS.viewFor(ThreadId(2)).self(Ct).getNat(), 2u);
+  EXPECT_EQ(GS.viewFor(ThreadId(3)).self(Ct).getNat(), 1u);
+  // Threads absent from the map keep their contribution; the swap is an
+  // involution.
+  GS.renameThreads({{ThreadId(2), ThreadId(3)}, {ThreadId(3), ThreadId(2)}});
+  EXPECT_EQ(GS.viewFor(ThreadId(2)).self(Ct).getNat(), 1u);
+  EXPECT_EQ(GS.viewFor(ThreadId(3)).self(Ct).getNat(), 2u);
+  // The joint heap and the subjective *sum* are untouched by renaming.
+  EXPECT_EQ(GS.viewFor(ThreadId(2)).joint(Ct).lookup(Cell).getInt(), 3);
+  EXPECT_EQ(GS.viewFor(ThreadId(2)).other(Ct).getNat(), 2u);
+}
+
+TEST(RenameTest, RenamePtrsRewritesValuesAndHeaps) {
+  Val Nested = Val::pair(Val::ofPtr(Ptr(1)),
+                         Val::pair(Val::ofInt(7), Val::ofPtr(Ptr(2))));
+  Val Renamed = Nested.renamePtrs({{Ptr(1), Ptr(5)}});
+  EXPECT_EQ(Renamed.first().getPtr(), Ptr(5));
+  EXPECT_EQ(Renamed.second().second().getPtr(), Ptr(2));
+
+  GlobalState GS = counterState(0);
+  GS.renamePtrs({{Cell, Ptr(9)}});
+  EXPECT_FALSE(GS.viewFor(rootThread()).joint(Ct).contains(Cell));
+  EXPECT_EQ(GS.viewFor(rootThread()).joint(Ct).lookup(Ptr(9)).getInt(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Strict reduction with bit-identical observable behavior.
+//===----------------------------------------------------------------------===//
+
+TEST(SymmetryTest, SiblingPairCollapsesToOneOrbitPerLevel) {
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  ProgRef Main = symmetricPair(W);
+  Opts.Symmetry = SymMode::Off;
+  RunResult Full = explore(Main, counterState(), Opts);
+  Opts.Symmetry = SymMode::On;
+  RunResult Canon = explore(Main, counterState(), Opts);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Canon.Safe);
+  EXPECT_EQ(Full.Exhausted, Canon.Exhausted);
+  EXPECT_TRUE(sameTerminals(Full, Canon));
+  EXPECT_TRUE(Canon.SymReduced);
+  EXPECT_FALSE(Full.SymReduced);
+  EXPECT_LT(Canon.ConfigsExplored, Full.ConfigsExplored)
+      << Canon.ConfigsExplored << " canonical vs " << Full.ConfigsExplored
+      << " full configurations";
+}
+
+TEST(SymmetryTest, NestedParTreeCollapsesFactorialOrbits) {
+  // The k!-class instance: three interchangeable sibling pairs; orbits of
+  // the mid-exploration configurations reach 8 members.
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  ProgRef Main = symmetricQuad(W);
+  Opts.Symmetry = SymMode::Off;
+  RunResult Full = explore(Main, counterState(), Opts);
+  Opts.Symmetry = SymMode::On;
+  RunResult Canon = explore(Main, counterState(), Opts);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Canon.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Canon));
+  // The orbit collapse must be substantial, not incidental: at least a
+  // quarter of the full space is folded away.
+  EXPECT_LE(4 * Canon.ConfigsExplored, 3 * Full.ConfigsExplored)
+      << Canon.ConfigsExplored << " canonical vs " << Full.ConfigsExplored
+      << " full configurations";
+  // The canonicalizer actually rewrote configurations (orbit-cache proxy).
+  SymmetryStats Stats = symmetryStats();
+  EXPECT_GT(Stats.Lookups, 0u);
+  EXPECT_GT(Stats.Changed, 0u);
+}
+
+TEST(SymmetryTest, AsymmetricSiblingsAreLeftAlone) {
+  // par(incr, read): the siblings run different programs, so no swap is
+  // available and the canonical space equals the full space.
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  ProgRef Main =
+      Prog::par(Prog::act(W.Incr, {}), Prog::act(W.Read, {}));
+  Opts.Symmetry = SymMode::Off;
+  RunResult Full = explore(Main, counterState(), Opts);
+  Opts.Symmetry = SymMode::On;
+  RunResult Canon = explore(Main, counterState(), Opts);
+  ASSERT_TRUE(Full.Safe);
+  ASSERT_TRUE(Canon.Safe);
+  EXPECT_TRUE(sameTerminals(Full, Canon));
+  EXPECT_EQ(Full.ConfigsExplored, Canon.ConfigsExplored);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical representatives are deterministic: idempotent across repeated
+// runs and independent of discovery order (job count, shard count).
+//===----------------------------------------------------------------------===//
+
+TEST(SymmetryTest, CanonicalSpaceIsStableAcrossJobCounts) {
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::On;
+  ProgRef Main = symmetricQuad(W);
+  RunResult Serial = explore(Main, counterState(), Opts);
+  ASSERT_TRUE(Serial.complete());
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    Opts.Jobs = Jobs;
+    RunResult Par = explore(Main, counterState(), Opts);
+    EXPECT_EQ(Serial.Safe, Par.Safe) << Jobs << " jobs";
+    EXPECT_TRUE(sameTerminals(Serial, Par)) << Jobs << " jobs";
+    // Discovery order differs across workers, yet every orbit resolves to
+    // the same representative: the canonical config count is identical.
+    EXPECT_EQ(Serial.ConfigsExplored, Par.ConfigsExplored) << Jobs << " jobs";
+    EXPECT_EQ(Serial.ActionSteps, Par.ActionSteps) << Jobs << " jobs";
+  }
+}
+
+TEST(SymmetryTest, CanonicalSpaceIsStableAcrossShardCounts) {
+  // Canonical fingerprints drive shard ownership, so a whole orbit lands
+  // on one shard and the fleet's union equals the serial canonical space.
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::On;
+  ProgRef Main = symmetricQuad(W);
+  RunResult Serial = explore(Main, counterState(), Opts);
+  ASSERT_TRUE(Serial.complete());
+  for (unsigned Shards : {2u, 4u}) {
+    RunResult Fleet =
+        dist::distributedExplore(Main, counterState(), Opts, {}, Shards);
+    EXPECT_EQ(Serial.Safe, Fleet.Safe) << Shards << " shards";
+    EXPECT_TRUE(sameTerminals(Serial, Fleet)) << Shards << " shards";
+    EXPECT_EQ(Serial.ConfigsExplored, Fleet.ConfigsExplored)
+        << Shards << " shards";
+  }
+}
+
+TEST(SymmetryTest, RepeatedRunsAreBitIdentical) {
+  // Canonicalization is a pure function of the configuration: repeated
+  // explorations agree exactly (idempotence at the state-space level).
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::On;
+  ProgRef Main = symmetricQuad(W);
+  RunResult A = explore(Main, counterState(), Opts);
+  RunResult B = explore(Main, counterState(), Opts);
+  EXPECT_EQ(A.Safe, B.Safe);
+  EXPECT_EQ(A.ConfigsExplored, B.ConfigsExplored);
+  EXPECT_EQ(A.ActionSteps, B.ActionSteps);
+  EXPECT_TRUE(sameTerminals(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// The check harness: canonical exploration cross-validated against the
+// full one, exactly like --por=check.
+//===----------------------------------------------------------------------===//
+
+TEST(SymmetryCheckTest, CheckModeCrossValidates) {
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::Check;
+  RunResult R = explore(symmetricQuad(W), counterState(), Opts);
+  EXPECT_TRUE(R.Safe);
+  EXPECT_TRUE(R.SymChecked);
+  EXPECT_FALSE(R.SymMismatch);
+  EXPECT_GT(R.SymConfigsFull, 0u);
+  EXPECT_GT(R.SymConfigsCanonical, 0u);
+  EXPECT_LT(R.SymConfigsCanonical, R.SymConfigsFull);
+  // Check mode reports the *full* run (the ground truth).
+  EXPECT_FALSE(R.SymReduced);
+  EXPECT_EQ(R.ConfigsExplored, R.SymConfigsFull);
+}
+
+TEST(SymmetryCheckTest, DefaultModeFollowsProcessDefault) {
+  SymModeGuard Guard;
+  CounterWorld W = makeCounterWorld();
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::Default;
+  setDefaultSymmetryMode(SymMode::On);
+  RunResult Canon = explore(symmetricPair(W), counterState(), Opts);
+  setDefaultSymmetryMode(SymMode::Off);
+  RunResult Full = explore(symmetricPair(W), counterState(), Opts);
+  EXPECT_TRUE(Canon.SymReduced);
+  EXPECT_FALSE(Full.SymReduced);
+  EXPECT_TRUE(sameTerminals(Canon, Full));
+}
+
+TEST(SymmetryCheckTest, EveryTableOneSessionPassesUnderCheck) {
+  // The acceptance gate: every Table 1 session discharges identically in
+  // the canonical and the full space. Sessions run their engine calls
+  // with SymMode::Default, so the process default routes them all
+  // through the check harness.
+  SymModeGuard Guard;
+  setDefaultSymmetryMode(SymMode::Check);
+  for (const CaseEntry &Case : allCaseStudies()) {
+    SessionReport Report = Case.MakeSession().run();
+    EXPECT_TRUE(Report.AllPassed) << Case.Name << ": "
+                                  << (Report.Failures.empty()
+                                          ? std::string("(no failure note)")
+                                          : Report.Failures.front());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Composition: symmetry × POR × sharding against the plain engine.
+//===----------------------------------------------------------------------===//
+
+TEST(SymmetryComposeTest, SymmetryPorAndShardsMatchThePlainEngine) {
+  CounterWorld W = makeCounterWorld();
+  ProgRef Main = symmetricQuad(W);
+  EngineOptions Plain = optsFor(W);
+  Plain.Symmetry = SymMode::Off;
+  Plain.Por = PorMode::Off;
+  RunResult Baseline = explore(Main, counterState(), Plain);
+  ASSERT_TRUE(Baseline.Safe);
+
+  EngineOptions Opts = optsFor(W);
+  Opts.Symmetry = SymMode::On;
+  Opts.Por = PorMode::On;
+  RunResult Local = explore(Main, counterState(), Opts);
+  EXPECT_TRUE(Local.Safe);
+  EXPECT_EQ(Baseline.Exhausted, Local.Exhausted);
+  EXPECT_TRUE(sameTerminals(Baseline, Local));
+  EXPECT_LE(Local.ConfigsExplored, Baseline.ConfigsExplored);
+
+  for (unsigned Shards : {2u}) {
+    RunResult Fleet =
+        dist::distributedExplore(Main, counterState(), Opts, {}, Shards);
+    EXPECT_TRUE(Fleet.Safe);
+    EXPECT_TRUE(sameTerminals(Baseline, Fleet)) << Shards << " shards";
+    EXPECT_EQ(Local.ConfigsExplored, Fleet.ConfigsExplored)
+        << Shards << " shards";
+  }
+}
+
+TEST(SymmetryComposeTest, CheckComposesWithPorOnTableOneStructure) {
+  // Both reductions in check mode at once on a real structure: the POR
+  // harness resolves first and each of its sub-runs goes through the
+  // symmetry harness.
+  SymModeGuard Guard;
+  setDefaultSymmetryMode(SymMode::Check);
+  setDefaultPorMode(PorMode::Check);
+  SessionReport Report;
+  for (const CaseEntry &Case : allCaseStudies())
+    if (Case.Name == "CG increment")
+      Report = Case.MakeSession().run();
+  setDefaultPorMode(PorMode::Off);
+  EXPECT_EQ(Report.Program, "CG increment");
+  EXPECT_TRUE(Report.AllPassed)
+      << (Report.Failures.empty() ? std::string("(no failure note)")
+                                  : Report.Failures.front());
+}

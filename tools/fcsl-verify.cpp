@@ -33,8 +33,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fcsl-verify [--jobs N] [--por MODE] [--shards N] "
-               "<command>\n"
+               "usage: fcsl-verify [--jobs N] [--por MODE] [--symmetry MODE] "
+               "[--shards N] <command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
@@ -53,6 +53,18 @@ int usage() {
                "                       reduction, check = run both and "
                "cross-validate\n"
                "                       (default from FCSL_POR, else off)\n"
+               "  --symmetry off|on|check\n"
+               "                       orbit canonicalization of "
+               "interchangeable sibling\n"
+               "                       threads: off = explore raw configs "
+               "(default), on =\n"
+               "                       rewrite each config to its orbit "
+               "representative,\n"
+               "                       check = run both and cross-validate "
+               "verdicts and\n"
+               "                       terminals (default from FCSL_SYMMETRY, "
+               "else off);\n"
+               "                       composes with --por and --shards\n"
                "  --shards N           partition every exploration across N "
                "worker processes\n"
                "                       by state fingerprint (1 = in-process; "
@@ -64,6 +76,33 @@ int usage() {
                "                       statistics (node counts, dedup ratio, "
                "peak bytes)\n");
   return 2;
+}
+
+/// Per-structure symmetry accounting, filled by runVerify/runTable1 when
+/// both --stats and a non-off symmetry mode are active.
+struct CaseSymRecord {
+  std::string Name;
+  uint64_t Configs = 0; ///< configs explored by this session's runs.
+  uint64_t Lookups = 0; ///< orbit-cache probes.
+  uint64_t Hits = 0;    ///< probes answered from the cache.
+  uint64_t Changed = 0; ///< probes whose config was rewritten.
+};
+std::vector<CaseSymRecord> SymPerCase;
+bool CollectSymPerCase = false;
+
+/// Runs one session, recording its orbit-cache deltas when asked.
+SessionReport runCase(const CaseEntry &Case) {
+  if (!CollectSymPerCase)
+    return Case.MakeSession().run();
+  SymmetryStats Before = symmetryStats();
+  uint64_t ConfigsBefore = totalConfigsExplored();
+  SessionReport Report = Case.MakeSession().run();
+  SymmetryStats After = symmetryStats();
+  SymPerCase.push_back(CaseSymRecord{
+      Case.Name, totalConfigsExplored() - ConfigsBefore,
+      After.Lookups - Before.Lookups, After.Hits - Before.Hits,
+      After.Changed - Before.Changed});
+  return Report;
 }
 
 /// Prints the canonical-state-layer statistics: per-arena interning
@@ -88,6 +127,37 @@ void printStats() {
   std::printf("peak visited set: %llu configs, %llu bytes\n",
               static_cast<unsigned long long>(peakVisitedNodes()),
               static_cast<unsigned long long>(peakVisitedBytes()));
+
+  SymmetryStats Sym = symmetryStats();
+  if (Sym.Lookups > 0) {
+    std::printf("orbit cache: %llu lookups, %llu hits (%.1f%%), %llu "
+                "canonicalized\n",
+                static_cast<unsigned long long>(Sym.Lookups),
+                static_cast<unsigned long long>(Sym.Hits),
+                100.0 * static_cast<double>(Sym.Hits) /
+                    static_cast<double>(Sym.Lookups),
+                static_cast<unsigned long long>(Sym.Changed));
+    if (!SymPerCase.empty()) {
+      TextTable Orbits;
+      Orbits.setHeader({"structure", "configs", "lookups", "canonicalized",
+                        "est. orbit size"});
+      for (unsigned I = 1; I <= 4; ++I)
+        Orbits.setRightAligned(I);
+      for (const CaseSymRecord &R : SymPerCase) {
+        // With orbits of mean size k, k-1 of every k probed raw configs
+        // rewrite to the representative, so lookups/(lookups-changed)
+        // estimates k. Exact only in check mode (full vs canonical).
+        double Est = R.Lookups > R.Changed
+                         ? static_cast<double>(R.Lookups) /
+                               static_cast<double>(R.Lookups - R.Changed)
+                         : 1.0;
+        Orbits.addRow({R.Name, std::to_string(R.Configs),
+                       std::to_string(R.Lookups), std::to_string(R.Changed),
+                       formatString("%.2f", Est)});
+      }
+      std::printf("per-structure orbits:\n%s", Orbits.render().c_str());
+    }
+  }
 
   dist::FleetStats Fleet = dist::fleetTotals();
   if (Fleet.Fleets == 0)
@@ -156,7 +226,7 @@ int runVerify(const char *Name) {
     if (!All && Case.Name != Name)
       continue;
     Found = true;
-    Status |= reportSession(Case.MakeSession().run());
+    Status |= reportSession(runCase(Case));
     std::printf("\n");
   }
   if (!Found) {
@@ -175,7 +245,7 @@ int runTable1() {
     Table.setRightAligned(I);
   bool AllPassed = true;
   for (const CaseEntry &Case : allCaseStudies()) {
-    SessionReport Report = Case.MakeSession().run();
+    SessionReport Report = runCase(Case);
     AllPassed &= Report.AllPassed;
     auto Cell = [&](ObCategory C) -> std::string {
       uint64_t N = Report.PerCategory[size_t(C)].Obligations;
@@ -202,6 +272,8 @@ int main(int Argc, char **Argv) {
   std::vector<char *> Args;
   bool Stats = false;
   bool PorCheckRequested = false;
+  bool SymCheckRequested = false;
+  bool SymRequested = false;
   dist::installDistributedEngine();
   auto ParseShards = [](const char *Text) -> bool {
     char *End = nullptr;
@@ -219,6 +291,21 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Mode, "check") == 0) {
       setDefaultPorMode(PorMode::Check);
       PorCheckRequested = true;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  auto ParseSym = [&](const char *Mode) -> bool {
+    if (std::strcmp(Mode, "off") == 0) {
+      setDefaultSymmetryMode(SymMode::Off);
+    } else if (std::strcmp(Mode, "on") == 0) {
+      setDefaultSymmetryMode(SymMode::On);
+      SymRequested = true;
+    } else if (std::strcmp(Mode, "check") == 0) {
+      setDefaultSymmetryMode(SymMode::Check);
+      SymRequested = true;
+      SymCheckRequested = true;
     } else {
       return false;
     }
@@ -245,6 +332,16 @@ int main(int Argc, char **Argv) {
         return usage();
       continue;
     }
+    if (std::strcmp(Argv[I], "--symmetry") == 0) {
+      if (I + 1 >= Argc || !ParseSym(Argv[++I]))
+        return usage();
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--symmetry=", 11) == 0) {
+      if (!ParseSym(Argv[I] + 11))
+        return usage();
+      continue;
+    }
     if (std::strcmp(Argv[I], "--shards") == 0) {
       if (I + 1 >= Argc || !ParseShards(Argv[++I]))
         return usage();
@@ -261,6 +358,12 @@ int main(int Argc, char **Argv) {
     }
     Args.push_back(Argv[I]);
   }
+  // FCSL_SYMMETRY may select a mode without the flag; resolve once so the
+  // cross-check summary and the per-structure tables follow either spelling.
+  SymMode ResolvedSym = defaultSymmetryMode();
+  SymCheckRequested |= ResolvedSym == SymMode::Check;
+  SymRequested |= ResolvedSym != SymMode::Off;
+  CollectSymPerCase = Stats && SymRequested;
   Argc = static_cast<int>(Args.size()) + 1;
   if (Argc < 2)
     return usage();
@@ -293,6 +396,16 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Totals.Full),
                   static_cast<unsigned long long>(Totals.Reduced),
                   static_cast<double>(Totals.Reduced) /
+                      static_cast<double>(Totals.Full));
+  }
+  if (SymCheckRequested) {
+    SymCheckTotals Totals = symCheckTotals();
+    if (Totals.Full > 0)
+      std::printf("\nsymmetry cross-check: %llu full configs vs %llu "
+                  "canonical (ratio %.3f), verdicts identical\n",
+                  static_cast<unsigned long long>(Totals.Full),
+                  static_cast<unsigned long long>(Totals.Canonical),
+                  static_cast<double>(Totals.Canonical) /
                       static_cast<double>(Totals.Full));
   }
   if (Stats)
