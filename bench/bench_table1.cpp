@@ -11,12 +11,13 @@
 // program-specific concurroid/actions/stability lemmas needed), and the
 // relative cost ordering of the programs.
 //
-// Each suite is discharged four times — serially (Jobs=1), with parallel
-// obligation discharge (Jobs=4), serially with partial-order reduction,
-// and serially with every exploration sharded across two worker processes
+// Each suite is discharged six times — serially (Jobs=1), with parallel
+// obligation discharge (Jobs=4), serially with static and with dynamic
+// partial-order reduction, serially under symmetry reduction, and
+// serially with every exploration sharded across two worker processes
 // (src/dist/) — and all timings land in BENCH_table1.json so the speedup
 // from the multi-worker engine, the state-space savings from the
-// reduction, and the frontier-exchange cost of sharding are tracked
+// reductions, and the frontier-exchange cost of sharding are tracked
 // across PRs.
 //
 //===----------------------------------------------------------------------===//
@@ -39,11 +40,13 @@ struct ProgramRow {
   uint64_t Checks = 0;
   double SerialMs = 0.0;   ///< Jobs=1 discharge (the "before").
   double ParallelMs = 0.0; ///< Jobs=4 discharge (the "after").
-  double PorMs = 0.0;      ///< Jobs=1 discharge under reduction.
+  double PorMs = 0.0;      ///< Jobs=1 discharge under static reduction.
+  double DynPorMs = 0.0;   ///< Jobs=1 discharge under dynamic reduction.
   double DistMs = 0.0;     ///< Jobs=1 discharge sharded across 2 workers.
   double SymMs = 0.0;      ///< Jobs=1 discharge under symmetry reduction.
   uint64_t ConfigsFull = 0;    ///< configs explored by the serial run.
-  uint64_t ConfigsReduced = 0; ///< configs explored under reduction.
+  uint64_t ConfigsReduced = 0; ///< configs explored under static POR.
+  uint64_t ConfigsDynamic = 0; ///< configs explored under dynamic POR.
   uint64_t ConfigsCanonical = 0; ///< configs explored under symmetry.
   uint64_t OrbitHits = 0;      ///< orbit-cache hits during the symmetry run.
   uint64_t DistExchanged = 0;  ///< frontier configs exchanged when sharded.
@@ -62,8 +65,8 @@ int main() {
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
                    "Total", "Checks", "Jobs=1", "Jobs=4", "POR",
-                   "Symm", "Shards=2"});
-  for (unsigned I = 1; I <= 12; ++I)
+                   "DynPOR", "Symm", "Shards=2"});
+  for (unsigned I = 1; I <= 13; ++I)
     Table.setRightAligned(I);
 
   bool AllPassed = true;
@@ -72,10 +75,12 @@ int main() {
   double SerialTotalMs = 0;
   double ParallelTotalMs = 0;
   double PorTotalMs = 0;
+  double DynPorTotalMs = 0;
   double DistTotalMs = 0;
   double SymTotalMs = 0;
   uint64_t ConfigsFullTotal = 0;
   uint64_t ConfigsReducedTotal = 0;
+  uint64_t ConfigsDynamicTotal = 0;
   uint64_t ConfigsCanonicalTotal = 0;
   const unsigned ParJobs = 4;
   const unsigned DistShards = 2;
@@ -110,6 +115,18 @@ int main() {
                  Por.totalObligations() == Report.totalObligations();
     PorTotalMs += Por.TotalMs;
     ConfigsReducedTotal += ConfigsReduced;
+
+    // Dynamic reduction: ample sets licensed by observed footprints and
+    // the env-future closure (DESIGN.md §12). Same verdicts again.
+    setDefaultPorMode(PorMode::Dynamic);
+    uint64_t ConfigsDyn0 = totalConfigsExplored();
+    SessionReport DynPor = Case.MakeSession().run(/*Jobs=*/1);
+    uint64_t ConfigsDynamic = totalConfigsExplored() - ConfigsDyn0;
+    setDefaultPorMode(PorMode::Off);
+    AllPassed &= DynPor.AllPassed == Report.AllPassed &&
+                 DynPor.totalObligations() == Report.totalObligations();
+    DynPorTotalMs += DynPor.TotalMs;
+    ConfigsDynamicTotal += ConfigsDynamic;
 
     // Serial discharge under symmetry reduction: identical verdicts over
     // the orbit-canonicalized state space (DESIGN.md §11).
@@ -150,12 +167,14 @@ int main() {
                   formatString("%.0f ms", Report.TotalMs),
                   formatString("%.0f ms", Par.TotalMs),
                   formatString("%.0f ms", Por.TotalMs),
+                  formatString("%.0f ms", DynPor.TotalMs),
                   formatString("%.0f ms", Sym.TotalMs),
                   formatString("%.0f ms", Sh.TotalMs)});
     Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
                               Report.totalChecks(), Report.TotalMs,
-                              Par.TotalMs, Por.TotalMs, Sh.TotalMs,
-                              Sym.TotalMs, ConfigsFull, ConfigsReduced,
+                              Par.TotalMs, Por.TotalMs, DynPor.TotalMs,
+                              Sh.TotalMs, Sym.TotalMs, ConfigsFull,
+                              ConfigsReduced, ConfigsDynamic,
                               ConfigsCanonical,
                               Orbit1.Hits - Orbit0.Hits,
                               Fleet1.Configs - Fleet0.Configs,
@@ -164,18 +183,23 @@ int main() {
 
   std::printf("%s\n", Table.render().c_str());
   std::printf("total verification time: %.1f ms serial, %.1f ms at "
-              "%u jobs, %.1f ms serial with partial-order reduction, "
-              "%.1f ms under symmetry reduction, "
+              "%u jobs, %.1f ms serial with partial-order reduction "
+              "(%.1f ms dynamic), %.1f ms under symmetry reduction, "
               "%.1f ms sharded over %u worker processes "
               "(paper: 27m31s of Coq compilation on a 2.7 GHz Core i7)\n",
               SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs,
-              SymTotalMs, DistTotalMs, DistShards);
+              DynPorTotalMs, SymTotalMs, DistTotalMs, DistShards);
   std::printf("state space: %llu configs full, %llu reduced (ratio "
-              "%.3f), %llu canonical (orbit ratio %.3f)\n\n",
+              "%.3f), %llu dynamic (ratio %.3f), %llu canonical (orbit "
+              "ratio %.3f)\n\n",
               static_cast<unsigned long long>(ConfigsFullTotal),
               static_cast<unsigned long long>(ConfigsReducedTotal),
               ConfigsFullTotal
                   ? double(ConfigsReducedTotal) / double(ConfigsFullTotal)
+                  : 1.0,
+              static_cast<unsigned long long>(ConfigsDynamicTotal),
+              ConfigsFullTotal
+                  ? double(ConfigsDynamicTotal) / double(ConfigsFullTotal)
                   : 1.0,
               static_cast<unsigned long long>(ConfigsCanonicalTotal),
               ConfigsFullTotal
@@ -204,6 +228,8 @@ int main() {
                    "\"parallel_ms\": %.2f, \"speedup\": %.3f, "
                    "\"por_ms\": %.2f, \"configs_full\": %llu, "
                    "\"configs_reduced\": %llu, \"por_ratio\": %.3f, "
+                   "\"dynpor_ms\": %.2f, \"configs_dynamic\": %llu, "
+                   "\"dynpor_ratio\": %.3f, "
                    "\"symmetry_ms\": %.2f, \"configs_canonical\": %llu, "
                    "\"orbit_ratio\": %.3f, \"orbit_cache_hits\": %llu, "
                    "\"dist_ms\": %.2f, \"dist_exchanged_configs\": %llu, "
@@ -216,6 +242,11 @@ int main() {
                    static_cast<unsigned long long>(R.ConfigsReduced),
                    R.ConfigsFull
                        ? double(R.ConfigsReduced) / double(R.ConfigsFull)
+                       : 1.0,
+                   R.DynPorMs,
+                   static_cast<unsigned long long>(R.ConfigsDynamic),
+                   R.ConfigsFull
+                       ? double(R.ConfigsDynamic) / double(R.ConfigsFull)
                        : 1.0,
                    R.SymMs,
                    static_cast<unsigned long long>(R.ConfigsCanonical),
@@ -261,17 +292,24 @@ int main() {
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
                  "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "
+                 "\"dynpor_ms\": %.2f, "
                  "\"symmetry_ms\": %.2f, \"dist_ms\": %.2f, "
                  "\"configs_full\": %llu, \"configs_reduced\": %llu, "
-                 "\"por_ratio\": %.3f}\n}\n",
+                 "\"por_ratio\": %.3f, \"configs_dynamic\": %llu, "
+                 "\"dynpor_ratio\": %.3f}\n}\n",
                  SerialTotalMs, ParallelTotalMs,
                  ParallelTotalMs > 0 ? SerialTotalMs / ParallelTotalMs
                                      : 1.0,
-                 PorTotalMs, SymTotalMs, DistTotalMs,
+                 PorTotalMs, DynPorTotalMs, SymTotalMs, DistTotalMs,
                  static_cast<unsigned long long>(ConfigsFullTotal),
                  static_cast<unsigned long long>(ConfigsReducedTotal),
                  ConfigsFullTotal
                      ? double(ConfigsReducedTotal) /
+                           double(ConfigsFullTotal)
+                     : 1.0,
+                 static_cast<unsigned long long>(ConfigsDynamicTotal),
+                 ConfigsFullTotal
+                     ? double(ConfigsDynamicTotal) /
                            double(ConfigsFullTotal)
                      : 1.0);
     std::fclose(F);

@@ -18,6 +18,10 @@
 #   4. POR cross-check: fcsl-verify --por=check runs every Table-1
 #      session twice (full and reduced exploration) and fails on any
 #      divergence in verdicts or terminal states, at 1 and 4 jobs.
+#      The dynamic mode (--por=check-dynamic: ample sets licensed by
+#      observed footprints and the env-future closure) gets the same
+#      oracle treatment, alone, composed with symmetry reduction, and
+#      composed with sharding.
 #   5. Symmetry: fcsl-verify --symmetry=on must report the same verdicts
 #      and obligation counts as --symmetry=off (per-config check counts
 #      shrink — that is the reduction), and --symmetry=check — the
@@ -64,7 +68,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DFCSL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target threadpool_test parallel_engine_test runtime_test intern_test \
-    --target por_independence_test symmetry_test
+    --target por_independence_test por_dynamic_test symmetry_test
 
   echo "== tsan: race-checking thread pool, parallel engine, runtime, arena =="
   # TSan aborts the process on the first data race; a clean exit is the
@@ -74,6 +78,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/runtime_test
   ./build-tsan/tests/intern_test
   ./build-tsan/tests/por_independence_test
+  ./build-tsan/tests/por_dynamic_test
   ./build-tsan/tests/symmetry_test
 fi
 
@@ -98,6 +103,16 @@ if [[ "$RUN_POR" == 1 ]]; then
   for Jobs in 1 4; do
     ./build/tools/fcsl-verify --jobs "$Jobs" --por=check verify all
   done
+
+  echo "== por: dynamic (observed-footprint) cross-check =="
+  # check-dynamic runs full vs dynamically-reduced exploration and fails
+  # on any divergence; it must also hold composed with symmetry reduction
+  # and with the multi-process sharded engine.
+  for Jobs in 1 4; do
+    ./build/tools/fcsl-verify --jobs "$Jobs" --por=check-dynamic verify all
+  done
+  ./build/tools/fcsl-verify --por=check-dynamic --symmetry=on verify all
+  ./build/tools/fcsl-verify --por=check-dynamic --shards=2 verify all
 fi
 
 if [[ "$RUN_SYMMETRY" == 1 ]]; then

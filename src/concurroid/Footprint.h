@@ -45,11 +45,17 @@
 /// (domain changes count as whole-cell writes). A field-masked write
 /// promises the outcome leaves the cell's other fields at their pre-state
 /// values. A dynamic footprint (computed from the pre-view and arguments)
-/// must describe the step in *every* state reachable from the current one
-/// by steps independent of it — reads from components the footprint itself
-/// declares are fine, since independence keeps them unchanged. When in
-/// doubt, return `Footprint()` (unknown): unknown footprints are dependent
-/// on everything, which only costs reduction, never soundness.
+/// must cover every instance enabled *at that view*, and the step's
+/// enabledness, safety, and outcomes must be functions of the components it
+/// reads — then the footprint remains an honest description in any state
+/// that differs only on components outside it, which is what lets the
+/// engine commute the step across independent ones. It need *not*
+/// anticipate instances that only become enabled later through unread
+/// components (a helper transition gaining a new request, say): wherever
+/// the engine must remember a step across many subsequent states — sleep
+/// entries — it records the static, all-instance footprint instead. When
+/// in doubt, return `Footprint()` (unknown): unknown footprints are
+/// dependent on everything, which only costs reduction, never soundness.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -67,10 +67,23 @@ PorMode envPorMode() {
     return PorMode::Off;
   if (std::strcmp(E, "on") == 0 || std::strcmp(E, "1") == 0)
     return PorMode::On;
+  if (std::strcmp(E, "dynamic") == 0)
+    return PorMode::Dynamic;
   if (std::strcmp(E, "check") == 0)
     return PorMode::Check;
+  if (std::strcmp(E, "check-dynamic") == 0)
+    return PorMode::CheckDynamic;
   return PorMode::Off;
 }
+
+// Partial-order-reduction telemetry, process-wide across every reduced
+// run (see PorStats in Engine.h for the meaning of each counter).
+std::atomic<uint64_t> PorRacesCounter{0};
+std::atomic<uint64_t> PorBacktracksCounter{0};
+std::atomic<uint64_t> PorWakeupReplaysCounter{0};
+std::atomic<uint64_t> PorWakeupPeakCounter{0};
+std::atomic<uint64_t> PorSleepHitsCounter{0};
+std::atomic<uint64_t> PorFullExpansionsCounter{0};
 
 std::atomic<uint64_t> SymCheckFullCounter{0};
 std::atomic<uint64_t> SymCheckCanonicalCounter{0};
@@ -131,6 +144,15 @@ PorMode fcsl::defaultPorMode() {
 PorCheckTotals fcsl::porCheckTotals() {
   return {CheckFullCounter.load(std::memory_order_relaxed),
           CheckReducedCounter.load(std::memory_order_relaxed)};
+}
+
+PorStats fcsl::porStats() {
+  return {PorRacesCounter.load(std::memory_order_relaxed),
+          PorBacktracksCounter.load(std::memory_order_relaxed),
+          PorWakeupReplaysCounter.load(std::memory_order_relaxed),
+          PorWakeupPeakCounter.load(std::memory_order_relaxed),
+          PorSleepHitsCounter.load(std::memory_order_relaxed),
+          PorFullExpansionsCounter.load(std::memory_order_relaxed)};
 }
 
 void fcsl::setDefaultSymmetryMode(SymMode M) {
@@ -296,13 +318,17 @@ bool sleepLess(const SleepEntry &A, const SleepEntry &B) {
   return A.EnvIdx < B.EnvIdx;
 }
 
-/// A whole configuration: instrumented state plus all thread stacks plus —
-/// under partial-order reduction — the sleep set. The sleep set is part of
-/// configuration identity so the reachable node set (and with it every
-/// counter) stays schedule-independent across worker counts; without POR
-/// it is always empty and changes nothing. The deep hash is computed once
-/// (`rehash`) when the configuration is frozen for insertion into the
-/// visited set, so probes and table rehashes never recompute it.
+/// A whole configuration: instrumented state plus all thread stacks. The
+/// sleep set and the trailing-env close mask ride along as *payload*, not
+/// identity: they are merged into the visited node on every revisit (the
+/// sleep sets intersect, the masks union — see insertLocal), so the same
+/// raw configuration is never split into several visited entries just
+/// because different paths put different steps to sleep. The merge is
+/// monotone over a finite lattice, so the fixpoint — and with it the
+/// reachable node set and every counter — stays schedule-independent
+/// across worker counts. The deep hash is computed once (`rehash`) when
+/// the configuration is frozen for insertion into the visited set, so
+/// probes and table rehashes never recompute it.
 struct Config {
   GlobalState GS;
   std::map<ThreadId, ThreadCtx> Threads;
@@ -321,8 +347,7 @@ struct Config {
   size_t Hash = 0; ///< cached; valid after rehash().
 
   friend bool operator==(const Config &A, const Config &B) {
-    return A.EnvCloseMask == B.EnvCloseMask && A.GS == B.GS &&
-           A.Sleep == B.Sleep && A.Threads == B.Threads;
+    return A.GS == B.GS && A.Threads == B.Threads;
   }
 
   void rehash() {
@@ -333,11 +358,23 @@ struct Config {
       hashValue(Seed, Entry.first);
       Entry.second.hashInto(Seed);
     }
+    Hash = Seed;
+  }
+
+  /// Hash of the identity *plus* the wake payload, for caches (the orbit
+  /// cache) whose entries are only reusable when the payload matches too.
+  size_t wakeHash() const {
+    size_t Seed = Hash;
     hashValue(Seed, Sleep.size());
     for (const SleepEntry &E : Sleep)
       E.hashInto(Seed);
     hashValue(Seed, EnvCloseMask);
-    Hash = Seed;
+    return Seed;
+  }
+
+  /// Identity equality extended with the wake payload (see wakeHash).
+  friend bool sameWithWake(const Config &A, const Config &B) {
+    return A.EnvCloseMask == B.EnvCloseMask && A == B && A.Sleep == B.Sleep;
   }
 
   /// Approximate retained bytes of this configuration in the visited set
@@ -361,10 +398,23 @@ struct Config {
 /// human-readable scheduling step. Nodes live in node-based hash sets, so
 /// their addresses are stable and parent chains stay valid across
 /// insertions from any worker.
+///
+/// Under partial-order reduction the node also carries mutable *wake
+/// state*, guarded by the owning visited-set stripe's mutex: the merged
+/// sleep set (intersection over every arrival's payload), the merged
+/// trailing-env close mask (union), the set of candidate steps already
+/// executed here (so step counters count once per step across wakeup
+/// replays), and the queueing flags that coalesce replays. Identity
+/// (NodeHash/NodeEq) deliberately excludes all of it.
 struct Node {
   Config C;
   const Node *Parent = nullptr;
   std::string Step; ///< empty for the initial configuration.
+  mutable std::vector<SleepEntry> Sleep{}; ///< merged; sorted by sleepLess.
+  mutable uint32_t CloseMask = 0;        ///< merged trailing-env licenses.
+  mutable std::vector<uint64_t> Executed{}; ///< sorted candidate keys.
+  mutable bool InQueue = false;      ///< queued for (re-)expansion.
+  mutable bool ExpandedOnce = false; ///< has consumed its config ticket.
 };
 
 struct NodeHash {
@@ -392,11 +442,13 @@ public:
   void run(const ProgRef &Root, const GlobalState &Initial,
            const VarEnv &InitialEnv) {
     assert(Opts.Por != PorMode::Default && Opts.Por != PorMode::Check &&
+           Opts.Por != PorMode::CheckDynamic &&
            "explore() resolves the POR mode before running");
     assert(Opts.Symmetry != SymMode::Default &&
            Opts.Symmetry != SymMode::Check &&
            "explore() resolves the symmetry mode before running");
-    PorOn = Opts.Por == PorMode::On;
+    PorOn = Opts.Por == PorMode::On || Opts.Por == PorMode::Dynamic;
+    DynOn = Opts.Por == PorMode::Dynamic;
     SymOn = Opts.Symmetry == SymMode::On;
 
     Config C0;
@@ -615,6 +667,14 @@ private:
     uint64_t EnvSteps = 0;
     uint64_t DedupHits = 0;
     std::set<Terminal> Terminals;
+  };
+
+  /// A consistent copy of a node's wake state, taken under the stripe
+  /// mutex when the node is popped for expansion (see workerLoop).
+  struct WakeSnapshot {
+    std::vector<SleepEntry> Sleep;
+    uint32_t CloseMask = 0;
+    bool First = false; ///< this is the node's first expansion.
   };
 
   /// Delivers \p Value to thread \p T's continuation, unwinding HideExit
@@ -1097,17 +1157,21 @@ private:
   /// Canonicalizes \p C in place through the orbit cache. Requires
   /// C.rehash() to have been called; re-hashes when the config changes.
   /// The cache stores verified (raw, canonical) pairs keyed by the raw
-  /// hash — a hash collision falls back to recomputing, never to a wrong
-  /// representative.
+  /// *payload-extended* hash — config identity ignores the sleep/mask
+  /// payload, but the canonical form's payload is a function of the raw
+  /// payload (swapSubtrees renames sleep entries), so a cached mapping is
+  /// only reusable when the payload matches too. A hash collision falls
+  /// back to recomputing, never to a wrong representative.
   void canonicalize(Config &C) {
     if (!SymOn)
       return;
     OrbitLookupsCounter.fetch_add(1, std::memory_order_relaxed);
-    OrbitStripe &S = Orbit[C.Hash % OrbitStripeCount];
+    size_t Key = C.wakeHash();
+    OrbitStripe &S = Orbit[Key % OrbitStripeCount];
     {
       std::lock_guard<std::mutex> Lock(S.M);
-      auto It = S.Map.find(C.Hash);
-      if (It != S.Map.end() && It->second.Raw == C) {
+      auto It = S.Map.find(Key);
+      if (It != S.Map.end() && sameWithWake(It->second.Raw, C)) {
         OrbitHitsCounter.fetch_add(1, std::memory_order_relaxed);
         if (It->second.Canon) {
           C = *It->second.Canon;
@@ -1125,7 +1189,7 @@ private:
     std::lock_guard<std::mutex> Lock(S.M);
     if (S.Map.size() >= OrbitCapPerStripe)
       S.Map.clear();
-    S.Map[Raw.Hash] = OrbitEntry{
+    S.Map[Key] = OrbitEntry{
         std::move(Raw),
         Changed ? std::optional<Config>(C) : std::nullopt};
   }
@@ -1144,15 +1208,22 @@ private:
   /// \p W's frontier. Under multi-process sharding, a config owned by a
   /// different shard is shipped there instead — the owner performs the
   /// single insert attempt, preserving counter parity with the in-process
-  /// engine. Requires C.rehash() to have been called.
-  void enqueue(Config C, const Node *Parent, std::string Step, Worker &W) {
+  /// engine. \p Counts is false when the generating step is a wakeup
+  /// *re-execution* (see expandPor): the edge was already produced and
+  /// counted once, so it must not count a second dedup hit — that keeps
+  /// DedupHits a function of the first-execution edge set, which is
+  /// schedule-independent. Requires C.rehash() to have been called.
+  void enqueue(Config C, const Node *Parent, std::string Step, Worker &W,
+               bool Counts = true) {
     // Canonicalize BEFORE dedup and shard routing: the canonical identity
     // prefix is what the codec encodes, so `fingerprint % N` ownership
     // dedups whole orbits across processes.
     canonicalize(C);
     if (DistN > 1) {
       Encoder E;
-      size_t Prefix = encodeFrontierConfigPrefix(E, toFrontier(C));
+      FrontierConfig FC = toFrontier(C);
+      FC.Counts = Counts;
+      size_t Prefix = encodeFrontierConfigPrefix(E, FC);
       unsigned Owner = ownerOf(E, Prefix);
       if (Owner != DistId) {
         SentConfigs.fetch_add(1, std::memory_order_relaxed);
@@ -1161,26 +1232,82 @@ private:
         return;
       }
     }
-    insertLocal(std::move(C), Parent, std::move(Step), W);
+    insertLocal(std::move(C), Parent, std::move(Step), W, Counts);
   }
 
-  void insertLocal(Config C, const Node *Parent, std::string Step,
-                   Worker &W) {
+  void insertLocal(Config C, const Node *Parent, std::string Step, Worker &W,
+                   bool Counts = true) {
+    // The incoming wake payload, preserved across the move below: on a
+    // revisit it is merged into the visited node — the sleep sets
+    // intersect, the close masks union. The merge only moves *down* a
+    // finite lattice, so chaotic iteration over any worker schedule
+    // reaches the same least fixpoint; a merge that changed the node's
+    // wake state re-queues it for re-expansion (a "wakeup": steps a
+    // previous visit suppressed are now permitted here).
+    std::vector<SleepEntry> InSleep = C.Sleep;
+    uint32_t InMask = C.EnvCloseMask;
     Shard &S = Shards[C.Hash % NumShards];
-    const Node *Inserted = nullptr;
+    const Node *Target = nullptr;
+    bool Replay = false;
     {
       std::lock_guard<std::mutex> Lock(S.M);
       auto [It, IsNew] =
           S.Set.insert(Node{std::move(C), Parent, std::move(Step)});
-      if (!IsNew) {
-        ++W.DedupHits;
-        return;
+      const Node &N = *It;
+      if (IsNew) {
+        N.Sleep = std::move(InSleep);
+        N.CloseMask = InMask;
+        N.InQueue = true;
+        Target = &N;
+      } else {
+        if (Counts)
+          ++W.DedupHits;
+        if (!PorOn)
+          return;
+        uint64_t Woken = 0;
+        if (!N.Sleep.empty()) {
+          std::vector<SleepEntry> Merged;
+          std::set_intersection(N.Sleep.begin(), N.Sleep.end(),
+                                InSleep.begin(), InSleep.end(),
+                                std::back_inserter(Merged), sleepLess);
+          if (Merged.size() != N.Sleep.size()) {
+            Woken += N.Sleep.size() - Merged.size();
+            N.Sleep = std::move(Merged);
+          }
+        }
+        uint32_t Mask = N.CloseMask | InMask;
+        if (Mask != N.CloseMask) {
+          Woken += static_cast<uint64_t>(
+              __builtin_popcount(Mask ^ N.CloseMask));
+          N.CloseMask = Mask;
+        }
+        if (Woken == 0 || N.InQueue)
+          return;
+        N.InQueue = true;
+        Target = &N;
+        Replay = true;
+        atomicMax(PorWakeupPeakCounter, Woken);
       }
-      Inserted = &*It;
     }
+    if (Replay)
+      PorWakeupReplaysCounter.fetch_add(1, std::memory_order_relaxed);
     InFlight.fetch_add(1);
     std::lock_guard<std::mutex> Lock(W.M);
-    W.Queue.push_back(Inserted);
+    W.Queue.push_back(Target);
+  }
+
+  /// Marks candidate \p Key of \p N as executed; returns true exactly on
+  /// the first execution, across wakeup replays and concurrent expansions
+  /// of the same node. Callers count steps and dedup stats only then, so
+  /// the counters converge to functions of the wake-state fixpoint.
+  bool markExecuted(const Node &N, uint64_t Key) {
+    Shard &S = Shards[N.C.Hash % NumShards];
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = std::lower_bound(N.Executed.begin(), N.Executed.end(), Key);
+    if (It != N.Executed.end() && *It == Key)
+      return false;
+    N.Executed.insert(It, Key);
+    return true;
   }
 
   const Node *popLocal(Worker &W) {
@@ -1220,16 +1347,33 @@ private:
         std::this_thread::sleep_for(std::chrono::microseconds(20));
         continue;
       }
-      uint64_t Ticket = Expanded.fetch_add(1, std::memory_order_relaxed);
-      if (Ticket >= Opts.MaxConfigs) {
-        // The bound was hit with work still pending: exploration is
-        // incomplete. Undo the overshoot so ConfigsExplored stays exact.
-        Expanded.fetch_sub(1, std::memory_order_relaxed);
-        ExhaustedFlag.store(true);
-        Abort.store(true, std::memory_order_release);
-        return;
+      // Snapshot the node's wake state and clear its queue flag in one
+      // critical section: any merge that lands after the snapshot finds
+      // InQueue == false and re-queues the node, so no weakening is ever
+      // lost. Only a node's *first* expansion consumes a config ticket —
+      // wakeup replays revisit a config already counted.
+      WakeSnapshot Snap;
+      {
+        Shard &S = Shards[N->C.Hash % NumShards];
+        std::lock_guard<std::mutex> Lock(S.M);
+        Snap.Sleep = N->Sleep;
+        Snap.CloseMask = N->CloseMask;
+        Snap.First = !N->ExpandedOnce;
+        N->ExpandedOnce = true;
+        N->InQueue = false;
       }
-      expand(*N, W);
+      if (Snap.First) {
+        uint64_t Ticket = Expanded.fetch_add(1, std::memory_order_relaxed);
+        if (Ticket >= Opts.MaxConfigs) {
+          // The bound was hit with work still pending: exploration is
+          // incomplete. Undo the overshoot so ConfigsExplored stays exact.
+          Expanded.fetch_sub(1, std::memory_order_relaxed);
+          ExhaustedFlag.store(true);
+          Abort.store(true, std::memory_order_release);
+          return;
+        }
+      }
+      expand(*N, Snap, W);
       InFlight.fetch_sub(1, std::memory_order_release);
     }
   }
@@ -1282,9 +1426,11 @@ private:
         // idempotent no-op kept as a safety net for mixed-version peers.
         canonicalize(C);
         // Remote configs carry no parent chain: a failure found beyond
-        // this point reports the local schedule suffix only.
+        // this point reports the local schedule suffix only. The sender's
+        // Counts flag rides along so dedup accounting keeps parity with
+        // the in-process engine (see enqueue).
         insertLocal(std::move(C), nullptr, "",
-                    *Workers[NextWorker++ % Workers.size()]);
+                    *Workers[NextWorker++ % Workers.size()], FC.Counts);
       }
 
       if (Cmd != ShardCommand::Continue) {
@@ -1407,6 +1553,105 @@ private:
     return true;
   }
 
+  /// The dynamic counterpart of the static universe (DESIGN.md §12): the
+  /// deduplicated *observed* footprints of every environment transition
+  /// instance enabled anywhere in the env-only future of a global state.
+  /// Environment transitions read and write only the instrumented state
+  /// (never thread stacks), so the closure is a pure function of the
+  /// GlobalState — which is what makes it memoizable. `Ok` is false when
+  /// the closure left the state cap or met a transition with no dynamic
+  /// footprint; both mean "never take a dynamic ample here".
+  struct EnvClosure {
+    bool Ok = false;
+    std::vector<Footprint> Fps;
+  };
+
+  /// Computes the env-only closure of \p GS0: a BFS over applyEnv
+  /// successors (coherence-filtered, like the explorer itself) that
+  /// collects each enabled transition's dynamic footprint at each
+  /// reachable state. Instances that merely repeat an already-collected
+  /// footprint are deduplicated — the independence check downstream only
+  /// cares about the footprint set.
+  EnvClosure computeEnvClosure(const GlobalState &GS0) const {
+    EnvClosure R;
+    if (!Opts.EnvInterference || !Opts.Ambient) {
+      R.Ok = true;
+      return R;
+    }
+    std::unordered_map<size_t, std::vector<GlobalState>> Visited;
+    auto Visit = [&](const GlobalState &G) {
+      size_t H = 0;
+      G.hashInto(H);
+      std::vector<GlobalState> &Bucket = Visited[H];
+      for (const GlobalState &X : Bucket)
+        if (X == G)
+          return false;
+      Bucket.push_back(G);
+      return true;
+    };
+    std::vector<GlobalState> Queue{GS0};
+    Visit(GS0);
+    const std::vector<Transition> &Ts = Opts.Ambient->transitions();
+    size_t States = 0;
+    while (!Queue.empty()) {
+      if (++States > ClosureStateCap)
+        return R; // Ok stays false: closure too large to certify.
+      GlobalState G = std::move(Queue.back());
+      Queue.pop_back();
+      View EnvView = G.viewForEnv();
+      for (const Transition &T : Ts) {
+        if (!T.isEnvEnabled() || T.name() == "idle")
+          continue;
+        std::vector<View> Posts = T.successors(EnvView);
+        if (Posts.empty())
+          continue;
+        Footprint F = T.footprint(EnvView);
+        if (!F.known())
+          return R; // An undescribed step in the future: never ample.
+        bool Dup = false;
+        for (const Footprint &X : R.Fps)
+          if (X == F) {
+            Dup = true;
+            break;
+          }
+        if (!Dup)
+          R.Fps.push_back(std::move(F));
+        for (const View &Post : Posts) {
+          if (!Opts.Ambient->coherent(Post))
+            continue;
+          GlobalState NG = G;
+          NG.applyEnv(EnvView, Post);
+          if (Visit(NG))
+            Queue.push_back(std::move(NG));
+        }
+      }
+    }
+    R.Ok = true;
+    return R;
+  }
+
+  /// Memoized computeEnvClosure: thread stacks vary far more than the
+  /// instrumented state, so the same GlobalState recurs across many
+  /// configurations. Striped and capped like the orbit cache; a hash
+  /// collision recomputes, never returns a wrong closure.
+  EnvClosure envClosureFor(const GlobalState &GS) {
+    size_t H = 0;
+    GS.hashInto(H);
+    ClosureStripe &S = Closure[H % ClosureStripeCount];
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(H);
+      if (It != S.Map.end() && It->second.first == GS)
+        return It->second.second;
+    }
+    EnvClosure R = computeEnvClosure(GS);
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Map.size() >= ClosureCapPerStripe)
+      S.Map.clear();
+    S.Map[H] = {GS, R};
+    return R;
+  }
+
   /// One successor built by a thread's action step, before enqueueing.
   struct BuiltSucc {
     Config Next;
@@ -1478,11 +1723,15 @@ private:
   }
 
   /// Reduced successor generation: ample singletons layered with sleep
-  /// sets (DESIGN.md §9). Candidates are gathered in canonical order —
-  /// runnable threads ascending by id, then env transitions in
-  /// declaration order — so the sleep sets attached to successors, and
-  /// with them the reachable node set, are functions of the node alone.
-  void expandPor(const Node &N, Worker &W) {
+  /// sets (DESIGN.md §9, §12). Candidates are gathered in canonical
+  /// order — runnable threads ascending by id, then env transitions in
+  /// declaration order. The ample choice is a function of the
+  /// configuration alone (never of the sleep set), and step counters are
+  /// charged once per (node, candidate) across wakeup replays: together
+  /// with the monotone wake merge in insertLocal this makes the explored
+  /// node set and every counter converge to the same fixpoint under any
+  /// worker schedule.
+  void expandPor(const Node &N, const WakeSnapshot &Snap, Worker &W) {
     const Config &C = N.C;
     const ThreadCtx &Main = C.Threads.at(rootThread());
     if (Main.Done) {
@@ -1496,7 +1745,7 @@ private:
       // runnable threads remain, so only licensed env candidates arise
       // below) recovers exactly those traces' terminals; dependent or
       // unlicensed transitions stop here like the full engine does.
-      if (C.EnvCloseMask == 0 || !Opts.EnvInterference || !Opts.Ambient)
+      if (Snap.CloseMask == 0 || !Opts.EnvInterference || !Opts.Ambient)
         return;
     }
 
@@ -1515,16 +1764,24 @@ private:
     };
 
     auto SleepingThread = [&](ThreadId T) {
-      for (const SleepEntry &E : C.Sleep)
+      for (const SleepEntry &E : Snap.Sleep)
         if (!E.IsEnv && E.T == T)
           return true;
       return false;
     };
     auto SleepingEnv = [&](size_t Idx) {
-      for (const SleepEntry &E : C.Sleep)
+      for (const SleepEntry &E : Snap.Sleep)
         if (E.IsEnv && E.EnvIdx == Idx)
           return true;
       return false;
+    };
+
+    // Step-counter identity of a candidate at this node: a thread's
+    // pending action is pinned by its stack, so the thread id suffices;
+    // env candidates key by transition index.
+    auto CandKey = [](const Candidate &K) -> uint64_t {
+      return K.IsEnv ? ((uint64_t(1) << 63) | static_cast<uint64_t>(K.EnvIdx))
+                     : static_cast<uint64_t>(K.T);
     };
 
     std::vector<Candidate> Cands;
@@ -1560,9 +1817,9 @@ private:
         if (!Ts[I].isEnvEnabled() || Ts[I].name() == "idle")
           continue;
         // At a terminal, only transitions licensed by the last action's
-        // close mask may keep firing (see Config::EnvCloseMask).
+        // (merged) close mask may keep firing (see Config::EnvCloseMask).
         if (Main.Done &&
-            (I >= 32 || !((C.EnvCloseMask >> I) & uint32_t(1))))
+            (I >= 32 || !((Snap.CloseMask >> I) & uint32_t(1))))
           continue;
         Candidate K;
         K.IsEnv = true;
@@ -1593,40 +1850,113 @@ private:
       return Mask;
     };
 
-    auto ToSleepEntry = [](const Candidate &K) {
+    // Sleep entries persist across many later configurations, so they
+    // record the *static* (all-instance) footprint: a dynamically
+    // narrowed footprint describes only the instances enabled where the
+    // step executed, and a later step independent of it may enable new
+    // instances outside it (e.g. a combiner helping whichever slot holds
+    // a request). The dynamic footprint keeps serving the instantaneous
+    // sides — the wake filter and the ample checks — where only the step
+    // as taken matters (Footprint.h).
+    auto StaticFpOf = [](const Candidate &K) -> const Footprint & {
+      return K.IsEnv ? K.Tr->staticFootprint() : K.A->staticFootprint();
+    };
+    auto ToSleepEntry = [&](const Candidate &K) {
       SleepEntry E;
       E.IsEnv = K.IsEnv;
       E.T = K.T;
       E.ActNode = K.ActNode;
       E.EnvIdx = K.EnvIdx;
-      E.Fp = K.Fp;
+      E.Fp = StaticFpOf(K);
       return E;
     };
 
-    // Ample singleton: the first non-sleeping thread whose step is a
-    // local move explores alone; the sleep set survives filtered by
-    // independence with the chosen step. If any outcome's admin cascade
-    // changes the label set (hide install/uninstall — a state effect the
-    // action's footprint does not describe), fall back to full expansion.
+    // How many threads can still act. A waiting thread is pinned until
+    // its descendants finish (ids are a binary heap: a parent joins only
+    // after both child subtrees are Done), so when exactly one thread is
+    // runnable no other *thread* step can precede that thread's next
+    // action — every deferred step is an environment step, and the
+    // env-only future closure (envClosureFor) describes all of them.
+    // That is the dynamic-ample condition below.
+    size_t RunnableThreads = 0;
+    for (const Candidate &K : Cands)
+      if (!K.IsEnv)
+        ++RunnableThreads;
+
+    // Ample singleton: the first thread candidate whose step is a local
+    // move — statically (independent of the whole universe) or, under
+    // --por=dynamic, dynamically (independent of every footprint the
+    // environment can ever exhibit from here) — explores alone; the
+    // sleep set survives filtered by independence with the chosen step.
+    //
+    // The choice deliberately ignores the sleep set: eligibility must be
+    // a function of the configuration alone so wakeup replays (which only
+    // shrink the sleep set) re-derive the same decision and the explored
+    // set stays schedule-independent. When the chosen candidate *is*
+    // sleeping, nothing is expanded at all — the persistent singleton
+    // minus the sleep set is empty, i.e. every continuation from here was
+    // already explored where the step went to sleep (Godefroid's
+    // persistent/sleep combination).
+    //
+    // If any outcome's admin cascade changes the label set (hide
+    // install/uninstall — a state effect the action's footprint does not
+    // describe), fall back to full expansion. A *dynamic-only* ample is
+    // also refused when an outcome terminates the program: the trailing
+    // close mask may only license statically independent transitions
+    // (a dynamic license could fire an instance the pre-action state
+    // never enabled), so the last action always expands fully against
+    // its env closure instead.
     for (Candidate &K : Cands) {
-      if (K.IsEnv || K.Sleeping || !globallyIndependent(K.Fp))
+      if (K.IsEnv)
         continue;
+      bool DynAmple = false;
+      if (!globallyIndependent(K.Fp)) {
+        if (!DynOn || RunnableThreads != 1 || !K.Fp.known())
+          continue;
+        EnvClosure Cl = envClosureFor(C.GS);
+        if (!Cl.Ok)
+          continue;
+        bool Indep = true;
+        for (const Footprint &F : Cl.Fps)
+          if (!fpIndependent(K.Fp, F)) {
+            Indep = false;
+            PorRacesCounter.fetch_add(1, std::memory_order_relaxed);
+          }
+        if (!Indep) {
+          PorBacktracksCounter.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        DynAmple = true;
+      }
       std::vector<BuiltSucc> Succ;
       if (!buildThreadSuccessors(N, K.T, K.Pre, *K.A, K.Args, K.ArgText,
                                  Succ))
         return;
       bool LabelsChanged = false;
-      for (const BuiltSucc &B : Succ)
+      bool TerminalSucc = false;
+      for (const BuiltSucc &B : Succ) {
         LabelsChanged |= B.LabelsChanged;
+        TerminalSucc |= B.Next.Threads.at(rootThread()).Done.has_value();
+      }
       if (LabelsChanged)
         break;
+      if (DynAmple && TerminalSucc) {
+        PorBacktracksCounter.fetch_add(1, std::memory_order_relaxed);
+        break; // RunnableThreads == 1: no other thread candidate exists.
+      }
+      if (K.Sleeping) {
+        PorSleepHitsCounter.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      bool Fresh = markExecuted(N, CandKey(K));
       std::vector<SleepEntry> NextSleep;
-      for (const SleepEntry &E : C.Sleep)
+      for (const SleepEntry &E : Snap.Sleep)
         if (fpIndependent(E.Fp, K.Fp))
           NextSleep.push_back(E);
-      for (const BuiltSucc &B : Succ)
-        if (!B.Mirror)
-          ++W.ActionSteps;
+      if (Fresh)
+        for (const BuiltSucc &B : Succ)
+          if (!B.Mirror)
+            ++W.ActionSteps;
       for (BuiltSucc &B : Succ) {
         B.Next.Sleep = NextSleep;
         // License trailing-env closure on terminal successors: postponed
@@ -1636,7 +1966,7 @@ private:
                 ? CloseMask(K.Fp)
                 : 0;
         B.Next.rehash();
-        enqueue(std::move(B.Next), &N, std::move(B.Step), W);
+        enqueue(std::move(B.Next), &N, std::move(B.Step), W, Fresh);
       }
       return;
     }
@@ -1648,17 +1978,21 @@ private:
     // surviving inherited entry to sleep in its successors. Steps whose
     // cascade changes the label set have effects beyond their footprint,
     // so they are treated as dependent on everything.
+    PorFullExpansionsCounter.fetch_add(1, std::memory_order_relaxed);
     std::vector<SleepEntry> Taken;
     for (Candidate &K : Cands) {
-      if (K.Sleeping)
+      if (K.Sleeping) {
+        PorSleepHitsCounter.fetch_add(1, std::memory_order_relaxed);
         continue;
+      }
+      bool Fresh = markExecuted(N, CandKey(K));
       std::vector<SleepEntry> NextSleep;
       auto ComputeSleep = [&]() {
         if (!K.Fp.known())
           return;
         // Two env transitions are steps of the *same* agent (the
         // environment): their self/self and owned-region touches alias.
-        for (const SleepEntry &E : C.Sleep)
+        for (const SleepEntry &E : Snap.Sleep)
           if (fpIndependent(E.Fp, K.Fp, E.IsEnv && K.IsEnv))
             NextSleep.push_back(E);
         for (const SleepEntry &E : Taken)
@@ -1676,9 +2010,10 @@ private:
           LabelsChanged |= B.LabelsChanged;
         if (!LabelsChanged)
           ComputeSleep();
-        for (const BuiltSucc &B : Succ)
-          if (!B.Mirror)
-            ++W.ActionSteps;
+        if (Fresh)
+          for (const BuiltSucc &B : Succ)
+            if (!B.Mirror)
+              ++W.ActionSteps;
         for (BuiltSucc &B : Succ) {
           B.Next.Sleep = NextSleep;
           B.Next.EnvCloseMask =
@@ -1687,32 +2022,36 @@ private:
                   ? CloseMask(K.Fp)
                   : 0;
           B.Next.rehash();
-          enqueue(std::move(B.Next), &N, std::move(B.Step), W);
+          enqueue(std::move(B.Next), &N, std::move(B.Step), W, Fresh);
         }
-        if (!LabelsChanged && K.Fp.known())
+        if (!LabelsChanged && StaticFpOf(K).known())
           Taken.push_back(ToSleepEntry(K));
       } else {
         ComputeSleep();
         for (const View &Post : K.Tr->successors(EnvView)) {
           if (!Opts.Ambient->coherent(Post))
             continue;
-          ++W.EnvSteps;
+          if (Fresh)
+            ++W.EnvSteps;
           Config Next = C;
           Next.GS.applyEnv(EnvView, Post);
           Next.Sleep = NextSleep;
+          // Trailing-env steps at a terminal stay terminal; the merged
+          // close mask keeps licensing further commuting transitions.
+          Next.EnvCloseMask = Main.Done ? Snap.CloseMask : 0;
           Next.rehash();
-          enqueue(std::move(Next), &N, "env: " + K.Tr->name(), W);
+          enqueue(std::move(Next), &N, "env: " + K.Tr->name(), W, Fresh);
         }
-        if (K.Fp.known())
+        if (StaticFpOf(K).known())
           Taken.push_back(ToSleepEntry(K));
       }
     }
   }
 
   /// Generates all successors of a normalized configuration.
-  void expand(const Node &N, Worker &W) {
+  void expand(const Node &N, const WakeSnapshot &Snap, Worker &W) {
     if (PorOn)
-      return expandPor(N, W);
+      return expandPor(N, Snap, W);
 
     const Config &C = N.C;
     const ThreadCtx &Main = C.Threads.at(rootThread());
@@ -1776,8 +2115,19 @@ private:
   const EngineOptions &Opts;
   RunResult &Res;
   bool PorOn = false;
+  bool DynOn = false;
   bool SymOn = false;
   Universe Uni;
+
+  /// The env-closure memo (see envClosureFor): striped, verified, capped.
+  struct ClosureStripe {
+    std::mutex M;
+    std::unordered_map<size_t, std::pair<GlobalState, EnvClosure>> Map;
+  };
+  static constexpr size_t ClosureStripeCount = 16;
+  static constexpr size_t ClosureCapPerStripe = 4096;
+  static constexpr size_t ClosureStateCap = 4096;
+  ClosureStripe Closure[ClosureStripeCount];
 
   /// The orbit cache: striped, verified, capped. Entries map a raw config
   /// to its canonical form (nullopt when the raw form is already
@@ -1841,15 +2191,17 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
   assert(Root && "explore needs a program");
   PorMode Mode = Opts.Por == PorMode::Default ? defaultPorMode() : Opts.Por;
 
-  if (Mode == PorMode::Check) {
+  if (Mode == PorMode::Check || Mode == PorMode::CheckDynamic) {
     // The soundness cross-check harness: run both explorations and demand
     // the same verdict — and, when both complete, the same terminals. The
     // full run's result is returned (it is the ground truth); a mismatch
-    // forces Safe = false so verification sessions fail loudly.
+    // forces Safe = false so verification sessions fail loudly. Check
+    // cross-validates the static reduction, CheckDynamic the dynamic one.
     EngineOptions Sub = Opts;
     Sub.Por = PorMode::Off;
     RunResult Full = explore(Root, Initial, Sub, InitialEnv);
-    Sub.Por = PorMode::On;
+    Sub.Por =
+        Mode == PorMode::CheckDynamic ? PorMode::Dynamic : PorMode::On;
     RunResult Reduced = explore(Root, Initial, Sub, InitialEnv);
     CheckFullCounter.fetch_add(Full.ConfigsExplored,
                                std::memory_order_relaxed);
@@ -1857,6 +2209,7 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
                                   std::memory_order_relaxed);
     RunResult Res = Full;
     Res.PorChecked = true;
+    Res.PorDynamic = Mode == PorMode::CheckDynamic;
     Res.ConfigsFull = Full.ConfigsExplored;
     Res.ConfigsReduced = Reduced.ConfigsExplored;
     bool Agree =
@@ -1938,7 +2291,8 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
     RunOpts.Shards = NShards;
     RunResult Res = Hook(Root, Initial, RunOpts, InitialEnv, NShards);
     Res.MaxConfigsBound = Opts.MaxConfigs;
-    Res.PorReduced = Mode == PorMode::On;
+    Res.PorReduced = Mode == PorMode::On || Mode == PorMode::Dynamic;
+    Res.PorDynamic = Mode == PorMode::Dynamic;
     if (Res.PorReduced)
       Res.ConfigsReduced = Res.ConfigsExplored;
     else
@@ -1956,7 +2310,8 @@ RunResult fcsl::explore(const ProgRef &Root, const GlobalState &Initial,
 
   RunResult Res;
   Res.MaxConfigsBound = Opts.MaxConfigs;
-  Res.PorReduced = Mode == PorMode::On;
+  Res.PorReduced = Mode == PorMode::On || Mode == PorMode::Dynamic;
+  Res.PorDynamic = Mode == PorMode::Dynamic;
   Res.SymReduced = Sym == SymMode::On;
   Explorer E(RunOpts, Res);
   E.run(Root, Initial, InitialEnv);
@@ -1980,9 +2335,9 @@ RunResult fcsl::exploreShard(const ProgRef &Root, const GlobalState &Initial,
   assert(Root && "exploreShard needs a program");
   assert(NShards > 0 && ShardId < NShards && "bad shard coordinates");
   PorMode Mode = Opts.Por == PorMode::Default ? defaultPorMode() : Opts.Por;
-  assert(Mode != PorMode::Check &&
+  assert(Mode != PorMode::Check && Mode != PorMode::CheckDynamic &&
          "the coordinator resolves Check before sharding");
-  if (Mode == PorMode::Check)
+  if (Mode == PorMode::Check || Mode == PorMode::CheckDynamic)
     Mode = PorMode::Off;
   SymMode Sym =
       Opts.Symmetry == SymMode::Default ? defaultSymmetryMode() : Opts.Symmetry;
@@ -1992,7 +2347,8 @@ RunResult fcsl::exploreShard(const ProgRef &Root, const GlobalState &Initial,
     Sym = SymMode::Off;
   RunResult Res;
   Res.MaxConfigsBound = Opts.MaxConfigs;
-  Res.PorReduced = Mode == PorMode::On;
+  Res.PorReduced = Mode == PorMode::On || Mode == PorMode::Dynamic;
+  Res.PorDynamic = Mode == PorMode::Dynamic;
   Res.SymReduced = Sym == SymMode::On;
   EngineOptions RunOpts = Opts;
   RunOpts.Por = Mode;

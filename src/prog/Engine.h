@@ -44,8 +44,11 @@ namespace fcsl {
 enum class PorMode : uint8_t {
   Default, ///< use the process default (setDefaultPorMode / FCSL_POR).
   Off,     ///< full interleaving exploration.
-  On,      ///< ample-set + sleep-set reduction.
-  Check    ///< run Off and On, assert identical verdicts and terminals.
+  On,      ///< static ample-set + sleep-set reduction.
+  Dynamic, ///< `On` plus dynamic ample sets from observed footprints
+           ///< (env-future closure; DESIGN.md §12).
+  Check,   ///< run Off and On, assert identical verdicts and terminals.
+  CheckDynamic ///< run Off and Dynamic, assert identical results.
 };
 
 /// Symmetry-reduction mode for an exploration (DESIGN.md §11).
@@ -137,10 +140,11 @@ struct RunResult {
   /// reduced state space, and — in Check mode — both runs' config counts
   /// and whether they disagreed (a mismatch also forces Safe = false).
   bool PorReduced = false;
+  bool PorDynamic = false; ///< the reduced run used dynamic ample sets.
   bool PorChecked = false;
   bool PorMismatch = false;
   uint64_t ConfigsFull = 0;    ///< Check mode: the full run's configs.
-  uint64_t ConfigsReduced = 0; ///< Check/On: the reduced run's configs.
+  uint64_t ConfigsReduced = 0; ///< Check/On/Dynamic: the reduced run's.
   /// Symmetry-reduction provenance, mirroring the POR fields: whether this
   /// run canonicalized configs to orbit representatives, and — in Check
   /// mode — both runs' config counts and whether they disagreed (a
@@ -199,11 +203,12 @@ uint64_t peakVisitedBytes();
 uint64_t totalConfigsExplored();
 
 /// Sets the process-default PorMode used when `EngineOptions::Por` is
-/// `Default` (exposed as `fcsl-verify --por=off|on|check`).
+/// `Default` (exposed as `fcsl-verify --por=off|on|dynamic|check|...`).
 void setDefaultPorMode(PorMode M);
 
 /// The process-default PorMode: the last setDefaultPorMode value, else the
-/// `FCSL_POR` environment variable ("off"/"on"/"check"), else Off.
+/// `FCSL_POR` environment variable ("off"/"on"/"dynamic"/"check"/
+/// "check-dynamic"), else Off.
 PorMode defaultPorMode();
 
 /// Cumulative full/reduced config counts over every Check-mode run so far
@@ -213,6 +218,24 @@ struct PorCheckTotals {
   uint64_t Reduced = 0;
 };
 PorCheckTotals porCheckTotals();
+
+/// Process-wide partial-order-reduction counters over every POR-reduced
+/// run so far (reported by `fcsl-verify --stats`): dynamic races that
+/// blocked an ample singleton, backtracking points (forced full
+/// expansions after a failed dynamic-ample attempt), wakeup replays
+/// (re-expansions after a revisit shrank a sleep set or grew a close
+/// mask) with the peak number of candidates replayed at once, sleep-set
+/// hits (candidates pruned because a commuted order was already taken),
+/// and full-expansion fallbacks (no ample singleton at all).
+struct PorStats {
+  uint64_t RacesDetected = 0;
+  uint64_t BacktrackPoints = 0;
+  uint64_t WakeupReplays = 0;
+  uint64_t WakeupPeak = 0;
+  uint64_t SleepHits = 0;
+  uint64_t FullExpansions = 0;
+};
+PorStats porStats();
 
 /// Sets the process-default SymMode used when `EngineOptions::Symmetry` is
 /// `Default` (exposed as `fcsl-verify --symmetry=off|on|check`).

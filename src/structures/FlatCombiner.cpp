@@ -101,8 +101,9 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
   Case.Slot1 = Ptr(9601 + Fc);
   Case.Slot2 = Ptr(9602 + Fc);
   Case.StackCell = Ptr(9603 + Fc);
+  Case.FullCell = Ptr(9604 + Fc);
   Ptr LockP = Case.LockCell, S1 = Case.Slot1, S2 = Case.Slot2,
-      StkP = Case.StackCell;
+      StkP = Case.StackCell, FullP = Case.FullCell;
 
   PCMTypeRef SelfType = PCMType::pairOf(
       PCMType::mutex(),
@@ -140,7 +141,8 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
     return Combined;
   };
 
-  auto Coh = [Fc, LockP, S1, S2, StkP, SelfType, FullHistory](const View &S) {
+  auto Coh = [Fc, LockP, S1, S2, StkP, FullP, SelfType,
+              FullHistory](const View &S) {
     if (!S.hasLabel(Fc))
       return false;
     if (!SelfType->admits(S.self(Fc)) || !SelfType->admits(S.other(Fc)))
@@ -149,13 +151,16 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
     if (!Total)
       return false;
     const Heap &Joint = S.joint(Fc);
-    if (Joint.size() != 4)
+    if (Joint.size() != 5)
       return false;
     const Val *Lock = Joint.tryLookup(LockP);
     const Val *Stack = Joint.tryLookup(StkP);
     const Val *Slot1V = Joint.tryLookup(S1);
     const Val *Slot2V = Joint.tryLookup(S2);
+    const Val *FullV = Joint.tryLookup(FullP);
     if (!Lock || !Stack || !Slot1V || !Slot2V || !Lock->isBool())
+      return false;
+    if (!FullV || !FullV->isInt() || FullV->getInt() < 0)
       return false;
     if (!isStackVal(*Stack))
       return false;
@@ -169,9 +174,13 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
     // Slots are partitioned between self and other.
     if (slotsOf(*Total) != std::set<Ptr>{S1, S2})
       return false;
-    // The full history is continuous and tracks the stack state.
+    // The full history is continuous and tracks the stack state; the
+    // entry counter equals its size (entries are created by combines and
+    // only move between slots and self histories, never vanish).
     std::optional<History> Full = FullHistory(S);
     if (!Full || !Full->isContinuous())
+      return false;
+    if (static_cast<uint64_t>(FullV->getInt()) != Full->size())
       return false;
     if (!Full->isEmpty() &&
         !(Full->tryLookup(1)->Before == Val::unit()))
@@ -201,27 +210,31 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
     return Post;
   };
 
-  // Combining one slot's request (the combiner holds the lock).
-  auto CombineCommit = [Fc, StkP, FullHistory](
-                           const View &Pre, Ptr Slot) -> std::optional<View> {
+  // Combining one slot's request (the combiner holds the lock). The
+  // abstract pre-state and the fresh stamp come from the stack cell and
+  // the entry counter — coherence pins both to the full history, and
+  // reading them instead keeps the commit's footprint off the histories
+  // and the other slot.
+  auto CombineCommit = [Fc, StkP, FullP](const View &Pre,
+                                         Ptr Slot) -> std::optional<View> {
     if (!mxOf(Pre.self(Fc)).isOwn())
       return std::nullopt;
     const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
     if (!Cell || !isRequestSlot(*Cell))
       return std::nullopt;
-    std::optional<History> Full = FullHistory(Pre);
-    if (!Full)
+    const Val *Stack = Pre.joint(Fc).tryLookup(StkP);
+    const Val *Count = Pre.joint(Fc).tryLookup(FullP);
+    if (!Stack || !Count || !Count->isInt() || Count->getInt() < 0)
       return std::nullopt;
-    Val Before = Full->isEmpty()
-                     ? Val::unit()
-                     : Full->tryLookup(Full->lastStamp())->After;
+    Val Before = *Stack;
+    uint64_t Stamp = static_cast<uint64_t>(Count->getInt()) + 1;
     auto [Result, After] =
         applyOp(Cell->first().getInt(), Cell->second(), Before);
     View Post = Pre;
     Heap Joint = Pre.joint(Fc);
     Joint.update(StkP, After);
-    Joint.update(Slot, makeDone(Result, Full->lastStamp() + 1, Before,
-                                After));
+    Joint.update(FullP, Val::ofInt(static_cast<int64_t>(Stamp)));
+    Joint.update(Slot, makeDone(Result, Stamp, Before, After));
     Post.setJoint(Fc, std::move(Joint));
     return Post;
   };
@@ -274,18 +287,49 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
     return Post;
   };
 
-  auto FullSize = [FullHistory](const View &S) -> size_t {
-    std::optional<History> Full = FullHistory(S);
-    return Full ? Full->size() : SIZE_MAX;
+  // The entry counter, for the publish cap: one scalar read instead of
+  // joining histories and scanning slots.
+  auto FullCount = [Fc, FullP](const View &S) -> uint64_t {
+    const Val *Count = S.joint(Fc).tryLookup(FullP);
+    if (!Count || !Count->isInt() || Count->getInt() < 0)
+      return UINT64_MAX;
+    return static_cast<uint64_t>(Count->getInt());
   };
+
+  // --- Footprints ----------------------------------------------------------
+  // Slot cells are governed by the ptr-set component of the owner's
+  // contribution, so an agent's own-slot touches carry the SelfOwned
+  // region: two agents' publishes/collects never alias. The combiner
+  // helps whichever slot holds a request, so its slot atoms stay Any.
+  auto OwnSlot = [Fc](Ptr Slot) {
+    return FpAtom::jointCell(Fc, Slot, FpFieldsAll, FpRegion::SelfOwned);
+  };
+  Footprint PublishStaticFp = Footprint::none()
+                                  .read(FpAtom::selfAux(Fc))
+                                  .read(FpAtom::jointCell(Fc, FullP))
+                                  .readWrite(OwnSlot(S1))
+                                  .readWrite(OwnSlot(S2));
+  Footprint LockFp = Footprint::none()
+                         .readWrite(FpAtom::jointCell(Fc, LockP))
+                         .readWrite(FpAtom::selfAux(Fc));
+  Footprint CombineStaticFp = Footprint::none()
+                                  .read(FpAtom::selfAux(Fc))
+                                  .readWrite(FpAtom::jointCell(Fc, S1))
+                                  .readWrite(FpAtom::jointCell(Fc, S2))
+                                  .readWrite(FpAtom::jointCell(Fc, StkP))
+                                  .readWrite(FpAtom::jointCell(Fc, FullP));
+  Footprint CollectStaticFp = Footprint::none()
+                                  .readWrite(FpAtom::selfAux(Fc))
+                                  .readWrite(OwnSlot(S1))
+                                  .readWrite(OwnSlot(S2));
 
   // --- Transitions -----------------------------------------------------------
   FcC->addTransition(Transition(
       "fc_publish", TransitionKind::Internal,
-      [PublishCommit, FullSize, Fc, EnvHistCap](const View &Pre)
+      [PublishCommit, FullCount, Fc, EnvHistCap](const View &Pre)
           -> std::vector<View> {
         std::vector<View> Out;
-        if (FullSize(Pre) >= EnvHistCap)
+        if (FullCount(Pre) >= EnvHistCap)
           return Out;
         for (Ptr Slot : slotsOf(Pre.self(Fc))) {
           std::optional<View> Push = PublishCommit(
@@ -311,7 +355,21 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
             return true;
         }
         return false;
-      }));
+      }).withFootprint(
+          PublishStaticFp,
+          // Instances publish into the agent's own idle slots; the cap
+          // check reads the entry counter.
+          [Fc, FullP, OwnSlot](const View &Pre) {
+            Footprint Fp = Footprint::none()
+                               .read(FpAtom::selfAux(Fc))
+                               .read(FpAtom::jointCell(Fc, FullP));
+            for (Ptr Slot : slotsOf(Pre.self(Fc))) {
+              const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
+              if (Cell && isIdleSlot(*Cell))
+                Fp.readWrite(OwnSlot(Slot));
+            }
+            return Fp;
+          }));
 
   FcC->addTransition(Transition(
       "fc_lock", TransitionKind::Internal,
@@ -320,7 +378,7 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         if (!Post)
           return {};
         return {std::move(*Post)};
-      }));
+      }).withFootprint(LockFp));
 
   FcC->addTransition(Transition(
       "fc_combine", TransitionKind::Internal,
@@ -332,7 +390,23 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
             Out.push_back(std::move(*Post));
         }
         return Out;
-      }));
+      }).withFootprint(
+          CombineStaticFp,
+          // Instances exist per request-holding slot; slots that may
+          // gain requests later are the static footprint's concern
+          // (Footprint.h's honesty contract is per-instance).
+          [Fc, S1, S2, StkP, FullP](const View &Pre) {
+            Footprint Fp = Footprint::none()
+                               .read(FpAtom::selfAux(Fc))
+                               .readWrite(FpAtom::jointCell(Fc, StkP))
+                               .readWrite(FpAtom::jointCell(Fc, FullP));
+            for (Ptr Slot : {S1, S2}) {
+              const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
+              if (Cell && isRequestSlot(*Cell))
+                Fp.readWrite(FpAtom::jointCell(Fc, Slot));
+            }
+            return Fp;
+          }));
 
   FcC->addTransition(Transition(
       "fc_release", TransitionKind::Internal,
@@ -341,7 +415,7 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         if (!Post)
           return {};
         return {std::move(*Post)};
-      }));
+      }).withFootprint(LockFp));
 
   FcC->addTransition(Transition(
       "fc_collect", TransitionKind::Internal,
@@ -353,11 +427,26 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
             Out.push_back(std::move(*Post));
         }
         return Out;
-      }));
+      }).withFootprint(
+          CollectStaticFp,
+          // Instances collect the agent's own Done slots; only a combine
+          // (which writes the slot) can mint a new one.
+          [Fc, OwnSlot](const View &Pre) {
+            Footprint Fp =
+                Footprint::none().readWrite(FpAtom::selfAux(Fc));
+            for (Ptr Slot : slotsOf(Pre.self(Fc))) {
+              const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
+              if (Cell && parseDone(*Cell))
+                Fp.readWrite(OwnSlot(Slot));
+            }
+            return Fp;
+          }));
 
   Case.C = FcC;
 
   // --- Actions -----------------------------------------------------------
+  // The action's static footprint drops the transition's entry-counter
+  // read: thread publishes are uncapped (the program text bounds them).
   Case.Publish = makeAction(
       "fc_publish", Case.C, 3,
       [PublishCommit](const View &Pre, const std::vector<Val> &Args)
@@ -369,6 +458,17 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         if (!Post)
           return std::nullopt;
         return std::vector<ActOutcome>{{Val::unit(), std::move(*Post)}};
+      },
+      Footprint::none()
+          .read(FpAtom::selfAux(Fc))
+          .readWrite(OwnSlot(S1))
+          .readWrite(OwnSlot(S2)),
+      [Fc, OwnSlot](const View &,
+                    const std::vector<Val> &Args) -> Footprint {
+        Footprint Fp = Footprint::none().read(FpAtom::selfAux(Fc));
+        if (Args.size() == 3 && Args[0].isPtr())
+          Fp.readWrite(OwnSlot(Args[0].getPtr()));
+        return Fp;
       });
 
   Case.TryLockFc = makeAction(
@@ -385,6 +485,19 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
           return std::nullopt;
         return std::vector<ActOutcome>{
             {Val::ofBool(true), std::move(*Post)}};
+      },
+      LockFp,
+      // A failed probe only observes the held lock bit, mirroring the
+      // failed-CAS treatment: steps independent of that read cannot
+      // release the lock.
+      [Fc, LockP, LockFp](const View &Pre,
+                          const std::vector<Val> &) -> Footprint {
+        if (Pre.hasLabel(Fc)) {
+          const Val *Lock = Pre.joint(Fc).tryLookup(LockP);
+          if (Lock && Lock->isBool() && Lock->getBool())
+            return Footprint::none().read(FpAtom::jointCell(Fc, LockP));
+        }
+        return LockFp;
       });
 
   Case.CombineSlot = makeAction(
@@ -399,6 +512,25 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         if (!Post)
           return std::vector<ActOutcome>{{Val::unit(), Pre}}; // No request.
         return std::vector<ActOutcome>{{Val::unit(), std::move(*Post)}};
+      },
+      CombineStaticFp,
+      // Helping a slot with no request is a no-op that reads the slot
+      // and the lock token; only the requester could change its own slot
+      // under us, and it is spinning on us instead.
+      [Fc, StkP, FullP, CombineStaticFp](
+          const View &Pre, const std::vector<Val> &Args) -> Footprint {
+        if (!Pre.hasLabel(Fc) || Args.size() != 1 || !Args[0].isPtr())
+          return CombineStaticFp;
+        Ptr Slot = Args[0].getPtr();
+        Footprint Fp = Footprint::none().read(FpAtom::selfAux(Fc));
+        const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
+        if (!Cell)
+          return CombineStaticFp;
+        if (!isRequestSlot(*Cell))
+          return Fp.read(FpAtom::jointCell(Fc, Slot));
+        return Fp.readWrite(FpAtom::jointCell(Fc, Slot))
+            .readWrite(FpAtom::jointCell(Fc, StkP))
+            .readWrite(FpAtom::jointCell(Fc, FullP));
       });
 
   Case.ReleaseFc = makeAction(
@@ -409,7 +541,8 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         if (!Post)
           return std::nullopt; // Releasing without holding: unsafe.
         return std::vector<ActOutcome>{{Val::unit(), std::move(*Post)}};
-      });
+      },
+      LockFp);
 
   Case.TryCollect = makeAction(
       "fc_try_collect", Case.C, 1,
@@ -431,6 +564,27 @@ FlatCombinerCase fcsl::makeFlatCombinerCase(Label Fc, uint64_t EnvHistCap) {
         return std::vector<ActOutcome>{
             {Val::pair(Val::ofBool(true), Done->Result),
              std::move(*Post)}};
+      },
+      CollectStaticFp,
+      // Probing a still-pending request reads only the slot (and the
+      // ownership witness): steps independent of that read cannot park a
+      // result there. A successful collect rewrites the slot and grows
+      // the agent's history.
+      [Fc, OwnSlot, CollectStaticFp](
+          const View &Pre, const std::vector<Val> &Args) -> Footprint {
+        if (!Pre.hasLabel(Fc) || Args.size() != 1 || !Args[0].isPtr())
+          return CollectStaticFp;
+        Ptr Slot = Args[0].getPtr();
+        const Val *Cell = Pre.joint(Fc).tryLookup(Slot);
+        if (!Cell)
+          return CollectStaticFp;
+        if (isRequestSlot(*Cell))
+          return Footprint::none()
+              .read(FpAtom::selfAux(Fc))
+              .read(OwnSlot(Slot));
+        return Footprint::none()
+            .readWrite(FpAtom::selfAux(Fc))
+            .readWrite(OwnSlot(Slot));
       });
 
   // --- flat_combine(slot, op, arg) -----------------------------------------
@@ -483,6 +637,7 @@ GlobalState fcsl::flatCombinerState(const FlatCombinerCase &C,
   Joint.insert(C.Slot1, Val::unit());
   Joint.insert(C.Slot2, Val::unit());
   Joint.insert(C.StackCell, Val::unit());
+  Joint.insert(C.FullCell, Val::ofInt(0));
 
   std::set<Ptr> Mine, Envs;
   if (MySlots >= 1)
@@ -529,6 +684,7 @@ std::vector<View> fcsl::flatCombinerSampleViews(const FlatCombinerCase &C) {
     Joint.update(C.Slot1,
                  makeDone(Val::unit(), 1, Val::unit(), After));
     Joint.update(C.StackCell, After);
+    Joint.update(C.FullCell, Val::ofInt(1));
     GS.setJoint(C.Fc, std::move(Joint));
     GS.setEnvSelf(C.Fc, makeSelf(PCMVal::mutexOwn(), {C.Slot2},
                                  History()));
@@ -540,6 +696,7 @@ std::vector<View> fcsl::flatCombinerSampleViews(const FlatCombinerCase &C) {
     Heap Joint = GS.joint(C.Fc);
     Val After = Val::pair(Val::ofInt(4), Val::unit());
     Joint.update(C.StackCell, After);
+    Joint.update(C.FullCell, Val::ofInt(1));
     GS.setJoint(C.Fc, std::move(Joint));
     History Mine;
     Mine.add(1, HistEntry{Val::unit(), After});

@@ -41,6 +41,12 @@ struct FlatCombinerCase {
   Ptr Slot1;
   Ptr Slot2;
   Ptr StackCell; ///< holds the sequential structure's whole state.
+  /// Joint counter of history entries ever created (committed plus parked
+  /// in Done slots). Coherence pins it to the full history's size, so it
+  /// adds no states; it exists so combines draw their stamp — and publish
+  /// caps draw their bound — from one scalar cell instead of scanning
+  /// both histories and both slots, which narrows every footprint.
+  Ptr FullCell;
   ConcurroidRef C;
   ActionRef Publish;    ///< (slot, op, arg) -> unit.
   ActionRef TryLockFc;  ///< () -> bool.

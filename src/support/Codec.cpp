@@ -507,8 +507,10 @@ size_t fcsl::encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C) {
       }
     }
   }
-  // Sleep identities are part of config equality; the footprints are not,
-  // so they go after the identity prefix ends.
+  // The identity prefix ends with the thread stacks (v4): the wake
+  // payload below is merged into the receiving shard's visited node, not
+  // compared, so it must not perturb ownership fingerprints.
+  size_t Prefix = E.buffer().size() - Start;
   E.u32(static_cast<uint32_t>(C.Sleep.size()));
   for (const FrontierSleep &S : C.Sleep) {
     E.u8(S.IsEnv);
@@ -517,9 +519,9 @@ size_t fcsl::encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C) {
     E.u64(S.EnvIdx);
   }
   E.u32(C.EnvCloseMask);
-  size_t Prefix = E.buffer().size() - Start;
   for (const FrontierSleep &S : C.Sleep)
     encode(E, S.Fp);
+  E.u8(C.Counts);
   return Prefix;
 }
 
@@ -569,5 +571,9 @@ FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
   C.EnvCloseMask = D.u32();
   for (size_t I = 0; I != C.Sleep.size() && !D.failed(); ++I)
     C.Sleep[I].Fp = decodeFootprint(D);
+  uint8_t Counts = D.u8();
+  if (Counts > 1)
+    D.fail();
+  C.Counts = Counts != 0;
   return D.failed() ? FrontierConfig() : C;
 }

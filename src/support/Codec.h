@@ -37,7 +37,10 @@ namespace fcsl {
 /// Format version; bump when the wire layout changes.
 /// v2: frontier configs carry sleep sets, EnvCloseMask, and footprints.
 /// v3: frontier threads carry the symmetry flag (SymChildren).
-constexpr uint32_t CodecVersion = 3;
+/// v4: sleep sets and EnvCloseMask left the identity prefix (they are
+///     merged wake state, not identity — DESIGN.md §12) and configs carry
+///     the dedup-accounting flag (FrontierConfig::Counts).
+constexpr uint32_t CodecVersion = 4;
 
 /// Appends fixed-width little-endian primitives to a byte buffer.
 class Encoder {
@@ -222,9 +225,9 @@ struct FrontierThread {
 
 /// One sleep-set entry of a frontier configuration (DESIGN.md §9): a step
 /// already explored along a sibling branch, suppressed until a dependent
-/// step wakes it. The identity fields (everything but Fp) take part in
-/// config identity, mirroring the engine's SleepEntry equality; the
-/// footprint rides along so the receiving shard can keep reducing.
+/// step wakes it. Sleep entries are *wake payload*, not config identity
+/// (v4): the receiving shard intersects them into its visited node, so
+/// backtracking state travels with the owning config across processes.
 struct FrontierSleep {
   bool IsEnv = false;
   ThreadId T = 0;
@@ -239,18 +242,24 @@ struct FrontierSleep {
 };
 
 /// A portable frontier configuration: the instrumented global state plus
-/// every thread's control stack, the POR sleep set, and the terminal
-/// env-closure mask. This is the unit of work sharded exploration ships
-/// between processes (src/dist/, DESIGN.md §10).
+/// every thread's control stack, the POR wake payload (sleep set and
+/// terminal env-closure mask), and the dedup-accounting flag. This is the
+/// unit of work sharded exploration ships between processes (src/dist/,
+/// DESIGN.md §10).
 struct FrontierConfig {
   GlobalState GS;
   std::vector<FrontierThread> Threads;
   std::vector<FrontierSleep> Sleep;
   uint32_t EnvCloseMask = 0;
+  /// False when the generating step was a wakeup re-execution: the edge
+  /// was produced (and accounted) once before, so the receiving shard
+  /// merges the wake payload without counting another dedup hit. Keeps
+  /// sharded counters bit-identical to the in-process engine.
+  bool Counts = true;
 
   friend bool operator==(const FrontierConfig &A, const FrontierConfig &B) {
     return A.GS == B.GS && A.Threads == B.Threads && A.Sleep == B.Sleep &&
-           A.EnvCloseMask == B.EnvCloseMask;
+           A.EnvCloseMask == B.EnvCloseMask && A.Counts == B.Counts;
   }
 };
 
@@ -258,12 +267,12 @@ void encode(Encoder &E, const FrontierConfig &C);
 
 /// Encodes \p C and returns the length in bytes of its *identity prefix*:
 /// the bytes, counted from the first byte this call appends, that cover
-/// exactly the components the engine's config equality compares (state,
-/// threads, sleep identities, EnvCloseMask). Sleep footprints — advisory
-/// metadata excluded from config identity — are appended after the
-/// prefix, so two configs that the engine deduplicates against each other
-/// encode to identical prefixes. Shard ownership fingerprints hash the
-/// prefix only.
+/// exactly the components the engine's config equality compares (state
+/// and threads). The wake payload — sleep entries, EnvCloseMask, and the
+/// Counts flag, all merged rather than compared on arrival — is appended
+/// after the prefix, so two configs that the engine deduplicates against
+/// each other encode to identical prefixes. Shard ownership fingerprints
+/// hash the prefix only.
 size_t encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C);
 
 FrontierConfig decodeFrontierConfig(Decoder &D);

@@ -254,37 +254,45 @@ TEST(DistCodec, FrontierConfigPrefixRoundTrips) {
   EXPECT_EQ(Back, C);
 }
 
-TEST(DistCodec, IdentityPrefixExcludesSleepFootprints) {
-  // Two configs the engine would deduplicate against each other — equal up
-  // to sleep *footprints* — must own the same fingerprint bytes.
+TEST(DistCodec, IdentityPrefixExcludesWakePayload) {
+  // Since v4 the engine deduplicates configs that differ in *any* wake
+  // payload — sleep entries, EnvCloseMask, the Counts flag — and merges
+  // the payload on arrival instead. Every such variant must own the same
+  // fingerprint bytes or shards would route merge partners apart.
   FrontierConfig A = smallConfig();
-  FrontierConfig B = smallConfig();
-  B.Sleep[0].Fp = Footprint::none()
-                      .readWrite(FpAtom::joint(2))
-                      .read(FpAtom::otherAux(2));
-  Encoder EA, EB;
-  size_t PA = encodeFrontierConfigPrefix(EA, A);
-  size_t PB = encodeFrontierConfigPrefix(EB, B);
-  ASSERT_EQ(PA, PB);
-  EXPECT_TRUE(std::equal(EA.buffer().begin(), EA.buffer().begin() + PA,
-                         EB.buffer().begin()));
-  // The full buffers differ (the footprints ride behind the prefix).
-  EXPECT_NE(EA.buffer(), EB.buffer());
-
-  // Identity-relevant fields must land inside the prefix.
+  FrontierConfig FpVariant = smallConfig();
+  FpVariant.Sleep[0].Fp = Footprint::none()
+                              .readWrite(FpAtom::joint(2))
+                              .read(FpAtom::otherAux(2));
   FrontierConfig Masked = smallConfig();
   Masked.EnvCloseMask = 0;
   FrontierConfig Slept = smallConfig();
   Slept.Sleep.clear();
-  for (const FrontierConfig *Other : {&Masked, &Slept}) {
+  FrontierConfig Uncounted = smallConfig();
+  Uncounted.Counts = false;
+  Encoder EA;
+  size_t PA = encodeFrontierConfigPrefix(EA, A);
+  for (const FrontierConfig *Other : {&FpVariant, &Masked, &Slept,
+                                      &Uncounted}) {
     Encoder EO;
     size_t PO = encodeFrontierConfigPrefix(EO, *Other);
-    std::vector<uint8_t> PrefA(EA.buffer().begin(),
-                               EA.buffer().begin() + PA);
-    std::vector<uint8_t> PrefO(EO.buffer().begin(),
-                               EO.buffer().begin() + PO);
-    EXPECT_NE(PrefA, PrefO);
+    ASSERT_EQ(PA, PO);
+    EXPECT_TRUE(std::equal(EA.buffer().begin(), EA.buffer().begin() + PA,
+                           EO.buffer().begin()));
   }
+  // The full buffers still differ (payload rides behind the prefix).
+  Encoder EFull;
+  encodeFrontierConfigPrefix(EFull, FpVariant);
+  EXPECT_NE(EA.buffer(), EFull.buffer());
+
+  // Identity-relevant fields must land inside the prefix.
+  FrontierConfig Threaded = smallConfig();
+  Threaded.Threads[0].Waiting = !Threaded.Threads[0].Waiting;
+  Encoder EO;
+  size_t PO = encodeFrontierConfigPrefix(EO, Threaded);
+  std::vector<uint8_t> PrefA(EA.buffer().begin(), EA.buffer().begin() + PA);
+  std::vector<uint8_t> PrefO(EO.buffer().begin(), EO.buffer().begin() + PO);
+  EXPECT_NE(PrefA, PrefO);
 }
 
 namespace {

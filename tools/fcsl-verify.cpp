@@ -46,11 +46,16 @@ int usage() {
                "threads\n"
                "                       (0 = all hardware threads; default "
                "from FCSL_JOBS, else 1)\n"
-               "  --por off|on|check   partial-order reduction for every "
+               "  --por off|on|dynamic|check|check-dynamic\n"
+               "                       partial-order reduction for every "
                "exploration:\n"
                "                       off = full interleaving (default), on "
                "= ample+sleep\n"
-               "                       reduction, check = run both and "
+               "                       reduction, dynamic = on plus ample "
+               "sets licensed by\n"
+               "                       observed footprints (env-future "
+               "closure), check /\n"
+               "                       check-dynamic = run full and reduced, "
                "cross-validate\n"
                "                       (default from FCSL_POR, else off)\n"
                "  --symmetry off|on|check\n"
@@ -158,6 +163,20 @@ void printStats() {
       std::printf("per-structure orbits:\n%s", Orbits.render().c_str());
     }
   }
+
+  PorStats Por = porStats();
+  if (Por.RacesDetected + Por.BacktrackPoints + Por.WakeupReplays +
+          Por.SleepHits + Por.FullExpansions >
+      0)
+    std::printf("por: %llu races detected, %llu backtrack points, %llu "
+                "wakeup replays (peak %llu), %llu sleep-set hits, %llu "
+                "full expansions\n",
+                static_cast<unsigned long long>(Por.RacesDetected),
+                static_cast<unsigned long long>(Por.BacktrackPoints),
+                static_cast<unsigned long long>(Por.WakeupReplays),
+                static_cast<unsigned long long>(Por.WakeupPeak),
+                static_cast<unsigned long long>(Por.SleepHits),
+                static_cast<unsigned long long>(Por.FullExpansions));
 
   dist::FleetStats Fleet = dist::fleetTotals();
   if (Fleet.Fleets == 0)
@@ -288,8 +307,13 @@ int main(int Argc, char **Argv) {
       setDefaultPorMode(PorMode::Off);
     } else if (std::strcmp(Mode, "on") == 0) {
       setDefaultPorMode(PorMode::On);
+    } else if (std::strcmp(Mode, "dynamic") == 0) {
+      setDefaultPorMode(PorMode::Dynamic);
     } else if (std::strcmp(Mode, "check") == 0) {
       setDefaultPorMode(PorMode::Check);
+      PorCheckRequested = true;
+    } else if (std::strcmp(Mode, "check-dynamic") == 0) {
+      setDefaultPorMode(PorMode::CheckDynamic);
       PorCheckRequested = true;
     } else {
       return false;
