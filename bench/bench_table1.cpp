@@ -11,17 +11,19 @@
 // program-specific concurroid/actions/stability lemmas needed), and the
 // relative cost ordering of the programs.
 //
-// Each suite is discharged six times — serially (Jobs=1), with parallel
+// Each suite is discharged eight times — serially (Jobs=1), with parallel
 // obligation discharge (Jobs=4), serially with static and with dynamic
-// partial-order reduction, serially under symmetry reduction, and
-// serially with every exploration sharded across two worker processes
-// (src/dist/) — and all timings land in BENCH_table1.json so the speedup
-// from the multi-worker engine, the state-space savings from the
-// reductions, and the frontier-exchange cost of sharding are tracked
-// across PRs.
+// partial-order reduction, serially under symmetry reduction, serially
+// with every exploration sharded across two worker processes (src/dist/),
+// and finally cold + warm against a fresh obligation store (src/cache/)
+// — and all timings land in BENCH_table1.json so the speedup from the
+// multi-worker engine, the state-space savings from the reductions, the
+// frontier-exchange cost of sharding, and the replay win of the verdict
+// cache are tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/Store.h"
 #include "dist/Coordinator.h"
 #include "prog/Engine.h"
 #include "structures/Suite.h"
@@ -29,6 +31,8 @@
 #include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
 
 using namespace fcsl;
 
@@ -44,6 +48,9 @@ struct ProgramRow {
   double DynPorMs = 0.0;   ///< Jobs=1 discharge under dynamic reduction.
   double DistMs = 0.0;     ///< Jobs=1 discharge sharded across 2 workers.
   double SymMs = 0.0;      ///< Jobs=1 discharge under symmetry reduction.
+  double ColdMs = 0.0;     ///< Jobs=1 discharge into an empty store.
+  double WarmMs = 0.0;     ///< Jobs=1 replay against the populated store.
+  uint64_t CacheHits = 0;  ///< obligations the warm run served from it.
   uint64_t ConfigsFull = 0;    ///< configs explored by the serial run.
   uint64_t ConfigsReduced = 0; ///< configs explored under static POR.
   uint64_t ConfigsDynamic = 0; ///< configs explored under dynamic POR.
@@ -65,8 +72,8 @@ int main() {
   TextTable Table;
   Table.setHeader({"Program", "Libs", "Conc", "Acts", "Stab", "Main",
                    "Total", "Checks", "Jobs=1", "Jobs=4", "POR",
-                   "DynPOR", "Symm", "Shards=2"});
-  for (unsigned I = 1; I <= 13; ++I)
+                   "DynPOR", "Symm", "Shards=2", "Warm"});
+  for (unsigned I = 1; I <= 14; ++I)
     Table.setRightAligned(I);
 
   bool AllPassed = true;
@@ -82,9 +89,19 @@ int main() {
   uint64_t ConfigsReducedTotal = 0;
   uint64_t ConfigsDynamicTotal = 0;
   uint64_t ConfigsCanonicalTotal = 0;
+  double ColdTotalMs = 0;
+  double WarmTotalMs = 0;
+  uint64_t CacheHitsTotal = 0;
   const unsigned ParJobs = 4;
   const unsigned DistShards = 2;
   dist::installDistributedEngine();
+
+  // A throwaway store directory so the bench never reads a stale verdict
+  // from a previous run — the cold/warm pair measures this binary only.
+  char CacheDirTemplate[] = "/tmp/fcsl-bench-cache-XXXXXX";
+  const char *CacheDir = mkdtemp(CacheDirTemplate);
+  if (CacheDir)
+    cache::setCacheDir(CacheDir);
 
   for (const CaseEntry &Case : allCaseStudies()) {
     uint64_t Configs0 = totalConfigsExplored();
@@ -155,6 +172,24 @@ int main() {
                  Sh.totalChecks() == Report.totalChecks();
     DistTotalMs += Sh.TotalMs;
 
+    // Cold + warm against the obligation store: the cold run discharges
+    // and appends, the warm rerun must replay every verdict from disk.
+    cache::setDefaultCacheMode(cache::CacheMode::Rw);
+    SessionReport Cold = Case.MakeSession().run(/*Jobs=*/1);
+    cache::CacheStats Cache0 = cache::cacheStats();
+    SessionReport Warm = Case.MakeSession().run(/*Jobs=*/1);
+    cache::CacheStats Cache1 = cache::cacheStats();
+    cache::setDefaultCacheMode(cache::CacheMode::Off);
+    uint64_t WarmHits = Cache1.Hits - Cache0.Hits;
+    AllPassed &= Cold.AllPassed == Report.AllPassed &&
+                 Warm.AllPassed == Report.AllPassed &&
+                 Warm.totalObligations() == Report.totalObligations() &&
+                 Warm.totalChecks() == Report.totalChecks() &&
+                 WarmHits == Warm.totalObligations();
+    ColdTotalMs += Cold.TotalMs;
+    WarmTotalMs += Warm.TotalMs;
+    CacheHitsTotal += WarmHits;
+
     auto Cell = [&](ObCategory C) -> std::string {
       uint64_t N = Report.PerCategory[size_t(C)].Obligations;
       return N == 0 ? "-" : std::to_string(N);
@@ -169,11 +204,13 @@ int main() {
                   formatString("%.0f ms", Por.TotalMs),
                   formatString("%.0f ms", DynPor.TotalMs),
                   formatString("%.0f ms", Sym.TotalMs),
-                  formatString("%.0f ms", Sh.TotalMs)});
+                  formatString("%.0f ms", Sh.TotalMs),
+                  formatString("%.0f ms", Warm.TotalMs)});
     Rows.push_back(ProgramRow{Report.Program, Report.totalObligations(),
                               Report.totalChecks(), Report.TotalMs,
                               Par.TotalMs, Por.TotalMs, DynPor.TotalMs,
-                              Sh.TotalMs, Sym.TotalMs, ConfigsFull,
+                              Sh.TotalMs, Sym.TotalMs, Cold.TotalMs,
+                              Warm.TotalMs, WarmHits, ConfigsFull,
                               ConfigsReduced, ConfigsDynamic,
                               ConfigsCanonical,
                               Orbit1.Hits - Orbit0.Hits,
@@ -189,6 +226,10 @@ int main() {
               "(paper: 27m31s of Coq compilation on a 2.7 GHz Core i7)\n",
               SerialTotalMs, ParallelTotalMs, ParJobs, PorTotalMs,
               DynPorTotalMs, SymTotalMs, DistTotalMs, DistShards);
+  std::printf("obligation cache: %.1f ms cold (discharge + store), "
+              "%.1f ms warm (%llu verdicts replayed from the store)\n",
+              ColdTotalMs, WarmTotalMs,
+              static_cast<unsigned long long>(CacheHitsTotal));
   std::printf("state space: %llu configs full, %llu reduced (ratio "
               "%.3f), %llu dynamic (ratio %.3f), %llu canonical (orbit "
               "ratio %.3f)\n\n",
@@ -233,7 +274,9 @@ int main() {
                    "\"symmetry_ms\": %.2f, \"configs_canonical\": %llu, "
                    "\"orbit_ratio\": %.3f, \"orbit_cache_hits\": %llu, "
                    "\"dist_ms\": %.2f, \"dist_exchanged_configs\": %llu, "
-                   "\"dist_bytes\": %llu}%s\n",
+                   "\"dist_bytes\": %llu, "
+                   "\"cache_cold_ms\": %.2f, \"cache_warm_ms\": %.2f, "
+                   "\"cache_hits\": %llu}%s\n",
                    R.Program.c_str(),
                    static_cast<unsigned long long>(R.Obligations),
                    static_cast<unsigned long long>(R.Checks), R.SerialMs,
@@ -257,6 +300,8 @@ int main() {
                    R.DistMs,
                    static_cast<unsigned long long>(R.DistExchanged),
                    static_cast<unsigned long long>(R.DistBytes),
+                   R.ColdMs, R.WarmMs,
+                   static_cast<unsigned long long>(R.CacheHits),
                    I + 1 == Rows.size() ? "" : ",");
     }
     std::fprintf(F, "  ],\n");
@@ -289,6 +334,22 @@ int main() {
                  static_cast<unsigned long long>(Orbit.Lookups),
                  static_cast<unsigned long long>(Orbit.Hits),
                  static_cast<unsigned long long>(Orbit.Changed));
+    uint64_t StoreRecords = 0, StoreBytes = 0;
+    cache::setDefaultCacheMode(cache::CacheMode::Ro);
+    if (cache::Store *S = cache::activeStore()) {
+      StoreRecords = S->records();
+      StoreBytes = S->fileBytes();
+    }
+    cache::setDefaultCacheMode(cache::CacheMode::Off);
+    std::fprintf(F,
+                 "  \"cache\": {\"cold_ms\": %.2f, \"warm_ms\": %.2f, "
+                 "\"replay_speedup\": %.3f, \"hits\": %llu, "
+                 "\"store_records\": %llu, \"store_bytes\": %llu},\n",
+                 ColdTotalMs, WarmTotalMs,
+                 WarmTotalMs > 0 ? ColdTotalMs / WarmTotalMs : 1.0,
+                 static_cast<unsigned long long>(CacheHitsTotal),
+                 static_cast<unsigned long long>(StoreRecords),
+                 static_cast<unsigned long long>(StoreBytes));
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
                  "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "
@@ -314,6 +375,12 @@ int main() {
                      : 1.0);
     std::fclose(F);
     std::printf("wrote BENCH_table1.json\n");
+  }
+
+  if (CacheDir) {
+    cache::resetActiveStore();
+    std::remove((std::string(CacheDir) + "/obligations.fcslcache").c_str());
+    ::rmdir(CacheDir);
   }
 
   if (!AllPassed) {

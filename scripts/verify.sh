@@ -31,9 +31,14 @@
 #      report as --shards=1 (modulo timings), with POR off and on — the
 #      multi-process partitioned exploration (src/dist/) is bit-identical
 #      to the in-process engine.
+#   7. Cache: a cold run against an empty obligation store and a warm
+#      rerun must print byte-identical reports (modulo timings), the warm
+#      run must be 100% hits, and --cache=check — which re-discharges
+#      every hit and compares the stored verdict against the fresh one —
+#      must pass alone and composed with POR, symmetry, and sharding.
 #
 # Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por]
-#                          [--no-symmetry] [--no-shards]
+#                          [--no-symmetry] [--no-shards] [--no-cache]
 #
 #===----------------------------------------------------------------------===#
 
@@ -45,6 +50,7 @@ RUN_ASAN=1
 RUN_POR=1
 RUN_SYMMETRY=1
 RUN_SHARDS=1
+RUN_CACHE=1
 for Arg in "$@"; do
   case "$Arg" in
     --no-tsan) RUN_TSAN=0 ;;
@@ -52,6 +58,7 @@ for Arg in "$@"; do
     --no-por) RUN_POR=0 ;;
     --no-symmetry) RUN_SYMMETRY=0 ;;
     --no-shards) RUN_SHARDS=0 ;;
+    --no-cache) RUN_CACHE=0 ;;
     *) echo "unknown flag: $Arg" >&2; exit 2 ;;
   esac
 done
@@ -86,12 +93,13 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== asan+ubsan: configure + build (build-asan/) =="
   cmake -B build-asan -S . -DFCSL_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$(nproc)" --target intern_test codec_test \
-    --target dist_test
+    --target dist_test cache_test
 
-  echo "== asan+ubsan: checking intern arena, codec, and dist wire =="
+  echo "== asan+ubsan: checking intern arena, codec, dist wire, cache =="
   ./build-asan/tests/intern_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/dist_test
+  ./build-asan/tests/cache_test
 fi
 
 if [[ "$RUN_POR" == 1 ]]; then
@@ -152,6 +160,42 @@ if [[ "$RUN_SHARDS" == 1 ]]; then
       || { echo "shards=2 diverged from shards=1 (por=$Por)" >&2; exit 1; }
     echo "   por=$Por: shards=2 identical to shards=1"
   done
+fi
+
+if [[ "$RUN_CACHE" == 1 ]]; then
+  echo "== cache: cold vs warm obligation store over every session =="
+  cmake --build build -j "$(nproc)" --target fcsl-verify
+  CacheDir="$(mktemp -d)"
+  trap 'rm -rf "$CacheDir"' EXIT
+  # Cold run populates the store; the warm rerun must replay every
+  # obligation verdict bit-identically (timings stripped as usual).
+  Normalize='s/[0-9]+\.[0-9]+//g; s/ +/ /g; s/-+/-/g; s/ +$//'
+  FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=rw verify all \
+    | sed -E "$Normalize" > build/verify-cache-cold.txt
+  FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=rw verify all \
+    | sed -E "$Normalize" > build/verify-cache-warm.txt
+  diff build/verify-cache-cold.txt build/verify-cache-warm.txt \
+    || { echo "warm cache run diverged from cold run" >&2; exit 1; }
+  # The warm rerun must be pure hits: N > 0, zero misses.
+  CacheLine=$(FCSL_CACHE_DIR="$CacheDir" \
+    ./build/tools/fcsl-verify --cache=rw --stats verify all \
+    | grep '^obligation cache')
+  echo "   $CacheLine"
+  [[ "$CacheLine" =~ \(rw\):\ ([0-9]+)\ hits,\ 0\ misses ]] \
+    || { echo "warm run was not 100% cache hits: $CacheLine" >&2; exit 1; }
+  [[ "${BASH_REMATCH[1]}" -gt 0 ]] \
+    || { echo "warm run replayed zero obligations" >&2; exit 1; }
+  echo "   warm run replayed all ${BASH_REMATCH[1]} obligations from the store"
+  # Check mode re-discharges every hit and fails loudly on divergence —
+  # alone, then composed with dynamic POR + symmetry + sharding (warming
+  # the store under the composed flag fingerprint first, since records
+  # are keyed by the resolved engine flags).
+  FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=check verify all
+  FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=rw \
+    --por=dynamic --symmetry=on --shards=2 verify all >/dev/null
+  FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=check \
+    --por=dynamic --symmetry=on --shards=2 verify all
+  echo "   cache=check clean, alone and under por=dynamic symmetry=on shards=2"
 fi
 
 echo "== verify.sh: all stages passed =="

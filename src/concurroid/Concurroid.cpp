@@ -6,9 +6,31 @@
 
 #include "concurroid/Concurroid.h"
 
+#include "support/Codec.h"
+#include "support/Intern.h"
+
 #include <cassert>
 
 using namespace fcsl;
+
+uint64_t Concurroid::fingerprint() const {
+  uint64_t Fp = fpString("fcsl-concurroid");
+  Fp = fpCombine(Fp, fpString(Name));
+  Fp = fpCombine(Fp, Labels.size());
+  for (const OwnedLabel &Owned : Labels) {
+    Fp = fpCombine(Fp, Owned.L);
+    Fp = fpCombine(Fp, fpString(Owned.Name));
+    Encoder E;
+    encode(E, Owned.SelfType);
+    Fp = fpCombine(Fp, fpBytes(E.buffer().data(), E.buffer().size()));
+  }
+  Fp = fpCombine(Fp, Transitions.size());
+  for (const Transition &T : Transitions) {
+    Fp = fpCombine(Fp, fpString(T.name()));
+    Fp = fpCombine(Fp, static_cast<uint64_t>(T.kind()));
+  }
+  return Fp;
+}
 
 Concurroid::Concurroid(std::string Name, std::vector<OwnedLabel> Labels,
                        CohFn Coh)

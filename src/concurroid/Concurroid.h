@@ -51,6 +51,14 @@ public:
   const std::string &name() const { return Name; }
   const std::vector<OwnedLabel> &ownedLabels() const { return Labels; }
 
+  /// Process-stable content fingerprint: the name, every owned label (id,
+  /// name, and the canonical codec encoding of its carrier type), and
+  /// every registered transition's name and kind. The coherence predicate
+  /// and transition step functions are opaque closures and contribute
+  /// presence only — an obligation whose verdict depends on their *logic*
+  /// must carry a revision tag (see ObligationInputs::rev).
+  uint64_t fingerprint() const;
+
   /// Returns the owned label ids.
   std::vector<Label> labelIds() const;
 

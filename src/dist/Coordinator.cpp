@@ -160,8 +160,18 @@ RunResult dist::distributedExplore(const ProgRef &Root,
         SocketShardIo Io(Pairs[I][1], I, NShards);
         if (CrashShard == static_cast<long>(I))
           std::_Exit(42); // After Hello, before any Verdict.
+        // Drop cache records inherited from the parent at fork: only
+        // verdicts this worker itself appends belong in its delta.
+        if (cache::Store *S = cache::activeStore())
+          S->drainPending();
         RunResult R =
             exploreShard(Root, Initial, RunOpts, InitialEnv, I, NShards, Io);
+        if (cache::Store *S = cache::activeStore()) {
+          CacheDeltaMsg Delta;
+          Delta.ShardId = I;
+          Delta.Records = S->drainPending();
+          Io.sendCacheDelta(Delta);
+        }
         Io.sendVerdict(Io.makeVerdict(R));
       }
       std::_Exit(0);
@@ -181,7 +191,7 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   bool Draining = false;
   bool DrainExhausted = false;
   std::string LostShardNote;
-  uint64_t Messages = 0, Bytes = 0, Configs = 0;
+  uint64_t Messages = 0, Bytes = 0, Configs = 0, CacheMerged = 0;
 
   auto QueueFrame = [&](WorkerCh &W, std::vector<uint8_t> Frame) {
     if (W.Eof)
@@ -242,6 +252,13 @@ RunResult dist::distributedExplore(const ProgRef &Root,
         StartDrain(false);
       if (M.Verdict.Exhausted)
         StartDrain(true);
+      break;
+    case MsgType::CacheDelta:
+      // The fleet shares one obligation store: records a worker appended
+      // fold into the hub's (first verdict wins, so a parent-side record
+      // never gets overwritten).
+      if (cache::Store *S = cache::activeStore())
+        CacheMerged += S->merge(M.Delta.Records);
       break;
     case MsgType::Drain:
       break; // Workers never send Drain.
@@ -437,6 +454,7 @@ RunResult dist::distributedExplore(const ProgRef &Root,
     FleetTotals.Messages += Messages;
     FleetTotals.Bytes += Bytes;
     FleetTotals.Configs += Configs;
+    FleetTotals.CacheRecordsMerged += CacheMerged;
     uint64_t RssSum = 0;
     FleetTotals.LastRun.clear();
     for (unsigned I = 0; I != NShards; ++I) {

@@ -53,6 +53,8 @@ struct FleetStats {
   uint64_t Configs = 0;  ///< frontier configs relayed between shards.
   uint64_t Messages = 0; ///< FrontierBatch frames relayed.
   uint64_t Bytes = 0;    ///< relayed frame bytes.
+  uint64_t CacheRecordsMerged = 0; ///< worker cache records folded into
+                                   ///< the hub's obligation store.
   /// Peak over runs of the *sum* of the run's child peak RSS values — the
   /// fleet's aggregate footprint — and of a single child's peak.
   uint64_t ChildRssKbSum = 0;

@@ -175,6 +175,12 @@ VerdictMsg SocketShardIo::makeVerdict(const RunResult &R) const {
   return V;
 }
 
+void SocketShardIo::sendCacheDelta(const CacheDeltaMsg &M) {
+  if (M.Records.empty())
+    return;
+  writeAll(frameCacheDelta(M));
+}
+
 void SocketShardIo::sendVerdict(const VerdictMsg &M) {
   flushAll();
   writeAll(frameVerdict(M));

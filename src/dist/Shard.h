@@ -41,6 +41,11 @@ public:
   /// shard id.
   VerdictMsg makeVerdict(const RunResult &R) const;
 
+  /// Ships obligation-cache records this worker appended (drainPending on
+  /// its store) so the coordinator can merge them. Call before
+  /// sendVerdict; an empty delta is not sent.
+  void sendCacheDelta(const CacheDeltaMsg &M);
+
   /// Flushes the outboxes and writes the final Verdict frame.
   void sendVerdict(const VerdictMsg &M);
 

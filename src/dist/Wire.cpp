@@ -108,13 +108,23 @@ std::vector<uint8_t> dist::frameVerdict(const VerdictMsg &M) {
   return finishFrame(std::move(E));
 }
 
+std::vector<uint8_t> dist::frameCacheDelta(const CacheDeltaMsg &M) {
+  Encoder E = startFrame(MsgType::CacheDelta);
+  E.u32(M.ShardId);
+  E.u32(cache::CacheRecordVersion);
+  E.u32(static_cast<uint32_t>(M.Records.size()));
+  for (const cache::CacheRecord &R : M.Records)
+    cache::encode(E, R);
+  return finishFrame(std::move(E));
+}
+
 std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
   Decoder D(Payload);
   if (!decodeHeader(D))
     return std::nullopt;
   uint8_t Tag = D.u8();
   if (Tag < static_cast<uint8_t>(MsgType::Hello) ||
-      Tag > static_cast<uint8_t>(MsgType::Verdict))
+      Tag > static_cast<uint8_t>(MsgType::CacheDelta))
     return std::nullopt;
   WireMsg M;
   M.Type = static_cast<MsgType>(Tag);
@@ -170,6 +180,15 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
     M.Verdict.RecvConfigs = D.u64();
     M.Verdict.SentBatches = D.u64();
     M.Verdict.SentBytes = D.u64();
+    break;
+  }
+  case MsgType::CacheDelta: {
+    M.Delta.ShardId = D.u32();
+    if (D.u32() != cache::CacheRecordVersion)
+      return std::nullopt; // Foreign record layout: drop the whole delta.
+    uint32_t Count = D.u32();
+    for (uint32_t I = 0; I != Count && !D.failed(); ++I)
+      M.Delta.Records.push_back(cache::decodeCacheRecord(D));
     break;
   }
   }

@@ -21,6 +21,7 @@
 ///   C -> W   FrontierBatch  relayed to the owning shard
 ///   W -> C   StatsReport    idle/failed/exhausted + sent/received counts
 ///   C -> W   Drain          stop exploring and report
+///   W -> C   CacheDelta     obligation-cache records appended worker-side
 ///   W -> C   Verdict        the shard's RunResult, then exit
 ///
 //===----------------------------------------------------------------------===//
@@ -28,6 +29,7 @@
 #ifndef FCSL_DIST_WIRE_H
 #define FCSL_DIST_WIRE_H
 
+#include "cache/Store.h"
 #include "prog/Engine.h"
 #include "support/Codec.h"
 
@@ -42,6 +44,7 @@ enum class MsgType : uint8_t {
   StatsReport = 3,
   Drain = 4,
   Verdict = 5,
+  CacheDelta = 6,
 };
 
 /// Announces a worker's shard id on its channel.
@@ -143,6 +146,20 @@ struct VerdictMsg {
   }
 };
 
+/// Obligation-cache records a worker appended during its run, shipped to
+/// the coordinator before the Verdict so the fleet shares one store (the
+/// coordinator merges them into its own). The body carries the cache
+/// record format version: a delta from a worker running a different
+/// record layout decodes as empty, never as garbage records.
+struct CacheDeltaMsg {
+  uint32_t ShardId = 0;
+  std::vector<cache::CacheRecord> Records;
+
+  friend bool operator==(const CacheDeltaMsg &A, const CacheDeltaMsg &B) {
+    return A.ShardId == B.ShardId && A.Records == B.Records;
+  }
+};
+
 /// A decoded frame: the type tag plus the matching body (the other bodies
 /// stay default-constructed).
 struct WireMsg {
@@ -152,6 +169,7 @@ struct WireMsg {
   StatsReportMsg Stats;
   DrainMsg Drain;
   VerdictMsg Verdict;
+  CacheDeltaMsg Delta;
 };
 
 /// Frames larger than this are treated as stream corruption, not as a
@@ -164,6 +182,7 @@ std::vector<uint8_t> frameBatch(const FrontierBatchMsg &M);
 std::vector<uint8_t> frameStats(const StatsReportMsg &M);
 std::vector<uint8_t> frameDrain(const DrainMsg &M);
 std::vector<uint8_t> frameVerdict(const VerdictMsg &M);
+std::vector<uint8_t> frameCacheDelta(const CacheDeltaMsg &M);
 
 /// Decodes one frame payload (the bytes after the length prefix).
 /// Returns nullopt on any malformation: bad header, unknown type tag,

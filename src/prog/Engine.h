@@ -100,6 +100,36 @@ struct EngineOptions {
   SymMode Symmetry = SymMode::Default;
 };
 
+/// The order-independent work counters of one (or several aggregated)
+/// exploration runs, split out of RunResult so other layers can carry them
+/// around without the full result: an ObligationResult records the
+/// counters its discharge cost, and the obligation cache (cache/Store.h)
+/// persists them so a warm run replays `--stats` faithfully.
+struct EngineCounters {
+  uint64_t Configs = 0;
+  uint64_t ActionSteps = 0;
+  uint64_t EnvSteps = 0;
+  uint64_t Terminals = 0;
+  uint64_t DedupHits = 0;
+
+  EngineCounters &operator+=(const EngineCounters &O) {
+    Configs += O.Configs;
+    ActionSteps += O.ActionSteps;
+    EnvSteps += O.EnvSteps;
+    Terminals += O.Terminals;
+    DedupHits += O.DedupHits;
+    return *this;
+  }
+  friend bool operator==(const EngineCounters &A, const EngineCounters &B) {
+    return A.Configs == B.Configs && A.ActionSteps == B.ActionSteps &&
+           A.EnvSteps == B.EnvSteps && A.Terminals == B.Terminals &&
+           A.DedupHits == B.DedupHits;
+  }
+  friend bool operator!=(const EngineCounters &A, const EngineCounters &B) {
+    return !(A == B);
+  }
+};
+
 /// A terminal execution: the program's result and final state.
 struct Terminal {
   Val Result;
@@ -158,6 +188,16 @@ struct RunResult {
   bool complete() const { return Safe && !Exhausted; }
   /// Renders the failure trace, one step per line.
   std::string renderTrace() const;
+  /// This run's work counters in the detached form the cache persists.
+  EngineCounters counters() const {
+    EngineCounters C;
+    C.Configs = ConfigsExplored;
+    C.ActionSteps = ActionSteps;
+    C.EnvSteps = EnvSteps;
+    C.Terminals = Terminals.size();
+    C.DedupHits = DedupHits;
+    return C;
+  }
 };
 
 /// Explores every interleaving of \p Root from \p Initial. The root

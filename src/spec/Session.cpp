@@ -1,4 +1,4 @@
-//===- spec/Session.cpp - Verification obligation ledger -------------------===//
+//===- spec/Session.cpp - Content-addressed proof-unit scheduler -----------===//
 //
 // Part of fcsl-cpp. See Session.h for the interface.
 //
@@ -33,6 +33,13 @@ const char *fcsl::obCategoryName(ObCategory C) {
   return "<?>";
 }
 
+uint64_t fcsl::engineFlagsFingerprint() {
+  uint64_t Fp = fpString("fcsl-engine-flags");
+  Fp = fpCombine(Fp, static_cast<uint64_t>(defaultPorMode()));
+  Fp = fpCombine(Fp, static_cast<uint64_t>(defaultSymmetryMode()));
+  return Fp;
+}
+
 uint64_t SessionReport::totalObligations() const {
   uint64_t Total = 0;
   for (const CategoryStats &S : PerCategory)
@@ -48,49 +55,165 @@ uint64_t SessionReport::totalChecks() const {
 }
 
 void VerificationSession::addObligation(
+    ObCategory Category, std::string Name, const ObligationInputs &Inputs,
+    std::function<ObligationResult()> Run) {
+  assert(Run && "obligation needs a discharge function");
+  Units.push_back(
+      ProofUnit{Category, std::move(Name), Inputs.fp(), std::move(Run)});
+}
+
+void VerificationSession::addObligation(
     ObCategory Category, std::string Name,
     std::function<ObligationResult()> Run) {
   assert(Run && "obligation needs a discharge function");
-  Obligations.push_back(
-      Obligation{Category, std::move(Name), std::move(Run)});
+  Units.push_back(ProofUnit{Category, std::move(Name), 0, std::move(Run)});
 }
+
+namespace {
+
+/// Replays a stored verdict as an ObligationResult.
+ObligationResult replay(const cache::CacheRecord &R) {
+  ObligationResult O;
+  O.Passed = R.Passed;
+  O.Checks = R.Checks;
+  O.Note = R.Note;
+  O.Counters = R.Counters;
+  O.FromCache = true;
+  return O;
+}
+
+/// A fresh verdict as the record the store persists.
+cache::CacheRecord toRecord(const cache::ObligationKey &Key,
+                            const ObligationResult &O, double ElapsedMs) {
+  cache::CacheRecord R;
+  R.Key = Key;
+  R.Passed = O.Passed;
+  R.Checks = O.Checks;
+  R.Counters = O.Counters;
+  R.ElapsedUs = static_cast<uint64_t>(ElapsedMs * 1000.0);
+  R.Note = O.Note;
+  return R;
+}
+
+} // namespace
 
 SessionReport VerificationSession::run(unsigned Jobs) const {
   SessionReport Report;
   Report.Program = Program;
   Timer Total;
-  size_t N = Obligations.size();
-  unsigned J = effectiveJobs(Jobs, N);
+  size_t N = Units.size();
+
+  // Resolve the cache policy once for the whole session, so every unit
+  // sees one consistent store and flags fingerprint.
+  cache::CacheMode Mode = cache::defaultCacheMode();
+  cache::Store *S =
+      Mode == cache::CacheMode::Off ? nullptr : cache::activeStore();
+  const uint64_t FlagsFp = engineFlagsFingerprint();
+  const bool Writes = S && (Mode == cache::CacheMode::Rw ||
+                            Mode == cache::CacheMode::Check);
+
+  // Phase 1 (serial): probe the store. A hit is replayed; under Check it
+  // is *also* dispatched, and the fresh result must agree. Misses and
+  // unkeyed units are always dispatched.
+  std::vector<ObligationResult> Results(N);
+  std::vector<double> ElapsedMs(N, 0.0);
+  std::vector<const cache::CacheRecord *> Hit(N, nullptr);
+  std::vector<size_t> ToRun;
+  ToRun.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    const ProofUnit &U = Units[I];
+    if (!U.keyed()) {
+      ++Report.Cache.Unkeyed;
+      ToRun.push_back(I);
+      continue;
+    }
+    if (!S) {
+      ToRun.push_back(I);
+      continue;
+    }
+    if (const cache::CacheRecord *R = S->lookup(U.key(FlagsFp))) {
+      ++Report.Cache.Hits;
+      Report.Cache.ReplayedChecks += R->Checks;
+      Report.Cache.ReplayedConfigs += R->Counters.Configs;
+      Report.Cache.ReplayedUs += R->ElapsedUs;
+      Results[I] = replay(*R);
+      if (Mode == cache::CacheMode::Check) {
+        Hit[I] = R;
+        ++Report.Cache.CheckRuns;
+        ToRun.push_back(I);
+      }
+      continue;
+    }
+    ++Report.Cache.Misses;
+    if (S->hasContent(U.ContentFp))
+      ++Report.Cache.StaleFlags;
+    ToRun.push_back(I);
+  }
+
+  // Phase 2: discharge the dispatch list concurrently (units are
+  // independent), then fold the ledger in registration order so tallies
+  // and the failure list do not depend on scheduling.
+  unsigned J = effectiveJobs(Jobs, ToRun.size());
   // Sharded exploration forks worker processes from inside obligations;
   // fork() from a multi-threaded parent is unsafe (and the distributed
   // hook refuses to engage there), so discharge serially instead.
   if (defaultShards() > 1)
     J = 1;
-
-  // Discharge concurrently (obligations are independent), then fold the
-  // ledger in registration order so tallies and the failure list do not
-  // depend on scheduling.
-  std::vector<ObligationResult> Results(N);
-  std::vector<double> ElapsedMs(N, 0.0);
-  parallelFor(N, J, [&](size_t I) {
+  std::vector<ObligationResult> Fresh(ToRun.size());
+  std::vector<double> FreshMs(ToRun.size(), 0.0);
+  parallelFor(ToRun.size(), J, [&](size_t K) {
     Timer One;
-    Results[I] = Obligations[I].Run();
-    ElapsedMs[I] = One.elapsedMs();
+    Fresh[K] = Units[ToRun[K]].Run();
+    FreshMs[K] = One.elapsedMs();
   });
 
+  // Phase 3 (serial, registration order): reconcile check-mode re-runs,
+  // install fresh results, and append new verdicts to the store.
+  for (size_t K = 0; K != ToRun.size(); ++K) {
+    size_t I = ToRun[K];
+    const ProofUnit &U = Units[I];
+    if (const cache::CacheRecord *R = Hit[I]) {
+      // Check mode: the stored verdict must match the fresh discharge in
+      // verdict, check count, and engine counters (all bit-identical
+      // across jobs and shards by the PR 1 / PR 4 invariants).
+      if (Fresh[K].Passed != R->Passed || Fresh[K].Checks != R->Checks ||
+          Fresh[K].Counters != R->Counters) {
+        ++Report.Cache.Divergences;
+        ObligationResult Diverged = Fresh[K];
+        Diverged.Passed = false;
+        Diverged.Note = "cache-check divergence: stored verdict " +
+                        std::string(R->Passed ? "pass" : "fail") + "/" +
+                        std::to_string(R->Checks) + " checks vs fresh " +
+                        std::string(Fresh[K].Passed ? "pass" : "fail") + "/" +
+                        std::to_string(Fresh[K].Checks) + " checks";
+        Results[I] = Diverged;
+      }
+      // Agreement: keep the replayed result so the report stays
+      // bit-identical to a plain warm run.
+      ElapsedMs[I] = FreshMs[K];
+      continue;
+    }
+    Results[I] = Fresh[K];
+    ElapsedMs[I] = FreshMs[K];
+    if (Writes && U.keyed()) {
+      S->append(toRecord(U.key(FlagsFp), Fresh[K], FreshMs[K]));
+      ++Report.Cache.Stores;
+    }
+  }
+
   for (size_t I = 0; I != N; ++I) {
-    const Obligation &Ob = Obligations[I];
-    CategoryStats &Stats =
-        Report.PerCategory[static_cast<size_t>(Ob.Category)];
+    const ProofUnit &U = Units[I];
+    CategoryStats &Stats = Report.PerCategory[static_cast<size_t>(U.Category)];
     ++Stats.Obligations;
     Stats.Checks += Results[I].Checks;
     Stats.ElapsedMs += ElapsedMs[I];
     if (!Results[I].Passed) {
       Report.AllPassed = false;
-      Report.Failures.push_back(Program + "/" + Ob.Name + ": " +
+      Report.Failures.push_back(Program + "/" + U.Name + ": " +
                                 Results[I].Note);
     }
   }
   Report.TotalMs = Total.elapsedMs();
+  cache::accumulateCacheStats(Report.Cache);
   return Report;
 }

@@ -1,4 +1,4 @@
-//===- spec/Session.h - Verification obligation ledger ----------*- C++ -*-===//
+//===- spec/Session.h - Content-addressed proof-unit scheduler --*- C++ -*-===//
 //
 // Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
 // Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
@@ -6,22 +6,36 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A VerificationSession collects the named proof obligations of one case
-/// study, classified into the categories of the paper's Table 1 — Libs
+/// A VerificationSession collects the proof obligations of one case study,
+/// classified into the categories of the paper's Table 1 — Libs
 /// (program-specific library lemmas), Conc (concurroid definitions and
 /// their metatheory), Acts (atomic-action obligations), Stab (stability
 /// lemmas) and Main (the main function's Hoare triple) — discharges them,
 /// and reports per-category counts and timings. Running every session is
 /// how bench_table1 regenerates the shape of Table 1.
 ///
+/// Obligations are first-class *proof units*: each carries a canonical
+/// content fingerprint declared at registration from the interned
+/// artifacts it depends on (program fp, spec strings, concurroid fp,
+/// instance views, engine bounds — never session names or registration
+/// order). Together with the process's engine-flag fingerprint this forms
+/// the unit's ObligationKey, and `run()` is a scheduler over units: it
+/// probes the persistent verdict store (cache/Store.h) first, replays
+/// hits bit-identically (stored check counts and engine counters), and
+/// dispatches only the misses to the job pool. See DESIGN.md §13.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCSL_SPEC_SESSION_H
 #define FCSL_SPEC_SESSION_H
 
+#include "cache/Store.h"
+#include "support/Intern.h"
+
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fcsl {
@@ -32,12 +46,96 @@ enum class ObCategory : uint8_t { Libs, Conc, Acts, Stab, Main };
 /// Renders a category as the paper's column heading.
 const char *obCategoryName(ObCategory C);
 
+/// What a proof unit checks; part of its content address, so two units
+/// over the same artifacts but of different kinds never share a verdict.
+enum class ObKind : uint8_t {
+  Check,      ///< a plain boolean lemma (PCM laws, library facts).
+  Metatheory, ///< concurroid metatheory over sampled states.
+  Action,     ///< atomic-action obligations over sampled states.
+  Stability,  ///< assertion stability under environment interference.
+  Triple,     ///< a Hoare triple discharged by exhaustive exploration.
+};
+
+/// Accumulates a proof unit's declared content fingerprint. Obligation
+/// closures are opaque, so each registration site *declares* what its
+/// verdict depends on — the fingerprints of the interned artifacts it
+/// captures — through this builder. The staleness contract (DESIGN.md
+/// §13): a unit's verdict may be served from the store exactly when every
+/// declared input is unchanged; a site whose closure logic changes in a
+/// way no artifact fingerprint reflects must bump its `rev()`.
+class ObligationInputs {
+public:
+  explicit ObligationInputs(ObKind Kind)
+      : Fp(fpCombine(fpString("fcsl-obligation"),
+                     static_cast<uint64_t>(Kind))) {}
+
+  /// Mixes a precomputed fingerprint (Prog/View/Concurroid/codecFp).
+  ObligationInputs &mix(uint64_t V) {
+    Fp = fpCombine(Fp, V);
+    return *this;
+  }
+  /// Mixes a semantic string (spec pre/post text, action names).
+  ObligationInputs &text(std::string_view S) {
+    Fp = fpCombine(Fp, fpString(S));
+    return *this;
+  }
+  /// Mixes a semantic integer (bounds, arities, seed counts).
+  ObligationInputs &num(uint64_t V) {
+    Fp = fpCombine(Fp, fpScramble(V + 0x9e3779b97f4a7c15ULL));
+    return *this;
+  }
+  /// Mixes a semantic boolean (EnvInterference, closed-world).
+  ObligationInputs &flag(bool B) {
+    Fp = fpCombine(Fp, B ? 0x2545f4914f6cdd1dULL : 0x9e6c63d0873d7c4dULL);
+    return *this;
+  }
+  /// Closure-logic revision: bump when the discharge code changes in a
+  /// way no artifact fingerprint captures (new sample family, tightened
+  /// check), so stale verdicts stop answering.
+  ObligationInputs &rev(uint64_t N) {
+    Fp = fpCombine(Fp, fpCombine(fpString("rev"), N));
+    return *this;
+  }
+
+  /// The accumulated content fingerprint; never 0 (0 means "unkeyed").
+  uint64_t fp() const { return Fp ? Fp : 1; }
+
+private:
+  uint64_t Fp;
+};
+
 /// What one discharged obligation reports back.
 struct ObligationResult {
   bool Passed = true;
   uint64_t Checks = 0; ///< elementary checks run (states, joins, ...).
   std::string Note;    ///< failure description when !Passed.
+  /// Exploration work behind the verdict (zero for sample-based checks);
+  /// persisted so warm runs replay `--stats` faithfully.
+  EngineCounters Counters;
+  bool FromCache = false; ///< served from the store, not discharged.
 };
+
+/// One first-class obligation: category and name for reporting, a content
+/// fingerprint for addressing, and the discharge closure. ContentFp == 0
+/// marks a legacy unkeyed unit — always discharged, never cached.
+struct ProofUnit {
+  ObCategory Category = ObCategory::Libs;
+  std::string Name;
+  uint64_t ContentFp = 0;
+  std::function<ObligationResult()> Run;
+
+  bool keyed() const { return ContentFp != 0; }
+  cache::ObligationKey key(uint64_t FlagsFp) const {
+    return cache::ObligationKey{ContentFp, FlagsFp};
+  }
+};
+
+/// The engine-relevant process-flag fingerprint: the *resolved* POR and
+/// symmetry modes. Jobs and Shards are deliberately excluded — results
+/// are bit-identical across both (PR 1 / PR 4 invariants), so a verdict
+/// computed at --shards=2 validly answers a --jobs=8 query. Bounds and
+/// interference are content-side (they vary per unit, not per process).
+uint64_t engineFlagsFingerprint();
 
 /// Per-category tallies.
 struct CategoryStats {
@@ -53,42 +151,53 @@ struct SessionReport {
   CategoryStats PerCategory[5];
   double TotalMs = 0.0;
   std::vector<std::string> Failures;
+  /// This session's cache traffic (also accumulated process-wide for
+  /// `--stats`): hits replayed, misses discharged, stale-by-flag misses,
+  /// records stored, check-mode re-runs and divergences, unkeyed units.
+  cache::CacheStats Cache;
 
   uint64_t totalObligations() const;
   uint64_t totalChecks() const;
 };
 
-/// One case study's bundle of obligations.
+/// One case study's bundle of proof units.
 class VerificationSession {
 public:
   explicit VerificationSession(std::string Program)
       : Program(std::move(Program)) {}
 
-  /// Registers an obligation. Obligations must be independent: with a
+  /// Registers a keyed proof unit. Units must be independent: with a
   /// parallel job count they are discharged concurrently, and the report
-  /// always aggregates in registration order.
+  /// always aggregates in registration order. \p Inputs declares the
+  /// unit's content (see ObligationInputs).
+  void addObligation(ObCategory Category, std::string Name,
+                     const ObligationInputs &Inputs,
+                     std::function<ObligationResult()> Run);
+
+  /// Registers an unkeyed unit — always discharged, never cached. For
+  /// obligations whose inputs cannot (yet) be fingerprinted.
   void addObligation(ObCategory Category, std::string Name,
                      std::function<ObligationResult()> Run);
 
-  /// Discharges every obligation and reports. \p Jobs is the worker
-  /// count for concurrent discharge: 0 = the process default (see
-  /// support/ThreadPool.h), 1 = serial. Independent ledger entries
-  /// (stability, metatheory, action checks, triples) run concurrently;
-  /// per-category tallies and the failure list are deterministic.
+  /// Schedules every unit and reports. \p Jobs is the worker count for
+  /// concurrent discharge: 0 = the process default (see
+  /// support/ThreadPool.h), 1 = serial. The scheduler first probes the
+  /// verdict store under the process CacheMode (cache/Store.h): hits are
+  /// replayed with their stored check counts and engine counters — so the
+  /// report is bit-identical to a cold run — and only misses (plus every
+  /// unit, under --cache=check) go to the job pool. Fresh verdicts of
+  /// keyed units are appended to the store in registration order.
   SessionReport run(unsigned Jobs = 0) const;
 
   const std::string &program() const { return Program; }
-  size_t numObligations() const { return Obligations.size(); }
+  size_t numObligations() const { return Units.size(); }
+  /// The registered units, in registration order (tests key-stability
+  /// and the daemon's scheduling on this).
+  const std::vector<ProofUnit> &units() const { return Units; }
 
 private:
-  struct Obligation {
-    ObCategory Category;
-    std::string Name;
-    std::function<ObligationResult()> Run;
-  };
-
   std::string Program;
-  std::vector<Obligation> Obligations;
+  std::vector<ProofUnit> Units;
 };
 
 } // namespace fcsl

@@ -112,6 +112,7 @@ VerifyResult fcsl::verifyTriple(const ProgRef &Prog, const Spec &S,
     Out.ConfigsExplored += Run.ConfigsExplored;
     Out.ActionSteps += Run.ActionSteps;
     Out.EnvSteps += Run.EnvSteps;
+    Out.DedupHits += Run.DedupHits;
 
     if (!Run.Safe) {
       Out.Holds = false;

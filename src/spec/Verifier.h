@@ -46,6 +46,19 @@ struct VerifyResult {
   uint64_t ActionSteps = 0;
   uint64_t EnvSteps = 0;
   uint64_t TerminalsChecked = 0;
+  uint64_t DedupHits = 0;
+
+  /// The aggregated engine counters in the detached form obligation
+  /// results carry (and the verdict cache persists for `--stats` replay).
+  EngineCounters counters() const {
+    EngineCounters C;
+    C.Configs = ConfigsExplored;
+    C.ActionSteps = ActionSteps;
+    C.EnvSteps = EnvSteps;
+    C.Terminals = TerminalsChecked;
+    C.DedupHits = DedupHits;
+    return C;
+  }
 };
 
 /// Verifies `{Spec.Pre} Prog {Spec.Post}` over all \p Instances whose

@@ -136,26 +136,25 @@ GlobalState allocInitialState(const LockProtocol &P,
   return GS;
 }
 
-ObligationResult verifyAllocWith(const LockFactory &Factory,
-                                 PCMTypeRef TokenType,
-                                 bool EnvInterference) {
+TripleCase allocCaseWith(const LockFactory &Factory, PCMTypeRef TokenType,
+                         bool EnvInterference) {
   ResourceModel Model =
       allocatorResourceModel(PvLbl, LkLbl, AllocPoolSize);
   LockProtocol P = Factory(PvLbl, LkLbl, Model);
   auto Defs = std::make_shared<DefTable>();
   defineAllocProgram(P, *Defs, AllocPoolSize);
 
-  ProgRef Main = Prog::call("alloc", {});
-  Spec S;
-  S.Name = "alloc";
-  S.C = P.C;
-  S.Pre = Assertion("pool installed, not holding", [P](const View &V) {
+  TripleCase TC;
+  TC.Main = Prog::call("alloc", {});
+  TC.S.Name = "alloc";
+  TC.S.C = P.C;
+  TC.S.Pre = Assertion("pool installed, not holding", [P](const View &V) {
     return V.hasLabel(P.Lk) && !P.HoldsLock(V);
   });
-  S.PostName = "returns a pool pointer now owned privately; count grew";
+  TC.S.PostName = "returns a pool pointer now owned privately; count grew";
   Label Pv = P.Pv;
   auto ClientSelf = P.ClientSelf;
-  S.Post = [Pv, ClientSelf](const Val &R, const View &I, const View &F) {
+  TC.S.Post = [Pv, ClientSelf](const Val &R, const View &I, const View &F) {
     if (!R.isPtr() || !isPoolCell(R.getPtr()))
       return false;
     // The allocated cell moved into my private heap ...
@@ -165,16 +164,14 @@ ObligationResult verifyAllocWith(const LockFactory &Factory,
     return ClientSelf(F).getNat() == ClientSelf(I).getNat() + 1;
   };
 
-  std::vector<VerifyInstance> Instances;
-  Instances.push_back(VerifyInstance{
+  TC.Instances.push_back(VerifyInstance{
       allocInitialState(P, PCMType::pairOf(TokenType, PCMType::nat())),
       {}});
 
-  EngineOptions Opts;
-  Opts.Ambient = P.C;
-  Opts.EnvInterference = EnvInterference;
-  Opts.Defs = Defs.get();
-  return toObligation(verifyTriple(Main, S, Instances, Opts));
+  TC.Opts.Ambient = P.C;
+  TC.Opts.EnvInterference = EnvInterference;
+  TC.Defs = Defs;
+  return TC;
 }
 
 } // namespace
@@ -182,56 +179,53 @@ ObligationResult verifyAllocWith(const LockFactory &Factory,
 VerificationSession fcsl::makeCgAllocatorSession() {
   VerificationSession Session("CG allocator");
 
-  Session.addObligation(ObCategory::Libs, "heap_pcm_laws", [] {
-    std::vector<PCMVal> Sample = {
-        PCMVal::ofHeap(Heap()),
-        PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(0))),
-        PCMVal::ofHeap(Heap::singleton(Ptr(2), Val::ofInt(0))),
-        PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(7))),
-        PCMVal::ofHeap(fullPool(AllocPoolSize))};
-    PCMLawReport R = checkPCMLaws(*PCMType::heap(), Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+  PCMTypeRef LawType = PCMType::heap();
+  std::vector<PCMVal> LawSample = {
+      PCMVal::ofHeap(Heap()),
+      PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(0))),
+      PCMVal::ofHeap(Heap::singleton(Ptr(2), Val::ofInt(0))),
+      PCMVal::ofHeap(Heap::singleton(Ptr(1), Val::ofInt(7))),
+      PCMVal::ofHeap(fullPool(AllocPoolSize))};
+  Session.addObligation(
+      ObCategory::Libs, "heap_pcm_laws",
+      pcmLawInputs(LawType, LawSample, 1).text("cancellative"), [LawSample] {
+        PCMLawReport R = checkPCMLaws(*PCMType::heap(), LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
-  Session.addObligation(ObCategory::Main, "alloc_with_cas_lock", [] {
-    return verifyAllocWith(casLockFactory(), PCMType::mutex(),
-                           /*EnvInterference=*/true);
-  });
-  Session.addObligation(ObCategory::Main, "alloc_with_ticket_lock", [] {
-    return verifyAllocWith(ticketLockFactory(), PCMType::ptrSet(),
-                           /*EnvInterference=*/true);
-  });
-  Session.addObligation(ObCategory::Main, "two_allocs_disjoint", [] {
+  addTriple(Session, "alloc_with_cas_lock",
+            allocCaseWith(casLockFactory(), PCMType::mutex(),
+                          /*EnvInterference=*/true));
+  addTriple(Session, "alloc_with_ticket_lock",
+            allocCaseWith(ticketLockFactory(), PCMType::ptrSet(),
+                          /*EnvInterference=*/true));
+  {
     // par(alloc, alloc): the two pointers are distinct (closed world).
     ResourceModel Model =
         allocatorResourceModel(PvLbl, LkLbl, AllocPoolSize);
     LockProtocol P = makeCasLock(PvLbl, LkLbl, Model);
     auto Defs = std::make_shared<DefTable>();
     defineAllocProgram(P, *Defs, AllocPoolSize);
-    ProgRef Main =
-        Prog::par(Prog::call("alloc", {}), Prog::call("alloc", {}));
-    Spec S;
-    S.Name = "parallel_alloc";
-    S.C = P.C;
-    S.Pre = assertTrue();
-    S.PostName = "distinct pool pointers";
-    S.Post = [](const Val &R, const View &, const View &) {
+    TripleCase TC;
+    TC.Main = Prog::par(Prog::call("alloc", {}), Prog::call("alloc", {}));
+    TC.S.Name = "parallel_alloc";
+    TC.S.C = P.C;
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "distinct pool pointers";
+    TC.S.Post = [](const Val &R, const View &, const View &) {
       return R.isPair() && R.first().isPtr() && R.second().isPtr() &&
              R.first().getPtr() != R.second().getPtr();
     };
-    EngineOptions Opts;
-    Opts.Ambient = P.C;
-    Opts.EnvInterference = false;
-    Opts.Defs = Defs.get();
-    return toObligation(verifyTriple(
-        Main, S,
-        {VerifyInstance{
-            allocInitialState(P, PCMType::pairOf(PCMType::mutex(),
-                                                 PCMType::nat())),
-            {}}},
-        Opts));
-  });
+    TC.Instances.push_back(VerifyInstance{
+        allocInitialState(P, PCMType::pairOf(PCMType::mutex(),
+                                             PCMType::nat())),
+        {}});
+    TC.Opts.Ambient = P.C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = Defs;
+    addTriple(Session, "two_allocs_disjoint", std::move(TC));
+  }
 
   return Session;
 }

@@ -106,32 +106,31 @@ GlobalState incrInitialState(const LockProtocol &P, uint64_t EnvTotal,
   return GS;
 }
 
-/// Verifies {self = c} incr() {self = c + 1} with the given lock factory.
-ObligationResult verifyIncrWith(const LockFactory &Factory,
-                                PCMTypeRef TokenType, bool Parallel,
-                                bool EnvInterference) {
+/// The {self = c} incr() {self = c + delta} triple with the given lock
+/// factory, in registration-time form so the proof unit is content-keyed.
+TripleCase incrCaseWith(const LockFactory &Factory, PCMTypeRef TokenType,
+                        bool Parallel, bool EnvInterference) {
   ResourceModel Model = counterResourceModel(LkLbl, /*EnvCap=*/1);
   LockProtocol P = Factory(PvLbl, LkLbl, Model);
   auto Defs = std::make_shared<DefTable>();
   defineIncrProgram(P, *Defs);
 
-  ProgRef Main = Parallel
-                     ? Prog::par(Prog::call("incr", {}),
+  TripleCase TC;
+  TC.Main = Parallel ? Prog::par(Prog::call("incr", {}),
                                  Prog::call("incr", {}))
                      : Prog::call("incr", {});
   uint64_t Delta = Parallel ? 2 : 1;
 
-  Spec S;
-  S.Name = Parallel ? "parallel_incr" : "incr";
-  S.C = P.C;
-  S.Pre = Assertion("counter resource installed", [P](const View &V) {
+  TC.S.Name = Parallel ? "parallel_incr" : "incr";
+  TC.S.C = P.C;
+  TC.S.Pre = Assertion("counter resource installed", [P](const View &V) {
     return V.hasLabel(P.Lk) && !P.HoldsLock(V);
   });
-  S.PostName = "self contribution grew by the number of increments";
+  TC.S.PostName = "self contribution grew by the number of increments";
   auto ClientSelf = P.ClientSelf;
   Label Lk = P.Lk;
-  S.Post = [ClientSelf, Delta, Lk](const Val &R, const View &I,
-                                   const View &F) {
+  TC.S.Post = [ClientSelf, Delta, Lk](const Val &R, const View &I,
+                                      const View &F) {
     if (!R.isUnit() && !R.isPair())
       return false;
     if (ClientSelf(F).getNat() != ClientSelf(I).getNat() + Delta)
@@ -149,19 +148,17 @@ ObligationResult verifyIncrWith(const LockFactory &Factory,
     return true;
   };
 
-  std::vector<VerifyInstance> Instances;
   for (uint64_t EnvTotal : {uint64_t{0}, uint64_t{1}})
-    Instances.push_back(
+    TC.Instances.push_back(
         VerifyInstance{incrInitialState(P, EnvTotal,
                                         PCMType::pairOf(TokenType,
                                                         PCMType::nat())),
                        {}});
 
-  EngineOptions Opts;
-  Opts.Ambient = P.C;
-  Opts.EnvInterference = EnvInterference;
-  Opts.Defs = Defs.get();
-  return toObligation(verifyTriple(Main, S, Instances, Opts));
+  TC.Opts.Ambient = P.C;
+  TC.Opts.EnvInterference = EnvInterference;
+  TC.Defs = Defs;
+  return TC;
 }
 
 } // namespace
@@ -170,33 +167,32 @@ VerificationSession fcsl::makeCgIncrementSession() {
   VerificationSession Session("CG increment");
 
   // Libs: the nat-PCM addition laws this client's reasoning leans on.
-  Session.addObligation(ObCategory::Libs, "nat_pcm_laws", [] {
-    std::vector<PCMVal> Sample;
-    for (uint64_t N = 0; N <= 4; ++N)
-      Sample.push_back(PCMVal::ofNat(N));
-    PCMLawReport R = checkPCMLaws(*PCMType::nat(), Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+  PCMTypeRef LawType = PCMType::nat();
+  std::vector<PCMVal> LawSample;
+  for (uint64_t N = 0; N <= 4; ++N)
+    LawSample.push_back(PCMVal::ofNat(N));
+  Session.addObligation(
+      ObCategory::Libs, "nat_pcm_laws",
+      pcmLawInputs(LawType, LawSample, 1).text("cancellative"), [LawSample] {
+        PCMLawReport R = checkPCMLaws(*PCMType::nat(), LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
   // Main: sequential increment under interference, with both locks; then
   // the parallel client (closed world so the +2 outcome is exact).
-  Session.addObligation(ObCategory::Main, "incr_with_cas_lock", [] {
-    return verifyIncrWith(casLockFactory(), PCMType::mutex(),
-                          /*Parallel=*/false, /*EnvInterference=*/true);
-  });
-  Session.addObligation(ObCategory::Main, "incr_with_ticket_lock", [] {
-    return verifyIncrWith(ticketLockFactory(), PCMType::ptrSet(),
-                          /*Parallel=*/false, /*EnvInterference=*/true);
-  });
-  Session.addObligation(ObCategory::Main, "parallel_incr_cas_lock", [] {
-    return verifyIncrWith(casLockFactory(), PCMType::mutex(),
-                          /*Parallel=*/true, /*EnvInterference=*/false);
-  });
-  Session.addObligation(ObCategory::Main, "parallel_incr_ticket_lock", [] {
-    return verifyIncrWith(ticketLockFactory(), PCMType::ptrSet(),
-                          /*Parallel=*/true, /*EnvInterference=*/false);
-  });
+  addTriple(Session, "incr_with_cas_lock",
+            incrCaseWith(casLockFactory(), PCMType::mutex(),
+                         /*Parallel=*/false, /*EnvInterference=*/true));
+  addTriple(Session, "incr_with_ticket_lock",
+            incrCaseWith(ticketLockFactory(), PCMType::ptrSet(),
+                         /*Parallel=*/false, /*EnvInterference=*/true));
+  addTriple(Session, "parallel_incr_cas_lock",
+            incrCaseWith(casLockFactory(), PCMType::mutex(),
+                         /*Parallel=*/true, /*EnvInterference=*/false));
+  addTriple(Session, "parallel_incr_ticket_lock",
+            incrCaseWith(ticketLockFactory(), PCMType::ptrSet(),
+                         /*Parallel=*/true, /*EnvInterference=*/false));
 
   return Session;
 }

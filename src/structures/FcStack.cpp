@@ -50,8 +50,13 @@ VerificationSession fcsl::makeFcStackSession() {
   // validity predicate relating operation, argument, result and history
   // contribution (Section 4.2): push entries grow the state by their
   // argument, pop entries shrink it by their result.
-  Session.addObligation(ObCategory::Libs, "fc_R_stack_instance", [] {
-    uint64_t Checks = 0;
+  Session.addObligation(ObCategory::Libs, "fc_R_stack_instance",
+                        ObligationInputs(ObKind::Check)
+                            .text("fc_R_stack_instance")
+                            .num(FcPush)
+                            .num(FcPop)
+                            .rev(1),
+                        [] {
     auto FcR = [](int64_t Op, const Val &Arg, const Val &Res,
                   const HistEntry &G) {
       if (Op == FcPush)
@@ -60,35 +65,45 @@ VerificationSession fcsl::makeFcStackSession() {
         return Res == Val::ofInt(0) && G.After == G.Before;
       return G.Before == Val::pair(Res, G.After);
     };
+    ObligationResult O;
     // Positive instances.
     Val S0 = Val::unit();
     Val S1 = Val::pair(Val::ofInt(4), S0);
-    Checks += 4;
-    if (!FcR(FcPush, Val::ofInt(4), Val::unit(), HistEntry{S0, S1}))
-      return ObligationResult{false, Checks, "push instance rejected"};
-    if (!FcR(FcPop, Val::ofInt(0), Val::ofInt(4), HistEntry{S1, S0}))
-      return ObligationResult{false, Checks, "pop instance rejected"};
-    if (!FcR(FcPop, Val::ofInt(0), Val::ofInt(0), HistEntry{S0, S0}))
-      return ObligationResult{false, Checks, "empty pop rejected"};
+    O.Checks += 4;
+    O.Passed = false;
+    if (!FcR(FcPush, Val::ofInt(4), Val::unit(), HistEntry{S0, S1})) {
+      O.Note = "push instance rejected";
+      return O;
+    }
+    if (!FcR(FcPop, Val::ofInt(0), Val::ofInt(4), HistEntry{S1, S0})) {
+      O.Note = "pop instance rejected";
+      return O;
+    }
+    if (!FcR(FcPop, Val::ofInt(0), Val::ofInt(0), HistEntry{S0, S0})) {
+      O.Note = "empty pop rejected";
+      return O;
+    }
     // Negative instance: a pop that invents a value.
-    if (FcR(FcPop, Val::ofInt(0), Val::ofInt(9), HistEntry{S1, S0}))
-      return ObligationResult{false, Checks, "bogus pop accepted"};
-    return ObligationResult{true, Checks, ""};
+    if (FcR(FcPop, Val::ofInt(0), Val::ofInt(9), HistEntry{S1, S0})) {
+      O.Note = "bogus pop accepted";
+      return O;
+    }
+    O.Passed = true;
+    return O;
   });
 
-  Session.addObligation(ObCategory::Main, "concurrent_pushes_via_fc",
-                        [Case] {
+  {
     // par(flat_combine(slot1, push, 1), flat_combine(slot2, push, 2)):
     // both pushes are recorded; the stack holds both values (closed
     // world, no external env).
-    Spec S;
-    S.Name = "fc_stack_parallel_push";
-    S.C = Case->C;
+    TripleCase TC;
+    TC.S.Name = "fc_stack_parallel_push";
+    TC.S.C = Case->C;
     Label Fc = Case->Fc;
     Ptr StkP = Case->StackCell;
-    S.Pre = assertTrue();
-    S.PostName = "both pushes recorded; stack holds {1, 2}";
-    S.Post = [Fc, StkP](const Val &R, const View &, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "both pushes recorded; stack holds {1, 2}";
+    TC.S.Post = [Fc, StkP](const Val &R, const View &, const View &F) {
       if (!R.isPair())
         return false;
       // Joined self history has both push entries.
@@ -115,7 +130,7 @@ VerificationSession fcsl::makeFcStackSession() {
       int64_t Below = Stack->second().first().getInt();
       return (Top == 1 && Below == 2) || (Top == 2 && Below == 1);
     };
-    ProgRef Main = Prog::par(
+    TC.Main = Prog::par(
         Prog::call("flat_combine",
                    {Expr::litPtr(Case->Slot1), Expr::litInt(FcPush),
                     Expr::litInt(1)}),
@@ -123,25 +138,24 @@ VerificationSession fcsl::makeFcStackSession() {
                    {Expr::litPtr(Case->Slot2), Expr::litInt(FcPush),
                     Expr::litInt(2)}),
         slotSplit(*Case));
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = false;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{flatCombinerState(*Case, 2), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{flatCombinerState(*Case, 2), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "concurrent_pushes_via_fc", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "push_pop_pair_via_fc", [Case] {
+  {
     // par(flat_combine(push 3), flat_combine(pop)): the pop either helps
     // itself to 3 or observes emptiness, but the push always lands.
-    Spec S;
-    S.Name = "fc_stack_push_pop";
-    S.C = Case->C;
+    TripleCase TC;
+    TC.S.Name = "fc_stack_push_pop";
+    TC.S.C = Case->C;
     Label Fc = Case->Fc;
-    S.Pre = assertTrue();
-    S.PostName = "pop returns 3 or empty-marker 0; push always recorded";
-    S.Post = [Fc](const Val &R, const View &, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "pop returns 3 or empty-marker 0; push always recorded";
+    TC.S.Post = [Fc](const Val &R, const View &, const View &F) {
       if (!R.isPair() || !R.second().isInt())
         return false;
       int64_t Popped = R.second().getInt();
@@ -155,7 +169,7 @@ VerificationSession fcsl::makeFcStackSession() {
           SawPush = true;
       return SawPush && Mine.size() == 2;
     };
-    ProgRef Main = Prog::par(
+    TC.Main = Prog::par(
         Prog::call("flat_combine",
                    {Expr::litPtr(Case->Slot1), Expr::litInt(FcPush),
                     Expr::litInt(3)}),
@@ -163,14 +177,13 @@ VerificationSession fcsl::makeFcStackSession() {
                    {Expr::litPtr(Case->Slot2), Expr::litInt(FcPop),
                     Expr::litInt(0)}),
         slotSplit(*Case));
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = false;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{flatCombinerState(*Case, 2), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{flatCombinerState(*Case, 2), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "push_pop_pair_via_fc", std::move(TC));
+  }
 
   return Session;
 }

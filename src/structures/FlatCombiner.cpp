@@ -722,26 +722,31 @@ VerificationSession fcsl::makeFlatCombinerSession() {
   auto Samples =
       std::make_shared<std::vector<View>>(flatCombinerSampleViews(*Case));
 
-  Session.addObligation(ObCategory::Libs, "fc_carrier_pcm_laws", [] {
-    PCMTypeRef T = PCMType::pairOf(
-        PCMType::mutex(),
-        PCMType::pairOf(PCMType::ptrSet(), PCMType::hist()));
-    std::vector<PCMVal> Sample;
+  PCMTypeRef LawType = PCMType::pairOf(
+      PCMType::mutex(),
+      PCMType::pairOf(PCMType::ptrSet(), PCMType::hist()));
+  std::vector<PCMVal> LawSample;
+  {
     History H;
     H.add(1, HistEntry{Val::unit(), Val::ofInt(1)});
     for (bool Own : {false, true}) {
-      Sample.push_back(makeSelf(
+      LawSample.push_back(makeSelf(
           Own ? PCMVal::mutexOwn() : PCMVal::mutexFree(), {}, History()));
-      Sample.push_back(makeSelf(
+      LawSample.push_back(makeSelf(
           Own ? PCMVal::mutexOwn() : PCMVal::mutexFree(), {Ptr(9601 + 1)},
           H));
     }
-    PCMLawReport R = checkPCMLaws(*T, Sample);
-    return ObligationResult{R.allHold(), R.JoinsEvaluated,
-                            "PCM law violated"};
+  }
+  Session.addObligation(ObCategory::Libs, "fc_carrier_pcm_laws",
+                        pcmLawInputs(LawType, LawSample, 1),
+                        [LawType, LawSample] {
+    PCMLawReport R = checkPCMLaws(*LawType, LawSample);
+    return lawObligation(R.allHold(), R.JoinsEvaluated);
   });
 
   Session.addObligation(ObCategory::Conc, "fc_metatheory",
+                        sampleInputs(ObKind::Metatheory, *Case->C,
+                                     *Samples, 1),
                         [Case, Samples] {
     return toObligation(checkConcurroidWellFormed(*Case->C, *Samples));
   });
@@ -754,11 +759,18 @@ VerificationSession fcsl::makeFlatCombinerSession() {
                                       {Val::ofPtr(Case->Slot2)}};
 
   Session.addObligation(ObCategory::Acts, "publish_wf",
+                        actionInputs(*Case->Publish, *Samples,
+                                     PublishArgs, 1)
+                            .text("wf"),
                         [Case, Samples, PublishArgs] {
     return toObligation(
         checkActionWellFormed(*Case->Publish, *Samples, PublishArgs));
   });
   Session.addObligation(ObCategory::Acts, "lock_release_wf",
+                        actionInputs(*Case->TryLockFc, *Samples, {{}}, 1)
+                            .text(Case->ReleaseFc->name())
+                            .num(Case->ReleaseFc->arity())
+                            .text("wf"),
                         [Case, Samples] {
     MetaReport R;
     R.absorb(checkActionWellFormed(*Case->TryLockFc, *Samples, {{}}));
@@ -766,17 +778,25 @@ VerificationSession fcsl::makeFlatCombinerSession() {
     return toObligation(R);
   });
   Session.addObligation(ObCategory::Acts, "combine_wf",
+                        actionInputs(*Case->CombineSlot, *Samples,
+                                     SlotArgs, 1)
+                            .text("wf"),
                         [Case, Samples, SlotArgs] {
     return toObligation(
         checkActionWellFormed(*Case->CombineSlot, *Samples, SlotArgs));
   });
   Session.addObligation(ObCategory::Acts, "collect_wf",
+                        actionInputs(*Case->TryCollect, *Samples,
+                                     SlotArgs, 1)
+                            .text("wf"),
                         [Case, Samples, SlotArgs] {
     return toObligation(
         checkActionWellFormed(*Case->TryCollect, *Samples, SlotArgs));
   });
 
   Session.addObligation(ObCategory::Stab, "my_slot_stays_mine",
+                        stabilityInputs(*Case->C, "slot 1 is mine",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Fc = Case->Fc;
     Ptr S1 = Case->Slot1;
@@ -786,6 +806,8 @@ VerificationSession fcsl::makeFlatCombinerSession() {
     return toObligation(checkStability(MySlot, *Case->C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "collected_history_stable",
+                        stabilityInputs(*Case->C, "stamp 1 ascribed to me",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Fc = Case->Fc;
     Assertion MyHist("stamp 1 ascribed to me", [Fc](const View &S) {
@@ -794,6 +816,8 @@ VerificationSession fcsl::makeFlatCombinerSession() {
     return toObligation(checkStability(MyHist, *Case->C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "done_result_preserved",
+                        stabilityInputs(*Case->C, "my Done slot is frozen",
+                                        *Samples, 1),
                         [Case, Samples] {
     // Once my request is Done with a result, interference cannot alter it
     // (only I may collect my slot).
@@ -812,20 +836,23 @@ VerificationSession fcsl::makeFlatCombinerSession() {
         "my Done slot is frozen", *Case->C, *Samples));
   });
 
-  Session.addObligation(ObCategory::Main, "flat_combine_push_spec",
-                        [Case] {
-    Spec S;
-    S.Name = "flat_combine(push, 4)";
-    S.C = Case->C;
+  {
+    TripleCase TC;
+    TC.Main = Prog::call(
+        "flat_combine",
+        {Expr::litPtr(Case->Slot1), Expr::litInt(FcPush),
+         Expr::litInt(4)});
+    TC.S.Name = "flat_combine(push, 4)";
+    TC.S.C = Case->C;
     Label Fc = Case->Fc;
     Ptr S1 = Case->Slot1;
-    S.Pre = Assertion("slot 1 mine and idle", [Fc, S1](const View &V) {
+    TC.S.Pre = Assertion("slot 1 mine and idle", [Fc, S1](const View &V) {
       const Val *Cell = V.joint(Fc).tryLookup(S1);
       return Cell && isIdleSlot(*Cell) &&
              slotsOf(V.self(Fc)).count(S1) != 0;
     });
-    S.PostName = "the push is ascribed to me, whoever combined it";
-    S.Post = [Fc](const Val &R, const View &I, const View &F) {
+    TC.S.PostName = "the push is ascribed to me, whoever combined it";
+    TC.S.Post = [Fc](const Val &R, const View &I, const View &F) {
       if (!R.isUnit())
         return false;
       const History &Before = histOf(I.self(Fc));
@@ -840,28 +867,25 @@ VerificationSession fcsl::makeFlatCombinerSession() {
       }
       return false;
     };
-    ProgRef Main = Prog::call(
-        "flat_combine",
-        {Expr::litPtr(Case->Slot1), Expr::litInt(FcPush),
-         Expr::litInt(4)});
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{flatCombinerState(*Case, 1), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{flatCombinerState(*Case, 1), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "flat_combine_push_spec", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "flat_combine_pop_spec",
-                        [Case] {
-    Spec S;
-    S.Name = "flat_combine(pop)";
-    S.C = Case->C;
+  {
+    TripleCase TC;
+    TC.Main = Prog::call(
+        "flat_combine",
+        {Expr::litPtr(Case->Slot1), Expr::litInt(FcPop), Expr::litInt(0)});
+    TC.S.Name = "flat_combine(pop)";
+    TC.S.C = Case->C;
     Label Fc = Case->Fc;
-    S.Pre = assertTrue();
-    S.PostName = "a pop entry is ascribed to me";
-    S.Post = [Fc](const Val &R, const View &I, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "a pop entry is ascribed to me";
+    TC.S.Post = [Fc](const Val &R, const View &I, const View &F) {
       const History &Before = histOf(I.self(Fc));
       const History &After = histOf(F.self(Fc));
       if (After.size() != Before.size() + 1)
@@ -876,17 +900,13 @@ VerificationSession fcsl::makeFlatCombinerSession() {
       }
       return false;
     };
-    ProgRef Main = Prog::call(
-        "flat_combine",
-        {Expr::litPtr(Case->Slot1), Expr::litInt(FcPop), Expr::litInt(0)});
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{flatCombinerState(*Case, 1), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{flatCombinerState(*Case, 1), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "flat_combine_pop_spec", std::move(TC));
+  }
 
   return Session;
 }

@@ -253,32 +253,46 @@ VerificationSession fcsl::makePairSnapshotSession() {
   auto Samples =
       std::make_shared<std::vector<View>>(pairSnapSampleViews(*Case));
 
-  Session.addObligation(ObCategory::Libs, "snapshot_hist_pcm_laws", [] {
-    std::vector<PCMVal> Sample;
-    Sample.push_back(PCMVal::ofHist(History()));
+  std::vector<PCMVal> LawSample;
+  LawSample.push_back(PCMVal::ofHist(History()));
+  {
     History H1, H2;
     H1.add(1, HistEntry{pairState(0, 0), pairState(9, 0)});
     H2.add(2, HistEntry{pairState(9, 0), pairState(9, 3)});
-    Sample.push_back(PCMVal::ofHist(H1));
-    Sample.push_back(PCMVal::ofHist(H2));
-    PCMLawReport R = checkPCMLaws(*PCMType::hist(), Sample);
-    return ObligationResult{R.allHold(), R.JoinsEvaluated,
-                            "PCM law violated"};
+    LawSample.push_back(PCMVal::ofHist(H1));
+    LawSample.push_back(PCMVal::ofHist(H2));
+  }
+  Session.addObligation(ObCategory::Libs, "snapshot_hist_pcm_laws",
+                        pcmLawInputs(PCMType::hist(), LawSample, 1),
+                        [LawSample] {
+    PCMLawReport R = checkPCMLaws(*PCMType::hist(), LawSample);
+    return lawObligation(R.allHold(), R.JoinsEvaluated);
   });
 
   Session.addObligation(ObCategory::Conc, "readpair_metatheory",
+                        sampleInputs(ObKind::Metatheory, *Case->C,
+                                     *Samples, 1),
                         [Case, Samples] {
     return toObligation(checkConcurroidWellFormed(*Case->C, *Samples));
   });
 
   std::vector<ActionArgs> WriteArgs = {{Val::ofInt(3)}, {Val::ofInt(5)}};
-  Session.addObligation(ObCategory::Acts, "reads_wf", [Case, Samples] {
+  Session.addObligation(ObCategory::Acts, "reads_wf",
+                        actionInputs(*Case->ReadX, *Samples, {{}}, 1)
+                            .text(Case->ReadY->name())
+                            .num(Case->ReadY->arity())
+                            .text("wf"),
+                        [Case, Samples] {
     MetaReport R;
     R.absorb(checkActionWellFormed(*Case->ReadX, *Samples, {{}}));
     R.absorb(checkActionWellFormed(*Case->ReadY, *Samples, {{}}));
     return toObligation(R);
   });
   Session.addObligation(ObCategory::Acts, "writes_wf",
+                        actionInputs(*Case->WriteX, *Samples, WriteArgs, 1)
+                            .text(Case->WriteY->name())
+                            .num(Case->WriteY->arity())
+                            .text("wf"),
                         [Case, Samples, WriteArgs] {
     MetaReport R;
     R.absorb(checkActionWellFormed(*Case->WriteX, *Samples, WriteArgs));
@@ -287,6 +301,8 @@ VerificationSession fcsl::makePairSnapshotSession() {
   });
 
   Session.addObligation(ObCategory::Stab, "versions_monotone",
+                        stabilityInputs(*Case->C, "versions are monotone",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Rp = Case->Rp;
     Ptr PX = Case->CellX, PY = Case->CellY;
@@ -302,6 +318,10 @@ VerificationSession fcsl::makePairSnapshotSession() {
         "versions are monotone", *Case->C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "same_version_same_value",
+                        stabilityInputs(
+                            *Case->C,
+                            "unchanged version implies unchanged value",
+                            *Samples, 1),
                         [Case, Samples] {
     // The key reader lemma: if x's version is unchanged, so is its value.
     Label Rp = Case->Rp;
@@ -317,14 +337,15 @@ VerificationSession fcsl::makePairSnapshotSession() {
         "unchanged version implies unchanged value", *Case->C, *Samples));
   });
 
-  Session.addObligation(ObCategory::Main, "readpair_spec", [Case] {
-    Spec S;
-    S.Name = "readPair";
-    S.C = Case->C;
+  {
+    TripleCase TC;
+    TC.Main = Prog::call("readPair", {});
+    TC.S.Name = "readPair";
+    TC.S.C = Case->C;
     Label Rp = Case->Rp;
-    S.Pre = assertTrue();
-    S.PostName = "the returned pair was an actual state of the history";
-    S.Post = [Rp](const Val &R, const View &I, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "the returned pair was an actual state of the history";
+    TC.S.Post = [Rp](const Val &R, const View &I, const View &F) {
       if (!R.isPair() || !R.first().isInt() || !R.second().isInt())
         return false;
       std::optional<History> CI =
@@ -344,36 +365,32 @@ VerificationSession fcsl::makePairSnapshotSession() {
           return true;
       return false;
     };
-    ProgRef Main = Prog::call("readPair", {});
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{pairSnapState(*Case), {}}}, Opts));
-  });
+    TC.Instances.push_back(VerifyInstance{pairSnapState(*Case), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "readpair_spec", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "write_then_read_spec", [Case] {
+  {
     // writeX(3); readPair() returns a pair whose x is 3 or a later write.
-    Spec S;
-    S.Name = "writeX_then_readPair";
-    S.C = Case->C;
-    S.Pre = assertTrue();
-    S.PostName = "snapshot.x reflects my write or a later one";
-    S.Post = [](const Val &R, const View &, const View &) {
+    TripleCase TC;
+    TC.Main = Prog::seq(Prog::act(Case->WriteX, {Expr::litInt(3)}),
+                        Prog::call("readPair", {}));
+    TC.S.Name = "writeX_then_readPair";
+    TC.S.C = Case->C;
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "snapshot.x reflects my write or a later one";
+    TC.S.Post = [](const Val &R, const View &, const View &) {
       return R.isPair() && R.first().isInt() &&
              (R.first().getInt() == 3 || R.first().getInt() == 9);
     };
-    ProgRef Main = Prog::seq(
-        Prog::act(Case->WriteX, {Expr::litInt(3)}),
-        Prog::call("readPair", {}));
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{pairSnapState(*Case), {}}}, Opts));
-  });
+    TC.Instances.push_back(VerifyInstance{pairSnapState(*Case), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "write_then_read_spec", std::move(TC));
+  }
 
   return Session;
 }

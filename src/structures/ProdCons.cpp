@@ -39,8 +39,11 @@ VerificationSession fcsl::makeProdConsSession() {
   // on — every entry of a stack history is exactly one of push/pop, and
   // the classification is mutually exclusive.
   Session.addObligation(ObCategory::Libs, "history_classification",
+                        ObligationInputs(ObKind::Check)
+                            .text("history_classification")
+                            .rev(1),
                         [] {
-    uint64_t Checks = 0;
+    ObligationResult O;
     std::vector<HistEntry> Pushes, Pops;
     Val S0 = Val::unit();
     Val S1 = Val::pair(Val::ofInt(1), S0);
@@ -56,35 +59,27 @@ VerificationSession fcsl::makeProdConsSession() {
       return E.Before.isPair() && E.Before.second() == E.After;
     };
     for (const HistEntry &E : Pushes) {
-      ++Checks;
-      if (!IsPush(E) || IsPop(E))
-        return ObligationResult{false, Checks,
-                                "push entry misclassified"};
+      ++O.Checks;
+      if (!IsPush(E) || IsPop(E)) {
+        O.Passed = false;
+        O.Note = "push entry misclassified";
+        return O;
+      }
     }
     for (const HistEntry &E : Pops) {
-      ++Checks;
-      if (IsPush(E) || !IsPop(E))
-        return ObligationResult{false, Checks,
-                                "pop entry misclassified"};
+      ++O.Checks;
+      if (IsPush(E) || !IsPop(E)) {
+        O.Passed = false;
+        O.Note = "pop entry misclassified";
+        return O;
+      }
     }
-    return ObligationResult{true, Checks, ""};
+    return O;
   });
 
-  Session.addObligation(ObCategory::Main, "exact_delivery", [Case] {
-    // par(producer: push 1; push 2 || consumer: pop_until; pop_until):
-    // the consumer receives exactly {1, 2} (in either order).
-    Spec S;
-    S.Name = "prod_cons";
-    S.C = Case->C;
-    S.Pre = assertTrue();
-    S.PostName = "the consumer receives exactly the produced multiset";
-    S.Post = [](const Val &R, const View &, const View &) {
-      if (!R.isPair() || !R.second().isPair())
-        return false;
-      int64_t A = R.second().first().getInt();
-      int64_t B = R.second().second().getInt();
-      return (A == 1 && B == 2) || (A == 2 && B == 1);
-    };
+  // The two Main clients share the same program; only the postcondition
+  // differs (value-level vs history-level delivery).
+  auto MakeProdConsMain = [Case] {
     ProgRef Producer = Prog::seq(
         Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
         Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}));
@@ -99,29 +94,45 @@ VerificationSession fcsl::makeProdConsSession() {
         -> std::map<Label, std::pair<PCMVal, PCMVal>> {
       return {{Pv, {V.self(Pv), PCMVal::ofHeap(Heap())}}};
     };
-    ProgRef Main = Prog::par(std::move(Producer), std::move(Consumer),
-                             Split);
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = false;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{treiberState(*Case, {}, 2, 0), {}}},
-        Opts));
-  });
+    return Prog::par(std::move(Producer), std::move(Consumer), Split);
+  };
 
-  Session.addObligation(ObCategory::Main, "delivery_histories_agree",
-                        [Case] {
+  {
+    // par(producer: push 1; push 2 || consumer: pop_until; pop_until):
+    // the consumer receives exactly {1, 2} (in either order).
+    TripleCase TC;
+    TC.Main = MakeProdConsMain();
+    TC.S.Name = "prod_cons";
+    TC.S.C = Case->C;
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "the consumer receives exactly the produced multiset";
+    TC.S.Post = [](const Val &R, const View &, const View &) {
+      if (!R.isPair() || !R.second().isPair())
+        return false;
+      int64_t A = R.second().first().getInt();
+      int64_t B = R.second().second().getInt();
+      return (A == 1 && B == 2) || (A == 2 && B == 1);
+    };
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {}, 2, 0), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "exact_delivery", std::move(TC));
+  }
+
+  {
     // Same client, but the postcondition is stated on histories: the
     // combined history interleaves two pushes and two pops that transfer
     // exactly the pushed values.
-    Spec S;
-    S.Name = "prod_cons_histories";
-    S.C = Case->C;
+    TripleCase TC;
+    TC.Main = MakeProdConsMain();
+    TC.S.Name = "prod_cons_histories";
+    TC.S.C = Case->C;
     Label Tr = Case->Tr;
-    S.Pre = assertTrue();
-    S.PostName = "combined history: 2 pushes and 2 pops, values {1,2}";
-    S.Post = [Tr](const Val &R, const View &, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "combined history: 2 pushes and 2 pops, values {1,2}";
+    TC.S.Post = [Tr](const Val &R, const View &, const View &F) {
       (void)R;
       std::optional<History> Combined = History::join(
           F.self(Tr).getHist(), F.other(Tr).getHist());
@@ -142,29 +153,13 @@ VerificationSession fcsl::makeProdConsSession() {
       }
       return Pushes == 2 && Pops == 2;
     };
-    ProgRef Producer = Prog::seq(
-        Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
-        Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}));
-    ProgRef Consumer = Prog::bind(
-        Prog::call("pop_until", {}), "a",
-        Prog::bind(Prog::call("pop_until", {}), "b",
-                   Prog::ret(Expr::mkPair(Expr::var("a"),
-                                          Expr::var("b")))));
-    Label Pv = Case->Pv;
-    SplitFn Split = [Pv](const View &V)
-        -> std::map<Label, std::pair<PCMVal, PCMVal>> {
-      return {{Pv, {V.self(Pv), PCMVal::ofHeap(Heap())}}};
-    };
-    ProgRef Main = Prog::par(std::move(Producer), std::move(Consumer),
-                             Split);
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = false;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{treiberState(*Case, {}, 2, 0), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {}, 2, 0), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "delivery_histories_agree", std::move(TC));
+  }
 
   return Session;
 }

@@ -70,57 +70,68 @@ VerificationSession fcsl::makeSeqStackSession() {
   // Libs: the client-side list lemma — the abstract stack read off any
   // list-shaped joint heap is unique and LIFO-consistent with the cell
   // chain (exercised over a family of layouts).
-  Session.addObligation(ObCategory::Libs, "list_abstraction_lemma",
-                        [Case] {
-    uint64_t Checks = 0;
-    for (const std::vector<int64_t> &Elems :
-         std::vector<std::vector<int64_t>>{
-             {}, {1}, {2, 1}, {3, 2, 1}, {5, 5}}) {
+  std::vector<std::vector<int64_t>> Layouts = {
+      {}, {1}, {2, 1}, {3, 2, 1}, {5, 5}};
+  ObligationInputs ListIn(ObKind::Check);
+  ListIn.text("list_abstraction");
+  for (const std::vector<int64_t> &Elems : Layouts)
+    ListIn.mix(codecFp(treiberState(*Case, Elems, 0, 0)));
+  ListIn.rev(1);
+  Session.addObligation(ObCategory::Libs, "list_abstraction_lemma", ListIn,
+                        [Case, Layouts] {
+    ObligationResult O;
+    for (const std::vector<int64_t> &Elems : Layouts) {
       GlobalState GS = treiberState(*Case, Elems, 0, 0);
       std::optional<Val> Abs =
           treiberAbstractStack(*Case, GS.joint(TrLbl));
-      ++Checks;
-      if (!Abs)
-        return ObligationResult{false, Checks,
-                                "list abstraction undefined"};
+      ++O.Checks;
+      if (!Abs) {
+        O.Passed = false;
+        O.Note = "list abstraction undefined";
+        return O;
+      }
       // Peel the cons list and compare element by element.
       Val Cur = *Abs;
       for (int64_t E : Elems) {
-        if (!Cur.isPair() || Cur.first() != Val::ofInt(E))
-          return ObligationResult{false, Checks,
-                                  "list abstraction mismatch"};
+        if (!Cur.isPair() || Cur.first() != Val::ofInt(E)) {
+          O.Passed = false;
+          O.Note = "list abstraction mismatch";
+          return O;
+        }
         Cur = Cur.second();
-        ++Checks;
+        ++O.Checks;
       }
-      if (!Cur.isUnit())
-        return ObligationResult{false, Checks, "list tail not nil"};
+      if (!Cur.isUnit()) {
+        O.Passed = false;
+        O.Note = "list tail not nil";
+        return O;
+      }
     }
-    return ObligationResult{true, Checks, ""};
+    return O;
   });
 
-  Session.addObligation(ObCategory::Main, "lifo_under_hiding", [Case] {
-    Spec S;
-    S.Name = "seq_stack";
-    S.C = Case->C;
-    S.Pre = assertTrue();
-    S.PostName = "LIFO: push 1; push 2; pop = 2; pop = 1";
-    S.Post = [](const Val &R, const View &, const View &) {
+  {
+    TripleCase TC;
+    TC.Main = seqStackProg(*Case);
+    TC.S.Name = "seq_stack";
+    TC.S.C = Case->C;
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "LIFO: push 1; push 2; pop = 2; pop = 1";
+    TC.S.Post = [](const Val &R, const View &, const View &) {
       return R.isPair() && R.first() == Val::ofInt(2) &&
              R.second() == Val::ofInt(1);
     };
-    ProgRef Main = seqStackProg(*Case);
-    EngineOptions Opts;
+    TC.Instances.push_back(
+        VerifyInstance{seqStackInitialState(*Case), {}});
     // The ambient protocol outside the hide is just Priv; the Treiber
     // concurroid only exists inside the hidden scope.
-    Opts.Ambient = makePriv(PvLbl);
-    Opts.EnvInterference = true; // Priv generates no interference anyway.
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{seqStackInitialState(*Case), {}}}, Opts));
-  });
+    TC.Opts.Ambient = makePriv(PvLbl);
+    TC.Opts.EnvInterference = true; // Priv generates no interference anyway.
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "lifo_under_hiding", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "pop_empty_after_hiding",
-                        [Case] {
+  {
     // hide { a <-- pop; ret a } on the empty stack observes emptiness.
     HideSpec Spec;
     Spec.Pv = Case->Pv;
@@ -135,23 +146,23 @@ VerificationSession fcsl::makeSeqStackSession() {
       return Heap::singleton(Snt, *Head);
     };
     Spec.InitSelf = PCMVal::ofHist(History());
-    ProgRef Main = Prog::hide(std::move(Spec), Prog::call("pop", {}));
 
-    struct Spec S;
-    S.Name = "seq_stack_empty_pop";
-    S.C = Case->C;
-    S.Pre = assertTrue();
-    S.PostName = "pop on the empty stack reports empty";
-    S.Post = [](const Val &R, const View &, const View &) {
+    TripleCase TC;
+    TC.Main = Prog::hide(std::move(Spec), Prog::call("pop", {}));
+    TC.S.Name = "seq_stack_empty_pop";
+    TC.S.C = Case->C;
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "pop on the empty stack reports empty";
+    TC.S.Post = [](const Val &R, const View &, const View &) {
       return R.isPair() && R.first() == Val::ofBool(false);
     };
-    EngineOptions Opts;
-    Opts.Ambient = makePriv(PvLbl);
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{seqStackInitialState(*Case), {}}}, Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{seqStackInitialState(*Case), {}});
+    TC.Opts.Ambient = makePriv(PvLbl);
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "pop_empty_after_hiding", std::move(TC));
+  }
 
   return Session;
 }

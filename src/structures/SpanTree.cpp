@@ -403,20 +403,30 @@ VerificationSession fcsl::makeSpanTreeSession() {
       spanSampleViews(*Case, threeNodeGraph()));
 
   // --- Libs: the graph library lemmas (Section 3.2) ----------------------
-  Session.addObligation(ObCategory::Libs, "ptrset_pcm_laws", [] {
-    std::vector<PCMVal> Sample = {
-        PCMVal::ofPtrSet({}), PCMVal::singletonPtr(Ptr(1)),
-        PCMVal::singletonPtr(Ptr(2)), PCMVal::ofPtrSet({Ptr(1), Ptr(2)}),
-        PCMVal::ofPtrSet({Ptr(2), Ptr(3)})};
-    PCMLawReport R = checkPCMLaws(*PCMType::ptrSet(), Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+  std::vector<PCMVal> LawSample = {
+      PCMVal::ofPtrSet({}), PCMVal::singletonPtr(Ptr(1)),
+      PCMVal::singletonPtr(Ptr(2)), PCMVal::ofPtrSet({Ptr(1), Ptr(2)}),
+      PCMVal::ofPtrSet({Ptr(2), Ptr(3)})};
+  Session.addObligation(
+      ObCategory::Libs, "ptrset_pcm_laws",
+      pcmLawInputs(PCMType::ptrSet(), LawSample, 1).text("cancellative"),
+      [LawSample] {
+        PCMLawReport R = checkPCMLaws(*PCMType::ptrSet(), LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
-  Session.addObligation(ObCategory::Libs, "lemma_max_tree2", [] {
+  Session.addObligation(ObCategory::Libs, "lemma_max_tree2",
+                        ObligationInputs(ObKind::Check)
+                            .text("lemma_max_tree2")
+                            .num(0xfc51)
+                            .num(60)
+                            .num(5)
+                            .rev(1),
+                        [] {
     // Sweep the lemma over random graphs and candidate subtree pairs.
     Rng R(0xfc51);
-    uint64_t Checks = 0;
+    ObligationResult O;
     for (unsigned Iter = 0; Iter < 60; ++Iter) {
       Heap G = randomGraph(5, R, /*ConnectedFromRoot=*/false);
       for (const auto &Cell : G) {
@@ -425,31 +435,44 @@ VerificationSession fcsl::makeSpanTreeSession() {
         Ptr Y2 = Cell.second.getNode().Right;
         PtrSet TY1 = Y1.isNull() ? PtrSet{} : reachableFrom(G, Y1);
         PtrSet TY2 = Y2.isNull() ? PtrSet{} : reachableFrom(G, Y2);
-        ++Checks;
-        if (!lemmaMaxTree2(G, X, Y1, Y2, TY1, TY2))
-          return ObligationResult{false, Checks,
-                                  "max_tree2 counterexample found"};
+        ++O.Checks;
+        if (!lemmaMaxTree2(G, X, Y1, Y2, TY1, TY2)) {
+          O.Passed = false;
+          O.Note = "max_tree2 counterexample found";
+          return O;
+        }
       }
     }
-    return ObligationResult{true, Checks, ""};
+    return O;
   });
 
-  Session.addObligation(ObCategory::Libs, "lemma_maximal_tree_spans", [] {
+  Session.addObligation(ObCategory::Libs, "lemma_maximal_tree_spans",
+                        ObligationInputs(ObKind::Check)
+                            .text("lemma_maximal_tree_spans")
+                            .num(0x51ab)
+                            .num(60)
+                            .num(5)
+                            .rev(1),
+                        [] {
     Rng R(0x51ab);
-    uint64_t Checks = 0;
+    ObligationResult O;
     for (unsigned Iter = 0; Iter < 60; ++Iter) {
       Heap G = randomGraph(5, R, /*ConnectedFromRoot=*/true);
       PtrSet All = reachableFrom(G, Ptr(1));
-      ++Checks;
-      if (!lemmaMaximalTreeSpans(G, Ptr(1), All))
-        return ObligationResult{false, Checks,
-                                "maximal-tree-spans counterexample"};
+      ++O.Checks;
+      if (!lemmaMaximalTreeSpans(G, Ptr(1), All)) {
+        O.Passed = false;
+        O.Note = "maximal-tree-spans counterexample";
+        return O;
+      }
     }
-    return ObligationResult{true, Checks, ""};
+    return O;
   });
 
   // --- Conc: SpanTree metatheory ------------------------------------------
   Session.addObligation(ObCategory::Conc, "spantree_metatheory",
+                        sampleInputs(ObKind::Metatheory, *Case->Open,
+                                     *Samples, 1),
                         [Case, Samples] {
     return toObligation(checkConcurroidWellFormed(*Case->Open, *Samples));
   });
@@ -460,11 +483,15 @@ VerificationSession fcsl::makeSpanTreeSession() {
     NodeArgs.push_back({Val::ofPtr(Ptr(I))});
 
   Session.addObligation(ObCategory::Acts, "trymark_wf",
+                        actionInputs(*Case->TryMark, *Samples, NodeArgs, 1)
+                            .text("wf"),
                         [Case, Samples, NodeArgs] {
     return toObligation(
         checkActionWellFormed(*Case->TryMark, *Samples, NodeArgs));
   });
   Session.addObligation(ObCategory::Acts, "trymark_total_on_nodes",
+                        actionInputs(*Case->TryMark, *Samples, NodeArgs, 1)
+                            .text("total"),
                         [Case, Samples, NodeArgs] {
     Label Sp = Case->Sp;
     return toObligation(checkActionTotality(
@@ -474,6 +501,11 @@ VerificationSession fcsl::makeSpanTreeSession() {
         }));
   });
   Session.addObligation(ObCategory::Acts, "read_child_wf",
+                        actionInputs(*Case->ReadChildL, *Samples,
+                                     NodeArgs, 1)
+                            .text(Case->ReadChildR->name())
+                            .num(Case->ReadChildR->arity())
+                            .text("wf"),
                         [Case, Samples, NodeArgs] {
     MetaReport R;
     R.absorb(checkActionWellFormed(*Case->ReadChildL, *Samples, NodeArgs));
@@ -481,6 +513,10 @@ VerificationSession fcsl::makeSpanTreeSession() {
     return toObligation(R);
   });
   Session.addObligation(ObCategory::Acts, "nullify_wf",
+                        actionInputs(*Case->NullifyL, *Samples, NodeArgs, 1)
+                            .text(Case->NullifyR->name())
+                            .num(Case->NullifyR->arity())
+                            .text("wf"),
                         [Case, Samples, NodeArgs] {
     MetaReport R;
     R.absorb(checkActionWellFormed(*Case->NullifyL, *Samples, NodeArgs));
@@ -489,12 +525,16 @@ VerificationSession fcsl::makeSpanTreeSession() {
   });
 
   // --- Stab -----------------------------------------------------------------
+  Assertion NodeInDom = jointContains(Case->Sp, Ptr(2));
   Session.addObligation(ObCategory::Stab, "node_in_dom_stable",
-                        [Case, Samples] {
-    return toObligation(checkStability(
-        jointContains(Case->Sp, Ptr(2)), *Case->Open, *Samples));
+                        stabilityInputs(*Case->Open, NodeInDom.name(),
+                                        *Samples, 1),
+                        [Case, Samples, NodeInDom] {
+    return toObligation(checkStability(NodeInDom, *Case->Open, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "subgraph_steps",
+                        stabilityInputs(*Case->Open, "subgraph",
+                                        *Samples, 1),
                         [Case, Samples] {
     // Lemma subgraph_steps: env_steps s1 s2 -> subgraph g1 g2.
     Label Sp = Case->Sp;
@@ -505,6 +545,9 @@ VerificationSession fcsl::makeSpanTreeSession() {
         "subgraph", *Case->Open, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "my_marks_stay_mine",
+                        stabilityInputs(*Case->Open,
+                                        "node 1 is self-marked",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Sp = Case->Sp;
     Assertion Mine("node 1 is self-marked", [Sp](const View &S) {
@@ -514,8 +557,25 @@ VerificationSession fcsl::makeSpanTreeSession() {
   });
 
   // --- Main: span_tp (open world) and span_root_tp (hidden) ----------------
-  Session.addObligation(ObCategory::Main, "span_tp_open_world", [Case] {
+  // Composite units (several triples under one verdict): the declared
+  // inputs enumerate exactly the (start ptr, initial state) grid the
+  // closure sweeps.
+  ObligationInputs SpanTpIn(ObKind::Triple);
+  SpanTpIn.text("span_tp");
+  SpanTpIn.mix(Case->Open->fingerprint());
+  SpanTpIn.mix(fpOfDefs(Case->Defs));
+  for (Ptr X : {Ptr::null(), Ptr(1), Ptr(2)})
+    for (const PtrSet &EnvMarked :
+         {PtrSet{}, PtrSet{Ptr(3)}, PtrSet{Ptr(2), Ptr(3)}}) {
+      SpanTpIn.mix(codecFp(Val::ofPtr(X)));
+      SpanTpIn.mix(
+          codecFp(spanOpenState(*Case, threeNodeGraph(), EnvMarked)));
+    }
+  SpanTpIn.rev(1);
+  Session.addObligation(ObCategory::Main, "span_tp_open_world", SpanTpIn,
+                        [Case] {
     VerifyResult Sum;
+    EngineCounters Counters;
     Heap G = threeNodeGraph();
     for (Ptr X : {Ptr::null(), Ptr(1), Ptr(2)}) {
       for (const PtrSet &EnvMarked :
@@ -542,20 +602,41 @@ VerificationSession fcsl::makeSpanTreeSession() {
             Opts);
         Sum.ConfigsExplored += R.ConfigsExplored;
         Sum.TerminalsChecked += R.TerminalsChecked;
-        if (!R.Holds)
-          return ObligationResult{false, Sum.ConfigsExplored,
-                                  R.FailureNote};
+        Counters += R.counters();
+        if (!R.Holds) {
+          ObligationResult O;
+          O.Passed = false;
+          O.Checks = Sum.ConfigsExplored;
+          O.Note = R.FailureNote;
+          O.Counters = Counters;
+          return O;
+        }
       }
     }
-    return ObligationResult{true, Sum.ConfigsExplored, ""};
+    ObligationResult O;
+    O.Checks = Sum.ConfigsExplored;
+    O.Counters = Counters;
+    return O;
   });
 
-  Session.addObligation(ObCategory::Main, "span_root_spanning_tree",
-                        [Case] {
-    uint64_t Checks = 0;
-    std::vector<Heap> Graphs = {figure2Graph(), threeNodeGraph()};
+  std::vector<Heap> RootGraphs = {figure2Graph(), threeNodeGraph()};
+  {
     Rng R(0x5eed);
-    Graphs.push_back(randomGraph(4, R, /*ConnectedFromRoot=*/true));
+    RootGraphs.push_back(randomGraph(4, R, /*ConnectedFromRoot=*/true));
+  }
+  ObligationInputs SpanRootIn(ObKind::Triple);
+  SpanRootIn.text("span_root_tp");
+  SpanRootIn.mix(Case->PrivOnly->fingerprint());
+  SpanRootIn.mix(fpOfDefs(Case->Defs));
+  SpanRootIn.mix(makeSpanRootProg(*Case, Ptr(1))->fingerprint());
+  for (const Heap &G : RootGraphs)
+    SpanRootIn.mix(codecFp(spanRootState(*Case, G)));
+  SpanRootIn.rev(1);
+  Session.addObligation(ObCategory::Main, "span_root_spanning_tree",
+                        SpanRootIn, [Case, RootGraphs] {
+    uint64_t Checks = 0;
+    EngineCounters Counters;
+    const std::vector<Heap> &Graphs = RootGraphs;
     for (const Heap &G : Graphs) {
       Spec S;
       S.Name = "span_root_tp";
@@ -597,10 +678,20 @@ VerificationSession fcsl::makeSpanTreeSession() {
       VerifyResult VR = verifyTriple(
           Main, S, {VerifyInstance{spanRootState(*Case, G), {}}}, Opts);
       Checks += VR.ConfigsExplored;
-      if (!VR.Holds)
-        return ObligationResult{false, Checks, VR.FailureNote};
+      Counters += VR.counters();
+      if (!VR.Holds) {
+        ObligationResult O;
+        O.Passed = false;
+        O.Checks = Checks;
+        O.Note = VR.FailureNote;
+        O.Counters = Counters;
+        return O;
+      }
     }
-    return ObligationResult{true, Checks, ""};
+    ObligationResult O;
+    O.Checks = Checks;
+    O.Counters = Counters;
+    return O;
   });
 
   return Session;

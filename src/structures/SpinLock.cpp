@@ -382,21 +382,26 @@ VerificationSession fcsl::makeSpinLockSession() {
   ConcurroidRef C = P.C;
 
   // --- Libs: PCM laws of the lock's carrier -----------------------------
-  Session.addObligation(ObCategory::Libs, "mutex_x_nat_pcm_laws", [] {
-    PCMTypeRef T = PCMType::pairOf(PCMType::mutex(), PCMType::nat());
-    std::vector<PCMVal> Sample;
-    for (bool Own : {false, true})
-      for (uint64_t N = 0; N <= 2; ++N)
-        Sample.push_back(PCMVal::makePair(
-            Own ? PCMVal::mutexOwn() : PCMVal::mutexFree(),
-            PCMVal::ofNat(N)));
-    PCMLawReport R = checkPCMLaws(*T, Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+  PCMTypeRef LawType = PCMType::pairOf(PCMType::mutex(), PCMType::nat());
+  std::vector<PCMVal> LawSample;
+  for (bool Own : {false, true})
+    for (uint64_t N = 0; N <= 2; ++N)
+      LawSample.push_back(PCMVal::makePair(
+          Own ? PCMVal::mutexOwn() : PCMVal::mutexFree(),
+          PCMVal::ofNat(N)));
+  Session.addObligation(
+      ObCategory::Libs, "mutex_x_nat_pcm_laws",
+      pcmLawInputs(LawType, LawSample, 1).text("cancellative"),
+      [LawType, LawSample] {
+        PCMLawReport R = checkPCMLaws(*LawType, LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
   // --- Conc: metatheory of the entangled concurroid ---------------------
-  Session.addObligation(ObCategory::Conc, "clock_metatheory", [C, Samples] {
+  Session.addObligation(ObCategory::Conc, "clock_metatheory",
+                        sampleInputs(ObKind::Metatheory, *C, *Samples, 1),
+                        [C, Samples] {
     return toObligation(checkConcurroidWellFormed(*C, *Samples));
   });
 
@@ -413,25 +418,34 @@ VerificationSession fcsl::makeSpinLockSession() {
                               P.ClientSelf(S));
       });
 
-  Session.addObligation(ObCategory::Acts, "try_lock_wf", [P, Samples] {
+  Session.addObligation(ObCategory::Acts, "try_lock_wf",
+                        actionInputs(*P.TryLock, *Samples, {{}}, 1).text("wf"),
+                        [P, Samples] {
     return toObligation(checkActionWellFormed(*P.TryLock, *Samples, {{}}));
   });
-  Session.addObligation(ObCategory::Acts, "try_lock_total", [P, Samples] {
-    return toObligation(checkActionTotality(
-        *P.TryLock, *Samples, {{}},
-        [](const View &, const ActionArgs &) { return true; }));
-  });
-  Session.addObligation(ObCategory::Acts, "unlock_wf", [Unlock, Samples] {
+  Session.addObligation(
+      ObCategory::Acts, "try_lock_total",
+      actionInputs(*P.TryLock, *Samples, {{}}, 1).text("total"),
+      [P, Samples] {
+        return toObligation(checkActionTotality(
+            *P.TryLock, *Samples, {{}},
+            [](const View &, const ActionArgs &) { return true; }));
+      });
+  Session.addObligation(ObCategory::Acts, "unlock_wf",
+                        actionInputs(*Unlock, *Samples, {{}}, 1).text("wf"),
+                        [Unlock, Samples] {
     return toObligation(checkActionWellFormed(*Unlock, *Samples, {{}}));
   });
 
   // --- Stab: key assertions stable under interference -------------------
   Session.addObligation(ObCategory::Stab, "holding_is_stable",
+                        stabilityInputs(*C, "I hold the lock", *Samples, 1),
                         [C, P, Samples] {
     Assertion Holding("I hold the lock", P.HoldsLock);
     return toObligation(checkStability(Holding, *C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "client_self_stable",
+                        stabilityInputs(*C, "client self is 1", *Samples, 1),
                         [C, P, Samples] {
     // My contribution is mine alone: interference cannot change it.
     Assertion SelfFixed(
@@ -440,6 +454,7 @@ VerificationSession fcsl::makeSpinLockSession() {
     return toObligation(checkStability(SelfFixed, *C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "unheld_resource_coherent",
+                        stabilityInputs(*C, "coherence", *Samples, 1),
                         [C, Samples] {
     return toObligation(checkStability(
         Assertion("coherence", [C](const View &S) { return C->coherent(S); }),
@@ -447,37 +462,27 @@ VerificationSession fcsl::makeSpinLockSession() {
   });
 
   // --- Main: lock(); unlock() round trip --------------------------------
-  Session.addObligation(ObCategory::Main, "lock_unlock_spec",
-                        [P, Unlock, C] {
+  {
     auto Defs = std::make_shared<DefTable>();
     defineLockLoop(*Defs, "lock", P.TryLock);
-    ProgRef Main = Prog::seq(Prog::call("lock", {}),
-                             Prog::act(Unlock, {}));
-    Spec S;
-    S.Name = "clock_lock_unlock";
-    S.C = C;
-    S.Pre = Assertion("not holding",
-                      [P](const View &V) { return !P.HoldsLock(V); });
-    S.PostName = "released, client contribution unchanged";
-    S.Post = [P](const Val &R, const View &I, const View &F) {
+    TripleCase TC;
+    TC.Main = Prog::seq(Prog::call("lock", {}), Prog::act(Unlock, {}));
+    TC.S.Name = "clock_lock_unlock";
+    TC.S.C = C;
+    TC.S.Pre = Assertion("not holding",
+                         [P](const View &V) { return !P.HoldsLock(V); });
+    TC.S.PostName = "released, client contribution unchanged";
+    TC.S.Post = [P](const Val &R, const View &I, const View &F) {
       return R.isUnit() && !P.HoldsLock(F) &&
              P.ClientSelf(F) == P.ClientSelf(I);
     };
-
-    std::vector<VerifyInstance> Instances;
     for (uint64_t Total : {uint64_t{0}, uint64_t{1}})
-      Instances.push_back(VerifyInstance{lockInitialState(P, Total), {}});
-
-    EngineOptions Opts;
-    Opts.Ambient = C;
-    Opts.EnvInterference = true;
-    Opts.Defs = Defs.get();
-    VerifyResult R = verifyTriple(Main, S, Instances, Opts);
-    ObligationResult Out = toObligation(R);
-    // Keep the definition table alive for the duration of the check.
-    (void)Defs;
-    return Out;
-  });
+      TC.Instances.push_back(VerifyInstance{lockInitialState(P, Total), {}});
+    TC.Opts.Ambient = C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = Defs;
+    addTriple(Session, "lock_unlock_spec", std::move(TC));
+  }
 
   return Session;
 }

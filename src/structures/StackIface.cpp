@@ -191,19 +191,54 @@ ObligationResult fcsl::verifyUnifiedPushPop(const StackProtocol &P,
       verifyTriple(Main, S, {VerifyInstance{P.Initial, {}}}, Opts));
 }
 
+namespace {
+
+/// Declares the inputs of a unified-client obligation: everything the
+/// theorem reads off the protocol (concurroid, s_push/s_pop definitions,
+/// initial state, tokens) plus the theorem's name and integer arguments.
+/// The Split/SelfHist closures are opaque; the site revision stands in
+/// for their logic.
+ObligationInputs unifiedInputs(const StackProtocol &P,
+                               std::string_view Theorem,
+                               std::initializer_list<int64_t> Args) {
+  ObligationInputs In(ObKind::Triple);
+  In.mix(P.C->fingerprint());
+  In.text(P.Name);
+  In.text(Theorem);
+  In.mix(fpOfDefs(*P.Defs));
+  In.mix(codecFp(P.Initial));
+  In.mix(codecFp(P.TokenLeft));
+  In.mix(codecFp(P.TokenRight));
+  for (int64_t A : Args)
+    In.num(A);
+  In.rev(1);
+  return In;
+}
+
+} // namespace
+
 VerificationSession fcsl::makeStackIfaceSession() {
   VerificationSession Session("Abstract stack");
-  Session.addObligation(ObCategory::Main, "push_pair_treiber", [] {
-    return verifyUnifiedPushPair(treiberStackProtocol(), 1, 2);
+  auto Treiber = std::make_shared<StackProtocol>(treiberStackProtocol());
+  auto Fc = std::make_shared<StackProtocol>(fcStackProtocol());
+
+  Session.addObligation(ObCategory::Main, "push_pair_treiber",
+                        unifiedInputs(*Treiber, "push_pair", {1, 2}),
+                        [Treiber] {
+    return verifyUnifiedPushPair(*Treiber, 1, 2);
   });
-  Session.addObligation(ObCategory::Main, "push_pair_fc", [] {
-    return verifyUnifiedPushPair(fcStackProtocol(), 1, 2);
+  Session.addObligation(ObCategory::Main, "push_pair_fc",
+                        unifiedInputs(*Fc, "push_pair", {1, 2}), [Fc] {
+    return verifyUnifiedPushPair(*Fc, 1, 2);
   });
-  Session.addObligation(ObCategory::Main, "push_pop_treiber", [] {
-    return verifyUnifiedPushPop(treiberStackProtocol(), 9);
+  Session.addObligation(ObCategory::Main, "push_pop_treiber",
+                        unifiedInputs(*Treiber, "push_pop", {9}),
+                        [Treiber] {
+    return verifyUnifiedPushPop(*Treiber, 9);
   });
-  Session.addObligation(ObCategory::Main, "push_pop_fc", [] {
-    return verifyUnifiedPushPop(fcStackProtocol(), 9);
+  Session.addObligation(ObCategory::Main, "push_pop_fc",
+                        unifiedInputs(*Fc, "push_pop", {9}), [Fc] {
+    return verifyUnifiedPushPop(*Fc, 9);
   });
   return Session;
 }

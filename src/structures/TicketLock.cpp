@@ -567,24 +567,29 @@ VerificationSession fcsl::makeTicketLockSession() {
   auto Samples = std::make_shared<std::vector<View>>(ticketSampleViews(P));
   ConcurroidRef C = P.C;
 
-  Session.addObligation(ObCategory::Libs, "ticketset_x_nat_pcm_laws", [] {
-    PCMTypeRef T = PCMType::pairOf(PCMType::ptrSet(), PCMType::nat());
-    std::vector<PCMVal> Sample;
-    for (uint64_t N = 0; N <= 1; ++N) {
-      Sample.push_back(
-          PCMVal::makePair(PCMVal::ofPtrSet({}), PCMVal::ofNat(N)));
-      Sample.push_back(PCMVal::makePair(
-          PCMVal::singletonPtr(ticketToken(1)), PCMVal::ofNat(N)));
-      Sample.push_back(PCMVal::makePair(
-          PCMVal::ofPtrSet({ticketToken(1), ticketToken(2)}),
-          PCMVal::ofNat(N)));
-    }
-    PCMLawReport R = checkPCMLaws(*T, Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+  PCMTypeRef LawType = PCMType::pairOf(PCMType::ptrSet(), PCMType::nat());
+  std::vector<PCMVal> LawSample;
+  for (uint64_t N = 0; N <= 1; ++N) {
+    LawSample.push_back(
+        PCMVal::makePair(PCMVal::ofPtrSet({}), PCMVal::ofNat(N)));
+    LawSample.push_back(PCMVal::makePair(
+        PCMVal::singletonPtr(ticketToken(1)), PCMVal::ofNat(N)));
+    LawSample.push_back(PCMVal::makePair(
+        PCMVal::ofPtrSet({ticketToken(1), ticketToken(2)}),
+        PCMVal::ofNat(N)));
+  }
+  Session.addObligation(
+      ObCategory::Libs, "ticketset_x_nat_pcm_laws",
+      pcmLawInputs(LawType, LawSample, 1).text("cancellative"),
+      [LawType, LawSample] {
+        PCMLawReport R = checkPCMLaws(*LawType, LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
-  Session.addObligation(ObCategory::Conc, "tlock_metatheory", [C, Samples] {
+  Session.addObligation(ObCategory::Conc, "tlock_metatheory",
+                        sampleInputs(ObKind::Metatheory, *C, *Samples, 1),
+                        [C, Samples] {
     return toObligation(checkConcurroidWellFormed(*C, *Samples));
   });
 
@@ -603,65 +608,69 @@ VerificationSession fcsl::makeTicketLockSession() {
                               P.ClientSelf(S));
       });
 
-  Session.addObligation(ObCategory::Acts, "unlock_wf", [Unlock, Samples] {
+  Session.addObligation(ObCategory::Acts, "unlock_wf",
+                        actionInputs(*Unlock, *Samples, {{}}, 1).text("wf"),
+                        [Unlock, Samples] {
     return toObligation(checkActionWellFormed(*Unlock, *Samples, {{}}));
   });
-  Session.addObligation(ObCategory::Acts, "unlock_corresponds",
-                        [Unlock, Samples] {
-    return toObligation(
-        checkActionCorrespondence(*Unlock, *Samples, {{}}));
-  });
+  Session.addObligation(
+      ObCategory::Acts, "unlock_corresponds",
+      actionInputs(*Unlock, *Samples, {{}}, 1).text("corresponds"),
+      [Unlock, Samples] {
+        return toObligation(
+            checkActionCorrespondence(*Unlock, *Samples, {{}}));
+      });
 
   Session.addObligation(ObCategory::Stab, "serving_me_is_stable",
+                        stabilityInputs(*C, "the lock serves me", *Samples, 1),
                         [C, P, Samples] {
     Assertion Holding("the lock serves me", P.HoldsLock);
     return toObligation(checkStability(Holding, *C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "my_ticket_stays_mine",
+                        stabilityInputs(*C, "I hold ticket 2", *Samples, 1),
                         [C, Samples] {
     Assertion MyTicket("I hold ticket 2", [](const View &S) {
       return S.hasLabel(LkLbl) && holdsTicket(S.self(LkLbl), 2);
     });
     return toObligation(checkStability(MyTicket, *C, *Samples));
   });
-  Session.addObligation(ObCategory::Stab, "owner_only_grows",
-                        [C, Samples] {
-    return toObligation(checkRelationStability(
-        [](const View &Seed, const View &S) {
-          std::optional<TLockCells> Before =
-              readCells(Seed.joint(LkLbl), LkLbl);
-          std::optional<TLockCells> After =
-              readCells(S.joint(LkLbl), LkLbl);
-          return Before && After && After->Owner >= Before->Owner &&
-                 After->Next >= Before->Next;
-        },
-        "owner/next are monotone", *C, *Samples));
-  });
+  Session.addObligation(
+      ObCategory::Stab, "owner_only_grows",
+      stabilityInputs(*C, "owner/next are monotone", *Samples, 1),
+      [C, Samples] {
+        return toObligation(checkRelationStability(
+            [](const View &Seed, const View &S) {
+              std::optional<TLockCells> Before =
+                  readCells(Seed.joint(LkLbl), LkLbl);
+              std::optional<TLockCells> After =
+                  readCells(S.joint(LkLbl), LkLbl);
+              return Before && After && After->Owner >= Before->Owner &&
+                     After->Next >= Before->Next;
+            },
+            "owner/next are monotone", *C, *Samples));
+      });
 
-  Session.addObligation(ObCategory::Main, "lock_unlock_spec",
-                        [P, Unlock, C, Defs] {
-    ProgRef Main = Prog::seq(Prog::call("lock", {}),
-                             Prog::act(Unlock, {}));
-    Spec S;
-    S.Name = "tlock_lock_unlock";
-    S.C = C;
-    S.Pre = Assertion("not holding",
-                      [P](const View &V) { return !P.HoldsLock(V); });
-    S.PostName = "released, client contribution unchanged";
-    S.Post = [P](const Val &R, const View &I, const View &F) {
+  {
+    TripleCase TC;
+    TC.Main = Prog::seq(Prog::call("lock", {}), Prog::act(Unlock, {}));
+    TC.S.Name = "tlock_lock_unlock";
+    TC.S.C = C;
+    TC.S.Pre = Assertion("not holding",
+                         [P](const View &V) { return !P.HoldsLock(V); });
+    TC.S.PostName = "released, client contribution unchanged";
+    TC.S.Post = [P](const Val &R, const View &I, const View &F) {
       return R.isUnit() && !P.HoldsLock(F) &&
              P.ClientSelf(F) == P.ClientSelf(I);
     };
-    std::vector<VerifyInstance> Instances;
     for (uint64_t Total : {uint64_t{0}, uint64_t{1}})
-      Instances.push_back(
+      TC.Instances.push_back(
           VerifyInstance{ticketInitialState(P, Total), {}});
-    EngineOptions Opts;
-    Opts.Ambient = C;
-    Opts.EnvInterference = true;
-    Opts.Defs = Defs.get();
-    return toObligation(verifyTriple(Main, S, Instances, Opts));
-  });
+    TC.Opts.Ambient = C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = Defs;
+    addTriple(Session, "lock_unlock_spec", std::move(TC));
+  }
 
   return Session;
 }

@@ -458,23 +458,30 @@ VerificationSession fcsl::makeTreiberSession() {
   auto Samples =
       std::make_shared<std::vector<View>>(treiberSampleViews(*Case));
 
-  Session.addObligation(ObCategory::Libs, "hist_pcm_laws", [] {
-    std::vector<PCMVal> Sample;
-    Sample.push_back(PCMVal::ofHist(History()));
+  std::vector<PCMVal> LawSample;
+  LawSample.push_back(PCMVal::ofHist(History()));
+  {
     History H1, H2, H12;
     H1.add(1, HistEntry{Val::unit(), Val::ofInt(1)});
     H2.add(2, HistEntry{Val::ofInt(1), Val::ofInt(2)});
     H12.add(1, HistEntry{Val::unit(), Val::ofInt(1)});
     H12.add(2, HistEntry{Val::ofInt(1), Val::ofInt(2)});
-    Sample.push_back(PCMVal::ofHist(H1));
-    Sample.push_back(PCMVal::ofHist(H2));
-    Sample.push_back(PCMVal::ofHist(H12));
-    PCMLawReport R = checkPCMLaws(*PCMType::hist(), Sample);
-    return ObligationResult{R.allHold() && checkCancellativity(Sample),
-                            R.JoinsEvaluated, "PCM law violated"};
-  });
+    LawSample.push_back(PCMVal::ofHist(H1));
+    LawSample.push_back(PCMVal::ofHist(H2));
+    LawSample.push_back(PCMVal::ofHist(H12));
+  }
+  Session.addObligation(
+      ObCategory::Libs, "hist_pcm_laws",
+      pcmLawInputs(PCMType::hist(), LawSample, 1).text("cancellative"),
+      [LawSample] {
+        PCMLawReport R = checkPCMLaws(*PCMType::hist(), LawSample);
+        return lawObligation(R.allHold() && checkCancellativity(LawSample),
+                             R.JoinsEvaluated);
+      });
 
   Session.addObligation(ObCategory::Conc, "treiber_metatheory",
+                        sampleInputs(ObKind::Metatheory, *Case->C,
+                                     *Samples, 1),
                         [Case, Samples] {
     return toObligation(checkConcurroidWellFormed(*Case->C, *Samples));
   });
@@ -487,22 +494,31 @@ VerificationSession fcsl::makeTreiberSession() {
                                      {Val::ofPtr(Ptr(41))}};
 
   Session.addObligation(ObCategory::Acts, "read_head_wf",
+                        actionInputs(*Case->ReadHead, *Samples, {{}}, 1)
+                            .text("wf"),
                         [Case, Samples] {
     return toObligation(
         checkActionWellFormed(*Case->ReadHead, *Samples, {{}}));
   });
   Session.addObligation(ObCategory::Acts, "try_push_wf",
+                        actionInputs(*Case->TryPush, *Samples, PushArgs, 1)
+                            .text("wf"),
                         [Case, Samples, PushArgs] {
     return toObligation(
         checkActionWellFormed(*Case->TryPush, *Samples, PushArgs));
   });
   Session.addObligation(ObCategory::Acts, "try_pop_wf",
+                        actionInputs(*Case->TryPop, *Samples, PopArgs, 1)
+                            .text("wf"),
                         [Case, Samples, PopArgs] {
     return toObligation(
         checkActionWellFormed(*Case->TryPop, *Samples, PopArgs));
   });
 
   Session.addObligation(ObCategory::Stab, "my_history_stable",
+                        stabilityInputs(*Case->C,
+                                        "my history contains stamp 1",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Tr = Case->Tr;
     Assertion MyHist("my history contains stamp 1", [Tr](const View &S) {
@@ -511,6 +527,9 @@ VerificationSession fcsl::makeTreiberSession() {
     return toObligation(checkStability(MyHist, *Case->C, *Samples));
   });
   Session.addObligation(ObCategory::Stab, "history_only_grows",
+                        stabilityInputs(*Case->C,
+                                        "the combined history is append-only",
+                                        *Samples, 1),
                         [Case, Samples] {
     Label Tr = Case->Tr;
     return toObligation(checkRelationStability(
@@ -531,16 +550,17 @@ VerificationSession fcsl::makeTreiberSession() {
         "the combined history is append-only", *Case->C, *Samples));
   });
 
-  Session.addObligation(ObCategory::Main, "push_spec", [Case] {
-    Spec S;
-    S.Name = "push";
-    S.C = Case->C;
+  {
+    TripleCase TC;
+    TC.Main = Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(4)});
+    TC.S.Name = "push";
+    TC.S.C = Case->C;
     Label Pv = Case->Pv, Tr = Case->Tr;
-    S.Pre = Assertion("node cell owned", [Pv](const View &V) {
+    TC.S.Pre = Assertion("node cell owned", [Pv](const View &V) {
       return V.self(Pv).getHeap().contains(Ptr(20));
     });
-    S.PostName = "my history gained exactly the push entry";
-    S.Post = [Tr](const Val &R, const View &I, const View &F) {
+    TC.S.PostName = "my history gained exactly the push entry";
+    TC.S.Post = [Tr](const Val &R, const View &I, const View &F) {
       if (!R.isUnit())
         return false;
       auto Delta = selfHistDelta(I, F, Tr);
@@ -548,27 +568,25 @@ VerificationSession fcsl::makeTreiberSession() {
              Delta->second.After ==
                  Val::pair(Val::ofInt(4), Delta->second.Before);
     };
-    ProgRef Main =
-        Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(4)});
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S,
-        {VerifyInstance{treiberState(*Case, {}, 1, 1), {}},
-         VerifyInstance{treiberState(*Case, {5}, 1, 1), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {}, 1, 1), {}});
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {5}, 1, 1), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "push_spec", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "pop_spec", [Case] {
-    Spec S;
-    S.Name = "pop";
-    S.C = Case->C;
+  {
+    TripleCase TC;
+    TC.Main = Prog::call("pop", {});
+    TC.S.Name = "pop";
+    TC.S.C = Case->C;
     Label Tr = Case->Tr;
-    S.Pre = assertTrue();
-    S.PostName = "pop entry recorded, or empty observed with no entry";
-    S.Post = [Tr](const Val &R, const View &I, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "pop entry recorded, or empty observed with no entry";
+    TC.S.Post = [Tr](const Val &R, const View &I, const View &F) {
       if (!R.isPair() || !R.first().isBool())
         return false;
       if (!R.first().getBool())
@@ -578,28 +596,27 @@ VerificationSession fcsl::makeTreiberSession() {
              Delta->second.Before ==
                  Val::pair(R.second(), Delta->second.After);
     };
-    ProgRef Main = Prog::call("pop", {});
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = true;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S,
-        {VerifyInstance{treiberState(*Case, {}, 0, 1), {}},
-         VerifyInstance{treiberState(*Case, {5}, 0, 1), {}},
-         VerifyInstance{treiberState(*Case, {7, 5}, 0, 1), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {}, 0, 1), {}});
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {5}, 0, 1), {}});
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {7, 5}, 0, 1), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = true;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "pop_spec", std::move(TC));
+  }
 
-  Session.addObligation(ObCategory::Main, "parallel_pushes", [Case] {
+  {
     // par(push(20, 1), push(21, 2)) in a closed world: both entries land.
-    Spec S;
-    S.Name = "parallel_push";
-    S.C = Case->C;
+    TripleCase TC;
+    TC.S.Name = "parallel_push";
+    TC.S.C = Case->C;
     Label Tr = Case->Tr;
-    S.Pre = assertTrue();
-    S.PostName = "both pushes recorded in my joined history";
-    S.Post = [Tr](const Val &R, const View &I, const View &F) {
+    TC.S.Pre = assertTrue();
+    TC.S.PostName = "both pushes recorded in my joined history";
+    TC.S.Post = [Tr](const Val &R, const View &I, const View &F) {
       if (!R.isPair())
         return false;
       const History &Mine = F.self(Tr).getHist();
@@ -628,18 +645,17 @@ VerificationSession fcsl::makeTreiberSession() {
       return {{Pv, {PCMVal::ofHeap(std::move(Left)),
                     PCMVal::ofHeap(std::move(Right))}}};
     };
-    ProgRef Main = Prog::par(
+    TC.Main = Prog::par(
         Prog::call("push", {Expr::litPtr(Ptr(20)), Expr::litInt(1)}),
         Prog::call("push", {Expr::litPtr(Ptr(21)), Expr::litInt(2)}),
         Split);
-    EngineOptions Opts;
-    Opts.Ambient = Case->C;
-    Opts.EnvInterference = false;
-    Opts.Defs = &Case->Defs;
-    return toObligation(verifyTriple(
-        Main, S, {VerifyInstance{treiberState(*Case, {}, 2, 0), {}}},
-        Opts));
-  });
+    TC.Instances.push_back(
+        VerifyInstance{treiberState(*Case, {}, 2, 0), {}});
+    TC.Opts.Ambient = Case->C;
+    TC.Opts.EnvInterference = false;
+    TC.Defs = std::shared_ptr<const DefTable>(Case, &Case->Defs);
+    addTriple(Session, "parallel_pushes", std::move(TC));
+  }
 
   return Session;
 }

@@ -74,6 +74,19 @@ inline uint64_t fpString(std::string_view S) {
   return H;
 }
 
+/// FNV-1a over a raw byte range. Fingerprinting a value's canonical codec
+/// encoding this way yields a process-stable content address for any
+/// serializable state type (the obligation cache keys on these).
+inline uint64_t fpBytes(const void *Data, size_t N) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != N; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
 //===----------------------------------------------------------------------===//
 // Arena statistics
 //===----------------------------------------------------------------------===//

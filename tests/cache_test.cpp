@@ -1,0 +1,358 @@
+//===- tests/cache_test.cpp - Obligation-cache tests -----------------------===//
+//
+// Part of fcsl-cpp.
+//
+// Pins the content-addressed obligation pipeline (cache/Store.h, DESIGN.md
+// §13): obligation keys are process-stable (computed in a freshly exec'd
+// process, not a forked copy of this one), a warm rerun serves every keyed
+// unit from the store with bit-identical verdicts and counts, editing a
+// declared input invalidates exactly the affected unit, a verdict recorded
+// under one engine-flag fingerprint never answers a query under another,
+// truncated or corrupt logs degrade to misses (never wrong verdicts), and
+// --cache=check re-discharges hits and fails loudly on divergence —
+// exercised over the full Table-1 suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/StackIface.h"
+#include "structures/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fcsl;
+
+namespace {
+
+/// A scratch cache directory + process cache-mode scope. Every test runs
+/// against its own store and restores the process defaults on exit.
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/fcsl-cache-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Dir = Template;
+    cache::setCacheDir(Dir);
+    cache::resetActiveStore();
+  }
+
+  void TearDown() override {
+    cache::setDefaultCacheMode(cache::CacheMode::Off);
+    cache::setCacheDir("");
+    cache::resetActiveStore();
+    std::remove(storePath().c_str());
+    ::rmdir(Dir.c_str());
+  }
+
+  void setMode(cache::CacheMode M) {
+    cache::setDefaultCacheMode(M);
+    cache::resetActiveStore();
+  }
+
+  std::string storePath() const { return Dir + "/obligations.fcslcache"; }
+
+  uint64_t storeSize() const {
+    struct stat St;
+    return ::stat(storePath().c_str(), &St) == 0
+               ? static_cast<uint64_t>(St.st_size)
+               : 0;
+  }
+
+  std::string Dir;
+};
+
+/// A deterministic toy session: one keyed Libs lemma whose declared input
+/// is \p InputFp, reporting \p Checks elementary checks.
+VerificationSession toySession(uint64_t InputFp, uint64_t Checks,
+                               bool Passes = true) {
+  VerificationSession S("Toy");
+  S.addObligation(ObCategory::Libs, "toy_lemma",
+                  ObligationInputs(ObKind::Check).mix(InputFp).rev(1),
+                  [Checks, Passes] {
+                    ObligationResult O;
+                    O.Passed = Passes;
+                    O.Checks = Checks;
+                    O.Counters.Configs = Checks * 2;
+                    if (!Passes)
+                      O.Note = "toy failure";
+                    return O;
+                  });
+  return S;
+}
+
+/// Renders every Table-1 proof unit's content fingerprint (plus the
+/// engine-flag fingerprint) as one line per unit — the child process and
+/// the parent must produce byte-identical dumps.
+std::string dumpAllKeys() {
+  std::ostringstream Out;
+  std::vector<CaseEntry> Cases = allCaseStudies();
+  Cases.push_back(CaseEntry{"Abstract stack", makeStackIfaceSession});
+  for (const CaseEntry &Case : Cases) {
+    VerificationSession S = Case.MakeSession();
+    for (const ProofUnit &U : S.units())
+      Out << Case.Name << "/" << U.Name << " " << U.ContentFp << "\n";
+  }
+  Out << "engine-flags " << engineFlagsFingerprint() << "\n";
+  return Out.str();
+}
+
+} // namespace
+
+// Re-executes this binary (exec, not fork: fresh address space, fresh
+// intern arenas, fresh ASLR) and compares its key dump byte for byte.
+// Fingerprints must derive from canonical content only — any pointer or
+// registration-order dependence shows up as a mismatch.
+TEST(CacheKeyTest, KeysAreProcessStable) {
+  if (const char *DumpPath = std::getenv("FCSL_CACHE_TEST_DUMP")) {
+    std::ofstream Out(DumpPath);
+    ASSERT_TRUE(Out.good());
+    Out << dumpAllKeys();
+    return;
+  }
+
+  char Template[] = "/tmp/fcsl-keys-XXXXXX";
+  int Fd = ::mkstemp(Template);
+  ASSERT_GE(Fd, 0);
+  ::close(Fd);
+  std::string Path = Template;
+
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ::setenv("FCSL_CACHE_TEST_DUMP", Path.c_str(), 1);
+    const char *Exe = "/proc/self/exe";
+    execl(Exe, "cache_test",
+          "--gtest_filter=CacheKeyTest.KeysAreProcessStable",
+          "--gtest_brief=1", static_cast<char *>(nullptr));
+    std::_Exit(127); // exec failed.
+  }
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+      << "child key-dump process failed";
+
+  std::ifstream In(Path);
+  std::stringstream ChildDump;
+  ChildDump << In.rdbuf();
+  std::remove(Path.c_str());
+
+  std::string Mine = dumpAllKeys();
+  EXPECT_FALSE(Mine.empty());
+  EXPECT_EQ(ChildDump.str(), Mine);
+}
+
+TEST_F(CacheTest, WarmRunReplaysBitIdentically) {
+  setMode(cache::CacheMode::Rw);
+  VerificationSession S = toySession(0x1234, 7);
+
+  SessionReport Cold = S.run();
+  EXPECT_TRUE(Cold.AllPassed);
+  EXPECT_EQ(Cold.Cache.Hits, 0u);
+  EXPECT_EQ(Cold.Cache.Misses, 1u);
+  EXPECT_EQ(Cold.Cache.Stores, 1u);
+  EXPECT_EQ(Cold.Cache.Unkeyed, 0u);
+
+  SessionReport Warm = S.run();
+  EXPECT_TRUE(Warm.AllPassed);
+  EXPECT_EQ(Warm.Cache.Hits, 1u);
+  EXPECT_EQ(Warm.Cache.Misses, 0u);
+  EXPECT_EQ(Warm.Cache.Stores, 0u);
+  EXPECT_EQ(Warm.Cache.ReplayedChecks, 7u);
+  EXPECT_EQ(Warm.Cache.ReplayedConfigs, 14u);
+  for (size_t C = 0; C != 5; ++C) {
+    EXPECT_EQ(Warm.PerCategory[C].Obligations, Cold.PerCategory[C].Obligations);
+    EXPECT_EQ(Warm.PerCategory[C].Checks, Cold.PerCategory[C].Checks);
+  }
+
+  // Failed verdicts replay too — the cache must not launder a failure.
+  VerificationSession Bad = toySession(0x9999, 3, /*Passes=*/false);
+  SessionReport BadCold = Bad.run();
+  EXPECT_FALSE(BadCold.AllPassed);
+  SessionReport BadWarm = Bad.run();
+  EXPECT_FALSE(BadWarm.AllPassed);
+  EXPECT_EQ(BadWarm.Cache.Hits, 1u);
+  ASSERT_EQ(BadWarm.Failures.size(), 1u);
+  EXPECT_NE(BadWarm.Failures[0].find("toy failure"), std::string::npos);
+}
+
+TEST_F(CacheTest, EditingADeclaredInputInvalidates) {
+  setMode(cache::CacheMode::Rw);
+  toySession(0xaaaa, 5).run();
+
+  // Same declared input: hit. Different input (an "edited program"): miss,
+  // and NOT stale-by-flag — the content itself changed.
+  SessionReport Same = toySession(0xaaaa, 5).run();
+  EXPECT_EQ(Same.Cache.Hits, 1u);
+  SessionReport Edited = toySession(0xbbbb, 5).run();
+  EXPECT_EQ(Edited.Cache.Hits, 0u);
+  EXPECT_EQ(Edited.Cache.Misses, 1u);
+  EXPECT_EQ(Edited.Cache.StaleFlags, 0u);
+
+  // A bumped site revision invalidates as well.
+  VerificationSession Bumped("Toy");
+  Bumped.addObligation(ObCategory::Libs, "toy_lemma",
+                       ObligationInputs(ObKind::Check).mix(0xaaaa).rev(2),
+                       [] { return ObligationResult{}; });
+  SessionReport Rev = Bumped.run();
+  EXPECT_EQ(Rev.Cache.Hits, 0u);
+  EXPECT_EQ(Rev.Cache.Misses, 1u);
+}
+
+TEST_F(CacheTest, FlagFingerprintSeparatesVerdicts) {
+  setMode(cache::CacheMode::Rw);
+  ASSERT_EQ(defaultPorMode(), PorMode::Off);
+  toySession(0xcccc, 9).run();
+
+  // Same content under --por=dynamic: a miss, reported stale-by-flag. The
+  // por=off verdict must never answer the por=dynamic query.
+  setDefaultPorMode(PorMode::Dynamic);
+  SessionReport Dyn = toySession(0xcccc, 9).run();
+  EXPECT_EQ(Dyn.Cache.Hits, 0u);
+  EXPECT_EQ(Dyn.Cache.Misses, 1u);
+  EXPECT_EQ(Dyn.Cache.StaleFlags, 1u);
+  EXPECT_EQ(Dyn.Cache.Stores, 1u);
+
+  // Both flag variants now resident: each mode hits its own record.
+  SessionReport DynWarm = toySession(0xcccc, 9).run();
+  EXPECT_EQ(DynWarm.Cache.Hits, 1u);
+  setDefaultPorMode(PorMode::Off);
+  SessionReport OffWarm = toySession(0xcccc, 9).run();
+  EXPECT_EQ(OffWarm.Cache.Hits, 1u);
+}
+
+TEST_F(CacheTest, RecordsPersistAcrossReopen) {
+  setMode(cache::CacheMode::Rw);
+  toySession(0xdddd, 4).run();
+  ASSERT_GT(storeSize(), 0u);
+
+  // Reopen from disk (fresh Store object, same log).
+  cache::resetActiveStore();
+  SessionReport Warm = toySession(0xdddd, 4).run();
+  EXPECT_EQ(Warm.Cache.Hits, 1u);
+
+  // Read-only mode serves the same hit and never grows the log.
+  uint64_t Size = storeSize();
+  setMode(cache::CacheMode::Ro);
+  SessionReport Ro = toySession(0xdddd, 4).run();
+  EXPECT_EQ(Ro.Cache.Hits, 1u);
+  SessionReport RoMiss = toySession(0xeeee, 4).run();
+  EXPECT_EQ(RoMiss.Cache.Misses, 1u);
+  EXPECT_EQ(RoMiss.Cache.Stores, 0u);
+  EXPECT_EQ(storeSize(), Size);
+}
+
+TEST_F(CacheTest, TruncatedAndCorruptLogsDegradeToMisses) {
+  setMode(cache::CacheMode::Rw);
+  toySession(0x1111, 2).run();
+  toySession(0x2222, 2).run();
+  cache::resetActiveStore();
+  uint64_t Full = storeSize();
+  ASSERT_GT(Full, 8u);
+
+  // Torn tail: drop the last 3 bytes. The first record still loads; the
+  // torn one is dropped (a miss, re-discharged and re-stored).
+  ASSERT_EQ(::truncate(storePath().c_str(), Full - 3), 0);
+  cache::resetActiveStore();
+  SessionReport First = toySession(0x1111, 2).run();
+  SessionReport Second = toySession(0x2222, 2).run();
+  EXPECT_EQ(First.Cache.Hits + Second.Cache.Hits, 1u);
+  EXPECT_EQ(First.Cache.Misses + Second.Cache.Misses, 1u);
+  EXPECT_TRUE(First.AllPassed && Second.AllPassed);
+
+  // Flip a byte inside the header: the whole log is foreign — every query
+  // misses, the session still passes, and the rewrite leaves a clean log.
+  {
+    std::fstream F(storePath(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good());
+    F.seekp(1);
+    F.put(static_cast<char>(0xff));
+  }
+  cache::resetActiveStore();
+  SessionReport Corrupt = toySession(0x1111, 2).run();
+  EXPECT_EQ(Corrupt.Cache.Hits, 0u);
+  EXPECT_EQ(Corrupt.Cache.Misses, 1u);
+  EXPECT_TRUE(Corrupt.AllPassed);
+  cache::resetActiveStore();
+  SessionReport Healed = toySession(0x1111, 2).run();
+  EXPECT_EQ(Healed.Cache.Hits, 1u);
+}
+
+TEST_F(CacheTest, CheckModeFailsLoudlyOnDivergence) {
+  // Plant a tampered record under the toy unit's key, then run in check
+  // mode: the re-discharge contradicts the store and the session fails.
+  VerificationSession S = toySession(0x5a5a, 6);
+  ASSERT_EQ(S.units().size(), 1u);
+  cache::ObligationKey Key = S.units()[0].key(engineFlagsFingerprint());
+
+  {
+    cache::Store Planted;
+    ASSERT_TRUE(Planted.open(storePath(), /*Writable=*/true));
+    cache::CacheRecord R;
+    R.Key = Key;
+    R.Passed = true;
+    R.Checks = 999; // The fresh discharge reports 6.
+    Planted.append(R);
+  }
+
+  setMode(cache::CacheMode::Check);
+  SessionReport Report = S.run();
+  EXPECT_FALSE(Report.AllPassed);
+  EXPECT_EQ(Report.Cache.CheckRuns, 1u);
+  EXPECT_EQ(Report.Cache.Divergences, 1u);
+  ASSERT_EQ(Report.Failures.size(), 1u);
+  EXPECT_NE(Report.Failures[0].find("cache-check divergence"),
+            std::string::npos);
+}
+
+TEST_F(CacheTest, Table1WarmRunIsAllHitsAndCheckClean) {
+  std::vector<CaseEntry> Cases = allCaseStudies();
+  ASSERT_EQ(Cases.size(), 11u);
+
+  // Cold run: populate the store; every obligation is keyed.
+  setMode(cache::CacheMode::Rw);
+  std::vector<SessionReport> Cold;
+  for (const CaseEntry &Case : Cases) {
+    Cold.push_back(Case.MakeSession().run());
+    const SessionReport &R = Cold.back();
+    EXPECT_TRUE(R.AllPassed) << Case.Name;
+    EXPECT_EQ(R.Cache.Unkeyed, 0u) << Case.Name << " has unkeyed units";
+    EXPECT_EQ(R.Cache.Hits, 0u) << Case.Name;
+    EXPECT_EQ(R.Cache.Stores, R.totalObligations()) << Case.Name;
+  }
+
+  // Warm run: 100% hits, bit-identical verdicts and per-category counts.
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    SessionReport Warm = Cases[I].MakeSession().run();
+    EXPECT_TRUE(Warm.AllPassed) << Cases[I].Name;
+    EXPECT_EQ(Warm.Cache.Hits, Warm.totalObligations()) << Cases[I].Name;
+    EXPECT_EQ(Warm.Cache.Misses, 0u) << Cases[I].Name;
+    for (size_t C = 0; C != 5; ++C) {
+      EXPECT_EQ(Warm.PerCategory[C].Obligations,
+                Cold[I].PerCategory[C].Obligations)
+          << Cases[I].Name;
+      EXPECT_EQ(Warm.PerCategory[C].Checks, Cold[I].PerCategory[C].Checks)
+          << Cases[I].Name;
+    }
+  }
+
+  // Check mode over the warm store: every hit re-discharged, zero
+  // divergences — the cached corpus agrees with a fresh one.
+  setMode(cache::CacheMode::Check);
+  for (const CaseEntry &Case : Cases) {
+    SessionReport Checked = Case.MakeSession().run();
+    EXPECT_TRUE(Checked.AllPassed) << Case.Name;
+    EXPECT_EQ(Checked.Cache.CheckRuns, Checked.totalObligations())
+        << Case.Name;
+    EXPECT_EQ(Checked.Cache.Divergences, 0u) << Case.Name;
+  }
+}

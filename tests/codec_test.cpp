@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dist/Wire.h"
 #include "support/Codec.h"
 
 #include <gtest/gtest.h>
@@ -317,6 +318,110 @@ TEST(CodecTest, MalformedPayloadsFailSoft) {
     (void)decodeHistory(D);
     EXPECT_TRUE(D.failed());
   }
+}
+
+cache::CacheRecord sampleRecord(uint64_t Content) {
+  cache::CacheRecord R;
+  R.Key.Content = Content;
+  R.Key.Flags = 0xfeedbeef;
+  R.Passed = false;
+  R.Checks = 42;
+  R.Counters.Configs = 100;
+  R.Counters.ActionSteps = 60;
+  R.Counters.EnvSteps = 40;
+  R.Counters.Terminals = 7;
+  R.Counters.DedupHits = 12;
+  R.ElapsedUs = 1234;
+  R.Note = "stability counterexample at seed 3";
+  return R;
+}
+
+TEST(CodecTest, CacheRecordRoundTrips) {
+  cache::CacheRecord R = sampleRecord(0xabcdef);
+  Encoder E;
+  cache::encode(E, R);
+  Decoder D(E.buffer());
+  cache::CacheRecord Out = cache::decodeCacheRecord(D);
+  EXPECT_FALSE(D.failed());
+  EXPECT_TRUE(D.atEnd());
+  EXPECT_EQ(Out, R);
+
+  // Default-constructed (a passing verdict with no note) round-trips too.
+  cache::CacheRecord Zero;
+  Encoder E2;
+  cache::encode(E2, Zero);
+  Decoder D2(E2.buffer());
+  EXPECT_EQ(cache::decodeCacheRecord(D2), Zero);
+  EXPECT_FALSE(D2.failed());
+}
+
+TEST(CodecTest, CacheRecordFailsSoft) {
+  cache::CacheRecord R = sampleRecord(0x1111);
+  Encoder E;
+  cache::encode(E, R);
+  const std::vector<uint8_t> &Full = E.buffer();
+  // Every strict prefix latches failed(), never crashes.
+  for (size_t Cut = 0; Cut < Full.size(); Cut += 3) {
+    Decoder D(Full.data(), Cut);
+    (void)cache::decodeCacheRecord(D);
+    EXPECT_TRUE(D.failed()) << "prefix of " << Cut << " bytes decoded";
+  }
+  // A Passed byte that is neither 0 nor 1 is malformed.
+  std::vector<uint8_t> Bad = Full;
+  Bad[16] = 7; // Key.Content + Key.Flags precede the Passed byte.
+  Decoder D(Bad);
+  (void)cache::decodeCacheRecord(D);
+  EXPECT_TRUE(D.failed());
+}
+
+TEST(CodecTest, CacheDeltaFrameRoundTrips) {
+  dist::CacheDeltaMsg M;
+  M.ShardId = 3;
+  M.Records.push_back(sampleRecord(0x1001));
+  M.Records.push_back(cache::CacheRecord{});
+  M.Records.push_back(sampleRecord(0x1002));
+
+  std::vector<uint8_t> Frame = dist::frameCacheDelta(M);
+  // Strip the u32 length prefix; the payload must announce its own length.
+  ASSERT_GT(Frame.size(), 4u);
+  uint32_t Len = 0;
+  for (int I = 0; I != 4; ++I)
+    Len |= static_cast<uint32_t>(Frame[I]) << (8 * I);
+  ASSERT_EQ(Frame.size() - 4, Len);
+  std::vector<uint8_t> Payload(Frame.begin() + 4, Frame.end());
+
+  std::optional<dist::WireMsg> Out = dist::decodeFrame(Payload);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->Type, dist::MsgType::CacheDelta);
+  EXPECT_EQ(Out->Delta, M);
+}
+
+TEST(CodecTest, CacheDeltaFrameFailsSoft) {
+  dist::CacheDeltaMsg M;
+  M.ShardId = 1;
+  M.Records.push_back(sampleRecord(0x2002));
+  std::vector<uint8_t> Frame = dist::frameCacheDelta(M);
+  std::vector<uint8_t> Payload(Frame.begin() + 4, Frame.end());
+
+  // Truncated payloads never decode.
+  for (size_t Cut = 0; Cut < Payload.size(); Cut += 5) {
+    std::vector<uint8_t> Prefix(Payload.begin(), Payload.begin() + Cut);
+    EXPECT_FALSE(dist::decodeFrame(Prefix).has_value())
+        << "prefix of " << Cut << " bytes decoded";
+  }
+
+  // A delta from a different cache-record format version is dropped whole.
+  // Layout: codec header (8 bytes), tag (1), shard id (4), then the u32
+  // record version — flip its low byte at offset 13.
+  std::vector<uint8_t> Foreign = Payload;
+  ASSERT_GT(Foreign.size(), 13u);
+  Foreign[13] ^= 0x01;
+  EXPECT_FALSE(dist::decodeFrame(Foreign).has_value());
+
+  // Trailing garbage after the last record is malformed.
+  std::vector<uint8_t> Trailing = Payload;
+  Trailing.push_back(0x00);
+  EXPECT_FALSE(dist::decodeFrame(Trailing).has_value());
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/Store.h"
 #include "concurroid/Registry.h"
 #include "dist/Coordinator.h"
 #include "prog/Engine.h"
@@ -34,7 +35,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fcsl-verify [--jobs N] [--por MODE] [--symmetry MODE] "
-               "[--shards N] <command>\n"
+               "[--shards N] [--cache MODE] <command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
@@ -76,11 +77,61 @@ int usage() {
                "default from\n"
                "                       FCSL_SHARDS, else 1); composes with "
                "--por and --jobs\n"
+               "  --cache off|rw|ro|check\n"
+               "                       persistent obligation-verdict cache "
+               "(content-addressed\n"
+               "                       store in FCSL_CACHE_DIR, default "
+               ".fcsl-cache): off =\n"
+               "                       discharge everything (default), rw = "
+               "serve hits and\n"
+               "                       record misses, ro = serve hits, never "
+               "write, check =\n"
+               "                       re-discharge hits and fail loudly on "
+               "any divergence\n"
+               "                       (default from FCSL_CACHE, else off)\n"
                "  --stats              after the command, print intern-arena "
                "and visited-set\n"
                "                       statistics (node counts, dedup ratio, "
                "peak bytes)\n");
   return 2;
+}
+
+/// Validates every FCSL_* environment knob the tool honors: a typo'd mode
+/// must fail loudly at startup, not silently fall back to the default and
+/// quietly verify with the wrong engine configuration.
+int validateEnv() {
+  int Bad = 0;
+  auto Reject = [&](const char *Var, const char *Val, const char *Want) {
+    std::fprintf(stderr, "error: invalid %s value '%s' (expected %s)\n", Var,
+                 Val, Want);
+    Bad = 2;
+  };
+  if (const char *E = std::getenv("FCSL_POR"))
+    if (*E && std::strcmp(E, "off") != 0 && std::strcmp(E, "on") != 0 &&
+        std::strcmp(E, "1") != 0 && std::strcmp(E, "dynamic") != 0 &&
+        std::strcmp(E, "check") != 0 && std::strcmp(E, "check-dynamic") != 0)
+      Reject("FCSL_POR", E, "off|on|dynamic|check|check-dynamic");
+  if (const char *E = std::getenv("FCSL_SYMMETRY"))
+    if (*E && std::strcmp(E, "off") != 0 && std::strcmp(E, "on") != 0 &&
+        std::strcmp(E, "1") != 0 && std::strcmp(E, "check") != 0)
+      Reject("FCSL_SYMMETRY", E, "off|on|check");
+  if (const char *E = std::getenv("FCSL_CACHE")) {
+    cache::CacheMode M;
+    if (*E && !cache::parseCacheMode(E, M))
+      Reject("FCSL_CACHE", E, "off|rw|ro|check");
+  }
+  auto CheckUnsigned = [&](const char *Var, long Min) {
+    const char *E = std::getenv(Var);
+    if (!E || !*E)
+      return;
+    char *End = nullptr;
+    long V = std::strtol(E, &End, 10);
+    if (End == E || *End != '\0' || V < Min)
+      Reject(Var, E, "a non-negative integer");
+  };
+  CheckUnsigned("FCSL_JOBS", 0);
+  CheckUnsigned("FCSL_SHARDS", 1);
+  return Bad;
 }
 
 /// Per-structure symmetry accounting, filled by runVerify/runTable1 when
@@ -95,18 +146,46 @@ struct CaseSymRecord {
 std::vector<CaseSymRecord> SymPerCase;
 bool CollectSymPerCase = false;
 
-/// Runs one session, recording its orbit-cache deltas when asked.
+/// Per-session obligation-cache accounting, filled when both --stats and a
+/// non-off cache mode are active.
+struct CaseCacheRecord {
+  std::string Name;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t StaleFlags = 0;
+  uint64_t Stores = 0;
+  uint64_t Divergences = 0;
+  uint64_t Unkeyed = 0;
+};
+std::vector<CaseCacheRecord> CachePerCase;
+bool CollectCachePerCase = false;
+
+/// Runs one session, recording its orbit-cache and obligation-cache deltas
+/// when asked.
 SessionReport runCase(const CaseEntry &Case) {
-  if (!CollectSymPerCase)
+  if (!CollectSymPerCase && !CollectCachePerCase)
     return Case.MakeSession().run();
-  SymmetryStats Before = symmetryStats();
+  SymmetryStats SymBefore = symmetryStats();
+  cache::CacheStats CacheBefore = cache::cacheStats();
   uint64_t ConfigsBefore = totalConfigsExplored();
   SessionReport Report = Case.MakeSession().run();
-  SymmetryStats After = symmetryStats();
-  SymPerCase.push_back(CaseSymRecord{
-      Case.Name, totalConfigsExplored() - ConfigsBefore,
-      After.Lookups - Before.Lookups, After.Hits - Before.Hits,
-      After.Changed - Before.Changed});
+  if (CollectSymPerCase) {
+    SymmetryStats After = symmetryStats();
+    SymPerCase.push_back(CaseSymRecord{
+        Case.Name, totalConfigsExplored() - ConfigsBefore,
+        After.Lookups - SymBefore.Lookups, After.Hits - SymBefore.Hits,
+        After.Changed - SymBefore.Changed});
+  }
+  if (CollectCachePerCase) {
+    cache::CacheStats After = cache::cacheStats();
+    CachePerCase.push_back(CaseCacheRecord{
+        Case.Name, After.Hits - CacheBefore.Hits,
+        After.Misses - CacheBefore.Misses,
+        After.StaleFlags - CacheBefore.StaleFlags,
+        After.Stores - CacheBefore.Stores,
+        After.Divergences - CacheBefore.Divergences,
+        After.Unkeyed - CacheBefore.Unkeyed});
+  }
   return Report;
 }
 
@@ -178,16 +257,56 @@ void printStats() {
                 static_cast<unsigned long long>(Por.SleepHits),
                 static_cast<unsigned long long>(Por.FullExpansions));
 
+  cache::CacheStats Cache = cache::cacheStats();
+  if (Cache.Hits + Cache.Misses + Cache.Unkeyed > 0) {
+    std::printf("obligation cache (%s): %llu hits, %llu misses (%llu stale "
+                "by flag), %llu stored, %llu unkeyed\n",
+                cache::cacheModeName(cache::defaultCacheMode()),
+                static_cast<unsigned long long>(Cache.Hits),
+                static_cast<unsigned long long>(Cache.Misses),
+                static_cast<unsigned long long>(Cache.StaleFlags),
+                static_cast<unsigned long long>(Cache.Stores),
+                static_cast<unsigned long long>(Cache.Unkeyed));
+    if (Cache.Hits > 0)
+      std::printf("  replayed from store: %llu checks, %llu configs, "
+                  "%.1f ms of cold discharge avoided\n",
+                  static_cast<unsigned long long>(Cache.ReplayedChecks),
+                  static_cast<unsigned long long>(Cache.ReplayedConfigs),
+                  static_cast<double>(Cache.ReplayedUs) / 1000.0);
+    if (Cache.CheckRuns > 0)
+      std::printf("  cache cross-check: %llu hits re-discharged, %llu "
+                  "divergences\n",
+                  static_cast<unsigned long long>(Cache.CheckRuns),
+                  static_cast<unsigned long long>(Cache.Divergences));
+    if (const cache::Store *S = cache::activeStore())
+      std::printf("  store: %s (%zu records, %llu bytes)\n",
+                  S->path().c_str(), S->records(),
+                  static_cast<unsigned long long>(S->fileBytes()));
+    if (!CachePerCase.empty()) {
+      TextTable Tbl;
+      Tbl.setHeader({"structure", "hits", "misses", "stale-flag", "stored",
+                     "unkeyed"});
+      for (unsigned I = 1; I <= 5; ++I)
+        Tbl.setRightAligned(I);
+      for (const CaseCacheRecord &R : CachePerCase)
+        Tbl.addRow({R.Name, std::to_string(R.Hits),
+                    std::to_string(R.Misses), std::to_string(R.StaleFlags),
+                    std::to_string(R.Stores), std::to_string(R.Unkeyed)});
+      std::printf("per-structure cache traffic:\n%s", Tbl.render().c_str());
+    }
+  }
+
   dist::FleetStats Fleet = dist::fleetTotals();
   if (Fleet.Fleets == 0)
     return;
   std::printf("sharded exploration: %llu fleets, %llu configs exchanged in "
-              "%llu batches (%llu bytes), peak child rss %llu kB "
-              "(sum %llu kB)\n",
+              "%llu batches (%llu bytes), %llu cache records merged, peak "
+              "child rss %llu kB (sum %llu kB)\n",
               static_cast<unsigned long long>(Fleet.Fleets),
               static_cast<unsigned long long>(Fleet.Configs),
               static_cast<unsigned long long>(Fleet.Messages),
               static_cast<unsigned long long>(Fleet.Bytes),
+              static_cast<unsigned long long>(Fleet.CacheRecordsMerged),
               static_cast<unsigned long long>(Fleet.ChildRssKbMax),
               static_cast<unsigned long long>(Fleet.ChildRssKbSum));
   TextTable Shards;
@@ -293,7 +412,16 @@ int main(int Argc, char **Argv) {
   bool PorCheckRequested = false;
   bool SymCheckRequested = false;
   bool SymRequested = false;
+  if (int Bad = validateEnv())
+    return Bad;
   dist::installDistributedEngine();
+  auto ParseCache = [](const char *Mode) -> bool {
+    cache::CacheMode M;
+    if (!cache::parseCacheMode(Mode, M))
+      return false;
+    cache::setDefaultCacheMode(M);
+    return true;
+  };
   auto ParseShards = [](const char *Text) -> bool {
     char *End = nullptr;
     long N = std::strtol(Text, &End, 10);
@@ -376,6 +504,16 @@ int main(int Argc, char **Argv) {
         return usage();
       continue;
     }
+    if (std::strcmp(Argv[I], "--cache") == 0) {
+      if (I + 1 >= Argc || !ParseCache(Argv[++I]))
+        return usage();
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--cache=", 8) == 0) {
+      if (!ParseCache(Argv[I] + 8))
+        return usage();
+      continue;
+    }
     if (std::strcmp(Argv[I], "--stats") == 0) {
       Stats = true;
       continue;
@@ -388,6 +526,8 @@ int main(int Argc, char **Argv) {
   SymCheckRequested |= ResolvedSym == SymMode::Check;
   SymRequested |= ResolvedSym != SymMode::Off;
   CollectSymPerCase = Stats && SymRequested;
+  CollectCachePerCase =
+      Stats && cache::defaultCacheMode() != cache::CacheMode::Off;
   Argc = static_cast<int>(Args.size()) + 1;
   if (Argc < 2)
     return usage();
