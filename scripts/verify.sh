@@ -30,7 +30,10 @@
 #   6. Shards: fcsl-verify --shards=2 verify all must print the same
 #      report as --shards=1 (modulo timings), with POR off and on — the
 #      multi-process partitioned exploration (src/dist/) is bit-identical
-#      to the in-process engine.
+#      to the in-process engine. Both wire encodings are exercised: the
+#      dictionary-streamed protocol (the default) and the legacy
+#      standalone encoding (--dist-compress=off) must produce the same
+#      report.
 #   7. Cache: a cold run against an empty obligation store and a warm
 #      rerun must print byte-identical reports (modulo timings), the warm
 #      run must be 100% hits, and --cache=check — which re-discharges
@@ -158,7 +161,14 @@ if [[ "$RUN_SHARDS" == 1 ]]; then
       | sed -E "$Normalize" > build/verify-shards-2.txt
     diff build/verify-shards-1.txt build/verify-shards-2.txt \
       || { echo "shards=2 diverged from shards=1 (por=$Por)" >&2; exit 1; }
-    echo "   por=$Por: shards=2 identical to shards=1"
+    # The legacy (pre-dictionary) wire encoding must agree too: it is the
+    # A/B baseline the compressed protocol is measured against.
+    ./build/tools/fcsl-verify --por="$Por" --shards=2 --dist-compress=off \
+      verify all | sed -E "$Normalize" > build/verify-shards-2-legacy.txt
+    diff build/verify-shards-1.txt build/verify-shards-2-legacy.txt \
+      || { echo "legacy wire (--dist-compress=off) diverged from shards=1" \
+             "(por=$Por)" >&2; exit 1; }
+    echo "   por=$Por: shards=2 identical to shards=1 (dict + legacy wire)"
   done
 fi
 

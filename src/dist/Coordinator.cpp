@@ -26,6 +26,7 @@
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
+#include <unordered_set>
 
 using namespace fcsl;
 using namespace fcsl::dist;
@@ -103,6 +104,10 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   if (RunOpts.Por == PorMode::Check)
     RunOpts.Por = PorMode::Off;
   RunOpts.Shards = NShards;
+
+  // Latch the frontier-encoding choice in the parent so every forked
+  // worker inherits the same resolved value.
+  (void)distCompressEnabled();
 
   // Crash-injection hook for the worker-loss diagnostic test.
   long CrashShard = -1;
@@ -192,6 +197,19 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   bool DrainExhausted = false;
   std::string LostShardNote;
   uint64_t Messages = 0, Bytes = 0, Configs = 0, CacheMerged = 0;
+  uint64_t DroppedDupes = 0;
+  std::array<uint64_t, 8> RecvFrames{}, RecvBytes{};
+
+  // Fleet-wide relay dedup, sound exactly when the reduction mode is Off:
+  // without POR there is no wake payload to merge and no Counts=false
+  // edges, so the owner's handling of the second copy of a fingerprint is
+  // always "count one dedup hit, discard". The hub can do that itself and
+  // drop the relay; together with the engine's sender-side filter this
+  // guarantees each distinct config crosses the wire at most once
+  // fleet-wide (exchanged <= explored). Under POR a duplicate may carry a
+  // payload the owner still needs, so the hub relays everything.
+  const bool FleetDedup = RunOpts.Por == PorMode::Off;
+  std::unordered_set<uint64_t> RelayedFps;
 
   auto QueueFrame = [&](WorkerCh &W, std::vector<uint8_t> Frame) {
     if (W.Eof)
@@ -228,23 +246,9 @@ RunResult dist::distributedExplore(const ProgRef &Root,
       if (M.Stats.Exhausted)
         StartDrain(true);
       break;
-    case MsgType::FrontierBatch: {
-      size_t Count = M.Batch.Configs.size();
-      W.RecvFromConfigs += Count;
-      ++Messages;
-      Configs += Count;
-      std::vector<uint8_t> Frame = frameBatch(M.Batch);
-      Bytes += Frame.size();
-      // After a drain decision, relaying more work would only delay the
-      // fleet's shutdown; the delivery counters still balance because
-      // the destination never learns about the dropped configs.
-      if (!Draining && M.Batch.Dest < Workers.size() &&
-          !Workers[M.Batch.Dest].Eof) {
-        Workers[M.Batch.Dest].RelayedToConfigs += Count;
-        QueueFrame(Workers[M.Batch.Dest], std::move(Frame));
-      }
-      break;
-    }
+    case MsgType::FrontierBatch:
+    case MsgType::FrontierBatchDict:
+      break; // Batch frames take the raw-relay path in HandlePayload.
     case MsgType::Verdict:
       W.Verdict = M.Verdict;
       W.Done = true;
@@ -263,6 +267,70 @@ RunResult dist::distributedExplore(const ProgRef &Root,
     case MsgType::Drain:
       break; // Workers never send Drain.
     }
+  };
+
+  // One frame payload off a worker's stream. Batch frames are relayed as
+  // raw bytes — the hub reads only the routing envelope (dest, src,
+  // fingerprints) and never re-expands or re-encodes the config bodies,
+  // so a dictionary-compressed frame crosses the hub untouched and the
+  // per-connection definition streams stay in FIFO order end to end.
+  auto HandlePayload = [&](unsigned From, std::vector<uint8_t> &Payload) {
+    WorkerCh &W = Workers[From];
+    std::optional<MsgType> Tag = peekFrameTag(Payload);
+    if (!Tag)
+      return; // Fail-soft: skip malformed frames.
+    RecvFrames[static_cast<size_t>(*Tag)] += 1;
+    RecvBytes[static_cast<size_t>(*Tag)] += Payload.size();
+    if (*Tag != MsgType::FrontierBatch &&
+        *Tag != MsgType::FrontierBatchDict) {
+      std::optional<WireMsg> M = decodeFrame(Payload);
+      if (M)
+        HandleFrame(From, *M);
+      return;
+    }
+    std::optional<BatchPeek> P = peekBatch(Payload);
+    if (!P)
+      return;
+    size_t Count = P->Fps.size();
+    W.RecvFromConfigs += Count;
+    size_t Kept = Count;
+    std::vector<bool> Keep;
+    if (FleetDedup && Count != 0) {
+      Keep.assign(Count, true);
+      Kept = 0;
+      for (size_t I = 0; I != Count; ++I) {
+        if (RelayedFps.insert(P->Fps[I]).second)
+          ++Kept;
+        else
+          Keep[I] = false;
+      }
+      DroppedDupes += Count - Kept;
+    }
+    // After a drain decision, relaying more work would only delay the
+    // fleet's shutdown; the delivery counters still balance because the
+    // destination never learns about the dropped configs.
+    if (Draining || P->Dest >= Workers.size() || Workers[P->Dest].Eof)
+      return;
+    // An emptied legacy frame carries nothing; an emptied dictionary
+    // frame still carries its definition stream, which later frames on
+    // the connection reference — it must flow.
+    if (Kept == 0 && *Tag == MsgType::FrontierBatch)
+      return;
+    std::vector<uint8_t> Frame;
+    if (Kept == Count) {
+      Frame = frameFromPayload(Payload);
+    } else {
+      std::optional<std::vector<uint8_t>> Filtered =
+          filterBatchFrame(Payload, Keep);
+      if (!Filtered)
+        return;
+      Frame = std::move(*Filtered);
+    }
+    Workers[P->Dest].RelayedToConfigs += Kept;
+    ++Messages;
+    Bytes += Frame.size();
+    Configs += Kept;
+    QueueFrame(Workers[P->Dest], std::move(Frame));
   };
 
   // The relay loop: poll every live socket, relay batches, weigh
@@ -342,11 +410,8 @@ RunResult dist::distributedExplore(const ProgRef &Root,
           W.Eof = true;
           break;
         }
-        while (std::optional<std::vector<uint8_t>> Payload = W.In.next()) {
-          std::optional<WireMsg> M = decodeFrame(*Payload);
-          if (M)
-            HandleFrame(PfdOwner[PI], *M);
-        }
+        while (std::optional<std::vector<uint8_t>> Payload = W.In.next())
+          HandlePayload(PfdOwner[PI], *Payload);
         if (W.Eof) {
           closeFd(W.Fd);
           if (!W.Done) {
@@ -440,6 +505,10 @@ RunResult dist::distributedExplore(const ProgRef &Root,
     Merged.insert(V.Terminals.begin(), V.Terminals.end());
   }
   Out.Terminals.assign(Merged.begin(), Merged.end());
+  // Duplicates the hub dropped are exactly the dedup hits their owners
+  // would have counted (FleetDedup is only active when the counter-parity
+  // argument holds — see HandlePayload).
+  Out.DedupHits += DroppedDupes;
   if (!LostShardNote.empty() && !FailPicked)
     Out.FailureNote = LostShardNote;
   if (Out.PorReduced)
@@ -455,6 +524,11 @@ RunResult dist::distributedExplore(const ProgRef &Root,
     FleetTotals.Bytes += Bytes;
     FleetTotals.Configs += Configs;
     FleetTotals.CacheRecordsMerged += CacheMerged;
+    FleetTotals.RelayDroppedDupes += DroppedDupes;
+    for (size_t I = 0; I != RecvFrames.size(); ++I) {
+      FleetTotals.RecvFrames[I] += RecvFrames[I];
+      FleetTotals.RecvBytes[I] += RecvBytes[I];
+    }
     uint64_t RssSum = 0;
     FleetTotals.LastRun.clear();
     for (unsigned I = 0; I != NShards; ++I) {
@@ -466,6 +540,11 @@ RunResult dist::distributedExplore(const ProgRef &Root,
       X.RecvConfigs = W.Done ? W.Verdict.RecvConfigs : W.Report.RecvConfigs;
       X.SentBatches = W.Done ? W.Verdict.SentBatches : W.Report.SentBatches;
       X.SentBytes = W.Done ? W.Verdict.SentBytes : W.Report.SentBytes;
+      X.SuppressedSends =
+          W.Done ? W.Verdict.SuppressedSends : W.Report.SuppressedSends;
+      X.DictNodes = W.Done ? W.Verdict.DictNodes : 0;
+      X.DictDefBytes = W.Done ? W.Verdict.DictDefBytes : 0;
+      X.DictRefBytes = W.Done ? W.Verdict.DictRefBytes : 0;
       X.MaxRssKb = W.MaxRssKb;
       RssSum += W.MaxRssKb;
       if (W.MaxRssKb > FleetTotals.ChildRssKbMax)

@@ -32,6 +32,8 @@
 
 #include "prog/Engine.h"
 
+#include <array>
+
 namespace fcsl {
 namespace dist {
 
@@ -43,6 +45,10 @@ struct ShardExchange {
   uint64_t RecvConfigs = 0;
   uint64_t SentBatches = 0;
   uint64_t SentBytes = 0;
+  uint64_t SuppressedSends = 0; ///< re-sends the sender filter swallowed.
+  uint64_t DictNodes = 0;       ///< distinct nodes in its send dictionaries.
+  uint64_t DictDefBytes = 0;    ///< definition-stream bytes it shipped.
+  uint64_t DictRefBytes = 0;    ///< reference-stream bytes it shipped.
   uint64_t MaxRssKb = 0; ///< the worker process's peak RSS (ru_maxrss).
 };
 
@@ -51,10 +57,18 @@ struct ShardExchange {
 struct FleetStats {
   uint64_t Fleets = 0;   ///< distributed runs completed.
   uint64_t Configs = 0;  ///< frontier configs relayed between shards.
-  uint64_t Messages = 0; ///< FrontierBatch frames relayed.
+  uint64_t Messages = 0; ///< batch frames relayed.
   uint64_t Bytes = 0;    ///< relayed frame bytes.
   uint64_t CacheRecordsMerged = 0; ///< worker cache records folded into
                                    ///< the hub's obligation store.
+  /// Duplicate configs the hub dropped instead of relaying (fleet-wide
+  /// fingerprint dedup, active when the reduction mode is Off — each drop
+  /// is booked as the dedup hit the owner would have counted).
+  uint64_t RelayDroppedDupes = 0;
+  /// Frames/bytes the hub received, indexed by MsgType tag (1..7; index 0
+  /// unused). The full wire table `--stats` prints.
+  std::array<uint64_t, 8> RecvFrames{};
+  std::array<uint64_t, 8> RecvBytes{};
   /// Peak over runs of the *sum* of the run's child peak RSS values — the
   /// fleet's aggregate footprint — and of a single child's peak.
   uint64_t ChildRssKbSum = 0;

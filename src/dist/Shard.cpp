@@ -20,15 +20,23 @@ namespace {
 constexpr size_t FlushConfigs = 64;
 /// ...or this many payload bytes, whichever comes first.
 constexpr size_t FlushBytes = 256u << 10;
+/// A buffered config older than this is flushed on the next pump even if
+/// the batch is small and the shard busy: bounds the latency a peer waits
+/// on work we are sitting on, without reverting to per-successor frames.
+constexpr auto FlushStaleness = std::chrono::microseconds(200);
 /// Minimum interval between busy-state stats reports.
 constexpr auto ReportInterval = std::chrono::milliseconds(20);
 
 } // namespace
 
 SocketShardIo::SocketShardIo(int Fd, unsigned ShardId, unsigned NShards)
-    : Fd(Fd), Id(ShardId), Outbox(NShards), OutboxBytes(NShards, 0) {
-  for (unsigned I = 0; I != NShards; ++I)
-    Outbox[I].Dest = I;
+    : Fd(Fd), Id(ShardId), Compress(distCompressEnabled()), Out(NShards),
+      PeerDicts(NShards) {
+  for (unsigned I = 0; I != NShards; ++I) {
+    Out[I].Batch.Dest = I;
+    Out[I].Batch.Src = ShardId;
+    Out[I].Batch.Dict = Compress;
+  }
   HelloMsg Hello;
   Hello.ShardId = ShardId;
   writeAll(frameHello(Hello));
@@ -57,36 +65,75 @@ void SocketShardIo::writeAll(const std::vector<uint8_t> &Bytes) {
 }
 
 void SocketShardIo::flushOutbox(unsigned Dest) {
-  FrontierBatchMsg &B = Outbox[Dest];
-  if (B.Configs.empty())
+  Outbox &O = Out[Dest];
+  if (O.Batch.Configs.empty())
     return;
-  std::vector<uint8_t> Frame = frameBatch(B);
+  if (Compress) {
+    O.Batch.Defs = O.PendingDefs.take();
+    O.PendingDefs = Encoder();
+    DictDefBytes += O.Batch.Defs.size();
+  }
+  std::vector<uint8_t> Frame = frameBatch(O.Batch);
   ++SentBatches;
   SentBytes += Frame.size();
   writeAll(Frame);
-  B.Configs.clear();
-  OutboxBytes[Dest] = 0;
+  O.Batch.Configs.clear();
+  O.Batch.Fps.clear();
+  O.Batch.Defs.clear();
+  O.Bytes = 0;
 }
 
 void SocketShardIo::flushAll() {
-  for (unsigned I = 0; I != Outbox.size(); ++I)
+  for (unsigned I = 0; I != Out.size(); ++I)
     flushOutbox(I);
 }
 
-void SocketShardIo::send(unsigned Dest, std::vector<uint8_t> ConfigBytes) {
-  OutboxBytes[Dest] += ConfigBytes.size();
-  Outbox[Dest].Configs.push_back(std::move(ConfigBytes));
-  if (Outbox[Dest].Configs.size() >= FlushConfigs ||
-      OutboxBytes[Dest] >= FlushBytes)
+void SocketShardIo::send(unsigned Dest, FrontierConfig FC, uint64_t Fp) {
+  Outbox &O = Out[Dest];
+  std::vector<uint8_t> Body;
+  if (Compress) {
+    // Encode against this connection's dictionary: nodes the peer has
+    // already seen become references; new ones append to the pending
+    // definition stream that rides in the next flushed frame.
+    Encoder Refs;
+    O.Dict.encodeConfig(O.PendingDefs, Refs, FC);
+    Body = Refs.take();
+    DictRefBytes += Body.size();
+  } else {
+    // Legacy A/B baseline: the standalone encoding, produced here so the
+    // engine pays no serialization cost when compression is on.
+    Encoder E;
+    encode(E, FC);
+    Body = E.take();
+  }
+  if (O.Batch.Configs.empty())
+    O.Oldest = std::chrono::steady_clock::now();
+  O.Bytes += Body.size();
+  O.Batch.Fps.push_back(Fp);
+  O.Batch.Configs.push_back(std::move(Body));
+  if (O.Batch.Configs.size() >= FlushConfigs || O.Bytes >= FlushBytes ||
+      (Compress ? O.PendingDefs.buffer().size() : 0) >= FlushBytes)
     flushOutbox(Dest);
 }
 
 ShardCommand SocketShardIo::pump(const ShardStatus &Status,
-                                 std::vector<std::vector<uint8_t>> &Incoming) {
-  // Outboxes first: batches must precede the stats report that counts
-  // them as sent, so the coordinator's received-counts can catch up
-  // before it weighs the report (the socket is FIFO).
-  flushAll();
+                                 std::vector<ShardDelivery> &Incoming) {
+  // Adaptive coalescing: flush when the shard has quiesced (batches must
+  // precede the idle stats report that counts them as sent — the socket
+  // is FIFO, so the coordinator's received-counts catch up before it
+  // weighs the report), on drain, or when a buffered config has waited
+  // past the staleness bound. Otherwise let batches grow toward the size
+  // thresholds instead of framing every successor.
+  bool Quiesced = Status.Idle || Status.Failed || Status.Exhausted;
+  if (Quiesced || DrainSeen) {
+    flushAll();
+  } else {
+    auto Now = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I != Out.size(); ++I)
+      if (!Out[I].Batch.Configs.empty() &&
+          Now - Out[I].Oldest >= FlushStaleness)
+        flushOutbox(I);
+  }
 
   // Drain the socket without blocking.
   uint8_t Buf[64 << 10];
@@ -110,9 +157,38 @@ ShardCommand SocketShardIo::pump(const ShardStatus &Status,
     std::optional<WireMsg> M = decodeFrame(*Payload);
     if (!M)
       continue; // Fail-soft: skip malformed frames.
-    if (M->Type == MsgType::FrontierBatch) {
-      for (std::vector<uint8_t> &C : M->Batch.Configs)
-        Incoming.push_back(std::move(C));
+    if (M->Type == MsgType::FrontierBatch ||
+        M->Type == MsgType::FrontierBatchDict) {
+      FrontierBatchMsg &B = M->Batch;
+      NodeDictDecoder *Dict = nullptr;
+      bool BatchBad = false;
+      if (B.Dict) {
+        if (B.Src >= PeerDicts.size()) {
+          BatchBad = true;
+        } else {
+          Dict = &PeerDicts[B.Src];
+          // The definition stream extends the (Src -> here) connection
+          // dictionary; a malformed stream poisons it permanently, so
+          // every config in this and later batches from Src is
+          // undeliverable — surface each as Malformed (the engine fails
+          // the run; per-config entries keep received-counts balanced).
+          if (!Dict->feedDefs(B.Defs.data(), B.Defs.size()))
+            BatchBad = true;
+        }
+      }
+      for (size_t I = 0; I != B.Configs.size(); ++I) {
+        ShardDelivery Delivery;
+        Delivery.Fp = I < B.Fps.size() ? B.Fps[I] : 0;
+        if (BatchBad) {
+          Delivery.Malformed = true;
+        } else {
+          Decoder D(B.Configs[I]);
+          Delivery.Config =
+              Dict ? Dict->decodeConfig(D) : decodeFrontierConfig(D);
+          Delivery.Malformed = D.failed() || !D.atEnd();
+        }
+        Incoming.push_back(std::move(Delivery));
+      }
     } else if (M->Type == MsgType::Drain) {
       DrainSeen = true;
       DrainExhausted |= M->Drain.Exhausted;
@@ -133,6 +209,7 @@ ShardCommand SocketShardIo::pump(const ShardStatus &Status,
   Report.RecvConfigs = Status.RecvConfigs;
   Report.SentBatches = SentBatches;
   Report.SentBytes = SentBytes;
+  Report.SuppressedSends = Status.SuppressedSends;
   auto Now = std::chrono::steady_clock::now();
   bool Changed = !Reported || !(Report == LastReport);
   bool Due = !Reported || Report.Idle || Report.Failed || Report.Exhausted ||
@@ -172,6 +249,11 @@ VerdictMsg SocketShardIo::makeVerdict(const RunResult &R) const {
   V.RecvConfigs = LastReport.RecvConfigs;
   V.SentBatches = SentBatches;
   V.SentBytes = SentBytes;
+  V.SuppressedSends = LastReport.SuppressedSends;
+  for (const Outbox &O : Out)
+    V.DictNodes += O.Dict.size();
+  V.DictDefBytes = DictDefBytes;
+  V.DictRefBytes = DictRefBytes;
   return V;
 }
 

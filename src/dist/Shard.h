@@ -7,10 +7,14 @@
 ///
 /// \file
 /// The worker-process side of the multi-process sharded exploration
-/// (DESIGN.md §10): a ShardIo implementation over one Unix-domain socket
-/// to the coordinator. Non-owned successors accumulate in per-destination
-/// outboxes and are flushed as FrontierBatch frames when a batch grows
-/// past a size threshold or on the next pump; status reports are sent
+/// (DESIGN.md §10, §14): a ShardIo implementation over one Unix-domain
+/// socket to the coordinator. Non-owned successors accumulate in
+/// per-destination outboxes — dictionary-encoded on the way in, so each
+/// interned node crosses the connection once as a NodeDef and thereafter
+/// as a varint reference — and are flushed as batch frames when a batch
+/// grows past a size threshold, when the shard quiesces, or when the
+/// oldest buffered config exceeds a small staleness bound (adaptive
+/// coalescing: no more per-successor chatter). Status reports are sent
 /// when the snapshot changes, rate-limited while busy but eagerly when
 /// idle so the coordinator's termination detection converges.
 ///
@@ -29,13 +33,14 @@ namespace dist {
 class SocketShardIo final : public ShardIo {
 public:
   /// Takes ownership of \p Fd (the worker's end of the socket pair) and
-  /// announces itself with a Hello frame.
+  /// announces itself with a Hello frame. The frontier encoding follows
+  /// distCompressEnabled() (resolved by the coordinator before forking).
   SocketShardIo(int Fd, unsigned ShardId, unsigned NShards);
   ~SocketShardIo() override;
 
-  void send(unsigned Dest, std::vector<uint8_t> ConfigBytes) override;
+  void send(unsigned Dest, FrontierConfig FC, uint64_t Fp) override;
   ShardCommand pump(const ShardStatus &Status,
-                    std::vector<std::vector<uint8_t>> &Incoming) override;
+                    std::vector<ShardDelivery> &Incoming) override;
 
   /// Flattens \p R into a Verdict carrying this transport's counters and
   /// shard id.
@@ -50,6 +55,18 @@ public:
   void sendVerdict(const VerdictMsg &M);
 
 private:
+  /// One destination shard's pending batch plus its connection state: the
+  /// send dictionary persists across batches (the peer's decoder replays
+  /// every definition stream in order), the pending definition bytes ride
+  /// in the next flushed frame.
+  struct Outbox {
+    FrontierBatchMsg Batch;
+    size_t Bytes = 0;
+    std::chrono::steady_clock::time_point Oldest{};
+    NodeDictEncoder Dict;
+    Encoder PendingDefs;
+  };
+
   void flushOutbox(unsigned Dest);
   void flushAll();
   /// Blocking write of a whole buffer. A worker whose coordinator is gone
@@ -59,8 +76,9 @@ private:
 
   int Fd;
   unsigned Id;
-  std::vector<FrontierBatchMsg> Outbox; ///< one per destination shard.
-  std::vector<size_t> OutboxBytes;
+  bool Compress;
+  std::vector<Outbox> Out;           ///< one per destination shard.
+  std::vector<NodeDictDecoder> PeerDicts; ///< one per source shard.
   FrameBuffer In;
   bool DrainSeen = false;
   bool DrainExhausted = false;
@@ -69,6 +87,8 @@ private:
   std::chrono::steady_clock::time_point LastReportTime;
   uint64_t SentBatches = 0;
   uint64_t SentBytes = 0;
+  uint64_t DictDefBytes = 0;
+  uint64_t DictRefBytes = 0;
 };
 
 } // namespace dist

@@ -6,10 +6,33 @@
 
 #include "dist/Wire.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
 using namespace fcsl;
 using namespace fcsl::dist;
+
+namespace {
+
+std::atomic<int> DistCompress{-1}; // -1 unresolved, 0 off, 1 on
+
+} // namespace
+
+void dist::setDistCompress(bool Enabled) {
+  DistCompress.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool dist::distCompressEnabled() {
+  int V = DistCompress.load(std::memory_order_relaxed);
+  if (V < 0) {
+    const char *Env = std::getenv("FCSL_DIST_COMPRESS");
+    V = (Env && (std::string(Env) == "off" || std::string(Env) == "0")) ? 0
+                                                                        : 1;
+    DistCompress.store(V, std::memory_order_relaxed);
+  }
+  return V != 0;
+}
 
 namespace {
 
@@ -51,9 +74,15 @@ std::vector<uint8_t> dist::frameHello(const HelloMsg &M) {
 }
 
 std::vector<uint8_t> dist::frameBatch(const FrontierBatchMsg &M) {
-  Encoder E = startFrame(MsgType::FrontierBatch);
+  Encoder E = startFrame(M.Dict ? MsgType::FrontierBatchDict
+                                : MsgType::FrontierBatch);
   E.u32(M.Dest);
+  E.u32(M.Src);
   E.u32(static_cast<uint32_t>(M.Configs.size()));
+  for (size_t I = 0, N = M.Configs.size(); I != N; ++I)
+    E.u64(I < M.Fps.size() ? M.Fps[I] : 0);
+  if (M.Dict)
+    encodeBlob(E, M.Defs);
   for (const std::vector<uint8_t> &C : M.Configs)
     encodeBlob(E, C);
   return finishFrame(std::move(E));
@@ -70,6 +99,7 @@ std::vector<uint8_t> dist::frameStats(const StatsReportMsg &M) {
   E.u64(M.RecvConfigs);
   E.u64(M.SentBatches);
   E.u64(M.SentBytes);
+  E.u64(M.SuppressedSends);
   return finishFrame(std::move(E));
 }
 
@@ -105,6 +135,10 @@ std::vector<uint8_t> dist::frameVerdict(const VerdictMsg &M) {
   E.u64(M.RecvConfigs);
   E.u64(M.SentBatches);
   E.u64(M.SentBytes);
+  E.u64(M.SuppressedSends);
+  E.u64(M.DictNodes);
+  E.u64(M.DictDefBytes);
+  E.u64(M.DictRefBytes);
   return finishFrame(std::move(E));
 }
 
@@ -124,7 +158,7 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
     return std::nullopt;
   uint8_t Tag = D.u8();
   if (Tag < static_cast<uint8_t>(MsgType::Hello) ||
-      Tag > static_cast<uint8_t>(MsgType::CacheDelta))
+      Tag > static_cast<uint8_t>(MsgType::FrontierBatchDict))
     return std::nullopt;
   WireMsg M;
   M.Type = static_cast<MsgType>(Tag);
@@ -132,9 +166,20 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
   case MsgType::Hello:
     M.Hello.ShardId = D.u32();
     break;
-  case MsgType::FrontierBatch: {
+  case MsgType::FrontierBatch:
+  case MsgType::FrontierBatchDict: {
+    M.Batch.Dict = M.Type == MsgType::FrontierBatchDict;
     M.Batch.Dest = D.u32();
+    M.Batch.Src = D.u32();
     uint32_t Count = D.u32();
+    if (static_cast<uint64_t>(Count) * 8 > D.remaining()) {
+      D.fail(); // Implausible count: don't reserve gigabytes.
+      break;
+    }
+    for (uint32_t I = 0; I != Count && !D.failed(); ++I)
+      M.Batch.Fps.push_back(D.u64());
+    if (M.Batch.Dict)
+      M.Batch.Defs = decodeBlob(D);
     for (uint32_t I = 0; I != Count && !D.failed(); ++I)
       M.Batch.Configs.push_back(decodeBlob(D));
     break;
@@ -149,6 +194,7 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
     M.Stats.RecvConfigs = D.u64();
     M.Stats.SentBatches = D.u64();
     M.Stats.SentBytes = D.u64();
+    M.Stats.SuppressedSends = D.u64();
     break;
   case MsgType::Drain:
     M.Drain.Exhausted = D.u8() != 0;
@@ -180,6 +226,10 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
     M.Verdict.RecvConfigs = D.u64();
     M.Verdict.SentBatches = D.u64();
     M.Verdict.SentBytes = D.u64();
+    M.Verdict.SuppressedSends = D.u64();
+    M.Verdict.DictNodes = D.u64();
+    M.Verdict.DictDefBytes = D.u64();
+    M.Verdict.DictRefBytes = D.u64();
     break;
   }
   case MsgType::CacheDelta: {
@@ -195,6 +245,74 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
   if (D.failed() || !D.atEnd())
     return std::nullopt;
   return M;
+}
+
+std::optional<MsgType> dist::peekFrameTag(const std::vector<uint8_t> &Payload) {
+  Decoder D(Payload);
+  if (!decodeHeader(D))
+    return std::nullopt;
+  uint8_t Tag = D.u8();
+  if (D.failed() || Tag < static_cast<uint8_t>(MsgType::Hello) ||
+      Tag > static_cast<uint8_t>(MsgType::FrontierBatchDict))
+    return std::nullopt;
+  return static_cast<MsgType>(Tag);
+}
+
+std::optional<BatchPeek> dist::peekBatch(const std::vector<uint8_t> &Payload) {
+  Decoder D(Payload);
+  if (!decodeHeader(D))
+    return std::nullopt;
+  uint8_t Tag = D.u8();
+  if (Tag != static_cast<uint8_t>(MsgType::FrontierBatch) &&
+      Tag != static_cast<uint8_t>(MsgType::FrontierBatchDict))
+    return std::nullopt;
+  BatchPeek P;
+  P.Type = static_cast<MsgType>(Tag);
+  P.Dest = D.u32();
+  P.Src = D.u32();
+  uint32_t Count = D.u32();
+  if (D.failed() || static_cast<uint64_t>(Count) * 8 > D.remaining())
+    return std::nullopt;
+  for (uint32_t I = 0; I != Count && !D.failed(); ++I)
+    P.Fps.push_back(D.u64());
+  if (D.failed())
+    return std::nullopt;
+  return P;
+}
+
+std::optional<std::vector<uint8_t>>
+dist::filterBatchFrame(const std::vector<uint8_t> &Payload,
+                       const std::vector<bool> &Keep) {
+  std::optional<WireMsg> M = decodeFrame(Payload);
+  if (!M || (M->Type != MsgType::FrontierBatch &&
+             M->Type != MsgType::FrontierBatchDict))
+    return std::nullopt;
+  FrontierBatchMsg &B = M->Batch;
+  if (Keep.size() != B.Configs.size() || B.Fps.size() != B.Configs.size())
+    return std::nullopt;
+  FrontierBatchMsg Out;
+  Out.Dest = B.Dest;
+  Out.Src = B.Src;
+  Out.Dict = B.Dict;
+  Out.Defs = std::move(B.Defs); // definitions survive filtering, always.
+  for (size_t I = 0, N = B.Configs.size(); I != N; ++I) {
+    if (!Keep[I])
+      continue;
+    Out.Fps.push_back(B.Fps[I]);
+    Out.Configs.push_back(std::move(B.Configs[I]));
+  }
+  return frameBatch(Out);
+}
+
+std::vector<uint8_t>
+dist::frameFromPayload(const std::vector<uint8_t> &Payload) {
+  std::vector<uint8_t> Frame;
+  Frame.reserve(4 + Payload.size());
+  uint32_t N = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I != 4; ++I)
+    Frame.push_back(static_cast<uint8_t>(N >> (8 * I)));
+  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  return Frame;
 }
 
 void FrameBuffer::feed(const uint8_t *Data, size_t N) {

@@ -45,7 +45,18 @@ enum class MsgType : uint8_t {
   Drain = 4,
   Verdict = 5,
   CacheDelta = 6,
+  /// A dictionary-compressed frontier batch (DESIGN.md §14): same
+  /// envelope as FrontierBatch plus a NodeDef stream; config bodies are
+  /// varint references into the sender's per-connection dictionary.
+  FrontierBatchDict = 7,
 };
+
+/// Process-wide switch for the dictionary-compressed frontier encoding
+/// (`--dist-compress`, `FCSL_DIST_COMPRESS`). Resolved by the coordinator
+/// before forking so the whole fleet agrees; receivers are tag-driven and
+/// accept both encodings regardless. Default on.
+void setDistCompress(bool Enabled);
+bool distCompressEnabled();
 
 /// Announces a worker's shard id on its channel.
 struct HelloMsg {
@@ -56,15 +67,25 @@ struct HelloMsg {
   }
 };
 
-/// A batch of encoded frontier configs addressed to shard \p Dest. Each
-/// config blob is an encodeFrontierConfigPrefix buffer.
+/// A batch of encoded frontier configs sent by shard \p Src and addressed
+/// to shard \p Dest, with one ownership fingerprint per config (so the
+/// coordinator can dedup relays without decoding bodies). In the legacy
+/// encoding (Dict false) each config blob is an encodeFrontierConfigPrefix
+/// buffer; in the dictionary encoding (Dict true) \p Defs carries the
+/// NodeDef stream extending the (Src, Dest) connection dictionary and each
+/// config blob is a NodeDictEncoder reference stream.
 struct FrontierBatchMsg {
   uint32_t Dest = 0;
+  uint32_t Src = 0;
+  bool Dict = false;
+  std::vector<uint64_t> Fps;
+  std::vector<uint8_t> Defs;
   std::vector<std::vector<uint8_t>> Configs;
 
   friend bool operator==(const FrontierBatchMsg &A,
                          const FrontierBatchMsg &B) {
-    return A.Dest == B.Dest && A.Configs == B.Configs;
+    return A.Dest == B.Dest && A.Src == B.Src && A.Dict == B.Dict &&
+           A.Fps == B.Fps && A.Defs == B.Defs && A.Configs == B.Configs;
   }
 };
 
@@ -80,13 +101,15 @@ struct StatsReportMsg {
   uint64_t RecvConfigs = 0;
   uint64_t SentBatches = 0;
   uint64_t SentBytes = 0;
+  uint64_t SuppressedSends = 0;
 
   friend bool operator==(const StatsReportMsg &A, const StatsReportMsg &B) {
     return A.ShardId == B.ShardId && A.Idle == B.Idle &&
            A.Failed == B.Failed && A.Exhausted == B.Exhausted &&
            A.Expanded == B.Expanded && A.SentConfigs == B.SentConfigs &&
            A.RecvConfigs == B.RecvConfigs &&
-           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes;
+           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes &&
+           A.SuppressedSends == B.SuppressedSends;
   }
 };
 
@@ -122,6 +145,10 @@ struct VerdictMsg {
   uint64_t RecvConfigs = 0;
   uint64_t SentBatches = 0;
   uint64_t SentBytes = 0;
+  uint64_t SuppressedSends = 0;
+  uint64_t DictNodes = 0;    ///< distinct nodes in all send dictionaries.
+  uint64_t DictDefBytes = 0; ///< definition-stream bytes shipped.
+  uint64_t DictRefBytes = 0; ///< reference-stream bytes shipped.
 
   friend bool operator==(const VerdictMsg &A, const VerdictMsg &B) {
     if (A.Terminals.size() != B.Terminals.size())
@@ -142,7 +169,11 @@ struct VerdictMsg {
            A.FrontierAtAbort == B.FrontierAtAbort &&
            A.SentConfigs == B.SentConfigs &&
            A.RecvConfigs == B.RecvConfigs &&
-           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes;
+           A.SentBatches == B.SentBatches && A.SentBytes == B.SentBytes &&
+           A.SuppressedSends == B.SuppressedSends &&
+           A.DictNodes == B.DictNodes &&
+           A.DictDefBytes == B.DictDefBytes &&
+           A.DictRefBytes == B.DictRefBytes;
   }
 };
 
@@ -188,6 +219,34 @@ std::vector<uint8_t> frameCacheDelta(const CacheDeltaMsg &M);
 /// Returns nullopt on any malformation: bad header, unknown type tag,
 /// truncated body, or trailing garbage.
 std::optional<WireMsg> decodeFrame(const std::vector<uint8_t> &Payload);
+
+/// The frame's type tag, without decoding the body (header is still
+/// validated). The coordinator uses this to relay batch frames as raw
+/// bytes instead of re-expanding them.
+std::optional<MsgType> peekFrameTag(const std::vector<uint8_t> &Payload);
+
+/// A batch frame's routing envelope — dest, src, per-config ownership
+/// fingerprints — read without touching the config bodies.
+struct BatchPeek {
+  MsgType Type = MsgType::FrontierBatch;
+  uint32_t Dest = 0;
+  uint32_t Src = 0;
+  std::vector<uint64_t> Fps;
+};
+std::optional<BatchPeek> peekBatch(const std::vector<uint8_t> &Payload);
+
+/// Rebuilds a complete frame (length prefix + payload) from a batch frame
+/// payload, keeping only the configs whose \p Keep bit is set. The
+/// definition stream of a dictionary frame is ALWAYS kept — later frames
+/// on the connection reference it. Returns nullopt on malformation or a
+/// Keep size mismatch.
+std::optional<std::vector<uint8_t>>
+filterBatchFrame(const std::vector<uint8_t> &Payload,
+                 const std::vector<bool> &Keep);
+
+/// Wraps a frame payload back into a complete wire frame (length prefix +
+/// payload) for raw relay.
+std::vector<uint8_t> frameFromPayload(const std::vector<uint8_t> &Payload);
 
 /// Reassembles frames from a byte stream delivered in arbitrary chunks.
 /// feed() appends bytes; next() yields the next complete frame payload,

@@ -345,6 +345,14 @@ struct Config {
   /// would invent terminals the full exploration never reaches.
   uint32_t EnvCloseMask = 0;
   size_t Hash = 0; ///< cached; valid after rehash().
+  /// Hash of the shared global state alone, cached by the same rehash().
+  /// Multi-process sharding partitions on THIS value, not on Hash:
+  /// configs differing only in thread-local control state co-locate, so
+  /// the many successors produced by pure/local steps never cross a
+  /// shard boundary (locality-preserving ownership). Still a pure
+  /// function of config identity — same config, same owner, in every
+  /// process — which is all dedup parity needs.
+  size_t GSHash = 0;
 
   friend bool operator==(const Config &A, const Config &B) {
     return A.GS == B.GS && A.Threads == B.Threads;
@@ -353,6 +361,7 @@ struct Config {
   void rehash() {
     size_t Seed = 0;
     GS.hashInto(Seed);
+    GSHash = Seed;
     hashValue(Seed, Threads.size());
     for (const auto &Entry : Threads) {
       hashValue(Seed, Entry.first);
@@ -499,19 +508,23 @@ public:
       if (DistN > 1) {
         // A seed configuration is inserted ONLY by its owner shard:
         // routing it would cost every other shard a dedup-hit and break
-        // counter parity with the in-process engine.
-        Encoder E0;
-        size_t Prefix = encodeFrontierConfigPrefix(E0, toFrontier(Seed));
-        if (ownerOf(E0, Prefix) == DistId)
+        // counter parity with the in-process engine. Ownership is the
+        // process-stable global-state hash, same as enqueue.
+        if (static_cast<unsigned>(Seed.GSHash % DistN) == DistId)
           insertLocal(std::move(Seed), nullptr, "", *Workers[0]);
       } else {
         enqueue(std::move(Seed), nullptr, "", *Workers[0]);
       }
     }
 
-    if (DistN > 1) {
-      // The main thread pumps the transport while the team explores; even
-      // Jobs == 1 runs its worker on its own thread.
+    if (DistN > 1 && Jobs == 1) {
+      // A one-worker shard stays single-threaded: the main thread
+      // interleaves expansion with the transport pump (soloShardLoop).
+      // A dedicated pump thread buys nothing here and costs context
+      // switches on machines with fewer cores than shard processes.
+      soloShardLoop();
+    } else if (DistN > 1) {
+      // The main thread pumps the transport while the team explores.
       std::vector<std::thread> Team;
       Team.reserve(Jobs);
       for (unsigned I = 0; I != Jobs; ++I)
@@ -930,69 +943,73 @@ private:
   /// Lowers an in-memory configuration to its portable form: program
   /// pointers become ProgTable indices, which are identical in every
   /// process that built the same program (the coordinator forks workers,
-  /// so the table — and even the pointers — match exactly).
-  FrontierConfig toFrontier(const Config &C) const {
+  /// so the table — and even the pointers — match exactly). Consumes the
+  /// config: a lowered config is about to be shipped and die, so the
+  /// variable environments and the global state move instead of copying
+  /// (the conversions bracket every exchange — they must stay cheap).
+  FrontierConfig toFrontier(Config &&C) const {
     FrontierConfig F;
-    F.GS = C.GS;
-    for (const auto &Entry : C.Threads) {
+    F.GS = std::move(C.GS);
+    for (auto &Entry : C.Threads) {
       FrontierThread T;
       T.Id = Entry.first;
       T.Waiting = Entry.second.Waiting;
       T.SymChildren = Entry.second.SymChildren;
-      T.Done = Entry.second.Done;
-      for (const Frame &Fr : Entry.second.Stack) {
+      T.Done = std::move(Entry.second.Done);
+      for (Frame &Fr : Entry.second.Stack) {
         FrontierFrame FF;
         FF.Kind = static_cast<uint8_t>(Fr.K);
         FF.Node = Fr.Node ? PT->indexOf(Fr.Node) : ProgTable::NoProg;
         FF.Rest = Fr.Rest ? PT->indexOf(Fr.Rest) : ProgTable::NoProg;
-        FF.Var = Fr.Var;
-        FF.Env = Fr.Env;
+        FF.Var = std::move(Fr.Var);
+        FF.Env = std::move(Fr.Env);
         T.Frames.push_back(std::move(FF));
       }
       F.Threads.push_back(std::move(T));
     }
-    for (const SleepEntry &S : C.Sleep) {
+    for (SleepEntry &S : C.Sleep) {
       FrontierSleep FS;
       FS.IsEnv = S.IsEnv;
       FS.T = S.T;
       FS.ActNode = S.ActNode ? PT->indexOf(S.ActNode) : ProgTable::NoProg;
       FS.EnvIdx = S.EnvIdx;
-      FS.Fp = S.Fp;
+      FS.Fp = std::move(S.Fp);
       F.Sleep.push_back(std::move(FS));
     }
     F.EnvCloseMask = C.EnvCloseMask;
     return F;
   }
 
-  Config fromFrontier(const FrontierConfig &F) const {
+  /// The inverse lift, also consuming its argument for the same reason.
+  Config fromFrontier(FrontierConfig &&F) const {
     Config C;
-    C.GS = F.GS;
-    for (const FrontierThread &T : F.Threads) {
+    C.GS = std::move(F.GS);
+    for (FrontierThread &T : F.Threads) {
       ThreadCtx Ctx;
       Ctx.Waiting = T.Waiting;
       Ctx.SymChildren = T.SymChildren;
-      Ctx.Done = T.Done;
-      for (const FrontierFrame &FF : T.Frames) {
+      Ctx.Done = std::move(T.Done);
+      for (FrontierFrame &FF : T.Frames) {
         Frame Fr;
         Fr.K = static_cast<Frame::Kind>(FF.Kind);
         Fr.Node = FF.Node == ProgTable::NoProg ? nullptr
                                                : PT->progAt(FF.Node);
         Fr.Rest = FF.Rest == ProgTable::NoProg ? nullptr
                                                : PT->progAt(FF.Rest);
-        Fr.Var = FF.Var;
-        Fr.Env = FF.Env;
+        Fr.Var = std::move(FF.Var);
+        Fr.Env = std::move(FF.Env);
         Ctx.Stack.push_back(std::move(Fr));
       }
       C.Threads.emplace(T.Id, std::move(Ctx));
     }
-    for (const FrontierSleep &FS : F.Sleep) {
+    for (FrontierSleep &FS : F.Sleep) {
       SleepEntry S;
       S.IsEnv = FS.IsEnv;
       S.T = FS.T;
       S.ActNode = FS.ActNode == ProgTable::NoProg ? nullptr
                                                   : PT->progAt(FS.ActNode);
       S.EnvIdx = FS.EnvIdx;
-      S.Fp = FS.Fp;
+      S.Fp = std::move(FS.Fp);
       C.Sleep.push_back(std::move(S));
     }
     C.EnvCloseMask = F.EnvCloseMask;
@@ -1194,16 +1211,6 @@ private:
         Changed ? std::optional<Config>(C) : std::nullopt};
   }
 
-  /// The shard that owns the config whose encodeFrontierConfigPrefix
-  /// output sits at the end of \p E's buffer with identity-prefix length
-  /// \p Prefix counted from \p Start. Ownership is a pure function of the
-  /// identity bytes, so every process computes the same owner.
-  unsigned ownerOf(const Encoder &E, size_t Prefix, size_t Start = 0) const {
-    uint64_t Fp = fpString(std::string_view(
-        reinterpret_cast<const char *>(E.buffer().data()) + Start, Prefix));
-    return static_cast<unsigned>(Fp % DistN);
-  }
-
   /// Inserts \p C into the sharded visited set and, when new, hands it to
   /// \p W's frontier. Under multi-process sharding, a config owned by a
   /// different shard is shipped there instead — the owner performs the
@@ -1216,19 +1223,61 @@ private:
   void enqueue(Config C, const Node *Parent, std::string Step, Worker &W,
                bool Counts = true) {
     // Canonicalize BEFORE dedup and shard routing: the canonical identity
-    // prefix is what the codec encodes, so `fingerprint % N` ownership
-    // dedups whole orbits across processes.
+    // hash is what ownership is derived from, so `Hash % N` dedups whole
+    // orbits across processes.
     canonicalize(C);
     if (DistN > 1) {
-      Encoder E;
-      FrontierConfig FC = toFrontier(C);
-      FC.Counts = Counts;
-      size_t Prefix = encodeFrontierConfigPrefix(E, FC);
-      unsigned Owner = ownerOf(E, Prefix);
+      // Both hashes are built from structural fingerprints and payload
+      // bytes only (see Frame::hashInto) — never node addresses — so they
+      // are stable across the forked fleet. Ownership partitions on the
+      // global-state hash (locality: thread-local steps stay put); the
+      // full identity hash is the dedup fingerprint the wire carries.
+      // Deciding ownership costs zero serialization work either way.
+      uint64_t Fp = C.Hash;
+      unsigned Owner = static_cast<unsigned>(C.GSHash % DistN);
       if (Owner != DistId) {
-        SentConfigs.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> Lock(IoMutex);
-        Io->send(Owner, E.take());
+        // Sender-side fingerprint filter: the owner performs exactly one
+        // visited-set insert per fingerprint; every further copy of the
+        // same identity only contributes a dedup hit plus (under POR) a
+        // wake-payload merge. A re-send whose payload the owner has
+        // provably already absorbed — its sleep set contains the
+        // intersection of everything shipped, its close mask adds no new
+        // bits — would be a no-op there, so it is swallowed here and the
+        // dedup hit booked locally. FIFO delivery guarantees the first
+        // copy reaches the owner before any suppressed edge would have.
+        auto [It, FirstSend] = Shipped.try_emplace(Fp);
+        if (!FirstSend) {
+          bool NoOp = true;
+          if (PorOn) {
+            NoOp = std::includes(C.Sleep.begin(), C.Sleep.end(),
+                                 It->second.SleepLower.begin(),
+                                 It->second.SleepLower.end(), sleepLess) &&
+                   (C.EnvCloseMask & ~It->second.MaskUpper) == 0;
+            if (!NoOp) {
+              std::vector<SleepEntry> Lower;
+              std::set_intersection(It->second.SleepLower.begin(),
+                                    It->second.SleepLower.end(),
+                                    C.Sleep.begin(), C.Sleep.end(),
+                                    std::back_inserter(Lower), sleepLess);
+              It->second.SleepLower = std::move(Lower);
+              It->second.MaskUpper |= C.EnvCloseMask;
+            }
+          }
+          if (NoOp) {
+            if (Counts)
+              ++W.DedupHits;
+            SuppressedSendsCtr.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        } else if (PorOn) {
+          It->second.SleepLower = C.Sleep;
+          It->second.MaskUpper = C.EnvCloseMask;
+        }
+        SentConfigs.fetch_add(1, std::memory_order_relaxed);
+        FrontierConfig FC = toFrontier(std::move(C));
+        FC.Counts = Counts;
+        Io->send(Owner, std::move(FC), Fp);
         return;
       }
     }
@@ -1347,35 +1396,43 @@ private:
         std::this_thread::sleep_for(std::chrono::microseconds(20));
         continue;
       }
-      // Snapshot the node's wake state and clear its queue flag in one
-      // critical section: any merge that lands after the snapshot finds
-      // InQueue == false and re-queues the node, so no weakening is ever
-      // lost. Only a node's *first* expansion consumes a config ticket —
-      // wakeup replays revisit a config already counted.
-      WakeSnapshot Snap;
-      {
-        Shard &S = Shards[N->C.Hash % NumShards];
-        std::lock_guard<std::mutex> Lock(S.M);
-        Snap.Sleep = N->Sleep;
-        Snap.CloseMask = N->CloseMask;
-        Snap.First = !N->ExpandedOnce;
-        N->ExpandedOnce = true;
-        N->InQueue = false;
-      }
-      if (Snap.First) {
-        uint64_t Ticket = Expanded.fetch_add(1, std::memory_order_relaxed);
-        if (Ticket >= Opts.MaxConfigs) {
-          // The bound was hit with work still pending: exploration is
-          // incomplete. Undo the overshoot so ConfigsExplored stays exact.
-          Expanded.fetch_sub(1, std::memory_order_relaxed);
-          ExhaustedFlag.store(true);
-          Abort.store(true, std::memory_order_release);
-          return;
-        }
-      }
-      expand(*N, Snap, W);
-      InFlight.fetch_sub(1, std::memory_order_release);
+      expandPopped(N, W);
     }
+  }
+
+  /// Expands one node popped from a queue: snapshots its wake state,
+  /// charges the config ticket on first expansion, and runs expand().
+  /// On hitting the MaxConfigs bound it raises Abort/ExhaustedFlag
+  /// instead — callers observe the flag on their next loop iteration.
+  void expandPopped(const Node *N, Worker &W) {
+    // Snapshot the node's wake state and clear its queue flag in one
+    // critical section: any merge that lands after the snapshot finds
+    // InQueue == false and re-queues the node, so no weakening is ever
+    // lost. Only a node's *first* expansion consumes a config ticket —
+    // wakeup replays revisit a config already counted.
+    WakeSnapshot Snap;
+    {
+      Shard &S = Shards[N->C.Hash % NumShards];
+      std::lock_guard<std::mutex> Lock(S.M);
+      Snap.Sleep = N->Sleep;
+      Snap.CloseMask = N->CloseMask;
+      Snap.First = !N->ExpandedOnce;
+      N->ExpandedOnce = true;
+      N->InQueue = false;
+    }
+    if (Snap.First) {
+      uint64_t Ticket = Expanded.fetch_add(1, std::memory_order_relaxed);
+      if (Ticket >= Opts.MaxConfigs) {
+        // The bound was hit with work still pending: exploration is
+        // incomplete. Undo the overshoot so ConfigsExplored stays exact.
+        Expanded.fetch_sub(1, std::memory_order_relaxed);
+        ExhaustedFlag.store(true);
+        Abort.store(true, std::memory_order_release);
+        return;
+      }
+    }
+    expand(*N, Snap, W);
+    InFlight.fetch_sub(1, std::memory_order_release);
   }
 
   /// The transport pump, run by the main thread of a sharded exploration
@@ -1390,58 +1447,118 @@ private:
   void ioLoop() {
     size_t NextWorker = 0;
     while (true) {
-      ShardStatus St;
-      bool Idle = InFlight.load(std::memory_order_acquire) == 0;
-      St.Failed = FailWon.load(std::memory_order_acquire);
-      St.Exhausted = ExhaustedFlag.load(std::memory_order_acquire);
-      St.Idle = Idle || St.Failed || St.Exhausted;
-      St.Expanded = Expanded.load(std::memory_order_relaxed);
-      St.SentConfigs = SentConfigs.load(std::memory_order_relaxed);
-      St.RecvConfigs = RecvConfigs.load(std::memory_order_relaxed);
-
-      std::vector<std::vector<uint8_t>> Incoming;
-      ShardCommand Cmd;
-      {
-        std::lock_guard<std::mutex> Lock(IoMutex);
-        Cmd = Io->pump(St, Incoming);
-      }
-
-      for (const std::vector<uint8_t> &Bytes : Incoming) {
-        // Count every delivery, even ones dropped after a local abort:
-        // the coordinator balances sent-vs-received before terminating.
-        RecvConfigs.fetch_add(1, std::memory_order_relaxed);
-        if (Abort.load(std::memory_order_acquire))
-          continue;
-        Decoder D(Bytes);
-        FrontierConfig FC = decodeFrontierConfig(D);
-        if (D.failed() || !D.atEnd()) {
-          failGlobal(nullptr, "",
-                     "malformed frontier config received from a peer "
-                     "shard");
-          continue;
-        }
-        Config C = fromFrontier(FC);
-        C.rehash();
-        // Senders ship canonical forms; canonicalizing again is an
-        // idempotent no-op kept as a safety net for mixed-version peers.
-        canonicalize(C);
-        // Remote configs carry no parent chain: a failure found beyond
-        // this point reports the local schedule suffix only. The sender's
-        // Counts flag rides along so dedup accounting keeps parity with
-        // the in-process engine (see enqueue).
-        insertLocal(std::move(C), nullptr, "",
-                    *Workers[NextWorker++ % Workers.size()], FC.Counts);
-      }
-
-      if (Cmd != ShardCommand::Continue) {
-        if (Cmd == ShardCommand::DrainExhausted)
-          ExhaustedFlag.store(true);
-        Abort.store(true, std::memory_order_release);
+      bool GotWork = false;
+      if (pumpOnce(NextWorker, GotWork))
         return;
-      }
-      if (Incoming.empty())
+      if (!GotWork)
         std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
+  }
+
+  /// A single-threaded shard: when a Jobs == 1 shard would otherwise run
+  /// one worker thread plus the transport pump, interleave them on the
+  /// main thread instead. On a box with fewer cores than shard processes
+  /// the second thread buys no parallelism — it only costs context
+  /// switches, IoMutex handoffs, and idle-wakeup churn. The pump runs
+  /// whenever the queue drains and every PumpEvery expansions while busy,
+  /// which bounds both delivery latency and outbox staleness.
+  void soloShardLoop() {
+    constexpr uint64_t PumpEvery = 32;
+    Worker &W = *Workers[0];
+    size_t NextWorker = 0;
+    uint64_t SincePump = 0;
+    while (true) {
+      const Node *N =
+          Abort.load(std::memory_order_acquire) ? nullptr : popLocal(W);
+      if (!N) {
+        // Idle (or aborted locally): keep pumping so peers' deliveries
+        // are acknowledged and the coordinator's Drain is seen — only
+        // its command ends a sharded run.
+        bool GotWork = false;
+        if (pumpOnce(NextWorker, GotWork))
+          return;
+        if (!GotWork)
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        SincePump = 0;
+        continue;
+      }
+      expandPopped(N, W);
+      if (++SincePump >= PumpEvery) {
+        SincePump = 0;
+        bool GotWork = false;
+        if (pumpOnce(NextWorker, GotWork))
+          return;
+      }
+    }
+  }
+
+  /// One transport-pump iteration: snapshot shard status, exchange frames
+  /// with the coordinator, and inject routed deliveries into the local
+  /// frontier. Returns true when the coordinator ended the run (Abort has
+  /// been raised); GotWork reports whether any configs were delivered.
+  bool pumpOnce(size_t &NextWorker, bool &GotWork) {
+    ShardStatus St;
+    bool Idle = InFlight.load(std::memory_order_acquire) == 0;
+    St.Failed = FailWon.load(std::memory_order_acquire);
+    St.Exhausted = ExhaustedFlag.load(std::memory_order_acquire);
+    St.Idle = Idle || St.Failed || St.Exhausted;
+    St.Expanded = Expanded.load(std::memory_order_relaxed);
+    St.SentConfigs = SentConfigs.load(std::memory_order_relaxed);
+    St.RecvConfigs = RecvConfigs.load(std::memory_order_relaxed);
+    St.SuppressedSends = SuppressedSendsCtr.load(std::memory_order_relaxed);
+
+    std::vector<ShardDelivery> Incoming;
+    ShardCommand Cmd;
+    {
+      std::lock_guard<std::mutex> Lock(IoMutex);
+      Cmd = Io->pump(St, Incoming);
+    }
+    GotWork = !Incoming.empty();
+
+    for (ShardDelivery &Delivery : Incoming) {
+      // Count every delivery, even ones dropped after a local abort:
+      // the coordinator balances sent-vs-received before terminating.
+      RecvConfigs.fetch_add(1, std::memory_order_relaxed);
+      if (Abort.load(std::memory_order_acquire))
+        continue;
+      // The transport owns wire decoding (it holds the per-peer
+      // dictionaries); a framing or dictionary error it detected
+      // mid-stream arrives as a Malformed delivery and fails the run.
+      if (Delivery.Malformed) {
+        failGlobal(nullptr, "",
+                   "malformed frontier config received from a peer "
+                   "shard");
+        continue;
+      }
+      bool Counts = Delivery.Config.Counts;
+      Config C = fromFrontier(std::move(Delivery.Config));
+      // The wire carries the sender's identity hash; the hash function
+      // is process-stable and the fleet is one forked binary, so adopt
+      // it rather than re-walking the structure. (rehash also refreshes
+      // GSHash, but a received config is owned here by construction and
+      // never re-routed, so that field is not needed.)
+      if (Delivery.Fp != 0)
+        C.Hash = Delivery.Fp;
+      else
+        C.rehash();
+      // Senders ship canonical forms; canonicalizing again is an
+      // idempotent no-op kept as a safety net for mixed-version peers.
+      canonicalize(C);
+      // Remote configs carry no parent chain: a failure found beyond
+      // this point reports the local schedule suffix only. The sender's
+      // Counts flag rides along so dedup accounting keeps parity with
+      // the in-process engine (see enqueue).
+      insertLocal(std::move(C), nullptr, "",
+                  *Workers[NextWorker++ % Workers.size()], Counts);
+    }
+
+    if (Cmd != ShardCommand::Continue) {
+      if (Cmd == ShardCommand::DrainExhausted)
+        ExhaustedFlag.store(true);
+      Abort.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
   }
 
   /// Publishes the first safety failure: the winning worker records the
@@ -2160,6 +2277,16 @@ private:
   std::mutex IoMutex; ///< serializes workers' send() against ioLoop's pump().
   std::atomic<uint64_t> SentConfigs{0};
   std::atomic<uint64_t> RecvConfigs{0};
+  std::atomic<uint64_t> SuppressedSendsCtr{0};
+  /// What this shard has already shipped per remote-owned fingerprint:
+  /// the intersection of all sent sleep sets and the union of all sent
+  /// close masks (guarded by IoMutex). A candidate re-send inside this
+  /// envelope would be a guaranteed no-op at the owner and is swallowed.
+  struct ShippedState {
+    std::vector<SleepEntry> SleepLower;
+    uint32_t MaskUpper = 0;
+  };
+  std::unordered_map<uint64_t, ShippedState> Shipped;
 };
 
 } // namespace

@@ -37,6 +37,7 @@
 
 #include "prog/Prog.h"
 #include "state/GlobalState.h"
+#include "support/Codec.h"
 
 namespace fcsl {
 
@@ -319,6 +320,10 @@ struct ShardStatus {
   uint64_t Expanded = 0;     ///< configs expanded locally so far.
   uint64_t SentConfigs = 0;  ///< non-owned successors routed out.
   uint64_t RecvConfigs = 0;  ///< configs received and injected locally.
+  /// Re-sends the engine's sender-side fingerprint filter proved redundant
+  /// and swallowed (each one counted as a DedupHit instead, exactly as the
+  /// in-process engine would have).
+  uint64_t SuppressedSends = 0;
 };
 
 /// What the transport tells the shard to do after a pump.
@@ -328,17 +333,37 @@ enum class ShardCommand : uint8_t {
   DrainExhausted  ///< stop and report as an exhausted (incomplete) run.
 };
 
+/// One config delivered by the transport. The transport owns wire
+/// decoding (it knows which peer dictionary the bytes reference); the
+/// engine only sees decoded configs. A transport that detects a framing
+/// or dictionary error it cannot attribute mid-stream delivers one entry
+/// with Malformed set so the engine fails the run loudly instead of
+/// dropping work.
+struct ShardDelivery {
+  FrontierConfig Config;
+  /// The sender's dedup fingerprint for this config (the full identity
+  /// hash it computed before shipping). Every process runs the same
+  /// forked binary, so the receiver adopts it instead of re-walking the
+  /// whole structure to recompute it; 0 means "absent — recompute".
+  uint64_t Fp = 0;
+  bool Malformed = false;
+};
+
 /// The transport a sharded exploration talks to. `send` routes one
-/// encoded frontier config (an encodeFrontierConfigPrefix buffer) toward
-/// the shard that owns it; `pump` flushes outboxes, reports \p Status,
-/// and delivers any configs routed here. Both are called under one lock,
-/// so implementations need not be thread-safe.
+/// frontier config toward the shard that owns it: \p FC is the decoded
+/// form and \p Fp its ownership fingerprint. The transport owns wire
+/// encoding end to end — dictionary-streamed by default, plain
+/// encodeFrontierConfigPrefix bytes when compression is off (the two
+/// produce identical decoded configs, so the engine never needs to
+/// know which is active). `pump` flushes outboxes, reports \p Status,
+/// and delivers any configs routed here. Both are called under one
+/// lock, so implementations need not be thread-safe.
 class ShardIo {
 public:
   virtual ~ShardIo() = default;
-  virtual void send(unsigned Dest, std::vector<uint8_t> ConfigBytes) = 0;
+  virtual void send(unsigned Dest, FrontierConfig FC, uint64_t Fp) = 0;
   virtual ShardCommand pump(const ShardStatus &Status,
-                            std::vector<std::vector<uint8_t>> &Incoming) = 0;
+                            std::vector<ShardDelivery> &Incoming) = 0;
 };
 
 /// Runs shard \p ShardId of an \p NShards-way partitioned exploration:

@@ -30,6 +30,9 @@
 #include "state/GlobalState.h"
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace fcsl {
@@ -40,7 +43,11 @@ namespace fcsl {
 /// v4: sleep sets and EnvCloseMask left the identity prefix (they are
 ///     merged wake state, not identity — DESIGN.md §12) and configs carry
 ///     the dedup-accounting flag (FrontierConfig::Counts).
-constexpr uint32_t CodecVersion = 4;
+/// v5: dictionary-streamed frontier frames (DESIGN.md §14): batch frames
+///     carry the source shard and per-config ownership fingerprints, and
+///     a FrontierBatchDict frame ships each interned node once per
+///     connection as a NodeDef, then as a varint dictionary reference.
+constexpr uint32_t CodecVersion = 5;
 
 /// Appends fixed-width little-endian primitives to a byte buffer.
 class Encoder {
@@ -55,9 +62,28 @@ public:
       Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
   }
   void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  /// LEB128 varint: small values (dictionary references, counts) cost one
+  /// byte instead of four or eight.
+  void vu(uint64_t V) {
+    while (V >= 0x80) {
+      Buf.push_back(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    Buf.push_back(static_cast<uint8_t>(V));
+  }
+  /// Zigzag-mapped signed varint.
+  void vi(int64_t V) {
+    vu((static_cast<uint64_t>(V) << 1) ^
+       static_cast<uint64_t>(V >> 63));
+  }
   void str(const std::string &S) {
     u32(static_cast<uint32_t>(S.size()));
     Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  /// Appends another encoder's buffer verbatim (composite dictionary
+  /// definitions are built in a scratch encoder, then spliced in).
+  void raw(const std::vector<uint8_t> &Bytes) {
+    Buf.insert(Buf.end(), Bytes.begin(), Bytes.end());
   }
 
   const std::vector<uint8_t> &buffer() const { return Buf; }
@@ -98,6 +124,29 @@ public:
     return V;
   }
   int64_t i64() { return static_cast<int64_t>(u64()); }
+  /// LEB128 varint; more than ten bytes (or a truncated stream) is
+  /// malformed and latches the error flag.
+  uint64_t vu() {
+    uint64_t V = 0;
+    for (unsigned Shift = 0; Shift < 70; Shift += 7) {
+      uint8_t B = u8();
+      if (Failed)
+        return 0;
+      if (Shift == 63 && (B & 0xFE)) {
+        Failed = true;
+        return 0;
+      }
+      V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+      if (!(B & 0x80))
+        return V;
+    }
+    Failed = true;
+    return 0;
+  }
+  int64_t vi() {
+    uint64_t V = vu();
+    return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+  }
   std::string str() {
     uint32_t Len = u32();
     if (!take(Len))
@@ -276,6 +325,130 @@ void encode(Encoder &E, const FrontierConfig &C);
 size_t encodeFrontierConfigPrefix(Encoder &E, const FrontierConfig &C);
 
 FrontierConfig decodeFrontierConfig(Decoder &D);
+
+//===----------------------------------------------------------------------===//
+// Dictionary-scoped encode/decode contexts (DESIGN.md §14)
+//===----------------------------------------------------------------------===//
+//
+// FCSL states are hash-consed: two configs that share a heap, history, or
+// auxiliary subtree share the interned node, and the node's handle is a
+// process-stable fingerprint. The plain codec above re-serializes every
+// shared subtree per config; the dictionary contexts below serialize each
+// node once per logical connection. An encoder context assigns every
+// distinct node a dense index the first time it appears, appends its
+// definition (children as references to lower indices) to a NodeDef
+// stream, and thereafter encodes the node as a varint reference. The
+// matching decoder context replays the definition stream into a table and
+// resolves references against it — an out-of-range or kind-mismatched
+// reference is malformed, never a crash.
+
+/// The definition tags of the NodeDef stream. One shared index space: the
+/// Nth definition in the stream — of any kind — gets index N. Thread and
+/// LabelState are *composite* definitions: a whole thread stack or one
+/// label's global-state slice, interned by its encoded body. Successive
+/// configs mostly differ in one thread and one label slice, so the others
+/// collapse to single varint references.
+enum class DictDef : uint8_t {
+  Val = 1,
+  Heap = 2,
+  Hist = 3,
+  Pcm = 4,
+  PcmType = 5,
+  Str = 6,
+  Thread = 7,
+  LabelState = 8,
+};
+
+/// The sender side of one connection's dictionary. Feed every config of
+/// the connection through the same context, in send order; ship each
+/// call's definition bytes before (or with) its reference bytes.
+class NodeDictEncoder {
+public:
+  /// Encodes \p C as dictionary references into \p Refs, appending any
+  /// definitions this config introduces to \p Defs.
+  void encodeConfig(Encoder &Defs, Encoder &Refs, const FrontierConfig &C);
+
+  /// Distinct nodes interned so far (== next index to assign).
+  size_t size() const { return Count; }
+
+private:
+  uint32_t internVal(Encoder &Defs, const Val &V);
+  uint32_t internHeap(Encoder &Defs, const Heap &H);
+  uint32_t internHist(Encoder &Defs, const History &H);
+  uint32_t internPcm(Encoder &Defs, const PCMVal &V);
+  uint32_t internPcmType(Encoder &Defs, const PCMTypeRef &T);
+  uint32_t internStr(Encoder &Defs, const std::string &S);
+  uint32_t internThread(Encoder &Defs, const FrontierThread &T);
+  uint32_t internLabelState(Encoder &Defs, const GlobalState &GS, Label L);
+
+  struct HistHash {
+    size_t operator()(const History &H) const {
+      return static_cast<size_t>(H.fingerprint());
+    }
+  };
+
+  std::unordered_map<Val, uint32_t> ValIdx;
+  std::unordered_map<Heap, uint32_t> HeapIdx;
+  std::unordered_map<History, uint32_t, HistHash> HistIdx;
+  std::unordered_map<PCMVal, uint32_t> PcmIdx;
+  /// PCMTypes are not interned (deep equality); key by encoded bytes.
+  std::map<std::vector<uint8_t>, uint32_t> TypeIdx;
+  std::unordered_map<std::string, uint32_t> StrIdx;
+  /// Composite definitions are keyed by their encoded bodies: child
+  /// references are deterministic per dictionary, so byte equality is
+  /// structural equality.
+  std::map<std::vector<uint8_t>, uint32_t> ThreadIdx;
+  std::map<std::vector<uint8_t>, uint32_t> LabelIdx;
+  uint32_t Count = 0;
+};
+
+/// The receiver side: one per peer connection. feedDefs() must see the
+/// definition streams in send order; decodeConfig() then resolves
+/// references. Corruption latches — after a malformed definition stream
+/// the table is unusable and every later decode fails.
+class NodeDictDecoder {
+public:
+  /// Replays one frame's definition stream into the table. Returns false
+  /// (and latches corrupt()) on any malformed definition.
+  bool feedDefs(const uint8_t *Data, size_t N);
+
+  /// Decodes one dictionary-encoded config. Malformed references latch
+  /// \p D's error flag; callers check D.failed() as with the plain codec.
+  FrontierConfig decodeConfig(Decoder &D);
+
+  bool corrupt() const { return Corrupt; }
+  size_t size() const { return Entries.size(); }
+
+private:
+  const Val *valAt(Decoder &D);
+  const Heap *heapAt(Decoder &D);
+  const History *histAt(Decoder &D);
+  const PCMVal *pcmAt(Decoder &D);
+  const PCMTypeRef *typeAt(Decoder &D);
+  const std::string *strAt(Decoder &D);
+
+  struct Entry {
+    DictDef Kind = DictDef::Val;
+    Val V;
+    Heap H;
+    History Hist;
+    PCMVal P;
+    PCMTypeRef T;
+    std::string S;
+    FrontierThread FT;
+    /// One label's global-state slice (DictDef::LabelState).
+    Label LsLabel = 0;
+    PCMTypeRef LsType;
+    Heap LsJoint;
+    PCMVal LsEnv;
+    bool LsClosed = false;
+    std::vector<std::pair<ThreadId, PCMVal>> LsSelves;
+  };
+  const Entry *entryAt(Decoder &D, DictDef Kind);
+
+  std::vector<Entry> Entries;
+  bool Corrupt = false;
+};
 
 } // namespace fcsl
 

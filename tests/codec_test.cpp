@@ -320,6 +320,125 @@ TEST(CodecTest, MalformedPayloadsFailSoft) {
   }
 }
 
+FrontierConfig sampleConfig(int64_t Seed) {
+  FrontierConfig C;
+  C.GS = nontrivialState();
+  FrontierThread Th;
+  Th.Id = rootThread();
+  FrontierFrame F;
+  F.Kind = 1;
+  F.Node = 0;
+  F.Rest = ProgTable::NoProg;
+  F.Var = "a";
+  F.Env = VarEnv{{"a", Val::ofInt(Seed)},
+                 {"b", Val::pair(Val::unit(), Val::ofBool(true))}};
+  Th.Frames.push_back(F);
+  C.Threads.push_back(Th);
+  FrontierSleep S;
+  S.T = rootThread();
+  S.ActNode = 2;
+  C.Sleep.push_back(S);
+  C.EnvCloseMask = 5;
+  return C;
+}
+
+TEST(CodecTest, NodeDictRoundTripsAndDedups) {
+  NodeDictEncoder Enc;
+  NodeDictDecoder Dec;
+  FrontierConfig A = sampleConfig(1);
+  FrontierConfig B = sampleConfig(2); // shares almost all nodes with A
+
+  Encoder DefsA, RefsA;
+  Enc.encodeConfig(DefsA, RefsA, A);
+  ASSERT_FALSE(DefsA.buffer().empty());
+  ASSERT_TRUE(Dec.feedDefs(DefsA.buffer().data(), DefsA.buffer().size()));
+  Decoder DA(RefsA.buffer());
+  FrontierConfig OutA = Dec.decodeConfig(DA);
+  EXPECT_FALSE(DA.failed());
+  EXPECT_TRUE(DA.atEnd());
+  EXPECT_EQ(OutA, A);
+
+  // The second config ships only its genuinely new nodes as definitions.
+  Encoder DefsB, RefsB;
+  Enc.encodeConfig(DefsB, RefsB, B);
+  EXPECT_LT(DefsB.buffer().size(), DefsA.buffer().size());
+  ASSERT_TRUE(Dec.feedDefs(DefsB.buffer().data(), DefsB.buffer().size()));
+  Decoder DB(RefsB.buffer());
+  EXPECT_EQ(Dec.decodeConfig(DB), B);
+  EXPECT_FALSE(DB.failed());
+  EXPECT_EQ(Enc.size(), Dec.size());
+
+  // Re-sending an already-interned config adds no definitions at all, and
+  // its reference encoding is smaller than the standalone encoding.
+  Encoder DefsC, RefsC;
+  Enc.encodeConfig(DefsC, RefsC, A);
+  EXPECT_TRUE(DefsC.buffer().empty());
+  Decoder DC(RefsC.buffer());
+  EXPECT_EQ(Dec.decodeConfig(DC), A);
+  EXPECT_FALSE(DC.failed());
+  Encoder Plain;
+  encode(Plain, A);
+  EXPECT_LT(RefsC.buffer().size(), Plain.buffer().size());
+}
+
+TEST(CodecTest, NodeDictDefsFailSoft) {
+  FrontierConfig A = sampleConfig(3);
+  Encoder Defs, Refs;
+  NodeDictEncoder Enc;
+  Enc.encodeConfig(Defs, Refs, A);
+  const std::vector<uint8_t> &Full = Defs.buffer();
+  ASSERT_FALSE(Full.empty());
+  // A strict prefix of the definition stream either fails outright
+  // (poisoning the dictionary) or, when it happens to end on a definition
+  // boundary, leaves later references dangling — the config never decodes.
+  for (size_t Cut = 0; Cut < Full.size(); Cut += 4) {
+    NodeDictDecoder Dec;
+    bool FedOk = Dec.feedDefs(Full.data(), Cut);
+    if (!FedOk) {
+      EXPECT_TRUE(Dec.corrupt());
+      // Poisoned for good: even the valid full stream is refused now.
+      EXPECT_FALSE(Dec.feedDefs(Full.data(), Full.size()));
+    }
+    Decoder D(Refs.buffer());
+    (void)Dec.decodeConfig(D);
+    EXPECT_TRUE(D.failed()) << "defs prefix of " << Cut << " bytes decoded";
+  }
+  // Foreign bytes: an unknown definition tag corrupts the dictionary.
+  std::vector<uint8_t> Foreign = Full;
+  Foreign[0] ^= 0xff;
+  NodeDictDecoder Dec;
+  EXPECT_FALSE(Dec.feedDefs(Foreign.data(), Foreign.size()));
+  EXPECT_TRUE(Dec.corrupt());
+}
+
+TEST(CodecTest, NodeDictRefsFailSoft) {
+  FrontierConfig A = sampleConfig(4);
+  Encoder Defs, Refs;
+  NodeDictEncoder Enc;
+  Enc.encodeConfig(Defs, Refs, A);
+  NodeDictDecoder Dec;
+  ASSERT_TRUE(Dec.feedDefs(Defs.buffer().data(), Defs.buffer().size()));
+  const std::vector<uint8_t> &Full = Refs.buffer();
+  for (size_t Cut = 0; Cut < Full.size(); Cut += 3) {
+    Decoder D(Full.data(), Cut);
+    (void)Dec.decodeConfig(D);
+    EXPECT_TRUE(D.failed()) << "refs prefix of " << Cut << " bytes decoded";
+  }
+  // An out-of-range dictionary reference is rejected.
+  Encoder Bad;
+  Bad.vu(1);                // one label
+  Bad.vu(1);                // label id
+  Bad.vu(Dec.size() + 100); // type reference beyond the dictionary
+  Decoder DBad(Bad.buffer());
+  (void)Dec.decodeConfig(DBad);
+  EXPECT_TRUE(DBad.failed());
+  // Malformed reference streams do not poison the dictionary: the intact
+  // stream still decodes afterwards.
+  Decoder DOk(Full);
+  EXPECT_EQ(Dec.decodeConfig(DOk), A);
+  EXPECT_FALSE(DOk.failed());
+}
+
 cache::CacheRecord sampleRecord(uint64_t Content) {
   cache::CacheRecord R;
   R.Key.Content = Content;

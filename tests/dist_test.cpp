@@ -13,8 +13,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "dist/Coordinator.h"
+#include "dist/Shard.h"
 #include "dist/Wire.h"
 
+#include "cache/Store.h"
 #include "spec/Session.h"
 #include "structures/CgIncrement.h"
 #include "structures/SpanTree.h"
@@ -26,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sys/socket.h>
 
 using namespace fcsl;
 using namespace fcsl::dist;
@@ -81,6 +84,10 @@ VerdictMsg sampleVerdict() {
   V.RecvConfigs = 38;
   V.SentBatches = 6;
   V.SentBytes = 3000;
+  V.SuppressedSends = 4;
+  V.DictNodes = 123;
+  V.DictDefBytes = 456;
+  V.DictRefBytes = 78;
   return V;
 }
 
@@ -91,7 +98,12 @@ TEST(DistWire, RoundTripsEveryMessageType) {
   Hello.ShardId = 2;
   FrontierBatchMsg Batch;
   Batch.Dest = 1;
+  Batch.Src = 0;
+  Batch.Fps = {11, 0, 0x1234567890abcdef};
   Batch.Configs = {{1, 2, 3}, {}, {0xFF, 0x00, 0x7F}};
+  FrontierBatchMsg DictBatch = Batch;
+  DictBatch.Dict = true;
+  DictBatch.Defs = {9, 8, 7, 6};
   StatsReportMsg Stats;
   Stats.ShardId = 1;
   Stats.Idle = true;
@@ -100,6 +112,7 @@ TEST(DistWire, RoundTripsEveryMessageType) {
   Stats.RecvConfigs = 4;
   Stats.SentBatches = 2;
   Stats.SentBytes = 512;
+  Stats.SuppressedSends = 6;
   DrainMsg Drain;
   Drain.Exhausted = true;
   VerdictMsg Verdict = sampleVerdict();
@@ -116,6 +129,11 @@ TEST(DistWire, RoundTripsEveryMessageType) {
     ASSERT_TRUE(M);
     EXPECT_EQ(M->Type, MsgType::FrontierBatch);
     EXPECT_EQ(M->Batch, Batch);
+
+    M = throughBuffer(frameBatch(DictBatch), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::FrontierBatchDict);
+    EXPECT_EQ(M->Batch, DictBatch);
 
     M = throughBuffer(frameStats(Stats), Chunk);
     ASSERT_TRUE(M);
@@ -293,6 +311,64 @@ TEST(DistCodec, IdentityPrefixExcludesWakePayload) {
   std::vector<uint8_t> PrefA(EA.buffer().begin(), EA.buffer().begin() + PA);
   std::vector<uint8_t> PrefO(EO.buffer().begin(), EO.buffer().begin() + PO);
   EXPECT_NE(PrefA, PrefO);
+}
+
+TEST(DistWire, MalformedDictionaryReferenceIsSurfaced) {
+  // A dict batch whose second config references past the end of the
+  // connection dictionary: the transport must deliver the good config,
+  // flag the bad one as Malformed (so the engine fails the run loudly),
+  // and never crash.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  {
+    SocketShardIo Io(Fds[0], /*ShardId=*/0, /*NShards=*/2);
+    NodeDictEncoder Enc;
+    Encoder Defs, Refs;
+    Enc.encodeConfig(Defs, Refs, smallConfig());
+    FrontierBatchMsg B;
+    B.Dest = 0;
+    B.Src = 1;
+    B.Dict = true;
+    B.Defs = Defs.take();
+    B.Fps = {1, 2};
+    B.Configs.push_back(Refs.take());
+    Encoder BadRefs;
+    BadRefs.vu(1);               // one label
+    BadRefs.vu(1);               // label id
+    BadRefs.vu(Enc.size() + 50); // dangling dictionary reference
+    B.Configs.push_back(BadRefs.take());
+    std::vector<uint8_t> Frame = frameBatch(B);
+    ASSERT_EQ(::send(Fds[1], Frame.data(), Frame.size(), 0),
+              static_cast<ssize_t>(Frame.size()));
+
+    ShardStatus Busy;
+    std::vector<ShardDelivery> Incoming;
+    for (int I = 0; I != 100 && Incoming.empty(); ++I)
+      Io.pump(Busy, Incoming);
+    ASSERT_EQ(Incoming.size(), 2u);
+    EXPECT_FALSE(Incoming[0].Malformed);
+    EXPECT_EQ(Incoming[0].Config, smallConfig());
+    EXPECT_TRUE(Incoming[1].Malformed);
+
+    // A corrupt definition stream poisons the peer dictionary: every
+    // config in that and later batches from the peer is Malformed.
+    FrontierBatchMsg Bad;
+    Bad.Dest = 0;
+    Bad.Src = 1;
+    Bad.Dict = true;
+    Bad.Defs = {0xff, 0xff, 0xff}; // unknown definition tag
+    Bad.Fps = {3};
+    Bad.Configs.push_back({0x00});
+    std::vector<uint8_t> BadFrame = frameBatch(Bad);
+    ASSERT_EQ(::send(Fds[1], BadFrame.data(), BadFrame.size(), 0),
+              static_cast<ssize_t>(BadFrame.size()));
+    Incoming.clear();
+    for (int I = 0; I != 100 && Incoming.empty(); ++I)
+      Io.pump(Busy, Incoming);
+    ASSERT_EQ(Incoming.size(), 1u);
+    EXPECT_TRUE(Incoming[0].Malformed);
+  }
+  ::close(Fds[1]);
 }
 
 namespace {
@@ -495,6 +571,72 @@ TEST(DistEngine, LockClientShardIdentity) {
                                  /*Parallel=*/false,
                                  /*EnvInterference=*/true, /*EnvTotal=*/0);
   expectShardIdentity(Ticket.Main, Ticket.Initial, Ticket.Opts);
+}
+
+TEST(DistEngine, CompressedAndLegacyWireAgreeUnderReductions) {
+  // The dictionary protocol must be invisible to results: compressed and
+  // legacy wire encodings yield bit-identical merged verdicts, terminals,
+  // and counters at every shard count, composed with dynamic POR and
+  // symmetry reduction.
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  Opts.Por = PorMode::Dynamic;
+  Opts.Symmetry = SymMode::On;
+  ProgRef Main = makeSpanRootProg(Case, Ptr(1));
+  GlobalState S0 = spanRootState(Case, diamondOf(1));
+  RunResult Base = explore(Main, S0, Opts);
+  ASSERT_TRUE(Base.complete()) << Base.FailureNote;
+  for (unsigned Shards : {1u, 2u, 4u}) {
+    for (bool Compress : {true, false}) {
+      SCOPED_TRACE(testing::Message() << "shards=" << Shards
+                                      << " compress=" << Compress);
+      setDistCompress(Compress);
+      RunResult R = Shards == 1
+                        ? explore(Main, S0, Opts)
+                        : distributedExplore(Main, S0, Opts, {}, Shards);
+      EXPECT_EQ(R.Safe, Base.Safe);
+      EXPECT_EQ(R.Exhausted, Base.Exhausted);
+      EXPECT_TRUE(sameTerminals(R.Terminals, Base.Terminals));
+      EXPECT_EQ(R.ConfigsExplored, Base.ConfigsExplored);
+      EXPECT_EQ(R.ActionSteps, Base.ActionSteps);
+      EXPECT_EQ(R.EnvSteps, Base.EnvSteps);
+      EXPECT_EQ(R.DedupHits, Base.DedupHits);
+      EXPECT_EQ(R.VisitedNodes, Base.VisitedNodes);
+    }
+  }
+  setDistCompress(true);
+}
+
+TEST(DistEngine, CompressedWireComposesWithObligationCache) {
+  // Sharded sessions under --cache=rw: both wire encodings populate the
+  // obligation store and replay from it with the same report. The store
+  // is reset between encodings so each genuinely exercises its wire path.
+  ShardDefaultGuard Guard;
+  installDistributedEngine();
+  cache::CacheMode SavedMode = cache::defaultCacheMode();
+  setDefaultShards(0);
+  SessionReport Base = makeSpinLockSession().run();
+  ASSERT_TRUE(Base.AllPassed) << Base.Program;
+  setDefaultShards(2);
+  for (bool Compress : {true, false}) {
+    SCOPED_TRACE(testing::Message() << "compress=" << Compress);
+    setDistCompress(Compress);
+    cache::resetActiveStore();
+    cache::setDefaultCacheMode(cache::CacheMode::Rw);
+    SessionReport Cold = makeSpinLockSession().run(); // populates the store
+    SessionReport Warm = makeSpinLockSession().run(); // replays from it
+    EXPECT_EQ(Cold.AllPassed, Base.AllPassed);
+    EXPECT_EQ(Cold.totalObligations(), Base.totalObligations());
+    EXPECT_EQ(Cold.totalChecks(), Base.totalChecks());
+    EXPECT_EQ(Warm.AllPassed, Base.AllPassed);
+    EXPECT_EQ(Warm.totalObligations(), Base.totalObligations());
+  }
+  cache::setDefaultCacheMode(SavedMode);
+  cache::resetActiveStore();
+  setDistCompress(true);
 }
 
 TEST(DistEngine, CrashedWorkerFailsLoudly) {

@@ -16,6 +16,7 @@
 #include "cache/Store.h"
 #include "concurroid/Registry.h"
 #include "dist/Coordinator.h"
+#include "dist/Wire.h"
 #include "prog/Engine.h"
 #include "structures/StackIface.h"
 #include "structures/Suite.h"
@@ -35,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fcsl-verify [--jobs N] [--por MODE] [--symmetry MODE] "
-               "[--shards N] [--cache MODE] <command>\n"
+               "[--shards N] [--dist-compress MODE] [--cache MODE] "
+               "<command>\n"
                "  list                 list the verifiable case studies\n"
                "  verify <name|all>    run one (or every) verification "
                "session\n"
@@ -77,6 +79,16 @@ int usage() {
                "default from\n"
                "                       FCSL_SHARDS, else 1); composes with "
                "--por and --jobs\n"
+               "  --dist-compress on|off\n"
+               "                       dictionary-streamed frontier frames "
+               "between shards:\n"
+               "                       each interned node crosses a "
+               "connection once as a\n"
+               "                       definition, then as a varint "
+               "reference (default on;\n"
+               "                       off = the plain per-config encoding, "
+               "the A/B baseline;\n"
+               "                       default from FCSL_DIST_COMPRESS)\n"
                "  --cache off|rw|ro|check\n"
                "                       persistent obligation-verdict cache "
                "(content-addressed\n"
@@ -120,6 +132,10 @@ int validateEnv() {
     if (*E && !cache::parseCacheMode(E, M))
       Reject("FCSL_CACHE", E, "off|rw|ro|check");
   }
+  if (const char *E = std::getenv("FCSL_DIST_COMPRESS"))
+    if (*E && std::strcmp(E, "on") != 0 && std::strcmp(E, "off") != 0 &&
+        std::strcmp(E, "1") != 0 && std::strcmp(E, "0") != 0)
+      Reject("FCSL_DIST_COMPRESS", E, "on|off");
   auto CheckUnsigned = [&](const char *Var, long Min) {
     const char *E = std::getenv(Var);
     if (!E || !*E)
@@ -300,25 +316,49 @@ void printStats() {
   if (Fleet.Fleets == 0)
     return;
   std::printf("sharded exploration: %llu fleets, %llu configs exchanged in "
-              "%llu batches (%llu bytes), %llu cache records merged, peak "
-              "child rss %llu kB (sum %llu kB)\n",
+              "%llu batches (%llu bytes), %llu duplicate relays dropped, "
+              "%llu cache records merged, peak child rss %llu kB (sum %llu "
+              "kB)\n",
               static_cast<unsigned long long>(Fleet.Fleets),
               static_cast<unsigned long long>(Fleet.Configs),
               static_cast<unsigned long long>(Fleet.Messages),
               static_cast<unsigned long long>(Fleet.Bytes),
+              static_cast<unsigned long long>(Fleet.RelayDroppedDupes),
               static_cast<unsigned long long>(Fleet.CacheRecordsMerged),
               static_cast<unsigned long long>(Fleet.ChildRssKbMax),
               static_cast<unsigned long long>(Fleet.ChildRssKbSum));
+
+  // The wire table: every frame the hub received, by message type.
+  {
+    static const char *const TagNames[8] = {
+        "-",     "hello",   "batch", "stats",
+        "drain", "verdict", "cache-delta", "batch-dict"};
+    TextTable Wire;
+    Wire.setHeader({"msg type", "frames", "bytes"});
+    Wire.setRightAligned(1);
+    Wire.setRightAligned(2);
+    for (size_t I = 1; I != Fleet.RecvFrames.size(); ++I)
+      if (Fleet.RecvFrames[I] != 0)
+        Wire.addRow({TagNames[I], std::to_string(Fleet.RecvFrames[I]),
+                     std::to_string(Fleet.RecvBytes[I])});
+    std::printf("wire traffic received by the hub:\n%s",
+                Wire.render().c_str());
+  }
+
   TextTable Shards;
-  Shards.setHeader({"shard", "expanded", "sent", "recv", "batches",
-                    "rss kB"});
-  for (unsigned I = 1; I <= 5; ++I)
+  Shards.setHeader({"shard", "expanded", "sent", "recv", "suppressed",
+                    "batches", "dict nodes", "def B", "ref B", "rss kB"});
+  for (unsigned I = 1; I <= 9; ++I)
     Shards.setRightAligned(I);
   for (const dist::ShardExchange &S : Fleet.LastRun)
     Shards.addRow({std::to_string(S.ShardId), std::to_string(S.Expanded),
                    std::to_string(S.SentConfigs),
                    std::to_string(S.RecvConfigs),
+                   std::to_string(S.SuppressedSends),
                    std::to_string(S.SentBatches),
+                   std::to_string(S.DictNodes),
+                   std::to_string(S.DictDefBytes),
+                   std::to_string(S.DictRefBytes),
                    std::to_string(S.MaxRssKb)});
   std::printf("last fleet:\n%s", Shards.render().c_str());
 }
@@ -430,6 +470,15 @@ int main(int Argc, char **Argv) {
     setDefaultShards(static_cast<unsigned>(N));
     return true;
   };
+  auto ParseDistCompress = [](const char *Mode) -> bool {
+    if (std::strcmp(Mode, "on") == 0 || std::strcmp(Mode, "1") == 0)
+      dist::setDistCompress(true);
+    else if (std::strcmp(Mode, "off") == 0 || std::strcmp(Mode, "0") == 0)
+      dist::setDistCompress(false);
+    else
+      return false;
+    return true;
+  };
   auto ParsePor = [&](const char *Mode) -> bool {
     if (std::strcmp(Mode, "off") == 0) {
       setDefaultPorMode(PorMode::Off);
@@ -501,6 +550,16 @@ int main(int Argc, char **Argv) {
     }
     if (std::strncmp(Argv[I], "--shards=", 9) == 0) {
       if (!ParseShards(Argv[I] + 9))
+        return usage();
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--dist-compress") == 0) {
+      if (I + 1 >= Argc || !ParseDistCompress(Argv[++I]))
+        return usage();
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--dist-compress=", 16) == 0) {
+      if (!ParseDistCompress(Argv[I] + 16))
         return usage();
       continue;
     }
