@@ -16,20 +16,26 @@
 // partial-order reduction, serially under symmetry reduction, serially
 // with every exploration sharded across two worker processes (src/dist/),
 // and finally cold + warm against a fresh obligation store (src/cache/)
-// — and all timings land in BENCH_table1.json so the speedup from the
-// multi-worker engine, the state-space savings from the reductions, the
-// frontier-exchange cost of sharding, and the replay win of the verdict
-// cache are tracked across PRs.
+// — and then twice more through the verification service (src/service/):
+// an engine-backed daemon round-trip and a warm store-backed one, so the
+// client-observed request latency of both paths is tracked. All timings
+// land in BENCH_table1.json so the speedup from the multi-worker engine,
+// the state-space savings from the reductions, the frontier-exchange
+// cost of sharding, the replay win of the verdict cache, and the service
+// round-trip overhead are tracked across PRs.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/Store.h"
 #include "dist/Coordinator.h"
 #include "prog/Engine.h"
+#include "service/Client.h"
+#include "service/Server.h"
 #include "structures/Suite.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <unistd.h>
@@ -247,6 +253,62 @@ int main() {
                   ? double(ConfigsCanonicalTotal) / double(ConfigsFullTotal)
                   : 1.0);
 
+  // Verification-service round-trips over the store populated above: an
+  // engine-backed request (--cache=off daemon-side, the "cold" path) and
+  // a warm store-backed request the daemon answers from its in-memory
+  // index without invoking the engine.
+  double SvcEngineMs = 0.0, SvcWarmMs = 0.0;
+  uint64_t SvcWarmServes = 0;
+  double SvcWarmSessionsPerSec = 0.0;
+  {
+    using Clock = std::chrono::steady_clock;
+    auto MsSince = [](Clock::time_point T0) {
+      return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+          .count();
+    };
+    cache::setDefaultCacheMode(cache::CacheMode::Rw);
+    cache::resetActiveStore(); // reopen the warm store for the daemon.
+    service::ServerOptions SOpts;
+    SOpts.SocketPath =
+        std::string(CacheDir ? CacheDir : "/tmp") + "/bench.sock";
+    service::Server Daemon(SOpts);
+    if (Daemon.start()) {
+      service::ServiceClient Client(SOpts.SocketPath);
+      if (Client.ok()) {
+        for (const CaseEntry &Case : allCaseStudies()) {
+          Clock::time_point T0 = Clock::now();
+          auto Engine = Client.submit(Case.Name, /*Por=*/1, /*Symmetry=*/1,
+                                      /*Cache=*/1); // cache off: engine runs.
+          SvcEngineMs += MsSince(T0);
+          T0 = Clock::now();
+          auto Warm = Client.submit(Case.Name, /*Por=*/1, /*Symmetry=*/1,
+                                    /*Cache=*/2); // cache rw: warm serve.
+          SvcWarmMs += MsSince(T0);
+          AllPassed &= Engine && Engine->Ok && !Engine->ServedFromCache &&
+                       Warm && Warm->Ok && Warm->ServedFromCache;
+        }
+        // Warm throughput: hammer the daemon with store-served requests.
+        Clock::time_point T0 = Clock::now();
+        for (int Round = 0; Round != 3; ++Round)
+          for (const CaseEntry &Case : allCaseStudies()) {
+            auto R = Client.submit(Case.Name, 1, 1, 2);
+            AllPassed &= R && R->Ok && R->ServedFromCache;
+            ++SvcWarmServes;
+          }
+        double Secs = MsSince(T0) / 1000.0;
+        SvcWarmSessionsPerSec = Secs > 0 ? SvcWarmServes / Secs : 0.0;
+        Client.shutdown();
+      }
+      Daemon.wait();
+    }
+    cache::setDefaultCacheMode(cache::CacheMode::Off);
+  }
+  std::printf("service: %.1f ms engine-backed round-trips, %.1f ms warm "
+              "store-backed (%.0f us/request), %.0f warm sessions/sec\n\n",
+              SvcEngineMs, SvcWarmMs,
+              1000.0 * SvcWarmMs / double(allCaseStudies().size()),
+              SvcWarmSessionsPerSec);
+
   std::printf("shape checks against the paper's table:\n");
   std::printf("  - CG increment/CG allocator/Seq. stack/FC-stack/Prod/Cons "
               "have '-' Conc/Acts/Stab cells: %s\n",
@@ -350,6 +412,16 @@ int main() {
                  static_cast<unsigned long long>(CacheHitsTotal),
                  static_cast<unsigned long long>(StoreRecords),
                  static_cast<unsigned long long>(StoreBytes));
+    std::fprintf(F,
+                 "  \"service\": {\"engine_roundtrip_ms\": %.2f, "
+                 "\"warm_roundtrip_ms\": %.2f, "
+                 "\"warm_roundtrip_us_mean\": %.1f, "
+                 "\"warm_serves\": %llu, "
+                 "\"warm_sessions_per_sec\": %.1f},\n",
+                 SvcEngineMs, SvcWarmMs,
+                 1000.0 * SvcWarmMs / double(allCaseStudies().size()),
+                 static_cast<unsigned long long>(SvcWarmServes),
+                 SvcWarmSessionsPerSec);
     std::fprintf(F,
                  "  \"total\": {\"serial_ms\": %.2f, \"parallel_ms\": "
                  "%.2f, \"speedup\": %.3f, \"por_ms\": %.2f, "

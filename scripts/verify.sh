@@ -39,9 +39,16 @@
 #      run must be 100% hits, and --cache=check — which re-discharges
 #      every hit and compares the stored verdict against the fresh one —
 #      must pass alone and composed with POR, symmetry, and sharding.
+#   8. Service: fcsl-serve on a temp socket serves every Table-1 session
+#      to fcsl-client cold and warm under --por=dynamic --symmetry=on;
+#      both passes must print the same report as a direct fcsl-verify run
+#      (modulo timings), the warm pass must be 100% fast-path serves with
+#      zero additional engine sessions (asserted from the daemon's stats
+#      frame), and a client Shutdown must exit the daemon cleanly.
 #
 # Usage: scripts/verify.sh [--no-tsan] [--no-asan] [--no-por]
 #                          [--no-symmetry] [--no-shards] [--no-cache]
+#                          [--no-service]
 #
 #===----------------------------------------------------------------------===#
 
@@ -54,6 +61,7 @@ RUN_POR=1
 RUN_SYMMETRY=1
 RUN_SHARDS=1
 RUN_CACHE=1
+RUN_SERVICE=1
 for Arg in "$@"; do
   case "$Arg" in
     --no-tsan) RUN_TSAN=0 ;;
@@ -62,9 +70,21 @@ for Arg in "$@"; do
     --no-symmetry) RUN_SYMMETRY=0 ;;
     --no-shards) RUN_SHARDS=0 ;;
     --no-cache) RUN_CACHE=0 ;;
+    --no-service) RUN_SERVICE=0 ;;
     *) echo "unknown flag: $Arg" >&2; exit 2 ;;
   esac
 done
+
+# Shared exit cleanup: scratch dirs registered by stages, plus the service
+# daemon if a failure leaves it running.
+CLEANUP_DIRS=""
+ServePid=""
+cleanup() {
+  [[ -n "$ServePid" ]] && kill "$ServePid" 2>/dev/null
+  [[ -n "$CLEANUP_DIRS" ]] && rm -rf $CLEANUP_DIRS
+  true
+}
+trap cleanup EXIT
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -96,13 +116,14 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== asan+ubsan: configure + build (build-asan/) =="
   cmake -B build-asan -S . -DFCSL_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$(nproc)" --target intern_test codec_test \
-    --target dist_test cache_test
+    --target dist_test cache_test service_test
 
-  echo "== asan+ubsan: checking intern arena, codec, dist wire, cache =="
+  echo "== asan+ubsan: checking intern arena, codec, dist wire, cache, service =="
   ./build-asan/tests/intern_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/dist_test
   ./build-asan/tests/cache_test
+  ./build-asan/tests/service_test
 fi
 
 if [[ "$RUN_POR" == 1 ]]; then
@@ -176,7 +197,7 @@ if [[ "$RUN_CACHE" == 1 ]]; then
   echo "== cache: cold vs warm obligation store over every session =="
   cmake --build build -j "$(nproc)" --target fcsl-verify
   CacheDir="$(mktemp -d)"
-  trap 'rm -rf "$CacheDir"' EXIT
+  CLEANUP_DIRS="$CLEANUP_DIRS $CacheDir"
   # Cold run populates the store; the warm rerun must replay every
   # obligation verdict bit-identically (timings stripped as usual).
   Normalize='s/[0-9]+\.[0-9]+//g; s/ +/ /g; s/-+/-/g; s/ +$//'
@@ -206,6 +227,53 @@ if [[ "$RUN_CACHE" == 1 ]]; then
   FCSL_CACHE_DIR="$CacheDir" ./build/tools/fcsl-verify --cache=check \
     --por=dynamic --symmetry=on --shards=2 verify all
   echo "   cache=check clean, alone and under por=dynamic symmetry=on shards=2"
+fi
+
+if [[ "$RUN_SERVICE" == 1 ]]; then
+  echo "== service: daemon-served reports vs direct runs, cold and warm =="
+  cmake --build build -j "$(nproc)" --target fcsl-verify fcsl-serve fcsl-client
+  ServiceDir="$(mktemp -d)"
+  CLEANUP_DIRS="$CLEANUP_DIRS $ServiceDir"
+  Normalize='s/[0-9]+\.[0-9]+//g; s/ +/ /g; s/-+/-/g; s/ +$//'
+  # The oracle: a direct in-process run under the same flags.
+  ./build/tools/fcsl-verify --por=dynamic --symmetry=on verify all \
+    | sed -E "$Normalize" > build/verify-service-direct.txt
+  FCSL_CACHE_DIR="$ServiceDir" ./build/tools/fcsl-serve \
+    --socket "$ServiceDir/daemon.sock" --cache rw &
+  ServePid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$ServiceDir/daemon.sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$ServiceDir/daemon.sock" ]] \
+    || { echo "daemon socket never appeared" >&2; exit 1; }
+  Client="./build/tools/fcsl-client --socket $ServiceDir/daemon.sock"
+  # Cold: every session goes through the engine, populating the store.
+  $Client --por dynamic --symmetry on --cache rw --expect pass verify all \
+    | sed -E "$Normalize" > build/verify-service-cold.txt
+  diff build/verify-service-direct.txt build/verify-service-cold.txt \
+    || { echo "daemon cold reports diverged from direct runs" >&2; exit 1; }
+  # Warm: the identical resubmits must be answered from the in-memory
+  # store index without the engine — and print the same reports.
+  $Client --por dynamic --symmetry on --cache rw --expect pass verify all \
+    | sed -E "$Normalize" > build/verify-service-warm.txt
+  diff build/verify-service-direct.txt build/verify-service-warm.txt \
+    || { echo "daemon warm reports diverged from direct runs" >&2; exit 1; }
+  $Client stats > build/verify-service-stats.txt
+  Sessions=$(awk '$1 == "sessions_run" {print $2}' build/verify-service-stats.txt)
+  Cached=$(awk '$1 == "served_from_cache" {print $2}' build/verify-service-stats.txt)
+  [[ -n "$Sessions" && "$Sessions" -gt 0 ]] \
+    || { echo "daemon ran no engine sessions?" >&2; exit 1; }
+  [[ "$Cached" == "$Sessions" ]] \
+    || { echo "warm pass was not 100% fast-path serves" \
+           "($Cached cached vs $Sessions engine runs)" >&2; exit 1; }
+  echo "   cold and warm daemon reports identical to direct runs;" \
+       "warm pass served all $Cached sessions from the store"
+  $Client shutdown || { echo "daemon did not ack shutdown" >&2; exit 1; }
+  wait "$ServePid" \
+    || { echo "daemon exited uncleanly after shutdown" >&2; exit 1; }
+  ServePid=""
+  echo "   daemon drained and exited cleanly"
 fi
 
 echo "== verify.sh: all stages passed =="

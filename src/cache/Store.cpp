@@ -11,8 +11,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
+#include <functional>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 namespace fcsl {
 namespace cache {
@@ -58,11 +61,42 @@ CacheRecord decodeCacheRecord(Decoder &D) {
 // Store
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Striped per-path append locks: distinct Store objects (daemon sessions,
+/// tests) sharing one log file serialize their appends here — the
+/// per-object mutex cannot see across objects, and interleaved buffered
+/// writes would tear records. Stripes bound the table; a cross-path
+/// collision costs only contention, never correctness.
+std::mutex &pathStripe(const std::string &Path) {
+  static std::mutex Stripes[16];
+  return Stripes[std::hash<std::string>{}(Path) % 16];
+}
+
+/// One full write(2) of \p Buf, retrying EINTR. With O_APPEND the kernel
+/// picks the offset atomically per call, so a complete single write never
+/// interleaves with another appender's.
+bool writeAll(int Fd, const std::vector<uint8_t> &Buf) {
+  size_t Done = 0;
+  while (Done != Buf.size()) {
+    ssize_t N = ::write(Fd, Buf.data() + Done, Buf.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
 Store::~Store() {
   std::lock_guard<std::mutex> Lock(M);
-  if (Out) {
-    std::fclose(Out);
-    Out = nullptr;
+  if (OutFd >= 0) {
+    ::close(OutFd);
+    OutFd = -1;
   }
 }
 
@@ -72,9 +106,9 @@ bool Store::open(const std::string &LogPath, bool Writable) {
   Index.clear();
   Contents.clear();
   Pending.clear();
-  if (Out) {
-    std::fclose(Out);
-    Out = nullptr;
+  if (OutFd >= 0) {
+    ::close(OutFd);
+    OutFd = -1;
   }
 
   // Load whatever is decodable. A missing file is an empty store (fine
@@ -125,23 +159,28 @@ bool Store::open(const std::string &LogPath, bool Writable) {
   if (!Writable)
     return Existed;
 
+  // All writes below go through the O_APPEND descriptor: one write(2)
+  // per frame, serialized per path (in-process) by the stripe lock and
+  // (cross-writer) by the kernel's atomic append offset.
+  std::lock_guard<std::mutex> PathLock(pathStripe(LogPath));
   if (!Existed || !Clean) {
     // Fresh, foreign, or torn log: rewrite it with the records that
     // survived (none, for a foreign header) so the file is well-formed.
-    Out = std::fopen(LogPath.c_str(), "wb");
-    if (!Out)
+    OutFd = ::open(LogPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                   0666);
+    if (OutFd < 0)
       return false;
     Encoder E;
     encodeHeader(E);
     E.u32(CacheRecordVersion);
-    std::fwrite(E.buffer().data(), 1, E.buffer().size(), Out);
+    if (!writeAll(OutFd, E.buffer()))
+      return false;
     for (const auto &KV : Index)
       writeRecord(KV.second);
-    std::fflush(Out);
     return true;
   }
-  Out = std::fopen(LogPath.c_str(), "ab");
-  return Out != nullptr;
+  OutFd = ::open(LogPath.c_str(), O_WRONLY | O_APPEND);
+  return OutFd >= 0;
 }
 
 const CacheRecord *Store::lookup(const ObligationKey &Key) const {
@@ -201,19 +240,22 @@ void Store::appendLocked(const CacheRecord &R, bool TrackPending) {
   Contents.insert(R.Key.Content);
   if (TrackPending)
     Pending.push_back(R);
-  if (Out) {
+  if (OutFd >= 0) {
+    std::lock_guard<std::mutex> PathLock(pathStripe(Path));
     writeRecord(R);
-    std::fflush(Out);
   }
 }
 
 void Store::writeRecord(const CacheRecord &R) {
+  // The complete frame — length prefix AND body — in one buffer, shipped
+  // as one write(2): concurrent appenders on the same O_APPEND log can
+  // interleave whole records but never tear one.
   Encoder Body;
   encode(Body, R);
   Encoder Frame;
   Frame.u32(static_cast<uint32_t>(Body.buffer().size()));
-  std::fwrite(Frame.buffer().data(), 1, Frame.buffer().size(), Out);
-  std::fwrite(Body.buffer().data(), 1, Body.buffer().size(), Out);
+  Frame.raw(Body.buffer());
+  writeAll(OutFd, Frame.buffer());
 }
 
 //===----------------------------------------------------------------------===//
@@ -314,6 +356,11 @@ Store *activeStore() {
     return nullptr; // fail-soft: session discharges everything.
   Active = std::move(S);
   return Active.get();
+}
+
+Store *resolvedStore() {
+  std::lock_guard<std::mutex> Lock(GlobalMutex);
+  return ActiveResolved ? Active.get() : nullptr;
 }
 
 void resetActiveStore() {

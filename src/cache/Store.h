@@ -103,6 +103,14 @@ enum class CacheMode : uint8_t {
 };
 
 /// The persistent store: an append-only log file plus an in-memory index.
+///
+/// Hardened for multi-session daemon use (DESIGN.md §15): the log is held
+/// as an `O_APPEND` file descriptor and every record goes out as ONE
+/// `write(2)` of the complete frame (length prefix + body), so the kernel
+/// serializes concurrent appends at the file offset — records from
+/// different writers may interleave, but never tear. In-process, a striped
+/// per-path mutex additionally serializes appends from distinct Store
+/// objects sharing one log (the per-object mutex cannot see them).
 class Store {
 public:
   ~Store();
@@ -144,7 +152,7 @@ private:
 
   mutable std::mutex M;
   std::string Path;
-  std::FILE *Out = nullptr; ///< append handle when writable.
+  int OutFd = -1; ///< O_APPEND log descriptor when writable.
   std::map<ObligationKey, CacheRecord> Index;
   std::set<uint64_t> Contents; ///< every indexed Content fingerprint.
   std::vector<CacheRecord> Pending;
@@ -177,6 +185,12 @@ std::string cacheDir();
 /// default mode is Off or the log cannot be opened (fail-soft: the session
 /// then just discharges everything). Ro mode opens read-only.
 Store *activeStore();
+
+/// The already-resolved process store regardless of the current default
+/// cache mode, or nullptr when no store has been opened yet. The service
+/// daemon uses this for its warm fast path: workers flip the process mode
+/// per request, but an open store stays valid until resetActiveStore().
+Store *resolvedStore();
 
 /// Closes the process store so the next activeStore() reopens it — used by
 /// tests that switch directories or corrupt the log on disk.

@@ -113,6 +113,11 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   long CrashShard = -1;
   if (const char *E = std::getenv("FCSL_DIST_CRASH_SHARD"))
     CrashShard = std::strtol(E, nullptr, 10);
+  // Protocol-injection hook for the unknown-message diagnostic test: the
+  // named shard sends one well-framed frame with an unrecognized tag.
+  long UnknownShard = -1;
+  if (const char *E = std::getenv("FCSL_DIST_UNKNOWN_SHARD"))
+    UnknownShard = std::strtol(E, nullptr, 10);
 
   std::vector<WorkerCh> Workers(NShards);
   std::vector<std::array<int, 2>> Pairs(NShards,
@@ -165,6 +170,25 @@ RunResult dist::distributedExplore(const ProgRef &Root,
         SocketShardIo Io(Pairs[I][1], I, NShards);
         if (CrashShard == static_cast<long>(I))
           std::_Exit(42); // After Hello, before any Verdict.
+        if (UnknownShard == static_cast<long>(I)) {
+          // A frame from a protocol this build does not speak: valid
+          // codec header, tag one past the known range. Single-threaded
+          // child, nothing else in flight on the fd yet.
+          Encoder Body;
+          encodeHeader(Body);
+          Body.u8(static_cast<uint8_t>(MaxKnownMsgTag) + 1);
+          Encoder Frame;
+          Frame.u32(static_cast<uint32_t>(Body.buffer().size()));
+          Frame.raw(Body.buffer());
+          const std::vector<uint8_t> &Bytes = Frame.buffer();
+          for (size_t Off = 0; Off < Bytes.size();) {
+            ssize_t N = ::write(Pairs[I][1], Bytes.data() + Off,
+                                Bytes.size() - Off);
+            if (N <= 0)
+              break;
+            Off += static_cast<size_t>(N);
+          }
+        }
         // Drop cache records inherited from the parent at fork: only
         // verdicts this worker itself appends belong in its delta.
         if (cache::Store *S = cache::activeStore())
@@ -198,7 +222,7 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   std::string LostShardNote;
   uint64_t Messages = 0, Bytes = 0, Configs = 0, CacheMerged = 0;
   uint64_t DroppedDupes = 0;
-  std::array<uint64_t, 8> RecvFrames{}, RecvBytes{};
+  std::array<uint64_t, 16> RecvFrames{}, RecvBytes{};
 
   // Fleet-wide relay dedup, sound exactly when the reduction mode is Off:
   // without POR there is no wake payload to merge and no Counts=false
@@ -266,6 +290,12 @@ RunResult dist::distributedExplore(const ProgRef &Root,
       break;
     case MsgType::Drain:
       break; // Workers never send Drain.
+    case MsgType::SubmitSession:
+    case MsgType::Progress:
+    case MsgType::Report:
+    case MsgType::CacheStats:
+    case MsgType::Shutdown:
+      break; // Service frames; workers never send these.
     }
   };
 
@@ -277,8 +307,21 @@ RunResult dist::distributedExplore(const ProgRef &Root,
   auto HandlePayload = [&](unsigned From, std::vector<uint8_t> &Payload) {
     WorkerCh &W = Workers[From];
     std::optional<MsgType> Tag = peekFrameTag(Payload);
-    if (!Tag)
-      return; // Fail-soft: skip malformed frames.
+    if (!Tag) {
+      // A well-framed message of a type this build does not speak means a
+      // worker from a different protocol vintage — a real bug, not line
+      // noise. Drain as exhausted (like a dead shard) so the run fails
+      // loudly instead of silently dropping traffic; genuinely malformed
+      // frames stay fail-soft.
+      if (classifyFrame(Payload) == FrameClass::UnknownType &&
+          LostShardNote.empty()) {
+        LostShardNote =
+            "unknown message type from shard " + std::to_string(From) +
+            "; the distributed exploration is incomplete";
+        StartDrain(true);
+      }
+      return;
+    }
     RecvFrames[static_cast<size_t>(*Tag)] += 1;
     RecvBytes[static_cast<size_t>(*Tag)] += Payload.size();
     if (*Tag != MsgType::FrontierBatch &&

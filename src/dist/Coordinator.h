@@ -65,10 +65,11 @@ struct FleetStats {
   /// fingerprint dedup, active when the reduction mode is Off — each drop
   /// is booked as the dedup hit the owner would have counted).
   uint64_t RelayDroppedDupes = 0;
-  /// Frames/bytes the hub received, indexed by MsgType tag (1..7; index 0
-  /// unused). The full wire table `--stats` prints.
-  std::array<uint64_t, 8> RecvFrames{};
-  std::array<uint64_t, 8> RecvBytes{};
+  /// Frames/bytes the hub received, indexed by MsgType tag (1 ..
+  /// MaxKnownMsgTag; index 0 unused). The full wire table `--stats`
+  /// prints.
+  std::array<uint64_t, 16> RecvFrames{};
+  std::array<uint64_t, 16> RecvBytes{};
   /// Peak over runs of the *sum* of the run's child peak RSS values — the
   /// fleet's aggregate footprint — and of a single child's peak.
   uint64_t ChildRssKbSum = 0;

@@ -155,8 +155,19 @@ ShardCommand SocketShardIo::pump(const ShardStatus &Status,
 
   while (std::optional<std::vector<uint8_t>> Payload = In.next()) {
     std::optional<WireMsg> M = decodeFrame(*Payload);
-    if (!M)
-      continue; // Fail-soft: skip malformed frames.
+    if (!M) {
+      // An unknown-but-well-framed type means a versioned peer is
+      // speaking a protocol this worker does not: surface it as a
+      // malformed delivery so the run fails loudly instead of silently
+      // dropping fleet traffic. A genuinely malformed frame stays
+      // fail-soft (the stream itself may still carry good frames).
+      if (classifyFrame(*Payload) == FrameClass::UnknownType) {
+        ShardDelivery Delivery;
+        Delivery.Malformed = true;
+        Incoming.push_back(std::move(Delivery));
+      }
+      continue;
+    }
     if (M->Type == MsgType::FrontierBatch ||
         M->Type == MsgType::FrontierBatchDict) {
       FrontierBatchMsg &B = M->Batch;

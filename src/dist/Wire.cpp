@@ -152,13 +152,84 @@ std::vector<uint8_t> dist::frameCacheDelta(const CacheDeltaMsg &M) {
   return finishFrame(std::move(E));
 }
 
+namespace fcsl {
+namespace dist {
+
+bool operator==(const ReportMsg &A, const ReportMsg &B) {
+  // Reports compare through the codec: two reports are equal exactly when
+  // they are bit-identical on the wire, which is the service's contract.
+  Encoder EA, EB;
+  encode(EA, A.Report);
+  encode(EB, B.Report);
+  return A.Ok == B.Ok && A.Error == B.Error &&
+         A.ServedFromCache == B.ServedFromCache &&
+         A.ElapsedUs == B.ElapsedUs && EA.take() == EB.take();
+}
+
+} // namespace dist
+} // namespace fcsl
+
+std::vector<uint8_t> dist::frameSubmitSession(const SubmitSessionMsg &M) {
+  Encoder E = startFrame(MsgType::SubmitSession);
+  E.str(M.Session);
+  E.u8(M.Por);
+  E.u8(M.Symmetry);
+  E.u8(M.Cache);
+  E.u32(M.Jobs);
+  E.u8(M.WantProgress);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameProgress(const ProgressMsg &M) {
+  Encoder E = startFrame(MsgType::Progress);
+  E.u32(M.Completed);
+  E.u32(M.Total);
+  E.u8(M.Category);
+  E.str(M.Name);
+  E.u8(M.Passed);
+  E.u8(M.FromCache);
+  E.u64(M.ElapsedUs);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameReport(const ReportMsg &M) {
+  Encoder E = startFrame(MsgType::Report);
+  E.u8(M.Ok);
+  E.str(M.Error);
+  E.u8(M.ServedFromCache);
+  E.u64(M.ElapsedUs);
+  encode(E, M.Report);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameCacheStats(const CacheStatsMsg &M) {
+  Encoder E = startFrame(MsgType::CacheStats);
+  E.u8(M.Query);
+  E.u64(M.RequestsServed);
+  E.u64(M.SessionsRun);
+  E.u64(M.ServedFromCache);
+  E.u64(M.ObligationsReplayed);
+  E.u64(M.Rejected);
+  E.u64(M.UnknownFrames);
+  E.u64(M.MalformedFrames);
+  E.u64(M.StoreRecords);
+  E.u64(M.StoreBytes);
+  E.u64(M.UptimeUs);
+  return finishFrame(std::move(E));
+}
+
+std::vector<uint8_t> dist::frameShutdown(const ShutdownMsg &M) {
+  Encoder E = startFrame(MsgType::Shutdown);
+  E.u8(M.Ack);
+  return finishFrame(std::move(E));
+}
+
 std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
   Decoder D(Payload);
   if (!decodeHeader(D))
     return std::nullopt;
   uint8_t Tag = D.u8();
-  if (Tag < static_cast<uint8_t>(MsgType::Hello) ||
-      Tag > static_cast<uint8_t>(MsgType::FrontierBatchDict))
+  if (Tag < static_cast<uint8_t>(MsgType::Hello) || Tag > MaxKnownMsgTag)
     return std::nullopt;
   WireMsg M;
   M.Type = static_cast<MsgType>(Tag);
@@ -241,6 +312,46 @@ std::optional<WireMsg> dist::decodeFrame(const std::vector<uint8_t> &Payload) {
       M.Delta.Records.push_back(cache::decodeCacheRecord(D));
     break;
   }
+  case MsgType::SubmitSession:
+    M.Submit.Session = D.str();
+    M.Submit.Por = D.u8();
+    M.Submit.Symmetry = D.u8();
+    M.Submit.Cache = D.u8();
+    M.Submit.Jobs = D.u32();
+    M.Submit.WantProgress = D.u8() != 0;
+    break;
+  case MsgType::Progress:
+    M.Prog.Completed = D.u32();
+    M.Prog.Total = D.u32();
+    M.Prog.Category = D.u8();
+    M.Prog.Name = D.str();
+    M.Prog.Passed = D.u8() != 0;
+    M.Prog.FromCache = D.u8() != 0;
+    M.Prog.ElapsedUs = D.u64();
+    break;
+  case MsgType::Report:
+    M.Rep.Ok = D.u8() != 0;
+    M.Rep.Error = D.str();
+    M.Rep.ServedFromCache = D.u8() != 0;
+    M.Rep.ElapsedUs = D.u64();
+    M.Rep.Report = decodeSessionReport(D);
+    break;
+  case MsgType::CacheStats:
+    M.CStats.Query = D.u8() != 0;
+    M.CStats.RequestsServed = D.u64();
+    M.CStats.SessionsRun = D.u64();
+    M.CStats.ServedFromCache = D.u64();
+    M.CStats.ObligationsReplayed = D.u64();
+    M.CStats.Rejected = D.u64();
+    M.CStats.UnknownFrames = D.u64();
+    M.CStats.MalformedFrames = D.u64();
+    M.CStats.StoreRecords = D.u64();
+    M.CStats.StoreBytes = D.u64();
+    M.CStats.UptimeUs = D.u64();
+    break;
+  case MsgType::Shutdown:
+    M.Shut.Ack = D.u8() != 0;
+    break;
   }
   if (D.failed() || !D.atEnd())
     return std::nullopt;
@@ -253,9 +364,21 @@ std::optional<MsgType> dist::peekFrameTag(const std::vector<uint8_t> &Payload) {
     return std::nullopt;
   uint8_t Tag = D.u8();
   if (D.failed() || Tag < static_cast<uint8_t>(MsgType::Hello) ||
-      Tag > static_cast<uint8_t>(MsgType::FrontierBatchDict))
+      Tag > MaxKnownMsgTag)
     return std::nullopt;
   return static_cast<MsgType>(Tag);
+}
+
+FrameClass dist::classifyFrame(const std::vector<uint8_t> &Payload) {
+  Decoder D(Payload);
+  if (!decodeHeader(D))
+    return FrameClass::Malformed;
+  uint8_t Tag = D.u8();
+  if (D.failed())
+    return FrameClass::Malformed;
+  if (Tag < static_cast<uint8_t>(MsgType::Hello) || Tag > MaxKnownMsgTag)
+    return FrameClass::UnknownType;
+  return FrameClass::Known;
 }
 
 std::optional<BatchPeek> dist::peekBatch(const std::vector<uint8_t> &Payload) {

@@ -1,0 +1,134 @@
+//===- service/Client.cpp - Verification daemon client ---------------------===//
+//
+// Part of fcsl-cpp. See Client.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace fcsl;
+using namespace fcsl::service;
+using namespace fcsl::dist;
+
+namespace {
+
+int connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof Addr.sun_path)
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  int Rc;
+  do
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr);
+  while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(const std::string &SocketPath, int TimeoutMs) {
+  int Fd = connectUnix(SocketPath);
+  if (Fd < 0) {
+    Err = "cannot connect to " + SocketPath + ": " + std::strerror(errno);
+    return;
+  }
+  Ch.emplace(Fd);
+  if (!clientHandshake(*Ch, TimeoutMs)) {
+    Err = "handshake with " + SocketPath + " failed";
+    Ch->close();
+  }
+}
+
+std::optional<WireMsg> ServiceClient::recvUntil(MsgType Want,
+                                                const ProgressSink &OnProgress) {
+  while (true) {
+    std::vector<uint8_t> Payload;
+    RecvStatus S = Ch->recv(Payload, RequestTimeoutMs);
+    if (S != RecvStatus::Frame) {
+      Err = S == RecvStatus::Timeout ? "timed out waiting for the daemon"
+                                     : "connection to the daemon was lost";
+      return std::nullopt;
+    }
+    std::optional<WireMsg> M = decodeFrame(Payload);
+    if (!M) {
+      Err = "undecodable frame from the daemon";
+      return std::nullopt;
+    }
+    if (M->Type == MsgType::Progress) {
+      if (OnProgress)
+        OnProgress(M->Prog);
+      continue;
+    }
+    if (M->Type == Want)
+      return M;
+    // Anything else mid-request means the two ends disagree about the
+    // conversation state; bail rather than guess.
+    Err = "unexpected frame from the daemon";
+    return std::nullopt;
+  }
+}
+
+std::optional<ReportMsg> ServiceClient::submit(const std::string &Session,
+                                               uint8_t Por, uint8_t Symmetry,
+                                               uint8_t Cache, uint32_t Jobs,
+                                               const ProgressSink &OnProgress) {
+  if (!ok())
+    return std::nullopt;
+  SubmitSessionMsg Req;
+  Req.Session = Session;
+  Req.Por = Por;
+  Req.Symmetry = Symmetry;
+  Req.Cache = Cache;
+  Req.Jobs = Jobs;
+  Req.WantProgress = static_cast<bool>(OnProgress);
+  if (!Ch->send(frameSubmitSession(Req))) {
+    Err = "connection to the daemon was lost";
+    return std::nullopt;
+  }
+  std::optional<WireMsg> M = recvUntil(MsgType::Report, OnProgress);
+  if (!M)
+    return std::nullopt;
+  return std::move(M->Rep);
+}
+
+std::optional<CacheStatsMsg> ServiceClient::stats() {
+  if (!ok())
+    return std::nullopt;
+  CacheStatsMsg Q;
+  Q.Query = true;
+  if (!Ch->send(frameCacheStats(Q))) {
+    Err = "connection to the daemon was lost";
+    return std::nullopt;
+  }
+  std::optional<WireMsg> M = recvUntil(MsgType::CacheStats, {});
+  if (!M)
+    return std::nullopt;
+  return std::move(M->CStats);
+}
+
+bool ServiceClient::shutdown() {
+  if (!ok())
+    return false;
+  if (!Ch->send(frameShutdown(ShutdownMsg{}))) {
+    Err = "connection to the daemon was lost";
+    return false;
+  }
+  std::optional<WireMsg> M = recvUntil(MsgType::Shutdown, {});
+  return M && M->Shut.Ack;
+}

@@ -1,0 +1,77 @@
+//===- service/Client.h - Verification daemon client ------------*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the verification service (DESIGN.md §15): connect
+/// to a running `fcsl-serve`, submit sessions by name, stream progress,
+/// and collect the daemon's Report — which carries the same SessionReport
+/// a direct `fcsl-verify` run produces, bit-identical on the wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SERVICE_CLIENT_H
+#define FCSL_SERVICE_CLIENT_H
+
+#include "dist/Wire.h"
+#include "service/Protocol.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace fcsl {
+namespace service {
+
+/// Called once per streamed Progress frame during submit().
+using ProgressSink = std::function<void(const dist::ProgressMsg &)>;
+
+class ServiceClient {
+public:
+  /// Connects to the daemon's Unix socket and completes the Hello
+  /// handshake. ok() is false (with error() set) on any failure.
+  explicit ServiceClient(const std::string &SocketPath, int TimeoutMs = 5000);
+
+  bool ok() const { return Ch && Ch->ok(); }
+  const std::string &error() const { return Err; }
+
+  /// Submits \p Session and blocks until the daemon's Report, invoking
+  /// \p OnProgress for every Progress frame in between (pass a non-null
+  /// sink to request streaming). Mode bytes follow SubmitSessionMsg:
+  /// 0 = the daemon's default. Returns nullopt on a transport failure;
+  /// a daemon-side rejection returns a ReportMsg with Ok false.
+  std::optional<dist::ReportMsg> submit(const std::string &Session,
+                                        uint8_t Por = 0, uint8_t Symmetry = 0,
+                                        uint8_t Cache = 0, uint32_t Jobs = 0,
+                                        const ProgressSink &OnProgress = {});
+
+  /// Queries the daemon's serving counters.
+  std::optional<dist::CacheStatsMsg> stats();
+
+  /// Asks the daemon to drain and exit; true once the Ack arrives (the
+  /// daemon has finished every in-flight session by then).
+  bool shutdown();
+
+  /// Per-request receive timeout for submit()/stats() (a running session
+  /// sends nothing until its first Progress or the Report). Default 10
+  /// minutes — generous enough for a cold serial Table-1 session.
+  void setRequestTimeoutMs(int Ms) { RequestTimeoutMs = Ms; }
+
+private:
+  /// Receives frames until one decodes with \p Want, dispatching Progress
+  /// frames to \p OnProgress along the way.
+  std::optional<dist::WireMsg> recvUntil(dist::MsgType Want,
+                                         const ProgressSink &OnProgress);
+
+  std::optional<FdChannel> Ch;
+  std::string Err;
+  int RequestTimeoutMs = 600000;
+};
+
+} // namespace service
+} // namespace fcsl
+
+#endif // FCSL_SERVICE_CLIENT_H

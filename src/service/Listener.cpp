@@ -1,0 +1,79 @@
+//===- service/Listener.cpp - Connection acceptor abstraction --------------===//
+//
+// Part of fcsl-cpp. See Listener.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Listener.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace fcsl;
+using namespace fcsl::service;
+
+namespace {
+
+class UnixListener : public Listener {
+public:
+  UnixListener(int Fd, std::string Path) : Fd(Fd), Path(std::move(Path)) {}
+
+  ~UnixListener() override {
+    shutdown();
+    ::unlink(Path.c_str());
+  }
+
+  int accept() override {
+    while (!Down.load(std::memory_order_acquire)) {
+      int C = ::accept(Fd, nullptr, nullptr);
+      if (C >= 0)
+        return C;
+      if (errno == EINTR)
+        continue;
+      return -1; // listener closed under us, or a fatal error.
+    }
+    return -1;
+  }
+
+  void shutdown() override {
+    if (Down.exchange(true, std::memory_order_acq_rel))
+      return;
+    // shutdown(2) unblocks a blocked accept(2) (it returns with an
+    // error); close releases the descriptor.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+
+  std::string endpoint() const override { return "unix:" + Path; }
+
+private:
+  int Fd;
+  std::string Path;
+  std::atomic<bool> Down{false};
+};
+
+} // namespace
+
+std::unique_ptr<Listener> service::makeUnixListener(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof Addr.sun_path)
+    return nullptr;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return nullptr;
+  ::unlink(Path.c_str()); // a stale socket from a dead daemon.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::make_unique<UnixListener>(Fd, Path);
+}

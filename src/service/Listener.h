@@ -1,0 +1,51 @@
+//===- service/Listener.h - Connection acceptor abstraction -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Where client connections come from (DESIGN.md §15). The daemon accepts
+/// through this interface so the transport is swappable: today a
+/// Unix-domain socket (one host, filesystem-permission access control);
+/// a TCP listener slots in behind the same accept()/shutdown() contract
+/// when the service grows past one machine. Everything above — protocol,
+/// scheduling, serving — is transport-blind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SERVICE_LISTENER_H
+#define FCSL_SERVICE_LISTENER_H
+
+#include <memory>
+#include <string>
+
+namespace fcsl {
+namespace service {
+
+/// Accepts client connections, one connected fd at a time.
+class Listener {
+public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; returns the connected fd, or -1
+  /// after shutdown() (or on a fatal listener error).
+  virtual int accept() = 0;
+
+  /// Unblocks any accept() in flight and makes all future ones fail.
+  /// Callable from another thread (this is how the daemon stops serving).
+  virtual void shutdown() = 0;
+
+  /// The endpoint, for logs ("unix:/path").
+  virtual std::string endpoint() const = 0;
+};
+
+/// Binds a Unix-domain stream socket at \p Path (unlinking a stale one).
+/// Null on failure (path too long, bind/listen error).
+std::unique_ptr<Listener> makeUnixListener(const std::string &Path);
+
+} // namespace service
+} // namespace fcsl
+
+#endif // FCSL_SERVICE_LISTENER_H

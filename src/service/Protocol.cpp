@@ -1,0 +1,101 @@
+//===- service/Protocol.cpp - Framed channel over a socket fd --------------===//
+//
+// Part of fcsl-cpp. See Protocol.h for the interface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace fcsl;
+using namespace fcsl::service;
+using namespace fcsl::dist;
+
+FdChannel::~FdChannel() { close(); }
+
+void FdChannel::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool FdChannel::send(const std::vector<uint8_t> &Frame) {
+  if (Fd < 0)
+    return false;
+  size_t Done = 0;
+  while (Done != Frame.size()) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE here, not as a
+    // process-killing SIGPIPE in the daemon.
+    ssize_t N = ::send(Fd, Frame.data() + Done, Frame.size() - Done,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+RecvStatus FdChannel::recv(std::vector<uint8_t> &Payload, int TimeoutMs) {
+  if (Fd < 0 || In.corrupt())
+    return RecvStatus::Error;
+  if (std::optional<std::vector<uint8_t>> P = In.next()) {
+    Payload = std::move(*P);
+    return RecvStatus::Frame;
+  }
+  while (true) {
+    pollfd Pfd{Fd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, TimeoutMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return RecvStatus::Error;
+    }
+    if (R == 0)
+      return RecvStatus::Timeout;
+    uint8_t Buf[64 << 10];
+    ssize_t N = ::recv(Fd, Buf, sizeof Buf, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return RecvStatus::Error;
+    }
+    if (N == 0)
+      return RecvStatus::Eof;
+    In.feed(Buf, static_cast<size_t>(N));
+    if (In.corrupt())
+      return RecvStatus::Error;
+    if (std::optional<std::vector<uint8_t>> P = In.next()) {
+      Payload = std::move(*P);
+      return RecvStatus::Frame;
+    }
+    // A frame can span reads; keep polling until one completes.
+  }
+}
+
+bool service::clientHandshake(FdChannel &Ch, int TimeoutMs) {
+  if (!Ch.send(frameHello(HelloMsg{})))
+    return false;
+  std::vector<uint8_t> Payload;
+  if (Ch.recv(Payload, TimeoutMs) != RecvStatus::Frame)
+    return false;
+  std::optional<WireMsg> M = decodeFrame(Payload);
+  return M && M->Type == MsgType::Hello;
+}
+
+bool service::serverHandshake(FdChannel &Ch, int TimeoutMs) {
+  std::vector<uint8_t> Payload;
+  if (Ch.recv(Payload, TimeoutMs) != RecvStatus::Frame)
+    return false;
+  std::optional<WireMsg> M = decodeFrame(Payload);
+  if (!M || M->Type != MsgType::Hello)
+    return false;
+  return Ch.send(frameHello(HelloMsg{}));
+}

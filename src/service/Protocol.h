@@ -1,0 +1,80 @@
+//===- service/Protocol.h - Framed channel over a socket fd -----*- C++ -*-===//
+//
+// Part of fcsl-cpp, a C++ reproduction of "Mechanized Verification of
+// Fine-grained Concurrent Programs" (Sergey, Nanevski, Banerjee; PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service side of the dist/Wire frame protocol (DESIGN.md §15): a
+/// blocking, poll-timed channel that ships complete frames over one
+/// connected socket and reassembles incoming ones through a FrameBuffer.
+/// Both ends of a connection — the daemon's per-connection handler and
+/// fcsl-client — speak through this class, so framing bugs cannot diverge
+/// between them. The Hello exchange doubles as the protocol version
+/// guard: the codec header inside every frame carries CodecVersion, and a
+/// peer from another vintage fails decode before any body is trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCSL_SERVICE_PROTOCOL_H
+#define FCSL_SERVICE_PROTOCOL_H
+
+#include "dist/Wire.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fcsl {
+namespace service {
+
+/// What one receive attempt yielded.
+enum class RecvStatus : uint8_t {
+  Frame,   ///< a complete frame payload was delivered.
+  Timeout, ///< the poll window elapsed with no complete frame.
+  Eof,     ///< the peer closed the connection cleanly.
+  Error,   ///< a transport error, or the frame stream latched corrupt.
+};
+
+/// One connected socket speaking length-prefixed frames. Owns the
+/// descriptor. Not thread-safe per direction: at most one sender and one
+/// receiver at a time (the daemon guarantees this by construction — the
+/// connection handler hands the socket to a session worker and waits).
+class FdChannel {
+public:
+  explicit FdChannel(int Fd) : Fd(Fd) {}
+  FdChannel(const FdChannel &) = delete;
+  FdChannel &operator=(const FdChannel &) = delete;
+  ~FdChannel();
+
+  /// Sends one complete frame (length prefix + payload, as the dist::
+  /// framers return). False on a transport error (peer gone).
+  bool send(const std::vector<uint8_t> &Frame);
+
+  /// Receives the next frame payload into \p Payload. \p TimeoutMs < 0
+  /// blocks indefinitely; 0 polls. On Timeout, bytes read so far stay
+  /// buffered — a later call resumes mid-frame.
+  RecvStatus recv(std::vector<uint8_t> &Payload, int TimeoutMs = -1);
+
+  int fd() const { return Fd; }
+  bool ok() const { return Fd >= 0 && !In.corrupt(); }
+  void close();
+
+private:
+  int Fd = -1;
+  dist::FrameBuffer In;
+};
+
+/// Client-side handshake: send Hello, expect Hello back. False when the
+/// peer is silent, closes, or answers with anything else (including a
+/// frame from another codec version, which fails decode).
+bool clientHandshake(FdChannel &Ch, int TimeoutMs = 5000);
+
+/// Server-side handshake: expect Hello, answer Hello.
+bool serverHandshake(FdChannel &Ch, int TimeoutMs = 5000);
+
+} // namespace service
+} // namespace fcsl
+
+#endif // FCSL_SERVICE_PROTOCOL_H

@@ -8,11 +8,13 @@
 
 #include "prog/Engine.h"
 
+#include "support/Format.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 using namespace fcsl;
 
@@ -33,11 +35,36 @@ const char *fcsl::obCategoryName(ObCategory C) {
   return "<?>";
 }
 
-uint64_t fcsl::engineFlagsFingerprint() {
+uint64_t fcsl::engineFlagsFingerprintFor(PorMode Por, SymMode Sym) {
   uint64_t Fp = fpString("fcsl-engine-flags");
-  Fp = fpCombine(Fp, static_cast<uint64_t>(defaultPorMode()));
-  Fp = fpCombine(Fp, static_cast<uint64_t>(defaultSymmetryMode()));
+  Fp = fpCombine(Fp, static_cast<uint64_t>(Por));
+  Fp = fpCombine(Fp, static_cast<uint64_t>(Sym));
   return Fp;
+}
+
+uint64_t fcsl::engineFlagsFingerprint() {
+  return engineFlagsFingerprintFor(defaultPorMode(), defaultSymmetryMode());
+}
+
+std::string fcsl::renderSessionReport(const SessionReport &R) {
+  TextTable Table;
+  Table.setHeader({"category", "obligations", "checks", "ms"});
+  for (unsigned I = 1; I <= 3; ++I)
+    Table.setRightAligned(I);
+  for (ObCategory C : {ObCategory::Libs, ObCategory::Conc, ObCategory::Acts,
+                       ObCategory::Stab, ObCategory::Main}) {
+    const CategoryStats &S = R.PerCategory[static_cast<size_t>(C)];
+    Table.addRow({obCategoryName(C), std::to_string(S.Obligations),
+                  std::to_string(S.Checks),
+                  formatString("%.1f", S.ElapsedMs)});
+  }
+  std::string Out = formatString(
+      "%s: %s (%.1f ms)\n", R.Program.c_str(),
+      R.AllPassed ? "all obligations discharged" : "FAILED", R.TotalMs);
+  Out += Table.render();
+  for (const std::string &F : R.Failures)
+    Out += formatString("  failure: %s\n", F.c_str());
+  return Out;
 }
 
 uint64_t SessionReport::totalObligations() const {
@@ -95,13 +122,64 @@ cache::CacheRecord toRecord(const cache::ObligationKey &Key,
   return R;
 }
 
+/// Serializes progress callbacks and numbers them with a completion
+/// ordinal; discharge workers call report() concurrently.
+class ProgressEmitter {
+public:
+  ProgressEmitter(const ProgressFn &Fn, size_t Total) : Fn(Fn), Total(Total) {}
+
+  void report(const ProofUnit &U, const ObligationResult &R, double Ms) {
+    if (!Fn)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    ObligationProgress P;
+    P.Completed = ++Completed;
+    P.Total = Total;
+    P.Category = U.Category;
+    P.Name = U.Name;
+    P.Passed = R.Passed;
+    P.FromCache = R.FromCache;
+    P.ElapsedMs = Ms;
+    Fn(P);
+  }
+
+private:
+  const ProgressFn &Fn;
+  size_t Total;
+  std::mutex M;
+  size_t Completed = 0;
+};
+
+/// The registration-order aggregation every report goes through — shared
+/// by run() and serveFromStore() so the fast path cannot drift from a
+/// genuinely warm run.
+void aggregateReport(SessionReport &Report,
+                     const std::vector<ProofUnit> &Units,
+                     const std::vector<ObligationResult> &Results,
+                     const std::vector<double> &ElapsedMs) {
+  for (size_t I = 0, N = Units.size(); I != N; ++I) {
+    const ProofUnit &U = Units[I];
+    CategoryStats &Stats = Report.PerCategory[static_cast<size_t>(U.Category)];
+    ++Stats.Obligations;
+    Stats.Checks += Results[I].Checks;
+    Stats.ElapsedMs += ElapsedMs[I];
+    if (!Results[I].Passed) {
+      Report.AllPassed = false;
+      Report.Failures.push_back(Report.Program + "/" + U.Name + ": " +
+                                Results[I].Note);
+    }
+  }
+}
+
 } // namespace
 
-SessionReport VerificationSession::run(unsigned Jobs) const {
+SessionReport VerificationSession::run(unsigned Jobs,
+                                       const ProgressFn &Progress) const {
   SessionReport Report;
   Report.Program = Program;
   Timer Total;
   size_t N = Units.size();
+  ProgressEmitter Emit(Progress, N);
 
   // Resolve the cache policy once for the whole session, so every unit
   // sees one consistent store and flags fingerprint.
@@ -137,6 +215,7 @@ SessionReport VerificationSession::run(unsigned Jobs) const {
       Report.Cache.ReplayedConfigs += R->Counters.Configs;
       Report.Cache.ReplayedUs += R->ElapsedUs;
       Results[I] = replay(*R);
+      Emit.report(U, Results[I], 0.0);
       if (Mode == cache::CacheMode::Check) {
         Hit[I] = R;
         ++Report.Cache.CheckRuns;
@@ -165,6 +244,10 @@ SessionReport VerificationSession::run(unsigned Jobs) const {
     Timer One;
     Fresh[K] = Units[ToRun[K]].Run();
     FreshMs[K] = One.elapsedMs();
+    // Check-mode re-runs were already reported at probe time (as the
+    // replayed hit); only genuinely fresh discharges stream here.
+    if (!Hit[ToRun[K]])
+      Emit.report(Units[ToRun[K]], Fresh[K], FreshMs[K]);
   });
 
   // Phase 3 (serial, registration order): reconcile check-mode re-runs,
@@ -201,18 +284,45 @@ SessionReport VerificationSession::run(unsigned Jobs) const {
     }
   }
 
+  aggregateReport(Report, Units, Results, ElapsedMs);
+  Report.TotalMs = Total.elapsedMs();
+  cache::accumulateCacheStats(Report.Cache);
+  return Report;
+}
+
+std::optional<SessionReport>
+VerificationSession::serveFromStore(cache::Store &S, uint64_t FlagsFp,
+                                    const ProgressFn &Progress) const {
+  size_t N = Units.size();
+  // First pass: the fast path answers only when the store already holds a
+  // verdict for *every* unit. Bail before touching any report state so a
+  // partial corpus leaves no trace.
+  std::vector<const cache::CacheRecord *> Recs(N, nullptr);
   for (size_t I = 0; I != N; ++I) {
     const ProofUnit &U = Units[I];
-    CategoryStats &Stats = Report.PerCategory[static_cast<size_t>(U.Category)];
-    ++Stats.Obligations;
-    Stats.Checks += Results[I].Checks;
-    Stats.ElapsedMs += ElapsedMs[I];
-    if (!Results[I].Passed) {
-      Report.AllPassed = false;
-      Report.Failures.push_back(Program + "/" + U.Name + ": " +
-                                Results[I].Note);
-    }
+    if (!U.keyed())
+      return std::nullopt;
+    Recs[I] = S.lookup(U.key(FlagsFp));
+    if (!Recs[I])
+      return std::nullopt;
   }
+
+  SessionReport Report;
+  Report.Program = Program;
+  Timer Total;
+  ProgressEmitter Emit(Progress, N);
+  std::vector<ObligationResult> Results(N);
+  std::vector<double> ElapsedMs(N, 0.0);
+  for (size_t I = 0; I != N; ++I) {
+    const cache::CacheRecord *R = Recs[I];
+    ++Report.Cache.Hits;
+    Report.Cache.ReplayedChecks += R->Checks;
+    Report.Cache.ReplayedConfigs += R->Counters.Configs;
+    Report.Cache.ReplayedUs += R->ElapsedUs;
+    Results[I] = replay(*R);
+    Emit.report(Units[I], Results[I], 0.0);
+  }
+  aggregateReport(Report, Units, Results, ElapsedMs);
   Report.TotalMs = Total.elapsedMs();
   cache::accumulateCacheStats(Report.Cache);
   return Report;

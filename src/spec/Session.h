@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -137,6 +138,12 @@ struct ProofUnit {
 /// interference are content-side (they vary per unit, not per process).
 uint64_t engineFlagsFingerprint();
 
+/// The same fingerprint for explicitly-resolved modes, without touching
+/// the process defaults. The verification daemon (src/service/) uses this
+/// to probe the store under a *request's* flags before deciding whether a
+/// session can be served from cache without running the engine.
+uint64_t engineFlagsFingerprintFor(PorMode Por, SymMode Sym);
+
 /// Per-category tallies.
 struct CategoryStats {
   uint64_t Obligations = 0;
@@ -159,6 +166,37 @@ struct SessionReport {
   uint64_t totalObligations() const;
   uint64_t totalChecks() const;
 };
+
+/// Codec entry points for a whole report (implemented in support/Codec.cpp
+/// with the other state types): the payload of the service's Report frame,
+/// so a daemon-served report is bit-identical to a local run's. Doubles
+/// travel as their IEEE-754 bit patterns. Decode is fail-soft: check
+/// `D.failed()` before trusting the result.
+void encode(Encoder &E, const SessionReport &R);
+SessionReport decodeSessionReport(Decoder &D);
+
+/// Renders a report exactly as `fcsl-verify verify` prints it (verdict
+/// line, per-category table, failure lines). Shared by the CLI and
+/// fcsl-client so a daemon round-trip diffs clean against a direct run.
+std::string renderSessionReport(const SessionReport &R);
+
+/// One completed obligation, streamed to a progress observer while a
+/// session runs. Completion order follows the scheduler (store hits
+/// first, then fresh discharges as workers finish them); the report still
+/// aggregates in registration order.
+struct ObligationProgress {
+  size_t Completed = 0; ///< completion ordinal, 1-based.
+  size_t Total = 0;     ///< total obligations in the session.
+  ObCategory Category = ObCategory::Libs;
+  std::string Name;
+  bool Passed = true;
+  bool FromCache = false;
+  double ElapsedMs = 0.0; ///< discharge time (0 for replayed hits).
+};
+
+/// Progress observer. Invocations are serialized (an internal mutex), but
+/// may come from any discharge worker thread.
+using ProgressFn = std::function<void(const ObligationProgress &)>;
 
 /// One case study's bundle of proof units.
 class VerificationSession {
@@ -187,7 +225,18 @@ public:
   /// report is bit-identical to a cold run — and only misses (plus every
   /// unit, under --cache=check) go to the job pool. Fresh verdicts of
   /// keyed units are appended to the store in registration order.
-  SessionReport run(unsigned Jobs = 0) const;
+  /// \p Progress, when set, observes each obligation as it completes.
+  SessionReport run(unsigned Jobs = 0, const ProgressFn &Progress = {}) const;
+
+  /// The daemon's microsecond fast path: when *every* unit is keyed and
+  /// has a verdict in \p S under \p FlagsFp, builds the same report a
+  /// fully-warm run() would produce — replayed results, cache counters,
+  /// registration-order aggregation — without invoking any discharge
+  /// closure (the engine never runs). Returns nullopt the moment one unit
+  /// is unkeyed or missing, leaving no trace in the process cache stats.
+  std::optional<SessionReport>
+  serveFromStore(cache::Store &S, uint64_t FlagsFp,
+                 const ProgressFn &Progress = {}) const;
 
   const std::string &program() const { return Program; }
   size_t numObligations() const { return Units.size(); }

@@ -37,6 +37,12 @@ std::vector<CaseEntry> fcsl::allCaseStudies() {
   };
 }
 
+std::vector<CaseEntry> fcsl::allVerifiableSessions() {
+  std::vector<CaseEntry> Cases = allCaseStudies();
+  Cases.push_back(CaseEntry{"Abstract stack", makeStackIfaceSession});
+  return Cases;
+}
+
 void fcsl::registerAllLibraries() {
   registerSpinLockLibrary();
   registerTicketLockLibrary();

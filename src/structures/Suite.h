@@ -22,6 +22,13 @@ namespace fcsl {
 /// All Table 1 rows, in order.
 std::vector<CaseEntry> allCaseStudies();
 
+/// Every session a name can resolve to: the Table 1 rows plus the
+/// abstract-stack extension. The registry shared by `fcsl-verify verify`
+/// and the verification daemon (src/service/) — both must resolve the
+/// same names to the same sessions for daemon-served reports to be
+/// bit-identical to direct runs.
+std::vector<CaseEntry> allVerifiableSessions();
+
 /// Registers every library in the global registry (idempotent).
 void registerAllLibraries();
 

@@ -6,7 +6,10 @@
 
 #include "support/Codec.h"
 
+#include "spec/Session.h"
+
 #include <cassert>
+#include <cstring>
 
 using namespace fcsl;
 
@@ -1244,4 +1247,81 @@ FrontierConfig fcsl::decodeFrontierConfig(Decoder &D) {
     D.fail();
   C.Counts = Counts != 0;
   return D.failed() ? FrontierConfig() : C;
+}
+
+//===----------------------------------------------------------------------===//
+// SessionReport — the payload of the service's Report frame.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern so a daemon-served report
+// round-trips bit-identically (the codec has no native float lane).
+void encodeDouble(Encoder &E, double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  E.u64(Bits);
+}
+
+double decodeDouble(Decoder &D) {
+  uint64_t Bits = D.u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace
+
+void fcsl::encode(Encoder &E, const SessionReport &R) {
+  E.str(R.Program);
+  E.u8(R.AllPassed ? 1 : 0);
+  for (const CategoryStats &S : R.PerCategory) {
+    E.u64(S.Obligations);
+    E.u64(S.Checks);
+    encodeDouble(E, S.ElapsedMs);
+  }
+  encodeDouble(E, R.TotalMs);
+  E.u32(static_cast<uint32_t>(R.Failures.size()));
+  for (const std::string &F : R.Failures)
+    E.str(F);
+  E.u64(R.Cache.Hits);
+  E.u64(R.Cache.Misses);
+  E.u64(R.Cache.StaleFlags);
+  E.u64(R.Cache.Stores);
+  E.u64(R.Cache.CheckRuns);
+  E.u64(R.Cache.Divergences);
+  E.u64(R.Cache.Unkeyed);
+  E.u64(R.Cache.ReplayedChecks);
+  E.u64(R.Cache.ReplayedConfigs);
+  E.u64(R.Cache.ReplayedUs);
+}
+
+SessionReport fcsl::decodeSessionReport(Decoder &D) {
+  SessionReport R;
+  R.Program = D.str();
+  uint8_t Passed = D.u8();
+  if (Passed > 1)
+    D.fail();
+  R.AllPassed = Passed != 0;
+  for (CategoryStats &S : R.PerCategory) {
+    S.Obligations = D.u64();
+    S.Checks = D.u64();
+    S.ElapsedMs = decodeDouble(D);
+  }
+  R.TotalMs = decodeDouble(D);
+  uint32_t NumFailures = D.u32();
+  for (uint32_t I = 0; I != NumFailures && !D.failed(); ++I)
+    R.Failures.push_back(D.str());
+  R.Cache.Hits = D.u64();
+  R.Cache.Misses = D.u64();
+  R.Cache.StaleFlags = D.u64();
+  R.Cache.Stores = D.u64();
+  R.Cache.CheckRuns = D.u64();
+  R.Cache.Divergences = D.u64();
+  R.Cache.Unkeyed = D.u64();
+  R.Cache.ReplayedChecks = D.u64();
+  R.Cache.ReplayedConfigs = D.u64();
+  R.Cache.ReplayedUs = D.u64();
+  return D.failed() ? SessionReport() : R;
 }

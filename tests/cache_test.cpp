@@ -23,8 +23,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -355,4 +357,63 @@ TEST_F(CacheTest, Table1WarmRunIsAllHitsAndCheckClean) {
         << Case.Name;
     EXPECT_EQ(Checked.Cache.Divergences, 0u) << Case.Name;
   }
+}
+
+// Daemon-hardening regression (DESIGN.md §15): N threads hammer ONE log
+// path through N distinct Store objects — the worst interleaving the
+// per-object mutex cannot serialize. Every append must land whole
+// (O_APPEND, single write per record, striped path lock); reopening the
+// log afterwards must decode cleanly end to end and index every record.
+TEST_F(CacheTest, ConcurrentAppendersNeverTearTheLog) {
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 200;
+
+  // Seed a well-formed log (header + version) for the appenders to share.
+  {
+    cache::Store Seed;
+    ASSERT_TRUE(Seed.open(storePath(), /*Writable=*/true));
+  }
+
+  std::vector<std::unique_ptr<cache::Store>> Stores;
+  for (unsigned T = 0; T != Threads; ++T) {
+    auto S = std::make_unique<cache::Store>();
+    ASSERT_TRUE(S->open(storePath(), /*Writable=*/true));
+    Stores.push_back(std::move(S));
+  }
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([T, &Stores] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        cache::CacheRecord R;
+        R.Key.Content = 1 + T * PerThread + I; // disjoint per thread.
+        R.Key.Flags = 0x5eed;
+        R.Passed = true;
+        R.Checks = I;
+        R.Counters.Configs = 2 * I;
+        R.ElapsedUs = T;
+        R.Note = "thread " + std::to_string(T);
+        Stores[T]->append(R);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  Stores.clear(); // close every descriptor before reopening.
+
+  // A fresh open must decode the whole log — open() rewrites a torn log,
+  // shrinking it, so "every record indexed AND the size is unchanged by
+  // reopening" pins that no append tore.
+  uint64_t Written = storeSize();
+  cache::Store Reopened;
+  ASSERT_TRUE(Reopened.open(storePath(), /*Writable=*/true));
+  EXPECT_EQ(Reopened.records(), size_t(Threads) * PerThread);
+  EXPECT_EQ(storeSize(), Written) << "reopen rewrote a torn log";
+  for (unsigned T = 0; T != Threads; ++T)
+    for (unsigned I = 0; I != PerThread; ++I) {
+      cache::ObligationKey K{1 + T * PerThread + I, 0x5eed};
+      const cache::CacheRecord *R = Reopened.lookup(K);
+      ASSERT_NE(R, nullptr);
+      EXPECT_EQ(R->Checks, I);
+      EXPECT_EQ(R->Note, "thread " + std::to_string(T));
+    }
 }

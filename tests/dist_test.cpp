@@ -657,3 +657,159 @@ TEST(DistEngine, CrashedWorkerFailsLoudly) {
       << R.FailureNote;
   EXPECT_NE(R.FailureNote.find("died"), std::string::npos) << R.FailureNote;
 }
+
+//===----------------------------------------------------------------------===//
+// Service-frame codec and the unknown-message-type contract (DESIGN.md
+// §15). The split pinned here: a *malformed* frame (bad header) means the
+// stream cannot be trusted; a *well-framed unknown type* is a versioned
+// peer speaking a newer protocol — the service path rejects the one frame
+// and keeps the connection, the shard path fails the whole run loudly.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SessionReport sampleReport() {
+  SessionReport R;
+  R.Program = "ticket_lock";
+  R.AllPassed = false;
+  for (int I = 0; I != 5; ++I) {
+    R.PerCategory[I].Obligations = 3 + I;
+    R.PerCategory[I].Checks = 100 * I + 7;
+    R.PerCategory[I].ElapsedMs = 1.5 * I;
+  }
+  R.TotalMs = 123.25;
+  R.Failures = {"ticket_lock/unlock: stability violated"};
+  R.Cache.Hits = 4;
+  R.Cache.Misses = 2;
+  R.Cache.Stores = 2;
+  R.Cache.ReplayedChecks = 321;
+  R.Cache.ReplayedUs = 17;
+  return R;
+}
+
+} // namespace
+
+TEST(DistWire, ServiceFramesRoundTrip) {
+  SubmitSessionMsg Submit;
+  Submit.Session = "Ticketed lock";
+  Submit.Por = 3;
+  Submit.Symmetry = 2;
+  Submit.Cache = 2;
+  Submit.Jobs = 4;
+  Submit.WantProgress = true;
+
+  ProgressMsg Prog;
+  Prog.Completed = 3;
+  Prog.Total = 17;
+  Prog.Category = 1;
+  Prog.Name = "lock_acquire";
+  Prog.Passed = true;
+  Prog.FromCache = true;
+  Prog.ElapsedUs = 0;
+
+  ReportMsg Rep;
+  Rep.Ok = true;
+  Rep.ServedFromCache = true;
+  Rep.ElapsedUs = 812;
+  Rep.Report = sampleReport();
+
+  CacheStatsMsg Stats;
+  Stats.Query = false;
+  Stats.RequestsServed = 12;
+  Stats.SessionsRun = 2;
+  Stats.ServedFromCache = 10;
+  Stats.ObligationsReplayed = 170;
+  Stats.Rejected = 1;
+  Stats.UnknownFrames = 1;
+  Stats.MalformedFrames = 2;
+  Stats.StoreRecords = 99;
+  Stats.StoreBytes = 4096;
+  Stats.UptimeUs = 1000000;
+
+  ShutdownMsg Shut;
+  Shut.Ack = true;
+
+  for (size_t Chunk : {size_t{1}, size_t{7}, size_t{1 << 20}}) {
+    std::optional<WireMsg> M = throughBuffer(frameSubmitSession(Submit), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::SubmitSession);
+    EXPECT_EQ(M->Submit, Submit);
+
+    M = throughBuffer(frameProgress(Prog), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Progress);
+    EXPECT_EQ(M->Prog, Prog);
+
+    M = throughBuffer(frameReport(Rep), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Report);
+    EXPECT_EQ(M->Rep, Rep);
+
+    M = throughBuffer(frameCacheStats(Stats), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::CacheStats);
+    EXPECT_EQ(M->CStats, Stats);
+
+    M = throughBuffer(frameShutdown(Shut), Chunk);
+    ASSERT_TRUE(M);
+    EXPECT_EQ(M->Type, MsgType::Shutdown);
+    EXPECT_EQ(M->Shut, Shut);
+  }
+}
+
+TEST(DistWire, ReportEqualityIsWireBitIdentity) {
+  ReportMsg A;
+  A.Report = sampleReport();
+  ReportMsg B = A;
+  EXPECT_EQ(A, B);
+  B.Report.Cache.Hits++; // any payload drift must break equality.
+  EXPECT_FALSE(A == B);
+}
+
+TEST(DistWire, ClassifiesFramesByHeaderAndTag) {
+  // A well-formed known frame.
+  std::vector<uint8_t> Frame = frameDrain(DrainMsg{});
+  std::vector<uint8_t> Payload(Frame.begin() + 4, Frame.end());
+  EXPECT_EQ(classifyFrame(Payload), FrameClass::Known);
+
+  // Valid header, tag one past the known range: well-framed but unknown.
+  Encoder Hdr;
+  encodeHeader(Hdr);
+  std::vector<uint8_t> Unknown = Payload;
+  Unknown[Hdr.buffer().size()] = MaxKnownMsgTag + 1;
+  EXPECT_EQ(classifyFrame(Unknown), FrameClass::UnknownType);
+  // decodeFrame still refuses it — classification never loosens decoding.
+  EXPECT_EQ(decodeFrame(Unknown), std::nullopt);
+
+  // A known-but-truncated body stays Known (classification reads only the
+  // header and tag; the decode failure is the body's problem).
+  std::vector<uint8_t> Truncated(Payload.begin(), Payload.end() - 1);
+  EXPECT_EQ(classifyFrame(Truncated), FrameClass::Known);
+
+  // Bad magic or an empty payload: malformed, the stream is untrusted.
+  std::vector<uint8_t> BadMagic = Payload;
+  BadMagic[0] ^= 0xFF;
+  EXPECT_EQ(classifyFrame(BadMagic), FrameClass::Malformed);
+  EXPECT_EQ(classifyFrame(std::vector<uint8_t>{}), FrameClass::Malformed);
+}
+
+TEST(DistEngine, UnknownMessageTypeFailsRunLoudly) {
+  SpanTreeCase Case = makeSpanTreeCase(1, 2);
+  EngineOptions Opts;
+  Opts.Ambient = Case.PrivOnly;
+  Opts.EnvInterference = false;
+  Opts.Defs = &Case.Defs;
+  ::setenv("FCSL_DIST_UNKNOWN_SHARD", "1", 1);
+  RunResult R = distributedExplore(makeSpanRootProg(Case, Ptr(1)),
+                                   spanRootState(Case, diamondOf(1)), Opts,
+                                   {}, 2);
+  ::unsetenv("FCSL_DIST_UNKNOWN_SHARD");
+  // Dropping unrecognized protocol traffic silently would let a partial
+  // exploration read as a verified one; the run must say it is incomplete.
+  EXPECT_FALSE(R.complete());
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_NE(R.FailureNote.find("unknown message type"), std::string::npos)
+      << R.FailureNote;
+  EXPECT_NE(R.FailureNote.find("shard 1"), std::string::npos)
+      << R.FailureNote;
+}

@@ -330,9 +330,13 @@ void printStats() {
 
   // The wire table: every frame the hub received, by message type.
   {
-    static const char *const TagNames[8] = {
-        "-",     "hello",   "batch", "stats",
-        "drain", "verdict", "cache-delta", "batch-dict"};
+    static const char *const TagNames[16] = {
+        "-",           "hello",      "batch",
+        "stats",       "drain",      "verdict",
+        "cache-delta", "batch-dict", "submit-session",
+        "progress",    "report",     "cache-stats",
+        "shutdown",    "-",          "-",
+        "-"};
     TextTable Wire;
     Wire.setHeader({"msg type", "frames", "bytes"});
     Wire.setRightAligned(1);
@@ -364,11 +368,7 @@ void printStats() {
 }
 
 /// All sessions: the paper's eleven plus the abstract-stack extension.
-std::vector<CaseEntry> allSessions() {
-  std::vector<CaseEntry> Cases = allCaseStudies();
-  Cases.push_back(CaseEntry{"Abstract stack", makeStackIfaceSession});
-  return Cases;
-}
+std::vector<CaseEntry> allSessions() { return allVerifiableSessions(); }
 
 int runList() {
   for (const CaseEntry &Case : allSessions())
@@ -377,22 +377,9 @@ int runList() {
 }
 
 int reportSession(const SessionReport &Report) {
-  TextTable Table;
-  Table.setHeader({"category", "obligations", "checks", "ms"});
-  for (unsigned I = 1; I <= 3; ++I)
-    Table.setRightAligned(I);
-  for (ObCategory C : {ObCategory::Libs, ObCategory::Conc, ObCategory::Acts,
-                       ObCategory::Stab, ObCategory::Main}) {
-    const CategoryStats &S = Report.PerCategory[size_t(C)];
-    Table.addRow({obCategoryName(C), std::to_string(S.Obligations),
-                  std::to_string(S.Checks),
-                  formatString("%.1f", S.ElapsedMs)});
-  }
-  std::printf("%s: %s (%.1f ms)\n%s", Report.Program.c_str(),
-              Report.AllPassed ? "all obligations discharged" : "FAILED",
-              Report.TotalMs, Table.render().c_str());
-  for (const std::string &F : Report.Failures)
-    std::printf("  failure: %s\n", F.c_str());
+  // Shared with fcsl-client (spec/Session.h) so a daemon round-trip
+  // prints byte-identically to a direct run.
+  std::fputs(renderSessionReport(Report).c_str(), stdout);
   return Report.AllPassed ? 0 : 1;
 }
 
